@@ -1,0 +1,72 @@
+"""E4 — CEGAR_min on structurally solved units (Section 3.6.3).
+
+unit6 / unit10 / unit11 / unit19 are the units the paper routes through
+the structural patch; CEGAR_min's max-flow re-support is what improves
+them in the last method column (e.g. unit11: 4142/1063 → 956/368).
+This bench runs the structural flow with and without CEGAR_min.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import EcoEngine
+from repro.benchgen import config_for, unit_spec
+
+from conftest import write_result
+
+UNITS = ("unit6", "unit10", "unit11", "unit19")
+VARIANTS = ("plain", "cegarmin", "resub")
+_results = {}
+
+
+@pytest.mark.parametrize("name", UNITS)
+@pytest.mark.parametrize("variant", VARIANTS)
+def bench_structural(benchmark, suite_instances, name, variant):
+    spec = unit_spec(name)
+    cfg = dataclasses.replace(
+        config_for(spec, "minassump"),
+        structural_only=True,
+        feasibility_method="qbf",
+        use_cegar_min=(variant == "cegarmin"),
+        use_resub=(variant == "resub"),
+    )
+
+    def run():
+        return EcoEngine(cfg).run(suite_instances[name])
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.verified
+    _results[(name, variant)] = res
+
+
+def bench_cegarmin_report(benchmark):
+    if not _results:
+        pytest.skip("no data (use --benchmark-only)")
+    lines = [
+        "E4: structural patches — plain vs CEGAR_min vs SAT resubstitution",
+        f"{'unit':>8}"
+        + "".join(f" {'c(' + v + ')':>10} {'g(' + v + ')':>10}" for v in VARIANTS),
+    ]
+    improved = 0
+    for name in UNITS:
+        row = [f"{name:>8}"]
+        plain = _results.get((name, "plain"))
+        for v in VARIANTS:
+            res = _results.get((name, v))
+            if res is None:
+                row.append(f" {'-':>10} {'-':>10}")
+                continue
+            row.append(f" {res.cost:>10} {res.gate_count:>10}")
+        cm = _results.get((name, "cegarmin"))
+        if plain and cm:
+            assert cm.cost <= plain.cost, (name, plain.cost, cm.cost)
+            if cm.cost < plain.cost or cm.gate_count < plain.gate_count:
+                improved += 1
+        rs = _results.get((name, "resub"))
+        if plain and rs:
+            assert rs.cost <= plain.cost, (name, plain.cost, rs.cost)
+        lines.append("".join(row))
+    lines.append(f"units improved by CEGAR_min: {improved}/{len(UNITS)}")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_result("e4_cegarmin.txt", "\n".join(lines))

@@ -1,0 +1,76 @@
+"""E6 — cube enumeration vs general interpolation (Section 3.5).
+
+The paper replaces the interpolation-based patch extraction of [15]
+with SAT-model cube enumeration plus prime expansion, claiming faster
+computation and smaller patches.  This bench runs both routes on the
+same single-target instances and compares patch gate counts and wall
+time.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import EcoEngine, contest_config
+from repro.benchgen import corrupt, generate_weights, make_specification, random_dag
+from repro.io.weights import EcoInstance
+
+from conftest import write_result
+
+SEEDS = (0, 1, 2, 3)
+_results = {}
+
+
+def make_instance(seed):
+    golden = random_dag(14, 100, 6, seed=700 + seed, name=f"ci{seed}")
+    impl, targets, _ = corrupt(golden, 1, seed=300 + seed)
+    return EcoInstance(
+        name=f"ci{seed}",
+        impl=impl,
+        spec=make_specification(golden),
+        targets=targets,
+        weights=generate_weights(impl, "T8", seed=seed),
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("method", ["cubes", "interpolation"])
+def bench_patch_function(benchmark, seed, method):
+    inst = make_instance(seed)
+    cfg = dataclasses.replace(contest_config(), patch_function_method=method)
+
+    def run():
+        return EcoEngine(cfg).run(inst)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.verified
+    _results[(seed, method)] = res
+
+
+def bench_cube_vs_interp_report(benchmark):
+    if not _results:
+        pytest.skip("no data (use --benchmark-only)")
+    lines = [
+        "E6: patch size/time — cube enumeration vs interpolation",
+        f"{'seed':>5} {'gates(cubes)':>13} {'gates(itp)':>11} "
+        f"{'t(cubes)':>9} {'t(itp)':>8}",
+    ]
+    cube_total = itp_total = 0
+    for seed in SEEDS:
+        c = _results.get((seed, "cubes"))
+        i = _results.get((seed, "interpolation"))
+        if c is None or i is None:
+            continue
+        cube_total += c.gate_count
+        itp_total += i.gate_count
+        lines.append(
+            f"{seed:>5} {c.gate_count:>13} {i.gate_count:>11} "
+            f"{c.runtime_seconds:>9.3f} {i.runtime_seconds:>8.3f}"
+        )
+    lines.append(
+        f"total patch gates: cubes={cube_total} interpolation={itp_total}"
+    )
+    # paper shape: enumeration never larger in aggregate
+    assert cube_total <= itp_total
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_result("e6_cube_vs_interp.txt", "\n".join(lines))

@@ -1,0 +1,63 @@
+"""E9 (extension) — target localization quality (paper Section 5).
+
+The paper's future work is an integrated flow that *detects* targets.
+This bench measures the detector on corrupted units: how often the true
+culprit is ranked first / top-5, how often a confirmed-sufficient set is
+found, and the end-to-end localize-then-patch success rate.
+"""
+
+import pytest
+
+from repro import EcoEngine, contest_config
+from repro.benchgen import corrupt, make_specification, random_dag
+from repro.core import localize_targets
+from repro.io.weights import EcoInstance
+
+from conftest import write_result
+
+SEEDS = tuple(range(12))
+_stats = {"total": 0, "top1": 0, "top5": 0, "confirmed": 0, "patched": 0}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def bench_localize_unit(benchmark, seed):
+    golden = random_dag(16, 120, 8, seed=6000 + seed)
+    impl, targets, _ = corrupt(golden, 1, seed=31 + seed)
+    spec = make_specification(golden)
+
+    def run():
+        return localize_targets(impl, spec)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    if not res.ranked:
+        return  # unobservable corruption
+    _stats["total"] += 1
+    names = [n for n, _ in res.ranked]
+    if names and names[0] == targets[0]:
+        _stats["top1"] += 1
+    if targets[0] in names[:5]:
+        _stats["top5"] += 1
+    if res.targets:
+        _stats["confirmed"] += 1
+        inst = EcoInstance(f"loc{seed}", impl, spec, res.targets)
+        out = EcoEngine(contest_config()).run(inst)
+        if out.verified:
+            _stats["patched"] += 1
+
+
+def bench_localize_report(benchmark):
+    if not _stats["total"]:
+        pytest.skip("no data (use --benchmark-only)")
+    t = _stats["total"]
+    lines = [
+        "E9: target localization on corrupted units",
+        f"observable corruptions:        {t}",
+        f"true culprit ranked #1:        {_stats['top1']}/{t}",
+        f"true culprit in top 5:         {_stats['top5']}/{t}",
+        f"sufficient set confirmed:      {_stats['confirmed']}/{t}",
+        f"localize->patch verified:      {_stats['patched']}/{t}",
+    ]
+    assert _stats["confirmed"] >= t * 0.7
+    assert _stats["patched"] == _stats["confirmed"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_result("e9_localize.txt", "\n".join(lines))

@@ -1,0 +1,58 @@
+"""E3 — SAT_prune optimality on single-target units (Section 3.4.2).
+
+The paper's claim: for a single target, SAT_prune returns the
+cost-minimum support (unit13: 3467 → 2656), while on multi-target units
+its greedy per-target application can be trapped (unit9/unit17 worse
+than minimize_assumptions).  This bench compares the two support methods
+on single- and multi-target units and checks the single-target ordering.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.benchgen import SUITE, run_unit, unit_spec
+
+from conftest import write_result
+
+SINGLE = ("unit2", "unit4", "unit13")
+MULTI = ("unit9", "unit17")
+_results = {}
+
+
+@pytest.mark.parametrize("name", SINGLE + MULTI)
+def bench_satprune_vs_minassump(benchmark, suite_instances, name):
+    spec = unit_spec(name)
+
+    def run():
+        return run_unit(
+            spec,
+            methods=["minassump", "satprune_cegarmin"],
+            instance=suite_instances[name],
+        )
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _results[name] = row
+
+
+def bench_satprune_report(benchmark):
+    if not _results:
+        pytest.skip("no data (use --benchmark-only)")
+    lines = [
+        "E3: SAT_prune (exact) vs minimize_assumptions (minimal) support cost",
+        f"{'unit':>8} {'#targets':>9} {'minassump':>10} {'satprune':>10} {'note':>26}",
+    ]
+    for name, row in _results.items():
+        ma = row.cost("minassump")
+        sp = row.cost("satprune_cegarmin")
+        note = ""
+        if row.n_targets == 1:
+            note = "single target: sp <= ma"
+            assert sp <= ma, (name, ma, sp)
+        else:
+            note = "multi target: may regress"
+        lines.append(
+            f"{name:>8} {row.n_targets:>9} {ma:>10} {sp:>10} {note:>26}"
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_result("e3_satprune.txt", "\n".join(lines))

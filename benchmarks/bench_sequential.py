@@ -1,0 +1,80 @@
+"""E10 (extension) — sequential ECO via the transition view ([10]).
+
+Measures the sequential extension end-to-end: counters of growing width
+with corrupted carry chains are repaired through the combinational
+reduction, then verified both by transition-relation CEC (unbounded)
+and by BMC over the unrolled frames.  The unrolling cost itself is also
+benchmarked (frames × core size).
+"""
+
+import pytest
+
+from repro.network import GateType, Network
+from repro.seq import Latch, SeqNetwork, run_sequential_eco, seq_cec, unroll
+
+from conftest import write_result
+
+WIDTHS = (3, 4, 6)
+_results = {}
+
+
+def counter(width, bug_bit=None):
+    core = Network(f"cnt{width}")
+    en = core.add_pi("en")
+    q = [core.add_pi(f"q{i}") for i in range(width)]
+    carry = en
+    nxt = []
+    for i in range(width):
+        nxt.append(core.add_gate(GateType.XOR, [q[i], carry], f"n{i}"))
+        gtype = GateType.OR if bug_bit == i else GateType.AND
+        carry = core.add_gate(gtype, [q[i], carry], f"c{i}")
+    for i in range(width):
+        core.add_po(q[i], f"count{i}")
+    latches = [Latch(f"q{i}", q[i], nxt[i], init=0) for i in range(width)]
+    return SeqNetwork(core, latches)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def bench_sequential_eco(benchmark, width):
+    impl = counter(width, bug_bit=width // 2)
+    spec = counter(width)
+
+    def run():
+        return run_sequential_eco(
+            impl,
+            spec,
+            targets=[f"c{width // 2}"],
+            bmc_frames=min(2 ** width, 12),
+        )
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.transition_verified and res.bmc_verified
+    _results[width] = res
+
+
+@pytest.mark.parametrize("frames", (4, 16, 64))
+def bench_unrolling(benchmark, frames):
+    seq = counter(4)
+
+    def run():
+        return unroll(seq, frames)
+
+    net = benchmark(run)
+    assert net.num_pos == 4 * frames
+
+
+def bench_sequential_report(benchmark):
+    if not _results:
+        pytest.skip("no data (use --benchmark-only)")
+    lines = [
+        "E10: sequential ECO (fixed register correspondence)",
+        f"{'width':>6} {'cost':>6} {'gates':>6} {'bmc frames':>11} {'runtime(s)':>11}",
+    ]
+    for width in WIDTHS:
+        r = _results[width]
+        lines.append(
+            f"{width:>6} {r.cost:>6} {r.gate_count:>6} "
+            f"{r.bmc_frames:>11} {r.runtime_seconds:>11.3f}"
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_result("e10_sequential.txt", "\n".join(lines))

@@ -1,0 +1,116 @@
+"""E7 — SAT substrate performance and the fraig ablation.
+
+Not a paper table, but the substrate the whole reproduction stands on:
+raw CDCL throughput on random 3-SAT and pigeonhole instances, CEC of
+restructured netlists, and the effect of SAT sweeping (fraig) on the
+expansion-based feasibility instance — the ablation that justifies the
+[12]-style sweeping in Section 3.2's check.
+"""
+
+import random
+
+import pytest
+
+from repro.benchgen import random_dag
+from repro.core import build_miter, build_quantified_miter
+from repro.network import strash_network
+from repro.network.fraig import fraig_network
+from repro.sat import Solver, encode_network, mklit
+
+from conftest import write_result
+
+
+def bench_random_3sat_sat(benchmark):
+    """Satisfiable random 3-SAT at clause ratio 4.0 (n = 120)."""
+    rng = random.Random(11)
+    n, m = 120, 480
+    clauses = [
+        [mklit(v, rng.random() < 0.5) for v in rng.sample(range(n), 3)]
+        for _ in range(m)
+    ]
+
+    def run():
+        s = Solver()
+        s.new_vars(n)
+        for c in clauses:
+            s.add_clause(c)
+        return s.solve()
+
+    assert benchmark(run) is True
+
+
+def bench_random_3sat_unsat(benchmark):
+    """Unsatisfiable random 3-SAT at clause ratio 6.0 (n = 80)."""
+    rng = random.Random(13)
+    n, m = 80, 480
+    clauses = [
+        [mklit(v, rng.random() < 0.5) for v in rng.sample(range(n), 3)]
+        for _ in range(m)
+    ]
+
+    def run():
+        s = Solver()
+        s.new_vars(n)
+        for c in clauses:
+            s.add_clause(c)
+        return s.solve()
+
+    assert benchmark(run) is False
+
+
+def bench_pigeonhole(benchmark):
+    """PHP(7, 6): a classic resolution-hard UNSAT family."""
+
+    def run():
+        s = Solver()
+        v = [[s.new_var() for _ in range(6)] for _ in range(7)]
+        for p in range(7):
+            s.add_clause([mklit(v[p][h]) for h in range(6)])
+        for h in range(6):
+            for p1 in range(7):
+                for p2 in range(p1 + 1, 7):
+                    s.add_clause([mklit(v[p1][h], True), mklit(v[p2][h], True)])
+        return s.solve()
+
+    assert benchmark(run) is False
+
+
+def bench_cec_restructured(benchmark):
+    """Equivalence proof of a netlist against its strashed rebuild."""
+    net = random_dag(24, 220, 12, seed=21)
+    rebuilt = strash_network(net)
+    miter = build_miter(net, rebuilt, targets=[])
+    po = dict(miter.net.pos)["miter"]
+
+    def run():
+        s = Solver()
+        varmap = encode_network(s, miter.net)
+        return s.solve([mklit(varmap[po])])
+
+    assert benchmark(run) is False
+
+
+@pytest.mark.parametrize("sweep", [False, True], ids=["plain", "fraig"])
+def bench_feasibility_instance(benchmark, sweep):
+    """The Section 3.2 expansion check, with/without SAT sweeping."""
+    from repro.benchgen import corrupt, make_specification
+
+    golden = random_dag(20, 150, 10, seed=31)
+    impl, targets, _ = corrupt(golden, 3, seed=77)
+    spec = make_specification(golden)
+    ids = [impl.node_by_name(t) for t in targets]
+    miter = build_miter(impl, spec, ids)
+    qm = build_quantified_miter(miter, None)
+    net = fraig_network(qm.net) if sweep else qm.net
+    po = dict(net.pos)["qmiter"]
+
+    def run():
+        s = Solver()
+        varmap = encode_network(s, net)
+        return s.solve([mklit(varmap[po])])
+
+    assert benchmark(run) is False
+    write_result(
+        f"e7_feasibility_{'fraig' if sweep else 'plain'}.txt",
+        f"gates={'%d' % net.num_gates} (sweep={sweep})",
+    )

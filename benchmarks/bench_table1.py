@@ -1,0 +1,63 @@
+"""E1 — Regenerate Table 1.
+
+For every suite unit, runs the three method columns of the paper's
+Table 1 (baseline without ``minimize_assumptions``, the contest-winning
+``minimize_assumptions`` configuration, and ``SAT_prune + CEGAR_min``)
+and prints per-unit cost / patch gates / runtime plus the geomean ratio
+row.  Wall-clock per method is measured by pytest-benchmark; the
+assembled table lands in ``benchmarks/results/table1.txt``.
+"""
+
+import pytest
+
+from repro.benchgen import METHODS, SUITE, UnitRow, format_table, run_unit
+
+from conftest import write_result
+
+_rows = {}
+
+
+@pytest.mark.parametrize("method", METHODS)
+def bench_table1_method(benchmark, suite_instances, method):
+    """One Table 1 method column over the full 20-unit suite."""
+
+    def run_column():
+        rows = []
+        for spec in SUITE:
+            rows.append(
+                run_unit(spec, methods=[method], instance=suite_instances[spec.name])
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_column, rounds=1, iterations=1)
+    for row in rows:
+        merged = _rows.setdefault(
+            row.name,
+            UnitRow(
+                name=row.name,
+                n_pi=row.n_pi,
+                n_po=row.n_po,
+                gates_impl=row.gates_impl,
+                gates_spec=row.gates_spec,
+                n_targets=row.n_targets,
+            ),
+        )
+        merged.results.update(row.results)
+    for row in rows:
+        assert row.results[method].verified
+
+
+def bench_table1_report(benchmark, suite_instances):
+    """Assemble and persist the full Table 1 (after the method columns)."""
+    complete = [
+        _rows[spec.name]
+        for spec in SUITE
+        if spec.name in _rows and len(_rows[spec.name].results) == len(METHODS)
+    ]
+    if not complete:
+        pytest.skip("method columns did not run (use --benchmark-only)")
+    table = benchmark.pedantic(
+        lambda: format_table(complete), rounds=1, iterations=1
+    )
+    write_result("table1.txt", "Table 1 reproduction\n" + table)
+    assert len(complete) == len(SUITE)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Suite instances are built once per session and shared across benchmark
+modules; every bench writes its human-readable result table to
+``benchmarks/results/``.
+"""
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.benchgen import SUITE, build_unit
+from repro.io.weights import EcoInstance
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a bench's table under benchmarks/results/ and print it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text if text.endswith("\n") else text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def suite_instances() -> Dict[str, EcoInstance]:
+    """All 20 suite units, built once."""
+    return {spec.name: build_unit(spec) for spec in SUITE}

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The integrated flow of the paper's Section 5: detect, then patch.
+
+Given only an implementation and a changed specification — no target
+annotations — the localizer ranks single-fix candidates by bit-parallel
+sensitization, confirms a provably sufficient target set with the exact
+Section 3.2 check, and hands it to the patch engine.  Demonstrated on
+the real ISCAS-85 c17 netlist and on a larger generated circuit.
+
+Run:  python examples/localize_and_patch.py
+"""
+
+from repro import EcoEngine, EcoInstance, contest_config
+from repro.benchgen import corrupt, generate_weights, make_specification, random_dag
+from repro.benchgen.circuits import c17
+from repro.core import localize_targets
+
+
+def demo(golden, label, corrupt_seed):
+    impl, true_targets, records = corrupt(golden, 1, seed=corrupt_seed)
+    spec = make_specification(golden)
+    print(f"\n=== {label}: secretly corrupted {true_targets[0]!r} "
+          f"({records[0].kind})")
+
+    res = localize_targets(impl, spec)
+    if not res.ranked:
+        print("corruption is unobservable — netlists equivalent")
+        return
+    print("suspect ranking:")
+    for name, score in res.ranked[:5]:
+        marker = "  <-- true culprit" if name == true_targets[0] else ""
+        print(f"  {name:10s} {score:.2f}{marker}")
+    if not res.targets:
+        print("no sufficient target set confirmed")
+        return
+    print(f"confirmed target set: {res.targets} "
+          f"({res.checks} exact checks)")
+
+    instance = EcoInstance(
+        name=label,
+        impl=impl,
+        spec=spec,
+        targets=res.targets,
+        weights=generate_weights(impl, "T4", seed=1),
+    )
+    result = EcoEngine(contest_config()).run(instance)
+    print(f"patched: cost={result.cost} gates={result.gate_count} "
+          f"verified={result.verified}")
+
+
+def main() -> None:
+    demo(c17(), "ISCAS-85 c17", corrupt_seed=17)
+    demo(
+        random_dag(18, 140, 8, seed=99, name="ctrl"),
+        "generated control logic",
+        corrupt_seed=5,
+    )
+
+
+if __name__ == "__main__":
+    main()

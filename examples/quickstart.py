@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: fix a one-gate bug with a SAT-computed ECO patch.
+
+A golden design computes  f = (a & b) | c  and  g = a ^ c.  The shipped
+implementation has a bug: the AND was synthesized as an OR.  Instead of
+re-synthesizing, we declare the buggy node a *target* and let the engine
+compute a minimal-cost patch function.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EcoEngine, EcoInstance, contest_config
+from repro.core import apply_patches, cec
+from repro.io import write_verilog
+from repro.network import GateType, Network
+
+
+def build_golden() -> Network:
+    net = Network("design")
+    a, b, c = (net.add_pi(x) for x in "abc")
+    ab = net.add_gate(GateType.AND, [a, b], "u_and")
+    f = net.add_gate(GateType.OR, [ab, c], "f")
+    g = net.add_gate(GateType.XOR, [a, c], "g")
+    net.add_po(f, "out_f")
+    net.add_po(g, "out_g")
+    return net
+
+
+def main() -> None:
+    # the specification is the intended design
+    spec = build_golden()
+
+    # the implementation shipped with u_and synthesized as OR (the bug)
+    impl = build_golden()
+    impl.set_fanins(
+        impl.node_by_name("u_and"),
+        GateType.OR,
+        [impl.node_by_name("a"), impl.node_by_name("b")],
+    )
+
+    # resource costs: using signal 'c' as a patch input is cheap,
+    # 'a'/'b' are moderately expensive
+    instance = EcoInstance(
+        name="quickstart",
+        impl=impl,
+        spec=spec,
+        targets=["u_and"],
+        weights={"a": 3, "b": 5, "c": 1, "u_and": 2, "f": 10, "g": 10},
+    )
+
+    engine = EcoEngine(contest_config())
+    result = engine.run(instance)
+
+    print(f"verified: {result.verified}")
+    print(f"patch cost: {result.cost}")
+    print(f"patch gates: {result.gate_count}")
+    for patch in result.patches:
+        print(f"target {patch.target!r}: support={patch.support} "
+              f"({patch.method})")
+        print(write_verilog(patch.network))
+
+    # splice the patches into a fresh copy and double-check equivalence
+    patched = apply_patches(instance.impl, result.patches)
+    assert cec(patched, spec).equivalent
+    print("patched netlist is equivalent to the specification")
+
+
+if __name__ == "__main__":
+    main()

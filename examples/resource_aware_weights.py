@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Resource-aware patching: the same bug under different weight regimes.
+
+The 2017 contest scores a patch by the summed weight of its input
+signals.  This example fixes one corrupted node of an adder under two
+opposite cost regimes — T1 (signals near the PIs are expensive) and T2
+(signals far from the PIs are expensive) — and shows how the selected
+support migrates toward the cheap region, plus what the exact SAT_prune
+method saves over the minimal (but not minimum) Algorithm 1 support.
+
+Run:  python examples/resource_aware_weights.py
+"""
+
+from repro import EcoEngine, EcoInstance, best_config, contest_config
+from repro.benchgen import generate_weights, ripple_adder
+from repro.benchgen.mutations import corrupt, make_specification
+from repro.network.traversal import levels
+
+
+def describe_support(instance, result):
+    lev = levels(instance.impl)
+    parts = []
+    for name in result.support:
+        nid = instance.impl.node_by_name(name)
+        w = instance.weights.get(name, instance.default_weight)
+        parts.append(f"{name}(level={lev[nid]}, w={w})")
+    return ", ".join(parts) or "<constant patch>"
+
+
+def main() -> None:
+    golden = ripple_adder(6)
+    impl, targets, _ = corrupt(golden, 1, seed=3)
+    spec = make_specification(golden)
+
+    for wtype, blurb in (
+        ("T1", "expensive near PIs  -> support drifts to deep signals"),
+        ("T2", "expensive far from PIs -> support drifts to shallow signals"),
+    ):
+        weights = generate_weights(impl, wtype, seed=5)
+        instance = EcoInstance(
+            name=f"adder_{wtype}",
+            impl=impl.clone(),
+            spec=spec,
+            targets=targets,
+            weights=weights,
+        )
+        res_min = EcoEngine(contest_config()).run(instance)
+        res_opt = EcoEngine(best_config()).run(instance)
+        print(f"\n--- weight distribution {wtype}: {blurb}")
+        print(f"minimize_assumptions: cost={res_min.cost} "
+              f"support=[{describe_support(instance, res_min)}]")
+        print(f"SAT_prune (exact):    cost={res_opt.cost} "
+              f"support=[{describe_support(instance, res_opt)}]")
+        assert res_opt.cost <= res_min.cost  # exactness guarantee (§3.4.2)
+
+
+if __name__ == "__main__":
+    main()

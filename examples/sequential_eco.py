@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Sequential ECO: fixing a counter's carry chain without re-synthesis.
+
+The paper's combinational engine extends to sequential circuits ([10]);
+with registers matched one-to-one, the sequential problem reduces to a
+combinational ECO on the transition view (latch outputs as pseudo-PIs,
+next-state functions as pseudo-POs).  This example builds a 4-bit
+counter whose carry chain was corrupted, patches it, and checks both
+the transition equivalence (unbounded) and an 8-frame BMC from reset.
+
+Run:  python examples/sequential_eco.py
+"""
+
+from repro.network import GateType, Network
+from repro.seq import Latch, SeqNetwork, run_sequential_eco, write_seq_bench
+
+
+def counter4(bug: bool = False) -> SeqNetwork:
+    """4-bit enabled counter; with ``bug`` the carry into bit 2 is OR."""
+    core = Network("counter4")
+    en = core.add_pi("en")
+    q = [core.add_pi(f"q{i}") for i in range(4)]
+    carry = en
+    nxt = []
+    for i in range(4):
+        nxt.append(core.add_gate(GateType.XOR, [q[i], carry], f"n{i}"))
+        gtype = GateType.OR if (bug and i == 1) else GateType.AND
+        carry = core.add_gate(gtype, [q[i], carry], f"c{i}")
+    for i in range(4):
+        core.add_po(q[i], f"count{i}")
+    latches = [Latch(f"q{i}", q[i], nxt[i], init=0) for i in range(4)]
+    return SeqNetwork(core, latches)
+
+
+def show_count(seq: SeqNetwork, cycles: int) -> str:
+    en = seq.core.node_by_name("en")
+    trace = seq.simulate([{en: 1}] * cycles)
+    return " ".join(
+        str(sum(o[f"count{i}"] << i for i in range(4))) for o in trace
+    )
+
+
+def main() -> None:
+    impl = counter4(bug=True)
+    spec = counter4(bug=False)
+    print("buggy counter counts: ", show_count(impl, 10))
+    print("intended sequence:    ", show_count(spec, 10))
+
+    result = run_sequential_eco(
+        impl,
+        spec,
+        targets=["c1"],
+        weights={f"q{i}": 2 for i in range(4)} | {"en": 5, "c0": 1, "c1": 1},
+        bmc_frames=8,
+    )
+    print(f"\npatch cost={result.cost} gates={result.gate_count}")
+    print(f"transition equivalence proven: {result.transition_verified}")
+    print(f"BMC ({result.bmc_frames} frames) passed: {result.bmc_verified}")
+    print("patched counter counts:", show_count(result.patched, 10))
+    print("\npatched netlist (.bench):")
+    print(write_seq_bench(result.patched.clone()))
+
+
+if __name__ == "__main__":
+    main()

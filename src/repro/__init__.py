@@ -1,0 +1,58 @@
+"""repro — reproduction of "Efficient Computation of ECO Patch Functions".
+
+A from-scratch Python implementation of the DAC 2018 SAT-based ECO
+patch-generation engine (Dao, Lee, Chen, Lin, Jiang, Mishchenko,
+Brayton), including every substrate it relies on: a gate-level Boolean
+network, a CDCL SAT solver with assumption cores and proof logging,
+Tseitin encoding, interpolation, 2QBF CEGAR, SOP factoring/synthesis,
+and max-flow min-cut.
+
+Quick start::
+
+    from repro import EcoEngine, contest_config
+    from repro.benchgen import build_suite
+
+    instance = build_suite()[0]
+    result = EcoEngine(contest_config()).run(instance)
+    print(result.cost, result.gate_count, result.verified)
+"""
+
+from .core import (
+    EcoConfig,
+    EcoEngine,
+    EcoEngineError,
+    EcoInfeasibleError,
+    EcoResult,
+    Patch,
+    apply_patch,
+    apply_patches,
+    baseline_config,
+    best_config,
+    cec,
+    contest_config,
+)
+from .io import EcoInstance, read_verilog, write_verilog
+from .network import GateType, Network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EcoConfig",
+    "EcoEngine",
+    "EcoEngineError",
+    "EcoInfeasibleError",
+    "EcoInstance",
+    "EcoResult",
+    "GateType",
+    "Network",
+    "Patch",
+    "apply_patch",
+    "apply_patches",
+    "baseline_config",
+    "best_config",
+    "cec",
+    "contest_config",
+    "read_verilog",
+    "write_verilog",
+    "__version__",
+]

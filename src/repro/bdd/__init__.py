@@ -1,0 +1,21 @@
+"""ROBDD substrate and the symbolic ECO oracle."""
+
+from .bdd import ONE, ZERO, Bdd, BddError, build_from_network
+from .eco_oracle import (
+    PatchInterval,
+    image_over_divisors,
+    patch_in_interval,
+    single_target_interval,
+)
+
+__all__ = [
+    "Bdd",
+    "BddError",
+    "ONE",
+    "PatchInterval",
+    "ZERO",
+    "build_from_network",
+    "image_over_divisors",
+    "patch_in_interval",
+    "single_target_interval",
+]

@@ -1,0 +1,324 @@
+"""Reduced Ordered Binary Decision Diagrams.
+
+A classic shared-ROBDD manager with unique and computed tables:
+``apply`` for the Boolean connectives, cofactoring, existential and
+universal quantification, satisfiability counts, and circuit import.
+
+The SAT-based flow of the paper superseded BDD-based ECO engines (cf.
+[11], [13]); this manager serves the reproduction as (a) an independent
+*oracle* in the test suite — equivalence, quantification, and care-set
+computations cross-checked against the SAT results — and (b) the
+symbolic route for small patch functions (interval [onset, ¬offset] →
+cover via :mod:`repro.sop.isop`).
+
+Nodes are integers; complement edges are not used (keeps the code
+close to the textbook algorithms).  Terminal nodes are 0 and 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..network.network import Network
+from ..network.node import GateType
+
+ZERO = 0
+ONE = 1
+
+
+class BddError(Exception):
+    """Raised on manager misuse (foreign nodes, bad variables)."""
+
+
+class Bdd:
+    """A shared ROBDD manager over variables ``0..num_vars-1``.
+
+    The variable order is the index order.  All operations return node
+    handles valid for this manager only.
+    """
+
+    def __init__(self, num_vars: int) -> None:
+        if num_vars < 0:
+            raise BddError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        # node storage: parallel lists, ids 0/1 reserved for terminals
+        self._var: List[int] = [num_vars, num_vars]  # terminals sort last
+        self._low: List[int] = [0, 1]
+        self._high: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        hit = self._unique.get(key)
+        if hit is not None:
+            return hit
+        nid = len(self._var)
+        self._var.append(var)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = nid
+        return nid
+
+    def var(self, index: int) -> int:
+        """The BDD of variable ``index``."""
+        if not 0 <= index < self.num_vars:
+            raise BddError(f"variable {index} out of range")
+        return self._mk(index, ZERO, ONE)
+
+    def nvar(self, index: int) -> int:
+        """The BDD of ``¬x_index``."""
+        return self._mk(index, ONE, ZERO)
+
+    # ------------------------------------------------------------------
+    # the core operator
+    # ------------------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f·g + ¬f·h`` (the universal connective)."""
+        if f == ONE:
+            return g
+        if f == ZERO:
+            return h
+        if g == h:
+            return g
+        if g == ONE and h == ZERO:
+            return f
+        key = (f, g, h)
+        hit = self._ite_cache.get(key)
+        if hit is not None:
+            return hit
+        top = min(self._var[f], self._var[g], self._var[h])
+        f0, f1 = self._cofactor_node(f, top)
+        g0, g1 = self._cofactor_node(g, top)
+        h0, h1 = self._cofactor_node(h, top)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactor_node(self, f: int, var: int) -> Tuple[int, int]:
+        if self._var[f] != var:
+            return f, f
+        return self._low[f], self._high[f]
+
+    # -- connectives -----------------------------------------------------
+
+    def not_(self, f: int) -> int:
+        return self.ite(f, ZERO, ONE)
+
+    def and_(self, f: int, g: int) -> int:
+        return self.ite(f, g, ZERO)
+
+    def or_(self, f: int, g: int) -> int:
+        return self.ite(f, ONE, g)
+
+    def xor_(self, f: int, g: int) -> int:
+        return self.ite(f, self.not_(g), g)
+
+    def xnor_(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.not_(g))
+
+    def implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, ONE)
+
+    def and_many(self, fs: Iterable[int]) -> int:
+        acc = ONE
+        for f in fs:
+            acc = self.and_(acc, f)
+        return acc
+
+    def or_many(self, fs: Iterable[int]) -> int:
+        acc = ZERO
+        for f in fs:
+            acc = self.or_(acc, f)
+        return acc
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+
+    def cofactor(self, f: int, var: int, value: int) -> int:
+        """Shannon cofactor of ``f`` w.r.t. one variable."""
+        return self._restrict(f, var, value)
+
+    def _restrict(self, f: int, var: int, value: int) -> int:
+        if f in (ZERO, ONE) or self._var[f] > var:
+            return f
+        if self._var[f] == var:
+            return self._high[f] if value else self._low[f]
+        low = self._restrict(self._low[f], var, value)
+        high = self._restrict(self._high[f], var, value)
+        return self._mk(self._var[f], low, high)
+
+    def exists(self, f: int, variables: Sequence[int]) -> int:
+        """Existential quantification over ``variables``."""
+        out = f
+        for var in sorted(variables, reverse=True):
+            out = self.or_(
+                self._restrict(out, var, 0), self._restrict(out, var, 1)
+            )
+        return out
+
+    def forall(self, f: int, variables: Sequence[int]) -> int:
+        """Universal quantification over ``variables``."""
+        out = f
+        for var in sorted(variables, reverse=True):
+            out = self.and_(
+                self._restrict(out, var, 0), self._restrict(out, var, 1)
+            )
+        return out
+
+    def evaluate(self, f: int, assignment: Sequence[int]) -> int:
+        """Evaluate under a full 0/1 assignment (indexed by variable)."""
+        node = f
+        while node not in (ZERO, ONE):
+            node = (
+                self._high[node]
+                if assignment[self._var[node]]
+                else self._low[node]
+            )
+        return node
+
+    def sat_count(self, f: int) -> int:
+        """Number of satisfying assignments over all ``num_vars`` vars.
+
+        Standard level-aware recursion: ``c(node)`` counts assignments
+        of the variables at or below the node's level; skipped levels
+        contribute factors of two.
+        """
+        memo: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            """Count over variables strictly below node's level."""
+            if node == ZERO:
+                return 0
+            if node == ONE:
+                return 1
+            if node in memo:
+                return memo[node]
+            var = self._var[node]
+            lo, hi = self._low[node], self._high[node]
+            lo_count = walk(lo) << (self._level_gap(var, lo))
+            hi_count = walk(hi) << (self._level_gap(var, hi))
+            memo[node] = lo_count + hi_count
+            return memo[node]
+
+        total = walk(f)
+        if f in (ZERO, ONE):
+            return 0 if f == ZERO else (1 << self.num_vars)
+        return total << self._var[f]
+
+    def _level_gap(self, var: int, child: int) -> int:
+        child_var = self._var[child]
+        return child_var - var - 1
+
+    def one_sat(self, f: int) -> Optional[Dict[int, int]]:
+        """A satisfying partial assignment (var → 0/1), or None."""
+        if f == ZERO:
+            return None
+        out: Dict[int, int] = {}
+        node = f
+        while node != ONE:
+            if self._low[node] != ZERO:
+                out[self._var[node]] = 0
+                node = self._low[node]
+            else:
+                out[self._var[node]] = 1
+                node = self._high[node]
+        return out
+
+    def size(self, f: int) -> int:
+        """Node count of the (shared) DAG rooted at ``f``."""
+        seen = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in seen or node in (ZERO, ONE):
+                continue
+            seen.add(node)
+            stack.extend((self._low[node], self._high[node]))
+        return len(seen)
+
+    def support_vars(self, f: int) -> List[int]:
+        """Variables ``f`` depends on."""
+        seen = set()
+        out = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in seen or node in (ZERO, ONE):
+                continue
+            seen.add(node)
+            out.add(self._var[node])
+            stack.extend((self._low[node], self._high[node]))
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+
+    def truth_table(self, f: int) -> int:
+        """Exhaustive table (bit m = value on minterm m); small managers."""
+        if self.num_vars > 16:
+            raise BddError("truth_table limited to <= 16 variables")
+        out = 0
+        for m in range(1 << self.num_vars):
+            bits = [(m >> i) & 1 for i in range(self.num_vars)]
+            if self.evaluate(f, bits):
+                out |= 1 << m
+        return out
+
+
+def build_from_network(
+    bdd: Bdd, net: Network, pi_vars: Dict[int, int]
+) -> Dict[int, int]:
+    """Import a network's nodes as BDDs; returns node-id → bdd handle.
+
+    ``pi_vars`` maps each network PI to a manager variable index.
+    """
+    handles: Dict[int, int] = {}
+    for node in net.topo_order():
+        if node.is_pi:
+            handles[node.nid] = bdd.var(pi_vars[node.nid])
+            continue
+        if node.gtype is GateType.CONST0:
+            handles[node.nid] = ZERO
+            continue
+        if node.gtype is GateType.CONST1:
+            handles[node.nid] = ONE
+            continue
+        ins = [handles[f] for f in node.fanins]
+        handles[node.nid] = _apply_gate(bdd, node.gtype, ins)
+    return handles
+
+
+def _apply_gate(bdd: Bdd, gtype: GateType, ins: List[int]) -> int:
+    if gtype is GateType.BUF:
+        return ins[0]
+    if gtype is GateType.NOT:
+        return bdd.not_(ins[0])
+    if gtype is GateType.MUX:
+        s, d0, d1 = ins
+        return bdd.ite(s, d1, d0)
+    if gtype is GateType.AND:
+        return bdd.and_many(ins)
+    if gtype is GateType.NAND:
+        return bdd.not_(bdd.and_many(ins))
+    if gtype is GateType.OR:
+        return bdd.or_many(ins)
+    if gtype is GateType.NOR:
+        return bdd.not_(bdd.or_many(ins))
+    if gtype in (GateType.XOR, GateType.XNOR):
+        acc = ins[0]
+        for g in ins[1:]:
+            acc = bdd.xor_(acc, g)
+        return acc if gtype is GateType.XOR else bdd.not_(acc)
+    raise BddError(f"cannot import gate type {gtype}")

@@ -1,0 +1,57 @@
+"""Synthetic ICCAD'17-style benchmark generation."""
+
+from .circuits import C17_BENCH, c17, c17_eco_instance
+from .generators import (
+    GENERATORS,
+    alu_slice,
+    comparator,
+    decoder,
+    parity_cone,
+    random_dag,
+    ripple_adder,
+    small_multiplier,
+)
+from .harness import (
+    METHODS,
+    UnitRow,
+    config_for,
+    format_table,
+    geomean,
+    geomean_ratios,
+    run_suite,
+    run_unit,
+)
+from .mutations import MutationRecord, corrupt, make_specification
+from .suite import SUITE, SuiteUnit, build_suite, build_unit, unit_spec
+from .weightgen import generate_weights
+
+__all__ = [
+    "C17_BENCH",
+    "GENERATORS",
+    "c17",
+    "c17_eco_instance",
+    "METHODS",
+    "MutationRecord",
+    "SUITE",
+    "SuiteUnit",
+    "UnitRow",
+    "config_for",
+    "format_table",
+    "geomean",
+    "geomean_ratios",
+    "run_suite",
+    "run_unit",
+    "alu_slice",
+    "build_suite",
+    "build_unit",
+    "comparator",
+    "corrupt",
+    "decoder",
+    "generate_weights",
+    "make_specification",
+    "parity_cone",
+    "random_dag",
+    "ripple_adder",
+    "small_multiplier",
+    "unit_spec",
+]

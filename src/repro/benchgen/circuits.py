@@ -1,0 +1,55 @@
+"""Real reference circuits shipped inline.
+
+The contest units derived from ISCAS/ITC suites; most are too large to
+embed, but the public-domain ISCAS-85 ``c17`` (the canonical six-NAND
+example) is included verbatim for tests, examples, and as a sanity
+anchor that the flow handles a *real* netlist, not only generated ones.
+"""
+
+from __future__ import annotations
+
+from ..io.bench import parse_bench
+from ..io.weights import EcoInstance
+from ..network.network import Network
+from .mutations import corrupt, make_specification
+from .weightgen import generate_weights
+
+#: ISCAS-85 c17 in .bench format (Brglez/Fujiwara 1985; public domain).
+C17_BENCH = """
+# c17 — ISCAS-85
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+def c17() -> Network:
+    """The ISCAS-85 c17 netlist."""
+    net = parse_bench(C17_BENCH)
+    net.name = "c17"
+    return net
+
+
+def c17_eco_instance(
+    num_targets: int = 1, seed: int = 17, weight_type: str = "T1"
+) -> EcoInstance:
+    """A ready-made ECO instance over c17 (corrupted impl vs golden)."""
+    golden = c17()
+    impl, targets, _ = corrupt(golden, num_targets, seed=seed)
+    return EcoInstance(
+        name="c17_eco",
+        impl=impl,
+        spec=make_specification(golden),
+        targets=targets,
+        weights=generate_weights(impl, weight_type, seed=seed),
+    )

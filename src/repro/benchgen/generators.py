@@ -1,0 +1,216 @@
+"""Deterministic circuit generators for the synthetic benchmark suite.
+
+The ICCAD'17 contest units came from ISCAS/ITC/IWLS/OpenCore circuits;
+those files are not redistributable here, so the suite is rebuilt from
+parameterized generators of the same flavors: random control logic,
+arithmetic (adders, comparators, ALU slices, small multipliers), and
+wide AND-OR/parity cones.  All generators are seeded and reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..network.network import Network
+from ..network.node import GateType
+
+_BIN_TYPES = [
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+]
+
+
+def random_dag(
+    n_pi: int, n_gates: int, n_po: int, seed: int = 0, name: str = "rand"
+) -> Network:
+    """Random control-style logic with locality-biased fanin selection."""
+    rng = random.Random(seed)
+    net = Network(name)
+    nodes = [net.add_pi(f"i{k}") for k in range(n_pi)]
+    # control-logic gate mix: mostly AND/OR family, sparse XOR (XOR-rich
+    # random cones are unrepresentative of the contest units and
+    # needlessly adversarial for CNF reasoning)
+    palette = (
+        [GateType.AND] * 3
+        + [GateType.OR] * 3
+        + [GateType.NAND] * 2
+        + [GateType.NOR] * 2
+        + [GateType.XOR, GateType.XNOR]
+        + [GateType.NOT] * 2
+    )
+    for g in range(n_gates):
+        gtype = rng.choice(palette)
+        if gtype is GateType.NOT:
+            ins = [_pick(rng, nodes)]
+        elif gtype in (GateType.XOR, GateType.XNOR):
+            ins = [_pick(rng, nodes) for _ in range(2)]
+        else:
+            ins = [_pick(rng, nodes) for _ in range(rng.choice([2, 2, 2, 3]))]
+        nodes.append(net.add_gate(gtype, ins, f"g{g}"))
+    # drive POs from late nodes so the cones are deep
+    tail = nodes[max(0, len(nodes) - max(2 * n_po, 8)):]
+    for p in range(n_po):
+        net.add_po(tail[rng.randrange(len(tail))], f"o{p}")
+    return net
+
+
+def _pick(rng: random.Random, nodes: Sequence[int]) -> int:
+    """Pick a fanin, biased toward recent nodes (locality)."""
+    n = len(nodes)
+    if n == 1 or rng.random() < 0.3:
+        return nodes[rng.randrange(n)]
+    lo = max(0, n - 24)
+    return nodes[rng.randrange(lo, n)]
+
+
+def ripple_adder(width: int, name: str = "add") -> Network:
+    """``width``-bit ripple-carry adder: sum bits plus carry out."""
+    net = Network(name)
+    a = [net.add_pi(f"a{i}") for i in range(width)]
+    b = [net.add_pi(f"b{i}") for i in range(width)]
+    carry = net.add_pi("cin")
+    for i in range(width):
+        axb = net.add_gate(GateType.XOR, [a[i], b[i]], f"axb{i}")
+        s = net.add_gate(GateType.XOR, [axb, carry], f"sum{i}")
+        c1 = net.add_gate(GateType.AND, [a[i], b[i]], f"cg{i}")
+        c2 = net.add_gate(GateType.AND, [axb, carry], f"cp{i}")
+        carry = net.add_gate(GateType.OR, [c1, c2], f"c{i}")
+        net.add_po(s, f"s{i}")
+    net.add_po(carry, "cout")
+    return net
+
+
+def comparator(width: int, name: str = "cmp") -> Network:
+    """Unsigned comparator: outputs ``lt``, ``eq``, ``gt``."""
+    net = Network(name)
+    a = [net.add_pi(f"a{i}") for i in range(width)]
+    b = [net.add_pi(f"b{i}") for i in range(width)]
+    eq_sofar = None
+    lt = None
+    for i in range(width - 1, -1, -1):
+        bit_eq = net.add_gate(GateType.XNOR, [a[i], b[i]], f"eq{i}")
+        na = net.add_gate(GateType.NOT, [a[i]], f"na{i}")
+        bit_lt = net.add_gate(GateType.AND, [na, b[i]], f"blt{i}")
+        if eq_sofar is None:
+            eq_sofar = bit_eq
+            lt = bit_lt
+        else:
+            guarded = net.add_gate(GateType.AND, [eq_sofar, bit_lt], f"glt{i}")
+            lt = net.add_gate(GateType.OR, [lt, guarded], f"lt{i}")
+            eq_sofar = net.add_gate(GateType.AND, [eq_sofar, bit_eq], f"eqp{i}")
+    nlt = net.add_gate(GateType.NOT, [lt], "nlt")
+    gt = net.add_gate(GateType.AND, [nlt, net.add_gate(GateType.NOT, [eq_sofar], "neq")], "gtw")
+    net.add_po(lt, "lt")
+    net.add_po(eq_sofar, "eq")
+    net.add_po(gt, "gt")
+    return net
+
+
+def alu_slice(width: int, name: str = "alu") -> Network:
+    """Tiny ALU: two opcode bits select AND / OR / XOR / ADD."""
+    net = Network(name)
+    op0 = net.add_pi("op0")
+    op1 = net.add_pi("op1")
+    a = [net.add_pi(f"a{i}") for i in range(width)]
+    b = [net.add_pi(f"b{i}") for i in range(width)]
+    carry = None
+    for i in range(width):
+        f_and = net.add_gate(GateType.AND, [a[i], b[i]], f"fand{i}")
+        f_or = net.add_gate(GateType.OR, [a[i], b[i]], f"for{i}")
+        f_xor = net.add_gate(GateType.XOR, [a[i], b[i]], f"fxor{i}")
+        if carry is None:
+            f_add = f_xor
+            carry = f_and
+        else:
+            f_add = net.add_gate(GateType.XOR, [f_xor, carry], f"fadd{i}")
+            c1 = net.add_gate(GateType.AND, [f_xor, carry], f"ca{i}")
+            carry = net.add_gate(GateType.OR, [f_and, c1], f"cb{i}")
+        lo = net.add_gate(GateType.MUX, [op0, f_and, f_or], f"lo{i}")
+        hi = net.add_gate(GateType.MUX, [op0, f_xor, f_add], f"hi{i}")
+        out = net.add_gate(GateType.MUX, [op1, lo, hi], f"alu{i}")
+        net.add_po(out, f"y{i}")
+    return net
+
+
+def parity_cone(width: int, taps: int = 3, seed: int = 0, name: str = "par") -> Network:
+    """Parity/ECC-flavored cone: XOR trees over overlapping tap groups."""
+    rng = random.Random(seed)
+    net = Network(name)
+    pis = [net.add_pi(f"d{i}") for i in range(width)]
+    outs = []
+    for o in range(max(2, width // 4)):
+        group = rng.sample(pis, min(len(pis), taps + rng.randrange(3)))
+        acc = group[0]
+        for idx, g in enumerate(group[1:]):
+            acc = net.add_gate(GateType.XOR, [acc, g], f"x{o}_{idx}")
+        outs.append(acc)
+        net.add_po(acc, f"p{o}")
+    # a few AND-OR checker outputs
+    for o in range(2):
+        g1 = net.add_gate(GateType.AND, rng.sample(outs, min(2, len(outs))), f"chk_a{o}")
+        g2 = net.add_gate(GateType.OR, [g1, rng.choice(pis)], f"chk{o}")
+        net.add_po(g2, f"c{o}")
+    return net
+
+
+def small_multiplier(width: int, name: str = "mul") -> Network:
+    """``width`` x ``width`` array multiplier (keep width small)."""
+    net = Network(name)
+    a = [net.add_pi(f"a{i}") for i in range(width)]
+    b = [net.add_pi(f"b{i}") for i in range(width)]
+    # partial products
+    rows: List[List[int]] = []
+    for j in range(width):
+        rows.append(
+            [net.add_gate(GateType.AND, [a[i], b[j]], f"pp{i}_{j}") for i in range(width)]
+        )
+    # ripple accumulation of shifted rows
+    acc: List[int] = list(rows[0])
+    zero = net.add_const(0)
+    for j in range(1, width):
+        addend = rows[j]
+        new_acc: List[int] = acc[:j]
+        carry = zero
+        for i in range(width):
+            x = acc[j + i] if j + i < len(acc) else zero
+            y = addend[i]
+            s1 = net.add_gate(GateType.XOR, [x, y], f"s1_{i}_{j}")
+            s = net.add_gate(GateType.XOR, [s1, carry], f"s_{i}_{j}")
+            c1 = net.add_gate(GateType.AND, [x, y], f"c1_{i}_{j}")
+            c2 = net.add_gate(GateType.AND, [s1, carry], f"c2_{i}_{j}")
+            carry = net.add_gate(GateType.OR, [c1, c2], f"c_{i}_{j}")
+            new_acc.append(s)
+        new_acc.append(carry)
+        acc = new_acc
+    for i, bit in enumerate(acc[: 2 * width]):
+        net.add_po(bit, f"m{i}")
+    return net
+
+
+def decoder(bits: int, name: str = "dec") -> Network:
+    """``bits``-to-2^bits one-hot decoder with an enable."""
+    net = Network(name)
+    sel = [net.add_pi(f"s{i}") for i in range(bits)]
+    en = net.add_pi("en")
+    nsel = [net.add_gate(GateType.NOT, [s], f"ns{i}") for i, s in enumerate(sel)]
+    for m in range(1 << bits):
+        ins = [sel[i] if (m >> i) & 1 else nsel[i] for i in range(bits)]
+        ins.append(en)
+        net.add_po(net.add_gate(GateType.AND, ins, f"d{m}"), f"q{m}")
+    return net
+
+
+GENERATORS: Dict[str, Callable[..., Network]] = {
+    "random_dag": random_dag,
+    "ripple_adder": ripple_adder,
+    "comparator": comparator,
+    "alu_slice": alu_slice,
+    "parity_cone": parity_cone,
+    "small_multiplier": small_multiplier,
+    "decoder": decoder,
+}

@@ -1,0 +1,148 @@
+"""ECO-instance construction by netlist corruption.
+
+An instance is built from a golden circuit: ``k`` internal nodes are
+*corrupted* (their local functions rewritten), producing the old
+implementation; the corrupted nodes are the ECO targets; and the golden
+circuit — resynthesized through structural hashing so it shares no
+gate-level structure with the implementation — becomes the new
+specification.  By construction the targets are always sufficient
+(restoring each target's original function rectifies the netlist), which
+matches how the contest organizers derived their units from real ECO
+scenarios.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..network.network import Network
+from ..network.node import GateType
+from ..network.strash import strash_network
+from ..network.traversal import tfo
+
+_MUTATION_KINDS = (
+    "gate_type",
+    "gate_type",
+    "rewire",
+    "rewire",
+    "rebuild",
+    "xor_mask",
+    "xor_mask",
+    "invert",
+)
+
+_SWAP = {
+    GateType.AND: GateType.OR,
+    GateType.OR: GateType.AND,
+    GateType.NAND: GateType.NOR,
+    GateType.NOR: GateType.NAND,
+    GateType.XOR: GateType.XNOR,
+    GateType.XNOR: GateType.XOR,
+    GateType.NOT: GateType.BUF,
+    GateType.BUF: GateType.NOT,
+}
+
+
+@dataclass
+class MutationRecord:
+    """How one target was corrupted (kept for provenance/debugging)."""
+
+    node_name: str
+    kind: str
+
+
+def corrupt(
+    golden: Network,
+    num_targets: int,
+    seed: int = 0,
+) -> Tuple[Network, List[str], List[MutationRecord]]:
+    """Corrupt ``num_targets`` nodes of a copy of ``golden``.
+
+    Returns ``(implementation, target_names, records)``.  Corrupted
+    nodes keep their names; replacement fanins are always chosen outside
+    the node's TFO so the network stays acyclic.  Mutations that leave
+    the circuit functionally unchanged are possible in principle but the
+    chosen rewrites (gate-type swap / fanin rewire / function rebuild /
+    inversion) change the local function except in degenerate cases,
+    which is sufficient for benchmark purposes.
+    """
+    rng = random.Random(seed)
+    impl = golden.clone()
+    gates = [
+        n.nid
+        for n in impl.nodes()
+        if n.is_gate and n.name and n.gtype is not GateType.BUF
+    ]
+    if len(gates) < num_targets:
+        raise ValueError("not enough gates to corrupt")
+    # spread targets across the netlist
+    rng.shuffle(gates)
+    chosen = sorted(gates[:num_targets])
+    records: List[MutationRecord] = []
+    target_names: List[str] = []
+    for nid in chosen:
+        node = impl.node(nid)
+        kind = rng.choice(_MUTATION_KINDS)
+        _apply_mutation(impl, nid, kind, rng)
+        records.append(MutationRecord(node_name=node.name, kind=kind))
+        target_names.append(node.name)
+    return impl, target_names, records
+
+
+def _apply_mutation(
+    impl: Network, nid: int, kind: str, rng: random.Random
+) -> None:
+    node = impl.node(nid)
+    forbidden = tfo(impl, [nid])
+    candidates = [
+        n.nid
+        for n in impl.nodes()
+        if n.nid not in forbidden and not n.is_const
+    ]
+    if kind == "gate_type" and node.gtype in _SWAP:
+        impl.set_fanins(nid, _SWAP[node.gtype], node.fanins)
+        return
+    if kind == "rewire" and node.fanins and candidates:
+        fanins = list(node.fanins)
+        pos = rng.randrange(len(fanins))
+        replacement = rng.choice(candidates)
+        if replacement == fanins[pos]:
+            replacement = rng.choice(candidates)
+        fanins[pos] = replacement
+        impl.set_fanins(nid, node.gtype, fanins)
+        return
+    if kind == "rebuild" and len(candidates) >= 2:
+        gtype = rng.choice(
+            [GateType.AND, GateType.OR, GateType.XOR, GateType.NAND]
+        )
+        fanins = rng.sample(candidates, 2)
+        impl.set_fanins(nid, gtype, fanins)
+        return
+    if kind == "xor_mask" and candidates:
+        # t := original(t) XOR s — an input-dependent corruption whose
+        # repair genuinely needs signal information (never a constant)
+        shadow = impl.add_gate(
+            node.gtype, list(node.fanins), f"{node.name}__pre"
+        )
+        mask_sig = rng.choice(candidates)
+        impl.set_fanins(nid, GateType.XOR, [shadow, mask_sig])
+        return
+    # fallback / "invert": complement (or, for MUX, swap the data legs)
+    inverted = _SWAP.get(node.gtype)
+    if inverted is not None:
+        impl.set_fanins(nid, inverted, node.fanins)
+    else:  # MUX is the only gate type without a _SWAP entry
+        s, d0, d1 = node.fanins
+        impl.set_fanins(nid, GateType.MUX, [s, d1, d0])
+
+
+def make_specification(golden: Network, seed: int = 0) -> Network:
+    """Resynthesized copy of the golden netlist (the "new" spec).
+
+    Structural hashing rebuilds the circuit as an AIG, destroying any
+    gate-level correspondence with the implementation — the paper
+    stresses that no structural similarity may be assumed.
+    """
+    return strash_network(golden, name=f"{golden.name}_spec")

@@ -1,0 +1,140 @@
+"""Contest weight distributions T1-T8 (paper Section 4.1).
+
+The 2017 contest attached one of eight resource-weight distributions to
+each unit, modeling different physical-design concerns:
+
+* **T1** distance-aware A — heavier *near* the PIs (in some regions);
+* **T2** distance-aware B — heavier *far from* the PIs;
+* **T3** path-aware — nodes on selected PI→PO paths are heavy;
+* **T4** locality-aware — selected structural neighborhoods are heavy;
+* **T5** = T1 ∘ T3, **T6** = T2 ∘ T3, **T7** = T1 ∘ T4;
+* **T8** — highly mixed, undulating with level.
+
+Weights are positive integers over every named implementation signal.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Sequence, Set
+
+from ..network.network import Network
+from ..network.traversal import levels, tfi
+
+BASE_WEIGHT = 10
+
+
+def generate_weights(net: Network, wtype: str, seed: int = 0) -> Dict[str, int]:
+    """Weights for every named node of ``net`` under distribution ``wtype``."""
+    rng = random.Random(seed)
+    lev = levels(net)
+    max_lev = max(lev.values()) if lev else 1
+    max_lev = max(max_lev, 1)
+    named = [n for n in net.nodes() if n.name]
+
+    if wtype == "T1":
+        factor = _region_mask(net, rng, fraction=0.6)
+        raw = {
+            n.nid: _distance_a(lev[n.nid], max_lev)
+            if n.nid in factor
+            else BASE_WEIGHT
+            for n in named
+        }
+    elif wtype == "T2":
+        factor = _region_mask(net, rng, fraction=0.6)
+        raw = {
+            n.nid: _distance_b(lev[n.nid], max_lev)
+            if n.nid in factor
+            else BASE_WEIGHT
+            for n in named
+        }
+    elif wtype == "T3":
+        heavy = _path_nodes(net, rng, num_paths=max(2, net.num_pos // 4))
+        raw = {
+            n.nid: BASE_WEIGHT * 20 if n.nid in heavy else BASE_WEIGHT
+            for n in named
+        }
+    elif wtype == "T4":
+        heavy = _locality_nodes(net, rng, num_clusters=3)
+        raw = {
+            n.nid: BASE_WEIGHT * 15 if n.nid in heavy else BASE_WEIGHT
+            for n in named
+        }
+    elif wtype in ("T5", "T6", "T7"):
+        first = "T1" if wtype in ("T5", "T7") else "T2"
+        second = "T3" if wtype in ("T5", "T6") else "T4"
+        w1 = generate_weights(net, first, seed)
+        w2 = generate_weights(net, second, seed + 1)
+        return {
+            name: max(1, (w1[name] + w2[name]) // 2) for name in w1
+        }
+    elif wtype == "T8":
+        raw = {}
+        for n in named:
+            wave = 1.0 + 0.9 * math.sin(lev[n.nid] * 1.7 + rng.random() * 0.5)
+            noise = rng.uniform(0.5, 3.0)
+            raw[n.nid] = int(BASE_WEIGHT * wave * noise) + 1
+    else:
+        raise ValueError(f"unknown weight type {wtype!r}")
+
+    return {net.node(nid).name: max(1, int(w)) for nid, w in raw.items()}
+
+
+def _distance_a(level: int, max_level: int) -> int:
+    """Heavier close to the PIs."""
+    return BASE_WEIGHT + int(BASE_WEIGHT * 10 * (1.0 - level / max_level))
+
+
+def _distance_b(level: int, max_level: int) -> int:
+    """Heavier far from the PIs."""
+    return BASE_WEIGHT + int(BASE_WEIGHT * 10 * (level / max_level))
+
+
+def _region_mask(net: Network, rng: random.Random, fraction: float) -> Set[int]:
+    """"Some parts of the circuit": the TFI cones of a PO subset."""
+    pos = net.pos
+    if not pos:
+        return set()
+    k = max(1, int(len(pos) * fraction))
+    chosen = rng.sample(range(len(pos)), k)
+    return tfi(net, [pos[i][1] for i in chosen])
+
+
+def _path_nodes(net: Network, rng: random.Random, num_paths: int) -> Set[int]:
+    """Nodes on randomly walked PO→PI paths."""
+    heavy: Set[int] = set()
+    pos = net.pos
+    if not pos:
+        return heavy
+    for _ in range(num_paths):
+        nid = pos[rng.randrange(len(pos))][1]
+        while True:
+            heavy.add(nid)
+            fanins = net.node(nid).fanins
+            if not fanins:
+                break
+            nid = fanins[rng.randrange(len(fanins))]
+    return heavy
+
+
+def _locality_nodes(
+    net: Network, rng: random.Random, num_clusters: int
+) -> Set[int]:
+    """BFS balls around random seed nodes."""
+    ids = [n.nid for n in net.nodes()]
+    heavy: Set[int] = set()
+    if not ids:
+        return heavy
+    radius = 3
+    for _ in range(num_clusters):
+        frontier = {ids[rng.randrange(len(ids))]}
+        for _ in range(radius):
+            nxt = set()
+            for nid in frontier:
+                nxt.update(net.node(nid).fanins)
+                nxt.update(net.fanouts(nid))
+            heavy.update(frontier)
+            frontier = nxt - heavy
+        heavy.update(frontier)
+    return heavy

@@ -1,0 +1,224 @@
+"""Command-line interface: the contest flow as a tool.
+
+Subcommands::
+
+    repro-eco patch    --impl impl.v --spec spec.v --targets t1,t2 \
+                       [--weights weights.txt] [--method minassump] \
+                       [--out patched.v]
+    repro-eco localize --impl impl.v --spec spec.v [--max-targets 4]
+    repro-eco cec      --impl a.v --spec b.v
+    repro-eco generate --unit unit7 --out unit7_dir
+    repro-eco suite    [--units unit1,unit4] [--methods minassump]
+
+Also runnable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .benchgen import METHODS, SUITE, build_unit, format_table, run_unit, unit_spec
+from .core import apply_patches, cec, localize_targets
+from .core.engine import (
+    EcoEngine,
+    baseline_config,
+    best_config,
+    contest_config,
+)
+from .io import EcoInstance, read_verilog, read_weights, write_verilog
+
+_CONFIGS = {
+    "baseline": baseline_config,
+    "minassump": contest_config,
+    "satprune_cegarmin": best_config,
+}
+
+
+def _add_netlist_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--impl", required=True, help="implementation netlist (.v)")
+    p.add_argument("--spec", required=True, help="specification netlist (.v)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eco",
+        description="SAT-based resource-aware ECO patch generation (DAC'18)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("patch", help="compute and insert ECO patches")
+    _add_netlist_args(p)
+    p.add_argument(
+        "--targets",
+        required=True,
+        help="comma-separated target names, or @file with one per line",
+    )
+    p.add_argument("--weights", help="weight file (name weight per line)")
+    p.add_argument(
+        "--method",
+        choices=sorted(_CONFIGS),
+        default="minassump",
+        help="Table 1 method column (default: minassump)",
+    )
+    p.add_argument("--out", help="write the patched netlist here (.v)")
+    p.add_argument(
+        "--no-verify", action="store_true", help="skip the final CEC"
+    )
+
+    p = sub.add_parser("localize", help="detect candidate target nodes")
+    _add_netlist_args(p)
+    p.add_argument("--max-targets", type=int, default=4)
+    p.add_argument("--top", type=int, default=10, help="ranked names to show")
+
+    p = sub.add_parser("cec", help="combinational equivalence check")
+    _add_netlist_args(p)
+
+    p = sub.add_parser("generate", help="materialize a synthetic suite unit")
+    p.add_argument("--unit", required=True, help="unit name, e.g. unit7")
+    p.add_argument("--out", required=True, help="output directory")
+
+    p = sub.add_parser("suite", help="run Table 1 rows")
+    p.add_argument("--units", help="comma-separated unit names (default: all)")
+    p.add_argument(
+        "--methods",
+        default=",".join(METHODS),
+        help="comma-separated method columns",
+    )
+    return parser
+
+
+def _parse_targets(arg: str) -> List[str]:
+    if arg.startswith("@"):
+        with open(arg[1:], "r", encoding="utf-8") as f:
+            return [t.strip() for t in f if t.strip()]
+    return [t.strip() for t in arg.split(",") if t.strip()]
+
+
+def cmd_patch(args: argparse.Namespace) -> int:
+    impl = read_verilog(args.impl)
+    spec = read_verilog(args.spec)
+    weights = read_weights(args.weights) if args.weights else {}
+    instance = EcoInstance(
+        name="cli",
+        impl=impl,
+        spec=spec,
+        targets=_parse_targets(args.targets),
+        weights=weights,
+    )
+    import dataclasses
+
+    cfg = _CONFIGS[args.method]()
+    if args.no_verify:
+        cfg = dataclasses.replace(cfg, verify=False)
+    result = EcoEngine(cfg).run(instance)
+    print(f"method:   {args.method} ({result.method} flow)")
+    print(f"cost:     {result.cost}")
+    print(f"gates:    {result.gate_count}")
+    print(f"verified: {result.verified}")
+    for patch in result.patches:
+        print(f"  {patch.target} <- {', '.join(patch.support) or '<const>'}")
+    if args.out:
+        patched = apply_patches(instance.impl, result.patches)
+        patched.cleanup()
+        write_verilog(patched, args.out)
+        print(f"patched netlist written to {args.out}")
+    return 0
+
+
+def cmd_localize(args: argparse.Namespace) -> int:
+    impl = read_verilog(args.impl)
+    spec = read_verilog(args.spec)
+    res = localize_targets(impl, spec, max_targets=args.max_targets)
+    if not res.ranked:
+        print("netlists appear equivalent; nothing to localize")
+        return 0
+    print("ranked candidates (single-fix repair score):")
+    for name, score in res.ranked[: args.top]:
+        print(f"  {name:24s} {score:.3f}")
+    if res.targets:
+        print(f"confirmed sufficient target set: {', '.join(res.targets)}")
+        return 0
+    print("no sufficient target set confirmed within budget")
+    return 1
+
+
+def cmd_cec(args: argparse.Namespace) -> int:
+    impl = read_verilog(args.impl)
+    spec = read_verilog(args.spec)
+    res = cec(impl, spec)
+    if res.equivalent:
+        print("EQUIVALENT")
+        return 0
+    print("NOT EQUIVALENT")
+    if res.counterexample:
+        print("counterexample:")
+        for name, val in sorted(res.counterexample.items()):
+            print(f"  {name} = {val}")
+    return 1
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    instance = build_unit(unit_spec(args.unit))
+    instance.save(args.out)
+    print(
+        f"{args.unit}: {instance.impl.num_pis} PIs, "
+        f"{instance.impl.num_gates} gates, targets={instance.targets}"
+    )
+    print(f"written to {args.out}/ (impl.v, spec.v, weights.txt, targets.txt)")
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    names = (
+        [n.strip() for n in args.units.split(",") if n.strip()]
+        if args.units
+        else None
+    )
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    for m in methods:
+        if m not in METHODS:
+            print(f"unknown method {m!r}; choose from {METHODS}", file=sys.stderr)
+            return 2
+    rows = []
+    for spec in SUITE:
+        if names is not None and spec.name not in names:
+            continue
+        rows.append(run_unit(spec, methods=methods))
+    print(format_table(rows, methods))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "patch": cmd_patch,
+        "localize": cmd_localize,
+        "cec": cmd_cec,
+        "generate": cmd_generate,
+        "suite": cmd_suite,
+    }
+    from .core.engine import EcoEngineError
+    from .core.feasibility import EcoInfeasibleError
+    from .io.verilog import VerilogError
+    from .network.network import NetworkError
+
+    try:
+        return handlers[args.command](args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (VerilogError, NetworkError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except EcoInfeasibleError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 3
+    except EcoEngineError as exc:
+        print(f"engine failure: {exc}", file=sys.stderr)
+        return 4
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,104 @@
+"""The paper's contribution: SAT-based ECO patch-function computation."""
+
+from .cegarmin import CegarMinResult, Equivalence, cegar_min
+from .divisors import DivisorSet, collect_divisors
+from .engine import (
+    EcoConfig,
+    EcoEngine,
+    EcoEngineError,
+    baseline_config,
+    best_config,
+    contest_config,
+)
+from .feasibility import EcoInfeasibleError, FeasibilityResult, check_feasibility
+from .interp import (
+    InterpolationPatchError,
+    InterpolationPatchResult,
+    interpolation_patch,
+)
+from .localize import (
+    LocalizationResult,
+    localize_targets,
+    rank_single_fix_candidates,
+)
+from .miter import MITER_PO, EcoMiter, build_miter
+from .patch import EcoResult, Patch, apply_patch, apply_patches
+from .patchfunc import (
+    EnumerationStats,
+    PatchEnumerationError,
+    enumerate_patch_sop,
+)
+from .quantify import (
+    QMITER_PO,
+    QuantifiedMiter,
+    build_quantified_miter,
+    enumerate_assignments,
+)
+from .resub import ResubResult, resubstitute
+from .satprune import SatPruneStats, sat_prune
+from .structural import (
+    StructuralPatchInfo,
+    certificate_patches,
+    structural_patch_single,
+)
+from .support import (
+    AssumptionMinimizer,
+    SupportStats,
+    analyze_final_core,
+    last_gasp_improvement,
+    minimize_assumptions,
+    minimize_linear,
+)
+from .verify import CecResult, cec
+
+__all__ = [
+    "AssumptionMinimizer",
+    "CecResult",
+    "CegarMinResult",
+    "DivisorSet",
+    "EcoConfig",
+    "EcoEngine",
+    "EcoEngineError",
+    "EcoInfeasibleError",
+    "EcoMiter",
+    "EcoResult",
+    "EnumerationStats",
+    "Equivalence",
+    "FeasibilityResult",
+    "InterpolationPatchError",
+    "InterpolationPatchResult",
+    "LocalizationResult",
+    "MITER_PO",
+    "Patch",
+    "PatchEnumerationError",
+    "QMITER_PO",
+    "QuantifiedMiter",
+    "ResubResult",
+    "SatPruneStats",
+    "StructuralPatchInfo",
+    "SupportStats",
+    "analyze_final_core",
+    "apply_patch",
+    "apply_patches",
+    "baseline_config",
+    "best_config",
+    "build_miter",
+    "build_quantified_miter",
+    "cec",
+    "cegar_min",
+    "certificate_patches",
+    "check_feasibility",
+    "collect_divisors",
+    "contest_config",
+    "enumerate_assignments",
+    "enumerate_patch_sop",
+    "interpolation_patch",
+    "last_gasp_improvement",
+    "localize_targets",
+    "rank_single_fix_candidates",
+    "minimize_assumptions",
+    "minimize_linear",
+    "resubstitute",
+    "sat_prune",
+    "structural_patch_single",
+]

@@ -1,0 +1,261 @@
+"""CEGAR_min: max-flow re-support of structural patches (Section 3.6.3).
+
+A structural patch is expressed over primary inputs and is typically
+large and expensive.  ``CEGAR_min`` finds internal implementation
+signals functionally equivalent to internal patch signals (simulation
+filtering + SAT confirmation), then computes a minimum-weight node cut
+of the patch circuit among signals that have such equivalents; the cut
+becomes the new, cheaper patch support and everything below it is
+discarded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..flow.maxflow import min_node_cut
+from ..network.network import Network
+from ..network.node import GateType
+from ..network.simulate import Simulator
+from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.tseitin import encode_network
+from ..sat.types import mklit
+
+
+@dataclass
+class Equivalence:
+    """A confirmed functional match between patch and implementation."""
+
+    patch_node: int
+    impl_node: int
+    impl_name: str
+    complemented: bool
+    weight: int
+
+
+@dataclass
+class CegarMinResult:
+    """Re-supported patch and its accounting."""
+
+    network: Network
+    support: List[str]
+    cost: int
+    gate_count: int
+    cut_weight: float
+    equivalences: List[Equivalence] = field(default_factory=list)
+    sat_calls: int = 0
+
+
+def cegar_min(
+    impl: Network,
+    patch: Network,
+    candidate_ids: Sequence[int],
+    weight_of: Dict[int, int],
+    sim_patterns: int = 256,
+    seed: int = 2018,
+    budget_conflicts: Optional[int] = 20000,
+    max_sat_calls: int = 2000,
+) -> CegarMinResult:
+    """Minimize the support cost of ``patch`` against ``impl``.
+
+    Args:
+        impl: the implementation (targets may keep their old logic —
+            candidates must exclude every target's TFO, which the
+            caller enforces via ``candidate_ids``).
+        patch: single-PO network whose PIs are implementation PI names.
+        candidate_ids: implementation node ids allowed as new supports.
+        weight_of: candidate id → resource cost.
+        sim_patterns / seed: simulation filtering parameters.
+        budget_conflicts / max_sat_calls: SAT confirmation budgets.
+
+    Returns:
+        a :class:`CegarMinResult`; when no cut improves on the PI
+        support, the result simply reproduces the original patch.
+    """
+    if patch.num_pos != 1:
+        raise ValueError("cegar_min expects a single-PO patch")
+    po_name, po_node = patch.pos[0]
+
+    # --- simulation filtering ------------------------------------------
+    # patch inputs may be impl PIs *or* internal signals (after
+    # resubstitution), so patterns come from the full simulation values
+    sim_impl = Simulator(impl, nbits=sim_patterns, seed=seed)
+    mask = sim_impl.mask
+    impl_values = sim_impl.values()
+    patch_pi_patterns: Dict[int, int] = {}
+    for pi in patch.pis:
+        name = patch.node(pi).name
+        patch_pi_patterns[pi] = impl_values[impl.node_by_name(name)]
+    patch_values = patch.evaluate(patch_pi_patterns, mask)
+
+    by_signature: Dict[int, List[int]] = {}
+    for nid in candidate_ids:
+        sig = impl_values[nid]
+        if sig & 1:
+            sig = ~sig & mask
+        by_signature.setdefault(sig, []).append(nid)
+
+    # --- SAT confirmation ----------------------------------------------
+    solver = Solver()
+    impl_vars = encode_network(solver, impl)
+    patch_pi_vars = {
+        pi: impl_vars[impl.node_by_name(patch.node(pi).name)]
+        for pi in patch.pis
+    }
+    patch_vars = encode_network(solver, patch, patch_pi_vars)
+
+    sat_calls = 0
+    equivalences: Dict[int, Equivalence] = {}
+    for pnode in patch.topo_order():
+        sig = patch_values[pnode.nid]
+        comp_key = sig
+        if comp_key & 1:
+            comp_key = ~comp_key & mask
+        candidates = by_signature.get(comp_key, [])
+        ranked = sorted(candidates, key=lambda n: (weight_of.get(n, 1), n))
+        for cand in ranked:
+            if sat_calls + 2 > max_sat_calls:
+                break
+            complemented = impl_values[cand] != sig
+            if complemented and (impl_values[cand] != (~sig & mask)):
+                continue
+            p, q = patch_vars[pnode.nid], impl_vars[cand]
+            try:
+                sat_calls += 1
+                first = solver.solve(
+                    [mklit(p), mklit(q, not complemented)],
+                    budget_conflicts=budget_conflicts,
+                )
+                if first:
+                    continue
+                sat_calls += 1
+                second = solver.solve(
+                    [mklit(p, True), mklit(q, complemented)],
+                    budget_conflicts=budget_conflicts,
+                )
+                if second:
+                    continue
+            except SatBudgetExceeded:
+                continue
+            node = impl.node(cand)
+            equivalences[pnode.nid] = Equivalence(
+                patch_node=pnode.nid,
+                impl_node=cand,
+                impl_name=node.name or f"n{cand}",
+                complemented=complemented,
+                weight=weight_of.get(cand, 1),
+            )
+            break
+
+    # --- min-weight node cut --------------------------------------------
+    edges: List[Tuple[int, int]] = []
+    for node in patch.nodes():
+        for f in node.fanins:
+            edges.append((f, node.nid))
+    sink = -1  # virtual sink behind the PO
+    edges.append((po_node, sink))
+    node_weights: Dict[int, float] = {
+        pnid: eq.weight for pnid, eq in equivalences.items()
+    }
+    cut_weight, cut_nodes = min_node_cut(
+        edges, sources=list(patch.pis), sink=sink, node_weights=node_weights
+    )
+
+    if not cut_nodes or cut_weight == float("inf"):
+        # no usable cut: keep the original patch
+        support = [patch.node(pi).name for pi in patch.pis]
+        cost = sum(
+            weight_of.get(impl.node_by_name(s), 1) for s in support
+        )
+        return CegarMinResult(
+            network=patch,
+            support=support,
+            cost=cost,
+            gate_count=patch.num_gates,
+            cut_weight=float("inf"),
+            equivalences=list(equivalences.values()),
+            sat_calls=sat_calls,
+        )
+
+    rebuilt = _rebuild_above_cut(patch, po_name, po_node, cut_nodes, equivalences)
+    support = [rebuilt.node(pi).name for pi in rebuilt.pis]
+    cost = sum(equivalences[c].weight for c in cut_nodes)
+    return CegarMinResult(
+        network=rebuilt,
+        support=support,
+        cost=cost,
+        gate_count=rebuilt.num_gates,
+        cut_weight=cut_weight,
+        equivalences=list(equivalences.values()),
+        sat_calls=sat_calls,
+    )
+
+
+def _rebuild_above_cut(
+    patch: Network,
+    po_name: str,
+    po_node: int,
+    cut_nodes: Set[int],
+    equivalences: Dict[int, Equivalence],
+) -> Network:
+    """Copy the patch logic between the cut and the PO.
+
+    Cut nodes become PIs named after their implementation equivalents
+    (with a NOT when the equivalence is complemented).
+    """
+    out = Network("cegar_min_patch")
+    mapping: Dict[int, int] = {}
+    pi_cache: Dict[str, int] = {}
+
+    def leaf(nid: int) -> int:
+        eq = equivalences[nid]
+        if eq.impl_name not in pi_cache:
+            pi_cache[eq.impl_name] = out.add_pi(eq.impl_name)
+        base = pi_cache[eq.impl_name]
+        if eq.complemented:
+            return out.add_gate(GateType.NOT, [base])
+        return base
+
+    order: List[int] = []
+    seen: Set[int] = set()
+    stack: List[Tuple[int, bool]] = [(po_node, False)]
+    while stack:
+        nid, expanded = stack.pop()
+        if expanded:
+            order.append(nid)
+            continue
+        if nid in seen:
+            continue
+        seen.add(nid)
+        if nid in cut_nodes:
+            continue  # leaves handled lazily
+        stack.append((nid, True))
+        for f in patch.node(nid).fanins:
+            if f not in seen:
+                stack.append((f, False))
+
+    for nid in order:
+        node = patch.node(nid)
+        fanins = []
+        for f in node.fanins:
+            if f in cut_nodes:
+                if f not in mapping:
+                    mapping[f] = leaf(f)
+                fanins.append(mapping[f])
+            else:
+                fanins.append(mapping[f])
+        if node.is_const:
+            mapping[nid] = out.add_const(
+                1 if node.gtype is GateType.CONST1 else 0
+            )
+        elif node.is_pi:
+            raise ValueError("patch PI above the cut — cut is not separating")
+        else:
+            mapping[nid] = out.add_gate(node.gtype, fanins)
+
+    if po_node in cut_nodes:
+        mapping[po_node] = leaf(po_node)
+    out.add_po(mapping[po_node], po_name)
+    return out

@@ -1,0 +1,77 @@
+"""Candidate-divisor collection with cost annotation.
+
+Structural pruning (Section 3.3) yields the raw candidate list; this
+module attaches the contest weights, orders candidates by preference
+(cheapest first), and optionally caps the candidate count — window PIs
+are always retained because they alone guarantee a patch exists whenever
+the step is feasible (Section 2.5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..network.network import Network
+from ..network.traversal import levels
+from ..network.window import Window
+
+
+@dataclass
+class DivisorSet:
+    """Ordered candidate divisors for one ECO instance.
+
+    Attributes:
+        ids: implementation node ids, cheapest first.
+        cost: node id → resource cost.
+        names: node id → signal name.
+    """
+
+    ids: List[int]
+    cost: Dict[int, int]
+    names: Dict[int, str]
+
+    def cost_of(self, nid: int) -> int:
+        return self.cost[nid]
+
+    def total_cost(self, nids: Sequence[int]) -> int:
+        """Sum of costs over *distinct* divisors (contest metric)."""
+        return sum(self.cost[n] for n in set(nids))
+
+
+def collect_divisors(
+    impl: Network,
+    window: Window,
+    weights: Dict[str, int],
+    default_weight: int = 1,
+    max_divisors: Optional[int] = None,
+) -> DivisorSet:
+    """Build the cost-ordered divisor set from a pruning window.
+
+    ``weights`` maps signal names to costs (unlisted names get
+    ``default_weight``).  ``max_divisors`` caps the number of *internal*
+    candidates (cheapest kept); window PIs always survive the cap.
+    """
+    pi_set = set(window.impl_window_pis)
+    lev = levels(impl)
+    cost: Dict[int, int] = {}
+    names: Dict[int, str] = {}
+    internal: List[int] = []
+    pis: List[int] = []
+    for nid in window.divisors:
+        node = impl.node(nid)
+        name = node.name or f"n{nid}"
+        cost[nid] = weights.get(name, default_weight)
+        names[nid] = name
+        if nid in pi_set:
+            pis.append(nid)
+        else:
+            internal.append(nid)
+    # preference on cost ties: deeper signals first — they encode more
+    # logic per unit cost, which keeps the enumerated patches small
+    order_key = lambda n: (cost[n], -lev[n], n)
+    internal.sort(key=order_key)
+    if max_divisors is not None and len(internal) > max_divisors:
+        internal = internal[:max_divisors]
+    ids = sorted(pis + internal, key=order_key)
+    return DivisorSet(ids=ids, cost=cost, names=names)

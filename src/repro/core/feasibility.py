@@ -1,0 +1,125 @@
+"""Target-sufficiency check (Section 3.2).
+
+Expression (1), ``∃x ∀n M(n, x)``, must be UNSAT for the ECO to have a
+solution.  Two decision procedures are provided, mirroring the paper:
+
+* ``expansion`` — universally quantify the targets by cofactor
+  expansion and run a plain SAT check (combinational equivalence
+  checking style);
+* ``qbf`` — CEGAR 2QBF (the ABC ``qbf`` alternative), whose
+  countermoves additionally feed the certificate-based structural patch
+  and the partial-expansion quantification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.tseitin import encode_network
+from ..sat.types import mklit
+from ..twoqbf.cegar import QbfBudgetExceeded, solve_exists_forall
+from .miter import EcoMiter
+from .quantify import QMITER_PO, build_quantified_miter
+
+
+class EcoInfeasibleError(Exception):
+    """Raised when the given targets cannot rectify the implementation."""
+
+
+@dataclass
+class FeasibilityResult:
+    """Outcome of the sufficiency check.
+
+    Attributes:
+        feasible: True / False, or None when the budget ran out (the
+            paper then *assumes* feasibility and falls back to the
+            structural patch).
+        witness: an input assignment (miter x-PI id → 0/1) exhibiting an
+            unfixable mismatch, when infeasible.
+        countermoves: target assignments collected by the QBF method
+            (certificate material for Sections 3.1/3.6.2).
+        method: ``"expansion"`` or ``"qbf"``.
+        copies: cofactor copies built (expansion) or CEGAR rounds (qbf).
+    """
+
+    feasible: Optional[bool]
+    witness: Optional[Dict[int, int]] = None
+    countermoves: List[Dict[int, int]] = field(default_factory=list)
+    method: str = "expansion"
+    copies: int = 0
+
+
+def check_feasibility(
+    miter: EcoMiter,
+    method: str = "auto",
+    budget_conflicts: Optional[int] = None,
+    max_expansion_targets: int = 7,
+) -> FeasibilityResult:
+    """Decide whether the freed targets suffice to solve the ECO.
+
+    ``method`` is ``"expansion"``, ``"qbf"``, or ``"auto"`` (expansion
+    up to ``max_expansion_targets`` targets, CEGAR beyond).
+    """
+    if method == "auto":
+        method = (
+            "expansion"
+            if len(miter.target_pis) <= max_expansion_targets
+            else "qbf"
+        )
+    if method == "expansion":
+        return _check_by_expansion(miter, budget_conflicts)
+    if method == "qbf":
+        return _check_by_qbf(miter, budget_conflicts)
+    raise ValueError(f"unknown feasibility method {method!r}")
+
+
+def _check_by_expansion(
+    miter: EcoMiter, budget_conflicts: Optional[int]
+) -> FeasibilityResult:
+    qm = build_quantified_miter(miter, current_target_pi=None)
+    solver = Solver()
+    varmap = encode_network(solver, qm.net)
+    out_var = varmap[dict(qm.net.pos)[QMITER_PO]]
+    try:
+        sat = solver.solve([mklit(out_var)], budget_conflicts=budget_conflicts)
+    except SatBudgetExceeded:
+        return FeasibilityResult(
+            feasible=None, method="expansion", copies=qm.num_copies
+        )
+    if not sat:
+        return FeasibilityResult(
+            feasible=True, method="expansion", copies=qm.num_copies
+        )
+    # witness in terms of the original miter x PIs
+    witness = {}
+    for orig, new in zip(miter.x_pis, qm.x_pis):
+        witness[orig] = solver.model_value(mklit(varmap[new]))
+    return FeasibilityResult(
+        feasible=False,
+        witness=witness,
+        method="expansion",
+        copies=qm.num_copies,
+    )
+
+
+def _check_by_qbf(
+    miter: EcoMiter, budget_conflicts: Optional[int]
+) -> FeasibilityResult:
+    try:
+        res = solve_exists_forall(
+            miter.net,
+            exists_pis=miter.x_pis,
+            forall_pis=miter.target_pis,
+            budget_conflicts=budget_conflicts,
+        )
+    except (QbfBudgetExceeded, SatBudgetExceeded):
+        return FeasibilityResult(feasible=None, method="qbf")
+    return FeasibilityResult(
+        feasible=not res.is_sat,
+        witness=res.witness,
+        countermoves=res.countermoves,
+        method="qbf",
+        copies=res.iterations,
+    )

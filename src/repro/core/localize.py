@@ -1,0 +1,181 @@
+"""Target-point localization (the paper's Section 5 future work).
+
+The engine assumes the target nodes are given; the paper's concluding
+future work is "an integrated ECO flow ... which detects a set of
+target nodes, followed by applying the proposed patch computation."
+This module implements that detection for combinational netlists:
+
+1. **Simulation ranking** — random patterns where the implementation
+   and specification disagree are replayed; a node is *suspicious* when
+   flipping its value (while keeping every other node's function)
+   repairs all observed mismatched outputs for many failing patterns.
+   This is the classic single-fix sensitization test, done bit-parallel.
+2. **Exact confirmation** — the top-ranked candidates are confirmed
+   with the Section 3.2 feasibility check (``∃x ∀n M(n, x)`` UNSAT);
+   only provably sufficient target sets are returned.
+3. **Multi-target search** — when no single node suffices, greedy
+   set growth over the ranked candidates is used, each step confirmed
+   by the exact check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..network.network import Network
+from ..network.node import eval_gate
+from ..network.simulate import Simulator
+from ..network.traversal import tfo
+from .feasibility import check_feasibility
+from .miter import build_miter
+
+
+@dataclass
+class LocalizationResult:
+    """Outcome of target localization.
+
+    Attributes:
+        targets: a confirmed-sufficient set of target node names
+            (empty when the netlists are already equivalent).
+        ranked: candidate names with suspicion scores, best first.
+        checks: number of exact feasibility checks spent.
+    """
+
+    targets: List[str]
+    ranked: List[Tuple[str, float]] = field(default_factory=list)
+    checks: int = 0
+
+
+def _failing_patterns(
+    impl: Network, spec: Network, sim_patterns: int, seed: int
+) -> Tuple[Simulator, Dict[int, int], int]:
+    """Simulate both netlists on shared patterns; returns the failing mask.
+
+    The returned simulator is bound to ``impl``; ``spec_values`` maps the
+    spec's nodes; the mask has a 1 for every pattern with a PO mismatch.
+    """
+    sim = Simulator(impl, nbits=sim_patterns, seed=seed)
+    spec_inputs = {
+        pi: sim.pi_patterns[impl.node_by_name(spec.node(pi).name)]
+        for pi in spec.pis
+    }
+    spec_values = spec.evaluate(spec_inputs, sim.mask)
+    impl_pos = dict(impl.pos)
+    spec_pos = dict(spec.pos)
+    fail = 0
+    for name, impl_nid in impl_pos.items():
+        fail |= sim.values()[impl_nid] ^ spec_values[spec_pos[name]]
+    return sim, spec_values, fail & sim.mask
+
+
+def rank_single_fix_candidates(
+    impl: Network,
+    spec: Network,
+    sim_patterns: int = 256,
+    seed: int = 2018,
+) -> List[Tuple[str, float]]:
+    """Rank implementation nodes by single-fix repair power.
+
+    For each failing pattern, a candidate scores when flipping its value
+    corrects *every* mismatched output of that pattern without breaking
+    a correct one.  Scores are normalized to [0, 1] over the failing
+    patterns; nodes that cannot reach any failing output score 0.
+    """
+    sim, spec_values, fail = _failing_patterns(impl, spec, sim_patterns, seed)
+    if fail == 0:
+        return []
+    mask = sim.mask
+    impl_values = sim.values()
+    impl_pos = dict(impl.pos)
+    spec_pos = dict(spec.pos)
+    fail_count = bin(fail).count("1")
+
+    from ..network.traversal import levels
+
+    lev = levels(impl)
+    scores: List[Tuple[str, float]] = []
+    level_of: Dict[str, int] = {}
+    for node in impl.topo_order():
+        if not node.is_gate or not node.name:
+            continue
+        flipped = _propagate_flip(impl, node.nid, impl_values, mask)
+        repaired = fail
+        broken = 0
+        for name, impl_nid in impl_pos.items():
+            new_out = flipped.get(impl_nid, impl_values[impl_nid])
+            diff = new_out ^ spec_values[spec_pos[name]]
+            repaired &= ~diff & mask
+            broken |= diff & ~fail & mask
+        good = repaired & ~broken & mask
+        score = bin(good & fail).count("1") / fail_count
+        if score > 0:
+            scores.append((node.name, score))
+            level_of[node.name] = lev[node.nid]
+    # ties: prefer shallow nodes — a flip-equivalent dominator chain
+    # always includes the actual culprit at its lowest level
+    scores.sort(key=lambda kv: (-kv[1], level_of[kv[0]], kv[0]))
+    return scores
+
+
+def _propagate_flip(
+    impl: Network, nid: int, base: Dict[int, int], mask: int
+) -> Dict[int, int]:
+    """Re-simulate the TFO of ``nid`` with its output complemented."""
+    cone = tfo(impl, [nid])
+    out: Dict[int, int] = {nid: ~base[nid] & mask}
+    for node in impl.topo_order():
+        if node.nid == nid or node.nid not in cone:
+            continue
+        ins = [out.get(f, base[f]) for f in node.fanins]
+        out[node.nid] = eval_gate(node.gtype, ins, mask)
+    return out
+
+
+def localize_targets(
+    impl: Network,
+    spec: Network,
+    max_targets: int = 4,
+    max_checks: int = 32,
+    sim_patterns: int = 256,
+    seed: int = 2018,
+    budget_conflicts: Optional[int] = 200000,
+) -> LocalizationResult:
+    """Find a provably sufficient target set for an ECO.
+
+    Tries the ranked single-fix candidates first, then grows the set
+    greedily.  Raises nothing on failure: an empty ``targets`` with a
+    non-empty ``ranked`` list means no set was confirmed within the
+    budgets.
+    """
+    ranked = rank_single_fix_candidates(impl, spec, sim_patterns, seed)
+    result = LocalizationResult(targets=[], ranked=ranked)
+    if not ranked:
+        return result  # already equivalent
+
+    def sufficient(names: Sequence[str]) -> bool:
+        result.checks += 1
+        ids = [impl.node_by_name(n) for n in names]
+        miter = build_miter(impl, spec, ids)
+        feas = check_feasibility(
+            miter, method="auto", budget_conflicts=budget_conflicts
+        )
+        return feas.feasible is True
+
+    # single-fix candidates, best first
+    for name, _score in ranked[:max_checks]:
+        if sufficient([name]):
+            result.targets = [name]
+            return result
+
+    # greedy growth: start from the best candidate, add the next-ranked
+    # candidate outside the current set's TFO region
+    chosen: List[str] = [ranked[0][0]]
+    for name, _score in ranked[1:]:
+        if result.checks >= max_checks or len(chosen) >= max_targets:
+            break
+        chosen.append(name)
+        if sufficient(chosen):
+            result.targets = list(chosen)
+            return result
+    return result

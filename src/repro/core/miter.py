@@ -1,0 +1,118 @@
+"""ECO miter construction (paper Figure 1).
+
+The miter compares the implementation — with its target nodes cut out
+and replaced by free PI variables n — against the specification, pairing
+POs by name and OR-ing the XOR of each compared pair.  ``M(n, x) = 1``
+iff the two netlists differ on some compared output for input x and
+target values n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.network import Network
+from ..network.node import GateType
+
+MITER_PO = "miter"
+
+
+@dataclass
+class EcoMiter:
+    """The miter network plus the node maps the ECO algorithms need.
+
+    Attributes:
+        net: the miter network; PO ``miter`` is the difference signal.
+        impl_map: implementation node id → miter node id (the
+            implementation copy inside the miter, with targets freed).
+        spec_map: specification node id → miter node id.
+        target_pis: miter PI ids standing for the freed targets, in the
+            order the targets were given.
+        x_pis: miter PI ids of the shared circuit inputs.
+    """
+
+    net: Network
+    impl_map: Dict[int, int]
+    spec_map: Dict[int, int]
+    target_pis: List[int]
+    x_pis: List[int]
+
+
+def build_miter(
+    impl: Network,
+    spec: Network,
+    targets: Sequence[int],
+    po_indices: Optional[Sequence[int]] = None,
+) -> EcoMiter:
+    """Construct the ECO miter for ``targets`` (implementation node ids).
+
+    ``po_indices`` restricts the compared outputs (the windowing of
+    Section 3.3); by default every PO is compared.  PI and PO matching is
+    by name.
+    """
+    impl_pos = impl.pos
+    spec_po_map = {name: nid for name, nid in spec.pos}
+    if po_indices is None:
+        po_indices = range(len(impl_pos))
+    compared = [(impl_pos[i][0], impl_pos[i][1]) for i in po_indices]
+    for name, _ in compared:
+        if name not in spec_po_map:
+            raise ValueError(f"specification lacks output {name!r}")
+
+    net = Network("eco_miter")
+    x_by_name: Dict[str, int] = {}
+    for pi in impl.pis:
+        x_by_name[impl.node(pi).name] = net.add_pi(impl.node(pi).name)
+    for pi in spec.pis:
+        name = spec.node(pi).name
+        if name not in x_by_name:
+            x_by_name[name] = net.add_pi(name)
+    x_pis = list(x_by_name.values())
+
+    impl_input_map = {pi: x_by_name[impl.node(pi).name] for pi in impl.pis}
+    impl_map = net.append(impl, impl_input_map)
+    # free the targets: each becomes a fresh PI inside the miter; the
+    # map is updated so references to the target (including compared
+    # POs) point at the free variable, not the old dangling driver
+    target_pis: List[int] = []
+    for idx, t in enumerate(targets):
+        pi = net.free_pi_for(impl_map[t], f"__target{idx}")
+        impl_map[t] = pi
+        target_pis.append(pi)
+
+    spec_input_map = {pi: x_by_name[spec.node(pi).name] for pi in spec.pis}
+    spec_map = net.append(spec, spec_input_map)
+
+    xors: List[int] = []
+    for name, impl_nid in compared:
+        a = impl_map[impl_nid]
+        b = spec_map[spec_po_map[name]]
+        xors.append(net.add_gate(GateType.XOR, [a, b]))
+    if not xors:
+        out = net.add_const(0)
+    elif len(xors) == 1:
+        out = xors[0]
+    else:
+        out = _or_tree(net, xors)
+    net.add_po(out, MITER_PO)
+    return EcoMiter(
+        net=net,
+        impl_map=impl_map,
+        spec_map=spec_map,
+        target_pis=target_pis,
+        x_pis=x_pis,
+    )
+
+
+def _or_tree(net: Network, nodes: List[int]) -> int:
+    work = list(nodes)
+    while len(work) > 1:
+        nxt = [
+            net.add_gate(GateType.OR, [work[i], work[i + 1]])
+            for i in range(0, len(work) - 1, 2)
+        ]
+        if len(work) % 2:
+            nxt.append(work[-1])
+        work = nxt
+    return work[0]

@@ -1,0 +1,93 @@
+"""Patch objects and patch insertion.
+
+A :class:`Patch` is a self-contained network whose PIs are named after
+implementation signals and whose single PO is the new function of one
+target.  Applying a patch splices that network into the implementation
+and redrives the target node with its output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..network.network import Network
+from ..network.node import GateType
+
+
+@dataclass
+class Patch:
+    """One target's replacement function.
+
+    Attributes:
+        target: name of the implementation node being re-driven.
+        network: single-PO network; PI names refer to implementation
+            signals (PIs or internal nodes outside every target's TFO).
+        support: the PI names of :attr:`network` (patch inputs).
+        cost: total resource cost of the support signals.
+        gate_count: gates in :attr:`network`.
+        method: provenance tag (``"sat"``, ``"structural"``,
+            ``"cegar_min"``, ``"interpolation"``, ...).
+    """
+
+    target: str
+    network: Network
+    support: List[str]
+    cost: int
+    gate_count: int
+    method: str = "sat"
+
+
+@dataclass
+class EcoResult:
+    """Outcome of a full ECO run (one Table 1 cell group).
+
+    ``cost`` counts each distinct support signal once across all patch
+    functions (the contest metric); ``gate_count`` sums patch gates.
+    """
+
+    instance_name: str
+    patches: List[Patch]
+    cost: int
+    gate_count: int
+    verified: bool
+    runtime_seconds: float
+    method: str
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def support(self) -> List[str]:
+        names = []
+        for p in self.patches:
+            names.extend(p.support)
+        return sorted(set(names))
+
+
+def apply_patch(impl: Network, patch: Patch) -> int:
+    """Splice ``patch`` into ``impl``; returns the patch output node id.
+
+    The target node keeps its id and name but becomes a buffer of the
+    patch output, so every fanout (and PO) of the target sees the new
+    function.
+    """
+    target_id = impl.node_by_name(patch.target)
+    input_map: Dict[int, int] = {}
+    for pi in patch.network.pis:
+        name = patch.network.node(pi).name
+        if not impl.has_name(name):
+            raise ValueError(f"patch input {name!r} not found in implementation")
+        input_map[pi] = impl.node_by_name(name)
+    mapping = impl.append(patch.network, input_map)
+    po_node = mapping[patch.network.pos[0][1]]
+    if po_node == target_id:
+        return po_node
+    impl.set_fanins(target_id, GateType.BUF, [po_node])
+    return po_node
+
+
+def apply_patches(impl: Network, patches: Sequence[Patch]) -> Network:
+    """Return a patched *clone* of ``impl`` with all patches applied."""
+    out = impl.clone()
+    for patch in patches:
+        apply_patch(out, patch)
+    return out

@@ -1,0 +1,132 @@
+"""Patch-function computation by cube enumeration (Section 3.5).
+
+Instead of extracting an interpolant from a resolution proof, the paper
+enumerates satisfying assignments of the extended miter and expands each
+into a prime cube via ``minimize_assumptions``:
+
+1. assume onset conditions (miter = 1, target = 0); a model yields an
+   onset point in divisor space;
+2. assume offset conditions (miter = 1, target = 1) plus the point's
+   divisor literals; UNSAT certifies the point avoids the offset;
+3. minimizing the divisor-literal assumptions yields a prime cube;
+4. a blocking clause removes the cube from the onset and the loop
+   continues until the onset is exhausted.
+
+The collected cubes form a prime SOP, cleaned of single-cube
+containment, then factored and synthesized by :mod:`repro.sop`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.types import mklit, neg
+from ..sop.cube import Cube
+from ..sop.sop import Sop
+from .support import AssumptionMinimizer, SupportStats
+
+
+class PatchEnumerationError(Exception):
+    """Raised when enumeration discovers the divisors are insufficient
+    or a resource cap is hit."""
+
+
+@dataclass
+class EnumerationStats:
+    """Instrumentation for one cube-enumeration run."""
+
+    cubes: int = 0
+    onset_calls: int = 0
+    offset_calls: int = 0
+    minimize_calls: int = 0
+    minimize_sat_calls: int = 0
+
+
+def enumerate_patch_sop(
+    solver: Solver,
+    onset_base: Sequence[int],
+    offset_base: Sequence[int],
+    divisor_vars: Sequence[int],
+    blocking_extra: Sequence[int],
+    mode: str = "minassump",
+    max_cubes: int = 5000,
+    budget_conflicts: Optional[int] = None,
+    stats: Optional[EnumerationStats] = None,
+) -> Sop:
+    """Enumerate a prime SOP for the patch over ``divisor_vars``.
+
+    Args:
+        solver: contains the CNF of the (quantified, extended) miter.
+        onset_base: assumption literals selecting the onset side
+            (typically miter = 1, target = 0).
+        offset_base: assumption literals selecting the offset side
+            (typically miter = 1, target = 1).
+        divisor_vars: solver variables of the patch support, in
+            preference (cost-ascending) order for literal retention.
+        blocking_extra: literals prepended to every blocking clause so
+            the block only constrains the onset side (e.g. the positive
+            target literal).
+        mode: ``"minassump"`` (Algorithm 1 prime expansion) or
+            ``"analyze_final"`` (the baseline: cube = assumption core).
+        max_cubes: enumeration cap; overruns raise.
+        budget_conflicts: per-SAT-call conflict budget.
+
+    Returns:
+        the onset cover as a :class:`~repro.sop.sop.Sop` whose positions
+        follow ``divisor_vars`` order.
+
+    Raises:
+        PatchEnumerationError: divisors insufficient or cap exceeded.
+        SatBudgetExceeded: a SAT call ran out of budget.
+    """
+    stats = stats if stats is not None else EnumerationStats()
+    width = len(divisor_vars)
+    sop = Sop(width)
+    onset_base = list(onset_base)
+    offset_base = list(offset_base)
+    blocking_extra = list(blocking_extra)
+
+    while True:
+        stats.onset_calls += 1
+        if not solver.solve(onset_base, budget_conflicts=budget_conflicts):
+            break
+        point = [solver.model_value(mklit(v)) for v in divisor_vars]
+        point_lits = [mklit(v, point[i] == 0) for i, v in enumerate(divisor_vars)]
+
+        stats.offset_calls += 1
+        if solver.solve(
+            offset_base + point_lits, budget_conflicts=budget_conflicts
+        ):
+            raise PatchEnumerationError(
+                "onset point intersects the offset: divisor set insufficient"
+            )
+        if mode == "analyze_final":
+            core = solver.core
+            chosen = [lit for lit in point_lits if lit in core]
+        elif mode == "minassump":
+            stats.minimize_calls += 1
+            mstats = SupportStats()
+            minimizer = AssumptionMinimizer(
+                solver, offset_base, budget_conflicts, mstats
+            )
+            chosen = minimizer.minimize(point_lits, check=False)
+            stats.minimize_sat_calls += mstats.sat_calls
+        else:
+            raise ValueError(f"unknown enumeration mode {mode!r}")
+
+        var_pos = {v: i for i, v in enumerate(divisor_vars)}
+        literal_map = {var_pos[lit >> 1]: 0 if (lit & 1) else 1 for lit in chosen}
+        cube = Cube.from_literals(width, literal_map)
+        sop.add(cube)
+        stats.cubes += 1
+        if stats.cubes > max_cubes:
+            raise PatchEnumerationError(f"cube cap {max_cubes} exceeded")
+
+        solver.add_clause(
+            blocking_extra + [neg(lit) for lit in chosen]
+        )
+
+    sop.remove_contained_cubes()
+    return sop

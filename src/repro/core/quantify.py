@@ -1,0 +1,133 @@
+"""Universal quantification of targets by cofactor expansion (Section 3.1).
+
+Processing targets one at a time requires the miter ``M_i(n_i, x)`` in
+which every *other* unprocessed target is universally quantified:
+``∀R M = AND over assignments a of M with R fixed to a``.
+
+Full expansion doubles the circuit per quantified variable.  The
+expansion set can instead be restricted to the countermoves harvested
+from a CEGAR 2QBF feasibility run (Section 3.6.2) — an
+under-approximation of the quantification that is sound for patch
+computation (a patch satisfying the stronger constraints satisfies the
+true ones) and is validated by the final equivalence check.
+
+The expansion is built through an :class:`~repro.network.strash.AigBuilder`
+so logic shared between cofactor copies (in particular every divisor
+cone, which never depends on the targets) is constructed once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.network import Network
+from ..network.strash import AigBuilder, strash_into
+from .miter import MITER_PO, EcoMiter
+
+QMITER_PO = "qmiter"
+
+
+@dataclass
+class QuantifiedMiter:
+    """Expansion product of miter cofactors for one current target.
+
+    Attributes:
+        net: network whose PO ``qmiter`` is ``AND_a M(n_i, a, x)``; extra
+            POs ``__div<i>`` expose the divisor functions so they stay in
+            any CNF encoding even when outside the difference cone.
+        x_pis: net PI ids for the shared inputs, by miter PI order.
+        target_pi: net PI id of the current (un-quantified) target, or
+            None if the current target did not survive (degenerate).
+        divisor_nodes: implementation node id → net node id for every
+            tracked divisor.
+        num_copies: number of miter cofactor copies expanded.
+    """
+
+    net: Network
+    x_pis: List[int]
+    target_pi: Optional[int]
+    divisor_nodes: Dict[int, int]
+    num_copies: int
+
+
+def enumerate_assignments(pis: Sequence[int]) -> List[Dict[int, int]]:
+    """All 2^k assignments over the given miter target PIs."""
+    out: List[Dict[int, int]] = []
+    for bits in itertools.product((0, 1), repeat=len(pis)):
+        out.append(dict(zip(pis, bits)))
+    return out
+
+
+def build_quantified_miter(
+    miter: EcoMiter,
+    current_target_pi: Optional[int],
+    assignments: Optional[Sequence[Dict[int, int]]] = None,
+    divisors: Optional[Dict[int, int]] = None,
+) -> QuantifiedMiter:
+    """Quantify every freed target except ``current_target_pi``.
+
+    Args:
+        miter: the ECO miter with the unprocessed targets freed.
+        current_target_pi: miter PI id of the target being solved, or
+            None to quantify *all* targets (the feasibility check of
+            Section 3.2).
+        assignments: expansion set over the *other* target PIs; defaults
+            to the full enumeration.
+        divisors: map implementation-node-id → miter-node-id for the
+            divisor signals to track (usually a restriction of
+            ``miter.impl_map``).
+
+    Returns:
+        a :class:`QuantifiedMiter`.
+    """
+    others = [t for t in miter.target_pis if t != current_target_pi]
+    if assignments is None:
+        assignments = enumerate_assignments(others)
+    if not others:
+        assignments = [dict()]
+
+    builder = AigBuilder()
+    x_lits = {pi: builder.add_pi() for pi in miter.x_pis}
+    target_lit = builder.add_pi() if current_target_pi is not None else None
+    po_node = miter.net.pos[0][1]
+
+    copy_outputs: List[int] = []
+    divisor_lits: Dict[int, int] = {}
+    for copy_idx, assign in enumerate(assignments):
+        pi_lits = dict(x_lits)
+        if current_target_pi is not None and target_lit is not None:
+            pi_lits[current_target_pi] = target_lit
+        for t in others:
+            pi_lits[t] = (
+                AigBuilder.CONST1 if assign.get(t, 0) else AigBuilder.CONST0
+            )
+        litmap = strash_into(builder, miter.net, pi_lits)
+        copy_outputs.append(litmap[po_node])
+        if copy_idx == 0 and divisors:
+            for impl_nid, miter_nid in divisors.items():
+                divisor_lits[impl_nid] = litmap[miter_nid]
+
+    qlit = builder.and_many(copy_outputs)
+    outputs: List[Tuple[str, int]] = [(QMITER_PO, qlit)]
+    div_order = sorted(divisor_lits)
+    for i, impl_nid in enumerate(div_order):
+        outputs.append((f"__div{i}", divisor_lits[impl_nid]))
+
+    pi_names = [miter.net.node(pi).name for pi in miter.x_pis]
+    if target_lit is not None:
+        pi_names.append("__current")
+    net, litmap = builder.to_network(outputs, pi_names, name="qmiter")
+    x_pis = [net.node_by_name(miter.net.node(pi).name) for pi in miter.x_pis]
+    target_node = litmap.get(target_lit) if target_lit is not None else None
+    divisor_nodes = {
+        impl_nid: litmap[divisor_lits[impl_nid]] for impl_nid in div_order
+    }
+    return QuantifiedMiter(
+        net=net,
+        x_pis=x_pis,
+        target_pi=target_node,
+        divisor_nodes=divisor_nodes,
+        num_copies=len(assignments),
+    )

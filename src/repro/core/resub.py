@@ -1,0 +1,138 @@
+"""SAT-based functional resubstitution of internal divisors (§3.6.3).
+
+Given a patch expressed over primary inputs, resubstitution re-expresses
+it over internal implementation signals.  Only the implementation (not
+the whole ECO miter) is involved, so the SAT queries are simpler than
+during patch-support computation — exactly the observation the paper
+makes.  The machinery mirrors the main flow: two implementation copies
+with selector-guarded divisor equalities choose a support, then cube
+enumeration on a single copy rebuilds the function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.network import Network
+from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.tseitin import add_equality, encode_network
+from ..sat.types import mklit, neg
+from ..sop.sop import Sop
+from .patchfunc import EnumerationStats, PatchEnumerationError, enumerate_patch_sop
+from .support import AssumptionMinimizer, SupportStats
+
+
+@dataclass
+class ResubResult:
+    """Outcome of a resubstitution attempt."""
+
+    sop: Sop
+    divisor_ids: List[int]
+    sat_calls: int
+
+
+def resubstitute(
+    impl: Network,
+    patch: Network,
+    divisor_ids: Sequence[int],
+    divisor_order_cost: Dict[int, int],
+    budget_conflicts: Optional[int] = None,
+    max_cubes: int = 2000,
+) -> Optional[ResubResult]:
+    """Re-express ``patch`` over implementation divisors.
+
+    Args:
+        impl: the implementation netlist.
+        patch: single-PO network over implementation PI names.
+        divisor_ids: allowed implementation support nodes.
+        divisor_order_cost: id → cost (drives retention preference).
+        budget_conflicts / max_cubes: resource limits.
+
+    Returns:
+        the new SOP over the chosen divisors, or None when the divisors
+        cannot express the patch (or a budget was exhausted).
+    """
+    if patch.num_pos != 1:
+        raise ValueError("resubstitute expects a single-PO patch")
+    ordered = sorted(divisor_ids, key=lambda n: (divisor_order_cost.get(n, 1), n))
+
+    # --- support selection: two copies, selector-guarded equalities ----
+    sel_solver = Solver()
+    impl_vars_1 = encode_network(sel_solver, impl)
+    impl_vars_2 = encode_network(sel_solver, impl)
+    patch_vars_1 = encode_network(
+        sel_solver,
+        patch,
+        {
+            pi: impl_vars_1[impl.node_by_name(patch.node(pi).name)]
+            for pi in patch.pis
+        },
+    )
+    patch_vars_2 = encode_network(
+        sel_solver,
+        patch,
+        {
+            pi: impl_vars_2[impl.node_by_name(patch.node(pi).name)]
+            for pi in patch.pis
+        },
+    )
+    p1 = patch_vars_1[patch.pos[0][1]]
+    p2 = patch_vars_2[patch.pos[0][1]]
+    selectors: Dict[int, int] = {}
+    for nid in ordered:
+        s = sel_solver.new_var()
+        selectors[nid] = s
+        add_equality(sel_solver, impl_vars_1[nid], impl_vars_2[nid], mklit(s))
+
+    base = [mklit(p1), mklit(p2, True)]  # P(x1)=1 & P(x2)=0
+    stats = SupportStats()
+    try:
+        if sel_solver.solve(
+            base + [mklit(selectors[n]) for n in ordered],
+            budget_conflicts=budget_conflicts,
+        ):
+            return None  # divisors cannot distinguish on/off sets
+        minimizer = AssumptionMinimizer(sel_solver, base, budget_conflicts, stats)
+        chosen_lits = minimizer.minimize(
+            [mklit(selectors[n]) for n in ordered], check=False
+        )
+    except SatBudgetExceeded:
+        return None
+    lit_to_id = {mklit(s): nid for nid, s in selectors.items()}
+    support = [lit_to_id[lit] for lit in chosen_lits]
+    support.sort(key=lambda n: (divisor_order_cost.get(n, 1), n))
+
+    # --- function construction: cube enumeration on one copy -----------
+    fun_solver = Solver()
+    impl_vars = encode_network(fun_solver, impl)
+    patch_vars = encode_network(
+        fun_solver,
+        patch,
+        {
+            pi: impl_vars[impl.node_by_name(patch.node(pi).name)]
+            for pi in patch.pis
+        },
+    )
+    p = patch_vars[patch.pos[0][1]]
+    estats = EnumerationStats()
+    try:
+        sop = enumerate_patch_sop(
+            fun_solver,
+            onset_base=[mklit(p)],
+            offset_base=[mklit(p, True)],
+            divisor_vars=[impl_vars[n] for n in support],
+            blocking_extra=[mklit(p, True)],
+            mode="minassump",
+            max_cubes=max_cubes,
+            budget_conflicts=budget_conflicts,
+            stats=estats,
+        )
+    except (PatchEnumerationError, SatBudgetExceeded):
+        return None
+    return ResubResult(
+        sop=sop,
+        divisor_ids=support,
+        sat_calls=stats.sat_calls + estats.onset_calls + estats.offset_calls
+        + estats.minimize_sat_calls,
+    )

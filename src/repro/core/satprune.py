@@ -1,0 +1,174 @@
+"""SAT-based exact pruning of the patch support (Section 3.4.2).
+
+``SAT_prune`` finds a *minimum*-cost divisor subset (not merely minimal)
+for one target rectification.  Feasibility of a subset S is the UNSAT-
+ness of expression (2) restricted to S — a monotone property (supersets
+of feasible sets stay feasible), which the search exploits exactly as
+the paper describes:
+
+* a growing family of *blocking clauses* rules out every divisor subset
+  known infeasible (each failed check is optionally grown to a maximal
+  infeasible set, strengthening the clause);
+* a *cost bound* prunes candidates that cannot beat the incumbent;
+* the search terminates when the pruned space is exhausted ("the solver
+  returns UNSAT"), proving the incumbent minimum.
+
+Candidate subsets are produced in non-decreasing cost order by an exact
+min-cost hitting-set engine over the blocking clauses, so the first
+feasible candidate is optimal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass
+class SatPruneStats:
+    """Instrumentation for one SAT_prune run."""
+
+    feasibility_checks: int = 0
+    blocking_clauses: int = 0
+    grow_steps: int = 0
+    candidates_enumerated: int = 0
+
+
+class _HittingSetEnumerator:
+    """Enumerates hitting sets of a clause family in cost order.
+
+    Clauses are "pick at least one divisor outside the infeasible set";
+    states are (cost, chosen-set) pairs explored best-first.  The
+    enumeration is restartable: :meth:`add_clause` invalidates emitted
+    states lazily (they are re-checked on pop).
+    """
+
+    def __init__(self, items: Sequence[int], cost: Dict[int, int]) -> None:
+        self.items = sorted(items, key=lambda i: (cost[i], i))
+        self.cost = cost
+        self.clauses: List[FrozenSet[int]] = []
+        self._heap: List[Tuple[int, Tuple[int, ...], FrozenSet[int]]] = [
+            (0, (), frozenset())
+        ]
+        self._emitted: Set[FrozenSet[int]] = set()
+        self._pushed: Set[FrozenSet[int]] = {frozenset()}
+
+    def add_clause(self, clause: FrozenSet[int]) -> None:
+        self.clauses.append(clause)
+        # already-emitted states that violate the new clause must return
+        # to the frontier so their extensions get enumerated
+        cost = self.cost
+        for state in list(self._emitted):
+            if not (clause & state):
+                self._emitted.discard(state)
+                total = sum(cost[i] for i in state)
+                heapq.heappush(
+                    self._heap, (total, tuple(sorted(state)), state)
+                )
+
+    def _violated(self, chosen: FrozenSet[int]) -> Optional[FrozenSet[int]]:
+        for clause in self.clauses:
+            if not (clause & chosen):
+                return clause
+        return None
+
+    def next_candidate(self, bound: Optional[int]) -> Optional[FrozenSet[int]]:
+        """Next cheapest set satisfying all clauses, or None.
+
+        ``bound``: stop (return None) once every open state costs
+        at least the bound.
+        """
+        while self._heap:
+            total, _, chosen = heapq.heappop(self._heap)
+            if bound is not None and total >= bound:
+                return None
+            if chosen in self._emitted:
+                continue
+            violated = self._violated(chosen)
+            if violated is None:
+                self._emitted.add(chosen)
+                return chosen
+            # branch on each way to satisfy the violated clause
+            for item in sorted(violated, key=lambda i: (self.cost[i], i)):
+                if item in chosen:
+                    continue
+                child = chosen | {item}
+                if child in self._pushed:
+                    continue
+                self._pushed.add(child)
+                heapq.heappush(
+                    self._heap,
+                    (total + self.cost[item], tuple(sorted(child)), child),
+                )
+        return None
+
+
+def sat_prune(
+    divisors: Sequence[int],
+    cost: Dict[int, int],
+    is_feasible: Callable[[Sequence[int]], bool],
+    initial_solution: Optional[Sequence[int]] = None,
+    grow: bool = True,
+    max_checks: int = 20000,
+    stats: Optional[SatPruneStats] = None,
+) -> Optional[List[int]]:
+    """Find a minimum-cost feasible divisor subset.
+
+    Args:
+        divisors: candidate ids.
+        cost: id → cost.
+        is_feasible: oracle; True when the subset admits a patch
+            (expression (2) UNSAT over the subset).
+        initial_solution: optional incumbent (e.g. from Algorithm 1) to
+            seed the cost bound.
+        grow: grow infeasible subsets to maximal ones before blocking
+            (fewer, stronger clauses at the price of extra checks).
+        max_checks: feasibility-oracle budget; on exhaustion the best
+            incumbent (possibly None) is returned.
+
+    Returns:
+        the minimum-cost subset, or None if no subset is feasible.
+    """
+    stats = stats if stats is not None else SatPruneStats()
+    items = list(divisors)
+    enum = _HittingSetEnumerator(items, cost)
+
+    best: Optional[List[int]] = None
+    best_cost: Optional[int] = None
+    if initial_solution is not None:
+        best = list(initial_solution)
+        best_cost = sum(cost[i] for i in set(best))
+
+    while stats.feasibility_checks < max_checks:
+        candidate = enum.next_candidate(best_cost)
+        stats.candidates_enumerated += 1
+        if candidate is None:
+            return best  # space exhausted under the bound: optimal
+        stats.feasibility_checks += 1
+        if is_feasible(sorted(candidate)):
+            cand_cost = sum(cost[i] for i in candidate)
+            if best_cost is None or cand_cost < best_cost:
+                best = sorted(candidate)
+                best_cost = cand_cost
+            # the enumerator is cost-ordered, so this is optimal
+            return best
+        blocked = set(candidate)
+        if grow:
+            for item in items:
+                if stats.feasibility_checks >= max_checks:
+                    break
+                if item in blocked:
+                    continue
+                stats.feasibility_checks += 1
+                stats.grow_steps += 1
+                if not is_feasible(sorted(blocked | {item})):
+                    blocked.add(item)
+        complement = frozenset(i for i in items if i not in blocked)
+        if not complement:
+            # every divisor together is infeasible: no solution at all
+            return best
+        enum.add_clause(complement)
+        stats.blocking_clauses += 1
+    return best

@@ -1,0 +1,170 @@
+"""Structural patch computation (Section 3.6).
+
+When SAT-based support/function computation times out, the patch is
+derived structurally, in terms of primary inputs:
+
+* **single target** — the negative cofactor M(0, x) of the (quantified)
+  miter is itself an interpolant of the feasibility pair, so the
+  cofactored miter circuit, re-synthesized, *is* the patch (§3.6.1);
+* **multiple targets** — either the naive sequential construction
+  (cofactoring target-by-target; 2^k − 1 miter copies for k targets) or
+  the QBF-certificate construction of §3.6.2: a MUX cascade over the m
+  CEGAR countermoves, selecting per input x the first countermove whose
+  cofactor matches the spec, needing only m copies (the paper's
+  255 → 40 example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.network import Network
+from ..network.strash import AigBuilder, cofactor_network, strash_into
+from .miter import MITER_PO, EcoMiter
+from .quantify import QMITER_PO, QuantifiedMiter
+
+
+@dataclass
+class StructuralPatchInfo:
+    """A structural patch network plus its construction statistics."""
+
+    network: Network
+    miter_copies: int
+
+
+def structural_patch_single(qm: QuantifiedMiter, patch_name: str) -> StructuralPatchInfo:
+    """Cofactor patch for the current target of a quantified miter.
+
+    The patch is ``M_i(0, x)``: the quantified miter with the current
+    target fixed to 0, strashed.  The PO is renamed to ``patch_name``;
+    unused PIs are swept from the interface.
+    """
+    if qm.target_pi is None:
+        raise ValueError("quantified miter has no current target")
+    cof = cofactor_network(qm.net, {qm.target_pi: 0})
+    patch = _extract_output(cof, QMITER_PO, patch_name)
+    return StructuralPatchInfo(network=patch, miter_copies=qm.num_copies)
+
+
+def certificate_patches(
+    miter: EcoMiter,
+    countermoves: Sequence[Dict[int, int]],
+    target_names: Sequence[str],
+) -> Tuple[List[StructuralPatchInfo], int]:
+    """Simultaneous patches for all targets from QBF countermoves.
+
+    Given the countermoves a_1..a_m whose cofactor conjunction is UNSAT
+    (the CEGAR certificate that the ECO is feasible), every input x has
+    some j with M(x, a_j) = 0; each target's patch is the MUX cascade
+    ``if ¬M(x, a_1) then a_1[i] elif ¬M(x, a_2) then a_2[i] ...``.
+
+    Returns per-target patches (POs named by ``target_names``) and the
+    total number of miter copies used (= m, shared across all targets).
+    """
+    if not countermoves:
+        raise ValueError("certificate construction needs at least one countermove")
+    if len(target_names) != len(miter.target_pis):
+        raise ValueError("target_names must match the miter's targets")
+    builder = AigBuilder()
+    x_lits = {pi: builder.add_pi() for pi in miter.x_pis}
+    po_node = miter.net.pos[0][1]
+    selectors: List[int] = []
+    for move in countermoves:
+        pi_lits = dict(x_lits)
+        for t in miter.target_pis:
+            pi_lits[t] = AigBuilder.CONST1 if move.get(t, 0) else AigBuilder.CONST0
+        litmap = strash_into(builder, miter.net, pi_lits)
+        selectors.append(builder.lit_not(litmap[po_node]))
+
+    outputs: List[Tuple[str, int]] = []
+    for i, (t, name) in enumerate(zip(miter.target_pis, target_names)):
+        values = [
+            AigBuilder.CONST1 if move.get(t, 0) else AigBuilder.CONST0
+            for move in countermoves
+        ]
+        acc = values[-1]  # default branch: never reached when cert valid
+        for j in range(len(countermoves) - 2, -1, -1):
+            acc = builder.mux_(selectors[j], acc, values[j])
+        outputs.append((name, acc))
+
+    pi_names = [miter.net.node(pi).name for pi in miter.x_pis]
+    combined, litmap = builder.to_network(outputs, pi_names, name="cert_patches")
+    patches: List[StructuralPatchInfo] = []
+    for i, name in enumerate(target_names):
+        patch = _extract_output(combined, name, name)
+        patches.append(
+            StructuralPatchInfo(network=patch, miter_copies=len(countermoves))
+        )
+    return patches, len(countermoves)
+
+
+def _extract_output(net: Network, po_name: str, new_po_name: str) -> Network:
+    """Standalone single-output cone of ``po_name``, unused PIs dropped."""
+    po_map = dict(net.pos)
+    if po_name not in po_map:
+        raise ValueError(f"no PO named {po_name!r}")
+    builder = AigBuilder()
+    pi_lits: Dict[int, int] = {pi: builder.add_pi() for pi in net.pis}
+    litmap = strash_into(builder, net, pi_lits)
+    out_lit = litmap[po_map[po_name]]
+    # keep only PIs in the cone's structural support
+    used = _aig_support(builder, out_lit)
+    keep_pis = [pi for pi in net.pis if (pi_lits[pi] >> 1) in used]
+    sub = AigBuilder()
+    sub_pi_lits = {}
+    for pi in keep_pis:
+        sub_pi_lits[pi_lits[pi] >> 1] = sub.add_pi()
+    rebuilt = _copy_aig(builder, sub, out_lit, sub_pi_lits)
+    names = [net.node(pi).name for pi in keep_pis]
+    out, _ = sub.to_network([(new_po_name, rebuilt)], names, name="patch")
+    return out
+
+
+def _aig_support(builder: AigBuilder, lit: int) -> set:
+    """Leaf (PI) node set in the cone of ``lit``."""
+    seen = set()
+    support = set()
+    stack = [lit >> 1]
+    while stack:
+        nid = stack.pop()
+        if nid in seen or nid == 0:
+            continue
+        seen.add(nid)
+        fan = builder._fanins[nid]
+        if fan is None:
+            support.add(nid)
+        else:
+            stack.extend(f >> 1 for f in fan)
+    return support
+
+
+def _copy_aig(
+    src: AigBuilder, dst: AigBuilder, lit: int, leaf_map: Dict[int, int]
+) -> int:
+    """Copy the cone of ``lit`` from ``src`` into ``dst``.
+
+    ``leaf_map`` maps src PI node ids to dst literals.
+    """
+    cache: Dict[int, int] = {0: 0}
+    cache.update({nid: l for nid, l in leaf_map.items()})
+    order: List[int] = []
+    seen = set(cache)
+    stack = [lit >> 1]
+    while stack:
+        nid = stack.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        order.append(nid)
+        fan = src._fanins[nid]
+        if fan is not None:
+            stack.extend(f >> 1 for f in fan)
+    for nid in sorted(order):
+        fan = src._fanins[nid]
+        if fan is None:
+            raise ValueError("unmapped leaf in AIG copy")
+        a = cache[fan[0] >> 1] ^ (fan[0] & 1)
+        b = cache[fan[1] >> 1] ^ (fan[1] & 1)
+        cache[nid] = dst.and_(a, b)
+    return cache[lit >> 1] ^ (lit & 1)

@@ -1,0 +1,201 @@
+"""Patch support computation (Section 3.4.1).
+
+The centerpiece is ``minimize_assumptions`` (Algorithm 1): a divide-and-
+conquer minimization of an assumption set that keeps a SAT instance
+UNSAT, closely related to LEXUNSAT [19].  Applied to cost-ordered
+divisor selector literals it returns a *minimal* support whose cost is
+locally minimum (no member can be swapped for a cheaper unused one —
+enforced exactly by the optional last-gasp pass).
+
+Also provided: the naive one-at-a-time linear minimization (the O(N)
+reference the paper's complexity claim is measured against) and the
+``analyze_final`` core extraction used by the paper's baseline columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..sat.solver import Solver
+
+
+@dataclass
+class SupportStats:
+    """Instrumentation shared by the support-minimization routines."""
+
+    sat_calls: int = 0
+    conflicts_start: int = 0
+
+    def reset(self) -> None:
+        self.sat_calls = 0
+
+
+class AssumptionMinimizer:
+    """Runs Algorithm 1 against a solver and a base assumption set.
+
+    ``base`` assumptions are always asserted; the candidate literals are
+    minimized.  The instance must be UNSAT under ``base + candidates``.
+    """
+
+    def __init__(
+        self,
+        solver: Solver,
+        base: Sequence[int],
+        budget_conflicts: Optional[int] = None,
+        stats: Optional[SupportStats] = None,
+    ) -> None:
+        self.solver = solver
+        self.base = list(base)
+        self.budget = budget_conflicts
+        self.stats = stats if stats is not None else SupportStats()
+        self._active: List[int] = []
+
+    def _solve(self, extra: Sequence[int]) -> bool:
+        self.stats.sat_calls += 1
+        return self.solver.solve(
+            self.base + self._active + list(extra),
+            budget_conflicts=self.budget,
+        )
+
+    def minimize(self, candidates: Sequence[int], check: bool = True) -> List[int]:
+        """Return the minimized subset (in final array order).
+
+        The candidate order encodes preference: earlier literals are
+        preferred for retention (pass them cost-ascending).  ``check``
+        may be disabled when the caller has already established that the
+        instance is UNSAT under ``base + candidates``.
+        """
+        array = list(candidates)
+        if check and self._solve(array):
+            raise ValueError(
+                "instance is SAT under all candidate assumptions; "
+                "nothing to minimize"
+            )
+        size = self._minimize(array)
+        return array[:size]
+
+    def _minimize(self, array: List[int]) -> int:
+        """Algorithm 1: returns S; array reordered so array[:S] is chosen."""
+        if not array:
+            return 0
+        if len(array) == 1:
+            if not self._solve([]):
+                return 0  # this assumption is not needed
+            return 1
+        mid = (len(array) + 1) // 2
+        low = array[:mid]
+        high = array[mid:]
+        # try the lower (preferred) part without the higher part
+        if not self._solve(low):
+            s_low = self._minimize(low)
+            array[:] = low + high
+            return s_low
+        # find solution for the higher part while assuming the lower part
+        self._active.extend(low)
+        s_high = self._minimize(high)
+        del self._active[len(self._active) - len(low):]
+        # find solution for the lower part assuming the kept higher part
+        self._active.extend(high[:s_high])
+        s_low = self._minimize(low)
+        del self._active[len(self._active) - s_high:]
+        array[:] = high[:s_high] + low[:s_low] + low[s_low:] + high[s_high:]
+        return s_high + s_low
+
+
+def minimize_assumptions(
+    solver: Solver,
+    base: Sequence[int],
+    candidates: Sequence[int],
+    budget_conflicts: Optional[int] = None,
+    stats: Optional[SupportStats] = None,
+) -> List[int]:
+    """Functional wrapper around :class:`AssumptionMinimizer`."""
+    return AssumptionMinimizer(solver, base, budget_conflicts, stats).minimize(
+        candidates
+    )
+
+
+def minimize_linear(
+    solver: Solver,
+    base: Sequence[int],
+    candidates: Sequence[int],
+    budget_conflicts: Optional[int] = None,
+    stats: Optional[SupportStats] = None,
+) -> List[int]:
+    """Naive O(N) minimization: drop candidates one at a time.
+
+    Kept as the complexity reference for benchmark E2; produces a
+    minimal set with the same preference order semantics as Algorithm 1.
+    """
+    stats = stats if stats is not None else SupportStats()
+    kept: List[int] = []
+    rest = list(candidates)
+    for i in range(len(rest)):
+        trial = kept + rest[i + 1 :]
+        stats.sat_calls += 1
+        if solver.solve(list(base) + trial, budget_conflicts=budget_conflicts):
+            kept.append(rest[i])  # needed
+    return kept
+
+
+def analyze_final_core(
+    solver: Solver,
+    base: Sequence[int],
+    candidates: Sequence[int],
+    budget_conflicts: Optional[int] = None,
+    stats: Optional[SupportStats] = None,
+) -> List[int]:
+    """Support via the solver's final-conflict core (the paper's baseline).
+
+    One SAT call; the returned subset is whatever the proof happened to
+    touch — sufficient but in general far from minimal, which is exactly
+    the effect Table 1 columns 7-9 quantify.
+    """
+    stats = stats if stats is not None else SupportStats()
+    stats.sat_calls += 1
+    if solver.solve(list(base) + list(candidates), budget_conflicts=budget_conflicts):
+        raise ValueError("instance is SAT under all candidate assumptions")
+    core = solver.core
+    return [lit for lit in candidates if lit in core]
+
+
+def last_gasp_improvement(
+    is_feasible: Callable[[Sequence[int]], bool],
+    selected: List[int],
+    unused: Sequence[int],
+    cost_of: Dict[int, int],
+    max_swaps: int = 256,
+) -> List[int]:
+    """Greedy single-swap improvement (end of Section 3.4.1).
+
+    Tries to replace each selected literal with a cheaper unused one
+    while the ECO stays feasible.  ``is_feasible(lits)`` must report
+    whether the given selector set still admits a patch.
+    """
+    current = list(selected)
+    swaps = 0
+    improved = True
+    while improved and swaps < max_swaps:
+        improved = False
+        order = sorted(range(len(current)), key=lambda i: -cost_of[current[i]])
+        for i in order:
+            victim = current[i]
+            cheaper = [
+                u
+                for u in unused
+                if u not in current and cost_of[u] < cost_of[victim]
+            ]
+            cheaper.sort(key=lambda u: cost_of[u])
+            for candidate in cheaper:
+                if swaps >= max_swaps:
+                    return current
+                trial = current[:i] + current[i + 1 :] + [candidate]
+                swaps += 1
+                if is_feasible(trial):
+                    current = trial
+                    improved = True
+                    break
+            if improved:
+                break
+    return current

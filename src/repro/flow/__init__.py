@@ -1,0 +1,5 @@
+"""Max-flow / min-cut substrate used by CEGAR_min."""
+
+from .maxflow import FlowNetwork, min_node_cut
+
+__all__ = ["FlowNetwork", "min_node_cut"]

@@ -1,0 +1,181 @@
+"""Dinic max-flow and minimum node cuts.
+
+``CEGAR_min`` (Section 3.6.3) re-expresses a structural patch on a
+minimum-weight cut of signals that have functional equivalents in the
+implementation.  Node capacities are handled with the standard
+node-splitting construction; the min cut is recovered from the residual
+graph reachability after the max flow saturates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+INF = float("inf")
+
+
+class FlowNetwork:
+    """A directed flow network with Dinic's algorithm."""
+
+    def __init__(self) -> None:
+        self._index: Dict[Hashable, int] = {}
+        self._names: List[Hashable] = []
+        # adjacency: per node, list of edge ids; edges stored as flat arrays
+        self._adj: List[List[int]] = []
+        self._to: List[int] = []
+        self._cap: List[float] = []
+
+    def _node(self, name: Hashable) -> int:
+        idx = self._index.get(name)
+        if idx is None:
+            idx = len(self._names)
+            self._index[name] = idx
+            self._names.append(name)
+            self._adj.append([])
+        return idx
+
+    def add_edge(self, u: Hashable, v: Hashable, capacity: float) -> None:
+        """Add a directed edge with the given capacity (reverse cap 0)."""
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        ui, vi = self._node(u), self._node(v)
+        self._adj[ui].append(len(self._to))
+        self._to.append(vi)
+        self._cap.append(capacity)
+        self._adj[vi].append(len(self._to))
+        self._to.append(ui)
+        self._cap.append(0.0)
+
+    def max_flow(self, source: Hashable, sink: Hashable) -> float:
+        """Run Dinic; returns the max-flow value (capacities mutate)."""
+        s, t = self._node(source), self._node(sink)
+        flow = 0.0
+        while True:
+            level = self._bfs_levels(s, t)
+            if level[t] < 0:
+                return flow
+            it = [0] * len(self._adj)
+            while True:
+                pushed = self._dfs(s, t, INF, level, it)
+                if pushed <= 0:
+                    break
+                flow += pushed
+
+    def _bfs_levels(self, s: int, t: int) -> List[int]:
+        level = [-1] * len(self._adj)
+        level[s] = 0
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for eid in self._adj[u]:
+                v = self._to[eid]
+                if self._cap[eid] > 1e-12 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level
+
+    def _dfs(
+        self, s: int, t: int, pushed: float, level: List[int], it: List[int]
+    ) -> float:
+        """One augmenting path in the level graph (iterative DFS)."""
+        path: List[int] = []  # edge ids along the current path
+        u = s
+        while True:
+            if u == t:
+                bottleneck = min(self._cap[eid] for eid in path)
+                for eid in path:
+                    self._cap[eid] -= bottleneck
+                    self._cap[eid ^ 1] += bottleneck
+                return bottleneck
+            advanced = False
+            while it[u] < len(self._adj[u]):
+                eid = self._adj[u][it[u]]
+                v = self._to[eid]
+                if self._cap[eid] > 1e-12 and level[v] == level[u] + 1:
+                    path.append(eid)
+                    u = v
+                    advanced = True
+                    break
+                it[u] += 1
+            if advanced:
+                continue
+            if not path:
+                return 0.0
+            # dead end: retreat and advance the parent's iterator
+            level[u] = -1  # prune this vertex for the rest of the phase
+            eid = path.pop()
+            u = self._to[eid ^ 1]
+            it[u] += 1
+
+    def min_cut_reachable(self, source: Hashable) -> Set[Hashable]:
+        """Nodes reachable from the source in the residual graph.
+
+        Call after :meth:`max_flow`; edges from this set to its
+        complement form a minimum cut.
+        """
+        s = self._node(source)
+        seen = {s}
+        stack = [s]
+        while stack:
+            u = stack.pop()
+            for eid in self._adj[u]:
+                v = self._to[eid]
+                if self._cap[eid] > 1e-12 and v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return {self._names[i] for i in seen}
+
+
+def min_node_cut(
+    edges: Iterable[Tuple[Hashable, Hashable]],
+    sources: Iterable[Hashable],
+    sink: Hashable,
+    node_weights: Dict[Hashable, float],
+) -> Tuple[float, Set[Hashable]]:
+    """Minimum-weight node cut separating ``sources`` from ``sink``.
+
+    Every node ``v`` with a finite weight may be cut at cost
+    ``node_weights[v]``; nodes missing from the map are uncuttable
+    (infinite capacity).  Returns ``(cut_weight, cut_nodes)``.
+
+    Node splitting: each node v becomes v_in → v_out with the node's
+    capacity; structural edges (u, v) become u_out → v_in with effective
+    infinity.  When every source-sink path crosses an uncuttable node,
+    the returned weight is ``float('inf')`` and the cut set is empty.
+    """
+    net = FlowNetwork()
+    nodes: Set[Hashable] = set()
+    edge_list = list(edges)
+    for u, v in edge_list:
+        nodes.add(u)
+        nodes.add(v)
+    sources = list(sources)
+    nodes.update(sources)
+    nodes.add(sink)
+    # effective infinity: strictly above any all-finite cut, and finite
+    # so residual arithmetic stays exact
+    finite_total = sum(
+        w for w in node_weights.values() if w != INF and w == w
+    )
+    big = finite_total + 1.0
+    for v in nodes:
+        cap = node_weights.get(v, INF)
+        if cap == INF or cap != cap:
+            cap = big
+        net.add_edge(("in", v), ("out", v), cap)
+    for u, v in edge_list:
+        net.add_edge(("out", u), ("in", v), big)
+    super_source = ("super", "source")
+    for srt in sources:
+        net.add_edge(super_source, ("in", srt), big)
+    flow = net.max_flow(super_source, ("out", sink))
+    if flow >= big:
+        return INF, set()
+    reach = net.min_cut_reachable(super_source)
+    cut = {
+        v
+        for v in nodes
+        if ("in", v) in reach and ("out", v) not in reach
+    }
+    return flow, cut

@@ -1,0 +1,35 @@
+"""Netlist and ECO-instance I/O: Verilog, BLIF, .bench, AIGER, weights."""
+
+from .aiger import AigerError, parse_aiger, read_aiger, write_aiger
+from .bench import BenchError, parse_bench, read_bench, write_bench
+from .blif import BlifError, parse_blif, read_blif, write_blif
+from .verilog import VerilogError, parse_verilog, read_verilog, write_verilog
+from .weights import (
+    EcoInstance,
+    parse_weights,
+    read_weights,
+    write_weights,
+)
+
+__all__ = [
+    "AigerError",
+    "BenchError",
+    "BlifError",
+    "EcoInstance",
+    "VerilogError",
+    "parse_aiger",
+    "parse_bench",
+    "parse_blif",
+    "parse_verilog",
+    "parse_weights",
+    "read_aiger",
+    "read_bench",
+    "read_blif",
+    "read_verilog",
+    "read_weights",
+    "write_aiger",
+    "write_bench",
+    "write_blif",
+    "write_verilog",
+    "write_weights",
+]

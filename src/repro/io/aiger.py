@@ -1,0 +1,206 @@
+"""AIGER (ASCII ``.aag``) reader/writer.
+
+The standard exchange format for And-Inverter Graphs: combinational
+networks round-trip through the strashed AIG; latches map to
+:class:`~repro.seq.network.SeqNetwork` registers.  Symbol and comment
+sections are honored for PI/PO/latch names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..network.network import Network
+from ..network.node import GateType
+from ..network.strash import AigBuilder, strash_into
+
+
+class AigerError(Exception):
+    """Raised on malformed AIGER input."""
+
+
+def parse_aiger(text: str):
+    """Parse ASCII AIGER.
+
+    Returns a :class:`Network` for purely combinational files and a
+    :class:`~repro.seq.network.SeqNetwork` when latches are present.
+    """
+    lines = [l.rstrip("\n") for l in text.split("\n")]
+    if not lines or not lines[0].startswith("aag "):
+        raise AigerError("missing 'aag' header (binary 'aig' not supported)")
+    header = lines[0].split()
+    if len(header) < 6:
+        raise AigerError("header needs M I L O A")
+    m, i, l, o, a = (int(x) for x in header[1:6])
+
+    idx = 1
+    input_lits = [int(lines[idx + k].split()[0]) for k in range(i)]
+    idx += i
+    latch_defs: List[Tuple[int, int, int]] = []
+    for k in range(l):
+        parts = [int(x) for x in lines[idx + k].split()]
+        if len(parts) < 2:
+            raise AigerError(f"bad latch line {lines[idx + k]!r}")
+        init = parts[2] if len(parts) > 2 else 0
+        latch_defs.append((parts[0], parts[1], init))
+    idx += l
+    output_lits = [int(lines[idx + k].split()[0]) for k in range(o)]
+    idx += o
+    and_defs: List[Tuple[int, int, int]] = []
+    for k in range(a):
+        parts = [int(x) for x in lines[idx + k].split()]
+        if len(parts) != 3:
+            raise AigerError(f"bad AND line {lines[idx + k]!r}")
+        and_defs.append((parts[0], parts[1], parts[2]))
+    idx += a
+
+    # symbol table
+    names: Dict[str, str] = {}
+    for line in lines[idx:]:
+        if line.startswith("c"):
+            break
+        if not line:
+            continue
+        tag, _, name = line.partition(" ")
+        if tag and name:
+            names[tag] = name
+
+    net = Network("aiger")
+    lit_node: Dict[int, int] = {0: net.add_const(0), 1: net.add_const(1)}
+    for k, lit in enumerate(input_lits):
+        if lit & 1 or lit == 0:
+            raise AigerError(f"input literal {lit} must be positive/even")
+        lit_node[lit] = net.add_pi(names.get(f"i{k}", f"i{k}"))
+    latch_out_nodes: List[int] = []
+    for k, (lit, _, _) in enumerate(latch_defs):
+        if lit & 1:
+            raise AigerError(f"latch literal {lit} must be even")
+        nid = net.add_pi(names.get(f"l{k}", f"l{k}"))
+        lit_node[lit] = nid
+        latch_out_nodes.append(nid)
+
+    def node_of(lit: int) -> int:
+        if lit in lit_node:
+            return lit_node[lit]
+        if lit & 1:
+            base = node_of(lit ^ 1)
+            lit_node[lit] = net.add_gate(GateType.NOT, [base])
+            return lit_node[lit]
+        raise AigerError(f"literal {lit} referenced before definition")
+
+    for out_lit, in0, in1 in and_defs:
+        if out_lit & 1:
+            raise AigerError("AND output literal must be even")
+        fan = [node_of(in0), node_of(in1)]
+        lit_node[out_lit] = net.add_gate(GateType.AND, fan)
+
+    for k, lit in enumerate(output_lits):
+        net.add_po(node_of(lit), names.get(f"o{k}", f"o{k}"))
+
+    if not latch_defs:
+        return net
+
+    from ..seq.network import Latch, SeqNetwork
+
+    latches = []
+    for k, (lit, next_lit, init) in enumerate(latch_defs):
+        if init not in (0, 1):
+            raise AigerError("only constant latch initializations supported")
+        latches.append(
+            Latch(
+                name=net.node(latch_out_nodes[k]).name,
+                output=latch_out_nodes[k],
+                data_input=node_of(next_lit),
+                init=init,
+            )
+        )
+    return SeqNetwork(net, latches)
+
+
+def read_aiger(path: str):
+    """Read an ``.aag`` file."""
+    with open(path, "r", encoding="utf-8") as f:
+        return parse_aiger(f.read())
+
+
+def write_aiger(net, path: Optional[str] = None) -> str:
+    """Serialize a (sequential) network as ASCII AIGER.
+
+    Combinational :class:`Network` or :class:`SeqNetwork` accepted; the
+    logic is strashed into AIG form first.
+    """
+    from ..seq.network import SeqNetwork
+
+    if isinstance(net, SeqNetwork):
+        core = net.core
+        latches = net.latches
+    else:
+        core = net
+        latches = []
+
+    builder = AigBuilder()
+    pi_lits: Dict[int, int] = {}
+    latch_outputs = {l.output for l in latches}
+    true_pis = [pi for pi in core.pis if pi not in latch_outputs]
+    for pi in true_pis:
+        pi_lits[pi] = builder.add_pi()
+    latch_lits: Dict[int, int] = {}
+    for latch in latches:
+        latch_lits[latch.output] = builder.add_pi()
+        pi_lits[latch.output] = latch_lits[latch.output]
+    litmap = strash_into(builder, core, pi_lits)
+
+    # AIGER literal assignment: variables 1..M in creation order
+    out_lines: List[str] = []
+    # builder nodes: PIs first (as created), then ANDs by id
+    n_inputs = len(true_pis)
+    n_latches = len(latches)
+    aiger_lit: Dict[int, int] = {0: 0}  # builder node -> aiger even literal
+
+    def b2a(blit: int) -> int:
+        node = blit >> 1
+        base = aiger_lit[node]
+        return base ^ (blit & 1)
+
+    next_var = 1
+    for pi in builder.pis:
+        aiger_lit[pi] = 2 * next_var
+        next_var += 1
+    and_lines: List[str] = []
+    for nid in range(1, len(builder._fanins)):
+        fan = builder._fanins[nid]
+        if fan is None:
+            continue
+        aiger_lit[nid] = 2 * next_var
+        next_var += 1
+        and_lines.append(
+            f"{aiger_lit[nid]} {b2a(fan[0])} {b2a(fan[1])}"
+        )
+    max_var = next_var - 1
+
+    header = (
+        f"aag {max_var} {n_inputs} {n_latches} {core.num_pos} "
+        f"{len(and_lines)}"
+    )
+    out_lines.append(header)
+    for k, pi in enumerate(true_pis):
+        out_lines.append(str(b2a(pi_lits[pi])))
+    for latch in latches:
+        out_lines.append(
+            f"{b2a(latch_lits[latch.output])} "
+            f"{b2a(litmap[latch.data_input])} {latch.init}"
+        )
+    for po_name, nid in core.pos:
+        out_lines.append(str(b2a(litmap[nid])))
+    out_lines.extend(and_lines)
+    for k, pi in enumerate(true_pis):
+        out_lines.append(f"i{k} {core.node(pi).name}")
+    for k, latch in enumerate(latches):
+        out_lines.append(f"l{k} {latch.name}")
+    for k, (po_name, _) in enumerate(core.pos):
+        out_lines.append(f"o{k} {po_name}")
+    text = "\n".join(out_lines) + "\n"
+    if path:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+    return text

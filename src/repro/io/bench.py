@@ -1,0 +1,157 @@
+"""ISCAS-89 ``.bench`` reader/writer (combinational subset)."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..network.network import Network
+from ..network.node import GateType
+
+_BENCH_GATES = {
+    "AND": GateType.AND,
+    "OR": GateType.OR,
+    "NAND": GateType.NAND,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "MUX": GateType.MUX,
+}
+
+_REVERSE = {
+    GateType.AND: "AND",
+    GateType.OR: "OR",
+    GateType.NAND: "NAND",
+    GateType.NOR: "NOR",
+    GateType.XOR: "XOR",
+    GateType.XNOR: "XNOR",
+    GateType.NOT: "NOT",
+    GateType.BUF: "BUFF",
+    GateType.MUX: "MUX",
+}
+
+
+class BenchError(Exception):
+    """Raised on unparseable .bench input."""
+
+
+def parse_bench(text: str) -> Network:
+    """Parse combinational ``.bench`` text into a :class:`Network`."""
+    inputs: List[str] = []
+    outputs: List[str] = []
+    driver: Dict[str, Tuple[GateType, List[str]]] = {}
+    for raw in text.split("\n"):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = re.fullmatch(r"INPUT\s*\(\s*(\S+?)\s*\)", line, flags=re.I)
+        if m:
+            inputs.append(m.group(1))
+            continue
+        m = re.fullmatch(r"OUTPUT\s*\(\s*(\S+?)\s*\)", line, flags=re.I)
+        if m:
+            outputs.append(m.group(1))
+            continue
+        m = re.fullmatch(r"(\S+)\s*=\s*(\w+)\s*\(\s*(.*?)\s*\)", line)
+        if not m:
+            raise BenchError(f"unsupported line: {line!r}")
+        out, prim, args = m.group(1), m.group(2).upper(), m.group(3)
+        if prim == "DFF":
+            raise BenchError("sequential .bench is not supported")
+        if prim not in _BENCH_GATES:
+            raise BenchError(f"unknown primitive {prim!r}")
+        ins = [a.strip() for a in args.split(",") if a.strip()]
+        if out in driver:
+            raise BenchError(f"signal {out!r} defined twice")
+        driver[out] = (_BENCH_GATES[prim], ins)
+
+    net = Network("bench")
+    for pin in inputs:
+        net.add_pi(pin)
+
+    def build(goal: str) -> int:
+        if net.has_name(goal):
+            return net.node_by_name(goal)
+        stack: List[Tuple[str, bool]] = [(goal, False)]
+        on_path: set = set()
+        while stack:
+            wire, expanded = stack.pop()
+            if net.has_name(wire):
+                continue
+            if expanded:
+                on_path.discard(wire)
+                if wire not in driver:
+                    raise BenchError(f"signal {wire!r} has no driver")
+                gtype, ins = driver[wire]
+                net.add_gate(gtype, [net.node_by_name(x) for x in ins], wire)
+                continue
+            if wire in on_path:
+                raise BenchError(f"combinational cycle through {wire!r}")
+            on_path.add(wire)
+            stack.append((wire, True))
+            if wire in driver:
+                for dep in driver[wire][1]:
+                    if not net.has_name(dep):
+                        stack.append((dep, False))
+        return net.node_by_name(goal)
+
+    for out in outputs:
+        net.add_po(build(out), out)
+    for wire in driver:
+        build(wire)
+    return net
+
+
+def read_bench(path: str) -> Network:
+    """Read a ``.bench`` file."""
+    with open(path, "r", encoding="utf-8") as f:
+        return parse_bench(f.read())
+
+
+def write_bench(net: Network, path: Optional[str] = None) -> str:
+    """Serialize ``net`` as ``.bench`` text."""
+    names: Dict[int, str] = {}
+    used = set()
+    for node in net.nodes():
+        if node.name:
+            names[node.nid] = node.name
+            used.add(node.name)
+    for node in net.nodes():
+        if node.nid not in names:
+            cand = f"n{node.nid}"
+            while cand in used:
+                cand = "_" + cand
+            names[node.nid] = cand
+            used.add(cand)
+    lines = [f"# {net.name or 'top'}"]
+    for pi in net.pis:
+        lines.append(f"INPUT({names[pi]})")
+    po_aliases = []
+    for po_name, nid in net.pos:
+        lines.append(f"OUTPUT({po_name})")
+        if names[nid] != po_name:
+            po_aliases.append((po_name, nid))
+    for node in net.topo_order():
+        if node.is_pi:
+            continue
+        if node.is_const:
+            # .bench has no constants; emit via XOR(x,x)/XNOR(x,x) on a PI
+            if not net.pis:
+                raise BenchError("cannot emit constants without any PI")
+            x = names[net.pis[0]]
+            op = "XNOR" if node.gtype is GateType.CONST1 else "XOR"
+            lines.append(f"{names[node.nid]} = {op}({x}, {x})")
+            continue
+        prim = _REVERSE[node.gtype]
+        args = ", ".join(names[f] for f in node.fanins)
+        lines.append(f"{names[node.nid]} = {prim}({args})")
+    for po_name, nid in po_aliases:
+        lines.append(f"{po_name} = BUFF({names[nid]})")
+    text = "\n".join(lines) + "\n"
+    if path:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+    return text

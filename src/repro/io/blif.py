@@ -1,0 +1,253 @@
+"""BLIF reader/writer.
+
+Supports the combinational subset: ``.model``, ``.inputs``, ``.outputs``,
+``.names`` with SOP plane lines, and ``.end``.  ``.names`` covers are
+imported as two-level AND/OR/NOT logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.network import Network
+from ..network.node import GateType
+
+
+class BlifError(Exception):
+    """Raised on unparseable BLIF input."""
+
+
+def parse_blif(text: str) -> Network:
+    """Parse a combinational BLIF model into a :class:`Network`."""
+    # join continuation lines, strip comments
+    raw_lines = text.split("\n")
+    lines: List[str] = []
+    buf = ""
+    for raw in raw_lines:
+        line = raw.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            buf += line[:-1] + " "
+            continue
+        line = buf + line
+        buf = ""
+        if line.strip():
+            lines.append(line.strip())
+
+    model = ""
+    inputs: List[str] = []
+    outputs: List[str] = []
+    names_blocks: List[Tuple[List[str], List[str]]] = []
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if line.startswith(".model"):
+            model = line.split(None, 1)[1].strip() if " " in line else ""
+        elif line.startswith(".inputs"):
+            inputs.extend(line.split()[1:])
+        elif line.startswith(".outputs"):
+            outputs.extend(line.split()[1:])
+        elif line.startswith(".names"):
+            sig = line.split()[1:]
+            if not sig:
+                raise BlifError(".names needs at least an output")
+            plane: List[str] = []
+            j = i + 1
+            while j < len(lines) and not lines[j].startswith("."):
+                plane.append(lines[j])
+                j += 1
+            names_blocks.append((sig, plane))
+            i = j - 1
+        elif line.startswith(".end"):
+            break
+        elif line.startswith(".latch"):
+            raise BlifError("sequential BLIF is not supported")
+        i += 1
+
+    net = Network(model or "blif")
+    for pin in inputs:
+        net.add_pi(pin)
+
+    driver: Dict[str, Tuple[List[str], List[str]]] = {}
+    for sig, plane in names_blocks:
+        out = sig[-1]
+        if out in driver:
+            raise BlifError(f"{out!r} defined twice")
+        driver[out] = (sig[:-1], plane)
+
+    def build(goal: str) -> int:
+        if net.has_name(goal):
+            return net.node_by_name(goal)
+        stack: List[Tuple[str, bool]] = [(goal, False)]
+        on_path: set = set()
+        while stack:
+            wire, expanded = stack.pop()
+            if net.has_name(wire):
+                continue
+            if expanded:
+                on_path.discard(wire)
+                if wire not in driver:
+                    raise BlifError(f"signal {wire!r} has no driver")
+                ins, plane = driver[wire]
+                _materialize_names(net, wire, ins, plane)
+                continue
+            if wire in on_path:
+                raise BlifError(f"combinational cycle through {wire!r}")
+            on_path.add(wire)
+            stack.append((wire, True))
+            if wire in driver:
+                for dep in driver[wire][0]:
+                    if not net.has_name(dep):
+                        stack.append((dep, False))
+        return net.node_by_name(goal)
+
+    for out in outputs:
+        net.add_po(build(out), out)
+    return net
+
+
+def _materialize_names(
+    net: Network, out: str, ins: List[str], plane: List[str]
+) -> None:
+    """Build one ``.names`` SOP block as AND/OR/NOT gates."""
+    in_ids = [net.node_by_name(x) for x in ins]
+    if not ins:
+        # constant: a single "1" line means const1, empty plane means const0
+        value = 1 if any(row.strip() == "1" for row in plane) else 0
+        net.add_gate(GateType.BUF, [net.add_const(value)], out)
+        return
+    onset_rows: List[str] = []
+    offset_rows: List[str] = []
+    for row in plane:
+        parts = row.split()
+        if len(parts) != 2:
+            raise BlifError(f"bad plane row {row!r}")
+        pattern, value = parts
+        if len(pattern) != len(ins):
+            raise BlifError(f"plane row width mismatch: {row!r}")
+        if value == "1":
+            onset_rows.append(pattern)
+        elif value == "0":
+            offset_rows.append(pattern)
+        else:
+            raise BlifError(f"bad output value in {row!r}")
+    if offset_rows:
+        if onset_rows:
+            raise BlifError("mixed onset/offset planes are not supported")
+        # offset-specified cover: complement of the OR of the rows
+        lits = [_row_to_and(net, r, in_ids) for r in offset_rows]
+        if len(lits) == 1:
+            net.add_gate(GateType.NOT, [lits[0]], out)
+        else:
+            net.add_gate(GateType.NOR, lits, out)
+        return
+    if not onset_rows:
+        net.add_gate(GateType.BUF, [net.add_const(0)], out)
+        return
+    terms = [_row_to_and(net, pattern, in_ids) for pattern in onset_rows]
+    if len(terms) == 1:
+        net.add_gate(GateType.BUF, [terms[0]], out)
+    else:
+        net.add_gate(GateType.OR, terms, out)
+
+
+def _row_to_and(net: Network, pattern: str, in_ids: List[int]) -> int:
+    lits: List[int] = []
+    for ch, nid in zip(pattern, in_ids):
+        if ch == "1":
+            lits.append(nid)
+        elif ch == "0":
+            lits.append(net.add_gate(GateType.NOT, [nid]))
+        elif ch != "-":
+            raise BlifError(f"bad plane character {ch!r}")
+    if not lits:
+        return net.add_const(1)
+    if len(lits) == 1:
+        return lits[0]
+    return net.add_gate(GateType.AND, lits)
+
+
+def read_blif(path: str) -> Network:
+    """Read a BLIF file."""
+    with open(path, "r", encoding="utf-8") as f:
+        return parse_blif(f.read())
+
+
+def write_blif(net: Network, path: Optional[str] = None) -> str:
+    """Serialize ``net`` as BLIF (each gate becomes one ``.names``)."""
+    names: Dict[int, str] = {}
+    used = set()
+    for node in net.nodes():
+        if node.name:
+            names[node.nid] = node.name
+            used.add(node.name)
+    for node in net.nodes():
+        if node.nid not in names:
+            cand = f"n{node.nid}"
+            while cand in used:
+                cand = "_" + cand
+            names[node.nid] = cand
+            used.add(cand)
+    lines = [f".model {net.name or 'top'}"]
+    if net.pis:
+        lines.append(".inputs " + " ".join(names[p] for p in net.pis))
+    po_aliases: List[Tuple[str, int]] = []
+    lines.append(".outputs " + " ".join(po for po, _ in net.pos))
+    for po_name, nid in net.pos:
+        if names[nid] != po_name:
+            po_aliases.append((po_name, nid))
+    for node in net.topo_order():
+        if node.is_pi:
+            continue
+        lines.extend(_names_block(node, names))
+    for po_name, nid in po_aliases:
+        lines.append(f".names {names[nid]} {po_name}")
+        lines.append("1 1")
+    lines.append(".end")
+    text = "\n".join(lines) + "\n"
+    if path:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+    return text
+
+
+def _names_block(node, names: Dict[int, str]) -> List[str]:
+    from ..network.node import GateType as G
+
+    fan = [names[f] for f in node.fanins]
+    head = ".names " + " ".join(fan + [names[node.nid]])
+    k = len(fan)
+    g = node.gtype
+    if g is G.CONST0:
+        return [f".names {names[node.nid]}"]
+    if g is G.CONST1:
+        return [f".names {names[node.nid]}", "1"]
+    if g is G.BUF:
+        return [head, "1 1"]
+    if g is G.NOT:
+        return [head, "0 1"]
+    if g is G.AND:
+        return [head, "1" * k + " 1"]
+    if g is G.NAND:
+        return [head] + [
+            "-" * i + "0" + "-" * (k - i - 1) + " 1" for i in range(k)
+        ]
+    if g is G.OR:
+        return [head] + [
+            "-" * i + "1" + "-" * (k - i - 1) + " 1" for i in range(k)
+        ]
+    if g is G.NOR:
+        return [head, "0" * k + " 1"]
+    if g in (G.XOR, G.XNOR):
+        rows = []
+        for m in range(1 << k):
+            ones = bin(m).count("1")
+            val = ones % 2 if g is G.XOR else 1 - ones % 2
+            if val:
+                rows.append(
+                    "".join("1" if (m >> i) & 1 else "0" for i in range(k)) + " 1"
+                )
+        return [head] + rows
+    if g is G.MUX:
+        # fanins (s, d0, d1): out = d1 when s else d0
+        return [head, "01- 1", "1-1 1"]
+    raise BlifError(f"cannot serialize gate type {g}")

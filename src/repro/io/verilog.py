@@ -1,0 +1,231 @@
+"""Structural Verilog reader/writer (ICCAD'17 contest subset).
+
+The contest benchmarks use a flat gate-level subset of Verilog: one
+module, ``input``/``output``/``wire`` declarations, primitive gate
+instantiations with the output as the first terminal, and constant
+drivers ``1'b0`` / ``1'b1`` via ``assign``.  This module parses and
+emits exactly that subset.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.network import Network, NetworkError
+from ..network.node import GateType
+
+_GATE_TYPES = {
+    "and": GateType.AND,
+    "or": GateType.OR,
+    "nand": GateType.NAND,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+    "mux": GateType.MUX,
+}
+
+_REVERSE_GATE = {v: k for k, v in _GATE_TYPES.items()}
+
+
+class VerilogError(Exception):
+    """Raised on unparseable input."""
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    text = re.sub(r"//[^\n]*", " ", text)
+    return text
+
+
+def parse_verilog(text: str) -> Network:
+    """Parse one flat structural module into a :class:`Network`."""
+    text = _strip_comments(text)
+    m = re.search(r"\bmodule\s+(\w+)\s*\((.*?)\)\s*;", text, flags=re.S)
+    if not m:
+        raise VerilogError("no module header found")
+    name = m.group(1)
+    body = text[m.end() : text.find("endmodule")]
+    if text.find("endmodule") < 0:
+        raise VerilogError("missing endmodule")
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    statements = [s.strip() for s in body.split(";") if s.strip()]
+    gates: List[Tuple[GateType, str, List[str]]] = []
+    assigns: List[Tuple[str, str]] = []
+    for stmt in statements:
+        kw = stmt.split(None, 1)[0]
+        if kw in ("input", "output", "wire"):
+            rest = stmt[len(kw) :]
+            names = [w.strip() for w in rest.split(",") if w.strip()]
+            for w in names:
+                if not re.fullmatch(r"[A-Za-z_\\][\w\$\.\[\]\\]*", w):
+                    raise VerilogError(f"bad identifier {w!r} in {kw} declaration")
+            if kw == "input":
+                inputs.extend(names)
+            elif kw == "output":
+                outputs.extend(names)
+            continue
+        if kw == "assign":
+            am = re.fullmatch(r"assign\s+(\S+)\s*=\s*(\S+)", stmt)
+            if not am:
+                raise VerilogError(f"unsupported assign: {stmt!r}")
+            assigns.append((am.group(1), am.group(2)))
+            continue
+        gm = re.fullmatch(r"(\w+)\s+(\S+)?\s*\(\s*(.*?)\s*\)", stmt, flags=re.S)
+        if not gm:
+            raise VerilogError(f"unsupported statement: {stmt!r}")
+        prim = gm.group(1)
+        if prim not in _GATE_TYPES:
+            raise VerilogError(f"unknown primitive {prim!r} in {stmt!r}")
+        terms = [t.strip() for t in gm.group(3).split(",")]
+        if len(terms) < 2:
+            raise VerilogError(f"gate needs an output and inputs: {stmt!r}")
+        gates.append((_GATE_TYPES[prim], terms[0], terms[1:]))
+
+    net = Network(name)
+    for pin in inputs:
+        net.add_pi(pin)
+
+    driver: Dict[str, Tuple[GateType, List[str]]] = {}
+    for gtype, out, ins in gates:
+        if out in driver:
+            raise VerilogError(f"wire {out!r} driven twice")
+        driver[out] = (gtype, ins)
+    const_assign: Dict[str, int] = {}
+    alias: Dict[str, str] = {}
+    for out, rhs in assigns:
+        if rhs in ("1'b0", "1'b1"):
+            const_assign[out] = 1 if rhs.endswith("1") else 0
+        else:
+            alias[out] = rhs
+
+    def deps_of(wire: str) -> List[str]:
+        if wire in alias:
+            return [alias[wire]]
+        if wire in driver:
+            return driver[wire][1]
+        return []
+
+    def resolve(goal: str) -> int:
+        """Iterative post-order construction of the cone under ``goal``."""
+        if net.has_name(goal):
+            return net.node_by_name(goal)
+        stack: List[Tuple[str, bool]] = [(goal, False)]
+        on_path: set = set()
+        while stack:
+            wire, expanded = stack.pop()
+            if net.has_name(wire) or wire in ("1'b0", "1'b1"):
+                continue
+            if expanded:
+                on_path.discard(wire)
+                if wire in const_assign:
+                    cid = net.add_const(const_assign[wire])
+                    net.add_gate(GateType.BUF, [cid], wire)
+                elif wire in alias:
+                    src = _wire_node(net, alias[wire])
+                    net.add_gate(GateType.BUF, [src], wire)
+                elif wire in driver:
+                    gtype, ins = driver[wire]
+                    net.add_gate(gtype, [_wire_node(net, w) for w in ins], wire)
+                else:
+                    raise VerilogError(f"wire {wire!r} has no driver")
+                continue
+            if wire in on_path:
+                raise VerilogError(f"combinational cycle through {wire!r}")
+            on_path.add(wire)
+            stack.append((wire, True))
+            for dep in deps_of(wire):
+                if not net.has_name(dep) and dep not in ("1'b0", "1'b1"):
+                    stack.append((dep, False))
+        return _wire_node(net, goal)
+
+    for out in outputs:
+        net.add_po(resolve(out), out)
+    # materialize any dangling drivers too (they may be divisors)
+    for wire in driver:
+        resolve(wire)
+    return net
+
+
+def _wire_node(net: Network, wire: str) -> int:
+    """Node id for an already-materialized wire or constant token."""
+    if wire in ("1'b0", "1'b1"):
+        return net.add_const(1 if wire.endswith("1") else 0)
+    return net.node_by_name(wire)
+
+
+def read_verilog(path: str) -> Network:
+    """Read a structural Verilog file."""
+    with open(path, "r", encoding="utf-8") as f:
+        return parse_verilog(f.read())
+
+
+def write_verilog(net: Network, path: Optional[str] = None) -> str:
+    """Serialize ``net`` as structural Verilog; returns the text.
+
+    Nodes without names are assigned ``n<id>`` wire names.  XOR/XNOR
+    gates of arity > 2 are emitted as-is (the reader accepts them).
+    """
+    names: Dict[int, str] = {}
+    used = set()
+    for node in net.nodes():
+        if node.name:
+            names[node.nid] = node.name
+            used.add(node.name)
+    for node in net.nodes():
+        if node.nid not in names:
+            candidate = f"n{node.nid}"
+            while candidate in used:
+                candidate = "_" + candidate
+            names[node.nid] = candidate
+            used.add(candidate)
+
+    in_names = [names[pi] for pi in net.pis]
+    # POs may alias internal wires; emit buffers for PO names that are
+    # not the driving node's name
+    po_lines: List[str] = []
+    po_names: List[str] = []
+    for po_name, nid in net.pos:
+        po_names.append(po_name)
+        if names[nid] != po_name:
+            po_lines.append(f"  buf po_buf_{len(po_lines)} ({po_name}, {names[nid]});")
+
+    lines = [f"module {net.name or 'top'} ("]
+    lines.append("  " + ", ".join(in_names + po_names))
+    lines.append(");")
+    if in_names:
+        lines.append("  input " + ", ".join(in_names) + ";")
+    if po_names:
+        lines.append("  output " + ", ".join(po_names) + ";")
+    wires = [
+        names[n.nid]
+        for n in net.nodes()
+        if n.is_gate and names[n.nid] not in po_names
+    ]
+    consts = [n for n in net.nodes() if n.is_const]
+    for c in consts:
+        wires.append(names[c.nid])
+    if wires:
+        lines.append("  wire " + ", ".join(wires) + ";")
+    for c in consts:
+        value = "1'b1" if c.gtype is GateType.CONST1 else "1'b0"
+        lines.append(f"  assign {names[c.nid]} = {value};")
+    idx = 0
+    for node in net.nodes():
+        if not node.is_gate:
+            continue
+        prim = _REVERSE_GATE[node.gtype]
+        terms = [names[node.nid]] + [names[f] for f in node.fanins]
+        lines.append(f"  {prim} g{idx} ({', '.join(terms)});")
+        idx += 1
+    lines.extend(po_lines)
+    lines.append("endmodule")
+    text = "\n".join(lines) + "\n"
+    if path:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+    return text

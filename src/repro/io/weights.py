@@ -1,0 +1,106 @@
+"""Weight-file I/O and the ECO-instance container.
+
+The ICCAD'17 contest supplies, per unit, the old implementation, the new
+specification, and a weight file assigning a resource cost to every
+signal of the old implementation.  This module reads/writes the weight
+format (``<signal> <weight>`` per line) and bundles a complete ECO
+instance (implementation + specification + targets + weights) with
+directory-based persistence.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..network.network import Network
+from .verilog import read_verilog, write_verilog
+
+
+def parse_weights(text: str) -> Dict[str, int]:
+    """Parse ``<signal> <weight>`` lines into a dict."""
+    weights: Dict[str, int] = {}
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise ValueError(f"weights line {lineno}: expected 'name weight'")
+        weights[parts[0]] = int(parts[1])
+    return weights
+
+
+def read_weights(path: str) -> Dict[str, int]:
+    """Read a weight file."""
+    with open(path, "r", encoding="utf-8") as f:
+        return parse_weights(f.read())
+
+
+def write_weights(weights: Dict[str, int], path: Optional[str] = None) -> str:
+    """Serialize weights; returns the text."""
+    text = "\n".join(f"{name} {w}" for name, w in sorted(weights.items())) + "\n"
+    if path:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+    return text
+
+
+@dataclass
+class EcoInstance:
+    """One resource-aware ECO problem (the contest's per-unit bundle).
+
+    Attributes:
+        name: unit name (e.g. ``unit7``).
+        impl: the old implementation netlist, containing the targets.
+        spec: the new specification netlist (same PI/PO names).
+        targets: names of the implementation nodes to re-synthesize.
+        weights: resource cost of every implementation signal usable as
+            a patch input; signals absent from the map default to
+            :attr:`default_weight`.
+        default_weight: cost assumed for unlisted signals.
+    """
+
+    name: str
+    impl: Network
+    spec: Network
+    targets: List[str]
+    weights: Dict[str, int] = field(default_factory=dict)
+    default_weight: int = 1
+
+    def target_ids(self) -> List[int]:
+        """Implementation node ids of the targets."""
+        return [self.impl.node_by_name(t) for t in self.targets]
+
+    def weight_of(self, node_id: int) -> int:
+        """Cost of using an implementation node as a patch input."""
+        node = self.impl.node(node_id)
+        if node.name and node.name in self.weights:
+            return self.weights[node.name]
+        return self.default_weight
+
+    def save(self, directory: str) -> None:
+        """Write ``impl.v``, ``spec.v``, ``weights.txt``, ``targets.txt``."""
+        os.makedirs(directory, exist_ok=True)
+        write_verilog(self.impl, os.path.join(directory, "impl.v"))
+        write_verilog(self.spec, os.path.join(directory, "spec.v"))
+        write_weights(self.weights, os.path.join(directory, "weights.txt"))
+        with open(os.path.join(directory, "targets.txt"), "w", encoding="utf-8") as f:
+            f.write("\n".join(self.targets) + "\n")
+
+    @classmethod
+    def load(cls, directory: str, name: Optional[str] = None) -> "EcoInstance":
+        """Read an instance saved by :meth:`save`."""
+        impl = read_verilog(os.path.join(directory, "impl.v"))
+        spec = read_verilog(os.path.join(directory, "spec.v"))
+        weights = read_weights(os.path.join(directory, "weights.txt"))
+        with open(os.path.join(directory, "targets.txt"), "r", encoding="utf-8") as f:
+            targets = [t.strip() for t in f if t.strip()]
+        return cls(
+            name=name or os.path.basename(os.path.normpath(directory)),
+            impl=impl,
+            spec=spec,
+            targets=targets,
+            weights=weights,
+        )

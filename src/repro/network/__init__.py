@@ -1,0 +1,46 @@
+"""Boolean-network substrate: DAG netlists, traversal, strash, simulation."""
+
+from .fraig import FraigBuilder, fraig_into, fraig_network
+from .network import Network, NetworkError
+from .node import GateType, Node, eval_gate
+from .simulate import Simulator, outputs_equal
+from .strash import (
+    AigBuilder,
+    build_literal,
+    cofactor_network,
+    strash_into,
+    strash_network,
+)
+from .transforms import balance, collapse_buffers, resynthesize, sweep
+from .traversal import depth, levels, support, tfi, tfo, tfo_pos
+from .window import Window, compute_window
+
+__all__ = [
+    "AigBuilder",
+    "FraigBuilder",
+    "GateType",
+    "Network",
+    "NetworkError",
+    "Node",
+    "Simulator",
+    "Window",
+    "balance",
+    "build_literal",
+    "cofactor_network",
+    "collapse_buffers",
+    "compute_window",
+    "fraig_into",
+    "fraig_network",
+    "resynthesize",
+    "sweep",
+    "depth",
+    "eval_gate",
+    "levels",
+    "outputs_equal",
+    "strash_into",
+    "strash_network",
+    "support",
+    "tfi",
+    "tfo",
+    "tfo_pos",
+]

@@ -1,0 +1,322 @@
+"""SAT sweeping (fraiging) — functionally reduced AIGs.
+
+The paper's feasibility check (Section 3.2) relies on industrial-grade
+combinational equivalence checking [12], whose workhorse is *SAT
+sweeping*: candidate-equivalent nodes are found by bit-parallel
+simulation and proven (or refuted, refining the simulation) with cheap
+incremental SAT calls; proven-equivalent nodes are merged so downstream
+logic — and ultimately the miter output — collapses.  Without it, a
+plain CDCL solver faces the full miter monolithically, which is
+intractable for XOR-rich cones.
+
+:class:`FraigBuilder` wraps an :class:`~repro.network.strash.AigBuilder`
+with exactly this loop; :func:`fraig_network` sweeps a whole network.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.types import mklit, neg
+from .network import Network
+from .node import GateType
+from .strash import AigBuilder, build_literal
+
+
+class FraigBuilder:
+    """An AIG builder that merges functionally equivalent nodes on the fly.
+
+    Usage mirrors :class:`AigBuilder`: create PIs, build ``and_`` nodes;
+    every returned literal is the class representative, so structurally
+    different but functionally equal cones collapse to one node.
+    Simulation signatures filter candidates; assumption-based SAT calls
+    with a conflict budget prove or refute them (refutations extend the
+    simulation with the counterexample pattern).
+    """
+
+    CONST0 = AigBuilder.CONST0
+    CONST1 = AigBuilder.CONST1
+
+    def __init__(
+        self,
+        sim_words: int = 4,
+        seed: int = 2018,
+        budget_conflicts: Optional[int] = 4000,
+        max_refinements: int = 512,
+    ) -> None:
+        self.builder = AigBuilder()
+        self._rng = random.Random(seed)
+        self._nbits = 64 * sim_words
+        self._mask = (1 << self._nbits) - 1
+        self._budget = budget_conflicts
+        self._max_refinements = max_refinements
+        self._refinements = 0
+        self._solver = Solver()
+        # per AIG node: simulation word, solver var
+        self._sig: Dict[int, int] = {0: 0}
+        self._var: Dict[int, int] = {}
+        self._classes: Dict[int, int] = {}  # normalized signature -> node
+        self._repr: Dict[int, int] = {}  # raw literal -> representative literal
+        self.proved = 0
+        self.refuted = 0
+
+    # ------------------------------------------------------------------
+
+    def add_pi(self) -> int:
+        lit = self.builder.add_pi()
+        nid = lit >> 1
+        self._sig[nid] = self._rng.getrandbits(self._nbits)
+        self._var[nid] = self._solver.new_var()
+        self._register(nid)
+        return lit
+
+    def _register(self, nid: int) -> None:
+        key = self._normalize(self._sig[nid])
+        self._classes.setdefault(key, nid)
+
+    def _normalize(self, sig: int) -> int:
+        return (~sig & self._mask) if (sig & 1) else sig
+
+    def _node_var(self, nid: int) -> int:
+        """Solver variable of an AIG node, encoding its cone lazily."""
+        var = self._var.get(nid)
+        if var is not None:
+            return var
+        # iterative post-order encoding (deep cones would blow the stack)
+        stack = [nid]
+        while stack:
+            cur = stack[-1]
+            if cur in self._var:
+                stack.pop()
+                continue
+            fan = self.builder._fanins[cur]
+            assert fan is not None, "PIs are registered eagerly"
+            pending = [f >> 1 for f in fan if (f >> 1) not in self._var and (f >> 1) != 0]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            a, b = fan
+            va = self._fanin_solver_lit(a)
+            vb = self._fanin_solver_lit(b)
+            v = self._solver.new_var()
+            o = mklit(v)
+            self._solver.add_clause([neg(o), va])
+            self._solver.add_clause([neg(o), vb])
+            self._solver.add_clause([o, neg(va), neg(vb)])
+            self._var[cur] = v
+        return self._var[nid]
+
+    def _fanin_solver_lit(self, lit: int) -> int:
+        """Solver literal for an AIG fanin literal (const-aware)."""
+        nid = lit >> 1
+        if nid == 0:
+            # constant: use a dedicated always-true variable
+            if 0 not in self._var:
+                v = self._solver.new_var()
+                self._solver.add_clause([mklit(v)])
+                self._var[0] = v
+            return mklit(self._var[0], not (lit & 1))
+        return mklit(self._var[nid], bool(lit & 1))
+
+    def _lit_to_solver(self, lit: int) -> int:
+        if lit >> 1 != 0:
+            self._node_var(lit >> 1)
+        return self._fanin_solver_lit(lit)
+
+    def _resolve(self, lit: int) -> int:
+        """Follow the representative chain for a literal."""
+        while True:
+            rep = self._repr.get(lit)
+            if rep is None:
+                rep = neg(self._repr[neg(lit)]) if neg(lit) in self._repr else None
+            if rep is None or rep == lit:
+                return lit
+            lit = rep
+
+    def and_(self, a: int, b: int) -> int:
+        a = self._resolve(a)
+        b = self._resolve(b)
+        lit = self.builder.and_(a, b)
+        lit = self._resolve(lit)
+        nid = lit >> 1
+        if nid in self._sig:
+            return lit
+        fan = self.builder._fanins[nid]
+        sa = self._sig[fan[0] >> 1] ^ (self._mask if fan[0] & 1 else 0)
+        sb = self._sig[fan[1] >> 1] ^ (self._mask if fan[1] & 1 else 0)
+        self._sig[nid] = sa & sb
+        merged = self._try_merge(lit)
+        if merged is not None:
+            return merged
+        self._register(nid)
+        return lit
+
+    def _try_merge(self, lit: int) -> Optional[int]:
+        """SAT-check ``lit`` against its signature class representative."""
+        nid = lit >> 1
+        sig = self._sig[nid]
+        # constant candidates first
+        for target_sig, cand in ((0, self.builder.CONST0), (self._mask, self.builder.CONST1)):
+            if sig == target_sig:
+                got = self._check_equal(lit, cand)
+                if got:
+                    self._repr[lit] = cand
+                    return cand
+                if got is None:
+                    return None  # budget: keep node
+                return None if self._exhausted() else self._try_merge(lit)
+        key = self._normalize(sig)
+        rep_nid = self._classes.get(key)
+        if rep_nid is None or rep_nid == nid:
+            return None
+        rep_sig = self._sig[rep_nid]
+        cand = (rep_nid << 1) | (0 if rep_sig == sig else 1)
+        if self._sig_of_lit(cand) != sig:
+            return None
+        got = self._check_equal(lit, cand)
+        if got:
+            self.proved += 1
+            self._repr[lit] = cand
+            return cand
+        if got is None:
+            return None
+        self.refuted += 1
+        if self._exhausted():
+            return None
+        return self._try_merge(lit)  # signatures changed; retry once more
+
+    def _sig_of_lit(self, lit: int) -> int:
+        s = self._sig[lit >> 1]
+        return (~s & self._mask) if (lit & 1) else s
+
+    def _exhausted(self) -> bool:
+        return self._refinements >= self._max_refinements
+
+    def _check_equal(self, a: int, b: int) -> Optional[bool]:
+        """True = proven equal, False = refuted (simulation refined),
+        None = budget exhausted (assume different, keep both)."""
+        la, lb = self._lit_to_solver(a), self._lit_to_solver(b)
+        try:
+            if self._solver.solve([la, neg(lb)], budget_conflicts=self._budget):
+                self._refine_from_model()
+                return False
+            if self._solver.solve([neg(la), lb], budget_conflicts=self._budget):
+                self._refine_from_model()
+                return False
+        except SatBudgetExceeded:
+            return None
+        return True
+
+    def _refine_from_model(self) -> None:
+        """Append the counterexample pattern and re-simulate everything."""
+        self._refinements += 1
+        model = self._solver
+        bits: Dict[int, int] = {}
+        for pi in self.builder.pis:
+            var = self._var.get(pi)
+            bit = model.model_value(mklit(var)) if var is not None else 0
+            bits[pi] = bit
+        # shift in the new pattern bit, in topological (ascending-id)
+        # order so fanin low bits are fresh when a node reads them
+        sig = self._sig
+        mask = self._mask
+        for nid in range(1, len(self.builder._fanins)):
+            if nid not in sig:
+                continue
+            fan = self.builder._fanins[nid]
+            if fan is None:
+                low = bits.get(nid, 0)
+            else:
+                la = (sig[fan[0] >> 1] & 1) ^ (fan[0] & 1)
+                lb = (sig[fan[1] >> 1] & 1) ^ (fan[1] & 1)
+                low = la & lb
+            sig[nid] = ((sig[nid] << 1) & mask) | low
+        # class table is stale: rebuild
+        self._classes = {}
+        for nid in sorted(self._sig):
+            if nid == 0:
+                continue
+            self._register(nid)
+
+    # ------------------------------------------------------------------
+    # conveniences mirroring AigBuilder
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def lit_not(lit: int) -> int:
+        return lit ^ 1
+
+    def or_(self, a: int, b: int) -> int:
+        return self.lit_not(self.and_(self.lit_not(a), self.lit_not(b)))
+
+    def xor_(self, a: int, b: int) -> int:
+        return self.or_(self.and_(a, self.lit_not(b)), self.and_(self.lit_not(a), b))
+
+    def xnor_(self, a: int, b: int) -> int:
+        return self.lit_not(self.xor_(a, b))
+
+    def mux_(self, s: int, d0: int, d1: int) -> int:
+        return self.or_(self.and_(s, d1), self.and_(self.lit_not(s), d0))
+
+    def and_many(self, lits: Sequence[int]) -> int:
+        work = list(lits)
+        if not work:
+            return AigBuilder.CONST1
+        while len(work) > 1:
+            nxt = [self.and_(work[i], work[i + 1]) for i in range(0, len(work) - 1, 2)]
+            if len(work) % 2:
+                nxt.append(work[-1])
+            work = nxt
+        return work[0]
+
+    def or_many(self, lits: Sequence[int]) -> int:
+        return self.lit_not(self.and_many([self.lit_not(x) for x in lits]))
+
+    def xor_many(self, lits: Sequence[int]) -> int:
+        acc = AigBuilder.CONST0
+        for x in lits:
+            acc = self.xor_(acc, x)
+        return acc
+
+    def resolve_output(self, lit: int) -> int:
+        """Final representative of an output literal."""
+        return self._resolve(lit)
+
+    def to_network(self, outputs, pi_names=None, name=""):
+        """Emit via the underlying (already swept) AIG builder."""
+        outs = [(n, self._resolve(lit)) for n, lit in outputs]
+        return self.builder.to_network(outs, pi_names, name)
+
+
+def fraig_into(
+    fraig: FraigBuilder, net: Network, pi_lits: Dict[int, int]
+) -> Dict[int, int]:
+    """Rebuild ``net`` through a sweeping builder (cf. ``strash_into``)."""
+    litmap: Dict[int, int] = dict(pi_lits)
+    for node in net.topo_order():
+        if node.is_pi:
+            if node.nid not in litmap:
+                raise ValueError(f"unmapped PI {node.name!r}")
+            continue
+        fanins = [litmap[f] for f in node.fanins]
+        litmap[node.nid] = build_literal(fraig, node.gtype, fanins)
+    return litmap
+
+
+def fraig_network(
+    net: Network,
+    name: str = "",
+    budget_conflicts: Optional[int] = 4000,
+    seed: int = 2018,
+) -> Network:
+    """Return a functionally reduced rebuild of ``net``."""
+    fraig = FraigBuilder(seed=seed, budget_conflicts=budget_conflicts)
+    pi_lits = {pi: fraig.add_pi() for pi in net.pis}
+    litmap = fraig_into(fraig, net, pi_lits)
+    outputs = [(po_name, litmap[nid]) for po_name, nid in net.pos]
+    pi_names = [net.node(pi).name for pi in net.pis]
+    out, _ = fraig.to_network(outputs, pi_names, name or net.name)
+    return out

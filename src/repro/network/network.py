@@ -1,0 +1,407 @@
+"""The gate-level Boolean network used throughout the reproduction.
+
+The :class:`Network` is a mutable DAG of :class:`~repro.network.node.Node`
+objects.  It is deliberately simple — explicit gates, no complemented
+edges — so the ECO algorithms read close to the paper.  Structural
+hashing into AIG form lives in :mod:`repro.network.strash`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .node import GateType, Node, arity_ok, eval_gate
+
+
+class NetworkError(Exception):
+    """Raised for malformed network operations."""
+
+
+class Network:
+    """A combinational Boolean network.
+
+    Nodes are created through the ``add_*`` methods and addressed by
+    integer ids.  Primary outputs are named references to nodes; several
+    POs may reference one node, and a PO may reference a PI directly.
+    Fanout lists are maintained incrementally so the ECO algorithms can
+    traverse TFO cones cheaply.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._nodes: List[Optional[Node]] = []
+        self._fanouts: List[Set[int]] = []
+        self._name_to_id: Dict[str, int] = {}
+        self._pis: List[int] = []
+        self._pos: List[Tuple[str, int]] = []
+        self._const_ids: Dict[GateType, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _new_node(self, gtype: GateType, fanins: Sequence[int], name: str) -> int:
+        if not arity_ok(gtype, len(fanins)):
+            raise NetworkError(f"bad fanin count {len(fanins)} for {gtype.value}")
+        nid = len(self._nodes)
+        for f in fanins:
+            self._node(f)  # validate
+        node = Node(nid, gtype, list(fanins), name)
+        self._nodes.append(node)
+        self._fanouts.append(set())
+        for f in fanins:
+            self._fanouts[f].add(nid)
+        if name:
+            if name in self._name_to_id:
+                raise NetworkError(f"duplicate node name {name!r}")
+            self._name_to_id[name] = nid
+        return nid
+
+    def add_pi(self, name: str = "") -> int:
+        """Add a primary input and return its id."""
+        if not name:
+            name = f"pi{len(self._pis)}"
+        nid = self._new_node(GateType.PI, [], name)
+        self._pis.append(nid)
+        return nid
+
+    def add_const(self, value: int) -> int:
+        """Return the (shared) constant-0 or constant-1 node id."""
+        gtype = GateType.CONST1 if value else GateType.CONST0
+        if gtype not in self._const_ids:
+            self._const_ids[gtype] = self._new_node(gtype, [], "")
+        return self._const_ids[gtype]
+
+    def add_gate(self, gtype: GateType, fanins: Sequence[int], name: str = "") -> int:
+        """Add a logic gate and return its id."""
+        if gtype in (GateType.PI, GateType.CONST0, GateType.CONST1):
+            raise NetworkError("use add_pi/add_const for leaf nodes")
+        return self._new_node(gtype, fanins, name)
+
+    def add_po(self, nid: int, name: str = "") -> int:
+        """Register node ``nid`` as a primary output; returns the PO index."""
+        self._node(nid)
+        if not name:
+            name = f"po{len(self._pos)}"
+        self._pos.append((name, nid))
+        return len(self._pos) - 1
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    def _node(self, nid: int) -> Node:
+        if nid < 0 or nid >= len(self._nodes) or self._nodes[nid] is None:
+            raise NetworkError(f"no node with id {nid}")
+        return self._nodes[nid]  # type: ignore[return-value]
+
+    def node(self, nid: int) -> Node:
+        """Return the node record for ``nid``."""
+        return self._node(nid)
+
+    def has_node(self, nid: int) -> bool:
+        return 0 <= nid < len(self._nodes) and self._nodes[nid] is not None
+
+    def node_by_name(self, name: str) -> int:
+        """Return the id of the node named ``name``."""
+        try:
+            return self._name_to_id[name]
+        except KeyError:
+            raise NetworkError(f"no node named {name!r}") from None
+
+    def has_name(self, name: str) -> bool:
+        return name in self._name_to_id
+
+    def fanouts(self, nid: int) -> Set[int]:
+        """Return the set of node ids driven by ``nid`` (copy-safe view)."""
+        self._node(nid)
+        return self._fanouts[nid]
+
+    @property
+    def pis(self) -> List[int]:
+        """Primary-input ids, in creation order."""
+        return list(self._pis)
+
+    @property
+    def pos(self) -> List[Tuple[str, int]]:
+        """Primary outputs as ``(name, node_id)`` pairs."""
+        return list(self._pos)
+
+    def po_names(self) -> List[str]:
+        return [name for name, _ in self._pos]
+
+    def rename_po(self, index: int, name: str) -> None:
+        """Rename the PO at ``index`` (node binding unchanged)."""
+        old_name, nid = self._pos[index]
+        self._pos[index] = (name, nid)
+
+    def set_po(self, index: int, nid: int) -> None:
+        """Rebind the PO at ``index`` to drive from node ``nid``."""
+        self._node(nid)
+        name, _ = self._pos[index]
+        self._pos[index] = (name, nid)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over live nodes in id order."""
+        for node in self._nodes:
+            if node is not None:
+                yield node
+
+    def node_ids(self) -> List[int]:
+        return [n.nid for n in self.nodes()]
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    @property
+    def num_gates(self) -> int:
+        """Number of logic gates (excludes PIs and constants)."""
+        return sum(1 for n in self.nodes() if n.is_gate)
+
+    @property
+    def num_pis(self) -> int:
+        return len(self._pis)
+
+    @property
+    def num_pos(self) -> int:
+        return len(self._pos)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def set_fanins(self, nid: int, gtype: GateType, fanins: Sequence[int]) -> None:
+        """Replace the local function of node ``nid`` in place.
+
+        The node keeps its id, name, and fanouts; only its gate type and
+        fanins change.  This is how ECO targets are corrupted in the
+        benchmark generator and how patches are spliced in.
+        """
+        node = self._node(nid)
+        if node.is_pi:
+            raise NetworkError("cannot change the function of a PI")
+        if not arity_ok(gtype, len(fanins)):
+            raise NetworkError(f"bad fanin count {len(fanins)} for {gtype.value}")
+        for f in fanins:
+            self._node(f)
+        for f in node.fanins:
+            self._fanouts[f].discard(nid)
+        node.gtype = gtype
+        node.fanins = list(fanins)
+        for f in fanins:
+            self._fanouts[f].add(nid)
+
+    def substitute(self, old: int, new: int) -> None:
+        """Redirect every fanout and PO of ``old`` to ``new``.
+
+        ``old`` itself remains in the network (possibly dangling) until a
+        :meth:`cleanup` pass removes it.
+        """
+        if old == new:
+            return
+        self._node(new)
+        for fo in list(self._fanouts[old]):
+            node = self._node(fo)
+            node.fanins = [new if f == old else f for f in node.fanins]
+            self._fanouts[old].discard(fo)
+            self._fanouts[new].add(fo)
+        self._pos = [(name, new if nid == old else nid) for name, nid in self._pos]
+
+    def free_pi_for(self, nid: int, name: str = "") -> int:
+        """Cut node ``nid`` out of the network by a fresh PI.
+
+        Creates a new PI and substitutes it for ``nid``, turning the node
+        into a free variable from the point of view of the fanout logic.
+        Returns the PI id.  Used to expose ECO targets in the miter.
+        """
+        pi = self.add_pi(name or f"__free_{nid}")
+        self.substitute(nid, pi)
+        return pi
+
+    def cleanup(self) -> int:
+        """Remove nodes unreachable from any PO; return the removal count.
+
+        PIs and shared constants are always kept so that interfaces stay
+        stable.
+        """
+        keep: Set[int] = set(self._pis)
+        keep.update(self._const_ids.values())
+        stack = [nid for _, nid in self._pos]
+        while stack:
+            nid = stack.pop()
+            if nid in keep:
+                continue
+            keep.add(nid)
+            stack.extend(self._node(nid).fanins)
+        removed = 0
+        for nid in range(len(self._nodes)):
+            node = self._nodes[nid]
+            if node is None or nid in keep:
+                continue
+            for f in node.fanins:
+                if self._nodes[f] is not None:
+                    self._fanouts[f].discard(nid)
+            if node.name:
+                del self._name_to_id[node.name]
+            self._nodes[nid] = None
+            self._fanouts[nid] = set()
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # composite operations
+    # ------------------------------------------------------------------
+
+    def append(
+        self,
+        other: "Network",
+        input_map: Dict[int, int],
+        prefix: str = "",
+    ) -> Dict[int, int]:
+        """Import the logic of ``other`` into this network.
+
+        ``input_map`` maps each of ``other``'s PI ids to a node id in this
+        network (missing PIs raise).  Returns a map from every live node
+        id of ``other`` to the corresponding id here.  ``other``'s POs are
+        *not* registered as POs; the caller wires them as needed.
+        """
+        mapping: Dict[int, int] = {}
+        for pi in other._pis:
+            if pi not in input_map:
+                raise NetworkError(f"append: unmapped PI {other.node(pi).name!r}")
+            mapping[pi] = input_map[pi]
+        for node in other.topo_order():
+            if node.is_pi:
+                continue
+            if node.is_const:
+                mapping[node.nid] = self.add_const(1 if node.gtype is GateType.CONST1 else 0)
+                continue
+            fanins = [mapping[f] for f in node.fanins]
+            name = f"{prefix}{node.name}" if (prefix and node.name) else ""
+            if name and name in self._name_to_id:
+                name = ""
+            mapping[node.nid] = self.add_gate(node.gtype, fanins, name)
+        return mapping
+
+    def clone(self, name: str = "") -> "Network":
+        """Return a deep, id-renumbered copy with the same PI/PO interface."""
+        out = Network(name or self.name)
+        mapping: Dict[int, int] = {}
+        for pi in self._pis:
+            mapping[pi] = out.add_pi(self.node(pi).name)
+        mapping.update(out.append(self, {pi: mapping[pi] for pi in self._pis}, prefix=""))
+        # re-attach names lost to dedup-avoidance in append
+        for node in self.topo_order():
+            if node.name and not node.is_pi and not out.node(mapping[node.nid]).name:
+                if node.name not in out._name_to_id:
+                    out._nodes[mapping[node.nid]].name = node.name  # type: ignore[union-attr]
+                    out._name_to_id[node.name] = mapping[node.nid]
+        for po_name, nid in self._pos:
+            out.add_po(mapping[nid], po_name)
+        return out
+
+    def topo_order(self) -> List[Node]:
+        """Return live nodes in a topological (fanin-before-fanout) order."""
+        order: List[Node] = []
+        seen: Set[int] = set()
+        # iterative DFS from POs plus all live nodes (include dangling ones)
+        roots = [n.nid for n in self.nodes()]
+        stack: List[Tuple[int, bool]] = [(nid, False) for nid in reversed(roots)]
+        while stack:
+            nid, expanded = stack.pop()
+            if expanded:
+                order.append(self._node(nid))
+                continue
+            if nid in seen:
+                continue
+            seen.add(nid)
+            stack.append((nid, True))
+            for f in self._node(nid).fanins:
+                if f not in seen:
+                    stack.append((f, False))
+        return order
+
+    def evaluate(self, pi_values: Dict[int, int], mask: int = 1) -> Dict[int, int]:
+        """Evaluate every node given PI values; returns id→value.
+
+        Values may be bit-parallel words when ``mask`` spans more bits.
+        """
+        values: Dict[int, int] = {}
+        for node in self.topo_order():
+            if node.is_pi:
+                values[node.nid] = pi_values[node.nid] & mask
+            else:
+                values[node.nid] = eval_gate(
+                    node.gtype, [values[f] for f in node.fanins], mask
+                )
+        return values
+
+    def evaluate_pos(self, pi_values: Dict[int, int], mask: int = 1) -> Dict[str, int]:
+        """Evaluate and return PO name → value."""
+        values = self.evaluate(pi_values, mask)
+        return {name: values[nid] for name, nid in self._pos}
+
+    def validate(self) -> None:
+        """Structural sanity check; raises :class:`NetworkError` on damage.
+
+        Verifies fanin/fanout symmetry, arity legality, acyclicity, name
+        map consistency, and PO bindings.  Intended for tests and for
+        callers that hand-edit networks.
+        """
+        for node in self.nodes():
+            if not arity_ok(node.gtype, len(node.fanins)):
+                raise NetworkError(
+                    f"node {node.nid}: bad arity for {node.gtype.value}"
+                )
+            for f in node.fanins:
+                if not self.has_node(f):
+                    raise NetworkError(
+                        f"node {node.nid}: dangling fanin {f}"
+                    )
+                if node.nid not in self._fanouts[f]:
+                    raise NetworkError(
+                        f"fanout list of {f} misses {node.nid}"
+                    )
+            for fo in self._fanouts[node.nid]:
+                if not self.has_node(fo):
+                    raise NetworkError(
+                        f"node {node.nid}: dangling fanout {fo}"
+                    )
+                if node.nid not in self._node(fo).fanins:
+                    raise NetworkError(
+                        f"node {fo} does not list {node.nid} as fanin"
+                    )
+            if node.name and self._name_to_id.get(node.name) != node.nid:
+                raise NetworkError(
+                    f"name map inconsistent for {node.name!r}"
+                )
+        for name, nid in self._pos:
+            if not self.has_node(nid):
+                raise NetworkError(f"PO {name!r} bound to dead node {nid}")
+        # acyclicity: topo_order visits every live node exactly once
+        order = self.topo_order()
+        if len(order) != self.num_nodes:
+            raise NetworkError("cycle detected (topological order short)")
+        position = {n.nid: i for i, n in enumerate(order)}
+        for node in self.nodes():
+            for f in node.fanins:
+                if position[f] >= position[node.nid]:
+                    raise NetworkError(
+                        f"edge {f} -> {node.nid} violates topological order"
+                    )
+
+    def stats(self) -> Dict[str, int]:
+        """Summary statistics used in reports and Table 1."""
+        return {
+            "pis": self.num_pis,
+            "pos": self.num_pos,
+            "gates": self.num_gates,
+            "nodes": self.num_nodes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network({self.name!r}, pi={self.num_pis}, po={self.num_pos}, "
+            f"gates={self.num_gates})"
+        )

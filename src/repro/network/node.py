@@ -1,0 +1,127 @@
+"""Node and gate-type definitions for Boolean networks.
+
+A Boolean network (see :mod:`repro.network.network`) is a DAG whose nodes
+are either primary inputs, constants, or logic gates.  Gate semantics are
+defined once here, both for single-bit evaluation and for bit-parallel
+evaluation over Python integers (used by the simulator).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+class GateType(enum.Enum):
+    """Supported gate functions.
+
+    ``MUX`` has fanins ``(s, d0, d1)`` and computes ``d1 if s else d0``.
+    All other multi-input gates are symmetric and accept two or more
+    fanins; ``BUF``/``NOT`` accept exactly one.
+    """
+
+    PI = "pi"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX = "mux"
+
+
+#: Gate types that carry no fanins.
+LEAF_TYPES = frozenset({GateType.PI, GateType.CONST0, GateType.CONST1})
+
+#: Gate types with exactly one fanin.
+UNARY_TYPES = frozenset({GateType.BUF, GateType.NOT})
+
+#: Symmetric gate types accepting two or more fanins.
+NARY_TYPES = frozenset(
+    {GateType.AND, GateType.OR, GateType.NAND, GateType.NOR, GateType.XOR, GateType.XNOR}
+)
+
+
+def arity_ok(gtype: GateType, nfanins: int) -> bool:
+    """Return True when ``nfanins`` is a legal fanin count for ``gtype``."""
+    if gtype in LEAF_TYPES:
+        return nfanins == 0
+    if gtype in UNARY_TYPES:
+        return nfanins == 1
+    if gtype is GateType.MUX:
+        return nfanins == 3
+    return nfanins >= 2
+
+
+def eval_gate(gtype: GateType, inputs: Sequence[int], mask: int = 1) -> int:
+    """Evaluate a gate bit-parallel over integer words.
+
+    ``inputs`` are integers whose bits carry parallel simulation patterns;
+    ``mask`` selects the active bit width (``(1 << w) - 1``).  For
+    single-bit evaluation pass 0/1 values with the default mask.
+    """
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return mask
+    if gtype is GateType.PI:
+        raise ValueError("primary inputs have no gate function")
+    if gtype is GateType.BUF:
+        return inputs[0] & mask
+    if gtype is GateType.NOT:
+        return ~inputs[0] & mask
+    if gtype is GateType.MUX:
+        s, d0, d1 = inputs
+        return ((s & d1) | (~s & d0)) & mask
+    acc = inputs[0]
+    if gtype is GateType.AND or gtype is GateType.NAND:
+        for v in inputs[1:]:
+            acc &= v
+    elif gtype is GateType.OR or gtype is GateType.NOR:
+        for v in inputs[1:]:
+            acc |= v
+    else:  # XOR / XNOR
+        for v in inputs[1:]:
+            acc ^= v
+    if gtype in (GateType.NAND, GateType.NOR, GateType.XNOR):
+        acc = ~acc
+    return acc & mask
+
+
+@dataclass
+class Node:
+    """A single node in a :class:`~repro.network.network.Network`.
+
+    Attributes:
+        nid: Integer id, stable for the lifetime of the network.
+        gtype: The node's gate function (``PI`` for primary inputs).
+        fanins: Ids of fanin nodes, in gate-semantic order.
+        name: Optional symbolic name (unique within the network).
+    """
+
+    nid: int
+    gtype: GateType
+    fanins: List[int] = field(default_factory=list)
+    name: str = ""
+
+    @property
+    def is_pi(self) -> bool:
+        return self.gtype is GateType.PI
+
+    @property
+    def is_const(self) -> bool:
+        return self.gtype in (GateType.CONST0, GateType.CONST1)
+
+    @property
+    def is_gate(self) -> bool:
+        return not (self.is_pi or self.is_const)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or f"n{self.nid}"
+        fan = ",".join(str(f) for f in self.fanins)
+        return f"Node({label}:{self.gtype.value}[{fan}])"

@@ -1,0 +1,105 @@
+"""Bit-parallel random simulation.
+
+Simulation packs many input patterns into Python integers (one bit per
+pattern) and evaluates the network once per node.  It is used to seed
+candidate-equivalence classes for ``CEGAR_min`` (Section 3.6.3) and
+functional resubstitution, and as a cheap oracle in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .network import Network
+from .node import eval_gate
+
+
+class Simulator:
+    """Bit-parallel simulator bound to one network.
+
+    Patterns are stored per PI as integers; ``nbits`` patterns are active.
+    """
+
+    def __init__(self, net: Network, nbits: int = 256, seed: int = 2018) -> None:
+        if nbits <= 0:
+            raise ValueError("nbits must be positive")
+        self.net = net
+        self.nbits = nbits
+        self.mask = (1 << nbits) - 1
+        self._rng = random.Random(seed)
+        self.pi_patterns: Dict[int, int] = {
+            pi: self._rng.getrandbits(nbits) for pi in net.pis
+        }
+        self._values: Optional[Dict[int, int]] = None
+
+    def set_pattern(self, pi: int, pattern: int) -> None:
+        """Override the pattern word of one PI."""
+        self.pi_patterns[pi] = pattern & self.mask
+        self._values = None
+
+    def add_minterm(self, assignment: Dict[int, int]) -> None:
+        """Append one directed input pattern (rotating the oldest out).
+
+        ``assignment`` maps PI id → 0/1; unspecified PIs get random bits.
+        Directed patterns come from SAT counterexamples and sharpen the
+        equivalence classes.
+        """
+        for pi in self.net.pis:
+            bit = assignment.get(pi, self._rng.getrandbits(1)) & 1
+            self.pi_patterns[pi] = ((self.pi_patterns[pi] << 1) | bit) & self.mask
+        self._values = None
+
+    def values(self) -> Dict[int, int]:
+        """Return (cached) simulation words for every live node."""
+        if self._values is None:
+            self._values = self.net.evaluate(self.pi_patterns, self.mask)
+        return self._values
+
+    def signature(self, nid: int) -> int:
+        """The simulation word of node ``nid``."""
+        return self.values()[nid]
+
+    def classes(self, nids: Iterable[int]) -> Dict[int, List[int]]:
+        """Group ``nids`` into candidate-equivalence classes by signature.
+
+        Complement-equivalent signals land in the same class: the class
+        key is the signature normalized so its lowest bit is 0.
+        """
+        values = self.values()
+        groups: Dict[int, List[int]] = {}
+        for nid in nids:
+            sig = values[nid]
+            if sig & 1:
+                sig = ~sig & self.mask
+            groups.setdefault(sig, []).append(nid)
+        return groups
+
+
+def random_pi_assignment(net: Network, rng: random.Random) -> Dict[int, int]:
+    """One random single-bit PI assignment."""
+    return {pi: rng.getrandbits(1) for pi in net.pis}
+
+
+def outputs_equal(
+    net_a: Network, net_b: Network, patterns: int = 512, seed: int = 7
+) -> bool:
+    """Probabilistic output-equivalence check by shared-pattern simulation.
+
+    Both networks must expose identically named PIs and POs.  A ``True``
+    result is only evidence; use :mod:`repro.core.verify` for proof.
+    """
+    rng = random.Random(seed)
+    mask = (1 << patterns) - 1
+    words = {net_a.node(pi).name: rng.getrandbits(patterns) for pi in net_a.pis}
+    vals_a = net_a.evaluate(
+        {pi: words[net_a.node(pi).name] for pi in net_a.pis}, mask
+    )
+    vals_b = net_b.evaluate(
+        {pi: words[net_b.node(pi).name] for pi in net_b.pis}, mask
+    )
+    pos_a = dict(net_a.pos)
+    pos_b = dict(net_b.pos)
+    if set(pos_a) != set(pos_b):
+        return False
+    return all(vals_a[pos_a[name]] == vals_b[pos_b[name]] for name in pos_a)

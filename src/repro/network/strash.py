@@ -1,0 +1,273 @@
+"""Structural hashing (strash) into AIG form and network rebuilding.
+
+``AigBuilder`` provides a literal-based And-Inverter-Graph constructor
+with one-level structural hashing and constant/idempotence rewriting —
+the same bookkeeping ABC performs when the paper synthesizes miters,
+quantified cofactors, and patch circuits.  ``strash_network`` rebuilds a
+:class:`~repro.network.network.Network` through the builder, which both
+deduplicates logic and propagates constants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .network import Network
+from .node import GateType
+
+
+class AigBuilder:
+    """An AIG under construction, addressed by *literals*.
+
+    A literal is ``2 * node + phase`` where ``phase`` 1 denotes
+    complementation.  Node 0 is the constant; literal 1 is constant 1 and
+    literal 0 is constant 0.  Every created AND is hashed on its ordered
+    fanin literal pair, so structurally identical logic is built once.
+    """
+
+    CONST0 = 0
+    CONST1 = 1
+
+    def __init__(self) -> None:
+        # node 0 is the constant node; ands[i] holds fanins of node i (i>0 non-PI)
+        self._fanins: List[Optional[Tuple[int, int]]] = [None]
+        self._hash: Dict[Tuple[int, int], int] = {}
+        self.pis: List[int] = []
+
+    # -- literal helpers ------------------------------------------------
+
+    @staticmethod
+    def lit_not(lit: int) -> int:
+        return lit ^ 1
+
+    @staticmethod
+    def lit_node(lit: int) -> int:
+        return lit >> 1
+
+    @staticmethod
+    def lit_phase(lit: int) -> int:
+        return lit & 1
+
+    # -- construction ---------------------------------------------------
+
+    def add_pi(self) -> int:
+        """Create a new PI node; returns its positive literal."""
+        nid = len(self._fanins)
+        self._fanins.append(None)
+        self.pis.append(nid)
+        return nid << 1
+
+    def and_(self, a: int, b: int) -> int:
+        """AND of two literals with structural hashing and rewriting."""
+        if a > b:
+            a, b = b, a
+        if a == self.CONST0:
+            return self.CONST0
+        if a == self.CONST1:
+            return b
+        if a == b:
+            return a
+        if a ^ b == 1:
+            return self.CONST0
+        key = (a, b)
+        hit = self._hash.get(key)
+        if hit is not None:
+            return hit
+        nid = len(self._fanins)
+        self._fanins.append(key)
+        lit = nid << 1
+        self._hash[key] = lit
+        return lit
+
+    def or_(self, a: int, b: int) -> int:
+        return self.lit_not(self.and_(self.lit_not(a), self.lit_not(b)))
+
+    def xor_(self, a: int, b: int) -> int:
+        return self.or_(self.and_(a, self.lit_not(b)), self.and_(self.lit_not(a), b))
+
+    def xnor_(self, a: int, b: int) -> int:
+        return self.lit_not(self.xor_(a, b))
+
+    def mux_(self, s: int, d0: int, d1: int) -> int:
+        return self.or_(self.and_(s, d1), self.and_(self.lit_not(s), d0))
+
+    def and_many(self, lits: Sequence[int]) -> int:
+        """Balanced AND over a literal list (CONST1 for empty)."""
+        work = list(lits)
+        if not work:
+            return self.CONST1
+        while len(work) > 1:
+            nxt = [self.and_(work[i], work[i + 1]) for i in range(0, len(work) - 1, 2)]
+            if len(work) % 2:
+                nxt.append(work[-1])
+            work = nxt
+        return work[0]
+
+    def or_many(self, lits: Sequence[int]) -> int:
+        return self.lit_not(self.and_many([self.lit_not(x) for x in lits]))
+
+    def xor_many(self, lits: Sequence[int]) -> int:
+        acc = self.CONST0
+        for x in lits:
+            acc = self.xor_(acc, x)
+        return acc
+
+    @property
+    def num_ands(self) -> int:
+        return sum(1 for f in self._fanins if f is not None)
+
+    # -- emission -------------------------------------------------------
+
+    def to_network(
+        self,
+        outputs: Sequence[Tuple[str, int]],
+        pi_names: Optional[Sequence[str]] = None,
+        name: str = "",
+    ) -> Tuple[Network, Dict[int, int]]:
+        """Emit a gate-level network for the given output literals.
+
+        Only logic in the TFI of ``outputs`` is emitted.  Returns the
+        network and a map literal→node-id covering emitted positive and
+        negative literals.  Complemented literals become shared NOT
+        gates; complemented ANDs feeding only one phase are emitted as
+        NAND directly.
+        """
+        net = Network(name)
+        litmap: Dict[int, int] = {}
+        if pi_names is None:
+            pi_names = [f"pi{i}" for i in range(len(self.pis))]
+        for pi, pname in zip(self.pis, pi_names):
+            litmap[pi << 1] = net.add_pi(pname)
+
+        # mark required nodes and phases
+        need_pos: Dict[int, bool] = {}
+        need_neg: Dict[int, bool] = {}
+        stack = [lit for _, lit in outputs]
+        seen = set()
+        while stack:
+            lit = stack.pop()
+            nid = lit >> 1
+            (need_neg if lit & 1 else need_pos)[nid] = True
+            if nid in seen:
+                continue
+            seen.add(nid)
+            fan = self._fanins[nid] if nid < len(self._fanins) else None
+            if fan is not None:
+                stack.extend(fan)
+
+        # AIG node ids are created fanin-first, so ascending id order is
+        # topological: emit each required node/phase in one linear pass.
+        for nid in range(len(self._fanins)):
+            if nid not in need_pos and nid not in need_neg:
+                continue
+            if nid == 0:
+                if need_pos.get(nid):
+                    litmap[0] = net.add_const(0)
+                if need_neg.get(nid):
+                    litmap[1] = net.add_const(1)
+                continue
+            fan = self._fanins[nid]
+            if fan is None:  # PI — positive phase pre-seeded in litmap
+                if need_neg.get(nid):
+                    litmap[(nid << 1) | 1] = net.add_gate(
+                        GateType.NOT, [litmap[nid << 1]]
+                    )
+                continue
+            fa, fb = litmap[fan[0]], litmap[fan[1]]
+            if need_neg.get(nid) and not need_pos.get(nid):
+                litmap[(nid << 1) | 1] = net.add_gate(GateType.NAND, [fa, fb])
+                continue
+            pos = net.add_gate(GateType.AND, [fa, fb])
+            litmap[nid << 1] = pos
+            if need_neg.get(nid):
+                litmap[(nid << 1) | 1] = net.add_gate(GateType.NOT, [pos])
+
+        for oname, lit in outputs:
+            net.add_po(litmap[lit], oname)
+        return net, litmap
+
+
+def build_literal(builder: AigBuilder, gtype: GateType, fanins: Sequence[int]) -> int:
+    """Build one gate of type ``gtype`` over AIG literals."""
+    if gtype is GateType.CONST0:
+        return AigBuilder.CONST0
+    if gtype is GateType.CONST1:
+        return AigBuilder.CONST1
+    if gtype is GateType.BUF:
+        return fanins[0]
+    if gtype is GateType.NOT:
+        return builder.lit_not(fanins[0])
+    if gtype is GateType.AND:
+        return builder.and_many(fanins)
+    if gtype is GateType.NAND:
+        return builder.lit_not(builder.and_many(fanins))
+    if gtype is GateType.OR:
+        return builder.or_many(fanins)
+    if gtype is GateType.NOR:
+        return builder.lit_not(builder.or_many(fanins))
+    if gtype is GateType.XOR:
+        return builder.xor_many(fanins)
+    if gtype is GateType.XNOR:
+        return builder.lit_not(builder.xor_many(fanins))
+    if gtype is GateType.MUX:
+        return builder.mux_(fanins[0], fanins[1], fanins[2])
+    raise ValueError(f"cannot strash gate type {gtype}")
+
+
+def strash_into(
+    builder: AigBuilder, net: Network, pi_lits: Dict[int, int]
+) -> Dict[int, int]:
+    """Rebuild ``net``'s logic inside ``builder``.
+
+    ``pi_lits`` maps ``net``'s PI ids to builder literals.  Returns a map
+    node-id→literal for every live node.
+    """
+    litmap: Dict[int, int] = dict(pi_lits)
+    for node in net.topo_order():
+        if node.is_pi:
+            if node.nid not in litmap:
+                raise ValueError(f"unmapped PI {node.name!r}")
+            continue
+        fanins = [litmap[f] for f in node.fanins]
+        litmap[node.nid] = build_literal(builder, node.gtype, fanins)
+    return litmap
+
+
+def cofactor_network(
+    net: Network, fixed: Dict[int, int], name: str = ""
+) -> Network:
+    """Strash-rebuild ``net`` with some PIs fixed to constants.
+
+    ``fixed`` maps PI id → 0/1.  The fixed PIs disappear from the
+    interface; the other PIs keep their names and order, and the POs are
+    preserved.  Constant propagation happens as a side effect of the
+    rebuild.
+    """
+    builder = AigBuilder()
+    pi_lits: Dict[int, int] = {}
+    keep_names: List[str] = []
+    for pi in net.pis:
+        if pi in fixed:
+            pi_lits[pi] = AigBuilder.CONST1 if fixed[pi] else AigBuilder.CONST0
+        else:
+            pi_lits[pi] = builder.add_pi()
+            keep_names.append(net.node(pi).name)
+    litmap = strash_into(builder, net, pi_lits)
+    outputs = [(po_name, litmap[nid]) for po_name, nid in net.pos]
+    out, _ = builder.to_network(outputs, keep_names, name or net.name)
+    return out
+
+
+def strash_network(net: Network, name: str = "") -> Network:
+    """Return a structurally hashed, constant-propagated rebuild of ``net``.
+
+    The PI/PO interface (names and order) is preserved; internal node
+    names are not.
+    """
+    builder = AigBuilder()
+    pi_lits = {pi: builder.add_pi() for pi in net.pis}
+    litmap = strash_into(builder, net, pi_lits)
+    outputs = [(po_name, litmap[nid]) for po_name, nid in net.pos]
+    pi_names = [net.node(pi).name for pi in net.pis]
+    out, _ = builder.to_network(outputs, pi_names, name or net.name)
+    return out

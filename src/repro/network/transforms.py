@@ -1,0 +1,147 @@
+"""Technology-independent network transforms.
+
+The small synthesis toolkit the flow leans on around patch insertion
+and specification restructuring:
+
+* :func:`sweep` — constant propagation, structural hashing, dangling
+  removal (the post-patch cleanup pass);
+* :func:`collapse_buffers` — in-place BUF-chain removal;
+* :func:`balance` — depth reduction by Huffman-style rebalancing of
+  AND trees (on the strashed AIG);
+* :func:`resynthesize` — the pipeline used to make specifications
+  structurally dissimilar from implementations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .network import Network
+from .node import GateType
+from .strash import AigBuilder, strash_into, strash_network
+
+
+def sweep(net: Network, name: str = "") -> Network:
+    """Strash rebuild: constants folded, duplicates shared, cone-trimmed."""
+    return strash_network(net, name or net.name)
+
+
+def collapse_buffers(net: Network) -> int:
+    """Bypass every BUF in place; returns the number collapsed.
+
+    The BUF nodes themselves become dangling (run :meth:`Network.cleanup`
+    afterwards to drop them); POs driven by a BUF are rebound to the
+    source.
+    """
+    collapsed = 0
+    for node in net.topo_order():
+        if node.gtype is not GateType.BUF:
+            continue
+        src = node.fanins[0]
+        # src may itself be a collapsed BUF processed earlier; topo order
+        # guarantees its own source is already final
+        while net.node(src).gtype is GateType.BUF:
+            src = net.node(src).fanins[0]
+        net.substitute(node.nid, src)
+        collapsed += 1
+    return collapsed
+
+
+def balance(net: Network, name: str = "") -> Network:
+    """Depth-oriented rebuild: AND cones become balanced trees.
+
+    Works on the strashed AIG; maximal single-fanout AND trees are
+    collected into supergates and rebuilt pairing the shallowest
+    operands first (Huffman flavor), which minimizes the tree's depth
+    contribution.
+    """
+    aig = strash_network(net)
+    builder = AigBuilder()
+    pi_lits = {pi: builder.add_pi() for pi in aig.pis}
+
+    # reference counts: nodes with multiple fanouts (or PO refs) are
+    # tree boundaries
+    refs: Dict[int, int] = {}
+    for node in aig.nodes():
+        for f in node.fanins:
+            refs[f] = refs.get(f, 0) + 1
+    for _name, nid in aig.pos:
+        refs[nid] = refs.get(nid, 0) + 1
+
+    litmap: Dict[int, int] = {}
+    depth: Dict[int, int] = {}
+
+    def lit_of(nid: int, negate: bool) -> int:
+        lit = litmap[nid]
+        return lit ^ 1 if negate else lit
+
+    def depth_of(lit: int) -> int:
+        return depth.get(lit >> 1, 0)
+
+    def gather(nid: int, acc: List[Tuple[int, bool]]) -> None:
+        """Collect AND-supergate leaves of the tree rooted at ``nid``."""
+        node = aig.node(nid)
+        for f in node.fanins:
+            child = aig.node(f)
+            if (
+                child.gtype is GateType.AND
+                and refs.get(f, 0) <= 1
+            ):
+                gather(f, acc)
+            else:
+                acc.append((f, False))
+
+    for node in aig.topo_order():
+        if node.is_pi:
+            litmap[node.nid] = pi_lits[node.nid]
+            depth[litmap[node.nid] >> 1] = 0
+            continue
+        if node.is_const:
+            litmap[node.nid] = (
+                AigBuilder.CONST1
+                if node.gtype is GateType.CONST1
+                else AigBuilder.CONST0
+            )
+            continue
+        if node.gtype is GateType.NOT:
+            litmap[node.nid] = litmap[node.fanins[0]] ^ 1
+            continue
+        if node.gtype in (GateType.AND, GateType.NAND):
+            leaves: List[Tuple[int, bool]] = []
+            gather(node.nid, leaves)
+            lits = [lit_of(n, neg) for n, neg in leaves]
+            # Huffman pairing by current depth
+            heap = [(depth_of(l), i, l) for i, l in enumerate(lits)]
+            heapq.heapify(heap)
+            fresh = len(lits)
+            while len(heap) > 1:
+                d1, _, l1 = heapq.heappop(heap)
+                d2, _, l2 = heapq.heappop(heap)
+                combined = builder.and_(l1, l2)
+                depth[combined >> 1] = max(d1, d2) + 1
+                heapq.heappush(heap, (depth[combined >> 1], fresh, combined))
+                fresh += 1
+            result = heap[0][2] if heap else AigBuilder.CONST1
+            if node.gtype is GateType.NAND:
+                result ^= 1
+            litmap[node.nid] = result
+            continue
+        raise ValueError(
+            f"unexpected gate {node.gtype} in strashed AIG"
+        )
+
+    outputs = [(po_name, litmap[nid]) for po_name, nid in aig.pos]
+    pi_names = [aig.node(pi).name for pi in aig.pis]
+    out, _ = builder.to_network(outputs, pi_names, name or net.name)
+    return out
+
+
+def resynthesize(net: Network, seed: int = 0, name: str = "") -> Network:
+    """Structure-destroying rebuild (strash + balance).
+
+    Used by the benchmark generator to produce specifications that share
+    no gate-level structure with the implementation, per the paper's
+    "no structural similarity" requirement.
+    """
+    return balance(net, name or f"{net.name}_resyn")

@@ -1,0 +1,74 @@
+"""Cone and level computations over :class:`~repro.network.network.Network`.
+
+These are the structural primitives behind the paper's windowing step
+(Section 3.3): transitive fanin/fanout cones, reachable-PO ("TFO
+support") computation, and topological levels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from .network import Network
+
+
+def tfi(net: Network, roots: Iterable[int], include_roots: bool = True) -> Set[int]:
+    """Transitive fanin cone of ``roots`` (node ids), including PIs."""
+    seen: Set[int] = set()
+    stack = list(roots)
+    roots_set = set(stack)
+    while stack:
+        nid = stack.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        stack.extend(net.node(nid).fanins)
+    if not include_roots:
+        seen -= roots_set
+    return seen
+
+
+def tfo(net: Network, roots: Iterable[int], include_roots: bool = True) -> Set[int]:
+    """Transitive fanout cone of ``roots`` (node ids)."""
+    seen: Set[int] = set()
+    stack = list(roots)
+    roots_set = set(stack)
+    while stack:
+        nid = stack.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        stack.extend(net.fanouts(nid))
+    if not include_roots:
+        seen -= roots_set
+    return seen
+
+
+def tfo_pos(net: Network, roots: Iterable[int]) -> List[int]:
+    """PO indices reachable from ``roots`` — the paper's "TFO support"."""
+    cone = tfo(net, roots)
+    return [i for i, (_, nid) in enumerate(net.pos) if nid in cone]
+
+
+def levels(net: Network) -> Dict[int, int]:
+    """Topological level of every node (PIs and constants at level 0)."""
+    lev: Dict[int, int] = {}
+    for node in net.topo_order():
+        if node.fanins:
+            lev[node.nid] = 1 + max(lev[f] for f in node.fanins)
+        else:
+            lev[node.nid] = 0
+    return lev
+
+
+def depth(net: Network) -> int:
+    """Maximum PO level (0 for a network of wires)."""
+    lev = levels(net)
+    if not net.pos:
+        return 0
+    return max(lev[nid] for _, nid in net.pos)
+
+
+def support(net: Network, nid: int) -> Set[int]:
+    """The PI ids in the TFI of ``nid`` — its structural support."""
+    return {x for x in tfi(net, [nid]) if net.node(x).is_pi}

@@ -1,0 +1,98 @@
+"""Structural pruning (paper Section 3.3).
+
+The window narrows the ECO problem to the part of the netlist the
+targets can influence:
+
+1. POs reachable from the targets in the implementation (window POs);
+2. PIs reachable from those POs in either netlist (window PIs);
+3. implementation signals outside the targets' TFO whose structural
+   support lies inside the window PIs (candidate divisors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from .network import Network
+from .traversal import tfi, tfo
+
+
+@dataclass
+class Window:
+    """Result of structural pruning for one ECO instance.
+
+    Attributes:
+        po_indices: indices (into ``impl.pos``/``spec.pos``) of outputs
+            the patch can affect; the miter only compares these.
+        impl_window_pis: PI ids of the implementation inside the window.
+        spec_window_pis: PI ids of the specification inside the window.
+        divisors: implementation node ids usable as patch inputs,
+            excluding anything in the targets' TFO.
+        target_tfo: implementation node ids in the TFO of any target.
+    """
+
+    po_indices: List[int]
+    impl_window_pis: List[int]
+    spec_window_pis: List[int]
+    divisors: List[int]
+    target_tfo: Set[int] = field(default_factory=set)
+
+
+def compute_window(
+    impl: Network, spec: Network, targets: Sequence[int]
+) -> Window:
+    """Compute the pruning window for ``targets`` in ``impl`` vs ``spec``.
+
+    ``impl`` and ``spec`` must agree on PO names.  PIs are matched by
+    name; a window PI name present in only one netlist is still included
+    for that netlist.
+    """
+    impl_po_map = {name: nid for name, nid in impl.pos}
+    spec_po_map = {name: nid for name, nid in spec.pos}
+    if set(impl_po_map) != set(spec_po_map):
+        raise ValueError("implementation and specification PO names differ")
+
+    target_tfo = tfo(impl, targets)
+    po_indices = [
+        i for i, (_, nid) in enumerate(impl.pos) if nid in target_tfo
+    ]
+    window_po_names = [impl.pos[i][0] for i in po_indices]
+
+    impl_cone = tfi(impl, [impl_po_map[n] for n in window_po_names])
+    spec_cone = tfi(spec, [spec_po_map[n] for n in window_po_names])
+    impl_pi_names = {impl.node(x).name for x in impl_cone if impl.node(x).is_pi}
+    spec_pi_names = {spec.node(x).name for x in spec_cone if spec.node(x).is_pi}
+    window_pi_names = impl_pi_names | spec_pi_names
+
+    impl_window_pis = [
+        pi for pi in impl.pis if impl.node(pi).name in window_pi_names
+    ]
+    spec_window_pis = [
+        pi for pi in spec.pis if spec.node(pi).name in window_pi_names
+    ]
+
+    window_pi_set = set(impl_window_pis)
+    divisors: List[int] = []
+    # structural support containment, computed in one bottom-up pass
+    supports: Dict[int, bool] = {}
+    for node in impl.topo_order():
+        if node.is_pi:
+            supports[node.nid] = node.nid in window_pi_set
+        elif node.is_const:
+            supports[node.nid] = True
+        else:
+            supports[node.nid] = all(supports[f] for f in node.fanins)
+        if (
+            supports[node.nid]
+            and node.nid not in target_tfo
+            and not node.is_const
+        ):
+            divisors.append(node.nid)
+    return Window(
+        po_indices=po_indices,
+        impl_window_pis=impl_window_pis,
+        spec_window_pis=spec_window_pis,
+        divisors=divisors,
+        target_tfo=target_tfo,
+    )

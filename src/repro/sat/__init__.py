@@ -1,0 +1,41 @@
+"""SAT substrate: CDCL solver, CNF encoding, proofs, interpolation."""
+
+from .cardinality import Totalizer
+from .interpolate import InterpolationError, interpolant
+from .proof import ProofError, check_proof, derive_clause, resolve
+from .simplify import Preprocessor, PreprocessorError
+from .solver import SatBudgetExceeded, Solver
+from .tseitin import add_equality, encode_gate, encode_network
+from .types import (
+    clause_from_dimacs,
+    from_dimacs,
+    is_negated,
+    lit_var,
+    mklit,
+    neg,
+    to_dimacs,
+)
+
+__all__ = [
+    "InterpolationError",
+    "Preprocessor",
+    "PreprocessorError",
+    "ProofError",
+    "SatBudgetExceeded",
+    "Solver",
+    "Totalizer",
+    "add_equality",
+    "check_proof",
+    "clause_from_dimacs",
+    "derive_clause",
+    "encode_gate",
+    "encode_network",
+    "from_dimacs",
+    "interpolant",
+    "is_negated",
+    "lit_var",
+    "mklit",
+    "neg",
+    "resolve",
+    "to_dimacs",
+]

@@ -1,0 +1,81 @@
+"""Totalizer cardinality encoding.
+
+Provides an incremental "at most k of these literals" constraint.  The
+exact-pruning search of :mod:`repro.core.satprune` uses it to cap the
+*number* of selected divisors when divisor costs are uniform, and the
+test suite uses it to validate solver behaviour on structured CNFs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .solver import Solver
+from .types import mklit, neg
+
+
+class Totalizer:
+    """A totalizer over input literals with unary output counters.
+
+    ``outputs[i]`` is a literal that is true iff at least ``i+1`` inputs
+    are true.  Constraining "at most k" is assuming/adding
+    ``neg(outputs[k])``.
+    """
+
+    def __init__(self, solver: Solver, inputs: Sequence[int]) -> None:
+        self.solver = solver
+        self.inputs = list(inputs)
+        if not self.inputs:
+            self.outputs: List[int] = []
+            return
+        self.outputs = self._build(self.inputs)
+
+    def _build(self, lits: List[int]) -> List[int]:
+        if len(lits) == 1:
+            return list(lits)
+        mid = len(lits) // 2
+        left = self._build(lits[:mid])
+        right = self._build(lits[mid:])
+        return self._merge(left, right)
+
+    def _merge(self, left: List[int], right: List[int]) -> List[int]:
+        n = len(left) + len(right)
+        out = [mklit(self.solver.new_var()) for _ in range(n)]
+        # sum semantics: out[k] <- at least k+1 true among left+right
+        for i in range(len(left) + 1):
+            for j in range(len(right) + 1):
+                if i + j == 0:
+                    continue
+                # (left>=i and right>=j) -> out >= i+j
+                clause = [out[i + j - 1]]
+                if i > 0:
+                    clause.append(neg(left[i - 1]))
+                if j > 0:
+                    clause.append(neg(right[j - 1]))
+                self.solver.add_clause(clause)
+                # (left<i or right<j) propagation for the other direction:
+                # out >= i+j+1 -> (left >= i+1 or right >= j+1)
+                if i + j < n:
+                    clause2 = [neg(out[i + j])]
+                    if i < len(left):
+                        clause2.append(left[i])
+                    if j < len(right):
+                        clause2.append(right[j])
+                    self.solver.add_clause(clause2)
+        return out
+
+    def at_most(self, k: int) -> Optional[int]:
+        """Literal to assume for "at most k"; None when k >= len(inputs)."""
+        if k >= len(self.outputs):
+            return None
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return neg(self.outputs[k])
+
+    def at_least(self, k: int) -> Optional[int]:
+        """Literal to assume for "at least k"; None when k <= 0."""
+        if k <= 0:
+            return None
+        if k > len(self.outputs):
+            raise ValueError("k exceeds the input count")
+        return self.outputs[k - 1]

@@ -1,0 +1,109 @@
+"""DIMACS CNF reading/writing and a standalone solve entry point.
+
+Lets the solver interoperate with standard SAT tooling: suite netlists
+can be exported as CNF, external instances can be replayed against this
+solver, and regression cases can be stored as ``.cnf`` files.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .solver import Solver
+from .types import from_dimacs, to_dimacs
+
+
+class DimacsError(Exception):
+    """Raised on malformed DIMACS input."""
+
+
+def parse_dimacs(text: str) -> Tuple[int, List[List[int]]]:
+    """Parse DIMACS CNF; returns ``(num_vars, clauses)`` in internal lits."""
+    nvars: Optional[int] = None
+    nclauses: Optional[int] = None
+    clauses: List[List[int]] = []
+    current: List[int] = []
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsError(f"line {lineno}: bad problem line {line!r}")
+            nvars, nclauses = int(parts[2]), int(parts[3])
+            continue
+        if line.startswith("%"):
+            break  # SATLIB-style trailer
+        for tok in line.split():
+            try:
+                d = int(tok)
+            except ValueError as exc:
+                raise DimacsError(f"line {lineno}: bad token {tok!r}") from exc
+            if d == 0:
+                clauses.append(current)
+                current = []
+            else:
+                current.append(from_dimacs(d))
+    if current:
+        clauses.append(current)
+    if nvars is None:
+        nvars = max(
+            ((lit >> 1) + 1 for c in clauses for lit in c), default=0
+        )
+    for c in clauses:
+        for lit in c:
+            if (lit >> 1) >= nvars:
+                raise DimacsError(
+                    f"variable {(lit >> 1) + 1} exceeds declared count {nvars}"
+                )
+    if nclauses is not None and nclauses != len(clauses):
+        # tolerated (common in the wild) but the count is normalized
+        pass
+    return nvars, clauses
+
+
+def read_dimacs(path: str) -> Tuple[int, List[List[int]]]:
+    """Read a ``.cnf`` file."""
+    with open(path, "r", encoding="utf-8") as f:
+        return parse_dimacs(f.read())
+
+
+def write_dimacs(
+    nvars: int,
+    clauses: Sequence[Sequence[int]],
+    path: Optional[str] = None,
+    comment: str = "",
+) -> str:
+    """Serialize clauses (internal literals) as DIMACS CNF."""
+    lines = []
+    if comment:
+        for part in comment.split("\n"):
+            lines.append(f"c {part}")
+    lines.append(f"p cnf {nvars} {len(clauses)}")
+    for clause in clauses:
+        lines.append(" ".join(str(to_dimacs(l)) for l in clause) + " 0")
+    text = "\n".join(lines) + "\n"
+    if path:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+    return text
+
+
+def solve_dimacs(
+    text: str, budget_conflicts: Optional[int] = None
+) -> Tuple[bool, Optional[List[int]]]:
+    """Solve DIMACS text; returns ``(sat, model)`` with a 0/1 model list."""
+    nvars, clauses = parse_dimacs(text)
+    solver = Solver()
+    solver.new_vars(nvars)
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            return False, None
+    if not solver.solve(budget_conflicts=budget_conflicts):
+        return False, None
+    model = [
+        solver.model[v] if solver.model[v] in (0, 1) else 0
+        for v in range(nvars)
+    ]
+    return True, model

@@ -1,0 +1,78 @@
+"""Resolution-proof reconstruction and checking.
+
+When a :class:`~repro.sat.solver.Solver` runs with ``proof_logging=True``
+it records, for every learned clause, the linear resolution chain that
+derives it.  This module replays those chains, which serves two purposes:
+
+* validating the solver's proofs in the test suite;
+* providing the clause-derivation traversal used by
+  :mod:`repro.sat.interpolate`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .solver import Solver
+
+
+class ProofError(Exception):
+    """Raised when a logged chain is not a valid resolution derivation."""
+
+
+def resolve(
+    c1: FrozenSet[int], c2: FrozenSet[int], pivot: int
+) -> FrozenSet[int]:
+    """Resolve two clauses (literal sets) on variable ``pivot``."""
+    pos = pivot * 2
+    neg = pos + 1
+    if pos in c1 and neg in c2:
+        return (c1 - {pos}) | (c2 - {neg})
+    if neg in c1 and pos in c2:
+        return (c1 - {neg}) | (c2 - {pos})
+    raise ProofError(f"pivot {pivot} does not appear with opposite phases")
+
+
+def derive_clause(solver: Solver, cid: int, cache: Dict[int, FrozenSet[int]]) -> FrozenSet[int]:
+    """Replay the derivation of clause ``cid``; returns its literal set."""
+    hit = cache.get(cid)
+    if hit is not None:
+        return hit
+    chain = solver.proof_chains.get(cid)
+    if chain is None:
+        # original clause: an axiom
+        lits = solver.clause_lits.get(cid)
+        if lits is None:
+            raise ProofError(f"clause {cid} has neither literals nor a chain")
+        result = frozenset(lits)
+    else:
+        result = derive_clause(solver, chain[0][1], cache)
+        for pivot, other in chain[1:]:
+            result = resolve(result, derive_clause(solver, other, cache), pivot)
+    cache[cid] = result
+    return result
+
+
+def check_proof(solver: Solver) -> int:
+    """Validate every logged chain; returns the number of checked chains.
+
+    Each learned clause's replayed derivation must match its recorded
+    literal set, and — when the solver concluded UNSAT at level 0 — the
+    final chain must produce the empty clause.
+    """
+    if not solver.proof_logging:
+        raise ProofError("solver was not run with proof_logging=True")
+    cache: Dict[int, FrozenSet[int]] = {}
+    checked = 0
+    for cid in sorted(solver.proof_chains):
+        derived = derive_clause(solver, cid, cache)
+        recorded = solver.clause_lits.get(cid)
+        if recorded is not None and frozenset(recorded) != derived:
+            raise ProofError(
+                f"clause {cid}: derived {sorted(derived)} != recorded {sorted(recorded)}"
+            )
+        checked += 1
+    if solver.empty_clause_cid is not None:
+        if derive_clause(solver, solver.empty_clause_cid, cache):
+            raise ProofError("final chain does not derive the empty clause")
+    return checked

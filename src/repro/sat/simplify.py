@@ -1,0 +1,275 @@
+"""CNF preprocessing (SatELite-style) for one-shot solves.
+
+Implements the classic simplification trio on a clause list:
+
+* **unit propagation** at the formula level;
+* **subsumption** (drop clauses containing another clause) and
+  **self-subsuming resolution** (strengthen ``D ∪ {¬l}`` against
+  ``C ∪ {l}`` with ``C ⊆ D``);
+* **bounded variable elimination** (resolve out a variable when the
+  resolvent count does not grow the formula).
+
+Variables named in ``frozen`` are never eliminated — callers freeze the
+variables they need to assume or read back.  Eliminated variables are
+reconstructible into full models via :meth:`Preprocessor.reconstruct`.
+
+Used by the CEC fast path and available as a substrate utility; the
+incremental ECO loops keep their unsimplified solvers (their assumption
+sets touch most variables anyway).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class PreprocessorError(Exception):
+    """Raised on malformed input."""
+
+
+class ClauseCollector:
+    """A Solver-shaped sink for :func:`~repro.sat.tseitin.encode_network`.
+
+    Collects variables and clauses without solving, so an encoding can
+    be preprocessed before it ever reaches a real solver.
+    """
+
+    def __init__(self) -> None:
+        self.nvars = 0
+        self.clause_list: List[List[int]] = []
+
+    def new_var(self) -> int:
+        v = self.nvars
+        self.nvars += 1
+        return v
+
+    def new_vars(self, n: int) -> List[int]:
+        return [self.new_var() for _ in range(n)]
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        self.clause_list.append(list(lits))
+        return True
+
+
+class Preprocessor:
+    """Simplifies a CNF; see module docstring.
+
+    Typical use::
+
+        pre = Preprocessor(nvars, frozen=frozen_vars)
+        for c in clauses: pre.add_clause(c)
+        status = pre.run()           # True, or False if UNSAT already
+        solver = Solver(); solver.new_vars(nvars)
+        for c in pre.clauses(): solver.add_clause(c)
+        if solver.solve(assumptions):
+            model = pre.reconstruct(solver.model)
+    """
+
+    def __init__(self, nvars: int, frozen: Optional[Iterable[int]] = None) -> None:
+        self.nvars = nvars
+        self.frozen: Set[int] = set(frozen or [])
+        self._clauses: Dict[int, FrozenSet[int]] = {}
+        self._next_id = 0
+        self._occur: Dict[int, Set[int]] = {}
+        self._assigned: Dict[int, int] = {}  # var -> value (from units)
+        self._eliminated: List[Tuple[int, List[FrozenSet[int]]]] = []
+        self._unsat = False
+
+    # ------------------------------------------------------------------
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        clause = frozenset(lits)
+        for lit in clause:
+            if lit >> 1 >= self.nvars:
+                raise PreprocessorError(f"literal {lit} out of range")
+        if any((lit ^ 1) in clause for lit in clause):
+            return  # tautology
+        self._insert(clause)
+
+    def _insert(self, clause: FrozenSet[int]) -> Optional[int]:
+        cid = self._next_id
+        self._next_id += 1
+        self._clauses[cid] = clause
+        for lit in clause:
+            self._occur.setdefault(lit, set()).add(cid)
+        return cid
+
+    def _remove(self, cid: int) -> None:
+        clause = self._clauses.pop(cid)
+        for lit in clause:
+            self._occur.get(lit, set()).discard(cid)
+
+    def clauses(self) -> List[List[int]]:
+        """Current clause list (after :meth:`run`), plus unit facts."""
+        out = [sorted(c) for c in self._clauses.values()]
+        for var, val in self._assigned.items():
+            out.append([var * 2 + (0 if val else 1)])
+        return out
+
+    @property
+    def is_unsat(self) -> bool:
+        return self._unsat
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_passes: int = 12) -> bool:
+        """Simplify to fixpoint (bounded); returns False if proven UNSAT."""
+        for _ in range(max_passes):
+            changed = False
+            changed |= self._propagate_units()
+            if self._unsat:
+                return False
+            changed |= self._subsume_all()
+            changed |= self._eliminate_variables()
+            if self._unsat:
+                return False
+            if not changed:
+                break
+        return not self._unsat
+
+    # -- unit propagation ----------------------------------------------
+
+    def _propagate_units(self) -> bool:
+        changed = False
+        while True:
+            unit = next(
+                (cid for cid, c in self._clauses.items() if len(c) == 1), None
+            )
+            if unit is None:
+                return changed
+            (lit,) = self._clauses[unit]
+            var, val = lit >> 1, 1 - (lit & 1)
+            if var in self._assigned:
+                if self._assigned[var] != val:
+                    self._unsat = True
+                    return True
+                self._remove(unit)
+                continue
+            self._assigned[var] = val
+            changed = True
+            # satisfied clauses vanish; falsified literals are stripped
+            for cid in list(self._occur.get(lit, ())):
+                self._remove(cid)
+            for cid in list(self._occur.get(lit ^ 1, ())):
+                clause = self._clauses[cid]
+                self._remove(cid)
+                reduced = clause - {lit ^ 1}
+                if not reduced:
+                    self._unsat = True
+                    return True
+                self._insert(reduced)
+
+    # -- subsumption ----------------------------------------------------
+
+    def _subsume_all(self) -> bool:
+        changed = False
+        for cid in list(self._clauses):
+            if cid not in self._clauses:
+                continue
+            changed |= self._subsume_with(cid)
+        return changed
+
+    def _subsume_with(self, cid: int) -> bool:
+        """Use clause ``cid`` to subsume/strengthen others."""
+        clause = self._clauses.get(cid)
+        if clause is None:
+            return False
+        changed = False
+        # candidates: clauses sharing the rarest literal (or its negation
+        # for self-subsumption)
+        rare = min(clause, key=lambda l: len(self._occur.get(l, ())))
+        for other_id in list(self._occur.get(rare, ())):
+            if other_id == cid:
+                continue
+            other = self._clauses.get(other_id)
+            if other is None or len(other) < len(clause):
+                continue
+            if clause <= other:
+                self._remove(other_id)
+                changed = True
+        # self-subsuming resolution on each literal of the clause
+        for lit in clause:
+            base = clause - {lit}
+            for other_id in list(self._occur.get(lit ^ 1, ())):
+                other = self._clauses.get(other_id)
+                if other is None:
+                    continue
+                if base <= (other - {lit ^ 1}):
+                    self._remove(other_id)
+                    reduced = other - {lit ^ 1}
+                    if not reduced:
+                        self._unsat = True
+                        return True
+                    self._insert(reduced)
+                    changed = True
+        return changed
+
+    # -- bounded variable elimination ------------------------------------
+
+    def _eliminate_variables(self, growth_limit: int = 0) -> bool:
+        changed = False
+        for var in range(self.nvars):
+            if var in self.frozen or var in self._assigned:
+                continue
+            pos = [
+                self._clauses[c] for c in self._occur.get(var * 2, set())
+                if c in self._clauses
+            ]
+            neg = [
+                self._clauses[c] for c in self._occur.get(var * 2 + 1, set())
+                if c in self._clauses
+            ]
+            if not pos and not neg:
+                continue
+            if len(pos) * len(neg) > 16:  # keep elimination cheap
+                continue
+            resolvents: List[FrozenSet[int]] = []
+            tautologies = 0
+            for p in pos:
+                for q in neg:
+                    r = (p - {var * 2}) | (q - {var * 2 + 1})
+                    if any((lit ^ 1) in r for lit in r):
+                        tautologies += 1
+                        continue
+                    resolvents.append(r)
+            if len(resolvents) > len(pos) + len(neg) + growth_limit:
+                continue
+            # eliminate: drop originals, add resolvents, save definition
+            for cid in list(self._occur.get(var * 2, set())) + list(
+                self._occur.get(var * 2 + 1, set())
+            ):
+                if cid in self._clauses:
+                    self._remove(cid)
+            for r in resolvents:
+                if not r:
+                    self._unsat = True
+                    return True
+                self._insert(r)
+            self._eliminated.append((var, pos + neg))
+            changed = True
+        return changed
+
+    # -- model reconstruction --------------------------------------------
+
+    def reconstruct(self, model: Sequence[int]) -> List[int]:
+        """Extend a model of the simplified CNF to the original CNF.
+
+        ``model`` is indexable by variable (values 0/1, -1 for free);
+        returns a full assignment list.
+        """
+        full = [v if v in (0, 1) else 0 for v in model]
+        while len(full) < self.nvars:
+            full.append(0)
+        for var, val in self._assigned.items():
+            full[var] = val
+        for var, saved in reversed(self._eliminated):
+            # choose the value satisfying every saved clause
+            for candidate in (0, 1):
+                full[var] = candidate
+                ok = all(
+                    any(full[l >> 1] ^ (l & 1) for l in clause)
+                    for clause in saved
+                )
+                if ok:
+                    break
+        return full

@@ -1,0 +1,663 @@
+"""A MiniSAT-style CDCL SAT solver.
+
+The reproduction needs the same solver services the paper gets from
+MiniSAT [6]:
+
+* incremental solving under *assumptions* (every ECO routine —
+  ``minimize_assumptions``, cube enumeration, SAT_prune — leans on this);
+* ``analyze_final`` assumption cores (the paper's baseline support
+  computation, Table 1 columns 7-9);
+* optional resolution-proof logging, consumed by
+  :mod:`repro.sat.interpolate` for the interpolation baseline.
+
+The implementation is a faithful pure-Python CDCL: two-watched-literal
+propagation, first-UIP clause learning with chain logging, VSIDS
+activities with phase saving, Luby restarts, and learned-clause database
+reduction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class SatBudgetExceeded(Exception):
+    """Raised when a solve call exceeds its conflict budget.
+
+    The paper's flow treats SAT timeouts as a signal to fall back to the
+    structural patch computation (Section 3.6); this exception is that
+    signal.
+    """
+
+
+class _Clause:
+    """One clause; positions 0 and 1 are the watched literals."""
+
+    __slots__ = ("lits", "learnt", "act", "cid")
+
+    def __init__(self, lits: List[int], learnt: bool, cid: int) -> None:
+        self.lits = lits
+        self.learnt = learnt
+        self.act = 0.0
+        self.cid = cid
+
+
+class Solver:
+    """CDCL solver over literals packed as ``2*var + neg``.
+
+    Typical use::
+
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([mklit(a), mklit(b, True)])
+        assert s.solve([mklit(b)])
+        print(s.model_value(mklit(a)))
+
+    After an UNSAT :meth:`solve` under assumptions, :attr:`core` holds
+    the subset of assumption literals the proof used (``analyze_final``).
+    """
+
+    def __init__(self, proof_logging: bool = False) -> None:
+        self.nvars = 0
+        self._watches: List[List[_Clause]] = []
+        self._assigns: List[int] = []  # -1 unassigned, 0 false, 1 true
+        self._level: List[int] = []
+        self._reason: List[Optional[_Clause]] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._activity: List[float] = []
+        self._polarity: List[int] = []  # saved phase, 0/1 (1 = assign true)
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._order: List[Tuple[float, int]] = []  # lazy max-heap (neg activity)
+        self._scan_hint = 0  # every var below this index is assigned
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        self._ok = True
+        self.core: Set[int] = set()
+        self.model: List[int] = []
+        # statistics
+        self.stats = {
+            "solves": 0,
+            "decisions": 0,
+            "conflicts": 0,
+            "propagations": 0,
+            "learned_literals": 0,
+            "restarts": 0,
+        }
+        # proof logging
+        self.proof_logging = proof_logging
+        self.last_clause_cid = -1
+        self._next_cid = 0
+        self.proof_chains: Dict[int, List[Tuple[int, int]]] = {}
+        self.clause_lits: Dict[int, Tuple[int, ...]] = {}
+        self.empty_clause_cid: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # variables and clauses
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its index."""
+        v = self.nvars
+        self.nvars += 1
+        self._watches.append([])
+        self._watches.append([])
+        self._assigns.append(-1)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._polarity.append(0)
+        return v
+
+    def new_vars(self, n: int) -> List[int]:
+        """Allocate ``n`` fresh variables."""
+        return [self.new_var() for _ in range(n)]
+
+    def value(self, lit: int) -> int:
+        """Current value of ``lit``: 1 true, 0 false, -1 unassigned."""
+        v = self._assigns[lit >> 1]
+        if v < 0:
+            return -1
+        return v ^ (lit & 1)
+
+    def _register_clause(self, lits: Sequence[int]) -> int:
+        cid = self._next_cid
+        self._next_cid += 1
+        if self.proof_logging:
+            self.clause_lits[cid] = tuple(lits)
+        return cid
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a problem clause; returns False if the solver became UNSAT.
+
+        Clauses may only be added at decision level 0 (between solve
+        calls).  Duplicate literals are removed and tautologies ignored.
+        In proof-logging mode, literals already false at level 0 are kept
+        (the resolution proof stays exact); otherwise they are stripped.
+        The id of the registered clause is left in :attr:`last_clause_cid`
+        for partitioned (interpolation) use.
+        """
+        if self._trail_lim:
+            raise RuntimeError("add_clause requires decision level 0")
+        if not self._ok:
+            return False
+        lits = list(lits)
+        seen: Set[int] = set()
+        out: List[int] = []
+        satisfied = False
+        for lit in lits:
+            if lit ^ 1 in seen:
+                self.last_clause_cid = self._register_clause(sorted(set(lits)))
+                return True  # tautology: never needed by any refutation
+            if lit in seen:
+                continue
+            val = self.value(lit)
+            if val == 1:
+                satisfied = True
+            if val == 0 and not self.proof_logging:
+                continue  # falsified at level 0; safe to strip
+            seen.add(lit)
+            out.append(lit)
+        cid = self._register_clause(out)
+        self.last_clause_cid = cid
+        if satisfied:
+            return True  # true at level 0: cannot appear in a refutation
+        if not out:
+            self._ok = False
+            self.empty_clause_cid = cid
+            return False
+        # put non-false literals first so watches start on them
+        out.sort(key=lambda l: self.value(l) == 0)
+        nonfalse = sum(1 for l in out if self.value(l) != 0)
+        clause = _Clause(out, False, cid)
+        if nonfalse == 0:
+            self._ok = False
+            if self.proof_logging:
+                self.empty_clause_cid = self._log_level0_conflict(clause)
+            return False
+        if nonfalse == 1:
+            # unit under the level-0 assignment: propagate with this
+            # clause as the reason so proof chains can reference it
+            if len(out) > 1:
+                self._attach(clause)
+                self._clauses.append(clause)
+            self._unchecked_enqueue(out[0], clause)
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                if self.proof_logging:
+                    self.empty_clause_cid = self._log_level0_conflict(conflict)
+                return False
+            return True
+        self._attach(clause)
+        self._clauses.append(clause)
+        return True
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[clause.lits[0] ^ 1].append(clause)
+        self._watches[clause.lits[1] ^ 1].append(clause)
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+
+    def _unchecked_enqueue(self, lit: int, reason: Optional[_Clause]) -> None:
+        var = lit >> 1
+        self._assigns[var] = 1 - (lit & 1)
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None."""
+        watches = self._watches
+        assigns = self._assigns
+        nprops = 0
+        conflict: Optional[_Clause] = None
+        while self._qhead < len(self._trail):
+            p = self._trail[self._qhead]
+            self._qhead += 1
+            nprops += 1
+            false_lit = p ^ 1
+            wlist = watches[p]
+            i = 0
+            j = 0
+            n = len(wlist)
+            while i < n:
+                clause = wlist[i]
+                i += 1
+                lits = clause.lits
+                # ensure the false literal is at position 1
+                if lits[0] == false_lit:
+                    lits[0] = lits[1]
+                    lits[1] = false_lit
+                first = lits[0]
+                v0 = assigns[first >> 1]
+                if v0 >= 0 and (v0 ^ (first & 1)) == 1:
+                    wlist[j] = clause
+                    j += 1
+                    continue
+                # look for a new literal to watch
+                found = False
+                for k in range(2, len(lits)):
+                    lk = lits[k]
+                    vk = assigns[lk >> 1]
+                    if vk < 0 or (vk ^ (lk & 1)) == 1:
+                        lits[1] = lk
+                        lits[k] = false_lit
+                        watches[lk ^ 1].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # clause is unit or conflicting
+                wlist[j] = clause
+                j += 1
+                if v0 == (first & 1):  # first is false -> conflict
+                    conflict = clause
+                    # copy remaining watchers and bail out
+                    while i < n:
+                        wlist[j] = wlist[i]
+                        j += 1
+                        i += 1
+                    self._qhead = len(self._trail)
+                else:
+                    self._unchecked_enqueue(first, clause)
+            del wlist[j:]
+            if conflict is not None:
+                break
+        self.stats["propagations"] += nprops
+        return conflict
+
+    # ------------------------------------------------------------------
+    # conflict analysis
+    # ------------------------------------------------------------------
+
+    def _var_bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for i in range(self.nvars):
+                self._activity[i] *= 1e-100
+            self._var_inc *= 1e-100
+        heapq.heappush(self._order, (-self._activity[var], var))
+
+    def _cla_bump(self, clause: _Clause) -> None:
+        clause.act += self._cla_inc
+        if clause.act > 1e20:
+            for c in self._learnts:
+                c.act *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int, List[Tuple[int, int]]]:
+        """First-UIP analysis.
+
+        Returns ``(learnt_clause, backtrack_level, chain)`` where the
+        learnt clause's first literal is the asserting literal and
+        ``chain`` is the resolution chain ``[(pivot_var, clause_id), ...]``
+        starting from the conflict clause (pivot -1 for the first entry).
+        """
+        seen = [False] * self.nvars
+        learnt: List[int] = [0]  # slot 0 for the asserting literal
+        counter = 0
+        p = -1
+        clause: Optional[_Clause] = conflict
+        index = len(self._trail) - 1
+        cur_level = len(self._trail_lim)
+        chain: List[Tuple[int, int]] = [(-1, conflict.cid)]
+        btlevel = 0
+        first = True
+        while True:
+            assert clause is not None
+            if clause.learnt:
+                self._cla_bump(clause)
+            start = 0 if first else 1
+            for k in range(start, len(clause.lits)):
+                q = clause.lits[k]
+                qv = q >> 1
+                if seen[qv]:
+                    continue
+                if self._level[qv] == 0:
+                    # level-0 false literal: normally dropped; kept in
+                    # proof mode so the logged chain derives the clause
+                    if self.proof_logging:
+                        seen[qv] = True
+                        learnt.append(q)
+                    continue
+                seen[qv] = True
+                self._var_bump(qv)
+                if self._level[qv] >= cur_level:
+                    counter += 1
+                else:
+                    learnt.append(q)
+                    if self._level[qv] > btlevel:
+                        btlevel = self._level[qv]
+            first = False
+            # pick next literal to resolve on
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            p = self._trail[index]
+            index -= 1
+            pv = p >> 1
+            seen[pv] = False
+            counter -= 1
+            if counter == 0:
+                break
+            clause = self._reason[pv]
+            assert clause is not None, "UIP literal must have a reason"
+            chain.append((pv, clause.cid))
+        learnt[0] = p ^ 1
+        # conflict-clause minimization (MiniSAT ccmin): drop literals
+        # implied by the rest of the clause.  Skipped under proof
+        # logging — the removal resolutions are not recorded.
+        if not self.proof_logging and len(learnt) > 1:
+            for k in range(1, len(learnt)):
+                seen[learnt[k] >> 1] = True
+            abstract = 0
+            for q in learnt[1:]:
+                abstract |= 1 << (self._level[q >> 1] & 31)
+            kept = [learnt[0]]
+            for q in learnt[1:]:
+                if self._reason[q >> 1] is None or not self._lit_redundant(
+                    q, abstract, seen
+                ):
+                    kept.append(q)
+            if len(kept) < len(learnt):
+                learnt = kept
+                btlevel = 0
+                for q in learnt[1:]:
+                    lv = self._level[q >> 1]
+                    if lv > btlevel:
+                        btlevel = lv
+        self.stats["learned_literals"] += len(learnt)
+        return learnt, btlevel, chain
+
+    def _lit_redundant(self, p: int, abstract: int, seen: List[bool]) -> bool:
+        """True when ``p`` is implied by the other learnt literals."""
+        stack = [p]
+        marked: List[int] = []
+        while stack:
+            q = stack.pop()
+            reason = self._reason[q >> 1]
+            assert reason is not None
+            for lit in reason.lits[1:]:
+                v = lit >> 1
+                if seen[v] or self._level[v] == 0:
+                    continue
+                if self._reason[v] is None or not (
+                    (1 << (self._level[v] & 31)) & abstract
+                ):
+                    for m in marked:
+                        seen[m] = False
+                    return False
+                seen[v] = True
+                marked.append(v)
+                stack.append(lit)
+        return True
+
+    def _analyze_final(self, p: int) -> Set[int]:
+        """Assumption core for a failing assumption literal ``p``.
+
+        ``p`` is the assumption whose negation is already implied.  The
+        returned set contains ``p`` plus every earlier assumption literal
+        the implication used — MiniSAT's analyzeFinal, phrased directly
+        in terms of assumption literals.
+        """
+        out: Set[int] = {p}
+        if not self._trail_lim:
+            return out
+        seen = [False] * self.nvars
+        seen[p >> 1] = True
+        for i in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+            q = self._trail[i]
+            qv = q >> 1
+            if not seen[qv]:
+                continue
+            reason = self._reason[qv]
+            if reason is None:
+                out.add(q)  # an assumption decision in the core
+            else:
+                for lit in reason.lits[1:]:
+                    if self._level[lit >> 1] > 0:
+                        seen[lit >> 1] = True
+            seen[qv] = False
+        return out
+
+    def _log_level0_conflict(self, conflict: _Clause) -> int:
+        """Resolve a level-0 conflict down to the empty clause (for proofs).
+
+        Walks the trail backwards, resolving out every variable of the
+        conflict clause with its reason; reason literals assigned earlier
+        are picked up later in the walk, so the chain is a valid linear
+        resolution ending in the empty clause.
+        """
+        chain: List[Tuple[int, int]] = [(-1, conflict.cid)]
+        pending: Set[int] = {lit >> 1 for lit in conflict.lits}
+        for i in range(len(self._trail) - 1, -1, -1):
+            q = self._trail[i]
+            qv = q >> 1
+            if qv not in pending:
+                continue
+            reason = self._reason[qv]
+            if reason is None:
+                continue  # unreachable in proof mode: units carry reasons
+            chain.append((qv, reason.cid))
+            pending.update(lit >> 1 for lit in reason.lits)
+        cid = self._register_clause([])
+        if self.proof_logging:
+            self.proof_chains[cid] = chain
+        return cid
+
+    # ------------------------------------------------------------------
+    # backtracking / decisions
+    # ------------------------------------------------------------------
+
+    def _cancel_until(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        bound = self._trail_lim[level]
+        hint = self._scan_hint
+        for i in range(len(self._trail) - 1, bound - 1, -1):
+            lit = self._trail[i]
+            var = lit >> 1
+            self._assigns[var] = -1
+            self._reason[var] = None
+            self._polarity[var] = 1 - (lit & 1)
+            if var < hint:
+                hint = var
+        self._scan_hint = hint
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _pick_branch_var(self) -> int:
+        order = self._order
+        assigns = self._assigns
+        while order:
+            # lazy heap: entries may be stale; skip assigned variables
+            _, var = heapq.heappop(order)
+            if assigns[var] < 0:
+                return var
+        # linear fallback with a monotone cursor: every var below the
+        # hint is assigned (the hint is lowered on backtracking)
+        v = self._scan_hint
+        n = self.nvars
+        while v < n and assigns[v] >= 0:
+            v += 1
+        self._scan_hint = v
+        return v if v < n else -1
+
+    # ------------------------------------------------------------------
+    # the main search loop
+    # ------------------------------------------------------------------
+
+    def _reduce_db(self) -> None:
+        """Drop the less active half of the learned clauses."""
+        self._learnts.sort(key=lambda c: c.act)
+        locked = {
+            self._reason[lit >> 1]
+            for lit in self._trail
+            if self._reason[lit >> 1] is not None
+        }
+        keep: List[_Clause] = []
+        half = len(self._learnts) // 2
+        for i, clause in enumerate(self._learnts):
+            if i < half and clause not in locked and len(clause.lits) > 2:
+                self._detach(clause)
+            else:
+                keep.append(clause)
+        self._learnts = keep
+
+    def _detach(self, clause: _Clause) -> None:
+        for w in (clause.lits[0] ^ 1, clause.lits[1] ^ 1):
+            try:
+                self._watches[w].remove(clause)
+            except ValueError:
+                pass
+
+    @staticmethod
+    def _luby(i: int) -> int:
+        """The i-th element (1-based) of the Luby restart sequence."""
+        while True:
+            k = (i + 1).bit_length() - 1
+            if (1 << k) - 1 == i:
+                return 1 << (k - 1) if k > 0 else 1
+            i -= (1 << k) - 1
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        budget_conflicts: Optional[int] = None,
+    ) -> bool:
+        """Solve under ``assumptions``.
+
+        Returns True (SAT, :attr:`model` populated) or False (UNSAT,
+        :attr:`core` holds the failing assumption subset).  Raises
+        :class:`SatBudgetExceeded` when ``budget_conflicts`` runs out.
+        """
+        self.stats["solves"] += 1
+        self.core = set()
+        self.model = []
+        self._cancel_until(0)
+        if not self._ok:
+            return False
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            if self.proof_logging:
+                self.empty_clause_cid = self._log_level0_conflict(conflict)
+            return False
+
+        assumptions = list(assumptions)
+        conflicts_total = 0
+        restart_idx = 0
+        restart_limit = 100 * self._luby(restart_idx)
+        conflicts_since_restart = 0
+        max_learnts = max(1000, len(self._clauses) // 2)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflicts_total += 1
+                conflicts_since_restart += 1
+                self.stats["conflicts"] += 1
+                if budget_conflicts is not None and conflicts_total > budget_conflicts:
+                    self._cancel_until(0)
+                    raise SatBudgetExceeded(
+                        f"conflict budget {budget_conflicts} exceeded"
+                    )
+                if not self._trail_lim:
+                    self._ok = False
+                    if self.proof_logging:
+                        self.empty_clause_cid = self._log_level0_conflict(conflict)
+                    return False
+                learnt, btlevel, chain = self._analyze(conflict)
+                # never backjump above the assumption levels we still need
+                self._cancel_until(btlevel)
+                cid = self._register_clause(learnt)
+                if self.proof_logging:
+                    self.proof_chains[cid] = chain
+                if len(learnt) == 1:
+                    self._cancel_until(0)
+                    unit = _Clause(learnt, True, cid)
+                    if self.value(learnt[0]) == 0:
+                        self._ok = False
+                        if self.proof_logging:
+                            self.empty_clause_cid = self._log_level0_conflict(unit)
+                        return False
+                    if self.value(learnt[0]) == -1:
+                        self._unchecked_enqueue(learnt[0], unit)
+                else:
+                    clause = _Clause(learnt, True, cid)
+                    # keep a highest-level literal in watch position 1
+                    best = max(
+                        range(1, len(learnt)),
+                        key=lambda k: self._level[learnt[k] >> 1],
+                    )
+                    learnt[1], learnt[best] = learnt[best], learnt[1]
+                    self._attach(clause)
+                    self._learnts.append(clause)
+                    self._cla_bump(clause)
+                    self._unchecked_enqueue(learnt[0], clause)
+                self._var_inc /= self._var_decay
+                self._cla_inc /= self._cla_decay
+                continue
+
+            # no conflict
+            if conflicts_since_restart >= restart_limit and len(
+                self._trail_lim
+            ) > len(assumptions):
+                self.stats["restarts"] += 1
+                restart_idx += 1
+                restart_limit = 100 * self._luby(restart_idx)
+                conflicts_since_restart = 0
+                self._cancel_until(len(assumptions))
+                continue
+            if len(self._learnts) > max_learnts + len(self._trail):
+                self._reduce_db()
+                max_learnts = int(max_learnts * 1.3)
+
+            if len(self._trail_lim) < len(assumptions):
+                p = assumptions[len(self._trail_lim)]
+                v = self.value(p)
+                if v == 1:
+                    self._trail_lim.append(len(self._trail))  # dummy level
+                    continue
+                if v == 0:
+                    self.core = self._analyze_final(p)
+                    self._cancel_until(0)
+                    return False
+                self._trail_lim.append(len(self._trail))
+                self._unchecked_enqueue(p, None)
+                continue
+
+            var = self._pick_branch_var()
+            if var < 0:
+                self.model = list(self._assigns)
+                self._cancel_until(0)
+                return True
+            self.stats["decisions"] += 1
+            self._trail_lim.append(len(self._trail))
+            lit = var * 2 + (1 - self._polarity[var])
+            self._unchecked_enqueue(lit, None)
+
+    # ------------------------------------------------------------------
+    # post-solve queries
+    # ------------------------------------------------------------------
+
+    def model_value(self, lit: int) -> int:
+        """Value of ``lit`` in the last SAT model (0/1)."""
+        if not self.model:
+            raise RuntimeError("no model available")
+        v = self.model[lit >> 1]
+        if v < 0:
+            return 0  # don't-care variables default to false
+        return v ^ (lit & 1)
+
+    def failed_core(self) -> List[int]:
+        """Assumption literals used by the last UNSAT answer."""
+        return sorted(self.core)

@@ -1,0 +1,147 @@
+"""Tseitin encoding of Boolean networks into CNF.
+
+`encode_network` gives every live node a solver variable and adds the
+standard consistency clauses.  The encoder is incremental-friendly: PIs
+may be pre-bound to existing solver variables, which is how miter copies
+share inputs and how the divisor-pairing constraints of expression (2)
+are wired up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..network.network import Network
+from ..network.node import GateType
+from .solver import Solver
+from .types import mklit, neg
+
+
+def encode_gate(
+    solver: Solver, gtype: GateType, out: int, ins: Sequence[int]
+) -> None:
+    """Add consistency clauses for ``out = gtype(ins)`` over variables.
+
+    N-ary XOR/XNOR is decomposed into a chain of binary XORs with
+    auxiliary variables.
+    """
+    o = mklit(out)
+    no = neg(o)
+    if gtype is GateType.CONST0:
+        solver.add_clause([no])
+        return
+    if gtype is GateType.CONST1:
+        solver.add_clause([o])
+        return
+    if gtype is GateType.BUF:
+        a = mklit(ins[0])
+        solver.add_clause([no, a])
+        solver.add_clause([o, neg(a)])
+        return
+    if gtype is GateType.NOT:
+        a = mklit(ins[0])
+        solver.add_clause([no, neg(a)])
+        solver.add_clause([o, a])
+        return
+    if gtype is GateType.MUX:
+        s, d0, d1 = (mklit(v) for v in ins)
+        solver.add_clause([neg(s), neg(d1), o])
+        solver.add_clause([neg(s), d1, no])
+        solver.add_clause([s, neg(d0), o])
+        solver.add_clause([s, d0, no])
+        # redundant but propagation-strengthening clauses
+        solver.add_clause([neg(d0), neg(d1), o])
+        solver.add_clause([d0, d1, no])
+        return
+    if gtype in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+        invert_out = gtype in (GateType.NAND, GateType.NOR)
+        is_and = gtype in (GateType.AND, GateType.NAND)
+        pos_out = neg(o) if invert_out else o
+        neg_out = o if invert_out else neg(o)
+        big: List[int] = []
+        for v in ins:
+            a = mklit(v)
+            if is_and:
+                solver.add_clause([neg_out, a])
+                big.append(neg(a))
+            else:
+                solver.add_clause([pos_out, neg(a)])
+                big.append(a)
+        big.append(pos_out if is_and else neg_out)
+        solver.add_clause(big)
+        return
+    if gtype in (GateType.XOR, GateType.XNOR):
+        acc = ins[0]
+        for v in ins[1:-1]:
+            aux = solver.new_var()
+            _encode_xor2(solver, aux, acc, v)
+            acc = aux
+        last = ins[-1]
+        if gtype is GateType.XOR:
+            _encode_xor2(solver, out, acc, last)
+        else:
+            aux = solver.new_var()
+            _encode_xor2(solver, aux, acc, last)
+            solver.add_clause([no, neg(mklit(aux))])
+            solver.add_clause([o, mklit(aux)])
+        return
+    raise ValueError(f"cannot encode gate type {gtype}")
+
+
+def _encode_xor2(solver: Solver, out: int, a: int, b: int) -> None:
+    """Clauses for ``out = a XOR b``."""
+    o, la, lb = mklit(out), mklit(a), mklit(b)
+    solver.add_clause([neg(o), la, lb])
+    solver.add_clause([neg(o), neg(la), neg(lb)])
+    solver.add_clause([o, la, neg(lb)])
+    solver.add_clause([o, neg(la), lb])
+
+
+def encode_network(
+    solver: Solver,
+    net: Network,
+    pi_vars: Optional[Dict[int, int]] = None,
+    force_vars: Optional[Dict[int, int]] = None,
+) -> Dict[int, int]:
+    """Encode every live node of ``net``; returns node-id → solver var.
+
+    ``pi_vars`` may pre-bind some or all PIs to existing variables so
+    multiple circuits can share inputs inside one solver.  ``force_vars``
+    binds *internal* nodes to existing variables while still emitting
+    their gate clauses — this is how two miter copies share divisor
+    variables for interpolation (expression (3)).
+    """
+    varmap: Dict[int, int] = dict(pi_vars or {})
+    force_vars = force_vars or {}
+    for node in net.topo_order():
+        if node.nid in varmap:
+            continue
+        if node.is_pi:
+            forced = force_vars.get(node.nid)
+            varmap[node.nid] = forced if forced is not None else solver.new_var()
+            continue
+        out = force_vars.get(node.nid)
+        if out is None:
+            out = solver.new_var()
+        varmap[node.nid] = out
+        encode_gate(solver, node.gtype, out, [varmap[f] for f in node.fanins])
+    return varmap
+
+
+def add_equality(
+    solver: Solver, a: int, b: int, selector: Optional[int] = None
+) -> None:
+    """Constrain variable ``a == b``, optionally guarded by a selector.
+
+    With ``selector`` given, the equality is active only when the
+    selector *literal* is assumed true — the auxiliary-variable trick the
+    paper uses to make divisor pairs common variables in expression (2).
+    """
+    la, lb = mklit(a), mklit(b)
+    if selector is None:
+        solver.add_clause([neg(la), lb])
+        solver.add_clause([la, neg(lb)])
+    else:
+        ns = neg(selector)
+        solver.add_clause([ns, neg(la), lb])
+        solver.add_clause([ns, la, neg(lb)])

@@ -1,0 +1,49 @@
+"""Literal/variable conventions shared across the SAT subsystem.
+
+Variables are non-negative integers.  A *literal* encodes a variable and
+a phase as ``2 * var + neg`` (``neg`` is 1 for the negated phase), the
+same packing MiniSAT uses.  DIMACS conversion helpers are provided for
+tests and debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+def mklit(var: int, negated: bool = False) -> int:
+    """Literal for ``var`` with the requested phase."""
+    return var * 2 + (1 if negated else 0)
+
+
+def neg(lit: int) -> int:
+    """Complement of ``lit``."""
+    return lit ^ 1
+
+
+def lit_var(lit: int) -> int:
+    """Variable of ``lit``."""
+    return lit >> 1
+
+
+def is_negated(lit: int) -> bool:
+    """True when ``lit`` is the negated phase of its variable."""
+    return bool(lit & 1)
+
+
+def to_dimacs(lit: int) -> int:
+    """Convert an internal literal to a signed DIMACS integer (1-based)."""
+    v = (lit >> 1) + 1
+    return -v if lit & 1 else v
+
+
+def from_dimacs(d: int) -> int:
+    """Convert a signed DIMACS integer (1-based) to an internal literal."""
+    if d == 0:
+        raise ValueError("0 is not a DIMACS literal")
+    return mklit(abs(d) - 1, d < 0)
+
+
+def clause_from_dimacs(lits: Iterable[int]) -> List[int]:
+    """Convert a DIMACS clause to internal form."""
+    return [from_dimacs(d) for d in lits]

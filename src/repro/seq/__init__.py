@@ -1,0 +1,22 @@
+"""Sequential ECO extension (fixed register correspondence, cf. [10])."""
+
+from .eco import SeqEcoError, SeqEcoResult, run_sequential_eco
+from .io import parse_seq_bench, read_seq_bench, write_seq_bench
+from .network import Latch, SeqNetwork
+from .unroll import unroll
+from .verify import SeqCecResult, seq_cec, transition_equivalent
+
+__all__ = [
+    "Latch",
+    "SeqCecResult",
+    "SeqEcoError",
+    "SeqEcoResult",
+    "SeqNetwork",
+    "parse_seq_bench",
+    "read_seq_bench",
+    "run_sequential_eco",
+    "seq_cec",
+    "transition_equivalent",
+    "unroll",
+    "write_seq_bench",
+]

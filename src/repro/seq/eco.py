@@ -1,0 +1,127 @@
+"""Sequential ECO under fixed register correspondence ([10], base case).
+
+With registers matched one-to-one (same names, same initial values) a
+sequential ECO reduces to a combinational one on the *transition view*:
+latch outputs become free primary inputs, next-state functions become
+extra primary outputs, and the combinational engine of the paper runs
+unchanged.  The resulting patch is valid for every state — reachable or
+not — which implies unbounded sequential equivalence; a BMC check from
+reset is run as an independent sanity oracle.
+
+Retiming/resynthesis-aware correspondence (the full generality of [10])
+is out of scope; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.engine import EcoConfig, EcoEngine, contest_config
+from ..core.patch import Patch, apply_patch
+from ..io.weights import EcoInstance
+from .network import SeqNetwork
+from .verify import seq_cec, transition_equivalent
+
+
+@dataclass
+class SeqEcoResult:
+    """Outcome of a sequential ECO run."""
+
+    patches: List[Patch]
+    cost: int
+    gate_count: int
+    patched: SeqNetwork
+    transition_verified: bool
+    bmc_verified: bool
+    bmc_frames: int
+    runtime_seconds: float
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+class SeqEcoError(Exception):
+    """Raised when interfaces mismatch or verification fails."""
+
+
+def _check_interfaces(impl: SeqNetwork, spec: SeqNetwork) -> None:
+    impl_pis = sorted(impl.core.node(p).name for p in impl.true_pis)
+    spec_pis = sorted(spec.core.node(p).name for p in spec.true_pis)
+    if impl_pis != spec_pis:
+        raise SeqEcoError("primary-input names differ")
+    if sorted(impl.core.po_names()) != sorted(spec.core.po_names()):
+        raise SeqEcoError("primary-output names differ")
+    impl_l = sorted((l.name, l.init) for l in impl.latches)
+    spec_l = sorted((l.name, l.init) for l in spec.latches)
+    if impl_l != spec_l:
+        raise SeqEcoError(
+            "register correspondence mismatch (names/initial values)"
+        )
+
+
+def _transition_view(seq: SeqNetwork):
+    view = seq.core.clone()
+    for latch in seq.latches:
+        src = seq.core.node(latch.data_input)
+        if not src.name:
+            raise SeqEcoError("latch data inputs must be named signals")
+        view.add_po(view.node_by_name(src.name), f"__next_{latch.name}")
+    return view
+
+
+def run_sequential_eco(
+    impl: SeqNetwork,
+    spec: SeqNetwork,
+    targets: Sequence[str],
+    weights: Optional[Dict[str, int]] = None,
+    config: Optional[EcoConfig] = None,
+    bmc_frames: int = 8,
+    name: str = "seq_eco",
+) -> SeqEcoResult:
+    """Patch ``targets`` in ``impl``'s core so it matches ``spec``.
+
+    Args:
+        impl / spec: sequential netlists with matched interfaces and
+            register correspondence.
+        targets: names of core nodes of ``impl`` to re-synthesize.
+        weights: resource costs of core signals (contest semantics).
+        config: engine configuration (contest preset by default).
+        bmc_frames: bound for the independent BMC sanity check.
+
+    Returns:
+        a :class:`SeqEcoResult` with the patched sequential netlist.
+
+    Raises:
+        SeqEcoError: on interface mismatch or failed verification.
+    """
+    t0 = time.perf_counter()
+    _check_interfaces(impl, spec)
+    instance = EcoInstance(
+        name=name,
+        impl=_transition_view(impl),
+        spec=_transition_view(spec),
+        targets=list(targets),
+        weights=dict(weights or {}),
+    )
+    engine = EcoEngine(config or contest_config())
+    comb = engine.run(instance)
+
+    patched = impl.clone()
+    for patch in comb.patches:
+        apply_patch(patched.core, patch)
+
+    trans = transition_equivalent(patched, spec)
+    bmc = seq_cec(patched, spec, frames=bmc_frames)
+    if trans.equivalent is False or bmc.equivalent is False:
+        raise SeqEcoError("patched sequential netlist failed verification")
+    return SeqEcoResult(
+        patches=comb.patches,
+        cost=comb.cost,
+        gate_count=comb.gate_count,
+        patched=patched,
+        transition_verified=bool(trans.equivalent),
+        bmc_verified=bool(bmc.equivalent),
+        bmc_frames=bmc_frames,
+        runtime_seconds=time.perf_counter() - t0,
+        stats=dict(comb.stats),
+    )

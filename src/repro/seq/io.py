@@ -1,0 +1,136 @@
+"""Sequential ``.bench`` I/O (ISCAS-89 style, DFF primitives)."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..io.bench import BenchError, parse_bench, write_bench
+from ..network.network import Network
+from ..network.node import GateType
+from .network import Latch, SeqNetwork
+
+_BENCH_GATES = {
+    "AND": GateType.AND,
+    "OR": GateType.OR,
+    "NAND": GateType.NAND,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "MUX": GateType.MUX,
+}
+
+
+def parse_seq_bench(text: str) -> SeqNetwork:
+    """Parse a sequential ``.bench`` netlist (DFFs become latches)."""
+    inputs: List[str] = []
+    outputs: List[str] = []
+    dffs: List[Tuple[str, str]] = []  # (output signal, input signal)
+    driver: Dict[str, Tuple[GateType, List[str]]] = {}
+    for raw in text.split("\n"):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = re.fullmatch(r"INPUT\s*\(\s*(\S+?)\s*\)", line, flags=re.I)
+        if m:
+            inputs.append(m.group(1))
+            continue
+        m = re.fullmatch(r"OUTPUT\s*\(\s*(\S+?)\s*\)", line, flags=re.I)
+        if m:
+            outputs.append(m.group(1))
+            continue
+        m = re.fullmatch(r"(\S+)\s*=\s*(\w+)\s*\(\s*(.*?)\s*\)", line)
+        if not m:
+            raise BenchError(f"unsupported line: {line!r}")
+        out, prim, args = m.group(1), m.group(2).upper(), m.group(3)
+        ins = [a.strip() for a in args.split(",") if a.strip()]
+        if prim == "DFF":
+            if len(ins) != 1:
+                raise BenchError(f"DFF takes one input: {line!r}")
+            dffs.append((out, ins[0]))
+            continue
+        if prim not in _BENCH_GATES:
+            raise BenchError(f"unknown primitive {prim!r}")
+        if out in driver:
+            raise BenchError(f"signal {out!r} defined twice")
+        driver[out] = (_BENCH_GATES[prim], ins)
+
+    core = Network("seq_bench")
+    for pin in inputs:
+        core.add_pi(pin)
+    for latch_out, _ in dffs:
+        core.add_pi(latch_out)
+
+    def build(goal: str) -> int:
+        if core.has_name(goal):
+            return core.node_by_name(goal)
+        stack: List[Tuple[str, bool]] = [(goal, False)]
+        on_path: set = set()
+        while stack:
+            wire, expanded = stack.pop()
+            if core.has_name(wire):
+                continue
+            if expanded:
+                on_path.discard(wire)
+                if wire not in driver:
+                    raise BenchError(f"signal {wire!r} has no driver")
+                gtype, ins = driver[wire]
+                core.add_gate(gtype, [core.node_by_name(x) for x in ins], wire)
+                continue
+            if wire in on_path:
+                raise BenchError(f"combinational cycle through {wire!r}")
+            on_path.add(wire)
+            stack.append((wire, True))
+            if wire in driver:
+                for dep in driver[wire][1]:
+                    if not core.has_name(dep):
+                        stack.append((dep, False))
+        return core.node_by_name(goal)
+
+    for out in outputs:
+        core.add_po(build(out), out)
+    latches = []
+    for latch_out, latch_in in dffs:
+        latches.append(
+            Latch(
+                name=latch_out,
+                output=core.node_by_name(latch_out),
+                data_input=build(latch_in),
+                init=0,
+            )
+        )
+    for wire in driver:
+        build(wire)
+    return SeqNetwork(core, latches)
+
+
+def read_seq_bench(path: str) -> SeqNetwork:
+    """Read a sequential ``.bench`` file."""
+    with open(path, "r", encoding="utf-8") as f:
+        return parse_seq_bench(f.read())
+
+
+def write_seq_bench(seq: SeqNetwork, path: Optional[str] = None) -> str:
+    """Serialize a sequential netlist as ``.bench`` text."""
+    text = write_bench(seq.core)
+    lines = [l for l in text.split("\n") if l.strip()]
+    # strip the INPUT() declarations of latch outputs and re-emit as DFFs
+    latch_names = {l.name for l in seq.latches}
+    kept = []
+    for line in lines:
+        m = re.fullmatch(r"INPUT\((\S+)\)", line.strip())
+        if m and m.group(1) in latch_names:
+            continue
+        kept.append(line)
+    for latch in seq.latches:
+        src = seq.core.node(latch.data_input)
+        src_name = src.name or f"n{latch.data_input}"
+        kept.append(f"{latch.name} = DFF({src_name})")
+    out = "\n".join(kept) + "\n"
+    if path:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(out)
+    return out

@@ -1,0 +1,142 @@
+"""Sequential netlists: combinational core plus registers.
+
+The paper notes its combinational ECO "can be extended to be sequential
+as shown in [10]".  This subpackage implements the fixed-register-
+correspondence case of that extension: a :class:`SeqNetwork` is a
+combinational :class:`~repro.network.network.Network` whose interface
+includes register outputs (as pseudo-PIs) and register inputs (driven
+nodes), plus initial values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..network.network import Network, NetworkError
+
+
+@dataclass
+class Latch:
+    """One register.
+
+    Attributes:
+        name: register name (its output signal name).
+        output: node id of the register *output* (a PI of the core).
+        data_input: node id of the register *input* (next-state driver).
+        init: initial value (0 or 1).
+    """
+
+    name: str
+    output: int
+    data_input: int
+    init: int = 0
+
+
+class SeqNetwork:
+    """A sequential circuit with a combinational core.
+
+    The core network's PIs are the true primary inputs followed by the
+    latch outputs; its POs are the true primary outputs.  Latch data
+    inputs reference core nodes directly.
+    """
+
+    def __init__(self, core: Network, latches: Optional[List[Latch]] = None) -> None:
+        self.core = core
+        self.latches: List[Latch] = list(latches or [])
+        self._check()
+
+    def _check(self) -> None:
+        latch_outputs = {l.output for l in self.latches}
+        for latch in self.latches:
+            node = self.core.node(latch.output)
+            if not node.is_pi:
+                raise NetworkError(
+                    f"latch output {latch.name!r} must be a core PI"
+                )
+            self.core.node(latch.data_input)
+            if latch.init not in (0, 1):
+                raise NetworkError("latch init must be 0 or 1")
+        if len(latch_outputs) != len(self.latches):
+            raise NetworkError("duplicate latch outputs")
+
+    @property
+    def true_pis(self) -> List[int]:
+        """Primary inputs excluding latch outputs."""
+        latch_outputs = {l.output for l in self.latches}
+        return [pi for pi in self.core.pis if pi not in latch_outputs]
+
+    @property
+    def num_latches(self) -> int:
+        return len(self.latches)
+
+    def initial_state(self) -> Dict[int, int]:
+        """Latch-output PI id → initial value."""
+        return {l.output: l.init for l in self.latches}
+
+    def step(
+        self, state: Dict[int, int], inputs: Dict[int, int]
+    ) -> Tuple[Dict[str, int], Dict[int, int]]:
+        """One clock cycle: returns ``(po_values, next_state)``.
+
+        ``state`` maps latch-output PI ids to values; ``inputs`` maps
+        true-PI ids to values.
+        """
+        assign = dict(inputs)
+        assign.update(state)
+        values = self.core.evaluate(assign)
+        outputs = {name: values[nid] for name, nid in self.core.pos}
+        next_state = {
+            l.output: values[l.data_input] for l in self.latches
+        }
+        return outputs, next_state
+
+    def simulate(
+        self, input_sequence: Sequence[Dict[int, int]]
+    ) -> List[Dict[str, int]]:
+        """Run from the initial state; returns per-cycle PO values."""
+        state = self.initial_state()
+        trace = []
+        for inputs in input_sequence:
+            outputs, state = self.step(state, inputs)
+            trace.append(outputs)
+        return trace
+
+    def clone(self) -> "SeqNetwork":
+        """Deep copy preserving the interface and register bindings."""
+        mapping_core = self.core.clone()
+        # clone() renumbers ids; rebuild the latch bindings by name
+        name_of = {n.nid: n.name for n in self.core.nodes() if n.name}
+        latches = []
+        for latch in self.latches:
+            out_name = self.core.node(latch.output).name
+            in_node = self.core.node(latch.data_input)
+            if in_node.name:
+                new_input = mapping_core.node_by_name(in_node.name)
+            else:
+                raise NetworkError(
+                    "clone requires named latch data inputs "
+                    f"(latch {latch.name!r})"
+                )
+            latches.append(
+                Latch(
+                    name=latch.name,
+                    output=mapping_core.node_by_name(out_name),
+                    data_input=new_input,
+                    init=latch.init,
+                )
+            )
+        return SeqNetwork(mapping_core, latches)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SeqNetwork(pis={len(self.true_pis)}, latches={self.num_latches}, "
+            f"pos={self.core.num_pos}, gates={self.core.num_gates})"
+        )
+
+
+def add_latch(
+    seq_core: Network, name: str, init: int = 0
+) -> int:
+    """Create a latch-output PI in a core under construction."""
+    return seq_core.add_pi(name)

@@ -1,0 +1,52 @@
+"""Time-frame expansion of sequential netlists.
+
+``unroll`` produces a purely combinational network covering ``k``
+cycles: frame inputs are fresh PIs named ``<pi>@<t>``, frame outputs are
+POs named ``<po>@<t>``, latch outputs of frame t+1 are driven by latch
+inputs of frame t, and frame 0 starts from the registers' initial
+values (or from free PIs for an arbitrary-state unrolling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..network.network import Network
+from .network import SeqNetwork
+
+
+def unroll(
+    seq: SeqNetwork,
+    frames: int,
+    from_initial_state: bool = True,
+    name: str = "",
+) -> Network:
+    """Unroll ``seq`` for ``frames`` cycles into one combinational net.
+
+    With ``from_initial_state`` False, frame 0's latch outputs become
+    free PIs named ``<latch>@0`` (useful for inductive reasoning).
+    """
+    if frames <= 0:
+        raise ValueError("frames must be positive")
+    out = Network(name or f"{seq.core.name}_u{frames}")
+    state_nodes: Dict[int, int] = {}
+    if from_initial_state:
+        for latch in seq.latches:
+            state_nodes[latch.output] = out.add_const(latch.init)
+    else:
+        for latch in seq.latches:
+            state_nodes[latch.output] = out.add_pi(f"{latch.name}@0")
+
+    for t in range(frames):
+        input_map: Dict[int, int] = {}
+        for pi in seq.true_pis:
+            input_map[pi] = out.add_pi(f"{seq.core.node(pi).name}@{t}")
+        for latch in seq.latches:
+            input_map[latch.output] = state_nodes[latch.output]
+        mapping = out.append(seq.core, input_map)
+        for po_name, nid in seq.core.pos:
+            out.add_po(mapping[nid], f"{po_name}@{t}")
+        state_nodes = {
+            latch.output: mapping[latch.data_input] for latch in seq.latches
+        }
+    return out

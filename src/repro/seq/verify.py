@@ -1,0 +1,79 @@
+"""Bounded sequential equivalence checking (BMC-style).
+
+Two sequential netlists with matching PI/PO/latch interfaces are
+compared over ``k`` unrolled frames from their initial states.  This is
+the verification oracle for the sequential ECO extension — sound for
+refutation, bounded for proof (the transition-level combinational check
+in :mod:`repro.seq.eco` supplies the unbounded argument when register
+correspondence is fixed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.verify import CecResult, cec
+from .network import SeqNetwork
+from .unroll import unroll
+
+
+@dataclass
+class SeqCecResult:
+    """Bounded-equivalence verdict.
+
+    ``equivalent`` refers to the checked bound only; ``frames`` records
+    it.  The counterexample maps frame-stamped PI names to values.
+    """
+
+    equivalent: Optional[bool]
+    frames: int
+    counterexample: Optional[Dict[str, int]] = None
+
+
+def seq_cec(
+    a: SeqNetwork,
+    b: SeqNetwork,
+    frames: int = 8,
+    budget_conflicts: Optional[int] = None,
+) -> SeqCecResult:
+    """Compare ``a`` and ``b`` over ``frames`` cycles from reset."""
+    ua = unroll(a, frames)
+    ub = unroll(b, frames)
+    res = cec(ua, ub, budget_conflicts=budget_conflicts)
+    return SeqCecResult(
+        equivalent=res.equivalent,
+        frames=frames,
+        counterexample=res.counterexample,
+    )
+
+
+def transition_equivalent(
+    a: SeqNetwork,
+    b: SeqNetwork,
+    budget_conflicts: Optional[int] = None,
+) -> CecResult:
+    """Combinational equivalence of the transition relations.
+
+    Latch outputs are treated as free PIs and latch inputs as extra
+    POs.  With identical register correspondence and initial values this
+    implies full sequential equivalence (stronger than any bounded
+    check); it may reject designs that are sequentially equal only via
+    unreachable-state don't-cares.
+    """
+    return cec(
+        _transition_view(a),
+        _transition_view(b),
+        budget_conflicts=budget_conflicts,
+    )
+
+
+def _transition_view(seq: SeqNetwork):
+    """Core network with next-state functions exposed as POs."""
+    view = seq.core.clone()
+    for latch in seq.latches:
+        src = seq.core.node(latch.data_input)
+        if not src.name:
+            raise ValueError("transition view requires named latch inputs")
+        view.add_po(view.node_by_name(src.name), f"__next_{latch.name}")
+    return view

@@ -1,0 +1,21 @@
+"""Two-level logic substrate: cubes, SOP covers, factoring, synthesis."""
+
+from .cube import DC, ONE, ZERO, Cube
+from .factor import FactorNode, FactorOp, factor
+from .sop import Sop, truth_table
+from .synth import sop_to_network, synthesize_factored, synthesize_sop
+
+__all__ = [
+    "Cube",
+    "DC",
+    "FactorNode",
+    "FactorOp",
+    "ONE",
+    "Sop",
+    "ZERO",
+    "factor",
+    "sop_to_network",
+    "synthesize_factored",
+    "synthesize_sop",
+    "truth_table",
+]

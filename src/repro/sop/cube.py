@@ -1,0 +1,94 @@
+"""Cubes over an ordered set of support variables.
+
+A cube is a conjunction of literals.  Positionally, slot ``i`` holds
+``ONE`` (positive literal), ``ZERO`` (negative literal), or ``DC``
+(variable absent).  Cubes are immutable value objects; the patch
+computation of Section 3.5 produces them from minimized assumption sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+ZERO = 0
+ONE = 1
+DC = 2
+
+
+class Cube:
+    """An immutable cube over ``width`` positional variables."""
+
+    __slots__ = ("slots",)
+
+    def __init__(self, slots: Sequence[int]) -> None:
+        for s in slots:
+            if s not in (ZERO, ONE, DC):
+                raise ValueError(f"bad cube slot value {s}")
+        self.slots: Tuple[int, ...] = tuple(slots)
+
+    @classmethod
+    def full_dc(cls, width: int) -> "Cube":
+        """The universal cube (tautology) of the given width."""
+        return cls((DC,) * width)
+
+    @classmethod
+    def from_literals(cls, width: int, literals: Dict[int, int]) -> "Cube":
+        """Cube with ``literals`` mapping position → 0/1."""
+        slots = [DC] * width
+        for pos, val in literals.items():
+            if not 0 <= pos < width:
+                raise ValueError(f"literal position {pos} out of range")
+            slots[pos] = ONE if val else ZERO
+        return cls(slots)
+
+    @property
+    def width(self) -> int:
+        return len(self.slots)
+
+    @property
+    def num_literals(self) -> int:
+        """Number of care slots (the cube's literal count)."""
+        return sum(1 for s in self.slots if s != DC)
+
+    def literals(self) -> Dict[int, int]:
+        """The care slots as position → 0/1."""
+        return {i: s for i, s in enumerate(self.slots) if s != DC}
+
+    def contains(self, minterm: Sequence[int]) -> bool:
+        """True when the 0/1 ``minterm`` lies inside this cube."""
+        if len(minterm) != len(self.slots):
+            raise ValueError("minterm width mismatch")
+        return all(s == DC or s == m for s, m in zip(self.slots, minterm))
+
+    def covers(self, other: "Cube") -> bool:
+        """True when every minterm of ``other`` is inside this cube."""
+        if other.width != self.width:
+            raise ValueError("cube width mismatch")
+        return all(
+            s == DC or s == o for s, o in zip(self.slots, other.slots)
+        )
+
+    def intersects(self, other: "Cube") -> bool:
+        """True when the two cubes share at least one minterm."""
+        if other.width != self.width:
+            raise ValueError("cube width mismatch")
+        return all(
+            s == DC or o == DC or s == o
+            for s, o in zip(self.slots, other.slots)
+        )
+
+    def expand(self, position: int) -> "Cube":
+        """Copy of this cube with one slot raised to don't-care."""
+        slots = list(self.slots)
+        slots[position] = DC
+        return Cube(slots)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Cube) and self.slots == other.slots
+
+    def __hash__(self) -> int:
+        return hash(self.slots)
+
+    def __repr__(self) -> str:
+        chars = {ZERO: "0", ONE: "1", DC: "-"}
+        return "".join(chars[s] for s in self.slots)

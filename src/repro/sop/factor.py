@@ -1,0 +1,141 @@
+"""Algebraic factoring of SOP covers.
+
+After cube enumeration, the paper factors the prime irredundant SOP and
+synthesizes a multi-level circuit (Section 3.5, "factored and
+synthesized in ABC").  This module implements literal-count-driven
+*quick factoring* (the same divide-on-most-frequent-literal scheme as
+SIS/ABC's ``factor``): F = l · (F / l) + R, recursively, with
+single-cube covers emitted as plain ANDs.
+
+The result is an expression tree consumed by :mod:`repro.sop.synth`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cube import DC, ONE, ZERO, Cube
+from .sop import Sop
+
+
+class FactorOp(enum.Enum):
+    LIT = "lit"
+    AND = "and"
+    OR = "or"
+    CONST0 = "const0"
+    CONST1 = "const1"
+
+
+@dataclass
+class FactorNode:
+    """A node of the factored expression tree.
+
+    ``LIT`` nodes carry ``(position, phase)``; ``AND``/``OR`` nodes carry
+    children.
+    """
+
+    op: FactorOp
+    position: int = -1
+    phase: int = 1
+    children: List["FactorNode"] = field(default_factory=list)
+
+    def num_literals(self) -> int:
+        """Literal count of the factored form (the paper's size metric)."""
+        if self.op is FactorOp.LIT:
+            return 1
+        return sum(c.num_literals() for c in self.children)
+
+    def evaluate(self, minterm: Sequence[int]) -> int:
+        if self.op is FactorOp.CONST0:
+            return 0
+        if self.op is FactorOp.CONST1:
+            return 1
+        if self.op is FactorOp.LIT:
+            v = minterm[self.position]
+            return v if self.phase else 1 - v
+        vals = [c.evaluate(minterm) for c in self.children]
+        if self.op is FactorOp.AND:
+            return 1 if all(vals) else 0
+        return 1 if any(vals) else 0
+
+    def __repr__(self) -> str:
+        if self.op is FactorOp.CONST0:
+            return "0"
+        if self.op is FactorOp.CONST1:
+            return "1"
+        if self.op is FactorOp.LIT:
+            return f"x{self.position}" if self.phase else f"~x{self.position}"
+        sep = " & " if self.op is FactorOp.AND else " | "
+        return "(" + sep.join(repr(c) for c in self.children) + ")"
+
+
+def _literal_counts(cubes: Sequence[Cube], width: int) -> Dict[Tuple[int, int], int]:
+    counts: Dict[Tuple[int, int], int] = {}
+    for cube in cubes:
+        for pos, val in cube.literals().items():
+            counts[(pos, val)] = counts.get((pos, val), 0) + 1
+    return counts
+
+
+def _cube_to_and(cube: Cube) -> FactorNode:
+    lits = [
+        FactorNode(FactorOp.LIT, position=pos, phase=val)
+        for pos, val in sorted(cube.literals().items())
+    ]
+    if not lits:
+        return FactorNode(FactorOp.CONST1)
+    if len(lits) == 1:
+        return lits[0]
+    return FactorNode(FactorOp.AND, children=lits)
+
+
+def factor(sop: Sop) -> FactorNode:
+    """Quick-factor ``sop`` into an expression tree.
+
+    The most frequent literal l (appearing in ≥ 2 cubes) is divided out:
+    ``F = l * (F/l) + R``; both quotient and remainder are factored
+    recursively.  When no literal repeats, the SOP is emitted flat.
+    """
+    cubes = list(sop.cubes)
+    if not cubes:
+        return FactorNode(FactorOp.CONST0)
+    if any(c.num_literals == 0 for c in cubes):
+        return FactorNode(FactorOp.CONST1)
+    return _factor_cubes(cubes, sop.width)
+
+
+def _factor_cubes(cubes: List[Cube], width: int) -> FactorNode:
+    if any(c.num_literals == 0 for c in cubes):
+        return FactorNode(FactorOp.CONST1)  # a tautologous cube absorbs all
+    cubes = list(dict.fromkeys(cubes))  # drop duplicates, keep order
+    if len(cubes) == 1:
+        return _cube_to_and(cubes[0])
+    counts = _literal_counts(cubes, width)
+    (pos, val), best = max(counts.items(), key=lambda kv: (kv[1], -kv[0][0]))
+    if best < 2:
+        return FactorNode(
+            FactorOp.OR, children=[_cube_to_and(c) for c in cubes]
+        )
+    quotient: List[Cube] = []
+    remainder: List[Cube] = []
+    for cube in cubes:
+        if cube.slots[pos] == val:
+            quotient.append(cube.expand(pos))
+        else:
+            remainder.append(cube)
+    lit = FactorNode(FactorOp.LIT, position=pos, phase=val)
+    qnode = _factor_cubes(quotient, width)
+    if qnode.op is FactorOp.CONST1:
+        divided: FactorNode = lit
+    elif qnode.op is FactorOp.AND:
+        divided = FactorNode(FactorOp.AND, children=[lit] + qnode.children)
+    else:
+        divided = FactorNode(FactorOp.AND, children=[lit, qnode])
+    if not remainder:
+        return divided
+    rnode = _factor_cubes(remainder, width)
+    if rnode.op is FactorOp.OR:
+        return FactorNode(FactorOp.OR, children=[divided] + rnode.children)
+    return FactorNode(FactorOp.OR, children=[divided, rnode])

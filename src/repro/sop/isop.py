@@ -1,0 +1,170 @@
+"""Irredundant SOP computation (Minato-Morreale ISOP).
+
+Given an incompletely specified function as truth-table bitmasks —
+``onset`` (must be covered) and ``dc`` (may be covered) — ``isop``
+returns an irredundant prime cover between the bounds.  The engine uses
+it as an optional refinement of enumerated patch SOPs: the cube
+enumeration of Section 3.5 discovers the care sets, and ISOP then
+exploits the don't-cares globally, often shrinking the final patch.
+
+Truth tables are Python ints: bit ``m`` holds the function value on the
+minterm whose variable ``i`` equals bit ``i`` of ``m``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cube import DC, ONE, ZERO, Cube
+from .sop import Sop
+
+
+def tt_mask(num_vars: int) -> int:
+    """All-ones truth table for ``num_vars`` variables."""
+    return (1 << (1 << num_vars)) - 1
+
+
+def tt_var(var: int, num_vars: int) -> int:
+    """Truth table of the projection function ``x_var``."""
+    width = 1 << num_vars
+    block = 1 << var
+    out = 0
+    for m in range(width):
+        if (m >> var) & 1:
+            out |= 1 << m
+    return out
+
+
+def tt_cofactors(table: int, var: int, num_vars: int) -> Tuple[int, int]:
+    """Negative and positive cofactor tables (each over the same vars)."""
+    pos_mask = tt_var(var, num_vars)
+    neg_mask = tt_mask(num_vars) & ~pos_mask
+    shift = 1 << var
+    neg = table & neg_mask
+    pos = table & pos_mask
+    # replicate each half onto the other positions so cofactors stay
+    # functions over all variables (value independent of var)
+    neg_full = neg | (neg << shift)
+    pos_full = pos | (pos >> shift)
+    return neg_full & tt_mask(num_vars), pos_full & tt_mask(num_vars)
+
+
+def tt_support(table: int, num_vars: int) -> List[int]:
+    """Variables the table actually depends on."""
+    out = []
+    for v in range(num_vars):
+        neg, pos = tt_cofactors(table, v, num_vars)
+        if neg != pos:
+            out.append(v)
+    return out
+
+
+def sop_to_tt(sop: Sop) -> int:
+    """Truth table of a cover (widths up to 16)."""
+    if sop.width > 16:
+        raise ValueError("sop_to_tt limited to width <= 16")
+    out = 0
+    for m in range(1 << sop.width):
+        minterm = [(m >> i) & 1 for i in range(sop.width)]
+        if sop.evaluate(minterm):
+            out |= 1 << m
+    return out
+
+
+def cube_tt(cube: Cube, num_vars: int) -> int:
+    """Truth table of one cube."""
+    table = tt_mask(num_vars)
+    for pos, val in cube.literals().items():
+        var_tt = tt_var(pos, num_vars)
+        table &= var_tt if val else (tt_mask(num_vars) & ~var_tt)
+    return table
+
+
+def isop(onset: int, upper: int, num_vars: int) -> Sop:
+    """Minato-Morreale ISOP: cover L with ``onset ⊆ cover ⊆ upper``.
+
+    ``upper`` is onset ∪ don't-cares.  The result is a prime,
+    irredundant cover of the interval.
+    """
+    if onset & ~upper:
+        raise ValueError("onset must be contained in upper")
+    cubes = _isop(onset, upper, num_vars, 0)
+    return Sop(num_vars, cubes)
+
+
+def _isop(lower: int, upper: int, num_vars: int, var: int) -> List[Cube]:
+    if lower == 0:
+        return []
+    if upper == tt_mask(num_vars):
+        return [Cube.full_dc(num_vars)]
+    # find the first variable both bounds still depend on
+    while var < num_vars:
+        ln, lp = tt_cofactors(lower, var, num_vars)
+        un, up = tt_cofactors(upper, var, num_vars)
+        if ln != lp or un != up:
+            break
+        var += 1
+    if var >= num_vars:
+        # lower nonzero, upper not tautology, but no dependence: the
+        # bounds are constants; lower != 0 means cover everything allowed
+        return [Cube.full_dc(num_vars)]
+
+    c0 = _isop(ln & ~up, un, num_vars, var + 1)
+    c1 = _isop(lp & ~un, up, num_vars, var + 1)
+    cover0 = _cubes_tt(c0, num_vars)
+    cover1 = _cubes_tt(c1, num_vars)
+    l_rest = (ln & ~cover0) | (lp & ~cover1)
+    cd = _isop(l_rest, un & up, num_vars, var + 1)
+    out: List[Cube] = []
+    for cube in c0:
+        out.append(_with_literal(cube, var, 0))
+    for cube in c1:
+        out.append(_with_literal(cube, var, 1))
+    out.extend(cd)
+    return out
+
+
+def _cubes_tt(cubes: Sequence[Cube], num_vars: int) -> int:
+    out = 0
+    for cube in cubes:
+        out |= cube_tt(cube, num_vars)
+    return out
+
+
+def _with_literal(cube: Cube, var: int, val: int) -> Cube:
+    slots = list(cube.slots)
+    slots[var] = ONE if val else ZERO
+    return Cube(slots)
+
+
+def isop_refine(onset_sop: Sop, offset_sop: Sop, strict: bool = False) -> Sop:
+    """Care-aware re-minimization of an enumerated patch cover.
+
+    ``onset_sop``/``offset_sop`` are the prime covers found by cube
+    enumeration for the required onset and offset.  Each was verified
+    against the *other true care set*, so the true onset lies in
+    ``onset_sop \\ offset_sop`` and the true offset in
+    ``offset_sop \\ onset_sop``; minterms claimed by both covers are
+    don't-cares the prime expansions happened to share.  The ISOP is
+    computed between those bounds — never functionally wrong, usually
+    no larger than the input cover (kept only when it is).
+
+    With ``strict`` True, overlapping covers raise instead (for callers
+    whose covers are exact by construction).
+    """
+    if onset_sop.width != offset_sop.width:
+        raise ValueError("width mismatch")
+    n = onset_sop.width
+    if n > 14:
+        return onset_sop  # truth-table route impractical; keep as-is
+    on_tt = sop_to_tt(onset_sop)
+    off_tt = sop_to_tt(offset_sop)
+    if strict and on_tt & off_tt:
+        raise ValueError("onset and offset overlap")
+    lower = on_tt & ~off_tt
+    upper = on_tt | (tt_mask(n) & ~off_tt)
+    refined = isop(lower, upper, n)
+    refined.remove_contained_cubes()
+    if refined.num_literals <= onset_sop.num_literals:
+        return refined
+    return onset_sop

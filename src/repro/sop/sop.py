@@ -1,0 +1,99 @@
+"""Sum-of-products manipulation.
+
+The patch-function computation (Section 3.5) enumerates prime cubes into
+an SOP; this module provides the bookkeeping around that cover:
+evaluation, single-cube containment cleanup, irredundancy with respect
+to an onset, and literal statistics that feed the factoring stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .cube import DC, ONE, ZERO, Cube
+
+
+class Sop:
+    """A cover (disjunction) of :class:`Cube` objects of uniform width."""
+
+    def __init__(self, width: int, cubes: Optional[Iterable[Cube]] = None) -> None:
+        self.width = width
+        self.cubes: List[Cube] = []
+        for cube in cubes or []:
+            self.add(cube)
+
+    def add(self, cube: Cube) -> None:
+        if cube.width != self.width:
+            raise ValueError("cube width mismatch")
+        self.cubes.append(cube)
+
+    @property
+    def num_cubes(self) -> int:
+        return len(self.cubes)
+
+    @property
+    def num_literals(self) -> int:
+        return sum(c.num_literals for c in self.cubes)
+
+    def evaluate(self, minterm: Sequence[int]) -> int:
+        """1 when any cube contains the minterm."""
+        return 1 if any(c.contains(minterm) for c in self.cubes) else 0
+
+    def evaluate_parallel(self, var_words: Sequence[int], mask: int) -> int:
+        """Bit-parallel evaluation: ``var_words[i]`` is variable i's word."""
+        out = 0
+        for cube in self.cubes:
+            word = mask
+            for pos, val in cube.literals().items():
+                word &= var_words[pos] if val else ~var_words[pos] & mask
+                if not word:
+                    break
+            out |= word
+            if out == mask:
+                break
+        return out
+
+    def remove_contained_cubes(self) -> int:
+        """Drop cubes covered by a single other cube; returns #removed.
+
+        (Single-cube containment — the cheap part of irredundancy.)
+        """
+        keep: List[Cube] = []
+        cubes = sorted(self.cubes, key=lambda c: c.num_literals)
+        for cube in cubes:
+            if any(other.covers(cube) for other in keep):
+                continue
+            keep.append(cube)
+        removed = len(self.cubes) - len(keep)
+        self.cubes = keep
+        return removed
+
+    def copy(self) -> "Sop":
+        return Sop(self.width, self.cubes)
+
+    def __iter__(self):
+        return iter(self.cubes)
+
+    def __repr__(self) -> str:
+        return " + ".join(repr(c) for c in self.cubes) or "0"
+
+
+def sop_covers_minterm_uniquely(sop: Sop, idx: int, minterm: Sequence[int]) -> bool:
+    """True when only cube ``idx`` of ``sop`` contains ``minterm``."""
+    if not sop.cubes[idx].contains(minterm):
+        return False
+    return not any(
+        i != idx and c.contains(minterm) for i, c in enumerate(sop.cubes)
+    )
+
+
+def truth_table(sop: Sop) -> int:
+    """Exhaustive truth table (LSB = all-zero minterm); small widths only."""
+    if sop.width > 16:
+        raise ValueError("truth_table limited to width <= 16")
+    table = 0
+    for m in range(1 << sop.width):
+        minterm = [(m >> i) & 1 for i in range(sop.width)]
+        if sop.evaluate(minterm):
+            table |= 1 << m
+    return table

@@ -1,0 +1,90 @@
+"""Synthesis of factored forms and SOPs into gate-level networks.
+
+The patch circuit is built *inside* an existing network (the patched
+implementation) or as a standalone network with named PIs — both entry
+points are provided.  NOT gates for negative literals are shared.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.network import Network
+from ..network.node import GateType
+from .factor import FactorNode, FactorOp, factor
+from .sop import Sop
+
+
+def synthesize_factored(
+    net: Network, tree: FactorNode, support_nodes: Sequence[int]
+) -> Tuple[int, int]:
+    """Materialize a factored tree in ``net`` over ``support_nodes``.
+
+    ``support_nodes[i]`` is the node id feeding tree position ``i``.
+    Returns ``(output_node_id, gates_added)``.
+    """
+    before = net.num_gates
+    not_cache: Dict[int, int] = {}
+
+    def lit_node(pos: int, phase: int) -> int:
+        base = support_nodes[pos]
+        if phase:
+            return base
+        if base not in not_cache:
+            not_cache[base] = net.add_gate(GateType.NOT, [base])
+        return not_cache[base]
+
+    def build(node: FactorNode) -> int:
+        if node.op is FactorOp.CONST0:
+            return net.add_const(0)
+        if node.op is FactorOp.CONST1:
+            return net.add_const(1)
+        if node.op is FactorOp.LIT:
+            return lit_node(node.position, node.phase)
+        kids = [build(c) for c in node.children]
+        if len(kids) == 1:
+            return kids[0]
+        gtype = GateType.AND if node.op is FactorOp.AND else GateType.OR
+        return net.add_gate(gtype, kids)
+
+    out = build(tree)
+    return out, net.num_gates - before
+
+
+def synthesize_sop(
+    net: Network, sop: Sop, support_nodes: Sequence[int], factored: bool = True
+) -> Tuple[int, int]:
+    """Materialize ``sop`` in ``net``; factors first unless disabled.
+
+    Returns ``(output_node_id, gates_added)``.
+    """
+    if factored:
+        tree = factor(sop)
+    else:
+        from .factor import FactorNode as _FN, FactorOp as _FO, _cube_to_and
+
+        if not sop.cubes:
+            tree = _FN(_FO.CONST0)
+        elif any(c.num_literals == 0 for c in sop.cubes):
+            tree = _FN(_FO.CONST1)
+        elif len(sop.cubes) == 1:
+            tree = _cube_to_and(sop.cubes[0])
+        else:
+            tree = _FN(_FO.OR, children=[_cube_to_and(c) for c in sop.cubes])
+    return synthesize_factored(net, tree, support_nodes)
+
+
+def sop_to_network(
+    sop: Sop,
+    input_names: Sequence[str],
+    output_name: str = "f",
+    factored: bool = True,
+) -> Network:
+    """Build a standalone network computing ``sop`` over named PIs."""
+    if len(input_names) != sop.width:
+        raise ValueError("input_names must match the SOP width")
+    net = Network(name="sop")
+    pis = [net.add_pi(n) for n in input_names]
+    out, _ = synthesize_sop(net, sop, pis, factored=factored)
+    net.add_po(out, output_name)
+    return net

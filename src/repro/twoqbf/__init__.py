@@ -1,0 +1,5 @@
+"""CEGAR 2QBF solving with countermodel certificates."""
+
+from .cegar import QbfBudgetExceeded, QbfResult, solve_exists_forall
+
+__all__ = ["QbfBudgetExceeded", "QbfResult", "solve_exists_forall"]

@@ -1,0 +1,116 @@
+"""CEGAR-based 2QBF solving (∃X ∀Y. M).
+
+The paper uses 2QBF twice:
+
+* as an alternative way to decide ECO feasibility — expression (1),
+  ``∃x ∀n M(n, x)``, is UNSAT iff the targets suffice (Section 3.2);
+* as the source of *certificate information*: the universal
+  counterexamples collected during CEGAR tell the structural multi-target
+  patch which miter cofactor combinations are actually needed
+  (Section 3.6.2 — 255 copies reduced to 40 for 8 targets).
+
+``solve_exists_forall`` implements the standard expansion-based CEGAR
+loop: propose a candidate X assignment from the abstraction, check it
+against a universal countermove, and refine the abstraction with the
+cofactor of M under that countermove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.network import Network
+from ..network.strash import AigBuilder, cofactor_network, strash_into
+from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.tseitin import encode_network
+from ..sat.types import mklit, neg
+
+
+class QbfBudgetExceeded(Exception):
+    """Raised when the CEGAR loop exceeds its iteration or SAT budget."""
+
+
+@dataclass
+class QbfResult:
+    """Outcome of a 2QBF ∃X∀Y solve.
+
+    Attributes:
+        is_sat: True when a witness X assignment exists.
+        witness: the witness (PI id → 0/1) when ``is_sat``.
+        countermoves: every universal assignment (PI id → 0/1) used to
+            refine the abstraction.  When the instance is UNSAT these are
+            the certificate cofactors of Section 3.6.2.
+        iterations: number of CEGAR refinement rounds.
+    """
+
+    is_sat: bool
+    witness: Optional[Dict[int, int]] = None
+    countermoves: List[Dict[int, int]] = field(default_factory=list)
+    iterations: int = 0
+
+
+def solve_exists_forall(
+    net: Network,
+    exists_pis: Sequence[int],
+    forall_pis: Sequence[int],
+    max_iterations: int = 10000,
+    budget_conflicts: Optional[int] = None,
+) -> QbfResult:
+    """Decide ``∃X ∀Y. net`` where ``net`` has exactly one PO.
+
+    Args:
+        net: single-output network over the union of both PI groups.
+        exists_pis / forall_pis: a partition of ``net.pis``.
+        max_iterations: CEGAR round cap (raises on overrun).
+        budget_conflicts: per-SAT-call conflict budget.
+
+    Returns:
+        a :class:`QbfResult`.
+    """
+    if net.num_pos != 1:
+        raise ValueError("solve_exists_forall expects a single-PO network")
+    exists_set = set(exists_pis)
+    forall_set = set(forall_pis)
+    if exists_set | forall_set != set(net.pis) or exists_set & forall_set:
+        raise ValueError("exists/forall PIs must partition the network PIs")
+
+    # verification solver: full circuit, all PIs free
+    ver = Solver()
+    ver_vars = encode_network(ver, net)
+    out_var = ver_vars[net.pos[0][1]]
+
+    # abstraction solver: shared variables for the existential PIs
+    abs_solver = Solver()
+    abs_x = {pi: abs_solver.new_var() for pi in exists_pis}
+
+    result = QbfResult(is_sat=False)
+    for _ in range(max_iterations):
+        result.iterations += 1
+        if not abs_solver.solve(budget_conflicts=budget_conflicts):
+            return result  # abstraction UNSAT: no witness exists
+        candidate = {
+            pi: abs_solver.model_value(mklit(abs_x[pi])) for pi in exists_pis
+        }
+        # countermove: does some Y falsify M under the candidate X?
+        assumptions = [
+            mklit(ver_vars[pi], candidate[pi] == 0) for pi in exists_pis
+        ]
+        assumptions.append(mklit(out_var, True))  # M = 0
+        if not ver.solve(assumptions, budget_conflicts=budget_conflicts):
+            result.is_sat = True
+            result.witness = candidate
+            return result
+        countermove = {
+            pi: ver.model_value(mklit(ver_vars[pi])) for pi in forall_pis
+        }
+        result.countermoves.append(countermove)
+        # refine: require M(X, countermove) = 1 in the abstraction
+        cof = cofactor_network(net, countermove)
+        remaining = [pi for pi in net.pis if pi not in forall_set]
+        pi_map = {}
+        for orig, new in zip(remaining, cof.pis):
+            pi_map[new] = abs_x[orig]
+        cof_vars = encode_network(abs_solver, cof, pi_map)
+        abs_solver.add_clause([mklit(cof_vars[cof.pos[0][1]])])
+    raise QbfBudgetExceeded(f"no decision after {max_iterations} CEGAR rounds")

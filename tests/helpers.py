@@ -1,0 +1,85 @@
+"""Shared test utilities: random network builders and brute-force oracles."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.network import GateType, Network
+
+RANDOM_GATE_TYPES = [
+    GateType.AND,
+    GateType.OR,
+    GateType.NAND,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+    GateType.NOT,
+    GateType.BUF,
+    GateType.MUX,
+]
+
+
+def random_network(
+    n_pi: int = 5,
+    n_gates: int = 25,
+    n_po: int = 3,
+    seed: int = 0,
+    name: str = "t",
+) -> Network:
+    """A seeded random network with named gates."""
+    rng = random.Random(seed)
+    net = Network(name)
+    nodes = [net.add_pi(f"i{k}") for k in range(n_pi)]
+    for g in range(n_gates):
+        gtype = rng.choice(RANDOM_GATE_TYPES)
+        if gtype in (GateType.NOT, GateType.BUF):
+            ins = [rng.choice(nodes)]
+        elif gtype is GateType.MUX:
+            ins = [rng.choice(nodes) for _ in range(3)]
+        else:
+            ins = [rng.choice(nodes) for _ in range(rng.randint(2, 3))]
+        nodes.append(net.add_gate(gtype, ins, f"g{g}"))
+    for p in range(n_po):
+        net.add_po(rng.choice(nodes), f"o{p}")
+    return net
+
+
+def all_minterms(n: int) -> Iterable[Tuple[int, ...]]:
+    return itertools.product((0, 1), repeat=n)
+
+
+def po_truth_tables(net: Network) -> Dict[str, Tuple[int, ...]]:
+    """Exhaustive PO truth tables keyed by PO name (PIs in id order)."""
+    pis = net.pis
+    tables: Dict[str, List[int]] = {name: [] for name, _ in net.pos}
+    for bits in all_minterms(len(pis)):
+        vals = net.evaluate_pos(dict(zip(pis, bits)))
+        for name, v in vals.items():
+            tables[name].append(v)
+    return {k: tuple(v) for k, v in tables.items()}
+
+
+def networks_equivalent_brute(a: Network, b: Network) -> bool:
+    """Exhaustive equivalence by PI/PO name matching (small nets only)."""
+    a_pis = {a.node(p).name: p for p in a.pis}
+    b_pis = {b.node(p).name: p for p in b.pis}
+    names = sorted(set(a_pis) | set(b_pis))
+    if {n for n, _ in a.pos} != {n for n, _ in b.pos}:
+        return False
+    for bits in all_minterms(len(names)):
+        assign = dict(zip(names, bits))
+        va = a.evaluate_pos({p: assign[n] for n, p in a_pis.items()})
+        vb = b.evaluate_pos({p: assign[n] for n, p in b_pis.items()})
+        if va != vb:
+            return False
+    return True
+
+
+def brute_sat(clauses: Sequence[Sequence[int]], nvars: int) -> bool:
+    """Brute-force CNF satisfiability over internal literals."""
+    for bits in itertools.product((0, 1), repeat=nvars):
+        if all(any(bits[l >> 1] ^ (l & 1) for l in c) for c in clauses):
+            return True
+    return False

@@ -1,0 +1,89 @@
+"""Tests for AIGER I/O."""
+
+import random
+
+import pytest
+
+from repro.io.aiger import AigerError, parse_aiger, write_aiger
+from repro.network import Network, GateType
+from repro.seq import SeqNetwork
+
+from helpers import networks_equivalent_brute, random_network
+
+
+class TestCombinational:
+    def test_parse_small(self):
+        # y = a AND NOT b
+        text = (
+            "aag 3 2 0 1 1\n2\n4\n6\n6 2 5\n"
+            "i0 a\ni1 b\no0 y\n"
+        )
+        net = parse_aiger(text)
+        a, b = net.node_by_name("a"), net.node_by_name("b")
+        assert net.evaluate_pos({a: 1, b: 0})["y"] == 1
+        assert net.evaluate_pos({a: 1, b: 1})["y"] == 0
+
+    def test_constants(self):
+        # output literal 1 = const true, 0 = const false
+        text = "aag 1 1 0 2 0\n2\n1\n0\ni0 a\no0 t\no1 f\n"
+        net = parse_aiger(text)
+        a = net.node_by_name("a")
+        vals = net.evaluate_pos({a: 0})
+        assert vals["t"] == 1 and vals["f"] == 0
+
+    def test_roundtrip_random(self):
+        for seed in range(6):
+            net = random_network(n_pi=4, n_gates=20, seed=seed + 10)
+            again = parse_aiger(write_aiger(net))
+            assert networks_equivalent_brute(net, again), seed
+
+    def test_negated_output(self):
+        net = Network()
+        a = net.add_pi("a")
+        net.add_po(net.add_gate(GateType.NOT, [a]), "y")
+        again = parse_aiger(write_aiger(net))
+        assert networks_equivalent_brute(net, again)
+
+    def test_binary_format_rejected(self):
+        with pytest.raises(AigerError):
+            parse_aiger("aig 3 2 0 1 1\n")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(AigerError):
+            parse_aiger("aag 1 1\n")
+
+
+class TestSequential:
+    def test_parse_toggler(self):
+        # latch q toggles when en: q' = q XOR en (as AIG)
+        from repro.seq import parse_seq_bench, write_seq_bench
+
+        seq = parse_seq_bench(
+            "INPUT(en)\nOUTPUT(q)\nq = DFF(nq)\nnq = XOR(q, en)\n"
+        )
+        text = write_aiger(seq)
+        again = parse_aiger(text)
+        assert isinstance(again, SeqNetwork)
+        assert again.num_latches == 1
+        en1 = seq.core.node_by_name("en")
+        en2 = again.core.node_by_name("en")
+        rng = random.Random(3)
+        bits = [rng.getrandbits(1) for _ in range(12)]
+        assert seq.simulate([{en1: b} for b in bits]) == again.simulate(
+            [{en2: b} for b in bits]
+        )
+
+    def test_latch_init_preserved(self):
+        from repro.seq import Latch
+
+        core = Network()
+        q = core.add_pi("q")
+        en = core.add_pi("en")
+        nq = core.add_gate(GateType.XOR, [q, en], "nq")
+        core.add_po(q, "out")
+        seq = SeqNetwork(core, [Latch("q", q, nq, init=1)])
+        again = parse_aiger(write_aiger(seq))
+        assert again.latches[0].init == 1
+        e2 = again.core.node_by_name("en")
+        trace = again.simulate([{e2: 0}])
+        assert trace[0]["out"] == 1  # starts at the initial value

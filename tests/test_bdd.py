@@ -1,0 +1,171 @@
+"""Tests for the ROBDD manager (against truth-table semantics)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import Bdd, BddError, ONE, ZERO, build_from_network
+
+from helpers import all_minterms, random_network
+
+
+def tt_of(bdd, f):
+    return bdd.truth_table(f)
+
+
+class TestBasics:
+    def test_terminals(self):
+        bdd = Bdd(2)
+        assert bdd.evaluate(ONE, [0, 0]) == 1
+        assert bdd.evaluate(ZERO, [1, 1]) == 0
+
+    def test_var_and_nvar(self):
+        bdd = Bdd(2)
+        x0 = bdd.var(0)
+        assert bdd.evaluate(x0, [1, 0]) == 1
+        assert bdd.evaluate(x0, [0, 1]) == 0
+        assert bdd.nvar(0) == bdd.not_(x0)
+
+    def test_var_out_of_range(self):
+        with pytest.raises(BddError):
+            Bdd(1).var(3)
+
+    def test_canonicity(self):
+        """Equal functions share one node — hash-consing at work."""
+        bdd = Bdd(3)
+        a, b, c = bdd.var(0), bdd.var(1), bdd.var(2)
+        f1 = bdd.and_(a, bdd.and_(b, c))
+        f2 = bdd.and_(bdd.and_(a, b), c)
+        f3 = bdd.and_(bdd.and_(c, a), b)
+        assert f1 == f2 == f3
+        g1 = bdd.not_(bdd.or_(bdd.not_(a), bdd.not_(b)))
+        assert g1 == bdd.and_(a, b)  # De Morgan collapses
+
+    def test_connectives_match_semantics(self):
+        bdd = Bdd(2)
+        a, b = bdd.var(0), bdd.var(1)
+        cases = {
+            bdd.and_(a, b): lambda x, y: x & y,
+            bdd.or_(a, b): lambda x, y: x | y,
+            bdd.xor_(a, b): lambda x, y: x ^ y,
+            bdd.xnor_(a, b): lambda x, y: 1 - (x ^ y),
+            bdd.implies(a, b): lambda x, y: (1 - x) | y,
+        }
+        for f, ref in cases.items():
+            for x, y in all_minterms(2):
+                assert bdd.evaluate(f, [x, y]) == ref(x, y)
+
+
+class TestQuantification:
+    def test_exists_forall_brute(self):
+        rng = random.Random(3)
+        for trial in range(25):
+            n = rng.randint(2, 5)
+            bdd = Bdd(n)
+            f = _random_bdd(bdd, rng, n)
+            qvars = rng.sample(range(n), rng.randint(1, n))
+            ex = bdd.exists(f, qvars)
+            fa = bdd.forall(f, qvars)
+            for bits in all_minterms(n):
+                values = []
+                for sub in itertools.product((0, 1), repeat=len(qvars)):
+                    full = list(bits)
+                    for var, v in zip(qvars, sub):
+                        full[var] = v
+                    values.append(bdd.evaluate(f, full))
+                assert bdd.evaluate(ex, list(bits)) == max(values)
+                assert bdd.evaluate(fa, list(bits)) == min(values)
+
+    def test_cofactor(self):
+        bdd = Bdd(2)
+        a, b = bdd.var(0), bdd.var(1)
+        f = bdd.and_(a, b)
+        assert bdd.cofactor(f, 0, 1) == b
+        assert bdd.cofactor(f, 0, 0) == ZERO
+
+
+class TestCounting:
+    def test_sat_count_brute(self):
+        rng = random.Random(7)
+        for trial in range(30):
+            n = rng.randint(1, 5)
+            bdd = Bdd(n)
+            f = _random_bdd(bdd, rng, n)
+            expect = sum(
+                bdd.evaluate(f, list(bits)) for bits in all_minterms(n)
+            )
+            assert bdd.sat_count(f) == expect, trial
+
+    def test_one_sat(self):
+        rng = random.Random(11)
+        for trial in range(25):
+            n = rng.randint(1, 5)
+            bdd = Bdd(n)
+            f = _random_bdd(bdd, rng, n)
+            model = bdd.one_sat(f)
+            if f == ZERO:
+                assert model is None
+            else:
+                full = [model.get(v, 0) for v in range(n)]
+                assert bdd.evaluate(f, full) == 1
+
+    def test_size_and_support(self):
+        bdd = Bdd(3)
+        f = bdd.and_(bdd.var(0), bdd.var(2))
+        assert bdd.support_vars(f) == [0, 2]
+        assert bdd.size(f) == 2
+
+
+class TestNetworkImport:
+    def test_matches_simulation(self):
+        for seed in range(8):
+            net = random_network(n_pi=4, n_gates=18, n_po=2, seed=seed + 70)
+            bdd = Bdd(4)
+            pi_vars = {pi: i for i, pi in enumerate(net.pis)}
+            handles = build_from_network(bdd, net, pi_vars)
+            for bits in all_minterms(4):
+                ref = net.evaluate(dict(zip(net.pis, bits)))
+                for nid, h in handles.items():
+                    assert bdd.evaluate(h, list(bits)) == ref[nid], (
+                        seed,
+                        nid,
+                        bits,
+                    )
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_equivalence_oracle(self, seed):
+        """BDD canonicity decides equivalence: strash rebuild == original."""
+        from repro.network import strash_network
+
+        net = random_network(n_pi=4, n_gates=15, n_po=2, seed=seed)
+        rebuilt = strash_network(net)
+        bdd = Bdd(4)
+        h1 = build_from_network(
+            bdd, net, {pi: i for i, pi in enumerate(net.pis)}
+        )
+        h2 = build_from_network(
+            bdd, rebuilt, {pi: i for i, pi in enumerate(rebuilt.pis)}
+        )
+        for (n1, nid1), (n2, nid2) in zip(net.pos, rebuilt.pos):
+            assert n1 == n2
+            assert h1[nid1] == h2[nid2]
+
+
+def _random_bdd(bdd, rng, n):
+    nodes = [bdd.var(i) for i in range(n)] + [ONE, ZERO]
+    for _ in range(rng.randint(1, 12)):
+        op = rng.choice(["and", "or", "xor", "not", "ite"])
+        if op == "not":
+            nodes.append(bdd.not_(rng.choice(nodes)))
+        elif op == "ite":
+            nodes.append(
+                bdd.ite(rng.choice(nodes), rng.choice(nodes), rng.choice(nodes))
+            )
+        else:
+            f, g = rng.choice(nodes), rng.choice(nodes)
+            nodes.append(getattr(bdd, op + "_")(f, g))
+    return nodes[-1]

@@ -1,0 +1,197 @@
+"""Tests for the synthetic benchmark suite generation."""
+
+import pytest
+
+from repro.benchgen import (
+    SUITE,
+    build_unit,
+    corrupt,
+    generate_weights,
+    make_specification,
+    ripple_adder,
+    small_multiplier,
+    comparator,
+    alu_slice,
+    decoder,
+    parity_cone,
+    random_dag,
+    unit_spec,
+)
+from repro.core import cec
+from repro.network import Network, outputs_equal
+from repro.network.traversal import levels
+
+
+class TestGenerators:
+    def test_ripple_adder_adds(self):
+        net = ripple_adder(4)
+        a_ids = [net.node_by_name(f"a{i}") for i in range(4)]
+        b_ids = [net.node_by_name(f"b{i}") for i in range(4)]
+        cin = net.node_by_name("cin")
+        for a_val, b_val, c_val in [(3, 5, 0), (15, 1, 1), (9, 9, 0), (0, 0, 0)]:
+            assign = {a_ids[i]: (a_val >> i) & 1 for i in range(4)}
+            assign.update({b_ids[i]: (b_val >> i) & 1 for i in range(4)})
+            assign[cin] = c_val
+            out = net.evaluate_pos(assign)
+            got = sum(out[f"s{i}"] << i for i in range(4)) + (out["cout"] << 4)
+            assert got == a_val + b_val + c_val
+
+    def test_multiplier_multiplies(self):
+        net = small_multiplier(3)
+        a_ids = [net.node_by_name(f"a{i}") for i in range(3)]
+        b_ids = [net.node_by_name(f"b{i}") for i in range(3)]
+        for a_val in range(8):
+            for b_val in range(8):
+                assign = {a_ids[i]: (a_val >> i) & 1 for i in range(3)}
+                assign.update({b_ids[i]: (b_val >> i) & 1 for i in range(3)})
+                out = net.evaluate_pos(assign)
+                got = sum(out[f"m{i}"] << i for i in range(6))
+                assert got == a_val * b_val, (a_val, b_val)
+
+    def test_comparator_compares(self):
+        net = comparator(4)
+        a_ids = [net.node_by_name(f"a{i}") for i in range(4)]
+        b_ids = [net.node_by_name(f"b{i}") for i in range(4)]
+        for a_val, b_val in [(3, 9), (9, 3), (7, 7), (0, 15), (15, 15)]:
+            assign = {a_ids[i]: (a_val >> i) & 1 for i in range(4)}
+            assign.update({b_ids[i]: (b_val >> i) & 1 for i in range(4)})
+            out = net.evaluate_pos(assign)
+            assert out["lt"] == (1 if a_val < b_val else 0)
+            assert out["eq"] == (1 if a_val == b_val else 0)
+            assert out["gt"] == (1 if a_val > b_val else 0)
+
+    def test_decoder_one_hot(self):
+        net = decoder(3)
+        sel = [net.node_by_name(f"s{i}") for i in range(3)]
+        en = net.node_by_name("en")
+        for v in range(8):
+            assign = {sel[i]: (v >> i) & 1 for i in range(3)}
+            assign[en] = 1
+            out = net.evaluate_pos(assign)
+            assert sum(out.values()) == 1
+            assert out[f"q{v}"] == 1
+            assign[en] = 0
+            assert sum(net.evaluate_pos(assign).values()) == 0
+
+    def test_random_dag_deterministic(self):
+        n1 = random_dag(8, 30, 4, seed=5)
+        n2 = random_dag(8, 30, 4, seed=5)
+        assert outputs_equal(n1, n2)
+
+    def test_alu_and_parity_build(self):
+        assert alu_slice(4).num_pos == 4
+        assert parity_cone(16, seed=1).num_pos >= 4
+
+
+class TestCorrupt:
+    def test_targets_named_and_changed(self):
+        golden = random_dag(8, 40, 4, seed=3)
+        impl, targets, records = corrupt(golden, 3, seed=9)
+        assert len(targets) == 3
+        assert len(records) == 3
+        for t in targets:
+            assert impl.has_name(t)
+
+    def test_corruption_usually_observable(self):
+        changed = 0
+        for seed in range(8):
+            golden = random_dag(8, 40, 4, seed=seed)
+            impl, _, _ = corrupt(golden, 2, seed=seed + 1)
+            if not outputs_equal(impl, golden):
+                changed += 1
+        assert changed >= 6  # rare silent mutations tolerated
+
+    def test_impl_stays_acyclic(self):
+        for seed in range(6):
+            golden = random_dag(10, 50, 5, seed=seed)
+            impl, _, _ = corrupt(golden, 4, seed=seed)
+            impl.topo_order()  # raises/loops only if cyclic
+            # and every node is still reachable/evaluable
+            impl.evaluate({pi: 0 for pi in impl.pis})
+
+    def test_too_many_targets_rejected(self):
+        golden = random_dag(3, 4, 2, seed=0)
+        with pytest.raises(ValueError):
+            corrupt(golden, 100, seed=0)
+
+
+class TestSpecification:
+    def test_spec_equivalent_to_golden(self):
+        for seed in (0, 4):
+            golden = random_dag(8, 45, 4, seed=seed)
+            spec = make_specification(golden)
+            assert cec(golden, spec).equivalent
+
+    def test_spec_structurally_different(self):
+        golden = random_dag(8, 45, 4, seed=2)
+        spec = make_specification(golden)
+        # AIG rebuild: different gate count is expected
+        assert spec.num_gates != golden.num_gates
+
+
+class TestWeights:
+    @pytest.mark.parametrize(
+        "wtype", ["T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8"]
+    )
+    def test_all_types_positive_and_total(self, wtype):
+        net = random_dag(8, 60, 5, seed=11)
+        w = generate_weights(net, wtype, seed=3)
+        named = [n for n in net.nodes() if n.name]
+        assert len(w) == len(named)
+        assert all(v >= 1 for v in w.values())
+
+    def test_t1_heavier_near_pis(self):
+        net = random_dag(6, 80, 4, seed=13)
+        w = generate_weights(net, "T1", seed=0)
+        lev = levels(net)
+        shallow = [w[n.name] for n in net.nodes() if n.name and lev[n.nid] <= 1]
+        deep = [w[n.name] for n in net.nodes() if n.name and lev[n.nid] >= 6]
+        if shallow and deep:
+            assert max(shallow) > max(deep)
+
+    def test_unknown_type_rejected(self):
+        net = random_dag(4, 10, 2, seed=0)
+        with pytest.raises(ValueError):
+            generate_weights(net, "T9")
+
+    def test_deterministic(self):
+        net = random_dag(6, 40, 3, seed=21)
+        assert generate_weights(net, "T8", seed=5) == generate_weights(
+            net, "T8", seed=5
+        )
+
+
+class TestSuite:
+    def test_suite_has_20_units(self):
+        assert len(SUITE) == 20
+        assert [u.name for u in SUITE] == [f"unit{i}" for i in range(1, 21)]
+
+    def test_paper_target_counts(self):
+        expect = [1, 1, 1, 1, 2, 2, 1, 1, 4, 2, 8, 1, 1, 12, 1, 2, 8, 1, 4, 4]
+        assert [u.num_targets for u in SUITE] == expect
+        assert [u.paper_targets for u in SUITE] == expect
+
+    def test_structural_units_marked(self):
+        forced = [u.name for u in SUITE if u.force_structural]
+        assert forced == ["unit6", "unit10", "unit11", "unit19"]
+
+    def test_build_unit_feasible_instance(self):
+        # a built unit must always be rectifiable via its targets
+        spec = unit_spec("unit13")
+        inst = build_unit(spec)
+        assert inst.impl.num_pis == inst.spec.num_pis
+        assert set(inst.impl.po_names()) == set(inst.spec.po_names())
+        assert len(inst.targets) == spec.num_targets
+        assert inst.weights  # weights populated
+
+    def test_unit_spec_lookup(self):
+        assert unit_spec("unit7").generator == "alu_slice"
+        with pytest.raises(KeyError):
+            unit_spec("unit99")
+
+    def test_build_deterministic(self):
+        a = build_unit(unit_spec("unit4"))
+        b = build_unit(unit_spec("unit4"))
+        assert outputs_equal(a.impl, b.impl)
+        assert a.weights == b.weights
+        assert a.targets == b.targets

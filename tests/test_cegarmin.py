@@ -1,0 +1,109 @@
+"""Tests for CEGAR_min (max-flow re-support of structural patches)."""
+
+import pytest
+
+from repro.core import cegar_min
+from repro.network import GateType, Network
+from repro.network.traversal import tfo
+
+from helpers import all_minterms
+
+
+def impl_with_internal_equiv():
+    """Implementation that already computes u = a & b internally."""
+    net = Network("impl")
+    a, b, c = (net.add_pi(x) for x in "abc")
+    u = net.add_gate(GateType.AND, [a, b], "u")
+    f = net.add_gate(GateType.OR, [u, c], "f")
+    net.add_po(f, "o")
+    return net
+
+
+def pi_patch_and():
+    """A patch over PIs computing a & b (as a structural patch would)."""
+    patch = Network("patch")
+    a, b = patch.add_pi("a"), patch.add_pi("b")
+    g = patch.add_gate(GateType.AND, [a, b])
+    patch.add_po(g, "p")
+    return patch
+
+
+class TestCegarMin:
+    def test_rewires_to_internal_signal(self):
+        impl = impl_with_internal_equiv()
+        patch = pi_patch_and()
+        candidates = [
+            impl.node_by_name(n) for n in ("a", "b", "c", "u")
+        ]
+        weights = {impl.node_by_name("a"): 10, impl.node_by_name("b"): 10,
+                   impl.node_by_name("c"): 10, impl.node_by_name("u"): 3}
+        res = cegar_min(impl, patch, candidates, weights)
+        assert res.support == ["u"]
+        assert res.cost == 3
+        assert res.gate_count == 0  # a bare wire to u
+
+    def test_keeps_pis_when_cheaper(self):
+        impl = impl_with_internal_equiv()
+        patch = pi_patch_and()
+        weights = {impl.node_by_name("a"): 1, impl.node_by_name("b"): 1,
+                   impl.node_by_name("c"): 1, impl.node_by_name("u"): 50}
+        candidates = list(weights)
+        res = cegar_min(impl, patch, candidates, weights)
+        assert sorted(res.support) == ["a", "b"]
+        assert res.cost == 2
+
+    def test_complemented_equivalence(self):
+        # impl computes w = ~(a & b); patch needs a & b -> NOT(w)
+        impl = Network("impl")
+        a, b = impl.add_pi("a"), impl.add_pi("b")
+        w = impl.add_gate(GateType.NAND, [a, b], "w")
+        impl.add_po(w, "o")
+        patch = pi_patch_and()
+        weights = {impl.node_by_name("a"): 10, impl.node_by_name("b"): 10,
+                   impl.node_by_name("w"): 1}
+        res = cegar_min(impl, patch, list(weights), weights)
+        assert res.support == ["w"]
+        assert res.cost == 1
+        # verify function: patch(w) must equal a & b
+        for bits in all_minterms(2):
+            w_val = 1 - (bits[0] & bits[1])
+            out = res.network.evaluate_pos(
+                {res.network.node_by_name("w"): w_val}
+            )
+            assert out["p"] == (bits[0] & bits[1])
+
+    def test_result_function_preserved(self):
+        """The re-supported patch must compute the same PI function."""
+        impl = impl_with_internal_equiv()
+        patch = pi_patch_and()
+        weights = {impl.node_by_name(n): w for n, w in
+                   [("a", 4), ("b", 7), ("c", 2), ("u", 5)]}
+        res = cegar_min(impl, patch, list(weights), weights)
+        for bits in all_minterms(3):
+            ref = dict(zip("abc", bits))
+            impl_vals = impl.evaluate(
+                {impl.node_by_name(n): v for n, v in ref.items()}
+            )
+            assign = {
+                pi: impl_vals[impl.node_by_name(res.network.node(pi).name)]
+                for pi in res.network.pis
+            }
+            got = res.network.evaluate_pos(assign)["p"]
+            assert got == (ref["a"] & ref["b"])
+
+    def test_single_po_required(self):
+        impl = impl_with_internal_equiv()
+        patch = Network("bad")
+        a = patch.add_pi("a")
+        patch.add_po(a, "x")
+        patch.add_po(a, "y")
+        with pytest.raises(ValueError):
+            cegar_min(impl, patch, [], {})
+
+    def test_no_candidates_keeps_patch(self):
+        impl = impl_with_internal_equiv()
+        patch = pi_patch_and()
+        res = cegar_min(impl, patch, [], {})
+        # falls back to the original patch over PIs
+        assert sorted(res.support) == ["a", "b"]
+        assert res.gate_count == patch.num_gates

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.benchgen import corrupt, make_specification
+from repro.io import read_verilog, write_verilog, write_weights
+from repro.core import cec
+
+from helpers import random_network
+
+
+@pytest.fixture
+def bundle(tmp_path):
+    """A corrupted pair on disk: impl.v, spec.v, weights.txt."""
+    golden = random_network(n_pi=5, n_gates=28, n_po=3, seed=7)
+    impl, targets, _ = corrupt(golden, 1, seed=21)
+    spec = make_specification(golden)
+    impl_p = str(tmp_path / "impl.v")
+    spec_p = str(tmp_path / "spec.v")
+    weights_p = str(tmp_path / "weights.txt")
+    write_verilog(impl, impl_p)
+    write_verilog(spec, spec_p)
+    write_weights({n.name: 3 for n in impl.nodes() if n.name}, weights_p)
+    return impl_p, spec_p, weights_p, targets
+
+
+class TestPatchCommand:
+    def test_patch_and_emit(self, bundle, tmp_path, capsys):
+        impl_p, spec_p, weights_p, targets = bundle
+        out_p = str(tmp_path / "patched.v")
+        rc = main(
+            [
+                "patch",
+                "--impl", impl_p,
+                "--spec", spec_p,
+                "--targets", ",".join(targets),
+                "--weights", weights_p,
+                "--out", out_p,
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "verified: True" in captured
+        patched = read_verilog(out_p)
+        spec = read_verilog(spec_p)
+        assert cec(patched, spec).equivalent
+
+    def test_targets_from_file(self, bundle, tmp_path, capsys):
+        impl_p, spec_p, _, targets = bundle
+        tfile = str(tmp_path / "targets.txt")
+        with open(tfile, "w", encoding="utf-8") as f:
+            f.write("\n".join(targets) + "\n")
+        rc = main(
+            ["patch", "--impl", impl_p, "--spec", spec_p, "--targets", f"@{tfile}"]
+        )
+        assert rc == 0
+
+    @pytest.mark.parametrize("method", ["baseline", "satprune_cegarmin"])
+    def test_methods(self, bundle, method):
+        impl_p, spec_p, weights_p, targets = bundle
+        rc = main(
+            [
+                "patch",
+                "--impl", impl_p,
+                "--spec", spec_p,
+                "--targets", ",".join(targets),
+                "--method", method,
+            ]
+        )
+        assert rc == 0
+
+
+class TestOtherCommands:
+    def test_cec_inequivalent(self, bundle, capsys):
+        impl_p, spec_p, _, _ = bundle
+        rc = main(["cec", "--impl", impl_p, "--spec", spec_p])
+        assert rc == 1
+        assert "NOT EQUIVALENT" in capsys.readouterr().out
+
+    def test_cec_equivalent(self, bundle, capsys):
+        _, spec_p, _, _ = bundle
+        rc = main(["cec", "--impl", spec_p, "--spec", spec_p])
+        assert rc == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_localize(self, bundle, capsys):
+        impl_p, spec_p, _, targets = bundle
+        rc = main(["localize", "--impl", impl_p, "--spec", spec_p])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "confirmed sufficient target set" in out
+
+    def test_generate(self, tmp_path, capsys):
+        out = str(tmp_path / "unit4")
+        rc = main(["generate", "--unit", "unit4", "--out", out])
+        assert rc == 0
+        for fname in ("impl.v", "spec.v", "weights.txt", "targets.txt"):
+            assert os.path.exists(os.path.join(out, fname))
+
+    def test_suite_subset(self, capsys):
+        rc = main(["suite", "--units", "unit1,unit4", "--methods", "minassump"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "unit1" in out and "unit4" in out
+        assert "Geomean" in out
+
+    def test_suite_rejects_unknown_method(self, capsys):
+        rc = main(["suite", "--units", "unit1", "--methods", "nope"])
+        assert rc == 2

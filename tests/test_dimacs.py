@@ -1,0 +1,93 @@
+"""Tests for DIMACS CNF I/O."""
+
+import random
+
+import pytest
+
+from repro.sat import mklit
+from repro.sat.dimacs import (
+    DimacsError,
+    parse_dimacs,
+    solve_dimacs,
+    write_dimacs,
+)
+
+from helpers import brute_sat
+
+
+class TestParse:
+    def test_simple(self):
+        nvars, clauses = parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n")
+        assert nvars == 3
+        assert clauses == [[mklit(0), mklit(1, True)], [mklit(1), mklit(2)]]
+
+    def test_comments_and_blank_lines(self):
+        text = "c hello\n\np cnf 2 1\nc mid comment\n1 2 0\n"
+        nvars, clauses = parse_dimacs(text)
+        assert nvars == 2
+        assert len(clauses) == 1
+
+    def test_multiline_clause(self):
+        nvars, clauses = parse_dimacs("p cnf 3 1\n1\n-2\n3 0\n")
+        assert clauses == [[mklit(0), mklit(1, True), mklit(2)]]
+
+    def test_missing_header_inferred(self):
+        nvars, clauses = parse_dimacs("1 -3 0\n")
+        assert nvars == 3
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p sat 3 1\n1 0\n")
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 1\nx 0\n")
+
+    def test_var_out_of_range_rejected(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1 1\n5 0\n")
+
+    def test_satlib_trailer(self):
+        nvars, clauses = parse_dimacs("p cnf 1 1\n1 0\n%\n0\n")
+        assert len(clauses) == 1
+
+
+class TestRoundTripAndSolve:
+    def test_roundtrip(self):
+        rng = random.Random(5)
+        nv = 6
+        clauses = [
+            [mklit(rng.randrange(nv), rng.random() < 0.5) for _ in range(3)]
+            for _ in range(12)
+        ]
+        text = write_dimacs(nv, clauses, comment="round trip")
+        nv2, clauses2 = parse_dimacs(text)
+        assert nv2 == nv
+        assert clauses2 == [list(c) for c in clauses]
+
+    def test_solve_matches_brute_force(self):
+        rng = random.Random(9)
+        for _ in range(40):
+            nv = rng.randint(1, 7)
+            clauses = [
+                [
+                    mklit(rng.randrange(nv), rng.random() < 0.5)
+                    for _ in range(rng.randint(1, 3))
+                ]
+                for _ in range(rng.randint(1, 25))
+            ]
+            text = write_dimacs(nv, clauses)
+            sat, model = solve_dimacs(text)
+            assert sat == brute_sat(clauses, nv)
+            if sat:
+                for c in clauses:
+                    assert any(model[l >> 1] ^ (l & 1) for l in c)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "x.cnf")
+        write_dimacs(2, [[mklit(0)], [mklit(1, True)]], path=path)
+        from repro.sat.dimacs import read_dimacs
+
+        nv, clauses = read_dimacs(path)
+        assert nv == 2
+        assert len(clauses) == 2

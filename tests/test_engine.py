@@ -1,0 +1,149 @@
+"""End-to-end tests for the EcoEngine (the Figure 2 flow)."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro import (
+    EcoEngine,
+    EcoInfeasibleError,
+    EcoInstance,
+    baseline_config,
+    best_config,
+    cec,
+    contest_config,
+)
+from repro.core import apply_patches
+from repro.core.engine import EcoConfig
+from repro.network import GateType, Network
+
+from helpers import random_network
+
+
+def make_instance(seed=0, n_targets=1, n_pi=5, n_gates=28, weights_seed=1):
+    """Random golden network + corruption (like the suite, but tiny)."""
+    from repro.benchgen import corrupt, generate_weights, make_specification
+
+    golden = random_network(n_pi=n_pi, n_gates=n_gates, n_po=3, seed=seed)
+    impl, targets, _ = corrupt(golden, n_targets, seed=seed + 1000)
+    spec = make_specification(golden)
+    weights = generate_weights(impl, "T8", seed=weights_seed)
+    return EcoInstance(
+        name=f"rt{seed}",
+        impl=impl,
+        spec=spec,
+        targets=targets,
+        weights=weights,
+    )
+
+
+CONFIGS = {
+    "baseline": baseline_config,
+    "contest": contest_config,
+    "best": best_config,
+}
+
+
+class TestEngineEndToEnd:
+    @pytest.mark.parametrize("cfg_name", sorted(CONFIGS))
+    def test_single_target_all_configs(self, cfg_name):
+        for seed in range(4):
+            inst = make_instance(seed=seed)
+            res = EcoEngine(CONFIGS[cfg_name]()).run(inst)
+            assert res.verified
+            assert res.cost >= 0
+            assert all(p.target in inst.targets for p in res.patches)
+
+    @pytest.mark.parametrize("n_targets", [2, 3])
+    def test_multi_target(self, n_targets):
+        for seed in (11, 12):
+            inst = make_instance(seed=seed, n_targets=n_targets, n_gates=40)
+            res = EcoEngine(contest_config()).run(inst)
+            assert res.verified
+            assert len(res.patches) == n_targets
+
+    def test_patches_reapply_cleanly(self):
+        """Applying the returned patches to a fresh clone re-verifies."""
+        inst = make_instance(seed=3, n_targets=2, n_gates=35)
+        res = EcoEngine(contest_config()).run(inst)
+        patched = apply_patches(inst.impl, res.patches)
+        assert cec(patched, inst.spec).equivalent
+
+    def test_cost_accounting_matches_patch_supports(self):
+        inst = make_instance(seed=5)
+        res = EcoEngine(contest_config()).run(inst)
+        support = {n for p in res.patches for n in p.support}
+        expect = sum(
+            inst.weights.get(n, inst.default_weight) for n in support
+        )
+        assert res.cost == expect
+
+    def test_structural_only_flow(self):
+        inst = make_instance(seed=7, n_targets=2, n_gates=35)
+        cfg = dataclasses.replace(
+            contest_config(), structural_only=True, feasibility_method="qbf"
+        )
+        res = EcoEngine(cfg).run(inst)
+        assert res.verified
+        assert res.method.startswith("structural")
+
+    def test_structural_with_cegar_min(self):
+        inst = make_instance(seed=8, n_targets=1, n_gates=35)
+        cfg = dataclasses.replace(
+            best_config(), structural_only=True, feasibility_method="qbf"
+        )
+        res = EcoEngine(cfg).run(inst)
+        assert res.verified
+
+    def test_infeasible_targets_raise(self):
+        # corrupt one node but declare a target whose fanout misses it
+        impl = Network()
+        a, b, c = (impl.add_pi(x) for x in "abc")
+        w = impl.add_gate(GateType.OR, [a, b], "w")
+        z = impl.add_gate(GateType.OR, [c, a], "z")
+        impl.add_po(w, "o1")
+        impl.add_po(z, "o2")
+        spec = Network()
+        a2, b2, c2 = (spec.add_pi(x) for x in "abc")
+        w2 = spec.add_gate(GateType.AND, [a2, b2], "w")
+        z2 = spec.add_gate(GateType.OR, [c2, a2], "z")
+        spec.add_po(w2, "o1")
+        spec.add_po(z2, "o2")
+        inst = EcoInstance("bad", impl, spec, targets=["z"])
+        with pytest.raises(EcoInfeasibleError):
+            EcoEngine(contest_config()).run(inst)
+
+    def test_identical_netlists_trivial(self):
+        net = random_network(n_pi=4, n_gates=20, seed=9)
+        inst = EcoInstance(
+            "same", net.clone(), net.clone(), targets=["g5"]
+        )
+        res = EcoEngine(contest_config()).run(inst)
+        assert res.verified
+
+    def test_satprune_never_worse_on_single_target(self):
+        """SAT_prune guarantees minimum cost for one target (§3.4.2)."""
+        for seed in range(5):
+            inst = make_instance(seed=seed + 40, n_targets=1, n_gates=30)
+            res_min = EcoEngine(contest_config()).run(inst)
+            res_opt = EcoEngine(best_config()).run(inst)
+            assert res_opt.cost <= res_min.cost, seed
+
+    def test_runtime_recorded(self):
+        inst = make_instance(seed=13)
+        res = EcoEngine(contest_config()).run(inst)
+        assert res.runtime_seconds > 0
+        assert "divisor_candidates" in res.stats
+
+
+class TestEngineConfigs:
+    def test_preset_shapes(self):
+        assert baseline_config().support_method == "analyze_final"
+        assert contest_config().support_method == "minassump"
+        assert best_config().support_method == "satprune"
+        assert best_config().use_cegar_min
+
+    def test_custom_budget(self):
+        cfg = EcoConfig(budget_conflicts=123)
+        assert cfg.budget_conflicts == 123

@@ -1,0 +1,191 @@
+"""Failure-injection tests: budget exhaustion and fallback routing.
+
+The paper's flow degrades gracefully: when SAT-based computations time
+out, the structural path takes over (Section 3.6); when the sufficiency
+check itself times out, feasibility is *assumed* and the structural
+patch is produced anyway (Section 3.2).  These tests force those paths
+with tiny conflict budgets.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import EcoEngine, EcoInstance, contest_config
+from repro.benchgen import corrupt, generate_weights, make_specification
+from repro.core import cec
+from repro.core.engine import EcoConfig
+
+from helpers import random_network
+
+
+def make_instance(seed=0, n_targets=1, n_gates=40):
+    golden = random_network(n_pi=5, n_gates=n_gates, n_po=3, seed=seed)
+    impl, targets, _ = corrupt(golden, n_targets, seed=seed + 5)
+    spec = make_specification(golden)
+    return EcoInstance(
+        name=f"fb{seed}",
+        impl=impl,
+        spec=spec,
+        targets=targets,
+        weights=generate_weights(impl, "T3", seed=seed),
+    )
+
+
+def observable(inst):
+    return cec(inst.impl, inst.spec).equivalent is False
+
+
+class TestBudgetFallbacks:
+    def test_tiny_budget_routes_to_structural(self):
+        """With a starved SAT budget the engine must still succeed via
+        the structural path (feasibility by QBF, patch by cofactor)."""
+        routed = 0
+        for seed in range(8):
+            inst = make_instance(seed=seed)
+            if not observable(inst):
+                continue
+            cfg = dataclasses.replace(
+                contest_config(),
+                budget_conflicts=1,  # starve every SAT query
+                feasibility_method="qbf",
+            )
+            try:
+                res = EcoEngine(cfg).run(inst)
+            except Exception:
+                continue  # some seeds exhaust even the structural path
+            assert res.verified
+            routed += 1
+        assert routed >= 3
+
+    def test_normal_budget_prefers_sat_flow(self):
+        for seed in range(6):
+            inst = make_instance(seed=seed)
+            if not observable(inst):
+                continue
+            res = EcoEngine(contest_config()).run(inst)
+            assert res.method == "sat"
+            return
+        pytest.skip("no observable instance found")
+
+    def test_fallback_reason_recorded(self):
+        for seed in range(10):
+            inst = make_instance(seed=seed)
+            if not observable(inst):
+                continue
+            cfg = dataclasses.replace(
+                contest_config(),
+                budget_conflicts=1,
+                feasibility_method="qbf",
+            )
+            try:
+                res = EcoEngine(cfg).run(inst)
+            except Exception:
+                continue
+            if res.method.startswith("structural"):
+                # either the SAT flow was attempted and fell back, or the
+                # feasibility check itself timed out (assumed feasible)
+                assert (
+                    res.stats.get("sat_flow_fallback") == 1
+                    or res.stats.get("feasibility_unknown") == 1
+                )
+                return
+        pytest.skip("no structural fallback observed")
+
+
+class TestVerifyToggle:
+    def test_verify_disabled_still_produces_patches(self):
+        inst = make_instance(seed=1)
+        cfg = dataclasses.replace(contest_config(), verify=False)
+        res = EcoEngine(cfg).run(inst)
+        assert res.patches
+        # and the result is in fact correct even unverified
+        from repro.core import apply_patches
+
+        patched = apply_patches(inst.impl, res.patches)
+        assert cec(patched, inst.spec).equivalent
+
+
+class TestDivisorStarvation:
+    def test_divisor_cap_still_solves(self):
+        """Capping internal divisors to zero leaves only window PIs,
+        which always suffice when the step is feasible."""
+        for seed in range(6):
+            inst = make_instance(seed=seed)
+            if not observable(inst):
+                continue
+            cfg = dataclasses.replace(contest_config(), max_divisors=0)
+            res = EcoEngine(cfg).run(inst)
+            assert res.verified
+            return
+        pytest.skip("no observable instance found")
+
+
+class TestResubOption:
+    def test_resub_improves_structural_patches(self):
+        """§3.6.3 SAT resubstitution: never worse, often much better."""
+        from repro.benchgen import build_unit, config_for, unit_spec
+
+        spec = unit_spec("unit10")
+        inst = build_unit(spec)
+        base = dataclasses.replace(
+            config_for(spec, "minassump"), use_cegar_min=False
+        )
+        plain = EcoEngine(base).run(inst)
+        resub = EcoEngine(
+            dataclasses.replace(base, use_resub=True)
+        ).run(inst)
+        assert resub.verified
+        assert resub.cost <= plain.cost
+        assert any(p.method == "resub" for p in resub.patches)
+
+    def test_resub_plays_with_cegar_min(self):
+        from repro.benchgen import build_unit, config_for, unit_spec
+
+        spec = unit_spec("unit19")
+        inst = build_unit(spec)
+        cfg = dataclasses.replace(
+            config_for(spec, "minassump"),
+            use_resub=True,
+            use_cegar_min=True,
+        )
+        res = EcoEngine(cfg).run(inst)
+        assert res.verified
+
+
+class TestAmortizedSupport:
+    def test_shared_divisor_counted_once(self):
+        """Two targets whose repairs both need signal 's': with
+        amortization the second patch prefers the already-paid signal."""
+        from repro.network import GateType, Network
+        from repro.core import apply_patches
+
+        def build(corrupt_it):
+            net = Network()
+            a, b, c = (net.add_pi(x) for x in "abc")
+            s = net.add_gate(GateType.AND, [a, b], "s")
+            g1 = GateType.OR if corrupt_it else GateType.AND
+            g2 = GateType.NOR if corrupt_it else GateType.NAND
+            u = net.add_gate(g1, [s, c], "u")
+            v = net.add_gate(g2, [s, c], "v")
+            net.add_po(u, "o1")
+            net.add_po(v, "o2")
+            return net
+
+        impl, spec = build(True), build(False)
+        inst = EcoInstance(
+            "amort",
+            impl,
+            spec,
+            targets=["u", "v"],
+            weights={"a": 9, "b": 9, "c": 2, "s": 10},
+        )
+        cfg = dataclasses.replace(
+            contest_config(), amortize_shared_support=True
+        )
+        res = EcoEngine(cfg).run(inst)
+        assert res.verified
+        patched = apply_patches(inst.impl, res.patches)
+        assert cec(patched, inst.spec).equivalent
+        plain = EcoEngine(contest_config()).run(inst)
+        assert res.cost <= plain.cost

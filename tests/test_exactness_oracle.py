@@ -1,0 +1,92 @@
+"""SAT_prune exactness cross-checked against the symbolic oracle.
+
+For tiny single-target instances the BDD oracle can image the care sets
+into divisor space, so the true minimum-cost support is computable by
+exhaustive subset enumeration.  SAT_prune (§3.4.2) must match it.
+"""
+
+import itertools
+
+import pytest
+
+from repro import EcoEngine, EcoInstance, best_config, contest_config
+from repro.bdd import ZERO, image_over_divisors, single_target_interval
+from repro.benchgen import corrupt, generate_weights, make_specification
+from repro.network.traversal import tfo
+from repro.network.window import compute_window
+
+from helpers import random_network
+
+
+def tiny_instance(seed):
+    golden = random_network(n_pi=4, n_gates=14, n_po=2, seed=seed)
+    impl, targets, _ = corrupt(golden, 1, seed=seed + 9)
+    spec = make_specification(golden)
+    weights = generate_weights(impl, "T8", seed=seed)
+    return EcoInstance(f"ex{seed}", impl, spec, targets, weights)
+
+
+def exact_minimum_cost(inst):
+    """Brute-force minimum support cost via the BDD oracle, or None."""
+    impl = inst.impl
+    target = impl.node_by_name(inst.targets[0])
+    window = compute_window(impl, inst.spec, [target])
+    interval = single_target_interval(
+        impl, inst.spec, target, window.po_indices
+    )
+    if not interval.feasible:
+        return None
+    divisors = window.divisors[:10]  # keep enumeration tractable
+    costs = {
+        d: inst.weights.get(impl.node(d).name or "", inst.default_weight)
+        for d in divisors
+    }
+    # image once over the full divisor set; a subset S is feasible iff
+    # the projections onto S stay disjoint (quantify the complement)
+    bdd, onset_d, offset_d = image_over_divisors(interval, impl, divisors)
+    index = {d: i for i, d in enumerate(divisors)}
+    best = None
+    for r in range(len(divisors) + 1):
+        for combo in itertools.combinations(divisors, r):
+            cost = sum(costs[d] for d in combo)
+            if best is not None and cost >= best:
+                continue
+            drop = [index[d] for d in divisors if d not in combo]
+            on_p = bdd.exists(onset_d, drop)
+            off_p = bdd.exists(offset_d, drop)
+            if bdd.and_(on_p, off_p) == ZERO:
+                best = cost
+    return best
+
+
+class TestSatPruneExactness:
+    def test_matches_bdd_brute_force(self):
+        checked = 0
+        for seed in range(12):
+            inst = tiny_instance(seed)
+            window = compute_window(
+                inst.impl, inst.spec, [inst.impl.node_by_name(inst.targets[0])]
+            )
+            if len(window.divisors) > 10:
+                continue  # brute force budget
+            expect = exact_minimum_cost(inst)
+            if expect is None:
+                continue
+            res = EcoEngine(best_config()).run(inst)
+            assert res.cost == expect, (seed, res.cost, expect)
+            checked += 1
+        assert checked >= 3
+
+    def test_minassump_never_below_exact(self):
+        for seed in range(12):
+            inst = tiny_instance(seed)
+            window = compute_window(
+                inst.impl, inst.spec, [inst.impl.node_by_name(inst.targets[0])]
+            )
+            if len(window.divisors) > 10:
+                continue
+            expect = exact_minimum_cost(inst)
+            if expect is None:
+                continue
+            res = EcoEngine(contest_config()).run(inst)
+            assert res.cost >= expect, (seed, res.cost, expect)

@@ -1,0 +1,132 @@
+"""Tests for the sufficiency check (§3.2) and final verification."""
+
+import pytest
+
+from repro.core import build_miter, cec, check_feasibility
+from repro.network import GateType, Network
+
+from helpers import random_network
+
+
+def fixable_instance():
+    """Corrupting u is fixable because u is the only difference."""
+
+    def build(corrupt):
+        net = Network()
+        a, b, c = (net.add_pi(x) for x in "abc")
+        u = net.add_gate(GateType.OR if corrupt else GateType.AND, [a, b], "u")
+        f = net.add_gate(GateType.OR, [u, c], "f")
+        net.add_po(f, "o")
+        return net
+
+    return build(True), build(False)
+
+
+def unfixable_instance():
+    """The corruption affects an output outside the target's fanout.
+
+    Output o1 differs (w corrupted) but the declared target z only
+    drives o2, so no patch at z can repair o1.
+    """
+
+    def build(corrupt):
+        net = Network()
+        a, b, c = (net.add_pi(x) for x in "abc")
+        w = net.add_gate(
+            GateType.OR if corrupt else GateType.AND, [a, b], "w"
+        )
+        z = net.add_gate(GateType.OR, [c, a], "z")
+        net.add_po(w, "o1")
+        net.add_po(z, "o2")
+        return net
+
+    return build(True), build(False)
+
+
+class TestCheckFeasibility:
+    @pytest.mark.parametrize("method", ["expansion", "qbf"])
+    def test_fixable(self, method):
+        impl, spec = fixable_instance()
+        m = build_miter(impl, spec, [impl.node_by_name("u")])
+        res = check_feasibility(m, method=method)
+        assert res.feasible is True
+        assert res.method == method
+
+    @pytest.mark.parametrize("method", ["expansion", "qbf"])
+    def test_unfixable(self, method):
+        impl, spec = unfixable_instance()
+        m = build_miter(impl, spec, [impl.node_by_name("z")])
+        res = check_feasibility(m, method=method)
+        assert res.feasible is False
+        assert res.witness is not None
+        # the witness input must indeed be unfixable: both z values differ
+        assign = dict(res.witness)
+        for n_val in (0, 1):
+            full = dict(assign)
+            full[m.target_pis[0]] = n_val
+            assert m.net.evaluate_pos(full)["miter"] == 1
+
+    def test_auto_selects_expansion_for_few_targets(self):
+        impl, spec = fixable_instance()
+        m = build_miter(impl, spec, [impl.node_by_name("u")])
+        res = check_feasibility(m, method="auto")
+        assert res.method == "expansion"
+
+    def test_qbf_collects_countermoves(self):
+        impl, spec = fixable_instance()
+        m = build_miter(impl, spec, [impl.node_by_name("u")])
+        res = check_feasibility(m, method="qbf")
+        assert res.feasible
+        assert res.countermoves
+
+    def test_unknown_method_rejected(self):
+        impl, spec = fixable_instance()
+        m = build_miter(impl, spec, [impl.node_by_name("u")])
+        with pytest.raises(ValueError):
+            check_feasibility(m, method="nope")
+
+
+class TestCec:
+    def test_equivalent(self):
+        net = random_network(n_pi=4, n_gates=20, seed=6)
+        assert cec(net, net.clone()).equivalent is True
+
+    def test_strash_equivalent(self):
+        from repro.network import strash_network
+
+        net = random_network(n_pi=5, n_gates=30, seed=7)
+        assert cec(net, strash_network(net)).equivalent is True
+
+    def test_inequivalent_with_counterexample(self):
+        impl, spec = fixable_instance()
+        res = cec(impl, spec)
+        assert res.equivalent is False
+        cex = res.counterexample
+        impl_o = impl.evaluate_pos(
+            {p: cex[impl.node(p).name] for p in impl.pis}
+        )
+        spec_o = spec.evaluate_pos(
+            {p: cex[spec.node(p).name] for p in spec.pis}
+        )
+        assert impl_o != spec_o
+
+
+class TestCecPreprocessed:
+    def test_equivalent_with_preprocessing(self):
+        from repro.network import strash_network
+
+        net = random_network(n_pi=5, n_gates=30, seed=17)
+        assert cec(net, strash_network(net), preprocess=True).equivalent
+
+    def test_counterexample_with_preprocessing(self):
+        impl, spec = fixable_instance()
+        res = cec(impl, spec, preprocess=True)
+        assert res.equivalent is False
+        cex = res.counterexample
+        impl_o = impl.evaluate_pos(
+            {p: cex[impl.node(p).name] for p in impl.pis}
+        )
+        spec_o = spec.evaluate_pos(
+            {p: cex[spec.node(p).name] for p in spec.pis}
+        )
+        assert impl_o != spec_o

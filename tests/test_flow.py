@@ -1,0 +1,129 @@
+"""Tests for Dinic max-flow and minimum node cuts."""
+
+import random
+
+import pytest
+
+from repro.flow import FlowNetwork, min_node_cut
+
+
+class TestMaxFlow:
+    def test_single_edge(self):
+        net = FlowNetwork()
+        net.add_edge("s", "t", 5)
+        assert net.max_flow("s", "t") == 5
+
+    def test_series_bottleneck(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 10)
+        net.add_edge("a", "t", 3)
+        assert net.max_flow("s", "t") == 3
+
+    def test_parallel_paths(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 4)
+        net.add_edge("a", "t", 4)
+        net.add_edge("s", "b", 6)
+        net.add_edge("b", "t", 6)
+        assert net.max_flow("s", "t") == 10
+
+    def test_classic_diamond(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 10)
+        net.add_edge("s", "b", 10)
+        net.add_edge("a", "b", 1)
+        net.add_edge("a", "t", 8)
+        net.add_edge("b", "t", 10)
+        assert net.max_flow("s", "t") == 18
+
+    def test_disconnected(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 4)
+        net.add_edge("b", "t", 4)
+        assert net.max_flow("s", "t") == 0
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork()
+        with pytest.raises(ValueError):
+            net.add_edge("s", "t", -1)
+
+    def test_residual_reachability_gives_cut(self):
+        net = FlowNetwork()
+        net.add_edge("s", "a", 2)
+        net.add_edge("a", "t", 1)
+        net.max_flow("s", "t")
+        reach = net.min_cut_reachable("s")
+        assert "s" in reach
+        assert "a" in reach  # s->a not saturated (2 > 1)
+        assert "t" not in reach
+
+
+class TestMinNodeCut:
+    def test_single_chain(self):
+        # s -> a -> b -> t; cheapest node wins
+        weight, cut = min_node_cut(
+            [("a", "b"), ("b", "snk")],
+            sources=["a"],
+            sink="snk",
+            node_weights={"a": 5, "b": 2},
+        )
+        assert weight == 2
+        assert cut == {"b"}
+
+    def test_diamond_prefers_single_articulation(self):
+        #   a   b        (sources, weight 3 each)
+        #    \ /
+        #     c          (weight 4)
+        #     |
+        #    snk
+        edges = [("a", "c"), ("b", "c"), ("c", "snk")]
+        weight, cut = min_node_cut(
+            edges, ["a", "b"], "snk", {"a": 3, "b": 3, "c": 4}
+        )
+        assert weight == 4
+        assert cut == {"c"}
+
+    def test_uncuttable_node_forces_alternative(self):
+        edges = [("a", "c"), ("b", "c"), ("c", "snk")]
+        weight, cut = min_node_cut(
+            edges, ["a", "b"], "snk", {"a": 3, "b": 3}
+        )  # c has no weight -> uncuttable
+        assert weight == 6
+        assert cut == {"a", "b"}
+
+    def test_no_finite_cut(self):
+        edges = [("a", "snk")]
+        weight, cut = min_node_cut(edges, ["a"], "snk", {})
+        assert weight == float("inf")
+        assert cut == set()
+
+    def test_cut_separates(self):
+        # random DAG: verify the returned cut actually separates
+        rng = random.Random(7)
+        for trial in range(20):
+            n = rng.randint(4, 10)
+            edges = []
+            for v in range(1, n):
+                for _ in range(rng.randint(1, 2)):
+                    u = rng.randrange(v)
+                    edges.append((u, v))
+            sinks = n - 1
+            sources = [0]
+            weights = {v: rng.randint(1, 9) for v in range(n)}
+            weight, cut = min_node_cut(edges, sources, sinks, weights)
+            if weight == float("inf"):
+                continue
+            # removing cut nodes must disconnect sources from sink
+            adj = {}
+            for u, v in edges:
+                adj.setdefault(u, []).append(v)
+            stack = [s for s in sources if s not in cut]
+            seen = set(stack)
+            while stack:
+                u = stack.pop()
+                for v in adj.get(u, []):
+                    if v not in cut and v not in seen:
+                        seen.add(v)
+                        stack.append(v)
+            assert sinks not in seen, (trial, edges, cut)
+            assert weight == sum(weights[v] for v in cut)

@@ -1,0 +1,108 @@
+"""Tests for the Table 1 harness (configs, rows, geomeans, formatting)."""
+
+import math
+
+import pytest
+
+from repro.benchgen import (
+    METHODS,
+    UnitRow,
+    config_for,
+    format_table,
+    geomean,
+    geomean_ratios,
+    run_unit,
+    unit_spec,
+)
+from repro.core.patch import EcoResult
+
+
+def fake_result(cost, gates, runtime):
+    return EcoResult(
+        instance_name="x",
+        patches=[],
+        cost=cost,
+        gate_count=gates,
+        verified=True,
+        runtime_seconds=runtime,
+        method="sat",
+    )
+
+
+def fake_row(name, costs, gates, times):
+    row = UnitRow(
+        name=name, n_pi=4, n_po=2, gates_impl=10, gates_spec=12, n_targets=1
+    )
+    for m, c, g, t in zip(METHODS, costs, gates, times):
+        row.results[m] = fake_result(c, g, t)
+    return row
+
+
+class TestConfigFor:
+    def test_method_presets(self):
+        spec = unit_spec("unit2")
+        assert config_for(spec, "baseline").support_method == "analyze_final"
+        assert config_for(spec, "minassump").support_method == "minassump"
+        assert config_for(spec, "satprune_cegarmin").support_method == "satprune"
+
+    def test_force_structural_respected(self):
+        spec = unit_spec("unit6")
+        cfg = config_for(spec, "minassump")
+        assert cfg.structural_only
+        assert cfg.feasibility_method == "qbf"
+
+    def test_non_structural_unit_uses_sat_flow(self):
+        spec = unit_spec("unit2")
+        assert not config_for(spec, "minassump").structural_only
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([8]) == pytest.approx(8.0)
+
+    def test_skips_nonpositive(self):
+        assert geomean([0, 4]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+
+    def test_ratios_normalize_baseline(self):
+        rows = [
+            fake_row("a", (100, 50, 25), (10, 5, 5), (1.0, 2.0, 4.0)),
+            fake_row("b", (200, 50, 50), (20, 10, 8), (1.0, 2.0, 8.0)),
+        ]
+        ratios = geomean_ratios(rows)
+        base = ratios[METHODS[0]]
+        assert base["cost"] == pytest.approx(1.0)
+        assert base["gates"] == pytest.approx(1.0)
+        assert base["time"] == pytest.approx(1.0)
+        mid = ratios[METHODS[1]]
+        assert mid["cost"] == pytest.approx(math.sqrt(0.5 * 0.25))
+        assert mid["time"] == pytest.approx(2.0)
+
+    def test_zero_costs_floored(self):
+        rows = [fake_row("a", (0, 0, 0), (0, 0, 0), (1.0, 1.0, 1.0))]
+        ratios = geomean_ratios(rows)
+        assert ratios[METHODS[1]]["cost"] == pytest.approx(1.0)
+
+
+class TestFormatTable:
+    def test_contains_all_units_and_geomean(self):
+        rows = [
+            fake_row("unitA", (10, 5, 4), (3, 2, 1), (0.1, 0.2, 0.3)),
+            fake_row("unitB", (30, 6, 6), (9, 4, 4), (0.1, 0.2, 0.4)),
+        ]
+        text = format_table(rows)
+        assert "unitA" in text and "unitB" in text
+        assert "Geomean" in text
+        # header mentions every method column
+        for m in METHODS:
+            assert f"cost[{m}]" in text
+
+
+class TestRunUnit:
+    def test_single_method_run(self):
+        spec = unit_spec("unit1")
+        row = run_unit(spec, methods=["minassump"])
+        assert row.name == "unit1"
+        assert "minassump" in row.results
+        assert row.results["minassump"].verified

@@ -1,0 +1,140 @@
+"""Cross-module integration and property-based end-to-end tests.
+
+The central invariant of the whole system: for any corrupted golden
+circuit, the engine's patches make the implementation equivalent to the
+specification again — under every configuration and every weight
+distribution.
+"""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    EcoEngine,
+    EcoInstance,
+    baseline_config,
+    best_config,
+    cec,
+    contest_config,
+)
+from repro.benchgen import corrupt, generate_weights, make_specification
+from repro.core import apply_patches
+from repro.io import parse_verilog, write_verilog
+
+from helpers import random_network
+
+
+def build_random_instance(seed, n_targets, n_gates=30, wtype="T8"):
+    golden = random_network(
+        n_pi=4 + seed % 3, n_gates=n_gates, n_po=3, seed=seed
+    )
+    impl, targets, _ = corrupt(golden, n_targets, seed=seed * 7 + 1)
+    spec = make_specification(golden)
+    weights = generate_weights(impl, wtype, seed=seed)
+    return EcoInstance(
+        name=f"prop{seed}", impl=impl, spec=spec, targets=targets, weights=weights
+    )
+
+
+class TestEndToEndProperty:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_targets=st.integers(min_value=1, max_value=3),
+        wtype=st.sampled_from(["T1", "T3", "T4", "T8"]),
+    )
+    def test_patch_restores_equivalence(self, seed, n_targets, wtype):
+        inst = build_random_instance(seed, n_targets, wtype=wtype)
+        res = EcoEngine(contest_config()).run(inst)
+        assert res.verified
+        patched = apply_patches(inst.impl, res.patches)
+        assert cec(patched, inst.spec).equivalent
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_all_configs_agree_on_verification(self, seed):
+        inst = build_random_instance(seed, n_targets=1, n_gates=24)
+        for cfg in (baseline_config(), contest_config(), best_config()):
+            res = EcoEngine(cfg).run(inst)
+            assert res.verified
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_structural_flow_property(self, seed):
+        inst = build_random_instance(seed, n_targets=2, n_gates=26)
+        cfg = dataclasses.replace(
+            best_config(), structural_only=True, feasibility_method="qbf"
+        )
+        res = EcoEngine(cfg).run(inst)
+        assert res.verified
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_patch_support_is_never_in_target_tfo(self, seed):
+        from repro.network.traversal import tfo
+
+        inst = build_random_instance(seed, n_targets=2)
+        res = EcoEngine(contest_config()).run(inst)
+        target_ids = [inst.impl.node_by_name(t) for t in inst.targets]
+        forbidden = tfo(inst.impl, target_ids)
+        forbidden_names = {
+            inst.impl.node(n).name for n in forbidden if inst.impl.node(n).name
+        }
+        for p in res.patches:
+            assert not (set(p.support) & forbidden_names)
+
+
+class TestRoundTripIntegration:
+    def test_instance_survives_disk_roundtrip_and_solves(self, tmp_path):
+        inst = build_random_instance(42, n_targets=2)
+        d = str(tmp_path / "unit")
+        inst.save(d)
+        again = EcoInstance.load(d)
+        res = EcoEngine(contest_config()).run(again)
+        assert res.verified
+
+    def test_patched_netlist_exports_to_verilog(self):
+        inst = build_random_instance(17, n_targets=1)
+        res = EcoEngine(contest_config()).run(inst)
+        patched = apply_patches(inst.impl, res.patches)
+        patched.cleanup()
+        text = write_verilog(patched)
+        back = parse_verilog(text)
+        assert cec(back, inst.spec).equivalent
+
+
+class TestCostMonotonicity:
+    def test_uniform_weights_cost_equals_support_size(self):
+        inst = build_random_instance(5, n_targets=1)
+        inst.weights = {k: 1 for k in inst.weights}
+        res = EcoEngine(contest_config()).run(inst)
+        assert res.cost == len(res.support)
+
+    def test_scaling_weights_scales_cost(self):
+        inst1 = build_random_instance(6, n_targets=1)
+        inst2 = build_random_instance(6, n_targets=1)
+        inst2.weights = {k: v * 10 for k, v in inst1.weights.items()}
+        r1 = EcoEngine(contest_config()).run(inst1)
+        r2 = EcoEngine(contest_config()).run(inst2)
+        # same preference order => same supports => 10x cost
+        assert r2.cost == 10 * r1.cost

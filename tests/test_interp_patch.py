@@ -1,0 +1,90 @@
+"""Tests for the interpolation-based patch route (expression (3))."""
+
+import dataclasses
+
+import pytest
+
+from repro import EcoEngine, contest_config
+from repro.core import (
+    InterpolationPatchError,
+    build_miter,
+    build_quantified_miter,
+    interpolation_patch,
+)
+from repro.network import GateType, Network
+
+from helpers import all_minterms
+
+
+def simple_instance():
+    """impl corrupts u = a&b into a|b; f = u ^ c."""
+
+    def build(corrupt):
+        net = Network()
+        a, b, c = (net.add_pi(x) for x in "abc")
+        u = net.add_gate(GateType.OR if corrupt else GateType.AND, [a, b], "u")
+        f = net.add_gate(GateType.XOR, [u, c], "f")
+        net.add_po(f, "o")
+        return net
+
+    return build(True), build(False)
+
+
+class TestInterpolationPatch:
+    def _qm(self, divisors):
+        impl, spec = simple_instance()
+        ids = {impl.node_by_name(n): n for n in divisors}
+        t = impl.node_by_name("u")
+        m = build_miter(impl, spec, [t])
+        qm = build_quantified_miter(
+            m, m.target_pis[0], divisors={i: m.impl_map[i] for i in ids}
+        )
+        return impl, spec, qm, ids
+
+    def test_patch_over_pis_correct(self):
+        impl, spec, qm, ids = self._qm(["a", "b"])
+        support_ids = sorted(ids)
+        res = interpolation_patch(qm, support_ids, {i: n for i, n in ids.items()})
+        assert set(res.support) <= {"a", "b"}
+        # interpolant must equal a & b on the care set (all minterms here)
+        for bits in all_minterms(2):
+            assign = {
+                res.network.node_by_name(n): v
+                for n, v in zip(["a", "b"], bits)
+                if res.network.has_name(n)
+            }
+            got = res.network.evaluate_pos(assign)["itp"]
+            assert got == (bits[0] & bits[1])
+
+    def test_insufficient_divisors_raise(self):
+        impl, spec, qm, ids = self._qm(["c"])
+        with pytest.raises(InterpolationPatchError):
+            interpolation_patch(qm, sorted(ids), {i: n for i, n in ids.items()})
+
+    def test_engine_route_verifies(self):
+        import sys
+
+        from repro.benchgen import corrupt, generate_weights, make_specification
+        from repro.io import EcoInstance
+
+        from helpers import random_network
+
+        for seed in (1, 5, 9):
+            golden = random_network(n_pi=5, n_gates=30, n_po=3, seed=seed)
+            impl, targets, _ = corrupt(golden, 2, seed=seed + 3)
+            inst = EcoInstance(
+                "it",
+                impl,
+                make_specification(golden),
+                targets,
+                generate_weights(impl, "T4", seed=seed),
+            )
+            cfg = dataclasses.replace(
+                contest_config(), patch_function_method="interpolation"
+            )
+            res = EcoEngine(cfg).run(inst)
+            assert res.verified
+            assert all(
+                p.method in ("interpolation", "structural", "cegar_min")
+                for p in res.patches
+            )

@@ -1,0 +1,90 @@
+"""Tests for resolution-proof interpolation (McMillan system)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat import InterpolationError, Solver, interpolant, mklit
+
+from helpers import all_minterms
+
+
+def _random_partitioned_unsat(seed):
+    """Random UNSAT CNF split into A (first half) and B clauses."""
+    rng = random.Random(seed)
+    nv = rng.randint(3, 7)
+    clauses = []
+    for _ in range(int(7.0 * nv)):
+        k = rng.randint(1, 3)
+        clauses.append(
+            [mklit(rng.randrange(nv), rng.random() < 0.5) for _ in range(k)]
+        )
+    s = Solver(proof_logging=True)
+    s.new_vars(nv)
+    a_cids, b_cids = [], []
+    half = len(clauses) // 2
+    for i, c in enumerate(clauses):
+        s.add_clause(c)
+        (a_cids if i < half else b_cids).append(s.last_clause_cid)
+    return s, clauses[:half], clauses[half:], a_cids, b_cids, nv
+
+
+def _eval_clauses(clauses, bits):
+    return all(any(bits[l >> 1] ^ (l & 1) for l in c) for c in clauses)
+
+
+class TestInterpolant:
+    def test_requires_proof_logging(self):
+        s = Solver()
+        with pytest.raises(InterpolationError):
+            interpolant(s, [], [])
+
+    def test_requires_refutation(self):
+        s = Solver(proof_logging=True)
+        a = s.new_var()
+        s.add_clause([mklit(a)])
+        assert s.solve()
+        with pytest.raises(InterpolationError):
+            interpolant(s, [], [])
+
+    def test_simple_separation(self):
+        s = Solver(proof_logging=True)
+        x, a, b = s.new_vars(3)
+        acids, bcids = [], []
+        for lits, acc in (
+            ([mklit(a)], acids),
+            ([mklit(a, True), mklit(x)], acids),
+            ([mklit(b)], bcids),
+            ([mklit(b, True), mklit(x, True)], bcids),
+        ):
+            s.add_clause(lits)
+            acc.append(s.last_clause_cid)
+        assert not s.solve()
+        net, v2pi = interpolant(s, acids, bcids, {x: "x"})
+        assert net.evaluate_pos({v2pi[x]: 1})["itp"] == 1
+        assert net.evaluate_pos({v2pi[x]: 0})["itp"] == 0
+
+    def test_craig_properties_random(self):
+        """A ⇒ I and I ∧ B unsat, with support in shared variables."""
+        verified = 0
+        for seed in range(60):
+            s, a_cl, b_cl, a_cids, b_cids, nv = _random_partitioned_unsat(seed)
+            if s.empty_clause_cid is None and s.solve():
+                continue
+            net, v2pi = interpolant(s, a_cids, b_cids)
+            itp_vars = set(v2pi)
+            a_vars = {l >> 1 for c in a_cl for l in c}
+            b_vars = {l >> 1 for c in b_cl for l in c}
+            assert itp_vars <= (a_vars & b_vars)
+            for bits in all_minterms(nv):
+                pi_assign = {
+                    v2pi[v]: bits[v] for v in itp_vars
+                }
+                i_val = net.evaluate_pos(pi_assign)["itp"]
+                if _eval_clauses(a_cl, bits):
+                    assert i_val == 1, ("A does not imply I", seed, bits)
+                if _eval_clauses(b_cl, bits):
+                    assert i_val == 0, ("I does not rule out B", seed, bits)
+            verified += 1
+        assert verified >= 10  # enough UNSAT splits actually exercised

@@ -1,0 +1,204 @@
+"""Tests for Verilog/BLIF/.bench/weights I/O and the instance container."""
+
+import os
+
+import pytest
+
+from repro.io import (
+    EcoInstance,
+    VerilogError,
+    parse_bench,
+    parse_blif,
+    parse_verilog,
+    parse_weights,
+    write_bench,
+    write_blif,
+    write_verilog,
+    write_weights,
+)
+from repro.network import GateType, Network
+
+from helpers import networks_equivalent_brute, random_network
+
+
+class TestVerilog:
+    def test_parse_simple_module(self):
+        text = """
+        // a tiny module
+        module top (a, b, y);
+          input a, b;
+          output y;
+          wire w;
+          and g1 (w, a, b);
+          not g2 (y, w);
+        endmodule
+        """
+        net = parse_verilog(text)
+        assert net.num_pis == 2
+        assert net.num_pos == 1
+        a, b = net.node_by_name("a"), net.node_by_name("b")
+        assert net.evaluate_pos({a: 1, b: 1})["y"] == 0
+        assert net.evaluate_pos({a: 0, b: 1})["y"] == 1
+
+    def test_parse_constants_and_assign(self):
+        text = """
+        module top (a, y);
+          input a;
+          output y;
+          wire k;
+          assign k = 1'b1;
+          and g (y, a, k);
+        endmodule
+        """
+        net = parse_verilog(text)
+        a = net.node_by_name("a")
+        assert net.evaluate_pos({a: 1})["y"] == 1
+        assert net.evaluate_pos({a: 0})["y"] == 0
+
+    def test_block_comments_stripped(self):
+        text = "module t (a, y); /* c1 \n c2 */ input a; output y; buf g (y, a); endmodule"
+        net = parse_verilog(text)
+        assert net.num_pis == 1
+
+    def test_missing_driver_rejected(self):
+        text = "module t (a, y); input a; output y; and g (y, a, ghost); endmodule"
+        with pytest.raises(VerilogError):
+            parse_verilog(text)
+
+    def test_double_drive_rejected(self):
+        text = (
+            "module t (a, y); input a; output y;"
+            " not g1 (y, a); not g2 (y, a); endmodule"
+        )
+        with pytest.raises(VerilogError):
+            parse_verilog(text)
+
+    def test_no_module_rejected(self):
+        with pytest.raises(VerilogError):
+            parse_verilog("wire x;")
+
+    def test_roundtrip_random(self):
+        for seed in range(6):
+            net = random_network(n_pi=4, n_gates=20, seed=seed)
+            again = parse_verilog(write_verilog(net))
+            assert networks_equivalent_brute(net, again), seed
+
+    def test_roundtrip_po_is_pi(self):
+        net = Network("t")
+        a = net.add_pi("a")
+        net.add_po(a, "y")
+        again = parse_verilog(write_verilog(net))
+        assert networks_equivalent_brute(net, again)
+
+
+class TestBlif:
+    def test_parse_names_block(self):
+        text = """
+        .model m
+        .inputs a b
+        .outputs y
+        .names a b y
+        11 1
+        .end
+        """
+        net = parse_blif(text)
+        a, b = net.node_by_name("a"), net.node_by_name("b")
+        assert net.evaluate_pos({a: 1, b: 1})["y"] == 1
+        assert net.evaluate_pos({a: 1, b: 0})["y"] == 0
+
+    def test_parse_offset_cover(self):
+        text = """
+        .model m
+        .inputs a b
+        .outputs y
+        .names a b y
+        11 0
+        .end
+        """
+        net = parse_blif(text)
+        a, b = net.node_by_name("a"), net.node_by_name("b")
+        assert net.evaluate_pos({a: 1, b: 1})["y"] == 0
+        assert net.evaluate_pos({a: 0, b: 1})["y"] == 1
+
+    def test_parse_constants(self):
+        text = ".model m\n.inputs a\n.outputs y z\n.names y\n1\n.names z\n.end"
+        net = parse_blif(text)
+        a = net.node_by_name("a")
+        vals = net.evaluate_pos({a: 0})
+        assert vals["y"] == 1
+        assert vals["z"] == 0
+
+    def test_roundtrip_random(self):
+        for seed in range(6):
+            net = random_network(n_pi=4, n_gates=18, seed=seed + 50)
+            again = parse_blif(write_blif(net))
+            assert networks_equivalent_brute(net, again), seed
+
+
+class TestBench:
+    def test_parse(self):
+        text = """
+        # comment
+        INPUT(a)
+        INPUT(b)
+        OUTPUT(y)
+        w = NAND(a, b)
+        y = NOT(w)
+        """
+        net = parse_bench(text)
+        a, b = net.node_by_name("a"), net.node_by_name("b")
+        assert net.evaluate_pos({a: 1, b: 1})["y"] == 1
+        assert net.evaluate_pos({a: 0, b: 1})["y"] == 0
+
+    def test_roundtrip_random(self):
+        for seed in range(6):
+            net = random_network(n_pi=4, n_gates=18, seed=seed + 90)
+            again = parse_bench(write_bench(net))
+            assert networks_equivalent_brute(net, again), seed
+
+
+class TestWeights:
+    def test_parse(self):
+        w = parse_weights("a 3\nb 12\n# comment\n\nc 1\n")
+        assert w == {"a": 3, "b": 12, "c": 1}
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_weights("a\n")
+
+    def test_roundtrip(self):
+        w = {"x": 7, "y": 1}
+        assert parse_weights(write_weights(w)) == w
+
+
+class TestEcoInstance:
+    def _instance(self):
+        impl = random_network(n_pi=3, n_gates=10, seed=1, name="impl")
+        spec = impl.clone("spec")
+        return EcoInstance(
+            name="t",
+            impl=impl,
+            spec=spec,
+            targets=["g3"],
+            weights={"g1": 5},
+            default_weight=2,
+        )
+
+    def test_target_ids(self):
+        inst = self._instance()
+        assert inst.target_ids() == [inst.impl.node_by_name("g3")]
+
+    def test_weight_lookup(self):
+        inst = self._instance()
+        assert inst.weight_of(inst.impl.node_by_name("g1")) == 5
+        assert inst.weight_of(inst.impl.node_by_name("g2")) == 2
+
+    def test_save_load_roundtrip(self, tmp_path):
+        inst = self._instance()
+        d = str(tmp_path / "unit")
+        inst.save(d)
+        again = EcoInstance.load(d)
+        assert again.targets == inst.targets
+        assert again.weights == inst.weights
+        assert networks_equivalent_brute(inst.impl, again.impl)
+        assert networks_equivalent_brute(inst.spec, again.spec)

@@ -1,0 +1,174 @@
+"""Tests for truth-table utilities and Minato-Morreale ISOP."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sop import Cube, DC, ONE, Sop, ZERO
+from repro.sop.isop import (
+    cube_tt,
+    isop,
+    isop_refine,
+    sop_to_tt,
+    tt_cofactors,
+    tt_mask,
+    tt_support,
+    tt_var,
+)
+
+
+class TestTruthTables:
+    def test_tt_var(self):
+        # two vars: x0 true on minterms 1, 3; x1 true on 2, 3
+        assert tt_var(0, 2) == 0b1010
+        assert tt_var(1, 2) == 0b1100
+
+    def test_cofactors(self):
+        # f = x0 & x1 -> table 0b1000
+        f = 0b1000
+        neg, pos = tt_cofactors(f, 0, 2)
+        assert neg == 0  # f|x0=0 is 0
+        assert pos == 0b1100  # f|x0=1 is x1
+
+    def test_support(self):
+        f = tt_var(1, 3)  # depends only on x1
+        assert tt_support(f, 3) == [1]
+        g = tt_var(0, 3) & tt_var(2, 3)
+        assert tt_support(g, 3) == [0, 2]
+
+    def test_cube_tt(self):
+        c = Cube([ONE, DC, ZERO])  # x0 & ~x2
+        table = cube_tt(c, 3)
+        for m in range(8):
+            inside = ((m >> 0) & 1) == 1 and ((m >> 2) & 1) == 0
+            assert bool((table >> m) & 1) == inside
+
+    def test_sop_to_tt_roundtrip(self):
+        rng = random.Random(3)
+        for _ in range(15):
+            w = rng.randint(1, 4)
+            sop = Sop(
+                w,
+                [
+                    Cube([rng.choice([ZERO, ONE, DC]) for _ in range(w)])
+                    for _ in range(rng.randint(0, 4))
+                ],
+            )
+            table = sop_to_tt(sop)
+            for m in range(1 << w):
+                minterm = [(m >> i) & 1 for i in range(w)]
+                assert bool((table >> m) & 1) == bool(sop.evaluate(minterm))
+
+
+class TestIsop:
+    def _check_cover(self, cover, onset, upper, n):
+        got = sop_to_tt(cover)
+        assert got & ~upper == 0, "cover exceeds the upper bound"
+        assert onset & ~got == 0, "cover misses onset minterms"
+
+    def test_completely_specified(self):
+        rng = random.Random(7)
+        for _ in range(40):
+            n = rng.randint(1, 4)
+            f = rng.getrandbits(1 << n)
+            cover = isop(f, f, n)
+            self._check_cover(cover, f, f, n)
+
+    def test_with_dont_cares(self):
+        rng = random.Random(11)
+        for _ in range(40):
+            n = rng.randint(1, 4)
+            onset = rng.getrandbits(1 << n)
+            dc = rng.getrandbits(1 << n) & ~onset
+            cover = isop(onset, onset | dc, n)
+            self._check_cover(cover, onset, onset | dc, n)
+
+    def test_constants(self):
+        assert isop(0, 0, 3).num_cubes == 0
+        taut = isop(tt_mask(3), tt_mask(3), 3)
+        assert taut.num_cubes == 1
+        assert taut.cubes[0].num_literals == 0
+
+    def test_onset_outside_upper_rejected(self):
+        with pytest.raises(ValueError):
+            isop(0b10, 0b01, 1)
+
+    def test_dont_cares_shrink_cover(self):
+        # onset = {11}, dc = everything else: single all-DC cube suffices
+        n = 3
+        onset = 1 << 7
+        cover = isop(onset, tt_mask(n), n)
+        assert cover.num_cubes == 1
+        assert cover.cubes[0].num_literals == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_hypothesis_bounds(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=4))
+        onset = data.draw(st.integers(min_value=0, max_value=tt_mask(n)))
+        extra = data.draw(st.integers(min_value=0, max_value=tt_mask(n)))
+        upper = onset | extra
+        cover = isop(onset, upper, n)
+        got = sop_to_tt(cover)
+        assert got & ~upper == 0
+        assert onset & ~got == 0
+
+    def test_irredundant(self):
+        """Dropping any cube must uncover some onset minterm."""
+        rng = random.Random(13)
+        for _ in range(25):
+            n = rng.randint(2, 4)
+            onset = rng.getrandbits(1 << n)
+            dc = rng.getrandbits(1 << n) & ~onset
+            cover = isop(onset, onset | dc, n)
+            for skip in range(cover.num_cubes):
+                rest = Sop(
+                    n, [c for i, c in enumerate(cover.cubes) if i != skip]
+                )
+                assert sop_to_tt(rest) & onset != sop_to_tt(cover) & onset or (
+                    onset & ~sop_to_tt(rest)
+                ), "redundant cube found"
+
+
+class TestIsopRefine:
+    def test_refine_keeps_care_set(self):
+        rng = random.Random(17)
+        for _ in range(25):
+            n = rng.randint(2, 4)
+            onset = rng.getrandbits(1 << n)
+            offset = rng.getrandbits(1 << n) & ~onset
+            on_sop = isop(onset, onset, n)
+            off_sop = isop(offset, offset, n)
+            refined = isop_refine(on_sop, off_sop)
+            table = sop_to_tt(refined)
+            assert table & offset == 0
+            assert onset & ~table == 0
+            assert refined.num_literals <= on_sop.num_literals
+
+    def test_strict_overlap_rejected(self):
+        s = Sop(1, [Cube([ONE])])
+        with pytest.raises(ValueError):
+            isop_refine(s, s, strict=True)
+
+    def test_nonstrict_overlap_is_dont_care(self):
+        # covers overlapping on a DC minterm: refine must not crash and
+        # must respect the disjoint parts of the bounds
+        on = Sop(2, [Cube([ONE, DC])])  # claims 01, 11
+        off = Sop(2, [Cube([DC, ONE])])  # claims 10, 11 (11 = shared DC)
+        refined = isop_refine(on, off)
+        table = sop_to_tt(refined)
+        assert (table >> 0b01) & 1 == 1  # pure onset kept
+        assert (table >> 0b10) & 1 == 0  # pure offset avoided
+
+    def test_refine_can_exploit_dont_cares(self):
+        # onset {00}, offset {11}: the refined cover may grow into the
+        # DC minterms and drop to a single literal
+        on = Sop(2, [Cube([ZERO, ZERO])])
+        off = Sop(2, [Cube([ONE, ONE])])
+        refined = isop_refine(on, off)
+        assert refined.num_literals <= 2
+        table = sop_to_tt(refined)
+        assert (table >> 0b00) & 1 == 1
+        assert (table >> 0b11) & 1 == 0

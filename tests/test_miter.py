@@ -1,0 +1,144 @@
+"""Tests for ECO miter construction and windowing."""
+
+import itertools
+
+import pytest
+
+from repro.core import MITER_PO, build_miter
+from repro.network import GateType, Network, compute_window
+
+from helpers import all_minterms, random_network
+
+
+def two_versions():
+    """Golden f=(a&b)|c, g=a^c; impl corrupts 'ab' into OR."""
+
+    def build(corrupt):
+        net = Network("n")
+        a, b, c = (net.add_pi(x) for x in "abc")
+        gt = GateType.OR if corrupt else GateType.AND
+        ab = net.add_gate(gt, [a, b], "ab")
+        f = net.add_gate(GateType.OR, [ab, c], "f")
+        g = net.add_gate(GateType.XOR, [a, c], "g")
+        net.add_po(f, "of")
+        net.add_po(g, "og")
+        return net
+
+    return build(True), build(False)
+
+
+class TestBuildMiter:
+    def test_miter_detects_difference(self):
+        impl, spec = two_versions()
+        m = build_miter(impl, spec, targets=[])
+        values = {}
+        hit = False
+        for bits in all_minterms(3):
+            assign = {pi: bits[i] for i, pi in enumerate(m.x_pis)}
+            out = m.net.evaluate_pos(assign)[MITER_PO]
+            names = [m.net.node(p).name for p in m.x_pis]
+            ref = dict(zip(names, bits))
+            diff = (
+                impl.evaluate_pos(
+                    {impl.node_by_name(n): v for n, v in ref.items()}
+                )
+                != spec.evaluate_pos(
+                    {spec.node_by_name(n): v for n, v in ref.items()}
+                )
+            )
+            assert out == (1 if diff else 0)
+            hit = hit or out
+        assert hit  # the corruption is observable
+
+    def test_equivalent_circuits_miter_is_zero(self):
+        net = random_network(n_pi=4, n_gates=15, seed=2)
+        m = build_miter(net, net.clone(), targets=[])
+        for bits in all_minterms(4):
+            assign = {pi: bits[i] for i, pi in enumerate(m.x_pis)}
+            assert m.net.evaluate_pos(assign)[MITER_PO] == 0
+
+    def test_freed_target_makes_miter_fixable(self):
+        impl, spec = two_versions()
+        target = impl.node_by_name("ab")
+        m = build_miter(impl, spec, targets=[target])
+        assert len(m.target_pis) == 1
+        n = m.target_pis[0]
+        # with n = a&b the miter must be 0 everywhere
+        for bits in all_minterms(3):
+            assign = {pi: bits[i] for i, pi in enumerate(m.x_pis)}
+            names = {m.net.node(p).name: bits[i] for i, p in enumerate(m.x_pis)}
+            assign[n] = names["a"] & names["b"]
+            assert m.net.evaluate_pos(assign)[MITER_PO] == 0
+
+    def test_po_restriction(self):
+        impl, spec = two_versions()
+        # compare only 'og' (index 1): the corruption in 'ab' is invisible
+        m = build_miter(impl, spec, targets=[], po_indices=[1])
+        for bits in all_minterms(3):
+            assign = {pi: bits[i] for i, pi in enumerate(m.x_pis)}
+            assert m.net.evaluate_pos(assign)[MITER_PO] == 0
+
+    def test_po_name_mismatch_rejected(self):
+        impl, _ = two_versions()
+        other = Network("o")
+        other.add_pi("a")
+        other.add_po(other.add_const(0), "different")
+        with pytest.raises(ValueError):
+            build_miter(impl, other, targets=[])
+
+    def test_target_driving_po_directly(self):
+        impl = Network("i")
+        a, b = impl.add_pi("a"), impl.add_pi("b")
+        g = impl.add_gate(GateType.AND, [a, b], "g")
+        impl.add_po(g, "o")
+        spec = Network("s")
+        a2, b2 = spec.add_pi("a"), spec.add_pi("b")
+        spec.add_po(spec.add_gate(GateType.OR, [a2, b2], "g2"), "o")
+        m = build_miter(impl, spec, targets=[g])
+        n = m.target_pis[0]
+        # the PO compares the *freed* variable, so n = a|b fixes it
+        for bits in all_minterms(2):
+            assign = {pi: bits[i] for i, pi in enumerate(m.x_pis)}
+            assign[n] = bits[0] | bits[1]
+            assert m.net.evaluate_pos(assign)[MITER_PO] == 0
+
+
+class TestWindow:
+    def test_window_pos_are_target_tfo(self):
+        impl, spec = two_versions()
+        target = impl.node_by_name("ab")
+        w = compute_window(impl, spec, [target])
+        # 'ab' reaches only 'of' (PO index 0)
+        assert w.po_indices == [0]
+
+    def test_divisors_exclude_target_tfo(self):
+        impl, spec = two_versions()
+        target = impl.node_by_name("ab")
+        w = compute_window(impl, spec, [target])
+        assert target not in w.divisors
+        assert impl.node_by_name("f") not in w.divisors
+        # 'g' is outside the TFO and has window-PI support
+        assert impl.node_by_name("g") in w.divisors
+
+    def test_window_pis(self):
+        impl, spec = two_versions()
+        target = impl.node_by_name("ab")
+        w = compute_window(impl, spec, [target])
+        names = {impl.node(p).name for p in w.impl_window_pis}
+        assert names == {"a", "b", "c"}
+
+    def test_po_mismatch_rejected(self):
+        impl, _ = two_versions()
+        bad = Network("b")
+        bad.add_pi("a")
+        bad.add_po(bad.add_const(1), "zzz")
+        with pytest.raises(ValueError):
+            compute_window(impl, bad, [impl.node_by_name("ab")])
+
+    def test_multi_target_window(self):
+        impl, spec = two_versions()
+        t1 = impl.node_by_name("ab")
+        t2 = impl.node_by_name("g")
+        w = compute_window(impl, spec, [t1, t2])
+        assert w.po_indices == [0, 1]
+        assert t1 not in w.divisors and t2 not in w.divisors

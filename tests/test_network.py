@@ -1,0 +1,277 @@
+"""Unit tests for the Boolean-network substrate."""
+
+import pytest
+
+from repro.network import (
+    GateType,
+    Network,
+    NetworkError,
+    depth,
+    eval_gate,
+    levels,
+    support,
+    tfi,
+    tfo,
+    tfo_pos,
+)
+
+from helpers import networks_equivalent_brute, random_network
+
+
+class TestGateEval:
+    def test_and(self):
+        assert eval_gate(GateType.AND, [1, 1]) == 1
+        assert eval_gate(GateType.AND, [1, 0]) == 0
+        assert eval_gate(GateType.AND, [1, 1, 1]) == 1
+        assert eval_gate(GateType.AND, [1, 1, 0]) == 0
+
+    def test_or(self):
+        assert eval_gate(GateType.OR, [0, 0]) == 0
+        assert eval_gate(GateType.OR, [0, 1]) == 1
+
+    def test_nand_nor(self):
+        assert eval_gate(GateType.NAND, [1, 1]) == 0
+        assert eval_gate(GateType.NAND, [0, 1]) == 1
+        assert eval_gate(GateType.NOR, [0, 0]) == 1
+        assert eval_gate(GateType.NOR, [1, 0]) == 0
+
+    def test_xor_xnor(self):
+        assert eval_gate(GateType.XOR, [1, 0]) == 1
+        assert eval_gate(GateType.XOR, [1, 1]) == 0
+        assert eval_gate(GateType.XOR, [1, 1, 1]) == 1
+        assert eval_gate(GateType.XNOR, [1, 0]) == 0
+        assert eval_gate(GateType.XNOR, [1, 1]) == 1
+
+    def test_not_buf(self):
+        assert eval_gate(GateType.NOT, [0]) == 1
+        assert eval_gate(GateType.NOT, [1]) == 0
+        assert eval_gate(GateType.BUF, [1]) == 1
+
+    def test_mux_selects_d1_when_s(self):
+        # fanins (s, d0, d1)
+        assert eval_gate(GateType.MUX, [1, 0, 1]) == 1
+        assert eval_gate(GateType.MUX, [1, 1, 0]) == 0
+        assert eval_gate(GateType.MUX, [0, 1, 0]) == 1
+        assert eval_gate(GateType.MUX, [0, 0, 1]) == 0
+
+    def test_consts(self):
+        assert eval_gate(GateType.CONST0, []) == 0
+        assert eval_gate(GateType.CONST1, [], mask=0b111) == 0b111
+
+    def test_bit_parallel(self):
+        mask = 0b1111
+        assert eval_gate(GateType.AND, [0b1100, 0b1010], mask) == 0b1000
+        assert eval_gate(GateType.NOT, [0b1100], mask) == 0b0011
+        assert eval_gate(GateType.XOR, [0b1100, 0b1010], mask) == 0b0110
+
+    def test_pi_has_no_function(self):
+        with pytest.raises(ValueError):
+            eval_gate(GateType.PI, [])
+
+
+class TestNetworkConstruction:
+    def test_add_pi_and_gate(self):
+        net = Network("n")
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        g = net.add_gate(GateType.AND, [a, b], "g")
+        net.add_po(g, "o")
+        assert net.num_pis == 2
+        assert net.num_pos == 1
+        assert net.num_gates == 1
+        assert net.node_by_name("g") == g
+
+    def test_duplicate_name_rejected(self):
+        net = Network()
+        net.add_pi("a")
+        with pytest.raises(NetworkError):
+            net.add_pi("a")
+
+    def test_bad_arity_rejected(self):
+        net = Network()
+        a = net.add_pi("a")
+        with pytest.raises(NetworkError):
+            net.add_gate(GateType.AND, [a])
+        with pytest.raises(NetworkError):
+            net.add_gate(GateType.NOT, [a, a])
+        with pytest.raises(NetworkError):
+            net.add_gate(GateType.MUX, [a, a])
+
+    def test_const_nodes_shared(self):
+        net = Network()
+        assert net.add_const(0) == net.add_const(0)
+        assert net.add_const(1) == net.add_const(1)
+        assert net.add_const(0) != net.add_const(1)
+
+    def test_unknown_node_raises(self):
+        net = Network()
+        with pytest.raises(NetworkError):
+            net.node(7)
+        with pytest.raises(NetworkError):
+            net.node_by_name("zzz")
+
+    def test_fanouts_maintained(self):
+        net = Network()
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        g = net.add_gate(GateType.AND, [a, b])
+        h = net.add_gate(GateType.OR, [g, a])
+        assert net.fanouts(a) == {g, h}
+        assert net.fanouts(g) == {h}
+
+
+class TestMutation:
+    def test_set_fanins_changes_function(self):
+        net = Network()
+        a, b = net.add_pi("a"), net.add_pi("b")
+        g = net.add_gate(GateType.AND, [a, b], "g")
+        net.add_po(g, "o")
+        assert net.evaluate_pos({a: 1, b: 0})["o"] == 0
+        net.set_fanins(g, GateType.OR, [a, b])
+        assert net.evaluate_pos({a: 1, b: 0})["o"] == 1
+
+    def test_set_fanins_updates_fanouts(self):
+        net = Network()
+        a, b, c = net.add_pi("a"), net.add_pi("b"), net.add_pi("c")
+        g = net.add_gate(GateType.AND, [a, b])
+        net.set_fanins(g, GateType.AND, [a, c])
+        assert g not in net.fanouts(b)
+        assert g in net.fanouts(c)
+
+    def test_cannot_mutate_pi(self):
+        net = Network()
+        a = net.add_pi("a")
+        with pytest.raises(NetworkError):
+            net.set_fanins(a, GateType.BUF, [a])
+
+    def test_substitute_redirects_fanouts_and_pos(self):
+        net = Network()
+        a, b = net.add_pi("a"), net.add_pi("b")
+        g = net.add_gate(GateType.AND, [a, b])
+        h = net.add_gate(GateType.NOT, [g])
+        net.add_po(g, "o1")
+        net.add_po(h, "o2")
+        net.substitute(g, a)
+        assert net.node(h).fanins == [a]
+        assert dict(net.pos)["o1"] == a
+
+    def test_free_pi_for(self):
+        net = Network()
+        a, b = net.add_pi("a"), net.add_pi("b")
+        g = net.add_gate(GateType.AND, [a, b], "g")
+        h = net.add_gate(GateType.NOT, [g])
+        net.add_po(h, "o")
+        pi = net.free_pi_for(g)
+        assert net.node(pi).is_pi
+        assert net.node(h).fanins == [pi]
+        # freed node g keeps its old function but is dangling
+        assert net.node(g).gtype is GateType.AND
+
+    def test_cleanup_removes_dangling(self):
+        net = Network()
+        a, b = net.add_pi("a"), net.add_pi("b")
+        g = net.add_gate(GateType.AND, [a, b])
+        dangling = net.add_gate(GateType.OR, [a, b])
+        extra = net.add_gate(GateType.NOT, [dangling])
+        net.add_po(g, "o")
+        removed = net.cleanup()
+        assert removed == 2
+        assert not net.has_node(dangling)
+        assert not net.has_node(extra)
+        assert net.has_node(g)
+        assert net.has_node(a)  # PIs always kept
+
+
+class TestCloneAppendEvaluate:
+    def test_clone_is_equivalent(self):
+        for seed in range(5):
+            net = random_network(n_pi=4, n_gates=18, seed=seed)
+            assert networks_equivalent_brute(net, net.clone())
+
+    def test_clone_preserves_interface(self):
+        net = random_network(seed=3)
+        c = net.clone()
+        assert [net.node(p).name for p in net.pis] == [
+            c.node(p).name for p in c.pis
+        ]
+        assert net.po_names() == c.po_names()
+
+    def test_append_shares_inputs(self):
+        host = Network("host")
+        x = host.add_pi("x")
+        other = Network("other")
+        a = other.add_pi("a")
+        g = other.add_gate(GateType.NOT, [a], "g")
+        other.add_po(g, "o")
+        mapping = host.append(other, {a: x})
+        host.add_po(mapping[g], "o")
+        assert host.evaluate_pos({x: 0})["o"] == 1
+        assert host.evaluate_pos({x: 1})["o"] == 0
+
+    def test_append_requires_full_input_map(self):
+        host = Network()
+        other = Network()
+        other.add_pi("a")
+        with pytest.raises(NetworkError):
+            host.append(other, {})
+
+    def test_topo_order_respects_fanins(self):
+        net = random_network(seed=11)
+        position = {n.nid: i for i, n in enumerate(net.topo_order())}
+        for node in net.nodes():
+            for f in node.fanins:
+                assert position[f] < position[node.nid]
+
+    def test_evaluate_bit_parallel_matches_scalar(self):
+        net = random_network(n_pi=4, n_gates=15, seed=7)
+        pis = net.pis
+        mask = (1 << 16) - 1
+        words = {p: (0x5A3C ^ (0x1111 * i)) & mask for i, p in enumerate(pis)}
+        par = net.evaluate(words, mask)
+        for bit in range(16):
+            scalar = net.evaluate({p: (words[p] >> bit) & 1 for p in pis})
+            for nid, word in par.items():
+                assert ((word >> bit) & 1) == scalar[nid]
+
+
+class TestTraversal:
+    def _diamond(self):
+        net = Network()
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        l = net.add_gate(GateType.NOT, [a], "l")
+        r = net.add_gate(GateType.NOT, [b], "r")
+        m = net.add_gate(GateType.AND, [l, r], "m")
+        top = net.add_gate(GateType.OR, [m, a], "top")
+        net.add_po(top, "o")
+        return net, (a, b, l, r, m, top)
+
+    def test_tfi(self):
+        net, (a, b, l, r, m, top) = self._diamond()
+        assert tfi(net, [m]) == {a, b, l, r, m}
+        assert tfi(net, [m], include_roots=False) == {a, b, l, r}
+
+    def test_tfo(self):
+        net, (a, b, l, r, m, top) = self._diamond()
+        assert tfo(net, [l]) == {l, m, top}
+        assert tfo(net, [a]) == {a, l, m, top}
+
+    def test_tfo_pos(self):
+        net, (a, b, l, r, m, top) = self._diamond()
+        assert tfo_pos(net, [b]) == [0]
+        net.add_po(b, "o2")
+        assert tfo_pos(net, [l]) == [0]
+
+    def test_levels_and_depth(self):
+        net, (a, b, l, r, m, top) = self._diamond()
+        lev = levels(net)
+        assert lev[a] == 0
+        assert lev[l] == 1
+        assert lev[m] == 2
+        assert lev[top] == 3
+        assert depth(net) == 3
+
+    def test_support(self):
+        net, (a, b, l, r, m, top) = self._diamond()
+        assert support(net, m) == {a, b}
+        assert support(net, l) == {a}

@@ -1,0 +1,123 @@
+"""Tests for Patch objects and patch insertion."""
+
+import pytest
+
+from repro.core import Patch, apply_patch, apply_patches
+from repro.network import GateType, Network
+
+from helpers import all_minterms
+
+
+def host_network():
+    net = Network("host")
+    a, b, c = (net.add_pi(x) for x in "abc")
+    u = net.add_gate(GateType.OR, [a, b], "u")  # to be re-driven
+    v = net.add_gate(GateType.AND, [b, c], "v")
+    f = net.add_gate(GateType.XOR, [u, v], "f")
+    net.add_po(f, "o")
+    return net
+
+
+def and_patch(target="u", support=("a", "b")):
+    pnet = Network("p")
+    pis = [pnet.add_pi(s) for s in support]
+    g = pnet.add_gate(GateType.AND, list(pis))
+    pnet.add_po(g, target)
+    return Patch(
+        target=target,
+        network=pnet,
+        support=list(support),
+        cost=0,
+        gate_count=pnet.num_gates,
+        method="test",
+    )
+
+
+class TestApplyPatch:
+    def test_target_function_replaced(self):
+        net = host_network()
+        apply_patch(net, and_patch())
+        a, b, c = (net.node_by_name(x) for x in "abc")
+        for bits in all_minterms(3):
+            out = net.evaluate_pos(dict(zip((a, b, c), bits)))["o"]
+            u = bits[0] & bits[1]
+            v = bits[1] & bits[2]
+            assert out == (u ^ v), bits
+
+    def test_fanouts_see_new_function(self):
+        net = host_network()
+        apply_patch(net, and_patch())
+        u = net.node_by_name("u")
+        assert net.node(u).gtype is GateType.BUF
+
+    def test_patch_over_internal_signal(self):
+        net = host_network()
+        # patch u := NOT(v), reading the internal signal v
+        pnet = Network("p")
+        v = pnet.add_pi("v")
+        g = pnet.add_gate(GateType.NOT, [v])
+        pnet.add_po(g, "u")
+        patch = Patch("u", pnet, ["v"], 0, 1, "test")
+        apply_patch(net, patch)
+        a, b, c = (net.node_by_name(x) for x in "abc")
+        for bits in all_minterms(3):
+            out = net.evaluate_pos(dict(zip((a, b, c), bits)))["o"]
+            v_val = bits[1] & bits[2]
+            assert out == ((1 - v_val) ^ v_val)
+
+    def test_missing_support_rejected(self):
+        net = host_network()
+        patch = and_patch(support=("a", "ghost"))
+        with pytest.raises(ValueError):
+            apply_patch(net, patch)
+
+    def test_apply_patches_clones(self):
+        net = host_network()
+        before = net.num_gates
+        patched = apply_patches(net, [and_patch()])
+        assert net.num_gates == before  # original untouched
+        assert patched.num_gates > before
+
+    def test_patch_whose_output_is_an_input(self):
+        # degenerate patch: u := v (a bare wire)
+        net = host_network()
+        pnet = Network("p")
+        v = pnet.add_pi("v")
+        pnet.add_po(v, "u")
+        apply_patch(net, Patch("u", pnet, ["v"], 0, 0, "test"))
+        a, b, c = (net.node_by_name(x) for x in "abc")
+        for bits in all_minterms(3):
+            out = net.evaluate_pos(dict(zip((a, b, c), bits)))["o"]
+            v_val = bits[1] & bits[2]
+            assert out == (v_val ^ v_val)
+
+    def test_sequential_patches_stack(self):
+        net = host_network()
+        apply_patch(net, and_patch("u", ("a", "b")))
+        # second patch re-drives v := OR(a, c)
+        pnet = Network("p2")
+        a = pnet.add_pi("a")
+        c = pnet.add_pi("c")
+        g = pnet.add_gate(GateType.OR, [a, c])
+        pnet.add_po(g, "v")
+        apply_patch(net, Patch("v", pnet, ["a", "c"], 0, 1, "test"))
+        ai, bi, ci = (net.node_by_name(x) for x in "abc")
+        for bits in all_minterms(3):
+            out = net.evaluate_pos(dict(zip((ai, bi, ci), bits)))["o"]
+            assert out == ((bits[0] & bits[1]) ^ (bits[0] | bits[2]))
+
+
+class TestEcoResultSupport:
+    def test_support_union_sorted_unique(self):
+        from repro.core import EcoResult
+
+        res = EcoResult(
+            instance_name="x",
+            patches=[and_patch("u", ("b", "a")), and_patch("v", ("a", "c"))],
+            cost=0,
+            gate_count=2,
+            verified=True,
+            runtime_seconds=0.0,
+            method="sat",
+        )
+        assert res.support == ["a", "b", "c"]

@@ -1,0 +1,218 @@
+"""Tests for cube-enumeration patch computation (Section 3.5)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import (
+    EnumerationStats,
+    PatchEnumerationError,
+    enumerate_patch_sop,
+)
+from repro.network import GateType, Network
+from repro.sat import Solver, encode_network, mklit
+
+from helpers import all_minterms, random_network
+
+
+def _setup(net_f, net_onset_name="f"):
+    """Encode a network with a single PO 'f'; returns solver + vars."""
+    solver = Solver()
+    varmap = encode_network(solver, net_f)
+    out = varmap[dict(net_f.pos)[net_onset_name]]
+    return solver, varmap, out
+
+
+def express_function(net, divisor_ids, order=None):
+    """Express the PO of ``net`` over the given divisors via enumeration.
+
+    Mirrors the resubstitution use of enumerate_patch_sop: onset when
+    f = 1, offset when f = 0.
+    """
+    solver, varmap, out = _setup(net)
+    div_vars = [varmap[d] for d in (order or divisor_ids)]
+    stats = EnumerationStats()
+    sop = enumerate_patch_sop(
+        solver,
+        onset_base=[mklit(out)],
+        offset_base=[mklit(out, True)],
+        divisor_vars=div_vars,
+        blocking_extra=[mklit(out, True)],
+        stats=stats,
+    )
+    return sop, stats
+
+
+class TestEnumerateOverOwnSupport:
+    def test_and_gate(self):
+        net = Network()
+        a, b = net.add_pi("a"), net.add_pi("b")
+        net.add_po(net.add_gate(GateType.AND, [a, b]), "f")
+        sop, stats = express_function(net, [a, b])
+        assert sop.num_cubes == 1
+        assert sop.evaluate([1, 1]) == 1
+        assert sop.evaluate([1, 0]) == 0
+        assert stats.cubes == 1
+
+    def test_xor_gate_needs_two_cubes(self):
+        net = Network()
+        a, b = net.add_pi("a"), net.add_pi("b")
+        net.add_po(net.add_gate(GateType.XOR, [a, b]), "f")
+        sop, _ = express_function(net, [a, b])
+        assert sop.num_cubes == 2
+        for m in all_minterms(2):
+            assert sop.evaluate(list(m)) == (m[0] ^ m[1])
+
+    def test_constant_zero(self):
+        net = Network()
+        a = net.add_pi("a")
+        na = net.add_gate(GateType.NOT, [a])
+        net.add_po(net.add_gate(GateType.AND, [a, na]), "f")
+        sop, _ = express_function(net, [a])
+        assert sop.num_cubes == 0
+
+    def test_constant_one(self):
+        net = Network()
+        a = net.add_pi("a")
+        na = net.add_gate(GateType.NOT, [a])
+        net.add_po(net.add_gate(GateType.OR, [a, na]), "f")
+        sop, _ = express_function(net, [a])
+        # tautology: one all-DC cube
+        assert sop.num_cubes == 1
+        assert sop.cubes[0].num_literals == 0
+
+    def test_random_functions_reconstructed(self):
+        for seed in range(10):
+            net = random_network(n_pi=4, n_gates=12, n_po=1, seed=seed + 300)
+            # rename the PO to 'f'
+            po_name, po_node = net.pos[0]
+            net.rename_po(0, "f")
+            pis = net.pis
+            sop, _ = express_function(net, pis)
+            for m in all_minterms(4):
+                ref = net.evaluate_pos(dict(zip(pis, m)))["f"]
+                assert sop.evaluate(list(m)) == ref, (seed, m)
+
+    def test_cubes_are_prime(self):
+        """No literal of any cube can be dropped without hitting the offset."""
+        for seed in (2, 5, 8):
+            net = random_network(n_pi=4, n_gates=10, n_po=1, seed=seed + 40)
+            po_name, po_node = net.pos[0]
+            net.rename_po(0, "f")
+            pis = net.pis
+            sop, _ = express_function(net, pis)
+            offset = [
+                m for m in all_minterms(4)
+                if net.evaluate_pos(dict(zip(pis, m)))["f"] == 0
+            ]
+            for cube in sop:
+                for pos in list(cube.literals()):
+                    bigger = cube.expand(pos)
+                    assert any(
+                        bigger.contains(list(m)) for m in offset
+                    ), (seed, cube, pos)
+
+
+class TestEnumerationOverInternalDivisors:
+    def test_function_of_divisors(self):
+        # f = (a&b) | (c&d); divisors u=a&b, v=c&d: f = u | v
+        net = Network()
+        a, b, c, d = (net.add_pi(x) for x in "abcd")
+        u = net.add_gate(GateType.AND, [a, b], "u")
+        v = net.add_gate(GateType.AND, [c, d], "v")
+        net.add_po(net.add_gate(GateType.OR, [u, v]), "f")
+        sop, _ = express_function(net, [u, v])
+        assert sop.num_cubes == 2
+        assert sop.evaluate([1, 0]) == 1
+        assert sop.evaluate([0, 1]) == 1
+        assert sop.evaluate([0, 0]) == 0
+
+    def test_insufficient_divisors_detected(self):
+        # f = a&b cannot be expressed over divisor c alone
+        net = Network()
+        a, b, c = (net.add_pi(x) for x in "abc")
+        net.add_po(net.add_gate(GateType.AND, [a, b]), "f")
+        solver, varmap, out = _setup(net)
+        with pytest.raises(PatchEnumerationError):
+            enumerate_patch_sop(
+                solver,
+                onset_base=[mklit(out)],
+                offset_base=[mklit(out, True)],
+                divisor_vars=[varmap[c]],
+                blocking_extra=[mklit(out, True)],
+            )
+
+    def test_cube_cap(self):
+        # parity of 4 variables needs 8 minterm cubes; cap at 3
+        net = Network()
+        pis = [net.add_pi(f"x{i}") for i in range(4)]
+        net.add_po(net.add_gate(GateType.XOR, pis), "f")
+        solver, varmap, out = _setup(net)
+        with pytest.raises(PatchEnumerationError):
+            enumerate_patch_sop(
+                solver,
+                onset_base=[mklit(out)],
+                offset_base=[mklit(out, True)],
+                divisor_vars=[varmap[p] for p in pis],
+                blocking_extra=[mklit(out, True)],
+                max_cubes=3,
+            )
+
+
+class TestModes:
+    def test_analyze_final_mode_also_correct(self):
+        for seed in (1, 4):
+            net = random_network(n_pi=4, n_gates=10, n_po=1, seed=seed + 77)
+            po_name, po_node = net.pos[0]
+            net.rename_po(0, "f")
+            pis = net.pis
+            solver, varmap, out = _setup(net)
+            sop = enumerate_patch_sop(
+                solver,
+                onset_base=[mklit(out)],
+                offset_base=[mklit(out, True)],
+                divisor_vars=[varmap[p] for p in pis],
+                blocking_extra=[mklit(out, True)],
+                mode="analyze_final",
+            )
+            for m in all_minterms(4):
+                ref = net.evaluate_pos(dict(zip(pis, m)))["f"]
+                assert sop.evaluate(list(m)) == ref
+
+    def test_minassump_cubes_never_more_literals(self):
+        """Algorithm-1 expansion gives cubes at most as large (in total
+        literal count) as the analyze_final baseline on average."""
+        totals = {"minassump": 0, "analyze_final": 0}
+        for seed in range(6):
+            net = random_network(n_pi=4, n_gates=12, n_po=1, seed=seed + 500)
+            po_name, po_node = net.pos[0]
+            net.rename_po(0, "f")
+            pis = net.pis
+            for mode in totals:
+                solver, varmap, out = _setup(net)
+                sop = enumerate_patch_sop(
+                    solver,
+                    onset_base=[mklit(out)],
+                    offset_base=[mklit(out, True)],
+                    divisor_vars=[varmap[p] for p in pis],
+                    blocking_extra=[mklit(out, True)],
+                    mode=mode,
+                )
+                totals[mode] += sop.num_literals
+        assert totals["minassump"] <= totals["analyze_final"]
+
+    def test_unknown_mode_rejected(self):
+        net = Network()
+        a = net.add_pi("a")
+        net.add_po(a, "f")
+        solver, varmap, out = _setup(net)
+        with pytest.raises(ValueError):
+            enumerate_patch_sop(
+                solver,
+                onset_base=[mklit(out)],
+                offset_base=[mklit(out, True)],
+                divisor_vars=[varmap[a]],
+                blocking_extra=[mklit(out, True)],
+                mode="bogus",
+            )

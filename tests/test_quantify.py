@@ -1,0 +1,125 @@
+"""Tests for universal quantification of targets by expansion."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    QMITER_PO,
+    build_miter,
+    build_quantified_miter,
+    enumerate_assignments,
+)
+from repro.network import GateType, Network
+
+from helpers import all_minterms
+
+
+def instance_with_two_targets():
+    """impl corrupts both 'u' and 'v' of golden u=a&b, v=b|c, f=u^v."""
+
+    def build(corrupt):
+        net = Network()
+        a, b, c = (net.add_pi(x) for x in "abc")
+        u = net.add_gate(GateType.OR if corrupt else GateType.AND, [a, b], "u")
+        v = net.add_gate(GateType.AND if corrupt else GateType.OR, [b, c], "v")
+        f = net.add_gate(GateType.XOR, [u, v], "f")
+        net.add_po(f, "o")
+        return net
+
+    return build(True), build(False)
+
+
+class TestEnumerateAssignments:
+    def test_counts(self):
+        assert len(enumerate_assignments([])) == 1
+        assert len(enumerate_assignments([5])) == 2
+        assert len(enumerate_assignments([5, 9, 12])) == 8
+
+    def test_all_distinct(self):
+        assigns = enumerate_assignments([1, 2])
+        keys = {tuple(sorted(a.items())) for a in assigns}
+        assert len(keys) == 4
+
+
+class TestQuantifiedMiter:
+    def test_full_quantification_semantics(self):
+        """qmiter(x) must equal AND over target values of miter(n, x)."""
+        impl, spec = instance_with_two_targets()
+        targets = [impl.node_by_name("u"), impl.node_by_name("v")]
+        m = build_miter(impl, spec, targets)
+        qm = build_quantified_miter(m, current_target_pi=None)
+        assert qm.num_copies == 4
+        for bits in all_minterms(3):
+            assign = {pi: bits[i] for i, pi in enumerate(qm.x_pis)}
+            got = qm.net.evaluate_pos(assign)[QMITER_PO]
+            expected = 1
+            for n_bits in all_minterms(2):
+                full = {pi: bits[i] for i, pi in enumerate(m.x_pis)}
+                full.update(dict(zip(m.target_pis, n_bits)))
+                expected &= m.net.evaluate_pos(full)["miter"]
+            assert got == expected, bits
+
+    def test_current_target_survives(self):
+        impl, spec = instance_with_two_targets()
+        targets = [impl.node_by_name("u"), impl.node_by_name("v")]
+        m = build_miter(impl, spec, targets)
+        qm = build_quantified_miter(m, current_target_pi=m.target_pis[0])
+        assert qm.target_pi is not None
+        assert qm.num_copies == 2
+        # qmiter(n0, x) == AND over n1 of miter(n0, n1, x)
+        for bits in all_minterms(3):
+            for n0 in (0, 1):
+                assign = {pi: bits[i] for i, pi in enumerate(qm.x_pis)}
+                assign[qm.target_pi] = n0
+                got = qm.net.evaluate_pos(assign)[QMITER_PO]
+                expected = 1
+                for n1 in (0, 1):
+                    full = {pi: bits[i] for i, pi in enumerate(m.x_pis)}
+                    full[m.target_pis[0]] = n0
+                    full[m.target_pis[1]] = n1
+                    expected &= m.net.evaluate_pos(full)["miter"]
+                assert got == expected
+
+    def test_divisor_tracking(self):
+        impl, spec = instance_with_two_targets()
+        t = impl.node_by_name("u")
+        m = build_miter(impl, spec, [t])
+        # track divisor 'v' (outside u's TFO? v is parallel to u)
+        div = impl.node_by_name("v")
+        qm = build_quantified_miter(
+            m, m.target_pis[0], divisors={div: m.impl_map[div]}
+        )
+        node = qm.divisor_nodes[div]
+        for bits in all_minterms(3):
+            assign = {pi: bits[i] for i, pi in enumerate(qm.x_pis)}
+            assign[qm.target_pi] = 0
+            values = qm.net.evaluate(assign)
+            names = {qm.net.node(p).name: assign[p] for p in qm.x_pis}
+            # corrupted v = b & c
+            assert values[node] == (names["b"] & names["c"]), bits
+
+    def test_partial_expansion_subset(self):
+        impl, spec = instance_with_two_targets()
+        targets = [impl.node_by_name("u"), impl.node_by_name("v")]
+        m = build_miter(impl, spec, targets)
+        subset = [{m.target_pis[1]: 0}]
+        qm = build_quantified_miter(m, m.target_pis[0], assignments=subset)
+        assert qm.num_copies == 1
+        # the partial product over-approximates the true quantification
+        for bits in all_minterms(3):
+            for n0 in (0, 1):
+                assign = {pi: bits[i] for i, pi in enumerate(qm.x_pis)}
+                assign[qm.target_pi] = n0
+                got = qm.net.evaluate_pos(assign)[QMITER_PO]
+                full = {pi: bits[i] for i, pi in enumerate(m.x_pis)}
+                full[m.target_pis[0]] = n0
+                full[m.target_pis[1]] = 0
+                assert got == m.net.evaluate_pos(full)["miter"]
+
+    def test_single_target_no_copies(self):
+        impl, spec = instance_with_two_targets()
+        t = impl.node_by_name("u")
+        m = build_miter(impl, spec, [t])
+        qm = build_quantified_miter(m, m.target_pis[0])
+        assert qm.num_copies == 1

@@ -1,0 +1,278 @@
+"""Unit and property tests for the CDCL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import (
+    SatBudgetExceeded,
+    Solver,
+    check_proof,
+    from_dimacs,
+    mklit,
+    neg,
+    to_dimacs,
+)
+
+from helpers import brute_sat
+
+
+class TestLiterals:
+    def test_mklit_neg_roundtrip(self):
+        for v in range(5):
+            assert neg(mklit(v)) == mklit(v, True)
+            assert neg(neg(mklit(v))) == mklit(v)
+
+    def test_dimacs_roundtrip(self):
+        for d in (1, -1, 5, -9):
+            assert to_dimacs(from_dimacs(d)) == d
+
+    def test_dimacs_zero_rejected(self):
+        with pytest.raises(ValueError):
+            from_dimacs(0)
+
+
+class TestBasicSolving:
+    def test_empty_problem_is_sat(self):
+        assert Solver().solve()
+
+    def test_unit_clause(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([mklit(a)])
+        assert s.solve()
+        assert s.model_value(mklit(a)) == 1
+
+    def test_contradictory_units(self):
+        s = Solver()
+        a = s.new_var()
+        assert s.add_clause([mklit(a)])
+        assert not s.add_clause([mklit(a, True)])
+        assert not s.solve()
+
+    def test_empty_clause_unsat(self):
+        s = Solver()
+        assert not s.add_clause([])
+        assert not s.solve()
+
+    def test_duplicate_literals_collapsed(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([mklit(a), mklit(a)])
+        assert s.solve()
+        assert s.model_value(mklit(a)) == 1
+
+    def test_tautology_ignored(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([mklit(a), mklit(a, True)])
+        assert s.solve()
+
+    def test_implication_chain(self):
+        s = Solver()
+        vs = s.new_vars(30)
+        for i in range(29):
+            s.add_clause([mklit(vs[i], True), mklit(vs[i + 1])])
+        s.add_clause([mklit(vs[0])])
+        assert s.solve()
+        assert s.model_value(mklit(vs[29])) == 1
+
+    def test_xor_unsat(self):
+        # x != y, y != z, z != x over booleans is UNSAT
+        s = Solver()
+        x, y, z = s.new_vars(3)
+        for a, b in ((x, y), (y, z), (z, x)):
+            s.add_clause([mklit(a), mklit(b)])
+            s.add_clause([mklit(a, True), mklit(b, True)])
+        assert not s.solve()
+
+
+class TestAssumptions:
+    def _chain(self):
+        s = Solver()
+        a, b, c = s.new_vars(3)
+        s.add_clause([mklit(a, True), mklit(b)])
+        s.add_clause([mklit(b, True), mklit(c)])
+        return s, a, b, c
+
+    def test_sat_under_assumptions(self):
+        s, a, b, c = self._chain()
+        assert s.solve([mklit(a)])
+        assert s.model_value(mklit(c)) == 1
+
+    def test_unsat_under_assumptions_with_core(self):
+        s, a, b, c = self._chain()
+        assert not s.solve([mklit(a), mklit(c, True)])
+        core = set(s.failed_core())
+        assert core <= {mklit(a), mklit(c, True)}
+        assert core  # non-empty
+
+    def test_solver_usable_after_unsat_assumptions(self):
+        s, a, b, c = self._chain()
+        assert not s.solve([mklit(a), mklit(c, True)])
+        assert s.solve([mklit(a)])
+        assert s.solve([mklit(c, True)])
+        assert s.model_value(mklit(a)) == 0
+
+    def test_contradictory_assumptions(self):
+        s = Solver()
+        a = s.new_var()
+        assert not s.solve([mklit(a), mklit(a, True)])
+        core = set(s.failed_core())
+        assert mklit(a) in core or mklit(a, True) in core
+
+    def test_core_is_sound(self):
+        # the core, asserted alone, must still be UNSAT
+        rng = random.Random(11)
+        for _ in range(25):
+            nv = rng.randint(3, 9)
+            s = Solver()
+            s.new_vars(nv)
+            for _ in range(rng.randint(5, 25)):
+                c = [
+                    mklit(rng.randrange(nv), rng.random() < 0.5)
+                    for _ in range(rng.randint(1, 3))
+                ]
+                if not s.add_clause(c):
+                    break
+            assum = [
+                mklit(v, rng.random() < 0.5)
+                for v in rng.sample(range(nv), min(nv, 4))
+            ]
+            if s.solve(assum):
+                continue
+            core = s.failed_core()
+            assert set(core) <= set(assum)
+            assert not s.solve(core)
+
+
+class TestBudget:
+    def test_budget_raises(self):
+        # pigeonhole 7/6 needs far more than 3 conflicts
+        s = Solver()
+        v = [[s.new_var() for _ in range(6)] for _ in range(7)]
+        for p in range(7):
+            s.add_clause([mklit(v[p][h]) for h in range(6)])
+        for h in range(6):
+            for p1 in range(7):
+                for p2 in range(p1 + 1, 7):
+                    s.add_clause([mklit(v[p1][h], True), mklit(v[p2][h], True)])
+        with pytest.raises(SatBudgetExceeded):
+            s.solve(budget_conflicts=3)
+        # and succeeds without a budget
+        assert not s.solve()
+
+
+class TestAgainstBruteForce:
+    def test_random_instances(self):
+        rng = random.Random(2018)
+        for trial in range(150):
+            nv = rng.randint(1, 8)
+            clauses = [
+                [
+                    mklit(rng.randrange(nv), rng.random() < 0.5)
+                    for _ in range(rng.randint(1, 3))
+                ]
+                for _ in range(rng.randint(1, 32))
+            ]
+            s = Solver()
+            s.new_vars(nv)
+            ok = all(s.add_clause(c) for c in clauses)
+            got = s.solve() if ok else False
+            assert got == brute_sat(clauses, nv), clauses
+            if got:
+                for c in clauses:
+                    assert any(s.model_value(l) for l in c)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_hypothesis_instances(self, data):
+        nv = data.draw(st.integers(min_value=1, max_value=7))
+        clauses = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=2 * nv - 1),
+                    min_size=1,
+                    max_size=4,
+                ),
+                min_size=0,
+                max_size=24,
+            )
+        )
+        s = Solver()
+        s.new_vars(nv)
+        ok = all(s.add_clause(c) for c in clauses)
+        got = s.solve() if ok else False
+        assert got == brute_sat(clauses, nv)
+
+
+class TestStructured:
+    def test_pigeonhole_unsat(self):
+        for n in (4, 5, 6):
+            s = Solver()
+            v = [[s.new_var() for _ in range(n - 1)] for _ in range(n)]
+            for p in range(n):
+                s.add_clause([mklit(v[p][h]) for h in range(n - 1)])
+            for h in range(n - 1):
+                for p1 in range(n):
+                    for p2 in range(p1 + 1, n):
+                        s.add_clause(
+                            [mklit(v[p1][h], True), mklit(v[p2][h], True)]
+                        )
+            assert not s.solve()
+
+    def test_incremental_reuse(self):
+        s = Solver()
+        vs = s.new_vars(20)
+        rng = random.Random(5)
+        for _ in range(60):
+            s.add_clause(
+                [mklit(rng.choice(vs), rng.random() < 0.5) for _ in range(3)]
+            )
+        r1 = s.solve()
+        for _ in range(20):
+            assert s.solve() == r1
+        # adding clauses after solving is allowed
+        a = s.new_var()
+        s.add_clause([mklit(a)])
+        assert s.solve() == r1
+
+
+class TestProofLogging:
+    def _random_unsat_solver(self, seed):
+        rng = random.Random(seed)
+        nv = rng.randint(4, 10)
+        s = Solver(proof_logging=True)
+        s.new_vars(nv)
+        for _ in range(int(6.5 * nv)):
+            c = [
+                mklit(rng.randrange(nv), rng.random() < 0.5)
+                for _ in range(3)
+            ]
+            if not s.add_clause(c):
+                return s
+        return s
+
+    def test_proofs_check(self):
+        checked_any = False
+        for seed in range(30):
+            s = self._random_unsat_solver(seed)
+            if s.solve():
+                continue
+            check_proof(s)
+            checked_any = True
+        assert checked_any
+
+    def test_empty_clause_derivation(self):
+        s = Solver(proof_logging=True)
+        a, b = s.new_vars(2)
+        s.add_clause([mklit(a), mklit(b)])
+        s.add_clause([mklit(a), mklit(b, True)])
+        s.add_clause([mklit(a, True), mklit(b)])
+        s.add_clause([mklit(a, True), mklit(b, True)])
+        assert not s.solve()
+        assert s.empty_clause_cid is not None
+        check_proof(s)

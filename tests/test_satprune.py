@@ -1,0 +1,104 @@
+"""Tests for SAT-based exact pruning (minimum-cost support search)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import SatPruneStats, sat_prune
+
+
+def monotone_oracle(feasible_cores):
+    """Feasible iff the subset contains at least one core entirely."""
+
+    def is_feasible(ids):
+        s = set(ids)
+        return any(core <= s for core in feasible_cores)
+
+    return is_feasible
+
+
+def brute_minimum(items, cost, is_feasible):
+    best = None
+    best_cost = None
+    for r in range(len(items) + 1):
+        for combo in itertools.combinations(items, r):
+            if is_feasible(combo):
+                c = sum(cost[i] for i in combo)
+                if best_cost is None or c < best_cost:
+                    best, best_cost = set(combo), c
+    return best_cost
+
+
+class TestSatPrune:
+    def test_single_core(self):
+        items = [0, 1, 2, 3]
+        cost = {0: 5, 1: 2, 2: 9, 3: 1}
+        oracle = monotone_oracle([{1, 3}])
+        best = sat_prune(items, cost, oracle)
+        assert best == [1, 3]
+
+    def test_picks_cheapest_core(self):
+        items = list(range(6))
+        cost = {0: 4, 1: 4, 2: 1, 3: 1, 4: 1, 5: 100}
+        oracle = monotone_oracle([{0, 1}, {2, 3, 4}])
+        best = sat_prune(items, cost, oracle)
+        assert best == [2, 3, 4]  # cost 3 beats cost 8
+
+    def test_empty_set_feasible(self):
+        best = sat_prune([0, 1], {0: 1, 1: 1}, lambda ids: True)
+        assert best == []
+
+    def test_infeasible_returns_none(self):
+        best = sat_prune([0, 1], {0: 1, 1: 1}, lambda ids: False)
+        assert best is None
+
+    def test_initial_solution_bounds_search(self):
+        items = [0, 1]
+        cost = {0: 1, 1: 1}
+        stats = SatPruneStats()
+        best = sat_prune(
+            items,
+            cost,
+            monotone_oracle([{0}]),
+            initial_solution=[0],
+            stats=stats,
+        )
+        assert best == [0]
+
+    def test_matches_brute_force_random(self):
+        rng = random.Random(77)
+        for trial in range(30):
+            n = rng.randint(3, 7)
+            items = list(range(n))
+            cost = {i: rng.randint(1, 9) for i in items}
+            cores = [
+                set(rng.sample(items, rng.randint(1, max(1, n // 2))))
+                for _ in range(rng.randint(1, 3))
+            ]
+            oracle = monotone_oracle(cores)
+            best = sat_prune(items, cost, oracle, grow=bool(trial % 2))
+            expect = brute_minimum(items, cost, oracle)
+            got = sum(cost[i] for i in best) if best is not None else None
+            assert got == expect, (trial, cores, cost, best)
+
+    def test_grow_reduces_blocking_clauses(self):
+        items = list(range(8))
+        cost = {i: 1 for i in items}
+        oracle = monotone_oracle([{6, 7}])
+        s_grow = SatPruneStats()
+        sat_prune(items, cost, monotone_oracle([{6, 7}]), grow=True, stats=s_grow)
+        s_plain = SatPruneStats()
+        sat_prune(items, cost, oracle, grow=False, stats=s_plain)
+        assert s_grow.blocking_clauses <= s_plain.blocking_clauses
+
+    def test_check_budget_respected(self):
+        calls = SatPruneStats()
+        sat_prune(
+            list(range(10)),
+            {i: 1 for i in range(10)},
+            lambda ids: False,
+            max_checks=5,
+            stats=calls,
+        )
+        assert calls.feasibility_checks <= 5

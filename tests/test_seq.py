@@ -1,0 +1,202 @@
+"""Tests for the sequential ECO extension (repro.seq)."""
+
+import random
+
+import pytest
+
+from repro.network import GateType, Network, NetworkError
+from repro.seq import (
+    Latch,
+    SeqEcoError,
+    SeqNetwork,
+    parse_seq_bench,
+    run_sequential_eco,
+    seq_cec,
+    transition_equivalent,
+    unroll,
+    write_seq_bench,
+)
+
+
+def counter2(corrupt=False, name="cnt"):
+    """2-bit counter with enable; q1 toggles when q0 (buggy: OR)."""
+    core = Network(name)
+    en = core.add_pi("en")
+    q0 = core.add_pi("q0")
+    q1 = core.add_pi("q1")
+    n0 = core.add_gate(GateType.XOR, [q0, en], "n0")
+    carry_t = GateType.OR if corrupt else GateType.AND
+    carry = core.add_gate(carry_t, [q0, en], "carry")
+    n1 = core.add_gate(GateType.XOR, [q1, carry], "n1")
+    core.add_po(q1, "msb")
+    core.add_po(q0, "lsb")
+    latches = [
+        Latch("q0", q0, n0, init=0),
+        Latch("q1", q1, n1, init=0),
+    ]
+    return SeqNetwork(core, latches)
+
+
+class TestSeqNetwork:
+    def test_counter_counts(self):
+        cnt = counter2()
+        en = cnt.core.node_by_name("en")
+        trace = cnt.simulate([{en: 1}] * 5)
+        values = [(o["msb"], o["lsb"]) for o in trace]
+        # outputs show the *pre-clock* state each cycle
+        assert values == [(0, 0), (0, 1), (1, 0), (1, 1), (0, 0)]
+
+    def test_enable_freezes(self):
+        cnt = counter2()
+        en = cnt.core.node_by_name("en")
+        trace = cnt.simulate([{en: 1}, {en: 0}, {en: 0}, {en: 1}])
+        values = [(o["msb"], o["lsb"]) for o in trace]
+        assert values == [(0, 0), (0, 1), (0, 1), (0, 1)]
+
+    def test_latch_output_must_be_pi(self):
+        core = Network()
+        a = core.add_pi("a")
+        g = core.add_gate(GateType.NOT, [a], "g")
+        with pytest.raises(NetworkError):
+            SeqNetwork(core, [Latch("g", g, a)])
+
+    def test_clone_behaves_identically(self):
+        cnt = counter2()
+        twin = cnt.clone()
+        en1 = cnt.core.node_by_name("en")
+        en2 = twin.core.node_by_name("en")
+        rng = random.Random(5)
+        seq = [{en1: rng.getrandbits(1)} for _ in range(12)]
+        seq2 = [{en2: s[en1]} for s in seq]
+        assert cnt.simulate(seq) == twin.simulate(seq2)
+
+    def test_true_pis_excludes_latches(self):
+        cnt = counter2()
+        assert [cnt.core.node(p).name for p in cnt.true_pis] == ["en"]
+
+
+class TestUnroll:
+    def test_unrolled_matches_step_simulation(self):
+        cnt = counter2()
+        frames = 5
+        unrolled = unroll(cnt, frames)
+        en = cnt.core.node_by_name("en")
+        rng = random.Random(3)
+        for _ in range(10):
+            bits = [rng.getrandbits(1) for _ in range(frames)]
+            ref = cnt.simulate([{en: b} for b in bits])
+            assign = {
+                unrolled.node_by_name(f"en@{t}"): bits[t]
+                for t in range(frames)
+            }
+            got = unrolled.evaluate_pos(assign)
+            for t in range(frames):
+                assert got[f"msb@{t}"] == ref[t]["msb"], (bits, t)
+                assert got[f"lsb@{t}"] == ref[t]["lsb"]
+
+    def test_free_initial_state(self):
+        cnt = counter2()
+        unrolled = unroll(cnt, 2, from_initial_state=False)
+        names = {unrolled.node(p).name for p in unrolled.pis}
+        assert "q0@0" in names and "q1@0" in names
+
+    def test_zero_frames_rejected(self):
+        with pytest.raises(ValueError):
+            unroll(counter2(), 0)
+
+
+class TestSeqVerify:
+    def test_equivalent_counters(self):
+        assert seq_cec(counter2(), counter2(), frames=6).equivalent
+        assert transition_equivalent(counter2(), counter2()).equivalent
+
+    def test_corrupted_counter_detected(self):
+        good, bad = counter2(), counter2(corrupt=True)
+        res = seq_cec(good, bad, frames=6)
+        assert res.equivalent is False
+        assert res.counterexample is not None
+        assert transition_equivalent(good, bad).equivalent is False
+
+    def test_shallow_bound_may_miss(self):
+        # the carry bug needs q0 = 1 to show: invisible in 1 frame
+        good, bad = counter2(), counter2(corrupt=True)
+        res = seq_cec(good, bad, frames=1)
+        assert res.equivalent is True  # bounded!
+        assert transition_equivalent(good, bad).equivalent is False
+
+
+class TestSequentialEco:
+    def test_fix_counter_carry_bug(self):
+        impl = counter2(corrupt=True)
+        spec = counter2()
+        res = run_sequential_eco(
+            impl,
+            spec,
+            targets=["carry"],
+            weights={"en": 5, "q0": 1, "q1": 7, "n0": 3},
+            bmc_frames=8,
+        )
+        assert res.transition_verified
+        assert res.bmc_verified
+        assert res.patches[0].target == "carry"
+        # the patched machine counts correctly
+        en = res.patched.core.node_by_name("en")
+        trace = res.patched.simulate([{en: 1}] * 4)
+        assert [(o["msb"], o["lsb"]) for o in trace] == [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+        ]
+
+    def test_interface_mismatch_rejected(self):
+        impl = counter2(corrupt=True)
+        spec = counter2()
+        spec.latches[0].init = 1
+        with pytest.raises(SeqEcoError):
+            run_sequential_eco(impl, spec, targets=["carry"])
+
+    def test_multi_target_sequential(self):
+        impl = counter2(corrupt=True)
+        # also corrupt n0 (XOR -> XNOR)
+        core = impl.core
+        n0 = core.node_by_name("n0")
+        core.set_fanins(
+            n0, GateType.XNOR, [core.node_by_name("q0"), core.node_by_name("en")]
+        )
+        res = run_sequential_eco(
+            impl, counter2(), targets=["carry", "n0"], bmc_frames=6
+        )
+        assert res.transition_verified and res.bmc_verified
+
+
+class TestSeqBenchIO:
+    BENCH = """
+    # toggler
+    INPUT(en)
+    OUTPUT(q)
+    q = DFF(nq)
+    nq = XOR(q, en)
+    """
+
+    def test_parse(self):
+        seq = parse_seq_bench(self.BENCH)
+        assert seq.num_latches == 1
+        en = seq.core.node_by_name("en")
+        trace = seq.simulate([{en: 1}, {en: 1}, {en: 0}, {en: 1}])
+        assert [o["q"] for o in trace] == [0, 1, 0, 0]
+
+    def test_roundtrip(self):
+        seq = parse_seq_bench(self.BENCH)
+        again = parse_seq_bench(write_seq_bench(seq))
+        en1 = seq.core.node_by_name("en")
+        en2 = again.core.node_by_name("en")
+        rng = random.Random(9)
+        bits = [rng.getrandbits(1) for _ in range(16)]
+        assert seq.simulate([{en1: b} for b in bits]) == again.simulate(
+            [{en2: b} for b in bits]
+        )
+
+    def test_dff_arity_checked(self):
+        with pytest.raises(Exception):
+            parse_seq_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)\n")

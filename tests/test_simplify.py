@@ -1,0 +1,167 @@
+"""Tests for the CNF preprocessor (equisatisfiability + model rebuild)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import Solver, mklit
+from repro.sat.simplify import Preprocessor, PreprocessorError
+
+from helpers import brute_sat
+
+
+def solve_with_preprocessing(clauses, nvars, frozen=()):
+    pre = Preprocessor(nvars, frozen=frozen)
+    for c in clauses:
+        pre.add_clause(c)
+    if not pre.run():
+        return False, None
+    solver = Solver()
+    solver.new_vars(nvars)
+    for c in pre.clauses():
+        if not solver.add_clause(c):
+            return False, None
+    if not solver.solve():
+        return False, None
+    return True, pre.reconstruct(solver.model)
+
+
+class TestBasics:
+    def test_unit_propagation(self):
+        pre = Preprocessor(3)
+        pre.add_clause([mklit(0)])
+        pre.add_clause([mklit(0, True), mklit(1)])
+        assert pre.run()
+        sat, model = solve_with_preprocessing(
+            [[mklit(0)], [mklit(0, True), mklit(1)]], 3
+        )
+        assert sat
+        assert model[0] == 1 and model[1] == 1
+
+    def test_contradictory_units_unsat(self):
+        pre = Preprocessor(1)
+        pre.add_clause([mklit(0)])
+        pre.add_clause([mklit(0, True)])
+        assert not pre.run()
+        assert pre.is_unsat
+
+    def test_tautologies_dropped(self):
+        pre = Preprocessor(2)
+        pre.add_clause([mklit(0), mklit(0, True)])
+        assert pre.run()
+        assert pre.clauses() == []
+
+    def test_subsumption(self):
+        pre = Preprocessor(3)
+        pre.add_clause([mklit(0), mklit(1)])
+        pre.add_clause([mklit(0), mklit(1), mklit(2)])
+        assert pre.run()
+        remaining = [set(c) for c in pre.clauses()]
+        assert {mklit(0), mklit(1), mklit(2)} not in remaining
+
+    def test_out_of_range_literal_rejected(self):
+        pre = Preprocessor(1)
+        with pytest.raises(PreprocessorError):
+            pre.add_clause([mklit(5)])
+
+    def test_variable_elimination_respects_frozen(self):
+        clauses = [[mklit(0), mklit(1)], [mklit(0, True), mklit(2)]]
+        pre = Preprocessor(3, frozen={0, 1, 2})
+        for c in clauses:
+            pre.add_clause(c)
+        pre.run()
+        vars_left = {l >> 1 for c in pre.clauses() for l in c}
+        assert 0 in vars_left  # frozen var survives
+
+
+class TestEquisatisfiability:
+    def test_random_instances(self):
+        rng = random.Random(31)
+        for trial in range(120):
+            nv = rng.randint(1, 8)
+            clauses = [
+                [
+                    mklit(rng.randrange(nv), rng.random() < 0.5)
+                    for _ in range(rng.randint(1, 3))
+                ]
+                for _ in range(rng.randint(1, 30))
+            ]
+            expect = brute_sat(clauses, nv)
+            sat, model = solve_with_preprocessing(clauses, nv)
+            assert sat == expect, (trial, clauses)
+            if sat:
+                for c in clauses:
+                    assert any(model[l >> 1] ^ (l & 1) for l in c), (
+                        trial,
+                        clauses,
+                        model,
+                    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_hypothesis_instances(self, data):
+        nv = data.draw(st.integers(min_value=1, max_value=6))
+        clauses = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=2 * nv - 1),
+                    min_size=1,
+                    max_size=4,
+                ),
+                min_size=0,
+                max_size=20,
+            )
+        )
+        expect = brute_sat(clauses, nv) if clauses else True
+        sat, model = solve_with_preprocessing(clauses, nv)
+        assert sat == expect
+        if sat and clauses:
+            for c in clauses:
+                assert any(model[l >> 1] ^ (l & 1) for l in c)
+
+    def test_frozen_vars_keep_projection(self):
+        """With frozen query variables, satisfying values must agree with
+        some model of the original formula."""
+        rng = random.Random(41)
+        for trial in range(40):
+            nv = rng.randint(2, 7)
+            clauses = [
+                [
+                    mklit(rng.randrange(nv), rng.random() < 0.5)
+                    for _ in range(rng.randint(1, 3))
+                ]
+                for _ in range(rng.randint(1, 20))
+            ]
+            frozen = set(rng.sample(range(nv), 2))
+            sat, model = solve_with_preprocessing(clauses, nv, frozen=frozen)
+            assert sat == brute_sat(clauses, nv)
+            if sat:
+                for c in clauses:
+                    assert any(model[l >> 1] ^ (l & 1) for l in c)
+
+
+class TestReductionPower:
+    def test_chain_collapses(self):
+        # x0 -> x1 -> ... -> x9 with x0 asserted: all eliminated/propagated
+        n = 10
+        pre = Preprocessor(n)
+        pre.add_clause([mklit(0)])
+        for i in range(n - 1):
+            pre.add_clause([mklit(i, True), mklit(i + 1)])
+        assert pre.run()
+        # everything reduces to unit facts
+        assert all(len(c) == 1 for c in pre.clauses())
+
+    def test_elimination_reduces_clause_count(self):
+        # a fresh variable defined as AND of two frozen ones disappears
+        pre = Preprocessor(3, frozen={0, 1})
+        # v2 = v0 & v1 (Tseitin)
+        pre.add_clause([mklit(2, True), mklit(0)])
+        pre.add_clause([mklit(2, True), mklit(1)])
+        pre.add_clause([mklit(2), mklit(0, True), mklit(1, True)])
+        assert pre.run()
+        vars_left = {l >> 1 for c in pre.clauses() for l in c}
+        assert 2 not in vars_left

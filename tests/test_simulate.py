@@ -1,0 +1,81 @@
+"""Tests for bit-parallel simulation."""
+
+import random
+
+from repro.network import GateType, Network, Simulator, outputs_equal
+
+from helpers import random_network
+
+
+class TestSimulator:
+    def test_values_match_scalar_evaluation(self):
+        net = random_network(n_pi=5, n_gates=25, seed=2)
+        sim = Simulator(net, nbits=64, seed=4)
+        values = sim.values()
+        for bit in (0, 13, 63):
+            scalar = net.evaluate(
+                {pi: (sim.pi_patterns[pi] >> bit) & 1 for pi in net.pis}
+            )
+            for nid, word in values.items():
+                assert ((word >> bit) & 1) == scalar[nid]
+
+    def test_deterministic_given_seed(self):
+        net = random_network(seed=3)
+        a = Simulator(net, nbits=128, seed=9).values()
+        b = Simulator(net, nbits=128, seed=9).values()
+        assert a == b
+
+    def test_add_minterm_directs_lowest_bit(self):
+        net = random_network(n_pi=4, n_gates=10, seed=5)
+        sim = Simulator(net, nbits=32, seed=1)
+        directed = {pi: 1 for pi in net.pis}
+        sim.add_minterm(directed)
+        for pi in net.pis:
+            assert sim.pi_patterns[pi] & 1 == 1
+        scalar = net.evaluate(directed)
+        values = sim.values()
+        for nid in net.node_ids():
+            assert (values[nid] & 1) == scalar[nid]
+
+    def test_classes_group_equal_functions(self):
+        net = Network()
+        a, b = net.add_pi("a"), net.add_pi("b")
+        g1 = net.add_gate(GateType.AND, [a, b])
+        g2 = net.add_gate(GateType.AND, [b, a])
+        g3 = net.add_gate(GateType.NAND, [a, b])  # complement of g1
+        g4 = net.add_gate(GateType.XOR, [a, b])
+        net.add_po(g4, "o")
+        sim = Simulator(net, nbits=256, seed=0)
+        classes = sim.classes([g1, g2, g3, g4])
+        by_member = {}
+        for key, members in classes.items():
+            for m in members:
+                by_member[m] = key
+        assert by_member[g1] == by_member[g2] == by_member[g3]
+        assert by_member[g4] != by_member[g1]
+
+    def test_signature_accessor(self):
+        net = random_network(seed=6)
+        sim = Simulator(net, nbits=16, seed=2)
+        nid = net.node_ids()[-1]
+        assert sim.signature(nid) == sim.values()[nid]
+
+
+class TestOutputsEqual:
+    def test_equal_clone(self):
+        net = random_network(seed=8)
+        assert outputs_equal(net, net.clone())
+
+    def test_detects_difference(self):
+        net = random_network(n_pi=4, n_gates=15, n_po=2, seed=9)
+        other = net.clone()
+        _, nid = other.pos[0]
+        inv = other.add_gate(GateType.NOT, [nid])
+        other.set_po(0, inv)  # complement one output
+        assert not outputs_equal(net, other)
+
+    def test_po_name_mismatch_is_unequal(self):
+        net = random_network(seed=10)
+        other = net.clone()
+        other.rename_po(0, "__different")
+        assert not outputs_equal(net, other)

@@ -1,0 +1,133 @@
+"""Advanced solver-behavior tests: budgets, proofs under assumptions,
+incremental interleavings, and statistics."""
+
+import random
+
+import pytest
+
+from repro.sat import SatBudgetExceeded, Solver, check_proof, mklit, neg
+
+
+def php(solver, pigeons, holes):
+    v = [[solver.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for p in range(pigeons):
+        solver.add_clause([mklit(v[p][h]) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                solver.add_clause(
+                    [mklit(v[p1][h], True), mklit(v[p2][h], True)]
+                )
+    return v
+
+
+class TestBudgetRecovery:
+    def test_solver_usable_after_budget_exception(self):
+        s = Solver()
+        php(s, 7, 6)
+        with pytest.raises(SatBudgetExceeded):
+            s.solve(budget_conflicts=5)
+        # a later unbudgeted solve must still give the right answer
+        assert s.solve() is False
+
+    def test_budget_exception_leaves_level_zero(self):
+        s = Solver()
+        php(s, 7, 6)
+        with pytest.raises(SatBudgetExceeded):
+            s.solve(budget_conflicts=5)
+        # adding clauses requires level 0 — must not raise
+        extra = s.new_var()
+        assert s.add_clause([mklit(extra)])
+
+    def test_budget_on_sat_instance(self):
+        s = Solver()
+        vs = s.new_vars(30)
+        rng = random.Random(2)
+        for _ in range(60):
+            s.add_clause(
+                [mklit(rng.choice(vs), rng.random() < 0.5) for _ in range(3)]
+            )
+        # generous budget: should finish
+        try:
+            result = s.solve(budget_conflicts=100000)
+        except SatBudgetExceeded:
+            pytest.fail("budget should have sufficed")
+        assert result in (True, False)
+
+
+class TestProofsUnderAssumptions:
+    def test_level_zero_unsat_after_assumption_solves(self):
+        """Interleaving assumption solves with clause additions keeps
+        proof logging coherent until the final refutation."""
+        s = Solver(proof_logging=True)
+        a, b, c = s.new_vars(3)
+        s.add_clause([mklit(a), mklit(b)])
+        assert s.solve([mklit(a, True)])
+        s.add_clause([mklit(b, True), mklit(c)])
+        assert s.solve([mklit(c, True), mklit(a, True)]) is False
+        # force a real level-0 refutation
+        s.add_clause([mklit(a, True)])
+        s.add_clause([mklit(b, True)])
+        assert s.solve() is False
+        assert s.empty_clause_cid is not None
+        check_proof(s)
+
+    def test_proof_checks_on_structured_unsat(self):
+        s = Solver(proof_logging=True)
+        php(s, 5, 4)
+        assert s.solve() is False
+        checked = check_proof(s)
+        assert checked > 0
+
+
+class TestIncrementalPatterns:
+    def test_alternating_assumption_polarities(self):
+        s = Solver()
+        x, y = s.new_vars(2)
+        s.add_clause([mklit(x), mklit(y)])
+        for _ in range(30):
+            assert s.solve([mklit(x, True)])
+            assert s.model_value(mklit(y)) == 1
+            assert s.solve([mklit(y, True)])
+            assert s.model_value(mklit(x)) == 1
+            assert s.solve([mklit(x, True), mklit(y, True)]) is False
+
+    def test_growing_problem(self):
+        """Add implication-chain links between solves; answers track."""
+        s = Solver()
+        first = s.new_var()
+        prev = first
+        s.add_clause([mklit(first)])
+        for _ in range(40):
+            nxt = s.new_var()
+            s.add_clause([mklit(prev, True), mklit(nxt)])
+            assert s.solve()
+            assert s.model_value(mklit(nxt)) == 1
+            prev = nxt
+        assert s.solve([mklit(prev, True)]) is False
+
+    def test_stats_populated(self):
+        s = Solver()
+        php(s, 5, 4)
+        s.solve()
+        assert s.stats["conflicts"] > 0
+        assert s.stats["decisions"] > 0
+        assert s.stats["propagations"] > 0
+        assert s.stats["solves"] == 1
+
+
+class TestCoreMinimality:
+    def test_core_shrinks_with_irrelevant_assumptions(self):
+        """Irrelevant assumptions should usually stay out of the core."""
+        s = Solver()
+        a, b = s.new_vars(2)
+        junk = s.new_vars(20)
+        s.add_clause([mklit(a, True), mklit(b)])
+        assumptions = [mklit(v) for v in junk]
+        assumptions += [mklit(a), mklit(b, True)]
+        assert s.solve(assumptions) is False
+        core = set(s.failed_core())
+        assert core <= set(assumptions)
+        assert mklit(a) in core or mklit(b, True) in core
+        # analyzeFinal over an implication chain of two: core is tiny
+        assert len(core) <= 3

@@ -1,0 +1,195 @@
+"""Tests for cubes, SOP covers, factoring, and SOP synthesis."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sop import (
+    DC,
+    ONE,
+    ZERO,
+    Cube,
+    FactorOp,
+    Sop,
+    factor,
+    sop_to_network,
+    truth_table,
+)
+
+from helpers import all_minterms
+
+
+def random_sop(width, n_cubes, rng):
+    sop = Sop(width)
+    for _ in range(n_cubes):
+        slots = [rng.choice([ZERO, ONE, DC, DC]) for _ in range(width)]
+        sop.add(Cube(slots))
+    return sop
+
+
+class TestCube:
+    def test_contains(self):
+        c = Cube([ONE, DC, ZERO])
+        assert c.contains([1, 0, 0])
+        assert c.contains([1, 1, 0])
+        assert not c.contains([0, 1, 0])
+        assert not c.contains([1, 1, 1])
+
+    def test_covers(self):
+        big = Cube([ONE, DC, DC])
+        small = Cube([ONE, ZERO, DC])
+        assert big.covers(small)
+        assert not small.covers(big)
+        assert big.covers(big)
+
+    def test_intersects(self):
+        a = Cube([ONE, DC])
+        b = Cube([DC, ZERO])
+        c = Cube([ZERO, DC])
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_expand(self):
+        c = Cube([ONE, ZERO])
+        e = c.expand(1)
+        assert e.slots == (ONE, DC)
+        assert c.slots == (ONE, ZERO)  # immutable
+
+    def test_from_literals(self):
+        c = Cube.from_literals(4, {0: 1, 3: 0})
+        assert c.slots == (ONE, DC, DC, ZERO)
+        assert c.num_literals == 2
+
+    def test_bad_slot_rejected(self):
+        with pytest.raises(ValueError):
+            Cube([7])
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Cube([ONE]).covers(Cube([ONE, ONE]))
+
+    def test_full_dc_is_tautology(self):
+        c = Cube.full_dc(3)
+        for m in all_minterms(3):
+            assert c.contains(list(m))
+
+
+class TestSop:
+    def test_evaluate(self):
+        sop = Sop(2, [Cube([ONE, DC]), Cube([DC, ONE])])  # a | b
+        assert sop.evaluate([0, 0]) == 0
+        assert sop.evaluate([1, 0]) == 1
+        assert sop.evaluate([0, 1]) == 1
+
+    def test_empty_sop_is_false(self):
+        sop = Sop(2)
+        for m in all_minterms(2):
+            assert sop.evaluate(list(m)) == 0
+
+    def test_parallel_matches_scalar(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            w = rng.randint(1, 5)
+            sop = random_sop(w, rng.randint(0, 6), rng)
+            mask = (1 << 8) - 1
+            words = [rng.getrandbits(8) for _ in range(w)]
+            par = sop.evaluate_parallel(words, mask)
+            for bit in range(8):
+                m = [(words[i] >> bit) & 1 for i in range(w)]
+                assert ((par >> bit) & 1) == sop.evaluate(m)
+
+    def test_remove_contained_cubes(self):
+        sop = Sop(2, [Cube([ONE, DC]), Cube([ONE, ONE]), Cube([ONE, ZERO])])
+        removed = sop.remove_contained_cubes()
+        assert removed == 2
+        assert sop.num_cubes == 1
+        assert sop.cubes[0] == Cube([ONE, DC])
+
+    def test_containment_removal_preserves_function(self):
+        rng = random.Random(17)
+        for _ in range(30):
+            w = rng.randint(1, 5)
+            sop = random_sop(w, rng.randint(1, 8), rng)
+            before = truth_table(sop)
+            sop.remove_contained_cubes()
+            assert truth_table(sop) == before
+
+
+class TestFactor:
+    def test_const_cases(self):
+        assert factor(Sop(3)).op is FactorOp.CONST0
+        taut = Sop(3, [Cube.full_dc(3)])
+        assert factor(taut).op is FactorOp.CONST1
+
+    def test_single_cube(self):
+        sop = Sop(3, [Cube([ONE, ZERO, DC])])
+        tree = factor(sop)
+        assert tree.num_literals() == 2
+
+    def test_factoring_reduces_literals(self):
+        # ab + ac + ad  ->  a(b+c+d): 6 literals down to 4
+        sop = Sop(4)
+        for other in (1, 2, 3):
+            sop.add(Cube.from_literals(4, {0: 1, other: 1}))
+        tree = factor(sop)
+        assert tree.num_literals() == 4
+
+    def test_factor_preserves_function_random(self):
+        rng = random.Random(23)
+        for _ in range(60):
+            w = rng.randint(1, 6)
+            sop = random_sop(w, rng.randint(0, 7), rng)
+            tree = factor(sop)
+            for m in all_minterms(w):
+                assert tree.evaluate(list(m)) == sop.evaluate(list(m)), (
+                    sop,
+                    tree,
+                )
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_factor_preserves_function_hypothesis(self, data):
+        w = data.draw(st.integers(min_value=1, max_value=5))
+        cubes = data.draw(
+            st.lists(
+                st.lists(
+                    st.sampled_from([ZERO, ONE, DC]), min_size=w, max_size=w
+                ),
+                min_size=0,
+                max_size=6,
+            )
+        )
+        sop = Sop(w, [Cube(c) for c in cubes])
+        tree = factor(sop)
+        for m in all_minterms(w):
+            assert tree.evaluate(list(m)) == sop.evaluate(list(m))
+
+
+class TestSynth:
+    def test_sop_to_network_matches(self):
+        rng = random.Random(31)
+        for trial in range(25):
+            w = rng.randint(1, 5)
+            sop = random_sop(w, rng.randint(0, 6), rng)
+            names = [f"x{i}" for i in range(w)]
+            for factored in (True, False):
+                net = sop_to_network(sop, names, "f", factored=factored)
+                for m in all_minterms(w):
+                    pis = {net.node_by_name(names[i]): m[i] for i in range(w)}
+                    assert net.evaluate_pos(pis)["f"] == sop.evaluate(list(m))
+
+    def test_input_name_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sop_to_network(Sop(2), ["a"], "f")
+
+    def test_not_gates_shared(self):
+        # ~a&b + ~a&c: one NOT gate expected after factoring
+        sop = Sop(3, [Cube([ZERO, ONE, DC]), Cube([ZERO, DC, ONE])])
+        net = sop_to_network(sop, ["a", "b", "c"], "f")
+        from repro.network import GateType
+
+        nots = [n for n in net.nodes() if n.gtype is GateType.NOT]
+        assert len(nots) == 1

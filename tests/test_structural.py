@@ -1,0 +1,183 @@
+"""Tests for structural patch computation (Section 3.6)."""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    build_miter,
+    build_quantified_miter,
+    certificate_patches,
+    check_feasibility,
+    structural_patch_single,
+)
+from repro.network import GateType, Network
+
+from helpers import all_minterms
+
+
+def single_target_instance():
+    """impl corrupts 'u' of golden u=a&b, f=u|c."""
+
+    def build(corrupt):
+        net = Network()
+        a, b, c = (net.add_pi(x) for x in "abc")
+        u = net.add_gate(GateType.XOR if corrupt else GateType.AND, [a, b], "u")
+        f = net.add_gate(GateType.OR, [u, c], "f")
+        net.add_po(f, "o")
+        return net
+
+    return build(True), build(False)
+
+
+def two_target_instance():
+    def build(corrupt):
+        net = Network()
+        a, b, c = (net.add_pi(x) for x in "abc")
+        u = net.add_gate(GateType.OR if corrupt else GateType.AND, [a, b], "u")
+        v = net.add_gate(GateType.AND if corrupt else GateType.OR, [b, c], "v")
+        f = net.add_gate(GateType.XOR, [u, v], "f")
+        g = net.add_gate(GateType.OR, [u, c], "g")
+        net.add_po(f, "o1")
+        net.add_po(g, "o2")
+        return net
+
+    return build(True), build(False)
+
+
+def check_patch_fixes(impl, spec, target_names, patch_nets):
+    """Exhaustively verify that driving targets with patches restores
+    equivalence (patches are functions of the PIs)."""
+    pis = [impl.node(p).name for p in impl.pis]
+    for bits in all_minterms(len(pis)):
+        ref = dict(zip(pis, bits))
+        patched = {}
+        for tname, pnet in zip(target_names, patch_nets):
+            assign = {
+                pi: ref[pnet.node(pi).name] for pi in pnet.pis
+            }
+            patched[tname] = pnet.evaluate_pos(assign)[pnet.pos[0][0]]
+        # evaluate impl with targets overridden
+        values = {}
+        for node in impl.topo_order():
+            if node.name in patched:
+                values[node.nid] = patched[node.name]
+            elif node.is_pi:
+                values[node.nid] = ref[node.name]
+            else:
+                from repro.network import eval_gate
+
+                values[node.nid] = eval_gate(
+                    node.gtype, [values[f] for f in node.fanins]
+                )
+        impl_out = {name: values[nid] for name, nid in impl.pos}
+        spec_out = spec.evaluate_pos(
+            {p: ref[spec.node(p).name] for p in spec.pis}
+        )
+        assert impl_out == spec_out, (bits, impl_out, spec_out)
+
+
+class TestStructuralSingle:
+    def test_cofactor_patch_rectifies(self):
+        impl, spec = single_target_instance()
+        t = impl.node_by_name("u")
+        m = build_miter(impl, spec, [t])
+        qm = build_quantified_miter(m, m.target_pis[0])
+        info = structural_patch_single(qm, "u_patch")
+        assert info.miter_copies == 1
+        check_patch_fixes(impl, spec, ["u"], [info.network])
+
+    def test_patch_is_over_pis(self):
+        impl, spec = single_target_instance()
+        t = impl.node_by_name("u")
+        m = build_miter(impl, spec, [t])
+        qm = build_quantified_miter(m, m.target_pis[0])
+        info = structural_patch_single(qm, "p")
+        pi_names = {info.network.node(p).name for p in info.network.pis}
+        assert pi_names <= {"a", "b", "c"}
+
+    def test_requires_current_target(self):
+        impl, spec = single_target_instance()
+        t = impl.node_by_name("u")
+        m = build_miter(impl, spec, [t])
+        qm = build_quantified_miter(m, None)
+        with pytest.raises(ValueError):
+            structural_patch_single(qm, "p")
+
+
+class TestCertificatePatches:
+    def test_multi_target_certificate_rectifies(self):
+        impl, spec = two_target_instance()
+        targets = [impl.node_by_name("u"), impl.node_by_name("v")]
+        m = build_miter(impl, spec, targets)
+        feas = check_feasibility(m, method="qbf")
+        assert feas.feasible
+        assert feas.countermoves
+        moves = [
+            {pi: mv.get(pi, 0) for pi in m.target_pis}
+            for mv in feas.countermoves
+        ]
+        infos, copies = certificate_patches(m, moves, ["u", "v"])
+        assert copies == len(feas.countermoves)
+        check_patch_fixes(
+            impl, spec, ["u", "v"], [i.network for i in infos]
+        )
+
+    def test_copy_count_is_certificate_size(self):
+        impl, spec = two_target_instance()
+        targets = [impl.node_by_name("u"), impl.node_by_name("v")]
+        m = build_miter(impl, spec, targets)
+        feas = check_feasibility(m, method="qbf")
+        moves = [
+            {pi: mv.get(pi, 0) for pi in m.target_pis}
+            for mv in feas.countermoves
+        ]
+        infos, copies = certificate_patches(m, moves, ["u", "v"])
+        # naive sequential expansion would need 2^2 - 1 = 3 copies;
+        # the certificate uses exactly one per countermove
+        assert copies == len(moves)
+        for info in infos:
+            assert info.miter_copies == copies
+
+    def test_requires_moves(self):
+        impl, spec = two_target_instance()
+        targets = [impl.node_by_name("u"), impl.node_by_name("v")]
+        m = build_miter(impl, spec, targets)
+        with pytest.raises(ValueError):
+            certificate_patches(m, [], ["u", "v"])
+
+    def test_requires_matching_names(self):
+        impl, spec = two_target_instance()
+        targets = [impl.node_by_name("u"), impl.node_by_name("v")]
+        m = build_miter(impl, spec, targets)
+        with pytest.raises(ValueError):
+            certificate_patches(m, [{m.target_pis[0]: 0}], ["u"])
+
+
+class TestSequentialStructuralMultiTarget:
+    def test_sequential_cofactor_patches(self):
+        """Process targets one at a time with full expansion, applying
+        each structural patch before computing the next."""
+        from repro.core import apply_patch, Patch, cec
+
+        impl, spec = two_target_instance()
+        current = impl.clone()
+        copies = 0
+        for tname in ("u", "v"):
+            remaining = [n for n in ("u", "v") if n >= tname]
+            ids = [current.node_by_name(n) for n in remaining]
+            m = build_miter(current, spec, ids)
+            qm = build_quantified_miter(m, m.target_pis[0])
+            info = structural_patch_single(qm, tname)
+            copies += info.miter_copies
+            patch = Patch(
+                target=tname,
+                network=info.network,
+                support=[info.network.node(p).name for p in info.network.pis],
+                cost=0,
+                gate_count=info.network.num_gates,
+                method="structural",
+            )
+            apply_patch(current, patch)
+        assert copies == 3  # 2^1 + 2^0 = 2^k - 1 for k = 2
+        assert cec(current, spec).equivalent

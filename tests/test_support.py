@@ -1,0 +1,164 @@
+"""Tests for minimize_assumptions (Algorithm 1) and its baselines."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AssumptionMinimizer,
+    SupportStats,
+    analyze_final_core,
+    last_gasp_improvement,
+    minimize_assumptions,
+    minimize_linear,
+)
+from repro.sat import Solver, mklit, neg
+
+
+def make_cover_instance(groups, n_sel):
+    """UNSAT under assumption set A iff A includes *every* selector of at
+    least one group.
+
+    Construction: an escape variable ``e`` with a unit clause (e), and
+    per group g the clause (¬s1 ∨ ¬s2 ∨ ... ∨ ¬e).  Assuming all of g
+    forces e = 0, clashing with the unit; assuming less leaves e = 1
+    satisfiable.
+    """
+    s = Solver()
+    sels = s.new_vars(n_sel)
+    e = s.new_var()
+    s.add_clause([mklit(e)])
+    for g in groups:
+        s.add_clause([mklit(sels[i], True) for i in g] + [mklit(e, True)])
+    return s, [mklit(v) for v in sels]
+
+
+class TestMinimizeAssumptions:
+    def test_single_group(self):
+        s, lits = make_cover_instance([[0, 2, 4]], 6)
+        kept = minimize_assumptions(s, [], lits)
+        assert sorted(kept) == sorted([lits[0], lits[2], lits[4]])
+
+    def test_prefers_earlier_group(self):
+        # both groups suffice; the cheaper (earlier-literal) one should win
+        s, lits = make_cover_instance([[0, 1], [4, 5]], 6)
+        kept = minimize_assumptions(s, [], lits)
+        assert sorted(kept) == sorted([lits[0], lits[1]])
+
+    def test_minimality_property(self):
+        """Dropping any kept literal must make the instance SAT."""
+        rng = random.Random(4)
+        for trial in range(25):
+            n = rng.randint(2, 9)
+            groups = [
+                rng.sample(range(n), rng.randint(1, min(3, n)))
+                for _ in range(rng.randint(1, 3))
+            ]
+            s, lits = make_cover_instance(groups, n)
+            kept = minimize_assumptions(s, [], lits)
+            # kept must still be UNSAT
+            assert not s.solve(kept)
+            for drop in range(len(kept)):
+                subset = kept[:drop] + kept[drop + 1 :]
+                assert s.solve(subset), (trial, groups, kept, drop)
+
+    def test_raises_on_sat_instance(self):
+        s = Solver()
+        a = s.new_var()
+        with pytest.raises(ValueError):
+            minimize_assumptions(s, [], [mklit(a)])
+
+    def test_base_assumptions_respected(self):
+        # base [b] makes (¬b ∨ ¬a) require dropping a
+        s = Solver()
+        a, b = s.new_vars(2)
+        s.add_clause([mklit(b, True), mklit(a, True)])
+        kept = minimize_assumptions(s, [mklit(b)], [mklit(a)])
+        assert kept == [mklit(a)]
+
+    def test_call_count_scales_logarithmically(self):
+        """One needed literal among N: O(log N) calls vs O(N) linear."""
+        n = 64
+        for target in (0, 31, 63):
+            s, lits = make_cover_instance([[target]], n)
+            stats = SupportStats()
+            kept = minimize_assumptions(s, [], lits, stats=stats)
+            assert kept == [lits[target]]
+            assert stats.sat_calls <= 4 * 7 + 2  # ~4 log2(64)
+
+            s2, lits2 = make_cover_instance([[target]], n)
+            stats2 = SupportStats()
+            kept2 = minimize_linear(s2, [], lits2, stats=stats2)
+            assert kept2 == [lits2[target]]
+            assert stats2.sat_calls == n
+            assert stats.sat_calls < stats2.sat_calls
+
+
+class TestMinimizeLinear:
+    def test_matches_semantics(self):
+        rng = random.Random(9)
+        for trial in range(15):
+            n = rng.randint(2, 8)
+            groups = [rng.sample(range(n), rng.randint(1, 2))]
+            s, lits = make_cover_instance(groups, n)
+            kept = minimize_linear(s, [], lits)
+            assert not s.solve(kept)
+            for drop in range(len(kept)):
+                assert s.solve(kept[:drop] + kept[drop + 1 :])
+
+
+class TestAnalyzeFinalCore:
+    def test_core_is_sufficient_but_not_minimal(self):
+        s, lits = make_cover_instance([[0, 1]], 8)
+        core = analyze_final_core(s, [], lits)
+        assert not s.solve(core)  # sufficient
+        assert set(core) >= {lits[0], lits[1]}
+
+    def test_raises_on_sat(self):
+        s = Solver()
+        a = s.new_var()
+        with pytest.raises(ValueError):
+            analyze_final_core(s, [], [mklit(a)])
+
+
+class TestLastGasp:
+    def test_swaps_to_cheaper(self):
+        # feasible iff selection contains {0} or {1}; 1 costs less
+        def feasible(lits):
+            return 0 in lits or 1 in lits
+
+        improved = last_gasp_improvement(
+            feasible,
+            selected=[0],
+            unused=[0, 1, 2],
+            cost_of={0: 10, 1: 2, 2: 5},
+        )
+        assert improved == [1]
+
+    def test_no_swap_when_already_cheapest(self):
+        def feasible(lits):
+            return 0 in lits
+
+        improved = last_gasp_improvement(
+            feasible, selected=[0], unused=[0, 1], cost_of={0: 1, 1: 5}
+        )
+        assert improved == [0]
+
+    def test_respects_swap_cap(self):
+        calls = []
+
+        def feasible(lits):
+            calls.append(tuple(lits))
+            return False
+
+        last_gasp_improvement(
+            feasible,
+            selected=[9],
+            unused=list(range(9)),
+            cost_of={i: i + 1 for i in range(10)},
+            max_swaps=3,
+        )
+        assert len(calls) == 3

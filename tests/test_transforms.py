@@ -1,0 +1,105 @@
+"""Tests for network transforms (sweep, buffer collapse, balance)."""
+
+import random
+
+from repro.network import GateType, Network, depth
+from repro.network.transforms import (
+    balance,
+    collapse_buffers,
+    resynthesize,
+    sweep,
+)
+
+from helpers import networks_equivalent_brute, random_network
+
+
+class TestSweep:
+    def test_preserves_function(self):
+        for seed in range(6):
+            net = random_network(n_pi=4, n_gates=20, seed=seed)
+            assert networks_equivalent_brute(net, sweep(net)), seed
+
+    def test_folds_constants(self):
+        net = Network()
+        a = net.add_pi("a")
+        c1 = net.add_const(1)
+        g = net.add_gate(GateType.AND, [a, c1])
+        net.add_po(g, "o")
+        swept = sweep(net)
+        assert swept.num_gates == 0  # o == a
+
+    def test_drops_dangling(self):
+        net = Network()
+        a, b = net.add_pi("a"), net.add_pi("b")
+        net.add_gate(GateType.AND, [a, b])  # dangling
+        net.add_po(a, "o")
+        assert sweep(net).num_gates == 0
+
+
+class TestCollapseBuffers:
+    def test_chain_collapsed(self):
+        net = Network()
+        a = net.add_pi("a")
+        b1 = net.add_gate(GateType.BUF, [a])
+        b2 = net.add_gate(GateType.BUF, [b1])
+        g = net.add_gate(GateType.NOT, [b2])
+        net.add_po(g, "o")
+        n = collapse_buffers(net)
+        assert n == 2
+        assert net.node(g).fanins == [a]
+        net.cleanup()
+        assert net.num_gates == 1
+
+    def test_po_rebound(self):
+        net = Network()
+        a = net.add_pi("a")
+        b = net.add_gate(GateType.BUF, [a])
+        net.add_po(b, "o")
+        collapse_buffers(net)
+        assert dict(net.pos)["o"] == a
+
+    def test_function_preserved(self):
+        for seed in range(4):
+            net = random_network(n_pi=4, n_gates=18, seed=seed + 30)
+            copy = net.clone()
+            collapse_buffers(copy)
+            copy.cleanup()
+            assert networks_equivalent_brute(net, copy), seed
+
+
+class TestBalance:
+    def test_preserves_function(self):
+        for seed in range(8):
+            net = random_network(n_pi=4, n_gates=22, seed=seed + 60)
+            assert networks_equivalent_brute(net, balance(net)), seed
+
+    def test_reduces_chain_depth(self):
+        # a linear AND chain over 16 inputs: depth 15 -> ~log2(16)+consts
+        net = Network()
+        pis = [net.add_pi(f"x{i}") for i in range(16)]
+        acc = pis[0]
+        for p in pis[1:]:
+            acc = net.add_gate(GateType.AND, [acc, p])
+        net.add_po(acc, "o")
+        bal = balance(net)
+        assert networks_equivalent_brute(net, bal)
+        assert depth(bal) <= 5
+        assert depth(net) == 15
+
+    def test_respects_shared_fanout_boundaries(self):
+        # shared internal node used twice: still correct after balance
+        net = Network()
+        a, b, c = (net.add_pi(x) for x in "abc")
+        shared = net.add_gate(GateType.AND, [a, b], "sh")
+        g1 = net.add_gate(GateType.AND, [shared, c])
+        g2 = net.add_gate(GateType.OR, [shared, c])
+        net.add_po(g1, "o1")
+        net.add_po(g2, "o2")
+        assert networks_equivalent_brute(net, balance(net))
+
+
+class TestResynthesize:
+    def test_equivalent_but_restructured(self):
+        net = random_network(n_pi=5, n_gates=30, seed=91)
+        resyn = resynthesize(net)
+        assert networks_equivalent_brute(net, resyn)

@@ -1,0 +1,113 @@
+"""Tests for circuit→CNF encoding."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.network import GateType, Network
+from repro.sat import Solver, add_equality, encode_network, mklit
+
+from helpers import all_minterms, random_network
+
+
+def _assert_encoding_matches(net, seed=0):
+    """The CNF must accept exactly the circuit's consistent assignments."""
+    solver = Solver()
+    varmap = encode_network(solver, net)
+    pis = net.pis
+    for bits in all_minterms(len(pis)):
+        values = net.evaluate(dict(zip(pis, bits)))
+        assumptions = [mklit(varmap[p], bits[i] == 0) for i, p in enumerate(pis)]
+        assert solver.solve(assumptions)
+        for nid, val in values.items():
+            assert solver.model_value(mklit(varmap[nid])) == val, (
+                net.node(nid),
+                bits,
+            )
+
+
+class TestGateEncodings:
+    @pytest.mark.parametrize(
+        "gtype,n_ins",
+        [
+            (GateType.AND, 2),
+            (GateType.AND, 3),
+            (GateType.OR, 2),
+            (GateType.OR, 4),
+            (GateType.NAND, 2),
+            (GateType.NAND, 3),
+            (GateType.NOR, 2),
+            (GateType.XOR, 2),
+            (GateType.XOR, 3),
+            (GateType.XOR, 4),
+            (GateType.XNOR, 2),
+            (GateType.XNOR, 3),
+            (GateType.NOT, 1),
+            (GateType.BUF, 1),
+            (GateType.MUX, 3),
+        ],
+    )
+    def test_single_gate(self, gtype, n_ins):
+        net = Network()
+        pis = [net.add_pi(f"i{k}") for k in range(n_ins)]
+        g = net.add_gate(gtype, pis)
+        net.add_po(g, "o")
+        _assert_encoding_matches(net)
+
+    def test_constants(self):
+        net = Network()
+        a = net.add_pi("a")
+        c0 = net.add_const(0)
+        c1 = net.add_const(1)
+        net.add_po(net.add_gate(GateType.OR, [a, c0]), "o1")
+        net.add_po(net.add_gate(GateType.AND, [a, c1]), "o2")
+        _assert_encoding_matches(net)
+
+
+class TestNetworkEncoding:
+    def test_random_networks(self):
+        for seed in range(8):
+            net = random_network(n_pi=4, n_gates=16, n_po=2, seed=seed)
+            _assert_encoding_matches(net, seed)
+
+    def test_shared_pi_vars(self):
+        # two encodings sharing PI variables must agree on equal circuits
+        net = random_network(n_pi=4, n_gates=12, n_po=1, seed=42)
+        solver = Solver()
+        v1 = encode_network(solver, net)
+        pi_share = {p: v1[p] for p in net.pis}
+        v2 = encode_network(solver, net, pi_share)
+        o = net.pos[0][1]
+        # outputs can never differ
+        assert not solver.solve([mklit(v1[o]), mklit(v2[o], True)])
+        assert not solver.solve([mklit(v1[o], True), mklit(v2[o])])
+
+    def test_unshared_copies_can_differ(self):
+        net = Network()
+        a = net.add_pi("a")
+        net.add_po(net.add_gate(GateType.NOT, [a]), "o")
+        solver = Solver()
+        v1 = encode_network(solver, net)
+        v2 = encode_network(solver, net)
+        o = net.pos[0][1]
+        assert solver.solve([mklit(v1[o]), mklit(v2[o], True)])
+
+
+class TestEquality:
+    def test_unconditional(self):
+        s = Solver()
+        a, b = s.new_vars(2)
+        add_equality(s, a, b)
+        assert not s.solve([mklit(a), mklit(b, True)])
+        assert s.solve([mklit(a), mklit(b)])
+
+    def test_selector_guarded(self):
+        s = Solver()
+        a, b, sel = s.new_vars(3)
+        add_equality(s, a, b, mklit(sel))
+        # without the selector the equality is inactive
+        assert s.solve([mklit(a), mklit(b, True)])
+        # with it, enforced
+        assert not s.solve([mklit(sel), mklit(a), mklit(b, True)])
+        assert s.solve([mklit(sel), mklit(a), mklit(b)])

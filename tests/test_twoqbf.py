@@ -1,0 +1,126 @@
+"""Tests for the CEGAR 2QBF solver."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.network import GateType, Network
+from repro.twoqbf import QbfBudgetExceeded, solve_exists_forall
+
+
+def brute_exists_forall(net, exists_pis, forall_pis):
+    po_name = net.pos[0][0]
+    for xv in itertools.product((0, 1), repeat=len(exists_pis)):
+        ok = True
+        for yv in itertools.product((0, 1), repeat=len(forall_pis)):
+            assign = dict(zip(exists_pis, xv))
+            assign.update(zip(forall_pis, yv))
+            if net.evaluate_pos(assign)[po_name] != 1:
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def random_single_po(seed, n_pi=5, n_gates=14):
+    rng = random.Random(seed)
+    net = Network("q")
+    nodes = [net.add_pi(f"p{i}") for i in range(n_pi)]
+    for _ in range(n_gates):
+        gtype = rng.choice(
+            [GateType.AND, GateType.OR, GateType.XOR, GateType.NAND, GateType.NOT]
+        )
+        if gtype is GateType.NOT:
+            ins = [rng.choice(nodes)]
+        else:
+            ins = [rng.choice(nodes) for _ in range(2)]
+        nodes.append(net.add_gate(gtype, ins))
+    net.add_po(nodes[-1], "out")
+    return net
+
+
+class TestSolveExistsForall:
+    def test_xor_is_false(self):
+        net = Network()
+        x, y = net.add_pi("x"), net.add_pi("y")
+        net.add_po(net.add_gate(GateType.XOR, [x, y]), "o")
+        res = solve_exists_forall(net, [x], [y])
+        assert not res.is_sat
+        assert len(res.countermoves) >= 1
+
+    def test_or_with_witness(self):
+        net = Network()
+        x, y = net.add_pi("x"), net.add_pi("y")
+        ny = net.add_gate(GateType.NOT, [y])
+        taut_part = net.add_gate(GateType.AND, [y, ny])
+        net.add_po(net.add_gate(GateType.OR, [x, taut_part]), "o")
+        res = solve_exists_forall(net, [x], [y])
+        assert res.is_sat
+        assert res.witness == {x: 1}
+
+    def test_tautology_any_witness(self):
+        net = Network()
+        x, y = net.add_pi("x"), net.add_pi("y")
+        nx = net.add_gate(GateType.NOT, [x])
+        net.add_po(net.add_gate(GateType.OR, [x, nx]), "o")
+        res = solve_exists_forall(net, [x], [y])
+        assert res.is_sat
+
+    def test_matches_brute_force(self):
+        for seed in range(25):
+            net = random_single_po(seed)
+            pis = net.pis
+            ex, fa = pis[:2], pis[2:]
+            res = solve_exists_forall(net, ex, fa)
+            assert res.is_sat == brute_exists_forall(net, ex, fa), seed
+            if res.is_sat:
+                # verify the witness exhaustively
+                for yv in itertools.product((0, 1), repeat=len(fa)):
+                    assign = dict(res.witness)
+                    assign.update(zip(fa, yv))
+                    assert net.evaluate_pos(assign)["out"] == 1
+
+    def test_countermoves_cover_unsat_certificate(self):
+        """When UNSAT, every x must be beaten by some recorded move."""
+        for seed in range(25):
+            net = random_single_po(seed, n_pi=4, n_gates=12)
+            pis = net.pis
+            ex, fa = pis[:2], pis[2:]
+            res = solve_exists_forall(net, ex, fa)
+            if res.is_sat:
+                continue
+            for xv in itertools.product((0, 1), repeat=len(ex)):
+                beaten = False
+                for move in res.countermoves:
+                    assign = dict(zip(ex, xv))
+                    assign.update(move)
+                    if net.evaluate_pos(assign)["out"] == 0:
+                        beaten = True
+                        break
+                assert beaten, (seed, xv)
+
+    def test_validates_partition(self):
+        net = Network()
+        x, y = net.add_pi("x"), net.add_pi("y")
+        net.add_po(net.add_gate(GateType.AND, [x, y]), "o")
+        with pytest.raises(ValueError):
+            solve_exists_forall(net, [x], [x, y])
+        with pytest.raises(ValueError):
+            solve_exists_forall(net, [x], [])
+
+    def test_requires_single_po(self):
+        net = Network()
+        x = net.add_pi("x")
+        net.add_po(x, "a")
+        net.add_po(x, "b")
+        with pytest.raises(ValueError):
+            solve_exists_forall(net, [x], [])
+
+    def test_iteration_cap(self):
+        net = Network()
+        x, y = net.add_pi("x"), net.add_pi("y")
+        net.add_po(net.add_gate(GateType.XOR, [x, y]), "o")
+        with pytest.raises(QbfBudgetExceeded):
+            solve_exists_forall(net, [x], [y], max_iterations=1)

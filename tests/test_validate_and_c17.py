@@ -1,0 +1,94 @@
+"""Tests for Network.validate() and the inline c17 reference circuit."""
+
+import pytest
+
+from repro import EcoEngine, contest_config
+from repro.benchgen.circuits import C17_BENCH, c17, c17_eco_instance
+from repro.network import GateType, Network, NetworkError
+
+from helpers import all_minterms, random_network
+
+
+class TestValidate:
+    def test_clean_networks_pass(self):
+        for seed in range(4):
+            random_network(seed=seed).validate()
+
+    def test_engine_outputs_pass_validation(self):
+        inst = c17_eco_instance(seed=17)
+        res = EcoEngine(contest_config()).run(inst)
+        for patch in res.patches:
+            patch.network.validate()
+        from repro.core import apply_patches
+
+        patched = apply_patches(inst.impl, res.patches)
+        patched.validate()
+        patched.cleanup()
+        patched.validate()
+
+    def test_detects_broken_fanout(self):
+        net = Network()
+        a, b = net.add_pi("a"), net.add_pi("b")
+        g = net.add_gate(GateType.AND, [a, b])
+        net.add_po(g, "o")
+        net._fanouts[a].discard(g)  # sabotage
+        with pytest.raises(NetworkError):
+            net.validate()
+
+    def test_detects_name_map_damage(self):
+        net = Network()
+        net.add_pi("a")
+        net._name_to_id["a"] = 99  # sabotage
+        with pytest.raises(NetworkError):
+            net.validate()
+
+    def test_detects_cycle(self):
+        net = Network()
+        a = net.add_pi("a")
+        g1 = net.add_gate(GateType.AND, [a, a])
+        g2 = net.add_gate(GateType.OR, [g1, a])
+        net.add_po(g2, "o")
+        # sabotage: make g1 depend on g2 behind the API's back
+        net._nodes[g1].fanins = [g2, a]
+        net._fanouts[g2].add(g1)
+        net._fanouts[a].discard(g1)
+        with pytest.raises(NetworkError):
+            net.validate()
+
+
+class TestC17:
+    # (input vector) -> (G22, G23); derived from the NAND netlist
+    VECTORS = [
+        ((0, 0, 0, 0, 0), (0, 0)),
+        ((1, 1, 1, 1, 1), (1, 0)),
+        ((1, 0, 1, 0, 0), (1, 0)),
+        ((0, 1, 0, 1, 1), (1, 1)),
+        ((0, 0, 1, 1, 0), (0, 0)),
+    ]
+
+    def test_structure(self):
+        net = c17()
+        assert net.num_pis == 5
+        assert net.num_pos == 2
+        assert net.num_gates == 6
+        assert all(
+            n.gtype is GateType.NAND for n in net.nodes() if n.is_gate
+        )
+
+    def test_known_vectors(self):
+        net = c17()
+        ins = [net.node_by_name(n) for n in ("G1", "G2", "G3", "G6", "G7")]
+        for vector, (g22, g23) in self.VECTORS:
+            out = net.evaluate_pos(dict(zip(ins, vector)))
+            assert (out["G22"], out["G23"]) == (g22, g23), vector
+
+    def test_eco_on_real_circuit(self):
+        for seed in (17, 18, 23):
+            inst = c17_eco_instance(seed=seed)
+            res = EcoEngine(contest_config()).run(inst)
+            assert res.verified, seed
+
+    def test_bench_text_reparses(self):
+        from repro.io import parse_bench
+
+        assert parse_bench(C17_BENCH).num_gates == 6

@@ -1,0 +1,90 @@
+"""Edge-case tests for structural pruning (windowing)."""
+
+import pytest
+
+from repro.network import GateType, Network, compute_window
+
+from helpers import random_network
+
+
+def pair_with_target(seed=0):
+    net = random_network(n_pi=4, n_gates=20, n_po=3, seed=seed)
+    return net, net.clone("spec")
+
+
+class TestWindowEdges:
+    def test_unobservable_target_empty_window(self):
+        """A target with no path to any PO yields an empty PO window."""
+        impl = Network()
+        a, b = impl.add_pi("a"), impl.add_pi("b")
+        dangling = impl.add_gate(GateType.AND, [a, b], "dang")
+        po = impl.add_gate(GateType.OR, [a, b], "live")
+        impl.add_po(po, "o")
+        spec = impl.clone("spec")
+        w = compute_window(impl, spec, [dangling])
+        assert w.po_indices == []
+        # with no window PIs, only constants could be divisors — none
+        assert all(not impl.node(d).is_pi for d in w.divisors) or not w.divisors
+
+    def test_target_is_po_driver(self):
+        impl = Network()
+        a, b = impl.add_pi("a"), impl.add_pi("b")
+        g = impl.add_gate(GateType.AND, [a, b], "g")
+        impl.add_po(g, "o")
+        spec = impl.clone("spec")
+        w = compute_window(impl, spec, [g])
+        assert w.po_indices == [0]
+        assert g not in w.divisors
+
+    def test_spec_with_wider_support_extends_window_pis(self):
+        """A spec output reading an extra PI pulls that PI into the window."""
+        impl = Network()
+        a, b, c = (impl.add_pi(x) for x in "abc")
+        g = impl.add_gate(GateType.AND, [a, b], "g")
+        impl.add_po(g, "o")
+
+        spec = Network("spec")
+        a2, b2, c2 = (spec.add_pi(x) for x in "abc")
+        g2 = spec.add_gate(GateType.AND, [a2, b2], "g")
+        h2 = spec.add_gate(GateType.OR, [g2, c2], "h")
+        spec.add_po(h2, "o")
+
+        w = compute_window(impl, spec, [impl.node_by_name("g")])
+        names = {impl.node(p).name for p in w.impl_window_pis}
+        assert names == {"a", "b", "c"}
+
+    def test_divisor_support_containment(self):
+        """Divisors must not read PIs outside the window."""
+        impl = Network()
+        a, b, c, d = (impl.add_pi(x) for x in "abcd")
+        t = impl.add_gate(GateType.AND, [a, b], "t")
+        impl.add_po(t, "o1")
+        outside = impl.add_gate(GateType.OR, [c, d], "outside")
+        impl.add_po(outside, "o2")
+        spec = impl.clone("spec")
+        w = compute_window(impl, spec, [t])
+        assert w.po_indices == [0]
+        assert outside not in w.divisors
+        window_pis = set(w.impl_window_pis)
+        from repro.network.traversal import support
+
+        for div in w.divisors:
+            assert support(impl, div) <= window_pis
+
+    def test_overlapping_multi_target_tfo(self):
+        net, spec = pair_with_target(seed=4)
+        gates = [n.nid for n in net.nodes() if n.is_gate][:3]
+        w = compute_window(net, spec, gates)
+        for g in gates:
+            assert g in w.target_tfo
+            assert g not in w.divisors
+
+    def test_all_pos_in_window_when_target_feeds_all(self):
+        impl = Network()
+        a, b = impl.add_pi("a"), impl.add_pi("b")
+        t = impl.add_gate(GateType.XOR, [a, b], "t")
+        impl.add_po(impl.add_gate(GateType.NOT, [t], "n1"), "o1")
+        impl.add_po(impl.add_gate(GateType.BUF, [t], "n2"), "o2")
+        spec = impl.clone("spec")
+        w = compute_window(impl, spec, [t])
+        assert w.po_indices == [0, 1]
