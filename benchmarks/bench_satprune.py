@@ -7,11 +7,10 @@ than minimize_assumptions).  This bench compares the two support methods
 on single- and multi-target units and checks the single-target ordering.
 """
 
-import dataclasses
 
 import pytest
 
-from repro.benchgen import SUITE, run_unit, unit_spec
+from repro.benchgen import run_unit, unit_spec
 
 from conftest import write_result
 

@@ -10,7 +10,7 @@ benchmarked (frames × core size).
 import pytest
 
 from repro.network import GateType, Network
-from repro.seq import Latch, SeqNetwork, run_sequential_eco, seq_cec, unroll
+from repro.seq import Latch, SeqNetwork, run_sequential_eco, unroll
 
 from conftest import write_result
 

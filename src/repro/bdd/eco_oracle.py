@@ -108,7 +108,6 @@ def image_over_divisors(
     # — cheaper: import the divisor functions and the interval by
     # composing over the shared x variables
     # Import divisor functions over x vars 0..n_x-1
-    pi_vars = {pi: i for i, pi in enumerate(interval.pi_order)}
     # map impl PIs by name onto the interval's x variables
     name_to_var = {n: i for i, n in enumerate(interval.pi_names)}
     impl_pi_vars = {}

@@ -10,7 +10,7 @@ wide AND-OR/parity cones.  All generators are seeded and reproducible.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence
 
 from ..network.network import Network
 from ..network.node import GateType
@@ -48,9 +48,9 @@ def random_dag(
         if gtype is GateType.NOT:
             ins = [_pick(rng, nodes)]
         elif gtype in (GateType.XOR, GateType.XNOR):
-            ins = [_pick(rng, nodes) for _ in range(2)]
+            ins = _pick_distinct(rng, nodes, 2)
         else:
-            ins = [_pick(rng, nodes) for _ in range(rng.choice([2, 2, 2, 3]))]
+            ins = _pick_distinct(rng, nodes, rng.choice([2, 2, 2, 3]))
         nodes.append(net.add_gate(gtype, ins, f"g{g}"))
     # drive POs from late nodes so the cones are deep
     tail = nodes[max(0, len(nodes) - max(2 * n_po, 8)):]
@@ -66,6 +66,18 @@ def _pick(rng: random.Random, nodes: Sequence[int]) -> int:
         return nodes[rng.randrange(n)]
     lo = max(0, n - 24)
     return nodes[rng.randrange(lo, n)]
+
+
+def _pick_distinct(rng: random.Random, nodes: Sequence[int], k: int) -> List[int]:
+    """Pick ``k`` distinct fanins (duplicates make gates degenerate:
+    AND(a,a) is a buffer, XOR(a,a) a constant)."""
+    k = min(k, len(set(nodes)))
+    out: List[int] = []
+    while len(out) < k:
+        cand = _pick(rng, nodes)
+        if cand not in out:
+            out.append(cand)
+    return out
 
 
 def ripple_adder(width: int, name: str = "add") -> Network:
@@ -131,7 +143,10 @@ def alu_slice(width: int, name: str = "alu") -> Network:
             c1 = net.add_gate(GateType.AND, [f_xor, carry], f"ca{i}")
             carry = net.add_gate(GateType.OR, [f_and, c1], f"cb{i}")
         lo = net.add_gate(GateType.MUX, [op0, f_and, f_or], f"lo{i}")
-        hi = net.add_gate(GateType.MUX, [op0, f_xor, f_add], f"hi{i}")
+        if f_add == f_xor:  # bit 0: no carry yet, XOR and ADD coincide
+            hi = f_xor
+        else:
+            hi = net.add_gate(GateType.MUX, [op0, f_xor, f_add], f"hi{i}")
         out = net.add_gate(GateType.MUX, [op1, lo, hi], f"alu{i}")
         net.add_po(out, f"y{i}")
     return net

@@ -15,12 +15,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from ..network.network import Network
 from ..network.node import GateType
 from ..network.strash import strash_network
-from ..network.traversal import tfo
+from ..network.traversal import tfi, tfo
 
 _MUTATION_KINDS = (
     "gate_type",
@@ -70,11 +70,23 @@ def corrupt(
     """
     rng = random.Random(seed)
     impl = golden.clone()
+    # prefer live gates (in some PO's fanin cone): corrupting a dead
+    # gate is silent, which makes a useless ECO instance
+    live = tfi(impl, [nid for _, nid in impl.pos])
     gates = [
         n.nid
         for n in impl.nodes()
-        if n.is_gate and n.name and n.gtype is not GateType.BUF
+        if n.is_gate
+        and n.name
+        and n.gtype is not GateType.BUF
+        and n.nid in live
     ]
+    if len(gates) < num_targets:
+        gates = [
+            n.nid
+            for n in impl.nodes()
+            if n.is_gate and n.name and n.gtype is not GateType.BUF
+        ]
     if len(gates) < num_targets:
         raise ValueError("not enough gates to corrupt")
     # spread targets across the netlist
@@ -107,12 +119,13 @@ def _apply_mutation(
     if kind == "rewire" and node.fanins and candidates:
         fanins = list(node.fanins)
         pos = rng.randrange(len(fanins))
-        replacement = rng.choice(candidates)
-        if replacement == fanins[pos]:
-            replacement = rng.choice(candidates)
-        fanins[pos] = replacement
-        impl.set_fanins(nid, node.gtype, fanins)
-        return
+        # avoid every current fanin, not just the replaced one: a
+        # duplicate fanin degenerates the gate (AND(a,a) == BUF(a))
+        pool = [c for c in candidates if c not in fanins]
+        if pool:
+            fanins[pos] = rng.choice(pool)
+            impl.set_fanins(nid, node.gtype, fanins)
+            return
     if kind == "rebuild" and len(candidates) >= 2:
         gtype = rng.choice(
             [GateType.AND, GateType.OR, GateType.XOR, GateType.NAND]

@@ -11,7 +11,7 @@ the suite per Section 4.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..io.weights import EcoInstance

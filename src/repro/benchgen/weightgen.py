@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Sequence, Set
+from typing import Dict, Set
 
 from ..network.network import Network
 from ..network.traversal import levels, tfi

@@ -1,0 +1,49 @@
+"""Static analysis and independent certification (``repro.check``).
+
+The trust backstop of the reproduction: rule-based netlist linting,
+CNF/Tseitin encoding validation, DRUP-style proof checking that does not
+trust the solver's recorded chains, and first-principles re-verification
+of ECO results.  All analyzers emit machine-readable
+:class:`~repro.check.findings.Finding` records with stable rule ids
+(catalogued in ``docs/CHECKING.md``) and are reachable from one API
+(:func:`run_checks`) and one CLI subcommand (``repro-eco check``).
+"""
+
+from .certificate import CertificateError, certify, check_certificate
+from .cnfcheck import (
+    check_cnf,
+    check_encoding,
+    collect_encoding,
+    cross_check_tseitin,
+)
+from .findings import CheckReport, Finding, Severity
+from .netlint import DEFAULT_RULES, LINT_RULES, LintRule, lint_network
+from .proofcheck import (
+    ProofCheckError,
+    RupChecker,
+    check_drup,
+    drup_findings,
+)
+from .runner import run_checks
+
+__all__ = [
+    "CertificateError",
+    "CheckReport",
+    "DEFAULT_RULES",
+    "Finding",
+    "LINT_RULES",
+    "LintRule",
+    "ProofCheckError",
+    "RupChecker",
+    "Severity",
+    "certify",
+    "check_certificate",
+    "check_cnf",
+    "check_drup",
+    "check_encoding",
+    "collect_encoding",
+    "cross_check_tseitin",
+    "drup_findings",
+    "lint_network",
+    "run_checks",
+]

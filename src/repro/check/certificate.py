@@ -1,0 +1,282 @@
+"""Independent certification of ECO results.
+
+The engine verifies its own work (final CEC, ``verified`` flag) — but it
+does so with the same solver objects and the same patched network it
+built.  :func:`check_certificate` re-derives everything from the
+*instance* and the *result* alone:
+
+1. the patches are re-applied to a fresh clone of the implementation
+   and the patched miter against the specification is re-proved UNSAT
+   by a **fresh solver** (optionally DRUP-certified);
+2. every patch input is a member of the allowed divisor set (signals
+   outside every target's fanout cone whose support lies inside the
+   window);
+3. the reported cost equals the recomputed distinct-signal weight sum
+   and the reported gate counts match the synthesized patch netlists;
+4. the patch netlists and the patched implementation are lint-clean.
+
+Rule ids:
+
+========  ========================  ========
+CF001     miter-not-unsat           error
+CF002     divisor-violation         error
+CF003     cost-mismatch             error
+CF004     gate-count-mismatch       error
+CF005     patch-netlist-damage      error
+CF006     verification-undecided    warning
+========  ========================  ========
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..core.miter import MITER_PO, build_miter
+from ..core.patch import EcoResult, apply_patches
+from ..io.weights import EcoInstance
+from ..network.network import NetworkError
+from ..network.window import compute_window
+from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.tseitin import encode_network
+from ..sat.types import mklit
+from .findings import CheckReport, Finding, Severity
+from .netlint import lint_network
+from .proofcheck import drup_findings
+
+
+class CertificateError(Exception):
+    """Raised by :func:`certify` when a certificate check fails."""
+
+
+def check_certificate(
+    instance: EcoInstance,
+    result: EcoResult,
+    budget_conflicts: Optional[int] = None,
+    drup: bool = False,
+) -> CheckReport:
+    """Re-verify ``result`` against ``instance`` from first principles.
+
+    Returns a :class:`CheckReport`; :attr:`CheckReport.ok` is the
+    verdict.  With ``drup`` the UNSAT re-proof is additionally certified
+    by the independent clause-stream checker (slower; the solver runs
+    with proof logging).
+    """
+    report = CheckReport(subject=f"certificate:{result.instance_name}")
+
+    # --- patch shape and lint ------------------------------------------
+    targets = set(instance.targets)
+    patched_targets: Set[str] = set()
+    for patch in result.patches:
+        if patch.target not in targets:
+            report.add(
+                Finding(
+                    "CF005",
+                    Severity.ERROR,
+                    f"patch drives {patch.target!r}, which is not a "
+                    "target of the instance",
+                    name=patch.target,
+                )
+            )
+            continue
+        patched_targets.add(patch.target)
+        if patch.network.num_pos != 1:
+            report.add(
+                Finding(
+                    "CF005",
+                    Severity.ERROR,
+                    f"patch for {patch.target!r} has "
+                    f"{patch.network.num_pos} outputs (want 1)",
+                    name=patch.target,
+                )
+            )
+        for lint in lint_network(patch.network):
+            if lint.severity is Severity.ERROR:
+                report.add(
+                    Finding(
+                        "CF005",
+                        Severity.ERROR,
+                        f"patch for {patch.target!r} fails lint "
+                        f"{lint.rule}: {lint.message}",
+                        node=lint.node,
+                        name=patch.target,
+                    )
+                )
+        support_names = {
+            patch.network.node(pi).name for pi in patch.network.pis
+        }
+        if set(patch.support) != support_names:
+            report.add(
+                Finding(
+                    "CF005",
+                    Severity.ERROR,
+                    f"patch for {patch.target!r} declares support "
+                    f"{sorted(patch.support)} but its netlist reads "
+                    f"{sorted(support_names)}",
+                    name=patch.target,
+                )
+            )
+    if patched_targets != targets:
+        missing = sorted(targets - patched_targets)
+        report.add(
+            Finding(
+                "CF005",
+                Severity.ERROR,
+                f"targets without a patch: {missing}",
+                name=",".join(missing),
+            )
+        )
+    if not report.ok:
+        return report  # netlist damage: re-proof would be meaningless
+
+    # --- divisor-subset check ------------------------------------------
+    window = compute_window(
+        instance.impl, instance.spec, instance.target_ids()
+    )
+    allowed = {
+        instance.impl.node(nid).name or f"n{nid}"
+        for nid in window.divisors
+    }
+    for patch in result.patches:
+        for sname in patch.support:
+            if sname not in allowed:
+                report.add(
+                    Finding(
+                        "CF002",
+                        Severity.ERROR,
+                        f"patch for {patch.target!r} reads {sname!r}, "
+                        "which is not in the allowed divisor set "
+                        "(inside a target's fanout cone or outside "
+                        "the window)",
+                        name=sname,
+                    )
+                )
+
+    # --- accounting ----------------------------------------------------
+    distinct = sorted({n for p in result.patches for n in p.support})
+    want_cost = sum(
+        instance.weights.get(n, instance.default_weight) for n in distinct
+    )
+    if want_cost != result.cost:
+        report.add(
+            Finding(
+                "CF003",
+                Severity.ERROR,
+                f"result reports cost {result.cost} but the distinct "
+                f"support signals weigh {want_cost}",
+            )
+        )
+    gates = 0
+    for patch in result.patches:
+        actual = patch.network.num_gates
+        gates += actual
+        if patch.gate_count != actual:
+            report.add(
+                Finding(
+                    "CF004",
+                    Severity.ERROR,
+                    f"patch for {patch.target!r} reports "
+                    f"{patch.gate_count} gates but its netlist has "
+                    f"{actual}",
+                    name=patch.target,
+                )
+            )
+    if gates != result.gate_count:
+        report.add(
+            Finding(
+                "CF004",
+                Severity.ERROR,
+                f"result reports {result.gate_count} gates but the "
+                f"patch netlists total {gates}",
+            )
+        )
+
+    # --- independent UNSAT re-proof ------------------------------------
+    try:
+        patched = apply_patches(instance.impl, result.patches)
+    except (ValueError, NetworkError) as exc:
+        report.add(
+            Finding(
+                "CF005",
+                Severity.ERROR,
+                f"patches do not apply to the implementation: {exc}",
+            )
+        )
+        return report
+    for lint in lint_network(patched):
+        if lint.severity is Severity.ERROR:
+            report.add(
+                Finding(
+                    "CF005",
+                    Severity.ERROR,
+                    f"patched implementation fails lint {lint.rule}: "
+                    f"{lint.message}",
+                    node=lint.node,
+                )
+            )
+    if not report.ok:
+        return report
+
+    miter = build_miter(patched, instance.spec, targets=[])
+    solver = Solver(proof_logging=drup)
+    varmap = encode_network(solver, miter.net)
+    out_var = varmap[dict(miter.net.pos)[MITER_PO]]
+    solver.add_clause([mklit(out_var)])
+    try:
+        sat = solver.solve(budget_conflicts=budget_conflicts)
+    except SatBudgetExceeded:
+        report.add(
+            Finding(
+                "CF006",
+                Severity.WARNING,
+                "SAT budget exhausted before the patched miter was "
+                "re-proved UNSAT (verification undecided)",
+            )
+        )
+        return report
+    if sat:
+        cex = {
+            miter.net.node(pi).name: solver.model_value(
+                mklit(varmap[pi])
+            )
+            for pi in miter.x_pis
+        }
+        report.add(
+            Finding(
+                "CF001",
+                Severity.ERROR,
+                "patched implementation differs from the "
+                f"specification (counterexample {cex})",
+            )
+        )
+        return report
+    if drup:
+        for f in drup_findings(solver):
+            report.add(
+                Finding(
+                    "CF001",
+                    Severity.ERROR,
+                    f"UNSAT re-proof failed independent checking "
+                    f"({f.rule}): {f.message}",
+                    node=f.node,
+                )
+            )
+    return report
+
+
+def certify(
+    instance: EcoInstance,
+    result: EcoResult,
+    budget_conflicts: Optional[int] = None,
+    drup: bool = False,
+) -> CheckReport:
+    """Raise-on-failure wrapper around :func:`check_certificate`."""
+    report = check_certificate(
+        instance, result, budget_conflicts=budget_conflicts, drup=drup
+    )
+    if not report.ok:
+        first = report.errors[0]
+        raise CertificateError(
+            f"{result.instance_name}: {len(report.errors)} certificate "
+            f"error(s); first: {first.format()}"
+        )
+    return report

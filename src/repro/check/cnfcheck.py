@@ -1,0 +1,247 @@
+"""CNF well-formedness and Tseitin-encoding validation.
+
+Two layers of defense for the encoding pipeline:
+
+* :func:`check_cnf` — syntactic sweep over a clause list (variable
+  bounds, empty/tautological clauses, duplicate literals/clauses);
+* :func:`cross_check_tseitin` — semantic cross-check that the CNF
+  produced by :func:`repro.sat.tseitin.encode_network` agrees with
+  :meth:`Network.evaluate` on random input vectors, in both directions:
+  the simulated assignment must be satisfiable (the encoding is not
+  over-constrained) and its complement at each output must be
+  unsatisfiable (the encoding is not under-constrained).
+
+Rule ids:
+
+========  =======================  ========
+CN001     variable-out-of-bounds   error
+CN002     empty-clause             warning
+CN003     tautological-clause      warning
+CN004     duplicate-literal        warning
+CN005     duplicate-clause         info
+CN006     encoding-overconstrained error
+CN007     encoding-underconstrained error
+========  =======================  ========
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..network.network import Network
+from ..sat.simplify import ClauseCollector
+from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.tseitin import encode_network
+from ..sat.types import mklit
+from .findings import Finding, Severity
+
+#: Simulation word width used by the bit-parallel cross-check.
+_WORD_BITS = 64
+
+
+def check_cnf(
+    clauses: Sequence[Sequence[int]], nvars: int
+) -> List[Finding]:
+    """Syntactic well-formedness sweep over internal-literal clauses.
+
+    ``nvars`` bounds the legal variable range ``[0, nvars)``.  Clause
+    indices are reported through :attr:`Finding.node`.
+    """
+    out: List[Finding] = []
+    seen_clauses: Dict[frozenset, int] = {}
+    for idx, clause in enumerate(clauses):
+        lits = list(clause)
+        if not lits:
+            out.append(
+                Finding(
+                    "CN002",
+                    Severity.WARNING,
+                    f"clause {idx} is empty (formula trivially UNSAT)",
+                    node=idx,
+                )
+            )
+            continue
+        litset = set(lits)
+        for lit in litset:
+            var = lit >> 1
+            if lit < 0 or var >= nvars:
+                out.append(
+                    Finding(
+                        "CN001",
+                        Severity.ERROR,
+                        f"clause {idx} uses literal {lit} outside the "
+                        f"declared {nvars} variable(s)",
+                        node=idx,
+                    )
+                )
+        if len(litset) < len(lits):
+            out.append(
+                Finding(
+                    "CN004",
+                    Severity.WARNING,
+                    f"clause {idx} repeats a literal",
+                    node=idx,
+                )
+            )
+        if any(lit ^ 1 in litset for lit in litset):
+            out.append(
+                Finding(
+                    "CN003",
+                    Severity.WARNING,
+                    f"clause {idx} is tautological",
+                    node=idx,
+                )
+            )
+            continue
+        key = frozenset(litset)
+        first = seen_clauses.get(key)
+        if first is not None:
+            out.append(
+                Finding(
+                    "CN005",
+                    Severity.INFO,
+                    f"clause {idx} duplicates clause {first}",
+                    node=idx,
+                )
+            )
+        else:
+            seen_clauses[key] = idx
+    return out
+
+
+def cross_check_tseitin(
+    net: Network,
+    patterns: int = 64,
+    seed: int = 2018,
+    complement_patterns: int = 4,
+    budget_conflicts: Optional[int] = 100000,
+) -> List[Finding]:
+    """Cross-check the Tseitin encoding of ``net`` against simulation.
+
+    Draws ``patterns`` random input vectors (bit-parallel, in words of
+    64).  For each vector the encoding is solved under the PI
+    assignment; every node variable must agree with the simulated value
+    (CN006 otherwise).  For the first ``complement_patterns`` vectors
+    each PO variable is additionally forced to the complement of its
+    simulated value, which must be UNSAT (CN007 otherwise).
+
+    The network must be lint-clean (acyclic, consistent); run
+    :func:`repro.check.netlint.lint_network` first.
+    """
+    out: List[Finding] = []
+    rng = random.Random(seed)
+    pis = net.pis
+    solver = Solver()
+    varmap = encode_network(solver, net)
+
+    done = 0
+    complements_left = complement_patterns
+    while done < patterns:
+        width = min(_WORD_BITS, patterns - done)
+        mask = (1 << width) - 1
+        pi_words = {pi: rng.getrandbits(width) for pi in pis}
+        values = net.evaluate(pi_words, mask)
+        for bit in range(width):
+            assumptions = [
+                mklit(varmap[pi], not ((pi_words[pi] >> bit) & 1))
+                for pi in pis
+            ]
+            try:
+                sat = solver.solve(
+                    assumptions, budget_conflicts=budget_conflicts
+                )
+            except SatBudgetExceeded:
+                out.append(
+                    Finding(
+                        "CN006",
+                        Severity.ERROR,
+                        "SAT budget exhausted while cross-checking the "
+                        "encoding (vector undecided)",
+                    )
+                )
+                return out
+            if not sat:
+                out.append(
+                    Finding(
+                        "CN006",
+                        Severity.ERROR,
+                        "encoding is over-constrained: the simulated "
+                        f"input vector #{done + bit} is UNSAT",
+                    )
+                )
+                return out
+            for nid, var in varmap.items():
+                want = (values[nid] >> bit) & 1
+                got = solver.model_value(mklit(var))
+                if want != got:
+                    node = net.node(nid)
+                    out.append(
+                        Finding(
+                            "CN006",
+                            Severity.ERROR,
+                            f"node {nid} simulates to {want} but the "
+                            f"model assigns {got} on vector "
+                            f"#{done + bit}",
+                            node=nid,
+                            name=node.name,
+                        )
+                    )
+                    return out
+            if complements_left > 0:
+                complements_left -= 1
+                for po_name, po_nid in net.pos:
+                    want = (values[po_nid] >> bit) & 1
+                    forced = assumptions + [
+                        mklit(varmap[po_nid], bool(want))
+                    ]
+                    try:
+                        sat = solver.solve(
+                            forced, budget_conflicts=budget_conflicts
+                        )
+                    except SatBudgetExceeded:
+                        sat = False  # cannot refute; treat as pass
+                    if sat:
+                        out.append(
+                            Finding(
+                                "CN007",
+                                Severity.ERROR,
+                                f"encoding is under-constrained: PO "
+                                f"{po_name!r} can take value "
+                                f"{1 - want} under input vector "
+                                f"#{done + bit}",
+                                node=po_nid,
+                                name=po_name,
+                            )
+                        )
+                        return out
+        done += width
+    return out
+
+
+def collect_encoding(net: Network) -> ClauseCollector:
+    """Encode ``net`` into a :class:`ClauseCollector` (no solving)."""
+    collector = ClauseCollector()
+    encode_network(collector, net)
+    return collector
+
+
+def check_encoding(
+    net: Network,
+    patterns: int = 64,
+    seed: int = 2018,
+    budget_conflicts: Optional[int] = 100000,
+) -> List[Finding]:
+    """Full encoding validation: syntactic sweep + simulation cross-check."""
+    collector = collect_encoding(net)
+    out = check_cnf(collector.clause_list, collector.nvars)
+    if not any(f.severity is Severity.ERROR for f in out):
+        out.extend(
+            cross_check_tseitin(
+                net,
+                patterns=patterns,
+                seed=seed,
+                budget_conflicts=budget_conflicts,
+            )
+        )
+    return out

@@ -1,0 +1,129 @@
+"""Machine-readable findings shared by every ``repro.check`` analyzer.
+
+Every analyzer in this package reports problems as :class:`Finding`
+records instead of raising on the first defect, so callers (the
+``repro check`` CLI, the engine's certificate self-check, CI gates) can
+collect, filter, and serialize complete reports.  Rule identifiers are
+stable strings (``NL…`` netlist lint, ``CN…`` CNF/encoding, ``PC…``
+proof checking, ``CF…`` ECO certificates) catalogued in
+``docs/CHECKING.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class Severity(enum.Enum):
+    """Defect severity; ``ERROR`` findings make a check fail."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect discovered by an analyzer.
+
+    Attributes:
+        rule: stable rule id, e.g. ``"NL001"``.
+        severity: how bad the defect is.
+        message: human-readable description.
+        node: network node id (or clause/proof id) the finding anchors
+            to, when one exists.
+        name: symbolic name of the offending object, when one exists.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    node: Optional[int] = None
+    name: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        out: Dict[str, object] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.node is not None:
+            out["node"] = self.node
+        if self.name:
+            out["name"] = self.name
+        return out
+
+    def format(self) -> str:
+        """One-line rendering used by the CLI."""
+        where = ""
+        if self.name:
+            where = f" [{self.name}]"
+        elif self.node is not None:
+            where = f" [node {self.node}]"
+        return f"{self.rule} {self.severity.value}{where}: {self.message}"
+
+
+@dataclass
+class CheckReport:
+    """A collection of findings plus convenience accessors."""
+
+    subject: str = ""
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was recorded."""
+        return not self.errors
+
+    def rules(self) -> List[str]:
+        """Sorted distinct rule ids present in the report."""
+        return sorted({f.rule for f in self.findings})
+
+    def by_rule(self, rule: str) -> List[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def summary(self) -> str:
+        """Short human-readable verdict line."""
+        n_err = len(self.errors)
+        n_warn = len(self.warnings)
+        n_info = len(self.findings) - n_err - n_warn
+        subject = f"{self.subject}: " if self.subject else ""
+        if not self.findings:
+            return f"{subject}clean"
+        return (
+            f"{subject}{n_err} error(s), {n_warn} warning(s), "
+            f"{n_info} info finding(s)"
+        )

@@ -1,0 +1,429 @@
+"""Rule-based structural linting of :class:`~repro.network.network.Network`.
+
+Unlike ``Network.validate()`` — which raises on the first problem — the
+linter sweeps the whole netlist and emits one :class:`Finding` per
+defect, with stable rule ids:
+
+========  ====================  ========  =========================================
+rule      slug                  severity  meaning
+========  ====================  ========  =========================================
+NL001     combinational-cycle   error     fanin edges form a cycle
+NL002     dangling-node         error     reference to a dead node / broken
+                                          fanin-fanout symmetry / corrupt PI or
+                                          constant registry
+NL003     duplicate-fanin       warning   a gate lists the same fanin twice
+NL004     arity-violation       error     fanin count illegal for the gate type
+NL005     undriven-po           error     a PO is bound to a missing node
+NL006     strash-violation      info      structurally duplicate gates (the
+                                          network is not structurally hashed)
+NL007     name-collision        error     node names and the name map disagree
+========  ====================  ========  =========================================
+
+``Network.validate()`` delegates here and raises
+:class:`~repro.network.network.NetworkError` on the first error-severity
+finding, so the two entry points can never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..network.network import Network
+from ..network.node import GateType, arity_ok
+from .findings import Finding, Severity
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One linter rule: stable id, slug, severity, and checker."""
+
+    rule: str
+    slug: str
+    severity: Severity
+    description: str
+    check: Callable[[Network], List[Finding]]
+
+
+def _finding(
+    rule: "LintRule", message: str, node: Optional[int] = None, name: str = ""
+) -> Finding:
+    return Finding(
+        rule=rule.rule,
+        severity=rule.severity,
+        message=message,
+        node=node,
+        name=name,
+    )
+
+
+# ----------------------------------------------------------------------
+# individual rules
+# ----------------------------------------------------------------------
+
+
+def _check_cycles(net: Network) -> List[Finding]:
+    """NL001: cycle detection by Kahn's algorithm over live nodes."""
+    out: List[Finding] = []
+    live = {n.nid for n in net.nodes()}
+    indeg: Dict[int, int] = {nid: 0 for nid in live}
+    for node in net.nodes():
+        for f in node.fanins:
+            if f in live and f != node.nid:
+                indeg[node.nid] += 1
+        if node.nid in node.fanins:
+            out.append(
+                _finding(
+                    NL001,
+                    f"node {node.nid} feeds itself",
+                    node.nid,
+                    node.name,
+                )
+            )
+    queue = [nid for nid, d in indeg.items() if d == 0]
+    visited = 0
+    while queue:
+        nid = queue.pop()
+        visited += 1
+        for fo in net._fanouts[nid]:
+            if fo not in live:
+                continue
+            uses = sum(1 for f in net.node(fo).fanins if f == nid)
+            if not uses:
+                continue  # asymmetric edge; NL002's business
+            indeg[fo] -= uses
+            if indeg[fo] == 0:
+                queue.append(fo)
+    if visited < len(live):
+        # stuck nodes that cannot reach themselves are *not* reported:
+        # they are stuck because a fanout list is out of sync, which is
+        # NL002's business, not a cycle
+        stuck = sorted(nid for nid, d in indeg.items() if d > 0)
+        cyclic = [n for n in stuck if _on_cycle(net, n, live)]
+        for nid in cyclic:
+            node = net.node(nid)
+            out.append(
+                _finding(
+                    NL001,
+                    f"node {nid} lies on a combinational cycle",
+                    nid,
+                    node.name,
+                )
+            )
+    return out
+
+
+def _on_cycle(net: Network, start: int, live: set) -> bool:
+    """True when ``start`` can reach itself through fanin edges."""
+    stack = [f for f in net.node(start).fanins if f in live]
+    seen = set()
+    while stack:
+        nid = stack.pop()
+        if nid == start:
+            return True
+        if nid in seen:
+            continue
+        seen.add(nid)
+        stack.extend(f for f in net.node(nid).fanins if f in live)
+    return False
+
+
+def _check_dangling(net: Network) -> List[Finding]:
+    """NL002: dead references and fanin/fanout asymmetry."""
+    out: List[Finding] = []
+    for node in net.nodes():
+        for f in node.fanins:
+            if not net.has_node(f):
+                out.append(
+                    _finding(
+                        NL002,
+                        f"node {node.nid} has dangling fanin {f}",
+                        node.nid,
+                        node.name,
+                    )
+                )
+            elif node.nid not in net._fanouts[f]:
+                out.append(
+                    _finding(
+                        NL002,
+                        f"fanout list of {f} misses consumer {node.nid}",
+                        f,
+                        node.name,
+                    )
+                )
+        for fo in net._fanouts[node.nid]:
+            if not net.has_node(fo):
+                out.append(
+                    _finding(
+                        NL002,
+                        f"node {node.nid} lists dangling fanout {fo}",
+                        node.nid,
+                        node.name,
+                    )
+                )
+            elif node.nid not in net.node(fo).fanins:
+                out.append(
+                    _finding(
+                        NL002,
+                        f"node {fo} does not list {node.nid} as fanin",
+                        fo,
+                        node.name,
+                    )
+                )
+    for pi in net._pis:
+        if not net.has_node(pi):
+            out.append(_finding(NL002, f"PI registry references dead node {pi}", pi))
+        elif not net.node(pi).is_pi:
+            out.append(
+                _finding(
+                    NL002,
+                    f"PI registry entry {pi} is a "
+                    f"{net.node(pi).gtype.value} node",
+                    pi,
+                    net.node(pi).name,
+                )
+            )
+    for gtype, cid in net._const_ids.items():
+        if not net.has_node(cid):
+            out.append(
+                _finding(
+                    NL002,
+                    f"constant registry references dead node {cid}",
+                    cid,
+                )
+            )
+        elif net.node(cid).gtype is not gtype:
+            out.append(
+                _finding(
+                    NL002,
+                    f"constant registry maps {gtype.value} to a "
+                    f"{net.node(cid).gtype.value} node",
+                    cid,
+                )
+            )
+    return out
+
+
+def _check_duplicate_fanins(net: Network) -> List[Finding]:
+    """NL003: the same signal wired into one gate more than once."""
+    out: List[Finding] = []
+    for node in net.nodes():
+        if not node.is_gate:
+            continue
+        seen = set()
+        for f in node.fanins:
+            if f in seen:
+                out.append(
+                    _finding(
+                        NL003,
+                        f"node {node.nid} ({node.gtype.value}) lists "
+                        f"fanin {f} more than once",
+                        node.nid,
+                        node.name,
+                    )
+                )
+                break
+            seen.add(f)
+    return out
+
+
+def _check_arity(net: Network) -> List[Finding]:
+    """NL004: fanin counts must match the gate type."""
+    out: List[Finding] = []
+    for node in net.nodes():
+        if not arity_ok(node.gtype, len(node.fanins)):
+            out.append(
+                _finding(
+                    NL004,
+                    f"node {node.nid}: {len(node.fanins)} fanin(s) is "
+                    f"illegal for {node.gtype.value}",
+                    node.nid,
+                    node.name,
+                )
+            )
+    return out
+
+
+def _check_pos(net: Network) -> List[Finding]:
+    """NL005: every PO must be bound to a live node."""
+    out: List[Finding] = []
+    for index, (name, nid) in enumerate(net.pos):
+        if not net.has_node(nid):
+            out.append(
+                _finding(
+                    NL005,
+                    f"PO #{index} {name!r} is bound to dead node {nid}",
+                    nid,
+                    name,
+                )
+            )
+    return out
+
+
+def _check_strash(net: Network) -> List[Finding]:
+    """NL006: structurally duplicate gates (commutative fanins sorted)."""
+    out: List[Finding] = []
+    seen: Dict[Tuple[GateType, Tuple[int, ...]], int] = {}
+    for node in net.nodes():
+        if not node.is_gate:
+            continue
+        if node.gtype is GateType.MUX:
+            key_fanins = tuple(node.fanins)
+        else:
+            key_fanins = tuple(sorted(node.fanins))
+        key = (node.gtype, key_fanins)
+        first = seen.get(key)
+        if first is None:
+            seen[key] = node.nid
+            continue
+        out.append(
+            _finding(
+                NL006,
+                f"node {node.nid} duplicates node {first} "
+                f"({node.gtype.value} over the same fanins)",
+                node.nid,
+                node.name,
+            )
+        )
+    return out
+
+
+def _check_names(net: Network) -> List[Finding]:
+    """NL007: node names and the name map must agree bijectively."""
+    out: List[Finding] = []
+    by_name: Dict[str, int] = {}
+    for node in net.nodes():
+        if not node.name:
+            continue
+        other = by_name.get(node.name)
+        if other is not None:
+            out.append(
+                _finding(
+                    NL007,
+                    f"nodes {other} and {node.nid} share the name "
+                    f"{node.name!r}",
+                    node.nid,
+                    node.name,
+                )
+            )
+            continue
+        by_name[node.name] = node.nid
+        mapped = net._name_to_id.get(node.name)
+        if mapped != node.nid:
+            out.append(
+                _finding(
+                    NL007,
+                    f"name map binds {node.name!r} to "
+                    f"{mapped if mapped is not None else 'nothing'}, "
+                    f"but node {node.nid} carries that name",
+                    node.nid,
+                    node.name,
+                )
+            )
+    for name, nid in net._name_to_id.items():
+        if not net.has_node(nid):
+            out.append(
+                _finding(
+                    NL007,
+                    f"name map binds {name!r} to dead node {nid}",
+                    nid,
+                    name,
+                )
+            )
+        elif net.node(nid).name != name:
+            out.append(
+                _finding(
+                    NL007,
+                    f"name map binds {name!r} to node {nid}, which is "
+                    f"named {net.node(nid).name!r}",
+                    nid,
+                    name,
+                )
+            )
+    return out
+
+
+NL001 = LintRule(
+    "NL001",
+    "combinational-cycle",
+    Severity.ERROR,
+    "Fanin edges must form a DAG; cycles make evaluation undefined.",
+    _check_cycles,
+)
+NL002 = LintRule(
+    "NL002",
+    "dangling-node",
+    Severity.ERROR,
+    "Fanin/fanout references must point at live nodes and stay symmetric; "
+    "the PI and constant registries must be consistent.",
+    _check_dangling,
+)
+NL003 = LintRule(
+    "NL003",
+    "duplicate-fanin",
+    Severity.WARNING,
+    "A gate reading the same signal twice is legal but almost always a "
+    "construction bug (the duplicate is redundant or flips XOR parity).",
+    _check_duplicate_fanins,
+)
+NL004 = LintRule(
+    "NL004",
+    "arity-violation",
+    Severity.ERROR,
+    "Leaf nodes take 0 fanins, BUF/NOT exactly 1, MUX exactly 3, "
+    "symmetric gates 2 or more.",
+    _check_arity,
+)
+NL005 = LintRule(
+    "NL005",
+    "undriven-po",
+    Severity.ERROR,
+    "Every primary output must be bound to a live node.",
+    _check_pos,
+)
+NL006 = LintRule(
+    "NL006",
+    "strash-violation",
+    Severity.INFO,
+    "Two gates computing the same function over the same fanins indicate "
+    "the network is not structurally hashed.",
+    _check_strash,
+)
+NL007 = LintRule(
+    "NL007",
+    "name-collision",
+    Severity.ERROR,
+    "Node names are unique and the name map mirrors them exactly.",
+    _check_names,
+)
+
+#: All rules, id-ordered.  NL006 is informational and excluded from the
+#: default sweep (unhashed networks are the common, legal case).
+LINT_RULES: Dict[str, LintRule] = {
+    r.rule: r for r in (NL001, NL002, NL003, NL004, NL005, NL006, NL007)
+}
+
+#: Rules applied when the caller does not select a subset.
+DEFAULT_RULES: Tuple[str, ...] = (
+    "NL001",
+    "NL002",
+    "NL003",
+    "NL004",
+    "NL005",
+    "NL007",
+)
+
+
+def lint_network(
+    net: Network, rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run the selected lint rules (default: all but NL006) over ``net``.
+
+    Returns every finding, id-ordered by rule; never raises on netlist
+    damage.  Unknown rule ids raise :class:`KeyError`.
+    """
+    chosen = DEFAULT_RULES if rules is None else tuple(rules)
+    out: List[Finding] = []
+    for rid in chosen:
+        out.extend(LINT_RULES[rid].check(net))
+    return out

@@ -1,0 +1,238 @@
+"""Independent forward clausal (DRUP-style) proof checking.
+
+:func:`repro.sat.proof.check_proof` *replays the solver's own recorded
+resolution chains* — it trusts the solver's bookkeeping.  This module
+closes that loop with a checker in the DRUP tradition: it consumes only
+the **clause stream** (original clauses as axioms, learned clauses as
+claims) and validates each learned clause by *reverse unit propagation*
+(RUP): assuming the clause's negation must yield a conflict by unit
+propagation over the clauses seen so far.  An UNSAT conclusion is
+certified when the stream propagates to a top-level conflict.
+
+Every clause a CDCL solver learns by first-UIP conflict analysis is RUP
+with respect to its clause database at learning time, so a healthy
+:class:`~repro.sat.solver.Solver` run with ``proof_logging=True`` always
+passes; a corrupted chain, a miscopied literal, or an unsound learned
+clause does not.
+
+Rule ids (used when reporting instead of raising):
+
+========  ====================  ========
+PC001     non-rup-clause        error
+PC002     missing-conclusion    error
+PC003     malformed-stream      error
+========  ====================  ========
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..sat.solver import Solver
+from .findings import Finding, Severity
+
+
+class ProofCheckError(Exception):
+    """Raised when the clause stream does not certify the conclusion."""
+
+
+class RupChecker:
+    """Incremental RUP checker over internal literals (``2*var+neg``).
+
+    Permanent clauses are added with :meth:`add_clause`; candidate
+    clauses are validated with :meth:`check_rup`.  Unit propagation uses
+    two watched literals; temporary propagation during a RUP check is
+    rolled back, permanent (top-level) units persist.
+    """
+
+    def __init__(self) -> None:
+        self._assign: Dict[int, int] = {}  # var -> 0/1
+        self._watches: Dict[int, List[List[int]]] = {}
+        self._trail: List[int] = []
+        self._units: List[int] = []  # pending permanent units
+        self.top_conflict = False  # empty clause derived at top level
+
+    # ------------------------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        v = self._assign.get(lit >> 1, -1)
+        if v < 0:
+            return -1
+        return v ^ (lit & 1)
+
+    def _enqueue(self, lit: int) -> bool:
+        """Assign ``lit`` true; False when it is already false."""
+        v = self._value(lit)
+        if v == 0:
+            return False
+        if v == -1:
+            self._assign[lit >> 1] = 1 - (lit & 1)
+            self._trail.append(lit)
+        return True
+
+    def _propagate(self, start: int) -> bool:
+        """Propagate trail entries from index ``start``; False on conflict."""
+        qhead = start
+        while qhead < len(self._trail):
+            p = self._trail[qhead]
+            qhead += 1
+            false_lit = p ^ 1
+            # clauses watching ``false_lit`` live in watches[p]
+            wlist = self._watches.get(p)
+            if not wlist:
+                continue
+            keep: List[List[int]] = []
+            for i, clause in enumerate(wlist):
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if self._value(clause[0]) == 1:
+                    keep.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches.setdefault(
+                            clause[1] ^ 1, []
+                        ).append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                keep.append(clause)
+                if not self._enqueue(clause[0]):
+                    keep.extend(wlist[i + 1 :])
+                    self._watches[p] = keep
+                    return False
+            self._watches[p] = keep
+        return True
+
+    def _undo_to(self, mark: int) -> None:
+        for lit in self._trail[mark:]:
+            del self._assign[lit >> 1]
+        del self._trail[mark:]
+
+    # ------------------------------------------------------------------
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        """Add a permanent clause; returns False once UNSAT is evident.
+
+        Duplicate literals are merged; tautologies are ignored.
+        """
+        if self.top_conflict:
+            return False
+        seen = set()
+        out: List[int] = []
+        for lit in lits:
+            if lit ^ 1 in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self.top_conflict = True
+            return False
+        if any(self._value(lit) == 1 for lit in out):
+            # satisfied at top level; sound to keep, pointless to watch
+            return True
+        nonfalse = [lit for lit in out if self._value(lit) != 0]
+        if not nonfalse:
+            self.top_conflict = True
+            return False
+        if len(nonfalse) == 1:
+            if not self._enqueue(nonfalse[0]) or not self._propagate(
+                len(self._trail) - 1
+            ):
+                self.top_conflict = True
+                return False
+            return True
+        # watch two non-false literals
+        clause = list(out)
+        a = clause.index(nonfalse[0])
+        clause[0], clause[a] = clause[a], clause[0]
+        b = clause.index(nonfalse[1])
+        clause[1], clause[b] = clause[b], clause[1]
+        self._watches.setdefault(clause[0] ^ 1, []).append(clause)
+        self._watches.setdefault(clause[1] ^ 1, []).append(clause)
+        return True
+
+    def check_rup(self, lits: Sequence[int]) -> bool:
+        """True when assuming the negation of ``lits`` propagates to
+        conflict against the permanent clauses (reverse unit propagation).
+        """
+        if self.top_conflict:
+            return True  # ex falso: everything is implied
+        mark = len(self._trail)
+        ok = True
+        for lit in lits:
+            if not self._enqueue(lit ^ 1):
+                ok = False  # negation conflicts immediately
+                break
+        if ok:
+            ok = self._propagate(mark)
+        self._undo_to(mark)
+        return not ok
+
+
+def check_drup(solver: Solver, strict: bool = True) -> int:
+    """Certify ``solver``'s clause stream without trusting its chains.
+
+    Walks the registered clauses in creation (cid) order: clauses
+    without a recorded derivation chain are axioms; clauses *with* a
+    chain are claims and must pass a RUP check before joining the
+    database.  When the solver concluded UNSAT at level 0
+    (``empty_clause_cid`` set), the stream must reach a top-level
+    conflict.  Returns the number of RUP-checked clauses; raises
+    :class:`ProofCheckError` on the first failure when ``strict``.
+    """
+    findings = drup_findings(solver)
+    if strict and findings:
+        raise ProofCheckError(findings[0].message)
+    return _count_checked(solver)
+
+
+def drup_findings(solver: Solver) -> List[Finding]:
+    """Finding-list variant of :func:`check_drup` (never raises)."""
+    out: List[Finding] = []
+    if not solver.proof_logging:
+        out.append(
+            Finding(
+                "PC003",
+                Severity.ERROR,
+                "solver was not run with proof_logging=True",
+            )
+        )
+        return out
+    checker = RupChecker()
+    for cid in sorted(solver.clause_lits):
+        lits = solver.clause_lits[cid]
+        if cid in solver.proof_chains:
+            if not checker.check_rup(lits):
+                out.append(
+                    Finding(
+                        "PC001",
+                        Severity.ERROR,
+                        f"learned clause {cid} {sorted(lits)} is not a "
+                        "reverse-unit-propagation consequence of the "
+                        "clauses before it",
+                        node=cid,
+                    )
+                )
+                return out
+        checker.add_clause(lits)
+    if solver.empty_clause_cid is not None and not checker.top_conflict:
+        out.append(
+            Finding(
+                "PC002",
+                Severity.ERROR,
+                "solver recorded an UNSAT conclusion but the clause "
+                "stream does not propagate to a conflict",
+                node=solver.empty_clause_cid,
+            )
+        )
+    return out
+
+
+def _count_checked(solver: Solver) -> int:
+    return sum(1 for cid in solver.proof_chains if cid in solver.clause_lits)

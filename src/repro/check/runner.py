@@ -1,0 +1,52 @@
+"""The one-call entry point: :func:`run_checks`.
+
+Bundles the netlist linter and the encoding validator into a single
+sweep over a :class:`~repro.network.network.Network`, producing one
+:class:`CheckReport`.  The encoding cross-check only runs on
+lint-error-free networks — feeding a cyclic or inconsistent netlist to
+the Tseitin encoder would crash rather than report.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..network.network import Network
+from .cnfcheck import check_encoding
+from .findings import CheckReport
+from .netlint import lint_network
+
+
+def run_checks(
+    net: Network,
+    name: str = "",
+    rules: Optional[Sequence[str]] = None,
+    encoding: bool = True,
+    patterns: int = 64,
+    seed: int = 2018,
+    budget_conflicts: Optional[int] = 100000,
+) -> CheckReport:
+    """Run all static checks over ``net``; returns a full report.
+
+    Args:
+        net: the network to analyze.
+        name: report subject (defaults to the network's name).
+        rules: lint rule ids to run (default: all but NL006).
+        encoding: also validate the Tseitin encoding against random
+            simulation (skipped automatically when lint found errors).
+        patterns: number of random vectors for the encoding cross-check.
+        seed: randomization seed for the cross-check.
+        budget_conflicts: per-solve conflict budget of the cross-check.
+    """
+    report = CheckReport(subject=name or net.name or "network")
+    report.extend(lint_network(net, rules=rules))
+    if encoding and report.ok:
+        report.extend(
+            check_encoding(
+                net,
+                patterns=patterns,
+                seed=seed,
+                budget_conflicts=budget_conflicts,
+            )
+        )
+    return report

@@ -7,6 +7,8 @@ Subcommands::
                        [--out patched.v]
     repro-eco localize --impl impl.v --spec spec.v [--max-targets 4]
     repro-eco cec      --impl a.v --spec b.v
+    repro-eco check    netlist.v [...] [--unit unit7] [--rules NL001,..] \
+                       [--no-encoding] [--patterns 64] [--json]
     repro-eco generate --unit unit7 --out unit7_dir
     repro-eco suite    [--units unit1,unit4] [--methods minassump]
 
@@ -74,6 +76,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("cec", help="combinational equivalence check")
     _add_netlist_args(p)
+
+    p = sub.add_parser(
+        "check",
+        help="lint netlists and validate their CNF encodings",
+        description=(
+            "Static analysis: netlist lint rules (NL00x) plus CNF "
+            "well-formedness and Tseitin/simulation cross-checks "
+            "(CN00x).  Exits 1 when any error-severity finding is "
+            "reported, 0 otherwise.  Rule ids are catalogued in "
+            "docs/CHECKING.md."
+        ),
+    )
+    p.add_argument("nets", nargs="*", help="netlist files (.v) to check")
+    p.add_argument(
+        "--unit", help="also check a synthetic suite unit (impl and spec)"
+    )
+    p.add_argument(
+        "--rules",
+        help="comma-separated lint rule ids (default: all except NL006)",
+    )
+    p.add_argument(
+        "--no-encoding",
+        action="store_true",
+        help="skip the CNF/simulation encoding validation",
+    )
+    p.add_argument(
+        "--patterns",
+        type=int,
+        default=64,
+        help="random vectors for the encoding cross-check (default: 64)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
 
     p = sub.add_parser("generate", help="materialize a synthetic suite unit")
     p.add_argument("--unit", required=True, help="unit name, e.g. unit7")
@@ -159,6 +195,47 @@ def cmd_cec(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from .check import run_checks
+
+    subjects = []
+    for path in args.nets:
+        subjects.append((path, read_verilog(path)))
+    if args.unit:
+        instance = build_unit(unit_spec(args.unit))
+        subjects.append((f"{args.unit}.impl", instance.impl))
+        subjects.append((f"{args.unit}.spec", instance.spec))
+    if not subjects:
+        print("error: nothing to check (give netlist files or --unit)",
+              file=sys.stderr)
+        return 2
+    rules = (
+        [r.strip() for r in args.rules.split(",") if r.strip()]
+        if args.rules
+        else None
+    )
+    reports = [
+        run_checks(
+            net,
+            name=name,
+            rules=rules,
+            encoding=not args.no_encoding,
+            patterns=args.patterns,
+        )
+        for name, net in subjects
+    ]
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for report in reports:
+            for finding in report:
+                print(f"{report.subject}: {finding.format()}")
+            print(report.summary())
+    return 0 if all(r.ok for r in reports) else 1
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     instance = build_unit(unit_spec(args.unit))
     instance.save(args.out)
@@ -196,6 +273,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "patch": cmd_patch,
         "localize": cmd_localize,
         "cec": cmd_cec,
+        "check": cmd_check,
         "generate": cmd_generate,
         "suite": cmd_suite,
     }

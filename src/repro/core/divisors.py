@@ -9,7 +9,7 @@ the step is feasible (Section 2.5.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..network.network import Network
@@ -69,7 +69,9 @@ def collect_divisors(
             internal.append(nid)
     # preference on cost ties: deeper signals first — they encode more
     # logic per unit cost, which keeps the enumerated patches small
-    order_key = lambda n: (cost[n], -lev[n], n)
+    def order_key(n: int):
+        return (cost[n], -lev[n], n)
+
     internal.sort(key=order_key)
     if max_divisors is not None and len(internal) > max_divisors:
         internal = internal[:max_divisors]

@@ -16,8 +16,8 @@ contest-winning setup), and :func:`best_config`
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..io.weights import EcoInstance
 from ..network.network import Network
@@ -29,12 +29,8 @@ from ..sop.sop import Sop
 from ..sop.synth import sop_to_network
 from .cegarmin import cegar_min
 from .divisors import DivisorSet, collect_divisors
-from .feasibility import (
-    EcoInfeasibleError,
-    FeasibilityResult,
-    check_feasibility,
-)
-from .miter import EcoMiter, build_miter
+from .feasibility import EcoInfeasibleError, check_feasibility
+from .miter import build_miter
 from .patch import EcoResult, Patch, apply_patch
 from .patchfunc import (
     EnumerationStats,
@@ -44,12 +40,7 @@ from .patchfunc import (
 from .quantify import QMITER_PO, build_quantified_miter
 from .satprune import SatPruneStats, sat_prune
 from .structural import certificate_patches, structural_patch_single
-from .support import (
-    AssumptionMinimizer,
-    SupportStats,
-    analyze_final_core,
-    last_gasp_improvement,
-)
+from .support import AssumptionMinimizer, SupportStats, last_gasp_improvement
 from .verify import cec
 
 
@@ -79,6 +70,10 @@ class EcoConfig:
         max_cubes: cube-enumeration cap per patch.
         sim_patterns: simulation width for CEGAR_min filtering.
         verify: run the final CEC.
+        verify_certificates: independently re-check the result with
+            :func:`repro.check.certificate.certify` (fresh solver,
+            divisor-set membership, cost/gate accounting) before
+            returning it.
         seed: randomization seed (simulation).
     """
 
@@ -99,6 +94,7 @@ class EcoConfig:
     max_cubes: int = 2000
     sim_patterns: int = 256
     verify: bool = True
+    verify_certificates: bool = False
     seed: int = 2018
     satprune_max_checks: int = 4000
     satprune_grow: bool = True
@@ -249,7 +245,7 @@ class EcoEngine:
             for n in support_names
         )
         total_gates = sum(p.gate_count for p in patches)
-        return EcoResult(
+        result = EcoResult(
             instance_name=instance.name,
             patches=patches,
             cost=total_cost,
@@ -259,6 +255,16 @@ class EcoEngine:
             method=method,
             stats=stats,
         )
+        if cfg.verify_certificates:
+            # deferred import: repro.check imports from repro.core
+            from ..check.certificate import CertificateError, certify
+
+            try:
+                certify(instance, result)
+            except CertificateError as exc:
+                raise EcoEngineError(str(exc)) from exc
+            stats["certificate_checked"] = 1
+        return result
 
     # ------------------------------------------------------------------
     # SAT-based flow: one target at a time (Sections 3.1, 3.4, 3.5)
@@ -510,7 +516,6 @@ class EcoEngine:
         countermoves: List[Dict[str, int]],
         stats: Dict[str, float],
     ) -> Tuple[Network, List[Patch]]:
-        cfg = self.config
         current = instance.impl.clone()
         patches: List[Patch] = []
         copies_total = 0

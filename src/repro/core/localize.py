@@ -21,7 +21,7 @@ This module implements that detection for combinational netlists:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..network.network import Network
 from ..network.node import eval_gate

@@ -9,7 +9,7 @@ and redrives the target node with its output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..network.network import Network
 from ..network.node import GateType

@@ -18,10 +18,10 @@ containment, then factored and synthesized by :mod:`repro.sop`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
-from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.solver import Solver
 from ..sat.types import mklit, neg
 from ..sop.cube import Cube
 from ..sop.sop import Sop

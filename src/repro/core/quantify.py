@@ -19,12 +19,12 @@ cone, which never depends on the targets) is constructed once.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..network.network import Network
 from ..network.strash import AigBuilder, strash_into
-from .miter import MITER_PO, EcoMiter
+from .miter import EcoMiter
 
 QMITER_PO = "qmiter"
 

@@ -12,12 +12,12 @@ enumeration on a single copy rebuilds the function.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..network.network import Network
 from ..sat.solver import SatBudgetExceeded, Solver
 from ..sat.tseitin import add_equality, encode_network
-from ..sat.types import mklit, neg
+from ..sat.types import mklit
 from ..sop.sop import Sop
 from .patchfunc import EnumerationStats, PatchEnumerationError, enumerate_patch_sop
 from .support import AssumptionMinimizer, SupportStats

@@ -21,8 +21,7 @@ feasible candidate is optimal.
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 

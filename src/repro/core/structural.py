@@ -16,12 +16,12 @@ derived structurally, in terms of primary inputs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from ..network.network import Network
 from ..network.strash import AigBuilder, cofactor_network, strash_into
-from .miter import MITER_PO, EcoMiter
+from .miter import EcoMiter
 from .quantify import QMITER_PO, QuantifiedMiter
 
 

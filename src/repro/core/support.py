@@ -14,8 +14,8 @@ reference the paper's complexity claim is measured against) and the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..sat.solver import Solver
 

@@ -8,7 +8,7 @@ test-suite oracles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from ..network.network import Network
 from ..sat.solver import SatBudgetExceeded, Solver

@@ -10,7 +10,7 @@ graph reachability after the max flow saturates.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
 
 INF = float("inf")
 

@@ -7,7 +7,7 @@ imported as two-level AND/OR/NOT logic.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..network.network import Network
 from ..network.node import GateType

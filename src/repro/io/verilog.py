@@ -10,9 +10,9 @@ emits exactly that subset.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..network.network import Network, NetworkError
+from ..network.network import Network
 from ..network.node import GateType
 
 _GATE_TYPES = {

@@ -16,12 +16,11 @@ with exactly this loop; :func:`fraig_network` sweeps a whole network.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from ..sat.solver import SatBudgetExceeded, Solver
 from ..sat.types import mklit, neg
 from .network import Network
-from .node import GateType
 from .strash import AigBuilder, build_literal
 
 

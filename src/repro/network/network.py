@@ -8,7 +8,7 @@ hashing into AIG form lives in :mod:`repro.network.strash`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .node import GateType, Node, arity_ok, eval_gate
 
@@ -345,51 +345,20 @@ class Network:
     def validate(self) -> None:
         """Structural sanity check; raises :class:`NetworkError` on damage.
 
-        Verifies fanin/fanout symmetry, arity legality, acyclicity, name
-        map consistency, and PO bindings.  Intended for tests and for
-        callers that hand-edit networks.
+        Delegates to the rule-based linter
+        (:func:`repro.check.netlint.lint_network`) and raises on the
+        first error-severity finding, so this method and the ``repro
+        check`` CLI can never disagree on what a well-formed network is.
+        Covers fanin/fanout symmetry, arity legality, acyclicity, name
+        map consistency, PI/constant registries, and PO bindings.
+        Intended for tests and for callers that hand-edit networks.
         """
-        for node in self.nodes():
-            if not arity_ok(node.gtype, len(node.fanins)):
-                raise NetworkError(
-                    f"node {node.nid}: bad arity for {node.gtype.value}"
-                )
-            for f in node.fanins:
-                if not self.has_node(f):
-                    raise NetworkError(
-                        f"node {node.nid}: dangling fanin {f}"
-                    )
-                if node.nid not in self._fanouts[f]:
-                    raise NetworkError(
-                        f"fanout list of {f} misses {node.nid}"
-                    )
-            for fo in self._fanouts[node.nid]:
-                if not self.has_node(fo):
-                    raise NetworkError(
-                        f"node {node.nid}: dangling fanout {fo}"
-                    )
-                if node.nid not in self._node(fo).fanins:
-                    raise NetworkError(
-                        f"node {fo} does not list {node.nid} as fanin"
-                    )
-            if node.name and self._name_to_id.get(node.name) != node.nid:
-                raise NetworkError(
-                    f"name map inconsistent for {node.name!r}"
-                )
-        for name, nid in self._pos:
-            if not self.has_node(nid):
-                raise NetworkError(f"PO {name!r} bound to dead node {nid}")
-        # acyclicity: topo_order visits every live node exactly once
-        order = self.topo_order()
-        if len(order) != self.num_nodes:
-            raise NetworkError("cycle detected (topological order short)")
-        position = {n.nid: i for i, n in enumerate(order)}
-        for node in self.nodes():
-            for f in node.fanins:
-                if position[f] >= position[node.nid]:
-                    raise NetworkError(
-                        f"edge {f} -> {node.nid} violates topological order"
-                    )
+        # deferred import: repro.check builds on top of this module
+        from ..check.netlint import Severity, lint_network
+
+        for finding in lint_network(self):
+            if finding.severity is Severity.ERROR:
+                raise NetworkError(finding.format())
 
     def stats(self) -> Dict[str, int]:
         """Summary statistics used in reports and Table 1."""

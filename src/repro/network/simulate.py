@@ -9,10 +9,9 @@ functional resubstitution, and as a cheap oracle in tests.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 from .network import Network
-from .node import eval_gate
 
 
 class Simulator:

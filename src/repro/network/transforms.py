@@ -15,11 +15,11 @@ and specification restructuring:
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Tuple
 
 from .network import Network
 from .node import GateType
-from .strash import AigBuilder, strash_into, strash_network
+from .strash import AigBuilder, strash_network
 
 
 def sweep(net: Network, name: str = "") -> Network:

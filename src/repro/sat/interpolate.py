@@ -14,7 +14,7 @@ partial interpolants are shared.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..network.network import Network
 from ..network.strash import AigBuilder

@@ -33,24 +33,51 @@ def resolve(
     raise ProofError(f"pivot {pivot} does not appear with opposite phases")
 
 
-def derive_clause(solver: Solver, cid: int, cache: Dict[int, FrozenSet[int]]) -> FrozenSet[int]:
-    """Replay the derivation of clause ``cid``; returns its literal set."""
-    hit = cache.get(cid)
-    if hit is not None:
-        return hit
-    chain = solver.proof_chains.get(cid)
-    if chain is None:
-        # original clause: an axiom
-        lits = solver.clause_lits.get(cid)
-        if lits is None:
-            raise ProofError(f"clause {cid} has neither literals nor a chain")
-        result = frozenset(lits)
-    else:
-        result = derive_clause(solver, chain[0][1], cache)
-        for pivot, other in chain[1:]:
-            result = resolve(result, derive_clause(solver, other, cache), pivot)
-    cache[cid] = result
-    return result
+def derive_clause(
+    solver: Solver, cid: int, cache: Dict[int, FrozenSet[int]]
+) -> FrozenSet[int]:
+    """Replay the derivation of clause ``cid``; returns its literal set.
+
+    Iterative (explicit worklist): chains reference earlier learned
+    clauses, so on deep instances the natural recursion can exceed the
+    interpreter's stack limit.
+    """
+    # (cid, expanded): the first visit pushes the clause's antecedents,
+    # the second (expanded=True) resolves them out of the cache
+    stack: List[Tuple[int, bool]] = [(cid, False)]
+    gray: Set[int] = set()  # clauses on the current expansion path
+    while stack:
+        top, expanded = stack.pop()
+        if expanded:
+            chain = solver.proof_chains[top]
+            result = cache[chain[0][1]]
+            for pivot, other in chain[1:]:
+                result = resolve(result, cache[other], pivot)
+            cache[top] = result
+            gray.discard(top)
+            continue
+        if top in cache:
+            continue
+        if top in gray:
+            raise ProofError(
+                f"clause {top}: derivation chain is cyclic"
+            )
+        chain = solver.proof_chains.get(top)
+        if chain is None:
+            # original clause: an axiom
+            lits = solver.clause_lits.get(top)
+            if lits is None:
+                raise ProofError(
+                    f"clause {top} has neither literals nor a chain"
+                )
+            cache[top] = frozenset(lits)
+            continue
+        gray.add(top)
+        stack.append((top, True))
+        for _, antecedent in reversed(chain):
+            if antecedent not in cache:
+                stack.append((antecedent, False))
+    return cache[cid]
 
 
 def check_proof(solver: Solver) -> int:

@@ -10,8 +10,8 @@ nodes), plus initial values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..network.network import Network, NetworkError
 
@@ -106,7 +106,6 @@ class SeqNetwork:
         """Deep copy preserving the interface and register bindings."""
         mapping_core = self.core.clone()
         # clone() renumbers ids; rebuild the latch bindings by name
-        name_of = {n.nid: n.name for n in self.core.nodes() if n.name}
         latches = []
         for latch in self.latches:
             out_name = self.core.node(latch.output).name

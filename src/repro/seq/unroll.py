@@ -9,7 +9,7 @@ values (or from free PIs for an arbitrary-state unrolling).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict
 
 from ..network.network import Network
 from .network import SeqNetwork

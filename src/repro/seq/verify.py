@@ -11,7 +11,7 @@ correspondence is fixed).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..core.verify import CecResult, cec
 from .network import SeqNetwork

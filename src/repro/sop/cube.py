@@ -8,7 +8,7 @@ computation of Section 3.5 produces them from minimized assumption sets.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 ZERO = 0
 ONE = 1

@@ -14,9 +14,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from .cube import DC, ONE, ZERO, Cube
+from .cube import Cube
 from .sop import Sop
 
 

@@ -13,9 +13,9 @@ minterm whose variable ``i`` equals bit ``i`` of ``m``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-from .cube import DC, ONE, ZERO, Cube
+from .cube import ONE, ZERO, Cube
 from .sop import Sop
 
 
@@ -27,7 +27,6 @@ def tt_mask(num_vars: int) -> int:
 def tt_var(var: int, num_vars: int) -> int:
     """Truth table of the projection function ``x_var``."""
     width = 1 << num_vars
-    block = 1 << var
     out = 0
     for m in range(width):
         if (m >> var) & 1:

@@ -8,7 +8,7 @@ to an onset, and literal statistics that feed the factoring stage.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence
 
 from .cube import DC, ONE, ZERO, Cube
 

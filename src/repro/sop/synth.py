@@ -7,7 +7,7 @@ points are provided.  NOT gates for negative literals are shared.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from ..network.network import Network
 from ..network.node import GateType

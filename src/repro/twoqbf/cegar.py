@@ -18,13 +18,13 @@ cofactor of M under that countermove.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..network.network import Network
-from ..network.strash import AigBuilder, cofactor_network, strash_into
-from ..sat.solver import SatBudgetExceeded, Solver
+from ..network.strash import cofactor_network
+from ..sat.solver import Solver
 from ..sat.tseitin import encode_network
-from ..sat.types import mklit, neg
+from ..sat.types import mklit
 
 
 class QbfBudgetExceeded(Exception):

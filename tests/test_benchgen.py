@@ -18,7 +18,7 @@ from repro.benchgen import (
     unit_spec,
 )
 from repro.core import cec
-from repro.network import Network, outputs_equal
+from repro.network import outputs_equal
 from repro.network.traversal import levels
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import cegar_min
 from repro.network import GateType, Network
-from repro.network.traversal import tfo
 
 from helpers import all_minterms
 

@@ -1,0 +1,192 @@
+"""Tests for the independent ECO certificate checker
+(``repro.check.certificate``) and its engine wiring
+(``EcoConfig.verify_certificates``).
+
+A genuine engine result must certify; every forgery — a tampered patch
+function, an out-of-window support signal, cooked cost or gate
+accounting, a damaged patch netlist — must be rejected with the right
+rule id.
+"""
+
+import copy
+
+import pytest
+
+import repro.check.certificate as cert_mod
+from repro.check import (
+    CertificateError,
+    Severity,
+    check_certificate,
+    certify,
+)
+from repro.core import EcoEngine, EcoEngineError, contest_config
+from repro.io import EcoInstance
+from repro.network import GateType, Network
+
+
+def demo_instance():
+    """The README demo: spec f=(a&b)|c, shipped impl turned the AND
+    into an OR; target u."""
+    spec = Network("spec")
+    a = spec.add_pi("a")
+    b = spec.add_pi("b")
+    c = spec.add_pi("c")
+    u = spec.add_gate(GateType.AND, [a, b], "u")
+    f = spec.add_gate(GateType.OR, [u, c], "f")
+    spec.add_po(f, "out")
+    impl = spec.clone()
+    impl.set_fanins(
+        impl.node_by_name("u"),
+        GateType.OR,
+        [impl.node_by_name("a"), impl.node_by_name("b")],
+    )
+    return EcoInstance(
+        "demo", impl, spec, targets=["u"], weights={"a": 3, "b": 5, "c": 1}
+    )
+
+
+_FLIP = {
+    GateType.AND: GateType.OR,
+    GateType.OR: GateType.AND,
+    GateType.NAND: GateType.NOR,
+    GateType.NOR: GateType.NAND,
+    GateType.XOR: GateType.XNOR,
+    GateType.XNOR: GateType.XOR,
+    GateType.BUF: GateType.NOT,
+    GateType.NOT: GateType.BUF,
+}
+
+
+@pytest.fixture(scope="module")
+def certified():
+    instance = demo_instance()
+    result = EcoEngine(contest_config()).run(instance)
+    assert result.verified
+    return instance, result
+
+
+def forged(result):
+    return copy.deepcopy(result)
+
+
+class TestGenuineCertificates:
+    def test_genuine_result_certifies(self, certified):
+        instance, result = certified
+        report = check_certificate(instance, result)
+        assert report.ok and len(report) == 0
+        assert certify(instance, result).ok
+
+    def test_drup_certified_reproof(self, certified):
+        instance, result = certified
+        report = check_certificate(instance, result, drup=True)
+        assert report.ok
+
+    def test_budget_exhaustion_is_a_warning(self, certified):
+        instance, result = certified
+        report = check_certificate(instance, result, budget_conflicts=0)
+        if report.findings:  # the re-proof needed at least one conflict
+            assert report.rules() == ["CF006"]
+            assert all(
+                f.severity is Severity.WARNING for f in report.findings
+            )
+            assert report.ok  # undecided, not refuted
+
+
+class TestForgeryRejection:
+    def test_cf001_tampered_patch_function(self, certified):
+        instance, result = certified
+        bad = forged(result)
+        pnet = bad.patches[0].network
+        driver = pnet.node(pnet.pos[0][1])
+        assert driver.gtype in _FLIP, "patch PO driven by a leaf?"
+        driver.gtype = _FLIP[driver.gtype]
+        report = check_certificate(instance, bad)
+        assert not report.ok
+        assert "CF001" in report.rules()
+        assert any("counterexample" in f.message for f in report.errors)
+
+    def test_cf002_out_of_window_support(self, certified):
+        instance, result = certified
+        bad = forged(result)
+        patch = bad.patches[0]
+        # "f" is in the target's fanout cone: reading it is circular
+        patch.network.add_pi("f")
+        patch.support = sorted(set(patch.support) | {"f"})
+        report = check_certificate(instance, bad)
+        assert not report.ok
+        assert "CF002" in report.rules()
+
+    def test_cf003_tampered_cost(self, certified):
+        instance, result = certified
+        bad = forged(result)
+        bad.cost += 7
+        report = check_certificate(instance, bad)
+        assert "CF003" in report.rules()
+        with pytest.raises(CertificateError, match="CF003"):
+            certify(instance, bad)
+
+    def test_cf004_tampered_patch_gate_count(self, certified):
+        instance, result = certified
+        bad = forged(result)
+        bad.patches[0].gate_count += 2
+        report = check_certificate(instance, bad)
+        assert "CF004" in report.rules()
+
+    def test_cf004_tampered_total_gate_count(self, certified):
+        instance, result = certified
+        bad = forged(result)
+        bad.gate_count += 1
+        report = check_certificate(instance, bad)
+        assert "CF004" in report.rules()
+
+    def test_cf005_patch_for_unknown_target(self, certified):
+        instance, result = certified
+        bad = forged(result)
+        bad.patches[0].target = "not_a_target"
+        report = check_certificate(instance, bad)
+        assert report.rules() == ["CF005"]  # early return: only CF005
+
+    def test_cf005_support_netlist_disagreement(self, certified):
+        instance, result = certified
+        bad = forged(result)
+        bad.patches[0].support = list(bad.patches[0].support) + ["ghost"]
+        report = check_certificate(instance, bad)
+        assert report.rules() == ["CF005"]
+
+    def test_cf005_damaged_patch_netlist(self, certified):
+        instance, result = certified
+        bad = forged(result)
+        pnet = bad.patches[0].network
+        pnet._pos.append(("extra", 9999))  # second, dead PO
+        report = check_certificate(instance, bad)
+        assert report.rules() == ["CF005"]
+
+    def test_certify_message_names_the_instance(self, certified):
+        instance, result = certified
+        bad = forged(result)
+        bad.cost += 1
+        with pytest.raises(CertificateError, match="demo"):
+            certify(instance, bad)
+
+
+class TestEngineWiring:
+    def test_verify_certificates_flag(self):
+        cfg = contest_config()
+        cfg.verify_certificates = True
+        result = EcoEngine(cfg).run(demo_instance())
+        assert result.verified
+        assert result.stats.get("certificate_checked") == 1
+
+    def test_flag_off_by_default(self):
+        result = EcoEngine(contest_config()).run(demo_instance())
+        assert "certificate_checked" not in result.stats
+
+    def test_certification_failure_raises(self, monkeypatch):
+        def refuse(instance, result, **kwargs):
+            raise cert_mod.CertificateError("forged result")
+
+        monkeypatch.setattr(cert_mod, "certify", refuse)
+        cfg = contest_config()
+        cfg.verify_certificates = True
+        with pytest.raises(EcoEngineError, match="forged result"):
+            EcoEngine(cfg).run(demo_instance())

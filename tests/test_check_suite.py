@@ -1,0 +1,43 @@
+"""Whole-suite gates for the ``repro.check`` subsystem.
+
+Two fleet-wide invariants, enforced unit by unit:
+
+* every benchgen netlist (implementation and specification of all 20
+  units) is completely finding-free — not merely error-free;
+* the engine, run with ``verify_certificates=True``, produces a result
+  on every unit that survives independent certification.
+"""
+
+import pytest
+
+from repro.benchgen import SUITE, build_unit, unit_spec
+from repro.check import check_certificate, run_checks
+from repro.core import EcoEngine, contest_config
+
+UNIT_NAMES = [u.name for u in SUITE]
+
+
+def test_suite_has_twenty_units():
+    assert len(UNIT_NAMES) == 20
+
+
+@pytest.mark.parametrize("name", UNIT_NAMES)
+def test_benchgen_netlists_are_finding_free(name):
+    instance = build_unit(unit_spec(name))
+    for tag, net in (("impl", instance.impl), ("spec", instance.spec)):
+        report = run_checks(net, name=f"{name}.{tag}", patterns=8)
+        assert len(report) == 0, [f.format() for f in report]
+        assert report.ok
+
+
+@pytest.mark.parametrize("name", UNIT_NAMES)
+def test_engine_results_certify(name):
+    instance = build_unit(unit_spec(name))
+    cfg = contest_config()
+    cfg.verify_certificates = True
+    result = EcoEngine(cfg).run(instance)
+    assert result.verified
+    assert result.stats.get("certificate_checked") == 1
+    # belt and braces: re-check outside the engine too
+    report = check_certificate(instance, result)
+    assert report.ok, [f.format() for f in report.errors]

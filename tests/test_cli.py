@@ -110,3 +110,68 @@ class TestOtherCommands:
     def test_suite_rejects_unknown_method(self, capsys):
         rc = main(["suite", "--units", "unit1", "--methods", "nope"])
         assert rc == 2
+
+
+class TestCheckCommand:
+    def test_clean_files(self, bundle, capsys):
+        impl_p, spec_p, _, _ = bundle
+        rc = main(["check", spec_p, "--patterns", "8"])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_clean_unit(self, capsys):
+        rc = main(["check", "--unit", "unit4", "--patterns", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "unit4.impl: clean" in out
+        assert "unit4.spec: clean" in out
+
+    def test_lint_only(self, bundle):
+        impl_p, spec_p, _, _ = bundle
+        assert main(["check", impl_p, spec_p, "--no-encoding"]) == 0
+
+    def test_rule_selection(self, bundle):
+        _, spec_p, _, _ = bundle
+        assert main(["check", spec_p, "--rules", "NL001,NL004"]) == 0
+
+    def test_json_output(self, bundle, capsys):
+        import json
+
+        _, spec_p, _, _ = bundle
+        rc = main(["check", spec_p, "--patterns", "8", "--json"])
+        assert rc == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert len(reports) == 1
+        assert reports[0]["ok"] is True
+        assert reports[0]["findings"] == []
+
+    def test_corrupt_netlist_fails(self, bundle, capsys, monkeypatch):
+        import repro.cli as cli_mod
+        from repro.io import read_verilog as real_read
+
+        def read_and_break(path):
+            net = real_read(path)
+            net._pos.append(("ghost", 10**6))  # NL005: undriven PO
+            return net
+
+        monkeypatch.setattr(cli_mod, "read_verilog", read_and_break)
+        _, spec_p, _, _ = bundle
+        rc = main(["check", spec_p])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "NL005" in out and "error" in out
+
+    def test_nothing_to_check(self, capsys):
+        rc = main(["check"])
+        assert rc == 2
+        assert "nothing to check" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        rc = main(["check", "/nonexistent/net.v"])
+        assert rc == 2
+
+    def test_unknown_rule(self, bundle, capsys):
+        _, spec_p, _, _ = bundle
+        rc = main(["check", spec_p, "--rules", "NL999"])
+        assert rc == 2
+        assert "NL999" in capsys.readouterr().err

@@ -1,0 +1,154 @@
+"""Tests for CNF well-formedness and encoding validation
+(``repro.check.cnfcheck``).
+
+The syntactic rules CN001–CN005 are driven with handcrafted clause
+lists; the semantic cross-check rules CN006/CN007 are triggered by
+monkeypatching the encoder with deliberately broken variants (an
+over-constraining one and one that drops half of a gate's Tseitin
+equivalence).
+"""
+
+import pytest
+
+import repro.check.cnfcheck as cnfcheck_mod
+from repro.benchgen import comparator, ripple_adder
+from repro.check import (
+    Severity,
+    check_cnf,
+    check_encoding,
+    collect_encoding,
+    cross_check_tseitin,
+)
+from repro.network import GateType, Network
+from repro.sat.simplify import ClauseCollector
+from repro.sat.tseitin import encode_network
+from repro.sat.types import mklit
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+def and_net():
+    """PO f = a & b."""
+    net = Network("andnet")
+    a = net.add_pi("a")
+    b = net.add_pi("b")
+    v = net.add_gate(GateType.AND, [a, b], "v")
+    net.add_po(v, "f")
+    return net
+
+
+class TestCheckCnf:
+    def test_clean(self):
+        # (x0 | x1) & (~x0 | ~x1): well-formed, no findings
+        assert check_cnf([[0, 2], [1, 3]], nvars=2) == []
+
+    def test_cn001_variable_out_of_bounds(self):
+        findings = check_cnf([[0, 10]], nvars=5)
+        assert rules_of(findings) == {"CN001"}
+        (f,) = findings
+        assert f.severity is Severity.ERROR and f.node == 0
+
+    def test_cn001_negative_literal(self):
+        assert rules_of(check_cnf([[-1, 0]], nvars=5)) == {"CN001"}
+
+    def test_cn002_empty_clause(self):
+        findings = check_cnf([[0], []], nvars=1)
+        assert rules_of(findings) == {"CN002"}
+        (f,) = findings
+        assert f.severity is Severity.WARNING and f.node == 1
+
+    def test_cn003_tautology(self):
+        findings = check_cnf([[0, 1]], nvars=1)
+        assert rules_of(findings) == {"CN003"}
+
+    def test_cn004_duplicate_literal(self):
+        findings = check_cnf([[0, 0, 2]], nvars=2)
+        assert rules_of(findings) == {"CN004"}
+
+    def test_cn005_duplicate_clause(self):
+        # same literal set in a different order
+        findings = check_cnf([[0, 2], [2, 0]], nvars=2)
+        assert rules_of(findings) == {"CN005"}
+        (f,) = findings
+        assert f.severity is Severity.INFO
+
+    def test_tautologies_are_not_deduplicated(self):
+        # identical tautological clauses report CN003 twice, never CN005
+        findings = check_cnf([[0, 1], [0, 1]], nvars=1)
+        assert [f.rule for f in findings] == ["CN003", "CN003"]
+
+    def test_multiple_defects_reported_together(self):
+        findings = check_cnf([[0, 0], [], [40]], nvars=3)
+        assert rules_of(findings) == {"CN004", "CN002", "CN001"}
+
+
+class TestEncodingCrossCheck:
+    def test_tseitin_of_clean_network_is_spotless(self):
+        collector = collect_encoding(comparator(3))
+        assert check_cnf(collector.clause_list, collector.nvars) == []
+
+    @pytest.mark.parametrize("make", [and_net, lambda: ripple_adder(2)])
+    def test_cross_check_clean(self, make):
+        assert cross_check_tseitin(make(), patterns=16) == []
+
+    def test_check_encoding_clean(self):
+        assert check_encoding(ripple_adder(2), patterns=16) == []
+
+    def test_cn006_overconstrained(self, monkeypatch):
+        real = encode_network
+
+        def overconstrained(solver, net):
+            varmap = real(solver, net)
+            # force the first PI to 0: vectors assigning it 1 become UNSAT
+            solver.add_clause([mklit(varmap[net.pis[0]], True)])
+            return varmap
+
+        monkeypatch.setattr(cnfcheck_mod, "encode_network", overconstrained)
+        findings = cross_check_tseitin(and_net(), patterns=16)
+        assert rules_of(findings) == {"CN006"}
+        assert any("over-constrained" in f.message for f in findings)
+
+    def test_cn007_underconstrained(self, monkeypatch):
+        real = encode_network
+
+        def underconstrained(solver, net):
+            # re-encode through a collector, then drop the clauses that
+            # carry the PO variable's negative literal: the "output is 1
+            # forces ..." direction disappears and the complement query
+            # becomes satisfiable
+            collector = ClauseCollector()
+            varmap = real(collector, net)
+            drop = mklit(varmap[net.pos[0][1]], True)
+            solver.new_vars(collector.nvars)
+            for clause in collector.clause_list:
+                if drop not in clause:
+                    solver.add_clause(clause)
+            return varmap
+
+        monkeypatch.setattr(cnfcheck_mod, "encode_network", underconstrained)
+        findings = cross_check_tseitin(and_net(), patterns=16)
+        assert rules_of(findings) == {"CN007"}
+        assert any("under-constrained" in f.message for f in findings)
+
+    def test_check_encoding_skips_cross_check_on_syntactic_error(
+        self, monkeypatch
+    ):
+        def exploding_cross_check(*args, **kwargs):
+            raise AssertionError("cross-check must not run")
+
+        monkeypatch.setattr(
+            cnfcheck_mod, "cross_check_tseitin", exploding_cross_check
+        )
+
+        real_collect = cnfcheck_mod.collect_encoding
+
+        def bad_collect(net):
+            collector = real_collect(net)
+            collector.clause_list.append([mklit(collector.nvars + 50)])
+            return collector
+
+        monkeypatch.setattr(cnfcheck_mod, "collect_encoding", bad_collect)
+        findings = cnfcheck_mod.check_encoding(and_net(), patterns=8)
+        assert rules_of(findings) == {"CN001"}

@@ -1,7 +1,6 @@
 """End-to-end tests for the EcoEngine (the Figure 2 flow)."""
 
 import dataclasses
-import random
 
 import pytest
 

@@ -14,7 +14,6 @@ import pytest
 from repro import EcoEngine, EcoInstance, contest_config
 from repro.benchgen import corrupt, generate_weights, make_specification
 from repro.core import cec
-from repro.core.engine import EcoConfig
 
 from helpers import random_network
 

@@ -7,12 +7,10 @@ exhaustive subset enumeration.  SAT_prune (§3.4.2) must match it.
 
 import itertools
 
-import pytest
 
 from repro import EcoEngine, EcoInstance, best_config, contest_config
 from repro.bdd import ZERO, image_over_divisors, single_target_interval
 from repro.benchgen import corrupt, generate_weights, make_specification
-from repro.network.traversal import tfo
 from repro.network.window import compute_window
 
 from helpers import random_network

@@ -1,8 +1,7 @@
 """Tests for SAT sweeping (fraig)."""
 
-import random
 
-from repro.network import GateType, Network, outputs_equal
+from repro.network import GateType, Network
 from repro.network.fraig import FraigBuilder, fraig_network
 
 from helpers import networks_equivalent_brute, random_network

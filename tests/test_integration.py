@@ -7,9 +7,7 @@ distribution.
 """
 
 import dataclasses
-import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

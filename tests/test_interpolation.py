@@ -1,6 +1,5 @@
 """Tests for resolution-proof interpolation (McMillan system)."""
 
-import itertools
 import random
 
 import pytest

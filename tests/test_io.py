@@ -1,6 +1,5 @@
 """Tests for Verilog/BLIF/.bench/weights I/O and the instance container."""
 
-import os
 
 import pytest
 
@@ -16,7 +15,7 @@ from repro.io import (
     write_verilog,
     write_weights,
 )
-from repro.network import GateType, Network
+from repro.network import Network
 
 from helpers import networks_equivalent_brute, random_network
 

@@ -1,6 +1,5 @@
 """Tests for target-point localization (the integrated-flow extension)."""
 
-import pytest
 
 from repro import EcoEngine, EcoInstance, contest_config
 from repro.benchgen import corrupt, make_specification

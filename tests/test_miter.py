@@ -1,6 +1,5 @@
 """Tests for ECO miter construction and windowing."""
 
-import itertools
 
 import pytest
 
@@ -31,7 +30,6 @@ class TestBuildMiter:
     def test_miter_detects_difference(self):
         impl, spec = two_versions()
         m = build_miter(impl, spec, targets=[])
-        values = {}
         hit = False
         for bits in all_minterms(3):
             assign = {pi: bits[i] for i, pi in enumerate(m.x_pis)}

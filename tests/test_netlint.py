@@ -1,0 +1,251 @@
+"""Tests for the netlist linter (``repro.check.netlint``).
+
+Every rule id NL001–NL007 is exercised by deliberately corrupting a
+netlist through the same private fields the linter audits; clean
+networks must come back with an empty report.
+"""
+
+import pytest
+
+from repro.benchgen import ripple_adder
+from repro.check import DEFAULT_RULES, LINT_RULES, Severity, lint_network
+from repro.network import GateType, Network, NetworkError
+
+from helpers import random_network
+
+
+def small_net():
+    """a, b, c -> g1 = a & b, g2 = g1 | c, PO f."""
+    net = Network("lintme")
+    a = net.add_pi("a")
+    b = net.add_pi("b")
+    c = net.add_pi("c")
+    g1 = net.add_gate(GateType.AND, [a, b], "g1")
+    g2 = net.add_gate(GateType.OR, [g1, c], "g2")
+    net.add_po(g2, "f")
+    return net, (a, b, c, g1, g2)
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+class TestCleanNetworks:
+    def test_small_net_is_clean(self):
+        net, _ = small_net()
+        assert lint_network(net) == []
+
+    def test_generator_output_is_clean(self):
+        assert lint_network(ripple_adder(4)) == []
+
+    def test_random_network_has_no_errors(self):
+        # random_network may wire duplicate fanins (NL003, a warning),
+        # but must never produce an error-severity finding
+        for seed in range(5):
+            net = random_network(n_pi=4, n_gates=20, n_po=2, seed=seed)
+            errors = [
+                f for f in lint_network(net) if f.severity is Severity.ERROR
+            ]
+            assert errors == []
+
+
+class TestNL001Cycles:
+    def test_self_loop(self):
+        net, (a, b, c, g1, g2) = small_net()
+        net.node(g1).fanins[1] = g1
+        net._fanouts[b].discard(g1)
+        net._fanouts[g1].add(g1)
+        findings = lint_network(net)
+        assert "NL001" in rules_of(findings)
+        assert any("feeds itself" in f.message for f in findings)
+
+    def test_two_node_cycle(self):
+        net, (a, b, c, g1, g2) = small_net()
+        # g1 <- g2 while g2 <- g1: a proper combinational loop
+        net.node(g1).fanins[1] = g2
+        net._fanouts[b].discard(g1)
+        net._fanouts[g2].add(g1)
+        findings = lint_network(net)
+        assert rules_of(findings) == {"NL001"}
+        flagged = {f.node for f in findings}
+        assert flagged <= {g1, g2} and flagged
+
+
+class TestNL002Dangling:
+    def test_dangling_fanin(self):
+        net, (a, b, c, g1, g2) = small_net()
+        net.node(g1).fanins.append(999)
+        findings = lint_network(net)
+        assert "NL002" in rules_of(findings)
+        assert any("dangling fanin 999" in f.message for f in findings)
+
+    def test_fanout_misses_consumer(self):
+        net, (a, b, c, g1, g2) = small_net()
+        net._fanouts[a].discard(g1)
+        findings = lint_network(net)
+        assert rules_of(findings) == {"NL002"}
+        assert any("misses consumer" in f.message for f in findings)
+
+    def test_dangling_fanout(self):
+        net, (a, b, c, g1, g2) = small_net()
+        net._fanouts[c].add(998)
+        findings = lint_network(net)
+        assert rules_of(findings) == {"NL002"}
+        assert any("dangling fanout" in f.message for f in findings)
+
+    def test_fanout_without_fanin_edge(self):
+        net, (a, b, c, g1, g2) = small_net()
+        net._fanouts[b].add(g2)  # g2 does not read b
+        findings = lint_network(net)
+        assert rules_of(findings) == {"NL002"}
+
+    def test_corrupt_pi_registry(self):
+        net, (a, b, c, g1, g2) = small_net()
+        net._pis.append(g1)  # a gate is not a PI
+        findings = lint_network(net)
+        assert rules_of(findings) == {"NL002"}
+        assert any("PI registry" in f.message for f in findings)
+
+    def test_corrupt_const_registry(self):
+        net, (a, b, c, g1, g2) = small_net()
+        net._const_ids[GateType.CONST1] = 997
+        findings = lint_network(net)
+        assert rules_of(findings) == {"NL002"}
+        assert any("constant registry" in f.message for f in findings)
+
+
+class TestNL003DuplicateFanin:
+    def test_duplicate_is_a_warning(self):
+        net, (a, b, c, g1, g2) = small_net()
+        net.add_gate(GateType.AND, [a, a], "dup")
+        findings = lint_network(net)
+        assert rules_of(findings) == {"NL003"}
+        (f,) = findings
+        assert f.severity is Severity.WARNING
+        assert f.name == "dup"
+
+    def test_validate_accepts_duplicates(self):
+        net, (a, b, c, g1, g2) = small_net()
+        net.add_gate(GateType.XOR, [b, b], "dup")
+        net.validate()  # warning severity: must not raise
+
+
+class TestNL004Arity:
+    @pytest.mark.parametrize(
+        "gtype,n_fanins",
+        [
+            (GateType.NOT, 2),
+            (GateType.AND, 1),
+            (GateType.MUX, 2),
+        ],
+    )
+    def test_bad_arity(self, gtype, n_fanins):
+        net, (a, b, c, g1, g2) = small_net()
+        valid = {GateType.NOT: [a], GateType.AND: [a, b], GateType.MUX: [a, b, c]}
+        g = net.add_gate(gtype, valid[gtype], "bad")
+        # construction validates, so corrupt after the fact
+        node = net.node(g)
+        for f in node.fanins:
+            net._fanouts[f].discard(g)
+        fanins = [a, b, c][:n_fanins]
+        node.fanins[:] = fanins
+        for f in fanins:
+            net._fanouts[f].add(g)
+        findings = lint_network(net)
+        assert rules_of(findings) == {"NL004"}
+        assert any(f.node == g for f in findings)
+
+
+class TestNL005UndrivenPo:
+    def test_po_bound_to_dead_node(self):
+        net, _ = small_net()
+        net._pos.append(("ghost", 996))
+        findings = lint_network(net)
+        assert rules_of(findings) == {"NL005"}
+        (f,) = findings
+        assert f.name == "ghost"
+
+
+class TestNL006Strash:
+    def test_structural_duplicate_is_info_and_off_by_default(self):
+        net, (a, b, c, g1, g2) = small_net()
+        net.add_gate(GateType.AND, [b, a], "g1bis")  # commutative dup of g1
+        assert lint_network(net) == []  # NL006 not in the default sweep
+        findings = lint_network(net, rules=["NL006"])
+        assert rules_of(findings) == {"NL006"}
+        (f,) = findings
+        assert f.severity is Severity.INFO
+        assert "duplicates" in f.message
+
+    def test_mux_duplicate_respects_fanin_order(self):
+        net = Network("mux")
+        s = net.add_pi("s")
+        d0 = net.add_pi("d0")
+        d1 = net.add_pi("d1")
+        net.add_gate(GateType.MUX, [s, d0, d1], "m1")
+        net.add_gate(GateType.MUX, [s, d1, d0], "m2")  # different function
+        assert lint_network(net, rules=["NL006"]) == []
+
+
+class TestNL007Names:
+    def test_shared_name(self):
+        net, (a, b, c, g1, g2) = small_net()
+        net.node(g2).name = "g1"
+        findings = lint_network(net)
+        assert rules_of(findings) == {"NL007"}
+        assert any("share the name" in f.message for f in findings)
+
+    def test_stale_map_entry(self):
+        net, _ = small_net()
+        net._name_to_id["ghost"] = 995
+        findings = lint_network(net)
+        assert rules_of(findings) == {"NL007"}
+        assert any("dead node" in f.message for f in findings)
+
+    def test_map_points_at_wrong_node(self):
+        net, (a, b, c, g1, g2) = small_net()
+        net._name_to_id["g1"] = g2
+        findings = lint_network(net)
+        assert rules_of(findings) == {"NL007"}
+
+
+class TestLintApi:
+    def test_unknown_rule_raises(self):
+        net, _ = small_net()
+        with pytest.raises(KeyError):
+            lint_network(net, rules=["NL999"])
+
+    def test_rule_selection(self):
+        net, (a, b, c, g1, g2) = small_net()
+        net._pos.append(("ghost", 994))  # NL005
+        net._name_to_id["ghost2"] = 993  # NL007
+        assert rules_of(lint_network(net, rules=["NL005"])) == {"NL005"}
+        assert rules_of(lint_network(net)) == {"NL005", "NL007"}
+
+    def test_catalogue_is_complete(self):
+        assert sorted(LINT_RULES) == [f"NL00{i}" for i in range(1, 8)]
+        assert "NL006" not in DEFAULT_RULES
+        for rid, rule in LINT_RULES.items():
+            assert rule.rule == rid
+            assert rule.slug and rule.description
+
+
+class TestValidateDelegation:
+    def test_clean_validate_passes(self):
+        net, _ = small_net()
+        net.validate()
+        random_network(n_pi=4, n_gates=15, n_po=2, seed=3).validate()
+
+    def test_validate_raises_with_rule_id(self):
+        net, (a, b, c, g1, g2) = small_net()
+        node = net.node(g1)
+        net._fanouts[b].discard(g1)
+        node.fanins[:] = [a]  # AND with one fanin: NL004
+        with pytest.raises(NetworkError, match="NL004"):
+            net.validate()
+
+    def test_validate_reports_undriven_po(self):
+        net, _ = small_net()
+        net._pos.append(("ghost", 992))
+        with pytest.raises(NetworkError, match="NL005"):
+            net.validate()

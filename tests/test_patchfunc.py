@@ -1,7 +1,5 @@
 """Tests for cube-enumeration patch computation (Section 3.5)."""
 
-import itertools
-import random
 
 import pytest
 

@@ -1,0 +1,194 @@
+"""Tests for the independent DRUP-style proof checker
+(``repro.check.proofcheck``) and for the iterative chain replay in
+``repro.sat.proof.derive_clause``.
+"""
+
+import pytest
+
+from repro.check import (
+    ProofCheckError,
+    RupChecker,
+    check_drup,
+    drup_findings,
+)
+from repro.sat.proof import ProofError, check_proof, derive_clause
+from repro.sat.solver import Solver
+
+
+def pos(v):
+    return 2 * v
+
+
+def neg(v):
+    return 2 * v + 1
+
+
+def php_solver(pigeons=3, holes=2, proof_logging=True):
+    """Pigeonhole instance: UNSAT whenever pigeons > holes."""
+    s = Solver(proof_logging=proof_logging)
+    grid = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for p in range(pigeons):
+        s.add_clause([pos(grid[p][h]) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                s.add_clause([neg(grid[p1][h]), neg(grid[p2][h])])
+    assert s.solve() is False
+    return s
+
+
+class TestRupChecker:
+    def test_unit_chain_is_rup(self):
+        c = RupChecker()
+        c.add_clause([pos(0)])
+        c.add_clause([neg(0), pos(1)])
+        assert c.check_rup([pos(1)])  # x0, x0->x1 |- x1
+        assert not c.check_rup([neg(0)])  # ~x0 is not implied
+
+    def test_check_is_rolled_back(self):
+        c = RupChecker()
+        c.add_clause([pos(0), pos(1)])
+        trail_before = len(c._trail)
+        assert not c.check_rup([pos(0)])
+        assert len(c._trail) == trail_before  # temporary propagation undone
+
+    def test_conflict_detection(self):
+        c = RupChecker()
+        assert c.add_clause([pos(0)])
+        assert c.add_clause([neg(0), pos(1)])
+        assert not c.add_clause([neg(1)])  # x1 and ~x1: top-level conflict
+        assert c.top_conflict
+        assert c.check_rup([pos(5)])  # ex falso quodlibet
+
+    def test_empty_clause_is_conflict(self):
+        c = RupChecker()
+        assert not c.add_clause([])
+        assert c.top_conflict
+
+    def test_tautology_and_duplicates(self):
+        c = RupChecker()
+        assert c.add_clause([pos(0), neg(0)])  # ignored tautology
+        assert not c.check_rup([pos(0)])  # ... so x0 is not implied
+        assert c.add_clause([pos(1), pos(1)])  # merged to the unit x1
+        assert c.check_rup([pos(1)])
+
+    def test_multiliteral_rup(self):
+        # (a|b) & (~a|c) & (~b|c) |- c, hence also the weaker (c|d)
+        c = RupChecker()
+        c.add_clause([pos(0), pos(1)])
+        c.add_clause([neg(0), pos(2)])
+        c.add_clause([neg(1), pos(2)])
+        assert c.check_rup([pos(2), pos(3)])
+        assert not c.check_rup([pos(3)])
+
+
+class TestCheckDrup:
+    def test_php_run_certifies(self):
+        s = php_solver()
+        assert drup_findings(s) == []
+        assert check_drup(s) >= 0
+
+    def test_larger_php_certifies(self):
+        s = php_solver(pigeons=4, holes=3)
+        assert drup_findings(s) == []
+
+    def test_pc001_tampered_learned_clause(self):
+        s = php_solver()
+        learned = sorted(set(s.proof_chains) & set(s.clause_lits))
+        assert learned, "the PHP run must learn clauses"
+        # replace the first learned clause by an unsupported unit claim
+        s.clause_lits[learned[0]] = (pos(s.nvars + 40),)
+        findings = drup_findings(s)
+        assert [f.rule for f in findings] == ["PC001"]
+        with pytest.raises(ProofCheckError):
+            check_drup(s)
+
+    def test_pc002_missing_conclusion(self):
+        s = php_solver()
+        assert s.empty_clause_cid is not None
+        for cid in list(s.proof_chains):
+            s.clause_lits.pop(cid, None)  # drop every learned clause
+        findings = drup_findings(s)
+        assert [f.rule for f in findings] == ["PC002"]
+
+    def test_pc003_without_proof_logging(self):
+        s = Solver()
+        s.add_clause([pos(s.new_var())])
+        assert s.solve() is True
+        findings = drup_findings(s)
+        assert [f.rule for f in findings] == ["PC003"]
+        with pytest.raises(ProofCheckError):
+            check_drup(s)
+
+    def test_sat_run_has_nothing_to_conclude(self):
+        s = Solver(proof_logging=True)
+        v0, v1 = s.new_var(), s.new_var()
+        s.add_clause([pos(v0), pos(v1)])
+        s.add_clause([neg(v0), pos(v1)])
+        assert s.solve() is True
+        assert drup_findings(s) == []
+
+
+class _FakeProofSource:
+    """Duck-typed stand-in: derive_clause reads only these two dicts."""
+
+    def __init__(self):
+        self.proof_chains = {}
+        self.clause_lits = {}
+
+
+class TestDeriveClause:
+    def test_deep_linear_chain_does_not_recurse(self):
+        # D_i = resolve(D_{i-1}, (~x_{i-1} | x_i)) with D_0 = (x0): a
+        # 30000-deep antecedent chain, far beyond the recursion limit
+        n = 30000
+        src = _FakeProofSource()
+        src.clause_lits[0] = (pos(0),)
+        for i in range(1, n + 1):
+            src.clause_lits[i] = (neg(i - 1), pos(i))
+        src.proof_chains[n + 1] = [(-1, 0), (0, 1)]
+        for i in range(2, n + 1):
+            src.proof_chains[n + i] = [(-1, n + i - 1), (i - 1, i)]
+        derived = derive_clause(src, 2 * n, {})
+        assert derived == frozenset({pos(n)})
+
+    def test_diamond_is_not_a_cycle(self):
+        # B and C both resolve against A; D consumes both — the shared
+        # antecedent must not be mistaken for a cyclic derivation
+        src = _FakeProofSource()
+        src.clause_lits[0] = (pos(0),)  # x0
+        src.clause_lits[1] = (neg(0), pos(1))  # x0 -> x1
+        src.clause_lits[2] = (neg(1), pos(2))  # x1 -> x2
+        src.clause_lits[3] = (neg(1), pos(3))  # x1 -> x3
+        src.clause_lits[4] = (neg(2), neg(3), pos(4))  # x2 & x3 -> x4
+        src.proof_chains[10] = [(-1, 0), (0, 1)]  # A = (x1)
+        src.proof_chains[11] = [(-1, 10), (1, 2)]  # B = (x2)
+        src.proof_chains[12] = [(-1, 10), (1, 3)]  # C = (x3)
+        src.proof_chains[13] = [(-1, 12), (3, 4), (2, 11)]  # D = (x4)
+        assert derive_clause(src, 13, {}) == frozenset({pos(4)})
+
+    def test_cyclic_chain_is_rejected(self):
+        src = _FakeProofSource()
+        src.clause_lits[0] = (pos(0),)
+        src.proof_chains[5] = [(-1, 6), (0, 0)]
+        src.proof_chains[6] = [(-1, 5), (0, 0)]
+        with pytest.raises(ProofError, match="cyclic"):
+            derive_clause(src, 5, {})
+
+    def test_missing_antecedent_is_rejected(self):
+        src = _FakeProofSource()
+        src.proof_chains[7] = [(-1, 99), (0, 98)]
+        with pytest.raises(ProofError, match="neither"):
+            derive_clause(src, 7, {})
+
+    def test_bad_pivot_is_rejected(self):
+        src = _FakeProofSource()
+        src.clause_lits[0] = (pos(0),)
+        src.clause_lits[1] = (pos(1),)
+        src.proof_chains[2] = [(-1, 0), (0, 1)]  # pivot x0 not in (x1)
+        with pytest.raises(ProofError, match="pivot"):
+            derive_clause(src, 2, {})
+
+    def test_real_chains_replay(self):
+        s = php_solver()
+        assert check_proof(s) == len(s.proof_chains)

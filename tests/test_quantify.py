@@ -1,8 +1,6 @@
 """Tests for universal quantification of targets by expansion."""
 
-import itertools
 
-import pytest
 
 from repro.core import (
     QMITER_PO,

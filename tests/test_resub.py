@@ -35,7 +35,6 @@ class TestResubstitute:
         assert res is not None
         assert sorted(res.divisor_ids) == sorted([u, v])
         # SOP over (u, v) ordered by id: must equal u | v
-        order = sorted(res.divisor_ids, key=lambda n: (1, n))
         for uv in all_minterms(2):
             expected = uv[0] | uv[1]
             # positions follow res.divisor_ids order

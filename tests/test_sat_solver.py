@@ -1,6 +1,5 @@
 """Unit and property tests for the CDCL SAT solver."""
 
-import itertools
 import random
 
 import pytest

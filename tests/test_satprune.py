@@ -3,7 +3,6 @@
 import itertools
 import random
 
-import pytest
 
 from repro.core import SatPruneStats, sat_prune
 
@@ -19,14 +18,13 @@ def monotone_oracle(feasible_cores):
 
 
 def brute_minimum(items, cost, is_feasible):
-    best = None
     best_cost = None
     for r in range(len(items) + 1):
         for combo in itertools.combinations(items, r):
             if is_feasible(combo):
                 c = sum(cost[i] for i in combo)
                 if best_cost is None or c < best_cost:
-                    best, best_cost = set(combo), c
+                    best_cost = c
     return best_cost
 
 

@@ -1,6 +1,5 @@
 """Tests for the CNF preprocessor (equisatisfiability + model rebuild)."""
 
-import itertools
 import random
 
 import pytest

@@ -1,6 +1,5 @@
 """Tests for bit-parallel simulation."""
 
-import random
 
 from repro.network import GateType, Network, Simulator, outputs_equal
 

@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from repro.sat import SatBudgetExceeded, Solver, check_proof, mklit, neg
+from repro.sat import SatBudgetExceeded, Solver, check_proof, mklit
 
 
 def php(solver, pigeons, holes):

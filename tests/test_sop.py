@@ -1,6 +1,5 @@
 """Tests for cubes, SOP covers, factoring, and SOP synthesis."""
 
-import itertools
 import random
 
 import pytest

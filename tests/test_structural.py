@@ -1,6 +1,5 @@
 """Tests for structural patch computation (Section 3.6)."""
 
-import itertools
 
 import pytest
 

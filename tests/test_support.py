@@ -1,21 +1,17 @@
 """Tests for minimize_assumptions (Algorithm 1) and its baselines."""
 
-import itertools
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core import (
-    AssumptionMinimizer,
     SupportStats,
     analyze_final_core,
     last_gasp_improvement,
     minimize_assumptions,
     minimize_linear,
 )
-from repro.sat import Solver, mklit, neg
+from repro.sat import Solver, mklit
 
 
 def make_cover_instance(groups, n_sel):

@@ -1,6 +1,5 @@
 """Tests for network transforms (sweep, buffer collapse, balance)."""
 
-import random
 
 from repro.network import GateType, Network, depth
 from repro.network.transforms import (

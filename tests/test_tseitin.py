@@ -1,7 +1,5 @@
 """Tests for circuit→CNF encoding."""
 
-import itertools
-import random
 
 import pytest
 

@@ -6,7 +6,7 @@ from repro import EcoEngine, contest_config
 from repro.benchgen.circuits import C17_BENCH, c17, c17_eco_instance
 from repro.network import GateType, Network, NetworkError
 
-from helpers import all_minterms, random_network
+from helpers import random_network
 
 
 class TestValidate:

@@ -1,6 +1,5 @@
 """Edge-case tests for structural pruning (windowing)."""
 
-import pytest
 
 from repro.network import GateType, Network, compute_window
 
