@@ -1,4 +1,4 @@
-"""E1 — Regenerate Table 1.
+"""E1 — Regenerate Table 1 (with machine-readable telemetry).
 
 For every suite unit, runs the three method columns of the paper's
 Table 1 (baseline without ``minimize_assumptions``, the contest-winning
@@ -6,15 +6,58 @@ Table 1 (baseline without ``minimize_assumptions``, the contest-winning
 and prints per-unit cost / patch gates / runtime plus the geomean ratio
 row.  Wall-clock per method is measured by pytest-benchmark; the
 assembled table lands in ``benchmarks/results/table1.txt``.
+
+Every engine run is executed with the :mod:`repro.obs` registry enabled,
+and the collected per-unit telemetry (phase wall times, solver
+decision/propagation/conflict/restart counters) is assembled into the
+schema-validated baseline ``benchmarks/results/BENCH_table1.json``
+(schema ``repro.obs.bench/v1``).
+
+The module doubles as a plain script — no pytest-benchmark required —
+for CI and for regenerating the committed baseline::
+
+    PYTHONPATH=src python benchmarks/bench_table1.py \
+        [--units unit1,unit2] [--methods baseline,minassump] \
+        [--out benchmarks/results/BENCH_table1.json]
 """
+
+import argparse
+import json
+import sys
 
 import pytest
 
-from repro.benchgen import METHODS, SUITE, UnitRow, format_table, run_unit
+from repro.benchgen import (
+    METHODS,
+    SUITE,
+    UnitRow,
+    format_table,
+    run_unit,
+    telemetry_document,
+)
 
 from conftest import write_result
 
+BASELINE_NAME = "BENCH_table1.json"
+
 _rows = {}
+
+
+def _merge_row(row):
+    merged = _rows.setdefault(
+        row.name,
+        UnitRow(
+            name=row.name,
+            n_pi=row.n_pi,
+            n_po=row.n_po,
+            gates_impl=row.gates_impl,
+            gates_spec=row.gates_spec,
+            n_targets=row.n_targets,
+        ),
+    )
+    merged.results.update(row.results)
+    merged.telemetry.update(row.telemetry)
+    return merged
 
 
 @pytest.mark.parametrize("method", METHODS)
@@ -25,30 +68,24 @@ def bench_table1_method(benchmark, suite_instances, method):
         rows = []
         for spec in SUITE:
             rows.append(
-                run_unit(spec, methods=[method], instance=suite_instances[spec.name])
+                run_unit(
+                    spec,
+                    methods=[method],
+                    instance=suite_instances[spec.name],
+                    collect_telemetry=True,
+                )
             )
         return rows
 
     rows = benchmark.pedantic(run_column, rounds=1, iterations=1)
     for row in rows:
-        merged = _rows.setdefault(
-            row.name,
-            UnitRow(
-                name=row.name,
-                n_pi=row.n_pi,
-                n_po=row.n_po,
-                gates_impl=row.gates_impl,
-                gates_spec=row.gates_spec,
-                n_targets=row.n_targets,
-            ),
-        )
-        merged.results.update(row.results)
+        _merge_row(row)
     for row in rows:
         assert row.results[method].verified
 
 
 def bench_table1_report(benchmark, suite_instances):
-    """Assemble and persist the full Table 1 (after the method columns)."""
+    """Assemble and persist Table 1 + the telemetry baseline JSON."""
     complete = [
         _rows[spec.name]
         for spec in SUITE
@@ -60,4 +97,68 @@ def bench_table1_report(benchmark, suite_instances):
         lambda: format_table(complete), rounds=1, iterations=1
     )
     write_result("table1.txt", "Table 1 reproduction\n" + table)
+    doc = telemetry_document(complete)
+    write_result(BASELINE_NAME, json.dumps(doc, indent=2, sort_keys=True))
     assert len(complete) == len(SUITE)
+
+
+def main(argv=None):
+    """Script entry point: run the suite and write the telemetry JSON."""
+    parser = argparse.ArgumentParser(
+        description="regenerate the Table 1 telemetry baseline"
+    )
+    parser.add_argument(
+        "--units", help="comma-separated unit subset (default: all 20)"
+    )
+    parser.add_argument(
+        "--methods",
+        default=",".join(METHODS),
+        help=f"comma-separated method columns (default: {','.join(METHODS)})",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: benchmarks/results/BENCH_table1.json)",
+    )
+    args = parser.parse_args(argv)
+
+    names = (
+        [n.strip() for n in args.units.split(",") if n.strip()]
+        if args.units
+        else None
+    )
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    for m in methods:
+        if m not in METHODS:
+            print(f"unknown method {m!r}; choose from {METHODS}", file=sys.stderr)
+            return 2
+    rows = []
+    for spec in SUITE:
+        if names is not None and spec.name not in names:
+            continue
+        row = run_unit(spec, methods=methods, collect_telemetry=True)
+        rows.append(row)
+        runtimes = ", ".join(
+            f"{m}: cost={row.results[m].cost} "
+            f"t={row.results[m].runtime_seconds:.2f}s"
+            for m in methods
+        )
+        print(f"{spec.name}: {runtimes}", file=sys.stderr)
+    if not rows:
+        print("no units matched --units", file=sys.stderr)
+        return 2
+    suite_tag = "benchgen-20" if names is None else "benchgen-subset"
+    doc = telemetry_document(rows, suite=suite_tag)
+    payload = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(payload + "\n")
+        print(f"telemetry baseline written to {args.out}", file=sys.stderr)
+    else:
+        write_result(BASELINE_NAME, payload)
+    print(format_table(rows, methods))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,8 @@ from .harness import (
     geomean_ratios,
     run_suite,
     run_unit,
+    telemetry_document,
+    unit_telemetry,
 )
 from .mutations import MutationRecord, corrupt, make_specification
 from .suite import SUITE, SuiteUnit, build_suite, build_unit, unit_spec
@@ -41,6 +43,8 @@ __all__ = [
     "geomean_ratios",
     "run_suite",
     "run_unit",
+    "telemetry_document",
+    "unit_telemetry",
     "alu_slice",
     "build_suite",
     "build_unit",

@@ -11,8 +11,9 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+from .. import obs
 from ..core.engine import (
     EcoConfig,
     EcoEngine,
@@ -51,6 +52,9 @@ class UnitRow:
     gates_spec: int
     n_targets: int
     results: Dict[str, EcoResult] = field(default_factory=dict)
+    #: per-method telemetry entries (bench baseline schema), populated
+    #: when :func:`run_unit` runs with ``collect_telemetry=True``
+    telemetry: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def cost(self, method: str) -> int:
         return self.results[method].cost
@@ -78,8 +82,16 @@ def run_unit(
     spec: SuiteUnit,
     methods: Sequence[str] = METHODS,
     instance: Optional[EcoInstance] = None,
+    collect_telemetry: bool = False,
 ) -> UnitRow:
-    """Run one unit under each method; returns the populated row."""
+    """Run one unit under each method; returns the populated row.
+
+    With ``collect_telemetry`` the process-wide :mod:`repro.obs`
+    registry is reset + enabled around each method run and a bench
+    telemetry entry (phases, counters, solver breakdown) is stored in
+    ``row.telemetry[method]``.  The registry's previous enabled state is
+    restored afterwards.
+    """
     inst = instance if instance is not None else build_unit(spec)
     row = UnitRow(
         name=spec.name,
@@ -91,8 +103,67 @@ def run_unit(
     )
     for method in methods:
         engine = EcoEngine(config_for(spec, method))
-        row.results[method] = engine.run(inst)
+        if not collect_telemetry:
+            row.results[method] = engine.run(inst)
+            continue
+        registry = obs.get_registry()
+        was_enabled = registry.enabled
+        registry.reset()
+        registry.enable()
+        try:
+            result = engine.run(inst)
+        finally:
+            registry.enabled = was_enabled
+        row.results[method] = result
+        row.telemetry[method] = unit_telemetry(spec.name, method, result, registry)
+        registry.reset()
     return row
+
+
+def unit_telemetry(
+    unit: str,
+    method: str,
+    result: EcoResult,
+    registry: "obs.Registry",
+) -> Dict[str, Any]:
+    """One bench-baseline unit entry from a run's registry contents."""
+    from ..obs.export import SOLVER_COUNTER_FIELDS
+
+    counters = dict(registry.counters)
+    return {
+        "unit": unit,
+        "method": method,
+        "cost": result.cost,
+        "gates": result.gate_count,
+        "runtime_s": round(result.runtime_seconds, 6),
+        "verified": result.verified,
+        "phases": {k: round(v, 6) for k, v in registry.phase_times().items()},
+        "counters": counters,
+        "solver": {
+            fld: counters.get("sat." + fld, 0) for fld in SOLVER_COUNTER_FIELDS
+        },
+    }
+
+
+def telemetry_document(
+    rows: Sequence[UnitRow], suite: str = "benchgen-20"
+) -> Dict[str, Any]:
+    """Assemble + validate the bench baseline document from unit rows."""
+    from ..obs.export import BENCH_SCHEMA, validate_bench_document
+
+    units = [
+        entry
+        for row in rows
+        for entry in (row.telemetry[m] for m in row.telemetry)
+    ]
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "generated_by": "benchmarks/bench_table1.py",
+        "units": units,
+    }
+    validate_bench_document(doc)
+    return doc
 
 
 def run_suite(

@@ -5,12 +5,20 @@ Subcommands::
     repro-eco patch    --impl impl.v --spec spec.v --targets t1,t2 \
                        [--weights weights.txt] [--method minassump] \
                        [--out patched.v]
+    repro-eco run      (--unit unit7 | --impl impl.v --spec spec.v \
+                       --targets t1,t2) [--method minassump] [--trace] \
+                       [--profile] [--telemetry-out obs.json] [--csv]
     repro-eco localize --impl impl.v --spec spec.v [--max-targets 4]
     repro-eco cec      --impl a.v --spec b.v
     repro-eco check    netlist.v [...] [--unit unit7] [--rules NL001,..] \
                        [--no-encoding] [--patterns 64] [--json]
     repro-eco generate --unit unit7 --out unit7_dir
     repro-eco suite    [--units unit1,unit4] [--methods minassump]
+
+``run`` is ``patch`` plus observability: ``--trace`` prints the
+:mod:`repro.obs` span tree, ``--profile`` emits the schema-validated
+telemetry JSON (span names and counter keys are catalogued in
+docs/OBSERVABILITY.md).
 
 Also runnable as ``python -m repro``.
 """
@@ -21,6 +29,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import obs
 from .benchgen import METHODS, SUITE, build_unit, format_table, run_unit, unit_spec
 from .core import apply_patches, cec, localize_targets
 from .core.engine import (
@@ -63,6 +72,55 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(_CONFIGS),
         default="minassump",
         help="Table 1 method column (default: minassump)",
+    )
+    p.add_argument("--out", help="write the patched netlist here (.v)")
+    p.add_argument(
+        "--no-verify", action="store_true", help="skip the final CEC"
+    )
+
+    p = sub.add_parser(
+        "run",
+        help="run the ECO engine with tracing/profiling telemetry",
+        description=(
+            "Compute and insert ECO patches like 'patch', with the "
+            "repro.obs observability layer enabled: --trace prints the "
+            "hierarchical span tree, --profile emits schema-validated "
+            "JSON telemetry (see docs/OBSERVABILITY.md for the key "
+            "catalogue)."
+        ),
+    )
+    p.add_argument("--unit", help="run a synthetic suite unit (e.g. unit7)")
+    p.add_argument("--impl", help="implementation netlist (.v)")
+    p.add_argument("--spec", help="specification netlist (.v)")
+    p.add_argument(
+        "--targets",
+        help="comma-separated target names, or @file with one per line",
+    )
+    p.add_argument("--weights", help="weight file (name weight per line)")
+    p.add_argument(
+        "--method",
+        choices=sorted(_CONFIGS),
+        default="minassump",
+        help="Table 1 method column (default: minassump)",
+    )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the wall-clock span tree after the run",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="emit the telemetry export (JSON unless --csv)",
+    )
+    p.add_argument(
+        "--telemetry-out",
+        help="write the --profile export to this file instead of stdout",
+    )
+    p.add_argument(
+        "--csv",
+        action="store_true",
+        help="export --profile telemetry as CSV instead of JSON",
     )
     p.add_argument("--out", help="write the patched netlist here (.v)")
     p.add_argument(
@@ -160,6 +218,76 @@ def cmd_patch(args: argparse.Namespace) -> int:
         patched.cleanup()
         write_verilog(patched, args.out)
         print(f"patched netlist written to {args.out}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    if args.unit:
+        if args.impl or args.spec or args.targets:
+            print(
+                "error: give either --unit or --impl/--spec/--targets",
+                file=sys.stderr,
+            )
+            return 2
+        instance = build_unit(unit_spec(args.unit))
+    else:
+        if not (args.impl and args.spec and args.targets):
+            print(
+                "error: run needs --unit, or --impl + --spec + --targets",
+                file=sys.stderr,
+            )
+            return 2
+        instance = EcoInstance(
+            name="cli",
+            impl=read_verilog(args.impl),
+            spec=read_verilog(args.spec),
+            targets=_parse_targets(args.targets),
+            weights=read_weights(args.weights) if args.weights else {},
+        )
+
+    cfg = _CONFIGS[args.method]()
+    if args.no_verify:
+        cfg = dataclasses.replace(cfg, verify=False)
+
+    registry = obs.get_registry()
+    registry.reset()
+    registry.enable()
+    try:
+        result = EcoEngine(cfg).run(instance)
+    finally:
+        registry.disable()
+
+    print(f"unit:     {instance.name}", file=sys.stderr)
+    print(
+        f"method:   {args.method} ({result.method} flow)  "
+        f"cost={result.cost} gates={result.gate_count} "
+        f"verified={result.verified} "
+        f"t={result.runtime_seconds:.3f}s",
+        file=sys.stderr,
+    )
+    if args.trace:
+        print(obs.format_spans(registry))
+    if args.profile:
+        if args.csv:
+            payload = obs.export_csv(registry)
+        else:
+            doc = registry.snapshot()
+            obs.validate_telemetry(doc)
+            payload = json.dumps(doc, indent=2, sort_keys=True)
+        if args.telemetry_out:
+            with open(args.telemetry_out, "w", encoding="utf-8") as f:
+                f.write(payload if payload.endswith("\n") else payload + "\n")
+            print(f"telemetry written to {args.telemetry_out}", file=sys.stderr)
+        else:
+            print(payload)
+    if args.out:
+        patched = apply_patches(instance.impl, result.patches)
+        patched.cleanup()
+        write_verilog(patched, args.out)
+        print(f"patched netlist written to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -271,6 +399,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "patch": cmd_patch,
+        "run": cmd_run,
         "localize": cmd_localize,
         "cec": cmd_cec,
         "check": cmd_check,

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..flow.maxflow import min_node_cut
 from ..network.network import Network
 from ..network.node import GateType
@@ -80,87 +81,92 @@ def cegar_min(
     # --- simulation filtering ------------------------------------------
     # patch inputs may be impl PIs *or* internal signals (after
     # resubstitution), so patterns come from the full simulation values
-    sim_impl = Simulator(impl, nbits=sim_patterns, seed=seed)
-    mask = sim_impl.mask
-    impl_values = sim_impl.values()
-    patch_pi_patterns: Dict[int, int] = {}
-    for pi in patch.pis:
-        name = patch.node(pi).name
-        patch_pi_patterns[pi] = impl_values[impl.node_by_name(name)]
-    patch_values = patch.evaluate(patch_pi_patterns, mask)
+    with obs.span("cegar_min.simulate"):
+        sim_impl = Simulator(impl, nbits=sim_patterns, seed=seed)
+        mask = sim_impl.mask
+        impl_values = sim_impl.values()
+        patch_pi_patterns: Dict[int, int] = {}
+        for pi in patch.pis:
+            name = patch.node(pi).name
+            patch_pi_patterns[pi] = impl_values[impl.node_by_name(name)]
+        patch_values = patch.evaluate(patch_pi_patterns, mask)
 
-    by_signature: Dict[int, List[int]] = {}
-    for nid in candidate_ids:
-        sig = impl_values[nid]
-        if sig & 1:
-            sig = ~sig & mask
-        by_signature.setdefault(sig, []).append(nid)
+        by_signature: Dict[int, List[int]] = {}
+        for nid in candidate_ids:
+            sig = impl_values[nid]
+            if sig & 1:
+                sig = ~sig & mask
+            by_signature.setdefault(sig, []).append(nid)
 
     # --- SAT confirmation ----------------------------------------------
-    solver = Solver()
-    impl_vars = encode_network(solver, impl)
-    patch_pi_vars = {
-        pi: impl_vars[impl.node_by_name(patch.node(pi).name)]
-        for pi in patch.pis
-    }
-    patch_vars = encode_network(solver, patch, patch_pi_vars)
+    with obs.span("cegar_min.confirm"):
+        solver = Solver()
+        impl_vars = encode_network(solver, impl)
+        patch_pi_vars = {
+            pi: impl_vars[impl.node_by_name(patch.node(pi).name)]
+            for pi in patch.pis
+        }
+        patch_vars = encode_network(solver, patch, patch_pi_vars)
 
-    sat_calls = 0
-    equivalences: Dict[int, Equivalence] = {}
-    for pnode in patch.topo_order():
-        sig = patch_values[pnode.nid]
-        comp_key = sig
-        if comp_key & 1:
-            comp_key = ~comp_key & mask
-        candidates = by_signature.get(comp_key, [])
-        ranked = sorted(candidates, key=lambda n: (weight_of.get(n, 1), n))
-        for cand in ranked:
-            if sat_calls + 2 > max_sat_calls:
+        sat_calls = 0
+        equivalences: Dict[int, Equivalence] = {}
+        for pnode in patch.topo_order():
+            sig = patch_values[pnode.nid]
+            comp_key = sig
+            if comp_key & 1:
+                comp_key = ~comp_key & mask
+            candidates = by_signature.get(comp_key, [])
+            ranked = sorted(candidates, key=lambda n: (weight_of.get(n, 1), n))
+            for cand in ranked:
+                if sat_calls + 2 > max_sat_calls:
+                    break
+                complemented = impl_values[cand] != sig
+                if complemented and (impl_values[cand] != (~sig & mask)):
+                    continue
+                p, q = patch_vars[pnode.nid], impl_vars[cand]
+                try:
+                    sat_calls += 1
+                    first = solver.solve(
+                        [mklit(p), mklit(q, not complemented)],
+                        budget_conflicts=budget_conflicts,
+                    )
+                    if first:
+                        continue
+                    sat_calls += 1
+                    second = solver.solve(
+                        [mklit(p, True), mklit(q, complemented)],
+                        budget_conflicts=budget_conflicts,
+                    )
+                    if second:
+                        continue
+                except SatBudgetExceeded:
+                    continue
+                node = impl.node(cand)
+                equivalences[pnode.nid] = Equivalence(
+                    patch_node=pnode.nid,
+                    impl_node=cand,
+                    impl_name=node.name or f"n{cand}",
+                    complemented=complemented,
+                    weight=weight_of.get(cand, 1),
+                )
                 break
-            complemented = impl_values[cand] != sig
-            if complemented and (impl_values[cand] != (~sig & mask)):
-                continue
-            p, q = patch_vars[pnode.nid], impl_vars[cand]
-            try:
-                sat_calls += 1
-                first = solver.solve(
-                    [mklit(p), mklit(q, not complemented)],
-                    budget_conflicts=budget_conflicts,
-                )
-                if first:
-                    continue
-                sat_calls += 1
-                second = solver.solve(
-                    [mklit(p, True), mklit(q, complemented)],
-                    budget_conflicts=budget_conflicts,
-                )
-                if second:
-                    continue
-            except SatBudgetExceeded:
-                continue
-            node = impl.node(cand)
-            equivalences[pnode.nid] = Equivalence(
-                patch_node=pnode.nid,
-                impl_node=cand,
-                impl_name=node.name or f"n{cand}",
-                complemented=complemented,
-                weight=weight_of.get(cand, 1),
-            )
-            break
+    obs.inc("cegar_min.sat_calls", sat_calls)
+    obs.inc("cegar_min.equivalences", len(equivalences))
 
     # --- min-weight node cut --------------------------------------------
-    edges: List[Tuple[int, int]] = []
-    for node in patch.nodes():
-        for f in node.fanins:
-            edges.append((f, node.nid))
-    sink = -1  # virtual sink behind the PO
-    edges.append((po_node, sink))
-    node_weights: Dict[int, float] = {
-        pnid: eq.weight for pnid, eq in equivalences.items()
-    }
-    cut_weight, cut_nodes = min_node_cut(
-        edges, sources=list(patch.pis), sink=sink, node_weights=node_weights
-    )
+    with obs.span("cegar_min.cut"):
+        edges: List[Tuple[int, int]] = []
+        for node in patch.nodes():
+            for f in node.fanins:
+                edges.append((f, node.nid))
+        sink = -1  # virtual sink behind the PO
+        edges.append((po_node, sink))
+        node_weights: Dict[int, float] = {
+            pnid: eq.weight for pnid, eq in equivalences.items()
+        }
+        cut_weight, cut_nodes = min_node_cut(
+            edges, sources=list(patch.pis), sink=sink, node_weights=node_weights
+        )
 
     if not cut_nodes or cut_weight == float("inf"):
         # no usable cut: keep the original patch

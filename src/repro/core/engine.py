@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
 from ..io.weights import EcoInstance
 from ..network.network import Network
 from ..network.window import Window, compute_window
@@ -147,49 +148,64 @@ class EcoEngine:
         """
         cfg = self.config
         t_start = time.perf_counter()
-        stats: Dict[str, float] = {}
+        stats: Dict[str, Union[int, float]] = {}
+        obs.inc("engine.runs")
+        with obs.span("engine.run", unit=instance.name):
+            return self._run_phases(instance, cfg, stats, t_start)
 
+    def _run_phases(
+        self,
+        instance: EcoInstance,
+        cfg: "EcoConfig",
+        stats: Dict[str, Union[int, float]],
+        t_start: float,
+    ) -> EcoResult:
         base_impl = instance.impl.clone()
         spec = instance.spec
         target_ids = [base_impl.node_by_name(t) for t in instance.targets]
-        window = compute_window(base_impl, spec, target_ids)
-        divisors = collect_divisors(
-            base_impl,
-            window,
-            instance.weights,
-            instance.default_weight,
-            cfg.max_divisors,
-        )
+        with obs.span("engine.window"):
+            window = compute_window(base_impl, spec, target_ids)
+        with obs.span("engine.divisors"):
+            divisors = collect_divisors(
+                base_impl,
+                window,
+                instance.weights,
+                instance.default_weight,
+                cfg.max_divisors,
+            )
         stats["window_pos"] = len(window.po_indices)
         stats["divisor_candidates"] = len(divisors.ids)
+        obs.annotate("window_pos", len(window.po_indices))
+        obs.annotate("divisor_candidates", len(divisors.ids))
 
         # --- Section 3.2: are the targets sufficient? -------------------
         # outputs outside the window cannot be influenced by any patch,
         # so they must already match — otherwise no target set suffices
-        non_window = [
-            i
-            for i in range(base_impl.num_pos)
-            if i not in set(window.po_indices)
-        ]
-        if non_window:
-            outside = cec(
-                base_impl,
-                spec,
-                budget_conflicts=cfg.budget_conflicts,
-                po_indices=non_window,
-            )
-            if outside.equivalent is False:
-                raise EcoInfeasibleError(
-                    f"{instance.name}: outputs outside the targets' fanout "
-                    f"already differ (cex={outside.counterexample})"
+        with obs.span("engine.feasibility"):
+            non_window = [
+                i
+                for i in range(base_impl.num_pos)
+                if i not in set(window.po_indices)
+            ]
+            if non_window:
+                outside = cec(
+                    base_impl,
+                    spec,
+                    budget_conflicts=cfg.budget_conflicts,
+                    po_indices=non_window,
                 )
-        miter0 = build_miter(base_impl, spec, target_ids, window.po_indices)
-        feas = check_feasibility(
-            miter0,
-            method=cfg.feasibility_method,
-            budget_conflicts=cfg.budget_conflicts,
-            max_expansion_targets=cfg.max_expansion_targets,
-        )
+                if outside.equivalent is False:
+                    raise EcoInfeasibleError(
+                        f"{instance.name}: outputs outside the targets' fanout "
+                        f"already differ (cex={outside.counterexample})"
+                    )
+            miter0 = build_miter(base_impl, spec, target_ids, window.po_indices)
+            feas = check_feasibility(
+                miter0,
+                method=cfg.feasibility_method,
+                budget_conflicts=cfg.budget_conflicts,
+                max_expansion_targets=cfg.max_expansion_targets,
+            )
         if feas.feasible is False:
             raise EcoInfeasibleError(
                 f"{instance.name}: targets cannot rectify the implementation"
@@ -197,7 +213,10 @@ class EcoEngine:
         stats["feasibility_copies"] = feas.copies
         if feas.feasible is None:
             # budget ran out: assume feasibility and go structural (§3.2)
-            stats["feasibility_unknown"] = 1
+            stats["feasibility_unknown"] = (
+                stats.get("feasibility_unknown", 0) + 1
+            )
+            obs.inc("engine.feasibility_unknown")
         countermoves_by_name = [
             {
                 instance.targets[i]: move.get(pi, 0)
@@ -211,25 +230,33 @@ class EcoEngine:
         patched: Optional[Network] = None
         if not cfg.structural_only and feas.feasible:
             try:
-                patched, patches = self._sat_flow(
-                    instance, spec, window, divisors, countermoves_by_name, stats
-                )
+                with obs.span("engine.sat_flow"):
+                    patched, patches = self._sat_flow(
+                        instance, spec, window, divisors, countermoves_by_name, stats
+                    )
             except (SatBudgetExceeded, PatchEnumerationError, EcoEngineError) as exc:
-                stats["sat_flow_fallback"] = 1
-                stats["fallback_reason_" + type(exc).__name__] = 1
+                # increment, never assign: a run can fall back repeatedly
+                # (e.g. per-target retries) and every event must be kept
+                stats["sat_flow_fallback"] = stats.get("sat_flow_fallback", 0) + 1
+                reason_key = "fallback_reason_" + type(exc).__name__
+                stats[reason_key] = stats.get(reason_key, 0) + 1
+                obs.inc("engine.sat_flow_fallback")
+                obs.inc("engine.fallback." + type(exc).__name__)
                 patches = None
         if patches is None:
             method = "structural"
-            patched, patches = self._structural_flow(
-                instance, spec, window, divisors, countermoves_by_name, stats
-            )
+            with obs.span("engine.structural"):
+                patched, patches = self._structural_flow(
+                    instance, spec, window, divisors, countermoves_by_name, stats
+                )
             if cfg.use_cegar_min:
                 method = "structural+cegar_min"
 
         assert patched is not None
         verified = True
         if cfg.verify:
-            result = cec(patched, spec, budget_conflicts=None)
+            with obs.span("engine.verify"):
+                result = cec(patched, spec, budget_conflicts=None)
             verified = bool(result.equivalent)
             if not verified:
                 raise EcoEngineError(
@@ -309,10 +336,12 @@ class EcoEngine:
             step_divisors = divisors
             if cfg.amortize_shared_support and used_names:
                 step_divisors = _amortized_divisors(divisors, used_names)
-            support_ids = self._compute_support(qm, step_divisors, stats)
-            patch = self._compute_patch_function(
-                qm, step_divisors, support_ids, tname, instance, stats
-            )
+            with obs.span("engine.support", target=tname):
+                support_ids = self._compute_support(qm, step_divisors, stats)
+            with obs.span("engine.patch_function", target=tname):
+                patch = self._compute_patch_function(
+                    qm, step_divisors, support_ids, tname, instance, stats
+                )
             apply_patch(current, patch)
             patches.append(patch)
             used_names.update(patch.support)
@@ -401,6 +430,8 @@ class EcoEngine:
             raise ValueError(f"unknown support method {cfg.support_method!r}")
 
         stats["support_sat_calls"] = stats.get("support_sat_calls", 0) + sstats.sat_calls
+        obs.inc("engine.support_sat_calls", sstats.sat_calls)
+        obs.annotate("support_size", len(chosen))
         chosen.sort(key=lambda n: (divisors.cost[n], n))
         return chosen
 
@@ -460,6 +491,7 @@ class EcoEngine:
             stats=estats,
         )
         stats["cubes"] = stats.get("cubes", 0) + estats.cubes
+        obs.inc("engine.cubes", estats.cubes)
 
         if (
             cfg.use_isop_refine
@@ -588,14 +620,15 @@ class EcoEngine:
             from ..sop.synth import sop_to_network
             from .resub import resubstitute
 
-            rr = resubstitute(
-                current,
-                patch_net,
-                divisors.ids,
-                divisors.cost,
-                budget_conflicts=cfg.budget_conflicts,
-                max_cubes=cfg.max_cubes,
-            )
+            with obs.span("engine.resub", target=target_name):
+                rr = resubstitute(
+                    current,
+                    patch_net,
+                    divisors.ids,
+                    divisors.cost,
+                    budget_conflicts=cfg.budget_conflicts,
+                    max_cubes=cfg.max_cubes,
+                )
             if rr is not None:
                 used = sorted(
                     {p for cube in rr.sop for p in cube.literals()}
@@ -613,15 +646,16 @@ class EcoEngine:
                         gate_count = candidate.num_gates
                         method = "resub"
         if cfg.use_cegar_min:
-            result = cegar_min(
-                current,
-                patch_net,
-                candidate_ids=divisors.ids,
-                weight_of=divisors.cost,
-                sim_patterns=cfg.sim_patterns,
-                seed=cfg.seed,
-                budget_conflicts=cfg.budget_conflicts,
-            )
+            with obs.span("engine.cegar_min", target=target_name):
+                result = cegar_min(
+                    current,
+                    patch_net,
+                    candidate_ids=divisors.ids,
+                    weight_of=divisors.cost,
+                    sim_patterns=cfg.sim_patterns,
+                    seed=cfg.seed,
+                    budget_conflicts=cfg.budget_conflicts,
+                )
             stats["cegarmin_sat_calls"] = stats.get(
                 "cegarmin_sat_calls", 0
             ) + result.sat_calls

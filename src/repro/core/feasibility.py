@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..sat.solver import SatBudgetExceeded, Solver
 from ..sat.tseitin import encode_network
 from ..sat.types import mklit
@@ -69,10 +70,16 @@ def check_feasibility(
             else "qbf"
         )
     if method == "expansion":
-        return _check_by_expansion(miter, budget_conflicts)
-    if method == "qbf":
-        return _check_by_qbf(miter, budget_conflicts)
-    raise ValueError(f"unknown feasibility method {method!r}")
+        with obs.span("feasibility.expansion"):
+            result = _check_by_expansion(miter, budget_conflicts)
+    elif method == "qbf":
+        with obs.span("feasibility.qbf"):
+            result = _check_by_qbf(miter, budget_conflicts)
+    else:
+        raise ValueError(f"unknown feasibility method {method!r}")
+    obs.inc("feasibility.checks")
+    obs.inc("feasibility.copies", result.copies)
+    return result
 
 
 def _check_by_expansion(

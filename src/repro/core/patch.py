@@ -9,7 +9,7 @@ and redrives the target node with its output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Union
 
 from ..network.network import Network
 from ..network.node import GateType
@@ -53,7 +53,9 @@ class EcoResult:
     verified: bool
     runtime_seconds: float
     method: str
-    stats: Dict[str, float] = field(default_factory=dict)
+    #: per-run summary counters; int-valued event counts and float-valued
+    #: measurements share the mapping (times live in ``repro.obs`` spans)
+    stats: Dict[str, Union[int, float]] = field(default_factory=dict)
 
     @property
     def support(self) -> List[str]:

@@ -24,6 +24,8 @@ import heapq
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
+
 
 @dataclass
 class SatPruneStats:
@@ -131,6 +133,27 @@ def sat_prune(
         the minimum-cost subset, or None if no subset is feasible.
     """
     stats = stats if stats is not None else SatPruneStats()
+    with obs.span("satprune.search"):
+        try:
+            return _sat_prune(
+                divisors, cost, is_feasible, initial_solution, grow, max_checks, stats
+            )
+        finally:
+            obs.inc("satprune.feasibility_checks", stats.feasibility_checks)
+            obs.inc("satprune.blocking_clauses", stats.blocking_clauses)
+            obs.inc("satprune.grow_steps", stats.grow_steps)
+            obs.inc("satprune.candidates", stats.candidates_enumerated)
+
+
+def _sat_prune(
+    divisors: Sequence[int],
+    cost: Dict[int, int],
+    is_feasible: Callable[[Sequence[int]], bool],
+    initial_solution: Optional[Sequence[int]],
+    grow: bool,
+    max_checks: int,
+    stats: SatPruneStats,
+) -> Optional[List[int]]:
     items = list(divisors)
     enum = _HittingSetEnumerator(items, cost)
 

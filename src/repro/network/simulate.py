@@ -33,7 +33,16 @@ class Simulator:
         self._values: Optional[Dict[int, int]] = None
 
     def set_pattern(self, pi: int, pattern: int) -> None:
-        """Override the pattern word of one PI."""
+        """Override the pattern word of one PI.
+
+        Raises :class:`ValueError` when ``pi`` is not a primary input of
+        the bound network — a pattern stored under any other id would be
+        silently ignored by evaluation.
+        """
+        if pi not in self.pi_patterns:
+            raise ValueError(
+                f"node {pi} is not a primary input of {self.net.name!r}"
+            )
         self.pi_patterns[pi] = pattern & self.mask
         self._values = None
 
@@ -87,6 +96,13 @@ def outputs_equal(
 
     Both networks must expose identically named PIs and POs.  A ``True``
     result is only evidence; use :mod:`repro.core.verify` for proof.
+
+    Outputs with unique names are matched by name (PO order may differ).
+    When either network carries a *duplicated* PO name, name matching is
+    ill-defined — a name-keyed dict would silently collapse the
+    duplicates and drop outputs from the comparison — so the check
+    switches to strict positional comparison: PO ``i`` of ``net_a`` must
+    agree with PO ``i`` of ``net_b`` in both name and simulated value.
     """
     rng = random.Random(seed)
     mask = (1 << patterns) - 1
@@ -97,6 +113,18 @@ def outputs_equal(
     vals_b = net_b.evaluate(
         {pi: words[net_b.node(pi).name] for pi in net_b.pis}, mask
     )
+    names_a = [name for name, _ in net_a.pos]
+    names_b = [name for name, _ in net_b.pos]
+    if len(names_a) != len(names_b):
+        return False
+    duplicates = len(set(names_a)) != len(names_a) or len(set(names_b)) != len(
+        names_b
+    )
+    if duplicates:
+        return all(
+            na == nb and vals_a[ida] == vals_b[idb]
+            for (na, ida), (nb, idb) in zip(net_a.pos, net_b.pos)
+        )
     pos_a = dict(net_a.pos)
     pos_b = dict(net_b.pos)
     if set(pos_a) != set(pos_b):

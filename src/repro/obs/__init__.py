@@ -1,0 +1,81 @@
+"""Observability: tracing spans, counters, histograms, and exporters.
+
+``repro.obs`` is the measurement substrate for the whole engine.  A
+process-wide :class:`Registry` collects
+
+* hierarchical **spans** — wall-clock-timed sections (``engine.run`` >
+  ``engine.feasibility`` > ...) forming a tree per top-level operation;
+* monotonic **counters** — event totals (``sat.conflicts``,
+  ``engine.fallback.*``);
+* **histograms** — value distributions summarized as
+  count/sum/min/max plus power-of-two buckets (``sat.solve_time``).
+
+The registry is *disabled by default* and every instrumentation point
+is written so the disabled path costs one attribute load and one branch
+(spans become a shared no-op singleton, counter bumps return
+immediately).  Enable it around a region of interest::
+
+    from repro import obs
+
+    obs.reset()
+    obs.enable()
+    engine.run(instance)
+    doc = obs.snapshot()                    # plain-dict telemetry
+    print(obs.export_json())                # schema-tagged JSON
+
+Every span name and counter key emitted by the repo is catalogued in
+``docs/OBSERVABILITY.md``; :mod:`repro.obs.validate` cross-checks an
+export against that catalogue (CI runs it on every push).
+"""
+
+from .core import (
+    DEFAULT,
+    Histogram,
+    Registry,
+    SpanRecord,
+    annotate,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+    inc,
+    observe,
+    reset,
+    snapshot,
+    span,
+)
+from .export import (
+    BENCH_SCHEMA,
+    TELEMETRY_SCHEMA,
+    TelemetrySchemaError,
+    export_csv,
+    export_json,
+    format_spans,
+    validate_bench_document,
+    validate_telemetry,
+)
+
+__all__ = [
+    "DEFAULT",
+    "Histogram",
+    "Registry",
+    "SpanRecord",
+    "BENCH_SCHEMA",
+    "TELEMETRY_SCHEMA",
+    "TelemetrySchemaError",
+    "annotate",
+    "disable",
+    "enable",
+    "enabled",
+    "export_csv",
+    "export_json",
+    "format_spans",
+    "get_registry",
+    "inc",
+    "observe",
+    "reset",
+    "snapshot",
+    "span",
+    "validate_bench_document",
+    "validate_telemetry",
+]

@@ -1,0 +1,263 @@
+"""Registry, spans, counters, and histograms.
+
+Design constraints (see ISSUE 3):
+
+* **near-zero overhead when disabled** — every public entry point
+  checks ``self.enabled`` first and bails out; ``span()`` returns a
+  shared no-op singleton so the common ``with obs.span(...)`` pattern
+  allocates nothing on the disabled path;
+* **hierarchical spans** — an explicit stack tracks the open span;
+  closing a span attaches its record to the parent (or to the
+  registry's root list), so exports preserve nesting;
+* **process-wide default** — a module-level :data:`DEFAULT` registry
+  plus free functions, mirroring the ``logging`` module's shape.  Code
+  under test can still construct private registries.
+
+The engine is single-threaded; no locking is attempted.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) traced section."""
+
+    name: str
+    start: float
+    duration: float = 0.0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["SpanRecord"] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "duration_s": self.duration,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def walk(self):
+        """Yield this record and every descendant (pre-order)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class Histogram:
+    """Streaming summary: count/sum/min/max plus power-of-two buckets.
+
+    Bucket ``e`` counts observations ``v`` with ``2**(e-1) < v <= 2**e``
+    (``frexp`` exponent); zero and negative values land in the ``None``
+    bucket key ``"zero"``.  Good enough to see solve-time and DB-size
+    distributions without storing samples.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[str, int] = {}
+
+    def observe(self, value: Number) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        key = "zero" if v <= 0.0 else str(math.frexp(v)[1])
+        self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": dict(self.buckets),
+        }
+
+
+class _Span:
+    """Context manager recording one :class:`SpanRecord`."""
+
+    __slots__ = ("_registry", "record")
+
+    def __init__(self, registry: "Registry", name: str, attrs: Dict[str, Any]) -> None:
+        self._registry = registry
+        self.record = SpanRecord(name=name, start=0.0, attrs=attrs)
+
+    def annotate(self, key: str, value: Any) -> None:
+        self.record.attrs[key] = value
+
+    def __enter__(self) -> "_Span":
+        self._registry._stack.append(self.record)
+        self.record.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        rec = self.record
+        rec.duration = time.perf_counter() - rec.start
+        stack = self._registry._stack
+        # tolerate a reset() that happened inside the span
+        if stack and stack[-1] is rec:
+            stack.pop()
+        if exc_type is not None:
+            rec.attrs["error"] = exc_type.__name__
+        if stack:
+            stack[-1].children.append(rec)
+        else:
+            self._registry.roots.append(rec)
+
+
+class _NullSpan:
+    """Shared no-op span for the disabled path."""
+
+    __slots__ = ()
+
+    def annotate(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Registry:
+    """Collects spans, counters, and histograms for one process."""
+
+    __slots__ = ("enabled", "counters", "histograms", "roots", "_stack")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.counters: Dict[str, Number] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.roots: List[SpanRecord] = []
+        self._stack: List[SpanRecord] = []
+
+    # -- lifecycle ------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all collected data (the enabled flag is kept)."""
+        self.counters = {}
+        self.histograms = {}
+        self.roots = []
+        self._stack = []
+
+    # -- instruments ----------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Open a traced section; use as a context manager."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def inc(self, name: str, delta: Number = 1) -> None:
+        """Bump a monotonic counter (created at 0 on first touch)."""
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def observe(self, name: str, value: Number) -> None:
+        """Record one histogram observation."""
+        if not self.enabled:
+            return
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def annotate(self, key: str, value: Any) -> None:
+        """Attach an attribute to the innermost open span (if any)."""
+        if not self.enabled or not self._stack:
+            return
+        self._stack[-1].attrs[key] = value
+
+    # -- queries --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view of everything collected (schema-tagged)."""
+        return {
+            "schema": "repro.obs/v1",
+            "counters": dict(self.counters),
+            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+            "spans": [r.to_dict() for r in self.roots],
+        }
+
+    def phase_times(self) -> Dict[str, float]:
+        """Total duration per span name, aggregated over the whole tree."""
+        out: Dict[str, float] = {}
+        for root in self.roots:
+            for rec in root.walk():
+                out[rec.name] = out.get(rec.name, 0.0) + rec.duration
+        return out
+
+
+#: The process-wide default registry (disabled until :func:`enable`).
+DEFAULT = Registry()
+
+
+def get_registry() -> Registry:
+    return DEFAULT
+
+
+def enable() -> None:
+    DEFAULT.enable()
+
+
+def disable() -> None:
+    DEFAULT.disable()
+
+
+def enabled() -> bool:
+    return DEFAULT.enabled
+
+
+def reset() -> None:
+    DEFAULT.reset()
+
+
+def span(name: str, **attrs: Any):
+    return DEFAULT.span(name, **attrs)
+
+
+def inc(name: str, delta: Number = 1) -> None:
+    DEFAULT.inc(name, delta)
+
+
+def observe(name: str, value: Number) -> None:
+    DEFAULT.observe(name, value)
+
+
+def annotate(key: str, value: Any) -> None:
+    DEFAULT.annotate(key, value)
+
+
+def snapshot() -> Dict[str, Any]:
+    return DEFAULT.snapshot()

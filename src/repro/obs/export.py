@@ -1,0 +1,262 @@
+"""JSON/CSV exporters and hand-rolled schema validation.
+
+Two document shapes are produced by the repo:
+
+* **profile export** (``repro.obs/v1``) — a registry snapshot: counters,
+  histogram summaries, and the span tree.  Emitted by
+  ``repro-eco run --profile`` and by :func:`export_json`.
+* **bench baseline** (``repro.obs.bench/v1``) — the machine-readable
+  Table 1 companion written by ``benchmarks/bench_table1.py``: one entry
+  per (unit, method) with cost/gates/runtime, aggregated per-phase wall
+  times, and the full counter map (solver counters included).
+
+Validation is hand-rolled (no ``jsonschema`` dependency): each
+``validate_*`` function raises :class:`TelemetrySchemaError` naming the
+first offending path.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, List, Mapping, Union
+
+from .core import Registry
+
+#: Schema tag of a profile export.
+TELEMETRY_SCHEMA = "repro.obs/v1"
+
+#: Schema tag of the bench baseline document.
+BENCH_SCHEMA = "repro.obs.bench/v1"
+
+_NUMBER = (int, float)
+
+
+class TelemetrySchemaError(ValueError):
+    """An export does not conform to its declared telemetry schema."""
+
+
+# ---------------------------------------------------------------------------
+# exporters
+# ---------------------------------------------------------------------------
+
+
+def export_json(registry: Union[Registry, None] = None, indent: int = 2) -> str:
+    """Serialize a registry snapshot as schema-tagged JSON."""
+    from .core import DEFAULT
+
+    reg = registry if registry is not None else DEFAULT
+    doc = reg.snapshot()
+    validate_telemetry(doc)
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def export_csv(registry: Union[Registry, None] = None) -> str:
+    """Flatten a registry to CSV rows: ``kind,key,value``.
+
+    Spans are flattened to their slash-joined path with the duration in
+    seconds; histograms emit one row per summary field.
+    """
+    from .core import DEFAULT
+
+    reg = registry if registry is not None else DEFAULT
+    buf = io.StringIO()
+    buf.write("kind,key,value\n")
+
+    def esc(text: str) -> str:
+        if "," in text or '"' in text:
+            return '"' + text.replace('"', '""') + '"'
+        return text
+
+    for name in sorted(reg.counters):
+        buf.write(f"counter,{esc(name)},{reg.counters[name]}\n")
+    for name in sorted(reg.histograms):
+        hist = reg.histograms[name]
+        for k, v in (
+            ("count", hist.count),
+            ("sum", hist.total),
+            ("min", hist.min),
+            ("max", hist.max),
+        ):
+            buf.write(f"histogram,{esc(name + '.' + k)},{v}\n")
+
+    def walk(rec, prefix: str) -> None:
+        path = f"{prefix}/{rec.name}" if prefix else rec.name
+        buf.write(f"span,{esc(path)},{rec.duration:.6f}\n")
+        for child in rec.children:
+            walk(child, path)
+
+    for root in reg.roots:
+        walk(root, "")
+    return buf.getvalue()
+
+
+def format_spans(registry: Union[Registry, None] = None) -> str:
+    """Human-readable indented span tree (for ``repro-eco run --trace``)."""
+    from .core import DEFAULT
+
+    reg = registry if registry is not None else DEFAULT
+    lines: List[str] = []
+
+    def walk(rec, depth: int) -> None:
+        attrs = ""
+        if rec.attrs:
+            attrs = "  " + " ".join(f"{k}={v}" for k, v in rec.attrs.items())
+        lines.append(f"{'  ' * depth}{rec.name:<{32 - 2 * depth}} {rec.duration * 1e3:10.3f} ms{attrs}")
+        for child in rec.children:
+            walk(child, depth + 1)
+
+    for root in reg.roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# schema validation
+# ---------------------------------------------------------------------------
+
+
+def _fail(path: str, message: str) -> None:
+    raise TelemetrySchemaError(f"{path}: {message}")
+
+
+def _require(cond: bool, path: str, message: str) -> None:
+    if not cond:
+        _fail(path, message)
+
+
+def _check_span(node: Any, path: str) -> None:
+    _require(isinstance(node, Mapping), path, "span must be an object")
+    _require(isinstance(node.get("name"), str), path, "span.name must be a string")
+    _require(
+        isinstance(node.get("duration_s"), _NUMBER),
+        path,
+        "span.duration_s must be a number",
+    )
+    attrs = node.get("attrs", {})
+    _require(isinstance(attrs, Mapping), path, "span.attrs must be an object")
+    children = node.get("children", [])
+    _require(isinstance(children, list), path, "span.children must be a list")
+    for i, child in enumerate(children):
+        _check_span(child, f"{path}.children[{i}]")
+
+
+def _check_counters(counters: Any, path: str) -> None:
+    _require(isinstance(counters, Mapping), path, "must be an object")
+    for key, value in counters.items():
+        _require(isinstance(key, str), path, "counter keys must be strings")
+        _require(
+            isinstance(value, _NUMBER),
+            f"{path}.{key}",
+            "counter values must be numbers",
+        )
+
+
+def validate_telemetry(doc: Any) -> None:
+    """Validate a profile export (``repro.obs/v1``); raise on violation."""
+    _require(isinstance(doc, Mapping), "$", "document must be an object")
+    _require(
+        doc.get("schema") == TELEMETRY_SCHEMA,
+        "$.schema",
+        f"expected {TELEMETRY_SCHEMA!r}, got {doc.get('schema')!r}",
+    )
+    _check_counters(doc.get("counters"), "$.counters")
+    hists = doc.get("histograms")
+    _require(isinstance(hists, Mapping), "$.histograms", "must be an object")
+    for name, hist in hists.items():
+        hp = f"$.histograms.{name}"
+        _require(isinstance(hist, Mapping), hp, "must be an object")
+        for fld in ("count", "sum"):
+            _require(isinstance(hist.get(fld), _NUMBER), hp, f"{fld} must be a number")
+        _require(isinstance(hist.get("buckets"), Mapping), hp, "buckets must be an object")
+    spans = doc.get("spans")
+    _require(isinstance(spans, list), "$.spans", "must be a list")
+    for i, root in enumerate(spans):
+        _check_span(root, f"$.spans[{i}]")
+
+
+#: Solver counters every bench unit entry must break out explicitly.
+SOLVER_COUNTER_FIELDS = (
+    "solves",
+    "decisions",
+    "propagations",
+    "conflicts",
+    "restarts",
+)
+
+
+def validate_bench_document(doc: Any) -> None:
+    """Validate a bench baseline (``repro.obs.bench/v1``); raise on violation."""
+    _require(isinstance(doc, Mapping), "$", "document must be an object")
+    _require(
+        doc.get("schema") == BENCH_SCHEMA,
+        "$.schema",
+        f"expected {BENCH_SCHEMA!r}, got {doc.get('schema')!r}",
+    )
+    _require(isinstance(doc.get("suite"), str), "$.suite", "must be a string")
+    units = doc.get("units")
+    _require(isinstance(units, list) and units, "$.units", "must be a non-empty list")
+    for i, entry in enumerate(units):
+        path = f"$.units[{i}]"
+        _require(isinstance(entry, Mapping), path, "must be an object")
+        _require(isinstance(entry.get("unit"), str), path, "unit must be a string")
+        _require(isinstance(entry.get("method"), str), path, "method must be a string")
+        for fld in ("cost", "gates"):
+            _require(isinstance(entry.get(fld), int), path, f"{fld} must be an int")
+        _require(
+            isinstance(entry.get("runtime_s"), _NUMBER),
+            path,
+            "runtime_s must be a number",
+        )
+        _require(
+            isinstance(entry.get("verified"), bool), path, "verified must be a bool"
+        )
+        phases = entry.get("phases")
+        _require(isinstance(phases, Mapping), path, "phases must be an object")
+        for name, secs in phases.items():
+            _require(
+                isinstance(secs, _NUMBER),
+                f"{path}.phases.{name}",
+                "phase times must be numbers",
+            )
+        _check_counters(entry.get("counters"), f"{path}.counters")
+        solver = entry.get("solver")
+        _require(isinstance(solver, Mapping), path, "solver must be an object")
+        for fld in SOLVER_COUNTER_FIELDS:
+            _require(
+                isinstance(solver.get(fld), _NUMBER),
+                f"{path}.solver",
+                f"{fld} must be a number",
+            )
+
+
+def document_keys(doc: Mapping) -> List[str]:
+    """Every telemetry key present in a validated export.
+
+    For a profile export: counter names, histogram names, and span names
+    (recursively).  For a bench document: the union over unit entries of
+    counter names and phase (span) names.  Used by
+    :mod:`repro.obs.validate` to diff an export against the
+    ``docs/OBSERVABILITY.md`` catalogue.
+    """
+    keys: set = set()
+    if doc.get("schema") == TELEMETRY_SCHEMA:
+        keys.update(doc.get("counters", {}))
+        keys.update(doc.get("histograms", {}))
+
+        def walk(node: Mapping) -> None:
+            keys.add(node["name"])
+            for child in node.get("children", []):
+                walk(child)
+
+        for root in doc.get("spans", []):
+            walk(root)
+    elif doc.get("schema") == BENCH_SCHEMA:
+        for entry in doc.get("units", []):
+            keys.update(entry.get("counters", {}))
+            keys.update(entry.get("phases", {}))
+    else:
+        raise TelemetrySchemaError(
+            f"$.schema: unknown telemetry schema {doc.get('schema')!r}"
+        )
+    return sorted(keys)

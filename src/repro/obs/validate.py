@@ -1,0 +1,132 @@
+"""Cross-check a telemetry export against ``docs/OBSERVABILITY.md``.
+
+The observability catalogue documents every span name and counter key
+in Markdown tables whose first column is the backticked key and whose
+last column states the key's *presence* contract:
+
+* ``always`` — the key must appear in every engine-run export; its
+  absence fails the check (CI runs this on the bench subset);
+* ``conditional`` — emitted only under specific configurations; its
+  absence is fine.
+
+Conversely, an exported key that the catalogue does not document at all
+is reported as an error: new instrumentation must be documented.
+
+Usage::
+
+    python -m repro.obs.validate BENCH_table1.json [--docs docs/OBSERVABILITY.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from typing import Dict, List, Mapping, Tuple
+
+from .export import (
+    BENCH_SCHEMA,
+    TELEMETRY_SCHEMA,
+    document_keys,
+    validate_bench_document,
+    validate_telemetry,
+)
+
+#: table row: | `key` | kind | ... | always/conditional |
+_ROW_RE = re.compile(
+    r"^\|\s*`(?P<key>[^`]+)`\s*\|(?P<middle>.*)\|\s*(?P<presence>always|conditional)\s*\|\s*$"
+)
+
+
+def parse_catalogue(markdown: str) -> Dict[str, str]:
+    """Extract ``{key: presence}`` from the catalogue's tables.
+
+    A key ending in ``.*`` or ``*`` is a prefix pattern (e.g.
+    ``engine.fallback.*``) matching any exported key with that prefix.
+    """
+    out: Dict[str, str] = {}
+    for line in markdown.splitlines():
+        m = _ROW_RE.match(line.strip())
+        if m:
+            out[m.group("key")] = m.group("presence")
+    return out
+
+
+def _matches(key: str, pattern: str) -> bool:
+    if pattern.endswith("*"):
+        return key.startswith(pattern[:-1])
+    return key == pattern
+
+
+def check_export(
+    doc: Mapping, catalogue: Dict[str, str]
+) -> Tuple[List[str], List[str]]:
+    """Diff an export against the catalogue.
+
+    Returns ``(missing, undocumented)``: ``always`` keys absent from the
+    export, and exported keys no catalogue row covers.
+    """
+    exported = document_keys(doc)
+    missing = [
+        key
+        for key, presence in sorted(catalogue.items())
+        if presence == "always"
+        and not key.endswith("*")
+        and key not in exported
+    ]
+    undocumented = [
+        key
+        for key in exported
+        if not any(_matches(key, pattern) for pattern in catalogue)
+    ]
+    return missing, undocumented
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.validate",
+        description="schema-validate a telemetry export and diff its keys "
+        "against the docs/OBSERVABILITY.md catalogue",
+    )
+    parser.add_argument("export", help="telemetry JSON file")
+    parser.add_argument(
+        "--docs",
+        default="docs/OBSERVABILITY.md",
+        help="catalogue path (default: docs/OBSERVABILITY.md)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.export, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    if schema == BENCH_SCHEMA:
+        validate_bench_document(doc)
+    elif schema == TELEMETRY_SCHEMA:
+        validate_telemetry(doc)
+    else:
+        print(f"error: unknown telemetry schema {schema!r}", file=sys.stderr)
+        return 2
+    print(f"{args.export}: schema {schema} OK")
+
+    with open(args.docs, "r", encoding="utf-8") as f:
+        catalogue = parse_catalogue(f.read())
+    if not catalogue:
+        print(f"error: no catalogue rows found in {args.docs}", file=sys.stderr)
+        return 2
+    missing, undocumented = check_export(doc, catalogue)
+    for key in missing:
+        print(f"MISSING   {key}  (documented 'always' but absent from export)")
+    for key in undocumented:
+        print(f"UNDOCUMENTED  {key}  (exported but not in {args.docs})")
+    if missing or undocumented:
+        return 1
+    print(
+        f"{len(catalogue)} catalogued keys checked against "
+        f"{len(document_keys(doc))} exported keys: OK"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -20,15 +20,38 @@ class Totalizer:
     ``outputs[i]`` is a literal that is true iff at least ``i+1`` inputs
     are true.  Constraining "at most k" is assuming/adding
     ``neg(outputs[k])``.
+
+    Bound edge cases follow one uniform contract for both directions
+    (``at_most`` / ``at_least``):
+
+    * a **trivially true** bound (``at_most(k)`` with ``k >= n``,
+      ``at_least(k)`` with ``k <= 0``) returns ``None`` — there is
+      nothing to assume;
+    * an **unsatisfiable** bound (``at_most(k)`` with ``k < 0``,
+      ``at_least(k)`` with ``k > n``) returns a constant-false literal,
+      so assuming it makes the query UNSAT instead of raising.
+
+    The empty totalizer (``n == 0``) is fully supported under the same
+    rules: ``at_most(0)`` is ``None``, ``at_least(1)`` is the
+    constant-false literal.
     """
 
     def __init__(self, solver: Solver, inputs: Sequence[int]) -> None:
         self.solver = solver
         self.inputs = list(inputs)
+        self._false_lit: Optional[int] = None
         if not self.inputs:
             self.outputs: List[int] = []
             return
         self.outputs = self._build(self.inputs)
+
+    def _const_false(self) -> int:
+        """A literal forced false at level 0 (allocated lazily, once)."""
+        if self._false_lit is None:
+            v = self.solver.new_var()
+            self.solver.add_clause([mklit(v, True)])
+            self._false_lit = mklit(v)
+        return self._false_lit
 
     def _build(self, lits: List[int]) -> List[int]:
         if len(lits) == 1:
@@ -44,17 +67,18 @@ class Totalizer:
         # sum semantics: out[k] <- at least k+1 true among left+right
         for i in range(len(left) + 1):
             for j in range(len(right) + 1):
-                if i + j == 0:
-                    continue
-                # (left>=i and right>=j) -> out >= i+j
-                clause = [out[i + j - 1]]
-                if i > 0:
-                    clause.append(neg(left[i - 1]))
-                if j > 0:
-                    clause.append(neg(right[j - 1]))
-                self.solver.add_clause(clause)
+                if i + j > 0:
+                    # (left>=i and right>=j) -> out >= i+j
+                    clause = [out[i + j - 1]]
+                    if i > 0:
+                        clause.append(neg(left[i - 1]))
+                    if j > 0:
+                        clause.append(neg(right[j - 1]))
+                    self.solver.add_clause(clause)
                 # (left<i or right<j) propagation for the other direction:
-                # out >= i+j+1 -> (left >= i+1 or right >= j+1)
+                # out >= i+j+1 -> (left >= i+1 or right >= j+1).  The
+                # i == j == 0 instance (out>=1 -> some input true) is
+                # what makes at_least bounds enforceable at all.
                 if i + j < n:
                     clause2 = [neg(out[i + j])]
                     if i < len(left):
@@ -65,17 +89,25 @@ class Totalizer:
         return out
 
     def at_most(self, k: int) -> Optional[int]:
-        """Literal to assume for "at most k"; None when k >= len(inputs)."""
-        if k >= len(self.outputs):
+        """Literal to assume for "at most k".
+
+        ``None`` when trivially true (``k >= len(inputs)``); a
+        constant-false literal when unsatisfiable (``k < 0``).
+        """
+        if k >= len(self.inputs):
             return None
         if k < 0:
-            raise ValueError("k must be non-negative")
+            return self._const_false()
         return neg(self.outputs[k])
 
     def at_least(self, k: int) -> Optional[int]:
-        """Literal to assume for "at least k"; None when k <= 0."""
+        """Literal to assume for "at least k".
+
+        ``None`` when trivially true (``k <= 0``); a constant-false
+        literal when unsatisfiable (``k > len(inputs)``).
+        """
         if k <= 0:
             return None
-        if k > len(self.outputs):
-            raise ValueError("k exceeds the input count")
+        if k > len(self.inputs):
+            return self._const_false()
         return self.outputs[k - 1]

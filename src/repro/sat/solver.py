@@ -19,7 +19,10 @@ reduction.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..obs import DEFAULT as _OBS
 
 
 class SatBudgetExceeded(Exception):
@@ -538,7 +541,40 @@ class Solver:
         Returns True (SAT, :attr:`model` populated) or False (UNSAT,
         :attr:`core` holds the failing assumption subset).  Raises
         :class:`SatBudgetExceeded` when ``budget_conflicts`` runs out.
+
+        When the :mod:`repro.obs` registry is enabled, the per-call
+        deltas of every solver statistic are flushed to the ``sat.*``
+        counters and the solve time / learned-DB size are recorded as
+        histograms; disabled, the overhead is a single branch.
         """
+        if not _OBS.enabled:
+            return self._search(assumptions, budget_conflicts)
+        before = dict(self.stats)
+        t0 = time.perf_counter()
+        try:
+            return self._search(assumptions, budget_conflicts)
+        finally:
+            after = self.stats
+            _OBS.inc("sat.solves", after["solves"] - before["solves"])
+            _OBS.inc("sat.decisions", after["decisions"] - before["decisions"])
+            _OBS.inc(
+                "sat.propagations", after["propagations"] - before["propagations"]
+            )
+            _OBS.inc("sat.conflicts", after["conflicts"] - before["conflicts"])
+            _OBS.inc("sat.restarts", after["restarts"] - before["restarts"])
+            _OBS.inc(
+                "sat.learned_literals",
+                after["learned_literals"] - before["learned_literals"],
+            )
+            _OBS.observe("sat.solve_time", time.perf_counter() - t0)
+            _OBS.observe("sat.learnt_db", len(self._learnts))
+
+    def _search(
+        self,
+        assumptions: Sequence[int] = (),
+        budget_conflicts: Optional[int] = None,
+    ) -> bool:
+        """The CDCL search loop behind :meth:`solve`."""
         self.stats["solves"] += 1
         self.core = set()
         self.model = []

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Sequence, Tuple
 
+from .. import obs
 from ..network.network import Network
 from ..network.node import GateType
 from .factor import FactorNode, FactorOp, factor
@@ -58,20 +59,24 @@ def synthesize_sop(
 
     Returns ``(output_node_id, gates_added)``.
     """
-    if factored:
-        tree = factor(sop)
-    else:
-        from .factor import FactorNode as _FN, FactorOp as _FO, _cube_to_and
-
-        if not sop.cubes:
-            tree = _FN(_FO.CONST0)
-        elif any(c.num_literals == 0 for c in sop.cubes):
-            tree = _FN(_FO.CONST1)
-        elif len(sop.cubes) == 1:
-            tree = _cube_to_and(sop.cubes[0])
+    with obs.span("sop.synthesize", cubes=len(sop.cubes)):
+        if factored:
+            with obs.span("sop.factor"):
+                tree = factor(sop)
         else:
-            tree = _FN(_FO.OR, children=[_cube_to_and(c) for c in sop.cubes])
-    return synthesize_factored(net, tree, support_nodes)
+            from .factor import FactorNode as _FN, FactorOp as _FO, _cube_to_and
+
+            if not sop.cubes:
+                tree = _FN(_FO.CONST0)
+            elif any(c.num_literals == 0 for c in sop.cubes):
+                tree = _FN(_FO.CONST1)
+            elif len(sop.cubes) == 1:
+                tree = _cube_to_and(sop.cubes[0])
+            else:
+                tree = _FN(_FO.OR, children=[_cube_to_and(c) for c in sop.cubes])
+        out, added = synthesize_factored(net, tree, support_nodes)
+    obs.inc("sop.gates_added", added)
+    return out, added
 
 
 def sop_to_network(

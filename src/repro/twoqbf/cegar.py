@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs
 from ..network.network import Network
 from ..network.strash import cofactor_network
 from ..sat.solver import Solver
@@ -85,32 +86,40 @@ def solve_exists_forall(
     abs_x = {pi: abs_solver.new_var() for pi in exists_pis}
 
     result = QbfResult(is_sat=False)
-    for _ in range(max_iterations):
-        result.iterations += 1
-        if not abs_solver.solve(budget_conflicts=budget_conflicts):
-            return result  # abstraction UNSAT: no witness exists
-        candidate = {
-            pi: abs_solver.model_value(mklit(abs_x[pi])) for pi in exists_pis
-        }
-        # countermove: does some Y falsify M under the candidate X?
-        assumptions = [
-            mklit(ver_vars[pi], candidate[pi] == 0) for pi in exists_pis
-        ]
-        assumptions.append(mklit(out_var, True))  # M = 0
-        if not ver.solve(assumptions, budget_conflicts=budget_conflicts):
-            result.is_sat = True
-            result.witness = candidate
-            return result
-        countermove = {
-            pi: ver.model_value(mklit(ver_vars[pi])) for pi in forall_pis
-        }
-        result.countermoves.append(countermove)
-        # refine: require M(X, countermove) = 1 in the abstraction
-        cof = cofactor_network(net, countermove)
-        remaining = [pi for pi in net.pis if pi not in forall_set]
-        pi_map = {}
-        for orig, new in zip(remaining, cof.pis):
-            pi_map[new] = abs_x[orig]
-        cof_vars = encode_network(abs_solver, cof, pi_map)
-        abs_solver.add_clause([mklit(cof_vars[cof.pos[0][1]])])
-    raise QbfBudgetExceeded(f"no decision after {max_iterations} CEGAR rounds")
+    with obs.span("qbf.solve"):
+        try:
+            for _ in range(max_iterations):
+                result.iterations += 1
+                if not abs_solver.solve(budget_conflicts=budget_conflicts):
+                    return result  # abstraction UNSAT: no witness exists
+                candidate = {
+                    pi: abs_solver.model_value(mklit(abs_x[pi]))
+                    for pi in exists_pis
+                }
+                # countermove: does some Y falsify M under the candidate X?
+                assumptions = [
+                    mklit(ver_vars[pi], candidate[pi] == 0) for pi in exists_pis
+                ]
+                assumptions.append(mklit(out_var, True))  # M = 0
+                if not ver.solve(assumptions, budget_conflicts=budget_conflicts):
+                    result.is_sat = True
+                    result.witness = candidate
+                    return result
+                countermove = {
+                    pi: ver.model_value(mklit(ver_vars[pi])) for pi in forall_pis
+                }
+                result.countermoves.append(countermove)
+                # refine: require M(X, countermove) = 1 in the abstraction
+                cof = cofactor_network(net, countermove)
+                remaining = [pi for pi in net.pis if pi not in forall_set]
+                pi_map = {}
+                for orig, new in zip(remaining, cof.pis):
+                    pi_map[new] = abs_x[orig]
+                cof_vars = encode_network(abs_solver, cof, pi_map)
+                abs_solver.add_clause([mklit(cof_vars[cof.pos[0][1]])])
+            raise QbfBudgetExceeded(
+                f"no decision after {max_iterations} CEGAR rounds"
+            )
+        finally:
+            obs.inc("qbf.iterations", result.iterations)
+            obs.inc("qbf.countermoves", len(result.countermoves))

@@ -1,0 +1,142 @@
+"""Property tests for the Totalizer cardinality encoding.
+
+Cross-checks ``at_most`` / ``at_least`` against brute-force model
+counting for every input size from 1 to 6 (plus the empty totalizer),
+including duplicated and negated input literals, and exercises the
+unified bound-edge contract (``None`` for trivially-true bounds, a
+constant-false assumption literal for unsatisfiable ones).
+"""
+
+import itertools
+
+import pytest
+
+from repro.sat.cardinality import Totalizer
+from repro.sat.solver import Solver
+from repro.sat.types import is_negated, lit_var, mklit, neg
+
+
+def _count_models(n_vars, input_lits, bound_check):
+    """Number of assignments whose true-input count satisfies the bound."""
+    count = 0
+    for bits in itertools.product([False, True], repeat=n_vars):
+        true_inputs = sum(
+            1 for lit in input_lits if bits[lit_var(lit)] != is_negated(lit)
+        )
+        if bound_check(true_inputs):
+            count += 1
+    return count
+
+
+def _count_sat_models(solver, n_vars, assumption):
+    """Count assignments of the first ``n_vars`` vars the solver accepts."""
+    base = [] if assumption is None else [assumption]
+    count = 0
+    for bits in itertools.product([False, True], repeat=n_vars):
+        pin = base + [mklit(v, not bits[v]) for v in range(n_vars)]
+        if solver.solve(pin):
+            count += 1
+    return count
+
+
+def _make(input_spec):
+    """Build (solver, totalizer, n_vars, lits) from (var, negated) pairs."""
+    solver = Solver()
+    n_vars = 1 + max(v for v, _ in input_spec)
+    for _ in range(n_vars):
+        solver.new_var()
+    lits = [mklit(v, negd) for v, negd in input_spec]
+    return solver, Totalizer(solver, lits), n_vars, lits
+
+
+# input shapes: distinct vars, duplicates, negations, mixed duplicates
+def _input_specs():
+    specs = []
+    for n in range(1, 7):
+        specs.append([(i, False) for i in range(n)])  # n distinct
+    specs.append([(0, False), (0, False)])  # pure duplicate
+    specs.append([(0, False), (0, True)])  # x and !x: always exactly 1
+    specs.append([(0, False), (1, False), (0, False)])  # mixed duplicate
+    specs.append([(0, True), (1, False), (1, False), (2, True)])
+    specs.append([(0, False), (1, True), (0, False), (1, True), (2, False)])
+    return specs
+
+
+@pytest.mark.parametrize("input_spec", _input_specs())
+def test_at_most_matches_brute_force(input_spec):
+    n = len(input_spec)
+    for k in range(-1, n + 2):
+        solver, tot, n_vars, lits = _make(input_spec)
+        expected = _count_models(n_vars, lits, lambda t: t <= k)
+        got = _count_sat_models(solver, n_vars, tot.at_most(k))
+        assert got == expected, f"at_most({k}) over {input_spec}"
+
+
+@pytest.mark.parametrize("input_spec", _input_specs())
+def test_at_least_matches_brute_force(input_spec):
+    n = len(input_spec)
+    for k in range(-1, n + 2):
+        solver, tot, n_vars, lits = _make(input_spec)
+        expected = _count_models(n_vars, lits, lambda t: t >= k)
+        got = _count_sat_models(solver, n_vars, tot.at_least(k))
+        assert got == expected, f"at_least({k}) over {input_spec}"
+
+
+@pytest.mark.parametrize("input_spec", _input_specs())
+def test_window_bounds_compose(input_spec):
+    """at_least(lo) and at_most(hi) assumed together count a window."""
+    n = len(input_spec)
+    for lo, hi in [(1, n - 1), (0, 0), (n, n), (2, 3)]:
+        solver, tot, n_vars, lits = _make(input_spec)
+        assum = [a for a in (tot.at_least(lo), tot.at_most(hi)) if a is not None]
+        expected = _count_models(n_vars, lits, lambda t: lo <= t <= hi)
+        count = 0
+        for bits in itertools.product([False, True], repeat=n_vars):
+            pin = assum + [mklit(v, not bits[v]) for v in range(n_vars)]
+            if solver.solve(pin):
+                count += 1
+        assert count == expected, f"[{lo},{hi}] over {input_spec}"
+
+
+class TestEdgeContract:
+    def test_trivially_true_bounds_return_none(self):
+        solver = Solver()
+        for _ in range(3):
+            solver.new_var()
+        tot = Totalizer(solver, [mklit(0), mklit(1), mklit(2)])
+        assert tot.at_most(3) is None
+        assert tot.at_most(7) is None
+        assert tot.at_least(0) is None
+        assert tot.at_least(-2) is None
+
+    def test_unsat_bounds_return_constant_false(self):
+        solver = Solver()
+        for _ in range(2):
+            solver.new_var()
+        tot = Totalizer(solver, [mklit(0), mklit(1)])
+        f1 = tot.at_most(-1)
+        f2 = tot.at_least(3)
+        assert f1 is not None and f2 is not None
+        assert f1 == f2  # the constant-false literal is shared
+        assert solver.solve([f1]) is False
+        assert solver.solve() is True  # only the assumption is falsified
+
+    def test_empty_totalizer(self):
+        solver = Solver()
+        tot = Totalizer(solver, [])
+        assert tot.outputs == []
+        assert tot.at_most(0) is None
+        assert tot.at_least(0) is None
+        f = tot.at_least(1)
+        assert f is not None
+        assert solver.solve([f]) is False
+        assert solver.solve() is True
+
+    def test_symmetry_of_directions(self):
+        """at_least(k) is the negation of at_most(k-1) for inner k."""
+        solver = Solver()
+        for _ in range(4):
+            solver.new_var()
+        tot = Totalizer(solver, [mklit(v) for v in range(4)])
+        for k in range(1, 4):
+            assert tot.at_least(k) == neg(tot.at_most(k - 1))

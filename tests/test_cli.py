@@ -112,6 +112,78 @@ class TestOtherCommands:
         assert rc == 2
 
 
+class TestRunCommand:
+    def test_run_unit_trace(self, capsys):
+        rc = main(["run", "--unit", "unit4", "--method", "minassump", "--trace"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "engine.run" in captured.out
+        assert "engine.window" in captured.out
+        assert "verified=True" in captured.err
+
+    def test_run_unit_profile_json(self, capsys):
+        import json
+
+        from repro.obs import validate_telemetry
+
+        rc = main(["run", "--unit", "unit4", "--profile"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        validate_telemetry(doc)
+        assert doc["counters"]["engine.runs"] == 1
+        assert doc["counters"]["sat.solves"] > 0
+        assert doc["spans"][0]["name"] == "engine.run"
+
+    def test_run_profile_to_file_and_csv(self, tmp_path, capsys):
+        import json
+
+        out = str(tmp_path / "telemetry.json")
+        rc = main(["run", "--unit", "unit4", "--profile", "--telemetry-out", out])
+        assert rc == 0
+        with open(out, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        assert doc["schema"] == "repro.obs/v1"
+        rc = main(["run", "--unit", "unit4", "--profile", "--csv"])
+        assert rc == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "kind,key,value"
+        assert any(line.startswith("counter,engine.runs,") for line in lines)
+
+    def test_run_files_writes_patched_netlist(self, bundle, tmp_path, capsys):
+        impl_p, spec_p, weights_p, targets = bundle
+        out_p = str(tmp_path / "patched.v")
+        rc = main(
+            [
+                "run",
+                "--impl", impl_p,
+                "--spec", spec_p,
+                "--targets", ",".join(targets),
+                "--weights", weights_p,
+                "--out", out_p,
+            ]
+        )
+        assert rc == 0
+        patched = read_verilog(out_p)
+        assert cec(patched, read_verilog(spec_p)).equivalent
+
+    def test_run_registry_left_disabled(self):
+        from repro import obs
+
+        assert main(["run", "--unit", "unit4"]) == 0
+        assert not obs.enabled()
+
+    def test_run_conflicting_inputs(self, bundle, capsys):
+        impl_p, _, _, _ = bundle
+        rc = main(["run", "--unit", "unit4", "--impl", impl_p])
+        assert rc == 2
+        assert "either --unit" in capsys.readouterr().err
+
+    def test_run_missing_inputs(self, capsys):
+        rc = main(["run"])
+        assert rc == 2
+        assert "run needs" in capsys.readouterr().err
+
+
 class TestCheckCommand:
     def test_clean_files(self, bundle, capsys):
         impl_p, spec_p, _, _ = bundle

@@ -1,0 +1,306 @@
+"""Tests for the repro.obs observability subsystem."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    Registry,
+    TelemetrySchemaError,
+    export_csv,
+    export_json,
+    format_spans,
+    validate_bench_document,
+    validate_telemetry,
+)
+from repro.obs.validate import check_export, parse_catalogue
+
+
+@pytest.fixture(autouse=True)
+def clean_default_registry():
+    """Keep the process-wide registry disabled and empty around tests."""
+    obs.reset()
+    obs.disable()
+    yield
+    obs.reset()
+    obs.disable()
+
+
+class TestRegistry:
+    def test_disabled_by_default_records_nothing(self):
+        reg = Registry()
+        reg.inc("a")
+        reg.observe("h", 1.0)
+        with reg.span("s"):
+            pass
+        assert reg.counters == {}
+        assert reg.histograms == {}
+        assert reg.roots == []
+
+    def test_counters_increment(self):
+        reg = Registry(enabled=True)
+        reg.inc("x")
+        reg.inc("x", 4)
+        reg.inc("y", 0)  # creation at zero still registers the key
+        assert reg.counters == {"x": 5, "y": 0}
+
+    def test_span_nesting(self):
+        reg = Registry(enabled=True)
+        with reg.span("outer"):
+            with reg.span("inner.a"):
+                pass
+            with reg.span("inner.b", tag="t"):
+                pass
+        assert len(reg.roots) == 1
+        outer = reg.roots[0]
+        assert outer.name == "outer"
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert outer.children[1].attrs == {"tag": "t"}
+        assert outer.duration >= sum(c.duration for c in outer.children)
+
+    def test_span_records_exception(self):
+        reg = Registry(enabled=True)
+        with pytest.raises(RuntimeError):
+            with reg.span("boom"):
+                raise RuntimeError("x")
+        assert reg.roots[0].attrs["error"] == "RuntimeError"
+
+    def test_annotate_targets_innermost_span(self):
+        reg = Registry(enabled=True)
+        with reg.span("outer"):
+            with reg.span("inner"):
+                reg.annotate("k", 7)
+        assert reg.roots[0].children[0].attrs == {"k": 7}
+
+    def test_histogram_summary(self):
+        reg = Registry(enabled=True)
+        for v in (0.5, 1.5, 4.0, 0.0):
+            reg.observe("h", v)
+        h = reg.histograms["h"].to_dict()
+        assert h["count"] == 4
+        assert h["sum"] == pytest.approx(6.0)
+        assert h["min"] == 0.0
+        assert h["max"] == 4.0
+        assert h["buckets"]["zero"] == 1
+
+    def test_phase_times_aggregates_by_name(self):
+        reg = Registry(enabled=True)
+        with reg.span("a"):
+            with reg.span("b"):
+                pass
+        with reg.span("b"):
+            pass
+        times = reg.phase_times()
+        assert set(times) == {"a", "b"}
+
+    def test_reset_keeps_enabled_flag(self):
+        reg = Registry(enabled=True)
+        reg.inc("x")
+        reg.reset()
+        assert reg.enabled
+        assert reg.counters == {}
+
+
+class TestExport:
+    def _populated(self):
+        reg = Registry(enabled=True)
+        with reg.span("root", unit="u"):
+            with reg.span("child"):
+                reg.inc("c.events", 3)
+        reg.observe("c.h", 2.0)
+        return reg
+
+    def test_json_round_trip(self):
+        reg = self._populated()
+        doc = json.loads(export_json(reg))
+        validate_telemetry(doc)  # parsed copy still validates
+        assert doc["schema"] == "repro.obs/v1"
+        assert doc["counters"] == {"c.events": 3}
+        assert doc["spans"][0]["name"] == "root"
+        assert doc["spans"][0]["children"][0]["name"] == "child"
+        assert doc["histograms"]["c.h"]["count"] == 1
+
+    def test_csv_rows(self):
+        reg = self._populated()
+        lines = export_csv(reg).splitlines()
+        assert lines[0] == "kind,key,value"
+        assert "counter,c.events,3" in lines
+        assert any(line.startswith("span,root/child,") for line in lines)
+
+    def test_format_spans_indents(self):
+        reg = self._populated()
+        text = format_spans(reg)
+        assert "root" in text and "  child" in text
+
+    def test_validate_rejects_bad_schema(self):
+        with pytest.raises(TelemetrySchemaError):
+            validate_telemetry({"schema": "nope", "counters": {}})
+
+    def test_validate_rejects_bad_span(self):
+        doc = {
+            "schema": "repro.obs/v1",
+            "counters": {},
+            "histograms": {},
+            "spans": [{"name": "x"}],  # missing duration_s
+        }
+        with pytest.raises(TelemetrySchemaError):
+            validate_telemetry(doc)
+
+    def test_validate_rejects_non_numeric_counter(self):
+        doc = {
+            "schema": "repro.obs/v1",
+            "counters": {"k": "many"},
+            "histograms": {},
+            "spans": [],
+        }
+        with pytest.raises(TelemetrySchemaError):
+            validate_telemetry(doc)
+
+
+def _bench_entry(**overrides):
+    entry = {
+        "unit": "unit1",
+        "method": "minassump",
+        "cost": 3,
+        "gates": 2,
+        "runtime_s": 0.1,
+        "verified": True,
+        "phases": {"engine.run": 0.1},
+        "counters": {"sat.solves": 5},
+        "solver": {
+            "solves": 5,
+            "decisions": 1,
+            "propagations": 2,
+            "conflicts": 0,
+            "restarts": 0,
+        },
+    }
+    entry.update(overrides)
+    return entry
+
+
+class TestBenchSchema:
+    def test_valid_document(self):
+        doc = {
+            "schema": "repro.obs.bench/v1",
+            "suite": "benchgen-20",
+            "units": [_bench_entry()],
+        }
+        validate_bench_document(doc)
+
+    def test_missing_solver_counter_rejected(self):
+        bad = _bench_entry()
+        del bad["solver"]["restarts"]
+        doc = {
+            "schema": "repro.obs.bench/v1",
+            "suite": "s",
+            "units": [bad],
+        }
+        with pytest.raises(TelemetrySchemaError):
+            validate_bench_document(doc)
+
+    def test_empty_units_rejected(self):
+        with pytest.raises(TelemetrySchemaError):
+            validate_bench_document(
+                {"schema": "repro.obs.bench/v1", "suite": "s", "units": []}
+            )
+
+
+class TestCatalogueCheck:
+    CATALOGUE = """
+| key | kind | unit | emitted by | presence |
+|---|---|---|---|---|
+| `engine.run` | span | s | core/engine.py | always |
+| `engine.fallback.*` | counter | events | core/engine.py | conditional |
+| `sat.solves` | counter | calls | sat/solver.py | always |
+| `engine.cegar_min` | span | s | core/engine.py | conditional |
+"""
+
+    def test_parse_catalogue(self):
+        cat = parse_catalogue(self.CATALOGUE)
+        assert cat["engine.run"] == "always"
+        assert cat["engine.cegar_min"] == "conditional"
+
+    def test_check_export_missing_and_undocumented(self):
+        cat = parse_catalogue(self.CATALOGUE)
+        doc = {
+            "schema": "repro.obs/v1",
+            "counters": {"engine.fallback.FooError": 1, "mystery.key": 2},
+            "histograms": {},
+            "spans": [{"name": "engine.run", "duration_s": 0.1}],
+        }
+        missing, undocumented = check_export(doc, cat)
+        assert missing == ["sat.solves"]  # documented always, absent
+        assert undocumented == ["mystery.key"]  # prefix rule covers fallback.*
+
+    def test_repo_catalogue_covers_engine_run(self):
+        """Every key a real engine run emits is documented in the repo docs."""
+        import os
+
+        from repro.benchgen import SUITE, run_unit
+
+        docs = os.path.join(
+            os.path.dirname(__file__), "..", "docs", "OBSERVABILITY.md"
+        )
+        with open(docs, "r", encoding="utf-8") as f:
+            cat = parse_catalogue(f.read())
+        assert cat, "docs/OBSERVABILITY.md has no catalogue rows"
+        row = run_unit(SUITE[1], methods=["satprune_cegarmin"], collect_telemetry=True)
+        doc = {
+            "schema": "repro.obs.bench/v1",
+            "suite": "s",
+            "units": [row.telemetry["satprune_cegarmin"]],
+        }
+        validate_bench_document(doc)
+        missing, undocumented = check_export(doc, cat)
+        assert missing == []
+        assert undocumented == []
+
+
+class TestEngineIntegration:
+    def test_engine_emits_spans_and_counters(self):
+        from repro.benchgen import SUITE, build_unit, config_for
+        from repro.core.engine import EcoEngine
+
+        inst = build_unit(SUITE[1])
+        obs.reset()
+        obs.enable()
+        EcoEngine(config_for(SUITE[1], "minassump")).run(inst)
+        snap = obs.snapshot()
+        validate_telemetry(snap)
+        assert snap["counters"]["engine.runs"] == 1
+        assert snap["counters"]["sat.solves"] > 0
+        names = {s["name"] for s in snap["spans"]}
+        assert names == {"engine.run"}
+        children = {c["name"] for c in snap["spans"][0]["children"]}
+        assert {"engine.window", "engine.divisors", "engine.feasibility"} <= children
+
+    def test_disabled_engine_run_emits_nothing(self):
+        from repro.benchgen import SUITE, build_unit, config_for
+        from repro.core.engine import EcoEngine
+
+        inst = build_unit(SUITE[0])
+        obs.reset()
+        obs.disable()
+        EcoEngine(config_for(SUITE[0], "minassump")).run(inst)
+        snap = obs.snapshot()
+        assert snap["counters"] == {}
+        assert snap["spans"] == []
+
+
+class TestHarnessTelemetry:
+    def test_run_unit_collects_bench_entries(self):
+        from repro.benchgen import SUITE, run_unit, telemetry_document
+
+        row = run_unit(SUITE[0], methods=["minassump"], collect_telemetry=True)
+        entry = row.telemetry["minassump"]
+        assert entry["unit"] == SUITE[0].name
+        assert entry["verified"] is True
+        assert entry["solver"]["solves"] > 0
+        assert "engine.run" in entry["phases"]
+        doc = telemetry_document([row], suite="benchgen-subset")
+        validate_bench_document(doc)
+        # the registry is left disabled and clean for the next caller
+        assert not obs.enabled()
+        assert obs.get_registry().counters == {}

@@ -1,5 +1,6 @@
 """Tests for bit-parallel simulation."""
 
+import pytest
 
 from repro.network import GateType, Network, Simulator, outputs_equal
 
@@ -59,6 +60,34 @@ class TestSimulator:
         nid = net.node_ids()[-1]
         assert sim.signature(nid) == sim.values()[nid]
 
+    def test_set_pattern_on_pi(self):
+        net = random_network(n_pi=3, seed=11)
+        sim = Simulator(net, nbits=8, seed=0)
+        pi = net.pis[0]
+        sim.set_pattern(pi, 0b10110101)
+        assert sim.pi_patterns[pi] == 0b10110101
+        assert sim.values()[pi] == 0b10110101
+
+    def test_set_pattern_masks_to_width(self):
+        net = random_network(n_pi=2, seed=11)
+        sim = Simulator(net, nbits=4, seed=0)
+        sim.set_pattern(net.pis[0], 0xFFFF)
+        assert sim.pi_patterns[net.pis[0]] == 0xF
+
+    def test_set_pattern_rejects_non_pi(self):
+        """Regression: a gate id used to be accepted and silently ignored."""
+        net = Network()
+        a, b = net.add_pi("a"), net.add_pi("b")
+        g = net.add_gate(GateType.AND, [a, b])
+        net.add_po(g, "o")
+        sim = Simulator(net, nbits=8, seed=0)
+        with pytest.raises(ValueError, match="not a primary input"):
+            sim.set_pattern(g, 0b1111)
+        with pytest.raises(ValueError, match="not a primary input"):
+            sim.set_pattern(10 ** 6, 1)  # nonexistent id
+        # the failed calls left the simulator's patterns untouched
+        assert set(sim.pi_patterns) == {a, b}
+
 
 class TestOutputsEqual:
     def test_equal_clone(self):
@@ -78,3 +107,38 @@ class TestOutputsEqual:
         other = net.clone()
         other.rename_po(0, "__different")
         assert not outputs_equal(net, other)
+
+    @staticmethod
+    def _dup_po_nets():
+        """Two nets with a duplicated PO name differing only in the
+        *first* output under that name."""
+        net_a = Network(name="a")
+        x, y = net_a.add_pi("x"), net_a.add_pi("y")
+        f1 = net_a.add_gate(GateType.AND, [x, y])
+        f2 = net_a.add_gate(GateType.OR, [x, y])
+        net_a.add_po(f1, "o")
+        net_a.add_po(f2, "o")
+
+        net_b = Network(name="b")
+        x2, y2 = net_b.add_pi("x"), net_b.add_pi("y")
+        g1 = net_b.add_gate(GateType.XOR, [x2, y2])  # differs from f1
+        g2 = net_b.add_gate(GateType.OR, [x2, y2])  # same as f2
+        net_b.add_po(g1, "o")
+        net_b.add_po(g2, "o")
+        return net_a, net_b
+
+    def test_duplicate_po_names_not_collapsed(self):
+        """Regression: dict(net.pos) kept only the last 'o', so a
+        difference in the first duplicate went undetected."""
+        net_a, net_b = self._dup_po_nets()
+        assert not outputs_equal(net_a, net_b)
+
+    def test_duplicate_po_names_equal_when_all_match(self):
+        net_a, _ = self._dup_po_nets()
+        assert outputs_equal(net_a, net_a.clone())
+
+    def test_duplicate_po_count_mismatch(self):
+        net_a, net_b = self._dup_po_nets()
+        _, nid = net_b.pos[0]
+        net_b.add_po(nid, "o")
+        assert not outputs_equal(net_a, net_b)
