@@ -15,7 +15,7 @@ from repro.benchgen import random_dag
 from repro.core import build_miter, build_quantified_miter
 from repro.network import strash_network
 from repro.network.fraig import fraig_network
-from repro.sat import Solver, encode_network, mklit
+from repro.sat import CnfTemplate, Solver, encode_network, mklit
 
 from conftest import write_result
 
@@ -73,6 +73,33 @@ def bench_pigeonhole(benchmark):
         return s.solve()
 
     assert benchmark(run) is False
+
+
+@pytest.mark.parametrize("path", ["encode", "stamp"], ids=["encode", "stamp"])
+def bench_encode_vs_stamp(benchmark, path):
+    """Two miter copies into one solver: graph encode vs template stamp.
+
+    This is the exact shape of the engine's support computation
+    (expression (2) needs two copies of the quantified miter); the
+    template pays one compile and then copies by literal arithmetic.
+    """
+    net = random_dag(24, 220, 12, seed=21)
+    template = CnfTemplate(net)
+
+    def run_encode():
+        s = Solver()
+        encode_network(s, net)
+        encode_network(s, net)
+        return s.nvars
+
+    def run_stamp():
+        s = Solver()
+        template.stamp(s)
+        template.stamp(s)
+        return s.nvars
+
+    nvars = benchmark(run_stamp if path == "stamp" else run_encode)
+    assert nvars > 0
 
 
 def bench_cec_restructured(benchmark):

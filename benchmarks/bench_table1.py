@@ -18,11 +18,19 @@ for CI and for regenerating the committed baseline::
 
     PYTHONPATH=src python benchmarks/bench_table1.py \
         [--units unit1,unit2] [--methods baseline,minassump] \
+        [--jobs 4] [--timeout 120] \
         [--out benchmarks/results/BENCH_table1.json]
+
+``--jobs N`` fans units across a process pool (with per-unit
+``--timeout`` degradation — a slow unit reports a placeholder row, it
+never kills the run), and the emitted JSON carries a ``comparison``
+section with the aggregate wall clock of the previously committed
+baseline next to this run's.
 """
 
 import argparse
 import json
+import os
 import sys
 
 import pytest
@@ -32,11 +40,12 @@ from repro.benchgen import (
     SUITE,
     UnitRow,
     format_table,
+    run_suite,
     run_unit,
     telemetry_document,
 )
 
-from conftest import write_result
+from conftest import RESULTS_DIR, write_result
 
 BASELINE_NAME = "BENCH_table1.json"
 
@@ -102,6 +111,16 @@ def bench_table1_report(benchmark, suite_instances):
     assert len(complete) == len(SUITE)
 
 
+def _previous_total_runtime(path):
+    """Aggregate ``runtime_s`` of the committed baseline, if readable."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        return sum(entry["runtime_s"] for entry in doc["units"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
 def main(argv=None):
     """Script entry point: run the suite and write the telemetry JSON."""
     parser = argparse.ArgumentParser(
@@ -114,6 +133,19 @@ def main(argv=None):
         "--methods",
         default=",".join(METHODS),
         help=f"comma-separated method columns (default: {','.join(METHODS)})",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="parallel worker processes (default: 1, sequential)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-unit timeout in seconds; a timed-out unit degrades to "
+        "a placeholder row instead of killing the run",
     )
     parser.add_argument(
         "--out",
@@ -132,23 +164,39 @@ def main(argv=None):
         if m not in METHODS:
             print(f"unknown method {m!r}; choose from {METHODS}", file=sys.stderr)
             return 2
-    rows = []
-    for spec in SUITE:
-        if names is not None and spec.name not in names:
-            continue
-        row = run_unit(spec, methods=methods, collect_telemetry=True)
-        rows.append(row)
+    out_path = args.out or os.path.join(RESULTS_DIR, BASELINE_NAME)
+    before_total = _previous_total_runtime(out_path)
+
+    rows = run_suite(
+        names=names,
+        methods=methods,
+        jobs=args.jobs,
+        unit_timeout=args.timeout,
+        collect_telemetry=True,
+    )
+    if not rows:
+        print("no units matched --units", file=sys.stderr)
+        return 2
+    for row in rows:
         runtimes = ", ".join(
             f"{m}: cost={row.results[m].cost} "
             f"t={row.results[m].runtime_seconds:.2f}s"
             for m in methods
         )
-        print(f"{spec.name}: {runtimes}", file=sys.stderr)
-    if not rows:
-        print("no units matched --units", file=sys.stderr)
-        return 2
+        print(f"{row.name}: {runtimes}", file=sys.stderr)
+
+    after_total = sum(
+        row.results[m].runtime_seconds for row in rows for m in methods
+    )
+    comparison = None
+    if before_total is not None and after_total > 0:
+        comparison = {
+            "before_total_runtime_s": round(before_total, 6),
+            "after_total_runtime_s": round(after_total, 6),
+            "speedup": round(before_total / after_total, 4),
+        }
     suite_tag = "benchgen-20" if names is None else "benchgen-subset"
-    doc = telemetry_document(rows, suite=suite_tag)
+    doc = telemetry_document(rows, suite=suite_tag, comparison=comparison)
     payload = json.dumps(doc, indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as f:
@@ -156,6 +204,13 @@ def main(argv=None):
         print(f"telemetry baseline written to {args.out}", file=sys.stderr)
     else:
         write_result(BASELINE_NAME, payload)
+    if comparison is not None:
+        print(
+            f"aggregate wall clock: {before_total:.2f}s committed -> "
+            f"{after_total:.2f}s this run "
+            f"({comparison['speedup']:.2f}x)",
+            file=sys.stderr,
+        )
     print(format_table(rows, methods))
     return 0
 

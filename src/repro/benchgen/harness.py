@@ -146,9 +146,16 @@ def unit_telemetry(
 
 
 def telemetry_document(
-    rows: Sequence[UnitRow], suite: str = "benchgen-20"
+    rows: Sequence[UnitRow],
+    suite: str = "benchgen-20",
+    comparison: Optional[Dict[str, float]] = None,
 ) -> Dict[str, Any]:
-    """Assemble + validate the bench baseline document from unit rows."""
+    """Assemble + validate the bench baseline document from unit rows.
+
+    ``comparison`` optionally records before/after aggregate wall clock
+    against the previously committed baseline (see
+    ``benchmarks/bench_table1.py``).
+    """
     from ..obs.export import BENCH_SCHEMA, validate_bench_document
 
     units = [
@@ -162,6 +169,8 @@ def telemetry_document(
         "generated_by": "benchmarks/bench_table1.py",
         "units": units,
     }
+    if comparison is not None:
+        doc["comparison"] = dict(comparison)
     validate_bench_document(doc)
     return doc
 
@@ -169,14 +178,113 @@ def telemetry_document(
 def run_suite(
     names: Optional[Sequence[str]] = None,
     methods: Sequence[str] = METHODS,
+    jobs: int = 1,
+    unit_timeout: Optional[float] = None,
+    collect_telemetry: bool = False,
 ) -> List[UnitRow]:
-    """Run the (sub)suite; returns one row per unit."""
-    rows = []
-    for spec in SUITE:
-        if names is not None and spec.name not in names:
-            continue
-        rows.append(run_unit(spec, methods))
+    """Run the (sub)suite; returns one row per unit, in suite order.
+
+    With ``jobs > 1`` (or with ``unit_timeout`` set) units fan out
+    across a ``ProcessPoolExecutor``.  ``unit_timeout`` caps how long
+    the harness waits for each unit (measured from when its result is
+    first awaited, so queue time behind slower units counts); a unit
+    that times out or raises degrades gracefully to a placeholder row
+    (zero cost/gates, ``verified=False``, method ``"timeout"`` /
+    ``"error"``) instead of killing the run, and bumps the
+    ``harness.unit_timeout`` / ``harness.unit_error`` counters.
+    """
+    specs = [u for u in SUITE if names is None or u.name in names]
+    if jobs <= 1 and unit_timeout is None:
+        return [run_unit(spec, methods, None, collect_telemetry) for spec in specs]
+    return _run_suite_parallel(specs, methods, jobs, unit_timeout, collect_telemetry)
+
+
+def _run_suite_parallel(
+    specs: Sequence[SuiteUnit],
+    methods: Sequence[str],
+    jobs: int,
+    unit_timeout: Optional[float],
+    collect_telemetry: bool,
+) -> List[UnitRow]:
+    import concurrent.futures as cf
+
+    rows: List[UnitRow] = []
+    degraded = False
+    with cf.ProcessPoolExecutor(max_workers=max(1, jobs)) as ex:
+        futures = [
+            ex.submit(run_unit, spec, tuple(methods), None, collect_telemetry)
+            for spec in specs
+        ]
+        for spec, fut in zip(specs, futures):
+            try:
+                rows.append(fut.result(timeout=unit_timeout))
+            except cf.TimeoutError:
+                degraded = True
+                obs.inc("harness.unit_timeout")
+                fut.cancel()
+                rows.append(
+                    _degraded_row(
+                        spec, methods, "timeout", unit_timeout or 0.0,
+                        collect_telemetry,
+                    )
+                )
+            except Exception:
+                obs.inc("harness.unit_error")
+                rows.append(
+                    _degraded_row(spec, methods, "error", 0.0, collect_telemetry)
+                )
+        if degraded:
+            # a timed-out worker may still be computing; every finished
+            # future has been collected, so don't let the executor's
+            # exit join block on the stuck process
+            for proc in getattr(ex, "_processes", {}).values():
+                proc.terminate()
+            ex.shutdown(wait=False, cancel_futures=True)
     return rows
+
+
+def _degraded_row(
+    spec: SuiteUnit,
+    methods: Sequence[str],
+    kind: str,
+    runtime_s: float,
+    collect_telemetry: bool,
+) -> UnitRow:
+    """Placeholder row for a unit the parallel harness could not finish."""
+    from ..obs.export import SOLVER_COUNTER_FIELDS
+
+    row = UnitRow(
+        name=spec.name,
+        n_pi=0,
+        n_po=0,
+        gates_impl=0,
+        gates_spec=0,
+        n_targets=spec.num_targets,
+    )
+    for method in methods:
+        row.results[method] = EcoResult(
+            instance_name=spec.name,
+            patches=[],
+            cost=0,
+            gate_count=0,
+            verified=False,
+            runtime_seconds=float(runtime_s),
+            method=kind,
+            stats={},
+        )
+        if collect_telemetry:
+            row.telemetry[method] = {
+                "unit": spec.name,
+                "method": method,
+                "cost": 0,
+                "gates": 0,
+                "runtime_s": float(runtime_s),
+                "verified": False,
+                "phases": {},
+                "counters": {f"harness.unit_{kind}": 1},
+                "solver": {fld: 0 for fld in SOLVER_COUNTER_FIELDS},
+            }
+    return row
 
 
 def geomean(values: Sequence[float]) -> float:

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence
 from ..network.network import Network
 from ..sat.simplify import ClauseCollector
 from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.template import CnfTemplate
 from ..sat.tseitin import encode_network
 from ..sat.types import mklit
 from .findings import Finding, Severity
@@ -133,7 +134,7 @@ def cross_check_tseitin(
     rng = random.Random(seed)
     pis = net.pis
     solver = Solver()
-    varmap = encode_network(solver, net)
+    varmap = CnfTemplate(net).stamp(solver)
 
     done = 0
     complements_left = complement_patterns

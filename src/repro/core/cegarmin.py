@@ -20,7 +20,7 @@ from ..network.network import Network
 from ..network.node import GateType
 from ..network.simulate import Simulator
 from ..sat.solver import SatBudgetExceeded, Solver
-from ..sat.tseitin import encode_network
+from ..sat.template import CnfTemplate
 from ..sat.types import mklit
 
 
@@ -97,16 +97,20 @@ def cegar_min(
             if sig & 1:
                 sig = ~sig & mask
             by_signature.setdefault(sig, []).append(nid)
+        # rank each signature class once (cheapest equivalent first)
+        # instead of re-sorting per patch node
+        for sig_class in by_signature.values():
+            sig_class.sort(key=lambda n: (weight_of.get(n, 1), n))
 
     # --- SAT confirmation ----------------------------------------------
     with obs.span("cegar_min.confirm"):
         solver = Solver()
-        impl_vars = encode_network(solver, impl)
+        impl_vars = CnfTemplate(impl).stamp(solver)
         patch_pi_vars = {
             pi: impl_vars[impl.node_by_name(patch.node(pi).name)]
             for pi in patch.pis
         }
-        patch_vars = encode_network(solver, patch, patch_pi_vars)
+        patch_vars = CnfTemplate(patch).stamp(solver, pi_vars=patch_pi_vars)
 
         sat_calls = 0
         equivalences: Dict[int, Equivalence] = {}
@@ -115,9 +119,7 @@ def cegar_min(
             comp_key = sig
             if comp_key & 1:
                 comp_key = ~comp_key & mask
-            candidates = by_signature.get(comp_key, [])
-            ranked = sorted(candidates, key=lambda n: (weight_of.get(n, 1), n))
-            for cand in ranked:
+            for cand in by_signature.get(comp_key, ()):
                 if sat_calls + 2 > max_sat_calls:
                     break
                 complemented = impl_values[cand] != sig

@@ -24,7 +24,8 @@ from ..io.weights import EcoInstance
 from ..network.network import Network
 from ..network.window import Window, compute_window
 from ..sat.solver import SatBudgetExceeded, Solver
-from ..sat.tseitin import add_equality, encode_network
+from ..sat.template import CnfTemplate
+from ..sat.tseitin import add_equality
 from ..sat.types import mklit
 from ..sop.sop import Sop
 from ..sop.synth import sop_to_network
@@ -129,6 +130,23 @@ def best_config() -> EcoConfig:
         use_last_gasp=True,
         use_cegar_min=True,
     )
+
+
+@dataclass
+class _SatContext:
+    """Shared incremental-SAT state for one target iteration.
+
+    One solver holds two template stamps of the quantified miter; the
+    support computation and the patch-function enumeration both run on
+    it.  Reuse is sound because every support-phase constraint is
+    assumption-scoped (base literals and selector-guarded equalities)
+    and enumeration blocking clauses live in retractable groups.
+    """
+
+    solver: Solver
+    template: CnfTemplate
+    vars1: Dict[int, int]
+    vars2: Dict[int, int]
 
 
 class EcoEngine:
@@ -336,11 +354,20 @@ class EcoEngine:
             step_divisors = divisors
             if cfg.amortize_shared_support and used_names:
                 step_divisors = _amortized_divisors(divisors, used_names)
+            # compile the quantified miter once; both phases stamp/reuse it
+            template = CnfTemplate(qm.net)
+            solver = Solver()
+            ctx = _SatContext(
+                solver=solver,
+                template=template,
+                vars1=template.stamp(solver),
+                vars2=template.stamp(solver),
+            )
             with obs.span("engine.support", target=tname):
-                support_ids = self._compute_support(qm, step_divisors, stats)
+                support_ids = self._compute_support(qm, step_divisors, stats, ctx)
             with obs.span("engine.patch_function", target=tname):
                 patch = self._compute_patch_function(
-                    qm, step_divisors, support_ids, tname, instance, stats
+                    qm, step_divisors, support_ids, tname, instance, stats, ctx
                 )
             apply_patch(current, patch)
             patches.append(patch)
@@ -353,12 +380,13 @@ class EcoEngine:
         qm,
         divisors: DivisorSet,
         stats: Dict[str, float],
+        ctx: _SatContext,
     ) -> List[int]:
         """Expression (2) + support minimization; returns divisor ids."""
         cfg = self.config
-        solver = Solver()
-        vars1 = encode_network(solver, qm.net)
-        vars2 = encode_network(solver, qm.net)
+        solver = ctx.solver
+        vars1 = ctx.vars1
+        vars2 = ctx.vars2
         po_node = dict(qm.net.pos)[QMITER_PO]
         m1, m2 = vars1[po_node], vars2[po_node]
         n1, n2 = vars1[qm.target_pi], vars2[qm.target_pi]
@@ -443,11 +471,15 @@ class EcoEngine:
         target_name: str,
         instance: EcoInstance,
         stats: Dict[str, float],
+        ctx: _SatContext,
     ) -> Patch:
         """Section 3.5: cube enumeration over the chosen support.
 
-        With ``patch_function_method="interpolation"`` the pre-paper
-        proof-interpolation route ([15], expression (3)) is used instead.
+        Runs on the support phase's solver (first stamp): the learned
+        clauses carry over and the blocking clauses are group-retracted
+        afterwards.  With ``patch_function_method="interpolation"`` the
+        pre-paper proof-interpolation route ([15], expression (3)) is
+        used instead.
         """
         cfg = self.config
         if cfg.patch_function_method == "interpolation":
@@ -472,24 +504,30 @@ class EcoEngine:
                 gate_count=result.gate_count,
                 method="interpolation",
             )
-        solver = Solver()
-        varmap = encode_network(solver, qm.net)
+        solver = ctx.solver
+        varmap = ctx.vars1
         po_node = dict(qm.net.pos)[QMITER_PO]
         m = varmap[po_node]
         n = varmap[qm.target_pi]
         divisor_vars = [varmap[qm.divisor_nodes[i]] for i in support_ids]
+        obs.inc("engine.patch_solver_reuse")
         estats = EnumerationStats()
-        sop = enumerate_patch_sop(
-            solver,
-            onset_base=[mklit(m), mklit(n, True)],
-            offset_base=[mklit(m), mklit(n)],
-            divisor_vars=divisor_vars,
-            blocking_extra=[mklit(n)],
-            mode=cfg.enumeration_mode,
-            max_cubes=cfg.max_cubes,
-            budget_conflicts=cfg.budget_conflicts,
-            stats=estats,
-        )
+        group = solver.new_group()
+        try:
+            sop = enumerate_patch_sop(
+                solver,
+                onset_base=[mklit(m), mklit(n, True)],
+                offset_base=[mklit(m), mklit(n)],
+                divisor_vars=divisor_vars,
+                blocking_extra=[mklit(n)],
+                mode=cfg.enumeration_mode,
+                max_cubes=cfg.max_cubes,
+                budget_conflicts=cfg.budget_conflicts,
+                stats=estats,
+                blocking_group=group,
+            )
+        finally:
+            solver.release_group(group)
         stats["cubes"] = stats.get("cubes", 0) + estats.cubes
         obs.inc("engine.cubes", estats.cubes)
 
@@ -498,25 +536,26 @@ class EcoEngine:
             and 0 < len(support_ids) <= cfg.isop_refine_max_support
         ):
             # enumerate the offset cover too, then re-minimize between
-            # the bounds with ISOP (everything else is don't-care); a
-            # fresh solver is required — the onset blocking clauses
-            # would otherwise weaken the offset-side checks
+            # the bounds with ISOP (everything else is don't-care); the
+            # onset blocking clauses were just retracted with their
+            # group, so the offset-side checks run on the same solver
             from ..sop.isop import isop_refine
 
-            solver2 = Solver()
-            varmap2 = encode_network(solver2, qm.net)
-            m2 = varmap2[po_node]
-            n2 = varmap2[qm.target_pi]
-            offset_sop = enumerate_patch_sop(
-                solver2,
-                onset_base=[mklit(m2), mklit(n2)],
-                offset_base=[mklit(m2), mklit(n2, True)],
-                divisor_vars=[varmap2[qm.divisor_nodes[i]] for i in support_ids],
-                blocking_extra=[mklit(n2, True)],
-                mode=cfg.enumeration_mode,
-                max_cubes=cfg.max_cubes,
-                budget_conflicts=cfg.budget_conflicts,
-            )
+            group2 = solver.new_group()
+            try:
+                offset_sop = enumerate_patch_sop(
+                    solver,
+                    onset_base=[mklit(m), mklit(n)],
+                    offset_base=[mklit(m), mklit(n, True)],
+                    divisor_vars=divisor_vars,
+                    blocking_extra=[mklit(n, True)],
+                    mode=cfg.enumeration_mode,
+                    max_cubes=cfg.max_cubes,
+                    budget_conflicts=cfg.budget_conflicts,
+                    blocking_group=group2,
+                )
+            finally:
+                solver.release_group(group2)
             sop = isop_refine(sop, offset_sop)
 
         used_positions = sorted(

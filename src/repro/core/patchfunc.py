@@ -54,6 +54,7 @@ def enumerate_patch_sop(
     max_cubes: int = 5000,
     budget_conflicts: Optional[int] = None,
     stats: Optional[EnumerationStats] = None,
+    blocking_group: Optional[int] = None,
 ) -> Sop:
     """Enumerate a prime SOP for the patch over ``divisor_vars``.
 
@@ -72,6 +73,9 @@ def enumerate_patch_sop(
             ``"analyze_final"`` (the baseline: cube = assumption core).
         max_cubes: enumeration cap; overruns raise.
         budget_conflicts: per-SAT-call conflict budget.
+        blocking_group: retractable group the blocking clauses join, so
+            a shared solver can retract them after enumeration (see
+            :meth:`repro.sat.Solver.new_group`).
 
     Returns:
         the onset cover as a :class:`~repro.sop.sop.Sop` whose positions
@@ -125,7 +129,8 @@ def enumerate_patch_sop(
             raise PatchEnumerationError(f"cube cap {max_cubes} exceeded")
 
         solver.add_clause(
-            blocking_extra + [neg(lit) for lit in chosen]
+            blocking_extra + [neg(lit) for lit in chosen],
+            group=blocking_group,
         )
 
     sop.remove_contained_cubes()

@@ -194,6 +194,19 @@ def validate_bench_document(doc: Any) -> None:
         f"expected {BENCH_SCHEMA!r}, got {doc.get('schema')!r}",
     )
     _require(isinstance(doc.get("suite"), str), "$.suite", "must be a string")
+    comparison = doc.get("comparison")
+    if comparison is not None:
+        _require(
+            isinstance(comparison, Mapping),
+            "$.comparison",
+            "must be an object",
+        )
+        for key, value in comparison.items():
+            _require(
+                isinstance(value, _NUMBER),
+                f"$.comparison.{key}",
+                "comparison values must be numbers",
+            )
     units = doc.get("units")
     _require(isinstance(units, list) and units, "$.units", "must be a non-empty list")
     for i, entry in enumerate(units):

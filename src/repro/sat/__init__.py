@@ -5,6 +5,7 @@ from .interpolate import InterpolationError, interpolant
 from .proof import ProofError, check_proof, derive_clause, resolve
 from .simplify import Preprocessor, PreprocessorError
 from .solver import SatBudgetExceeded, Solver
+from .template import CnfTemplate
 from .tseitin import add_equality, encode_gate, encode_network
 from .types import (
     clause_from_dimacs,
@@ -17,6 +18,7 @@ from .types import (
 )
 
 __all__ = [
+    "CnfTemplate",
     "InterpolationError",
     "Preprocessor",
     "PreprocessorError",

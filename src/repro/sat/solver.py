@@ -11,16 +11,30 @@ MiniSAT [6]:
   :mod:`repro.sat.interpolate` for the interpolation baseline.
 
 The implementation is a faithful pure-Python CDCL: two-watched-literal
-propagation, first-UIP clause learning with chain logging, VSIDS
-activities with phase saving, Luby restarts, and learned-clause database
-reduction.
+propagation with MiniSAT-style blocker literals, first-UIP clause
+learning with chain logging, VSIDS activities with phase saving, Luby
+restarts, and learned-clause database reduction.
+
+Two incremental-reuse services extend the MiniSAT interface:
+
+* **bulk variable allocation** — :meth:`Solver.add_vars` grows every
+  per-variable array in one pass and returns the first index, so
+  stamping a :class:`~repro.sat.template.CnfTemplate` costs array
+  extends instead of one Python call per variable;
+* **retractable clause groups** — :meth:`Solver.new_group` allocates an
+  activation literal, clauses added with ``group=g`` carry its negation,
+  and every :meth:`solve` assumes the activation literals of the open
+  groups.  :meth:`Solver.release_group` permanently satisfies the
+  group's clauses (and every learned clause derived from them), which
+  lets cube-enumeration blocking clauses be retracted so one solver
+  serves many enumeration passes.
 """
 
 from __future__ import annotations
 
 import heapq
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..obs import DEFAULT as _OBS
 
@@ -63,8 +77,17 @@ class Solver:
 
     def __init__(self, proof_logging: bool = False) -> None:
         self.nvars = 0
-        self._watches: List[List[_Clause]] = []
+        # watch lists hold mutable [clause, blocker_lit] pairs; when the
+        # blocker is already true the clause is skipped without loading it
+        self._watches: List[List[List[Any]]] = []
         self._assigns: List[int] = []  # -1 unassigned, 0 false, 1 true
+        # per-literal truth values (index = packed literal): the hot
+        # propagation loops test literals with one flat index instead of
+        # a shift/mask/compare chain against ``_assigns``
+        self._vals: List[int] = []
+        # persistent conflict-analysis scratch (cleared after each use,
+        # so _analyze never allocates O(nvars) per conflict)
+        self._seen: List[bool] = []
         self._level: List[int] = []
         self._reason: List[Optional[_Clause]] = []
         self._trail: List[int] = []
@@ -80,6 +103,7 @@ class Solver:
         self._scan_hint = 0  # every var below this index is assigned
         self._clauses: List[_Clause] = []
         self._learnts: List[_Clause] = []
+        self._active_groups: List[int] = []
         self._ok = True
         self.core: Set[int] = set()
         self.model: List[int] = []
@@ -111,15 +135,76 @@ class Solver:
         self._watches.append([])
         self._watches.append([])
         self._assigns.append(-1)
+        self._vals.append(-1)
+        self._vals.append(-1)
+        self._seen.append(False)
         self._level.append(0)
         self._reason.append(None)
         self._activity.append(0.0)
         self._polarity.append(0)
         return v
 
+    def add_vars(self, n: int) -> int:
+        """Bulk-allocate ``n`` fresh variables; returns the first index.
+
+        Every per-variable array is extended in one pass — this is the
+        allocation path :class:`~repro.sat.template.CnfTemplate` stamps
+        through (``encode_network`` allocates a variable per live node,
+        so the one-at-a-time path is measurably hot).
+        """
+        if n <= 0:
+            return self.nvars
+        base = self.nvars
+        self.nvars = base + n
+        self._watches.extend([] for _ in range(2 * n))
+        self._assigns.extend([-1] * n)
+        self._vals.extend([-1] * (2 * n))
+        self._seen.extend([False] * n)
+        self._level.extend([0] * n)
+        self._reason.extend([None] * n)
+        self._activity.extend([0.0] * n)
+        self._polarity.extend([0] * n)
+        return base
+
     def new_vars(self, n: int) -> List[int]:
         """Allocate ``n`` fresh variables."""
-        return [self.new_var() for _ in range(n)]
+        base = self.add_vars(n)
+        return list(range(base, base + n))
+
+    # -- retractable clause groups -------------------------------------
+
+    def new_group(self) -> int:
+        """Open a retractable clause group; returns its group id.
+
+        Clauses added with ``add_clause(lits, group=g)`` are active only
+        while the group is open: every :meth:`solve` call automatically
+        assumes the group's activation literal.  :meth:`release_group`
+        retracts them permanently.
+        """
+        g = self.new_var()
+        self._active_groups.append(g)
+        _OBS.inc("sat.groups_opened")
+        return g
+
+    def group_lit(self, group: int) -> int:
+        """The activation literal :meth:`solve` assumes for ``group``."""
+        return group * 2
+
+    def release_group(self, group: int) -> bool:
+        """Retract every clause added under ``group``.
+
+        Adds the unit clause ``¬group``, which permanently satisfies the
+        group's clauses *and* every learned clause derived from them (a
+        resolvent of a group clause always keeps the ``¬group`` literal:
+        the activation variable is only ever assigned as an assumption
+        decision, so it is never a resolution pivot).  Returns the
+        :meth:`add_clause` status.
+        """
+        if group not in self._active_groups:
+            raise ValueError(f"group {group} is not open")
+        self._active_groups.remove(group)
+        _OBS.inc("sat.groups_released")
+        return self.add_clause([group * 2 + 1])
 
     def value(self, lit: int) -> int:
         """Current value of ``lit``: 1 true, 0 false, -1 unassigned."""
@@ -135,7 +220,7 @@ class Solver:
             self.clause_lits[cid] = tuple(lits)
         return cid
 
-    def add_clause(self, lits: Iterable[int]) -> bool:
+    def add_clause(self, lits: Iterable[int], group: Optional[int] = None) -> bool:
         """Add a problem clause; returns False if the solver became UNSAT.
 
         Clauses may only be added at decision level 0 (between solve
@@ -144,12 +229,19 @@ class Solver:
         (the resolution proof stays exact); otherwise they are stripped.
         The id of the registered clause is left in :attr:`last_clause_cid`
         for partitioned (interpolation) use.
+
+        With ``group`` given the clause joins that retractable group (its
+        negated activation literal is appended; see :meth:`new_group`).
         """
         if self._trail_lim:
             raise RuntimeError("add_clause requires decision level 0")
         if not self._ok:
             return False
         lits = list(lits)
+        if group is not None:
+            if group not in self._active_groups:
+                raise ValueError(f"group {group} is not open")
+            lits.append(group * 2 + 1)
         seen: Set[int] = set()
         out: List[int] = []
         satisfied = False
@@ -201,9 +293,52 @@ class Solver:
         self._clauses.append(clause)
         return True
 
+    def add_compiled_clause(self, lits: Sequence[int]) -> bool:
+        """Fast-path clause add for pre-normalized (template) clauses.
+
+        The caller guarantees decision level 0, no proof logging, no
+        duplicate literals, and no tautology — exactly what a compiled
+        :class:`~repro.sat.template.CnfTemplate` provides.  Level-0
+        semantics match :meth:`add_clause`: satisfied clauses are
+        skipped, false literals stripped, and units propagated
+        immediately (so constants cascade through a stamp).
+        """
+        if self._trail_lim or self.proof_logging:
+            return self.add_clause(lits)  # exact normalization required
+        if not self._ok:
+            return False
+        assigns = self._assigns
+        out: List[int] = []
+        for lit in lits:
+            v = assigns[lit >> 1]
+            if v < 0:
+                out.append(lit)
+            elif v == 1 - (lit & 1):
+                self.last_clause_cid = self._next_cid
+                self._next_cid += 1
+                return True  # satisfied at level 0
+        cid = self._next_cid
+        self._next_cid += 1
+        self.last_clause_cid = cid
+        if not out:
+            self._ok = False
+            self.empty_clause_cid = cid
+            return False
+        if len(out) == 1:
+            self._unchecked_enqueue(out[0], None)
+            if self._propagate() is not None:
+                self._ok = False
+                return False
+            return True
+        clause = _Clause(out, False, cid)
+        self._attach(clause)
+        self._clauses.append(clause)
+        return True
+
     def _attach(self, clause: _Clause) -> None:
-        self._watches[clause.lits[0] ^ 1].append(clause)
-        self._watches[clause.lits[1] ^ 1].append(clause)
+        lits = clause.lits
+        self._watches[lits[0] ^ 1].append([clause, lits[1]])
+        self._watches[lits[1] ^ 1].append([clause, lits[0]])
 
     # ------------------------------------------------------------------
     # propagation
@@ -212,6 +347,9 @@ class Solver:
     def _unchecked_enqueue(self, lit: int, reason: Optional[_Clause]) -> None:
         var = lit >> 1
         self._assigns[var] = 1 - (lit & 1)
+        vals = self._vals
+        vals[lit] = 1
+        vals[lit ^ 1] = 0
         self._level[var] = len(self._trail_lim)
         self._reason[var] = reason
         self._trail.append(lit)
@@ -220,11 +358,17 @@ class Solver:
         """Unit propagation; returns a conflicting clause or None."""
         watches = self._watches
         assigns = self._assigns
+        vals = self._vals
+        level = self._level
+        reason = self._reason
+        trail = self._trail
+        dl = len(self._trail_lim)
+        qhead = self._qhead
         nprops = 0
         conflict: Optional[_Clause] = None
-        while self._qhead < len(self._trail):
-            p = self._trail[self._qhead]
-            self._qhead += 1
+        while qhead < len(trail):
+            p = trail[qhead]
+            qhead += 1
             nprops += 1
             false_lit = p ^ 1
             wlist = watches[p]
@@ -232,62 +376,67 @@ class Solver:
             j = 0
             n = len(wlist)
             while i < n:
-                clause = wlist[i]
+                entry = wlist[i]
                 i += 1
+                # blocker already true: keep the watch, skip the clause
+                if vals[entry[1]] == 1:
+                    wlist[j] = entry
+                    j += 1
+                    continue
+                clause = entry[0]
                 lits = clause.lits
                 # ensure the false literal is at position 1
                 if lits[0] == false_lit:
                     lits[0] = lits[1]
                     lits[1] = false_lit
                 first = lits[0]
-                v0 = assigns[first >> 1]
-                if v0 >= 0 and (v0 ^ (first & 1)) == 1:
-                    wlist[j] = clause
+                v0 = vals[first]
+                if v0 == 1:
+                    entry[1] = first  # first is true: make it the blocker
+                    wlist[j] = entry
                     j += 1
                     continue
                 # look for a new literal to watch
                 found = False
                 for k in range(2, len(lits)):
                     lk = lits[k]
-                    vk = assigns[lk >> 1]
-                    if vk < 0 or (vk ^ (lk & 1)) == 1:
+                    if vals[lk] != 0:  # unassigned or true
                         lits[1] = lk
                         lits[k] = false_lit
-                        watches[lk ^ 1].append(clause)
+                        watches[lk ^ 1].append([clause, first])
                         found = True
                         break
                 if found:
                     continue
                 # clause is unit or conflicting
-                wlist[j] = clause
+                entry[1] = first
+                wlist[j] = entry
                 j += 1
-                if v0 == (first & 1):  # first is false -> conflict
+                if v0 == 0:  # first is false -> conflict
                     conflict = clause
                     # copy remaining watchers and bail out
                     while i < n:
                         wlist[j] = wlist[i]
                         j += 1
                         i += 1
-                    self._qhead = len(self._trail)
+                    qhead = len(trail)
                 else:
-                    self._unchecked_enqueue(first, clause)
+                    assigns[first >> 1] = 1 - (first & 1)
+                    vals[first] = 1
+                    vals[first ^ 1] = 0
+                    level[first >> 1] = dl
+                    reason[first >> 1] = clause
+                    trail.append(first)
             del wlist[j:]
             if conflict is not None:
                 break
+        self._qhead = qhead
         self.stats["propagations"] += nprops
         return conflict
 
     # ------------------------------------------------------------------
     # conflict analysis
     # ------------------------------------------------------------------
-
-    def _var_bump(self, var: int) -> None:
-        self._activity[var] += self._var_inc
-        if self._activity[var] > 1e100:
-            for i in range(self.nvars):
-                self._activity[i] *= 1e-100
-            self._var_inc *= 1e-100
-        heapq.heappush(self._order, (-self._activity[var], var))
 
     def _cla_bump(self, clause: _Clause) -> None:
         clause.act += self._cla_inc
@@ -304,12 +453,21 @@ class Solver:
         ``chain`` is the resolution chain ``[(pivot_var, clause_id), ...]``
         starting from the conflict clause (pivot -1 for the first entry).
         """
-        seen = [False] * self.nvars
+        level = self._level
+        trail = self._trail
+        reason = self._reason
+        activity = self._activity
+        order = self._order
+        var_inc = self._var_inc
+        proof = self.proof_logging
+        heappush = heapq.heappush
+        seen = self._seen
+        touched: List[int] = []
         learnt: List[int] = [0]  # slot 0 for the asserting literal
         counter = 0
         p = -1
         clause: Optional[_Clause] = conflict
-        index = len(self._trail) - 1
+        index = len(trail) - 1
         cur_level = len(self._trail_lim)
         chain: List[Tuple[int, int]] = [(-1, conflict.cid)]
         btlevel = 0
@@ -318,39 +476,51 @@ class Solver:
             assert clause is not None
             if clause.learnt:
                 self._cla_bump(clause)
-            start = 0 if first else 1
-            for k in range(start, len(clause.lits)):
-                q = clause.lits[k]
+            lits = clause.lits
+            for k in range(0 if first else 1, len(lits)):
+                q = lits[k]
                 qv = q >> 1
                 if seen[qv]:
                     continue
-                if self._level[qv] == 0:
+                lv = level[qv]
+                if lv == 0:
                     # level-0 false literal: normally dropped; kept in
                     # proof mode so the logged chain derives the clause
-                    if self.proof_logging:
+                    if proof:
                         seen[qv] = True
+                        touched.append(qv)
                         learnt.append(q)
                     continue
                 seen[qv] = True
-                self._var_bump(qv)
-                if self._level[qv] >= cur_level:
+                touched.append(qv)
+                # inlined _var_bump (this loop dominates analysis time)
+                act = activity[qv] + var_inc
+                activity[qv] = act
+                if act > 1e100:
+                    for i in range(self.nvars):
+                        activity[i] *= 1e-100
+                    var_inc *= 1e-100
+                    self._var_inc = var_inc
+                    act = activity[qv]
+                heappush(order, (-act, qv))
+                if lv >= cur_level:
                     counter += 1
                 else:
                     learnt.append(q)
-                    if self._level[qv] > btlevel:
-                        btlevel = self._level[qv]
+                    if lv > btlevel:
+                        btlevel = lv
             first = False
             # pick next literal to resolve on
-            while not seen[self._trail[index] >> 1]:
+            while not seen[trail[index] >> 1]:
                 index -= 1
-            p = self._trail[index]
+            p = trail[index]
             index -= 1
             pv = p >> 1
             seen[pv] = False
             counter -= 1
             if counter == 0:
                 break
-            clause = self._reason[pv]
+            clause = reason[pv]
             assert clause is not None, "UIP literal must have a reason"
             chain.append((pv, clause.cid))
         learnt[0] = p ^ 1
@@ -360,13 +530,14 @@ class Solver:
         if not self.proof_logging and len(learnt) > 1:
             for k in range(1, len(learnt)):
                 seen[learnt[k] >> 1] = True
+                touched.append(learnt[k] >> 1)
             abstract = 0
             for q in learnt[1:]:
                 abstract |= 1 << (self._level[q >> 1] & 31)
             kept = [learnt[0]]
             for q in learnt[1:]:
                 if self._reason[q >> 1] is None or not self._lit_redundant(
-                    q, abstract, seen
+                    q, abstract, seen, touched
                 ):
                     kept.append(q)
             if len(kept) < len(learnt):
@@ -376,11 +547,20 @@ class Solver:
                     lv = self._level[q >> 1]
                     if lv > btlevel:
                         btlevel = lv
+        for v in touched:
+            seen[v] = False
         self.stats["learned_literals"] += len(learnt)
         return learnt, btlevel, chain
 
-    def _lit_redundant(self, p: int, abstract: int, seen: List[bool]) -> bool:
-        """True when ``p`` is implied by the other learnt literals."""
+    def _lit_redundant(
+        self, p: int, abstract: int, seen: List[bool], touched: List[int]
+    ) -> bool:
+        """True when ``p`` is implied by the other learnt literals.
+
+        On success the visited variables stay marked in ``seen`` (the
+        standard memoization) — they are recorded in ``touched`` so the
+        caller's end-of-analysis sweep still clears them.
+        """
         stack = [p]
         marked: List[int] = []
         while stack:
@@ -400,6 +580,7 @@ class Solver:
                 seen[v] = True
                 marked.append(v)
                 stack.append(lit)
+        touched.extend(marked)
         return True
 
     def _analyze_final(self, p: int) -> Set[int]:
@@ -463,19 +644,26 @@ class Solver:
         if len(self._trail_lim) <= level:
             return
         bound = self._trail_lim[level]
+        trail = self._trail
+        assigns = self._assigns
+        vals = self._vals
+        reason = self._reason
+        polarity = self._polarity
         hint = self._scan_hint
-        for i in range(len(self._trail) - 1, bound - 1, -1):
-            lit = self._trail[i]
+        for i in range(len(trail) - 1, bound - 1, -1):
+            lit = trail[i]
             var = lit >> 1
-            self._assigns[var] = -1
-            self._reason[var] = None
-            self._polarity[var] = 1 - (lit & 1)
+            assigns[var] = -1
+            vals[lit] = -1
+            vals[lit ^ 1] = -1
+            reason[var] = None
+            polarity[var] = 1 - (lit & 1)
             if var < hint:
                 hint = var
         self._scan_hint = hint
-        del self._trail[bound:]
+        del trail[bound:]
         del self._trail_lim[level:]
-        self._qhead = len(self._trail)
+        self._qhead = bound
 
     def _pick_branch_var(self) -> int:
         order = self._order
@@ -517,10 +705,11 @@ class Solver:
 
     def _detach(self, clause: _Clause) -> None:
         for w in (clause.lits[0] ^ 1, clause.lits[1] ^ 1):
-            try:
-                self._watches[w].remove(clause)
-            except ValueError:
-                pass
+            wlist = self._watches[w]
+            for idx, entry in enumerate(wlist):
+                if entry[0] is clause:
+                    del wlist[idx]
+                    break
 
     @staticmethod
     def _luby(i: int) -> int:
@@ -547,6 +736,8 @@ class Solver:
         counters and the solve time / learned-DB size are recorded as
         histograms; disabled, the overhead is a single branch.
         """
+        if self._active_groups:
+            assumptions = [g * 2 for g in self._active_groups] + list(assumptions)
         if not _OBS.enabled:
             return self._search(assumptions, budget_conflicts)
         before = dict(self.stats)
@@ -665,6 +856,12 @@ class Solver:
                     continue
                 if v == 0:
                     self.core = self._analyze_final(p)
+                    if self._active_groups:
+                        # activation literals are solver-internal: callers
+                        # never passed them, so keep them out of the core
+                        self.core.difference_update(
+                            g * 2 for g in self._active_groups
+                        )
                     self._cancel_until(0)
                     return False
                 self._trail_lim.append(len(self._trail))

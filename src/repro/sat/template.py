@@ -1,0 +1,243 @@
+"""Compiled CNF templates: encode a network once, stamp it many times.
+
+The ECO flow encodes the *same* network repeatedly — two miter copies
+for the support computation, two more for the patch-function cubes, one
+per CEGAR counterexample in the 2QBF engine.  ``encode_network`` walks
+the graph and dispatches per gate type on every call; a
+:class:`CnfTemplate` does that walk exactly once, storing the result as
+flat integer clause tuples over a dense variable space ``0..nvars-1``.
+:meth:`CnfTemplate.stamp` then copies the clauses into a solver by pure
+literal arithmetic — bulk variable allocation plus one addition per
+literal, no graph traversal, no per-gate dispatch.
+
+Binding semantics (they differ from ``encode_network`` for internal
+nodes, because a template cannot un-emit clauses):
+
+* ``pi_vars`` pre-binds primary inputs to existing solver variables —
+  identical to ``encode_network``'s ``pi_vars`` (PIs contribute no
+  clauses).  Keys must be PIs; anything else raises ``ValueError``.
+* ``force_vars`` binds *any* node to an existing variable while its gate
+  clauses are still emitted — ``encode_network``'s ``force_vars``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..network.network import Network
+from ..obs import DEFAULT as _OBS
+from .solver import Solver
+from .tseitin import encode_network
+
+
+class _TemplateRecorder:
+    """Duck-typed solver that records the encoding instead of solving.
+
+    ``encode_network`` only needs ``new_var`` and ``add_clause``; this
+    sink captures the allocation order and the clause list, which
+    together *are* the template.
+    """
+
+    __slots__ = ("nvars", "clauses")
+
+    def __init__(self) -> None:
+        self.nvars = 0
+        self.clauses: List[Tuple[int, ...]] = []
+
+    def new_var(self) -> int:
+        v = self.nvars
+        self.nvars += 1
+        return v
+
+    def new_vars(self, n: int) -> List[int]:
+        base = self.nvars
+        self.nvars += n
+        return list(range(base, base + n))
+
+    def add_clause(self, lits) -> bool:
+        self.clauses.append(tuple(lits))
+        return True
+
+
+class CnfTemplate:
+    """A network's Tseitin encoding, compiled for repeated stamping.
+
+    Attributes:
+        varmap: node id → template variable (dense, ``0..nvars-1``).
+        nvars: template variable count (includes XOR-chain auxiliaries).
+        clauses: the encoding as tuples of packed literals over template
+            variables.
+    """
+
+    __slots__ = ("varmap", "nvars", "clauses", "pi_nodes")
+
+    def __init__(self, net: Network) -> None:
+        rec = _TemplateRecorder()
+        self.varmap: Dict[int, int] = encode_network(rec, net)  # type: ignore[arg-type]
+        self.nvars = rec.nvars
+        self.clauses = rec.clauses
+        self.pi_nodes = frozenset(n.nid for n in net.topo_order() if n.is_pi)
+        _OBS.inc("sat.template_compiles")
+
+    def stamp(
+        self,
+        solver: Solver,
+        pi_vars: Optional[Dict[int, int]] = None,
+        force_vars: Optional[Dict[int, int]] = None,
+        group: Optional[int] = None,
+    ) -> Dict[int, int]:
+        """Copy the template into ``solver``; returns node id → solver var.
+
+        Fresh variables are bulk-allocated; each clause literal is mapped
+        by array lookup (or, with no bindings at all, by a constant
+        offset).  With ``group`` given every stamped clause joins that
+        retractable group.
+
+        When a bound variable holds a root-level constant (and no group
+        is requested), the stamp *cofactors* instead of copying: the
+        constants are propagated through the compiled clauses in template
+        space — satisfied clauses are dropped, false literals stripped,
+        template-level units are recorded without touching the solver —
+        and only the surviving cofactor is materialized.  Nodes the
+        constants decide are mapped to shared constant variables, so the
+        solver never sees the dead cone.  This is how each 2QBF CEGAR
+        refinement lands as a small cofactor rather than a full circuit
+        copy.
+        """
+        binds: Dict[int, int] = {}
+        if pi_vars:
+            for nid, var in pi_vars.items():
+                if nid not in self.pi_nodes:
+                    raise ValueError(
+                        f"pi_vars key {nid} is not a PI; use force_vars "
+                        "(its gate clauses are still emitted)"
+                    )
+                binds[self.varmap[nid]] = var
+        if force_vars:
+            for nid, var in force_vars.items():
+                binds[self.varmap[nid]] = var
+
+        glit = None
+        if group is not None:
+            if group not in solver._active_groups:
+                raise ValueError(f"group {group} is not open")
+            glit = group * 2 + 1
+
+        add = solver.add_compiled_clause
+        if not binds:
+            # pure offset: template var v becomes solver var base + v,
+            # so literal l maps to l + 2*base
+            base = solver.add_vars(self.nvars)
+            off = base << 1
+            if glit is None:
+                for clause in self.clauses:
+                    add([lit + off for lit in clause])
+            else:
+                for clause in self.clauses:
+                    add([lit + off for lit in clause] + [glit])
+            result = {nid: tv + base for nid, tv in self.varmap.items()}
+        elif glit is None and not solver._trail_lim and any(
+            solver.value(sv << 1) >= 0 for sv in binds.values()
+        ):
+            result = self._stamp_cofactor(solver, binds)
+            _OBS.inc("sat.template_stamps")
+            _OBS.inc("sat.template_clauses", len(self.clauses))
+            return result
+        else:
+            vmap = [-1] * self.nvars
+            for tv, sv in binds.items():
+                vmap[tv] = sv
+            base = solver.add_vars(self.nvars - len(binds))
+            nxt = base
+            for tv in range(self.nvars):
+                if vmap[tv] < 0:
+                    vmap[tv] = nxt
+                    nxt += 1
+            if glit is None:
+                for clause in self.clauses:
+                    add([(vmap[lit >> 1] << 1) | (lit & 1) for lit in clause])
+            else:
+                for clause in self.clauses:
+                    add(
+                        [(vmap[lit >> 1] << 1) | (lit & 1) for lit in clause]
+                        + [glit]
+                    )
+            result = {nid: vmap[tv] for nid, tv in self.varmap.items()}
+        _OBS.inc("sat.template_stamps")
+        _OBS.inc("sat.template_clauses", len(self.clauses))
+        return result
+
+    def _stamp_cofactor(
+        self, solver: Solver, binds: Dict[int, int]
+    ) -> Dict[int, int]:
+        """Stamp under constant bindings: propagate, then copy survivors.
+
+        One pass over the compiled clauses (they are in topological
+        order, so input constants cascade forward like a cofactor):
+        a clause with a true constant literal vanishes, false constant
+        literals are stripped, and a clause reduced to a unit over a
+        not-yet-materialized variable just records that variable's value
+        in template space.  Only clauses with two or more live literals
+        (or units over already-materialized variables) reach the solver,
+        and only their variables are allocated.
+        """
+        value = solver.value
+        new_var = solver.new_var
+        add = solver.add_compiled_clause
+        tvals = [-1] * self.nvars
+        vmap: List[Optional[int]] = [None] * self.nvars
+        for tv, sv in binds.items():
+            vmap[tv] = sv
+            tvals[tv] = value(sv << 1)
+        for clause in self.clauses:
+            out: List[int] = []
+            fresh: List[int] = []
+            sat = False
+            for lit in clause:
+                tv = lit >> 1
+                tval = tvals[tv]
+                if tval >= 0:
+                    if tval == 1 - (lit & 1):
+                        sat = True
+                        break
+                    continue  # false under the constants: strip
+                sv = vmap[tv]
+                if sv is None:
+                    fresh.append(lit)
+                else:
+                    out.append((sv << 1) | (lit & 1))
+            if sat:
+                continue
+            if not out and len(fresh) == 1:
+                lit = fresh[0]
+                tvals[lit >> 1] = 1 - (lit & 1)
+                continue
+            for lit in fresh:
+                sv = new_var()
+                vmap[lit >> 1] = sv
+                out.append((sv << 1) | (lit & 1))
+            add(out)
+
+        # constant-decided nodes map to shared constant variables; reuse
+        # the caller's bound constants where a polarity is available
+        consts: List[Optional[int]] = [None, None]
+        for tv, sv in binds.items():
+            tval = tvals[tv]
+            if tval >= 0 and consts[tval] is None:
+                consts[tval] = sv
+        result: Dict[int, int] = {}
+        for nid, tv in self.varmap.items():
+            sv = vmap[tv]
+            if sv is None:
+                tval = tvals[tv]
+                if tval < 0:
+                    sv = new_var()  # dead cone: free variable
+                else:
+                    sv = consts[tval]
+                    if sv is None:
+                        sv = new_var()
+                        solver.add_clause([(sv << 1) | (1 - tval)])
+                        consts[tval] = sv
+                vmap[tv] = sv
+            result[nid] = sv
+        return result

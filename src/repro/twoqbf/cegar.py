@@ -22,9 +22,8 @@ from typing import Dict, List, Optional, Sequence
 
 from .. import obs
 from ..network.network import Network
-from ..network.strash import cofactor_network
 from ..sat.solver import Solver
-from ..sat.tseitin import encode_network
+from ..sat.template import CnfTemplate
 from ..sat.types import mklit
 
 
@@ -76,14 +75,22 @@ def solve_exists_forall(
     if exists_set | forall_set != set(net.pis) or exists_set & forall_set:
         raise ValueError("exists/forall PIs must partition the network PIs")
 
+    # compile once; the verification encode and every CEGAR refinement
+    # are stamps of the same template
+    template = CnfTemplate(net)
+
     # verification solver: full circuit, all PIs free
     ver = Solver()
-    ver_vars = encode_network(ver, net)
+    ver_vars = template.stamp(ver)
     out_var = ver_vars[net.pos[0][1]]
 
-    # abstraction solver: shared variables for the existential PIs
+    # abstraction solver: shared variables for the existential PIs,
+    # plus two constant variables the refinement stamps bind the
+    # universal PIs to (units propagate at stamp time, so the constants
+    # cascade through each copy like a cofactor)
     abs_solver = Solver()
     abs_x = {pi: abs_solver.new_var() for pi in exists_pis}
+    const_vars: List[int] = []  # [false_var, true_var], created lazily
 
     result = QbfResult(is_sat=False)
     with obs.span("qbf.solve"):
@@ -110,13 +117,19 @@ def solve_exists_forall(
                 }
                 result.countermoves.append(countermove)
                 # refine: require M(X, countermove) = 1 in the abstraction
-                cof = cofactor_network(net, countermove)
-                remaining = [pi for pi in net.pis if pi not in forall_set]
-                pi_map = {}
-                for orig, new in zip(remaining, cof.pis):
-                    pi_map[new] = abs_x[orig]
-                cof_vars = encode_network(abs_solver, cof, pi_map)
-                abs_solver.add_clause([mklit(cof_vars[cof.pos[0][1]])])
+                # by stamping the template with the universal PIs bound
+                # to constants — the abstraction solver persists
+                if not const_vars:
+                    cf, ct = abs_solver.new_var(), abs_solver.new_var()
+                    abs_solver.add_clause([mklit(cf, True)])
+                    abs_solver.add_clause([mklit(ct)])
+                    const_vars.extend((cf, ct))
+                pi_bind = dict(abs_x)
+                for pi in forall_pis:
+                    pi_bind[pi] = const_vars[countermove[pi]]
+                cof_vars = template.stamp(abs_solver, pi_vars=pi_bind)
+                abs_solver.add_clause([mklit(cof_vars[net.pos[0][1]])])
+                obs.inc("qbf.refinement_stamps")
             raise QbfBudgetExceeded(
                 f"no decision after {max_iterations} CEGAR rounds"
             )

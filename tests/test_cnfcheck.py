@@ -3,8 +3,8 @@
 
 The syntactic rules CN001–CN005 are driven with handcrafted clause
 lists; the semantic cross-check rules CN006/CN007 are triggered by
-monkeypatching the encoder with deliberately broken variants (an
-over-constraining one and one that drops half of a gate's Tseitin
+monkeypatching the compiled template with deliberately broken variants
+(an over-constraining one and one that drops half of a gate's Tseitin
 equivalence).
 """
 
@@ -20,8 +20,7 @@ from repro.check import (
     cross_check_tseitin,
 )
 from repro.network import GateType, Network
-from repro.sat.simplify import ClauseCollector
-from repro.sat.tseitin import encode_network
+from repro.sat.template import CnfTemplate
 from repro.sat.types import mklit
 
 
@@ -97,37 +96,29 @@ class TestEncodingCrossCheck:
         assert check_encoding(ripple_adder(2), patterns=16) == []
 
     def test_cn006_overconstrained(self, monkeypatch):
-        real = encode_network
+        class Overconstrained(CnfTemplate):
+            # force the first PI to 0 inside the compiled template:
+            # vectors assigning it 1 become UNSAT
+            def __init__(self, net):
+                super().__init__(net)
+                self.clauses.append((mklit(self.varmap[net.pis[0]], True),))
 
-        def overconstrained(solver, net):
-            varmap = real(solver, net)
-            # force the first PI to 0: vectors assigning it 1 become UNSAT
-            solver.add_clause([mklit(varmap[net.pis[0]], True)])
-            return varmap
-
-        monkeypatch.setattr(cnfcheck_mod, "encode_network", overconstrained)
+        monkeypatch.setattr(cnfcheck_mod, "CnfTemplate", Overconstrained)
         findings = cross_check_tseitin(and_net(), patterns=16)
         assert rules_of(findings) == {"CN006"}
         assert any("over-constrained" in f.message for f in findings)
 
     def test_cn007_underconstrained(self, monkeypatch):
-        real = encode_network
+        class Underconstrained(CnfTemplate):
+            # drop the clauses carrying the PO variable's negative
+            # literal: the "output is 1 forces ..." direction disappears
+            # and the complement query becomes satisfiable
+            def __init__(self, net):
+                super().__init__(net)
+                drop = mklit(self.varmap[net.pos[0][1]], True)
+                self.clauses = [c for c in self.clauses if drop not in c]
 
-        def underconstrained(solver, net):
-            # re-encode through a collector, then drop the clauses that
-            # carry the PO variable's negative literal: the "output is 1
-            # forces ..." direction disappears and the complement query
-            # becomes satisfiable
-            collector = ClauseCollector()
-            varmap = real(collector, net)
-            drop = mklit(varmap[net.pos[0][1]], True)
-            solver.new_vars(collector.nvars)
-            for clause in collector.clause_list:
-                if drop not in clause:
-                    solver.add_clause(clause)
-            return varmap
-
-        monkeypatch.setattr(cnfcheck_mod, "encode_network", underconstrained)
+        monkeypatch.setattr(cnfcheck_mod, "CnfTemplate", Underconstrained)
         findings = cross_check_tseitin(and_net(), patterns=16)
         assert rules_of(findings) == {"CN007"}
         assert any("under-constrained" in f.message for f in findings)

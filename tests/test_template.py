@@ -1,0 +1,369 @@
+"""Tests for the incremental-reuse layer: CNF templates, retractable
+clause groups, and the parallel benchmark harness.
+
+The equivalence guarantees under test:
+
+* a :class:`CnfTemplate` stamp leaves a solver in exactly the state
+  ``encode_network`` would (variables, clauses, level-0 trail) and its
+  compiled clause list is CN-rule clean;
+* group-retracted solvers answer enumeration queries identically to
+  fresh solvers (the onset blocking clauses really are retracted);
+* the engine and the 2QBF CEGAR loop reuse solvers instead of
+  rebuilding them, observable through ``repro.obs`` counters;
+* ``run_suite(jobs=N)`` reproduces sequential results and degrades
+  gracefully on per-unit timeouts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.benchgen import build_unit, random_dag, run_suite, unit_spec
+from repro.check.cnfcheck import check_cnf
+from repro.check.findings import Severity
+from repro.core.engine import EcoEngine, contest_config
+from repro.core.patchfunc import enumerate_patch_sop
+from repro.network import GateType, Network
+from repro.sat import CnfTemplate, Solver, encode_network, mklit
+from repro.twoqbf import solve_exists_forall
+
+
+def solver_state(s):
+    """Canonical (nvars, level-0 trail, clause multiset) of a solver."""
+    return (
+        s.nvars,
+        sorted(s._trail),
+        sorted(tuple(sorted(c.lits)) for c in s._clauses),
+    )
+
+
+def sop_key(sop):
+    """Order-independent cube-set key of an SOP."""
+    return {frozenset(cube.literals().items()) for cube in sop.cubes}
+
+
+@pytest.fixture
+def registry():
+    """The process registry, reset + enabled for one test."""
+    reg = obs.get_registry()
+    was_enabled = reg.enabled
+    reg.reset()
+    reg.enable()
+    yield reg
+    reg.enabled = was_enabled
+    reg.reset()
+
+
+class TestTemplateEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_gates=st.integers(min_value=5, max_value=80),
+    )
+    def test_stamp_matches_encode_network(self, seed, n_gates):
+        net = random_dag(6, n_gates, 3, seed=seed)
+        s1 = Solver()
+        m1 = encode_network(s1, net)
+        s2 = Solver()
+        m2 = CnfTemplate(net).stamp(s2)
+        assert m1 == m2
+        assert solver_state(s1) == solver_state(s2)
+
+    @pytest.mark.parametrize("unit", ["unit1", "unit4", "unit7", "unit8"])
+    def test_stamp_matches_encode_on_suite_units(self, unit):
+        inst = build_unit(unit_spec(unit))
+        for net in (inst.impl, inst.spec):
+            s1 = Solver()
+            m1 = encode_network(s1, net)
+            s2 = Solver()
+            m2 = CnfTemplate(net).stamp(s2)
+            assert m1 == m2
+            assert solver_state(s1) == solver_state(s2)
+
+    @pytest.mark.parametrize("unit", ["unit1", "unit4", "unit8", "unit13"])
+    def test_compiled_clauses_are_cn_clean(self, unit):
+        inst = build_unit(unit_spec(unit))
+        for net in (inst.impl, inst.spec):
+            template = CnfTemplate(net)
+            findings = check_cnf(template.clauses, template.nvars)
+            assert [f for f in findings if f.severity is Severity.ERROR] == []
+
+    def test_two_stamps_match_two_encodes(self):
+        net = random_dag(5, 30, 2, seed=9)
+        s1 = Solver()
+        encode_network(s1, net)
+        encode_network(s1, net)
+        s2 = Solver()
+        template = CnfTemplate(net)
+        template.stamp(s2)
+        template.stamp(s2)
+        assert solver_state(s1) == solver_state(s2)
+
+    def test_pi_binding_matches_encode_network(self):
+        net = random_dag(4, 20, 2, seed=3)
+        s1 = Solver()
+        shared1 = {pi: s1.new_var() for pi in net.pis}
+        m1 = encode_network(s1, net, pi_vars=shared1)
+        s2 = Solver()
+        shared2 = {pi: s2.new_var() for pi in net.pis}
+        m2 = CnfTemplate(net).stamp(s2, pi_vars=shared2)
+        assert shared1 == shared2  # same allocation order
+        assert m1 == m2
+        assert solver_state(s1) == solver_state(s2)
+
+    def test_pi_vars_rejects_internal_nodes(self):
+        net = Network("n")
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        v = net.add_gate(GateType.AND, [a, b])
+        net.add_po(v, "f")
+        template = CnfTemplate(net)
+        s = Solver()
+        with pytest.raises(ValueError, match="not a PI"):
+            template.stamp(s, pi_vars={v: s.new_var()})
+
+    def test_force_vars_binds_internal_node(self):
+        net = Network("n")
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        v = net.add_gate(GateType.AND, [a, b])
+        net.add_po(v, "f")
+        s = Solver()
+        out = s.new_var()
+        varmap = CnfTemplate(net).stamp(s, force_vars={v: out})
+        assert varmap[v] == out
+        # the gate clauses must still constrain the bound variable
+        assert s.solve([mklit(varmap[a]), mklit(varmap[b]), mklit(out, True)]) is False
+        assert s.solve([mklit(varmap[a]), mklit(varmap[b]), mklit(out)]) is True
+
+    def test_constant_binding_cascades_units(self):
+        # f = a & b with both PIs bound to constant-true: unit
+        # propagation at stamp time must force the output variable
+        net = Network("n")
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        v = net.add_gate(GateType.AND, [a, b])
+        net.add_po(v, "f")
+        s = Solver()
+        ct = s.new_var()
+        s.add_clause([mklit(ct)])
+        varmap = CnfTemplate(net).stamp(s, pi_vars={a: ct, b: ct})
+        assert s.value(mklit(varmap[v])) == 1
+
+    def test_counters(self, registry):
+        net = random_dag(4, 15, 2, seed=1)
+        template = CnfTemplate(net)
+        s = Solver()
+        template.stamp(s)
+        template.stamp(s)
+        assert registry.counters["sat.template_compiles"] == 1
+        assert registry.counters["sat.template_stamps"] == 2
+        assert registry.counters["sat.template_clauses"] == 2 * len(
+            template.clauses
+        )
+
+
+class TestSolverGroups:
+    def test_bulk_new_vars_matches_one_at_a_time(self):
+        s1 = Solver()
+        vs1 = [s1.new_var() for _ in range(7)]
+        s2 = Solver()
+        vs2 = s2.new_vars(7)
+        assert vs1 == vs2
+        assert s1.nvars == s2.nvars
+        assert len(s1._watches) == len(s2._watches)
+        assert s1._assigns == s2._assigns
+
+    def test_add_vars_returns_base(self):
+        s = Solver()
+        s.new_var()
+        base = s.add_vars(3)
+        assert base == 1
+        assert s.nvars == 4
+        assert s.add_vars(0) == 4
+
+    def test_group_clause_active_while_open(self):
+        s = Solver()
+        v = s.new_var()
+        g = s.new_group()
+        s.add_clause([mklit(v)], group=g)
+        assert s.solve([mklit(v, True)]) is False
+        # activation literals never leak into the caller's core
+        assert s.core <= {mklit(v, True)}
+        s.release_group(g)
+        assert s.solve([mklit(v, True)]) is True
+
+    def test_release_group_twice_raises(self):
+        s = Solver()
+        g = s.new_group()
+        s.release_group(g)
+        with pytest.raises(ValueError, match="not open"):
+            s.release_group(g)
+
+    def test_add_clause_to_closed_group_raises(self):
+        s = Solver()
+        v = s.new_var()
+        g = s.new_group()
+        s.release_group(g)
+        with pytest.raises(ValueError, match="not open"):
+            s.add_clause([mklit(v)], group=g)
+
+    def test_two_groups_are_independent(self):
+        s = Solver()
+        a, b = s.new_vars(2)
+        g1 = s.new_group()
+        g2 = s.new_group()
+        s.add_clause([mklit(a)], group=g1)
+        s.add_clause([mklit(b)], group=g2)
+        assert s.solve([mklit(a, True)]) is False
+        s.release_group(g1)
+        assert s.solve([mklit(a, True)]) is True
+        assert s.solve([mklit(b, True)]) is False
+        s.release_group(g2)
+        assert s.solve([mklit(b, True)]) is True
+
+    def test_group_counters(self, registry):
+        s = Solver()
+        g = s.new_group()
+        s.release_group(g)
+        assert registry.counters["sat.groups_opened"] == 1
+        assert registry.counters["sat.groups_released"] == 1
+
+
+class TestGroupedEnumerationEquivalence:
+    """Onset/offset enumeration on one group-managed solver must match
+    fresh-solver enumeration (the ISSUE's retraction soundness check)."""
+
+    @pytest.mark.parametrize("seed", [2, 7, 19])
+    def test_shared_solver_matches_fresh_solvers(self, seed):
+        net = random_dag(4, 14, 1, seed=seed)
+        po_node = net.pos[0][1]
+        template = CnfTemplate(net)
+
+        def enumerate_fresh(onset_sign):
+            s = Solver()
+            varmap = template.stamp(s)
+            po = varmap[po_node]
+            return enumerate_patch_sop(
+                s,
+                onset_base=[mklit(po, not onset_sign)],
+                offset_base=[mklit(po, onset_sign)],
+                divisor_vars=[varmap[pi] for pi in net.pis],
+                blocking_extra=[],
+                mode="minassump",
+            )
+
+        onset_fresh = enumerate_fresh(True)
+        offset_fresh = enumerate_fresh(False)
+
+        shared = Solver()
+        varmap = template.stamp(shared)
+        po = varmap[po_node]
+        divisor_vars = [varmap[pi] for pi in net.pis]
+        g1 = shared.new_group()
+        onset_shared = enumerate_patch_sop(
+            shared,
+            onset_base=[mklit(po)],
+            offset_base=[mklit(po, True)],
+            divisor_vars=divisor_vars,
+            blocking_extra=[],
+            mode="minassump",
+            blocking_group=g1,
+        )
+        shared.release_group(g1)
+        g2 = shared.new_group()
+        offset_shared = enumerate_patch_sop(
+            shared,
+            onset_base=[mklit(po, True)],
+            offset_base=[mklit(po)],
+            divisor_vars=divisor_vars,
+            blocking_extra=[],
+            mode="minassump",
+            blocking_group=g2,
+        )
+        shared.release_group(g2)
+
+        assert sop_key(onset_shared) == sop_key(onset_fresh)
+        assert sop_key(offset_shared) == sop_key(offset_fresh)
+
+
+class TestEngineReuse:
+    def test_engine_reuses_support_solver(self, registry):
+        inst = build_unit(unit_spec("unit4"))
+        result = EcoEngine(contest_config()).run(inst)
+        assert result.verified
+        assert result.method == "sat"
+        counters = registry.counters
+        # the quantified miter is compiled once and stamped twice per
+        # target (expression (2)); the patch function reuses that solver
+        assert counters["sat.template_compiles"] >= 1
+        assert counters["sat.template_stamps"] >= 2
+        assert counters["engine.patch_solver_reuse"] >= 1
+        assert counters["sat.groups_opened"] >= 1
+        assert counters["sat.groups_opened"] == counters["sat.groups_released"]
+
+
+class TestQbfReuse:
+    def test_refinement_stamps_into_persistent_solver(self, registry):
+        # ∃x ∀y. (x | y): the first candidate (x=0) is refuted by y=0,
+        # so at least one refinement stamp lands in the abstraction
+        net = Network("qbf")
+        x = net.add_pi("x")
+        y = net.add_pi("y")
+        v = net.add_gate(GateType.OR, [x, y])
+        net.add_po(v, "f")
+        result = solve_exists_forall(net, exists_pis=[x], forall_pis=[y])
+        assert result.is_sat
+        assert result.witness == {x: 1}
+        assert registry.counters["qbf.refinement_stamps"] >= 1
+        assert registry.counters["sat.template_compiles"] >= 1
+
+    def test_unsat_instance_still_terminates(self, registry):
+        # ∃x ∀y. (x & y) is false: y=0 refutes every candidate
+        net = Network("qbf")
+        x = net.add_pi("x")
+        y = net.add_pi("y")
+        v = net.add_gate(GateType.AND, [x, y])
+        net.add_po(v, "f")
+        result = solve_exists_forall(net, exists_pis=[x], forall_pis=[y])
+        assert result.is_sat is False
+        assert result.countermoves
+        assert registry.counters["qbf.refinement_stamps"] >= 1
+
+
+class TestParallelHarness:
+    def test_parallel_rows_match_sequential(self):
+        names = ["unit1", "unit4"]
+        seq = run_suite(names=names, methods=["minassump"])
+        par = run_suite(names=names, methods=["minassump"], jobs=2)
+        assert [r.name for r in par] == [r.name for r in seq]
+        for s, p in zip(seq, par):
+            assert p.results["minassump"].cost == s.results["minassump"].cost
+            assert (
+                p.results["minassump"].gate_count
+                == s.results["minassump"].gate_count
+            )
+            assert p.results["minassump"].verified
+
+    def test_timeout_degrades_to_placeholder_row(self):
+        rows = run_suite(
+            names=["unit1"],
+            methods=["minassump"],
+            jobs=1,
+            unit_timeout=1e-6,
+            collect_telemetry=True,
+        )
+        assert len(rows) == 1
+        res = rows[0].results["minassump"]
+        assert res.method == "timeout"
+        assert res.verified is False
+        assert res.cost == 0
+        entry = rows[0].telemetry["minassump"]
+        assert entry["counters"] == {"harness.unit_timeout": 1}
+        assert entry["solver"]["solves"] == 0
+
+    def test_suite_order_is_preserved(self):
+        names = ["unit1", "unit4", "unit13"]
+        rows = run_suite(names=names, methods=["minassump"], jobs=3)
+        assert [r.name for r in rows] == names
