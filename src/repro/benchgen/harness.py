@@ -127,9 +127,11 @@ def unit_telemetry(
     registry: "obs.Registry",
 ) -> Dict[str, Any]:
     """One bench-baseline unit entry from a run's registry contents."""
+    from ..core.pipeline import STAGE_NAMES
     from ..obs.export import SOLVER_COUNTER_FIELDS
 
     counters = dict(registry.counters)
+    phases = {k: round(v, 6) for k, v in registry.phase_times().items()}
     return {
         "unit": unit,
         "method": method,
@@ -137,7 +139,12 @@ def unit_telemetry(
         "gates": result.gate_count,
         "runtime_s": round(result.runtime_seconds, 6),
         "verified": result.verified,
-        "phases": {k: round(v, 6) for k, v in registry.phase_times().items()},
+        "phases": phases,
+        "passes": {
+            name: phases["engine." + name]
+            for name in STAGE_NAMES
+            if "engine." + name in phases
+        },
         "counters": counters,
         "solver": {
             fld: counters.get("sat." + fld, 0) for fld in SOLVER_COUNTER_FIELDS
@@ -281,6 +288,7 @@ def _degraded_row(
                 "runtime_s": float(runtime_s),
                 "verified": False,
                 "phases": {},
+                "passes": {},
                 "counters": {f"harness.unit_{kind}": 1},
                 "solver": {fld: 0 for fld in SOLVER_COUNTER_FIELDS},
             }

@@ -104,6 +104,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="Table 1 method column (default: minassump)",
     )
     p.add_argument(
+        "--passes",
+        help=(
+            "pass-selection spec over the method's pipeline: "
+            "comma-separated stage names keep only those optional "
+            "stages, '-name' drops a stage (use the '=' form for "
+            "leading dashes, e.g. --passes=-cegar_min, or "
+            "'feasibility,sat_flow,support,patch_function,verify'); "
+            "see docs/PIPELINE.md for the stage catalogue"
+        ),
+    )
+    p.add_argument(
         "--trace",
         action="store_true",
         help="print the wall-clock span tree after the run",
@@ -256,7 +267,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     registry.reset()
     registry.enable()
     try:
-        result = EcoEngine(cfg).run(instance)
+        result = EcoEngine(cfg, passes=args.passes).run(instance)
     finally:
         registry.disable()
 

@@ -8,7 +8,23 @@ from .engine import (
     EcoEngineError,
     baseline_config,
     best_config,
+    build_pipeline,
     contest_config,
+    pipeline_stages,
+)
+from .pipeline import (
+    STAGE_NAMES,
+    ConflictBudget,
+    EcoContext,
+    EngineStats,
+    Pass,
+    PassManager,
+    PassOutcome,
+    PassSelection,
+    Pipeline,
+    SatContext,
+    TargetState,
+    parse_pass_selection,
 )
 from .feasibility import EcoInfeasibleError, FeasibilityResult, check_feasibility
 from .interp import (
@@ -55,13 +71,16 @@ __all__ = [
     "AssumptionMinimizer",
     "CecResult",
     "CegarMinResult",
+    "ConflictBudget",
     "DivisorSet",
     "EcoConfig",
+    "EcoContext",
     "EcoEngine",
     "EcoEngineError",
     "EcoInfeasibleError",
     "EcoMiter",
     "EcoResult",
+    "EngineStats",
     "EnumerationStats",
     "Equivalence",
     "FeasibilityResult",
@@ -69,20 +88,29 @@ __all__ = [
     "InterpolationPatchResult",
     "LocalizationResult",
     "MITER_PO",
+    "Pass",
+    "PassManager",
+    "PassOutcome",
+    "PassSelection",
     "Patch",
     "PatchEnumerationError",
+    "Pipeline",
     "QMITER_PO",
     "QuantifiedMiter",
     "ResubResult",
+    "STAGE_NAMES",
+    "SatContext",
     "SatPruneStats",
     "StructuralPatchInfo",
     "SupportStats",
+    "TargetState",
     "analyze_final_core",
     "apply_patch",
     "apply_patches",
     "baseline_config",
     "best_config",
     "build_miter",
+    "build_pipeline",
     "build_quantified_miter",
     "cec",
     "cegar_min",
@@ -98,6 +126,8 @@ __all__ = [
     "rank_single_fix_candidates",
     "minimize_assumptions",
     "minimize_linear",
+    "parse_pass_selection",
+    "pipeline_stages",
     "resubstitute",
     "sat_prune",
     "structural_patch_single",

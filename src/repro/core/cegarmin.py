@@ -12,7 +12,7 @@ discarded.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from .. import obs
 from ..flow.maxflow import min_node_cut
@@ -22,6 +22,11 @@ from ..network.simulate import Simulator
 from ..sat.solver import SatBudgetExceeded, Solver
 from ..sat.template import CnfTemplate
 from ..sat.types import mklit
+from .patch import Patch
+from .pipeline import Pass, PassOutcome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pipeline import EcoContext
 
 
 @dataclass
@@ -266,3 +271,46 @@ def _rebuild_above_cut(
         mapping[po_node] = leaf(po_node)
     out.add_po(mapping[po_node], po_name)
     return out
+
+
+class CegarMinPass(Pass):
+    """Max-flow re-support of the current structural patch (§3.6.3).
+
+    Degrades gracefully under an exhausted run budget: unconfirmable
+    equivalences are simply not used, and the unimproved patch is kept
+    whenever the cut does not beat it on (cost, gate count).
+    """
+
+    name = "cegar_min"
+    optional = True
+
+    def run(self, ctx: "EcoContext") -> PassOutcome:
+        cfg = ctx.config
+        tgt = ctx.target
+        assert tgt is not None and tgt.patch is not None
+        patch = tgt.patch
+        divisors = ctx.divisors
+        with ctx.budget.metered() as cap:
+            result = cegar_min(
+                ctx.current,
+                patch.network,
+                candidate_ids=divisors.ids,
+                weight_of=divisors.cost,
+                sim_patterns=cfg.sim_patterns,
+                seed=cfg.seed,
+                budget_conflicts=cap,
+            )
+        ctx.stats.bump("cegarmin_sat_calls", result.sat_calls)
+        if result.cost < patch.cost or (
+            result.cost == patch.cost and result.gate_count < patch.gate_count
+        ):
+            tgt.patch = Patch(
+                target=patch.target,
+                network=result.network,
+                support=result.support,
+                cost=result.cost,
+                gate_count=result.gate_count,
+                method="cegar_min",
+            )
+            return PassOutcome(detail=f"cost {patch.cost} -> {result.cost}")
+        return PassOutcome(detail="kept original")

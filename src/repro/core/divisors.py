@@ -10,11 +10,15 @@ the step is feasible (Section 2.5.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..network.network import Network
 from ..network.traversal import levels
-from ..network.window import Window
+from ..network.window import Window, compute_window
+from .pipeline import Pass, PassOutcome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pipeline import EcoContext
 
 
 @dataclass
@@ -77,3 +81,34 @@ def collect_divisors(
         internal = internal[:max_divisors]
     ids = sorted(pis + internal, key=order_key)
     return DivisorSet(ids=ids, cost=cost, names=names)
+
+
+class WindowPass(Pass):
+    """Structural pruning window over the targets' fanout (Section 3.3)."""
+
+    name = "window"
+
+    def run(self, ctx: "EcoContext") -> PassOutcome:
+        ctx.target_ids = [
+            ctx.base_impl.node_by_name(t) for t in ctx.instance.targets
+        ]
+        ctx.window = compute_window(ctx.base_impl, ctx.spec, ctx.target_ids)
+        ctx.stats.window_pos = len(ctx.window.po_indices)
+        return PassOutcome(detail=f"{len(ctx.window.po_indices)} POs")
+
+
+class DivisorsPass(Pass):
+    """Cost-annotated candidate-divisor collection (Sections 3.3, 2.5.2)."""
+
+    name = "divisors"
+
+    def run(self, ctx: "EcoContext") -> PassOutcome:
+        ctx.divisors = collect_divisors(
+            ctx.base_impl,
+            ctx.window,
+            ctx.instance.weights,
+            ctx.instance.default_weight,
+            ctx.config.max_divisors,
+        )
+        ctx.stats.divisor_candidates = len(ctx.divisors.ids)
+        return PassOutcome(detail=f"{len(ctx.divisors.ids)} candidates")

@@ -1,53 +1,60 @@
-"""The top-level ECO engine (paper Figure 2).
+"""Engine configuration and pipeline assembly (paper Figure 2).
 
-``EcoEngine`` orchestrates the full flow: target-sufficiency check,
-structural pruning, the per-target loop (quantify the remaining targets,
-compute a minimal-cost support, enumerate the patch function, splice it
-in), the structural fallback with optional ``CEGAR_min``, and the final
-equivalence check.
+The flow itself lives in :mod:`repro.core.pipeline` (the framework) and
+in the phase modules (the pass bodies: ``FeasibilityPass`` in
+:mod:`repro.core.feasibility`, ``SupportPass`` in
+:mod:`repro.core.support`, ...).  This module owns what remains:
 
-Three preset configurations reproduce the three method columns of
-Table 1: :func:`baseline_config` (``analyze_final`` cores, no
-Algorithm 1), :func:`contest_config` (``minimize_assumptions`` — the
-contest-winning setup), and :func:`best_config`
-(``SAT_prune`` + ``CEGAR_min``).
+* :class:`EcoConfig` — the knobs, with the three Table 1 presets
+  :func:`baseline_config`, :func:`contest_config`, :func:`best_config`;
+* :func:`pipeline_stages` / :func:`build_pipeline` — the declarative
+  mapping from a configuration (plus an optional ``--passes``
+  selection) to the pass list the :class:`~repro.core.pipeline.PassManager`
+  executes;
+* :class:`EcoEngine` — the thin entry point: build an
+  :class:`~repro.core.pipeline.EcoContext`, run the pipeline.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Optional, Tuple, Union
 
 from .. import obs
 from ..io.weights import EcoInstance
-from ..network.network import Network
-from ..network.window import Window, compute_window
-from ..sat.solver import SatBudgetExceeded, Solver
-from ..sat.template import CnfTemplate
-from ..sat.tseitin import add_equality
-from ..sat.types import mklit
-from ..sop.sop import Sop
-from ..sop.synth import sop_to_network
-from .cegarmin import cegar_min
-from .divisors import DivisorSet, collect_divisors
-from .feasibility import EcoInfeasibleError, check_feasibility
-from .miter import build_miter
-from .patch import EcoResult, Patch, apply_patch
-from .patchfunc import (
-    EnumerationStats,
-    PatchEnumerationError,
-    enumerate_patch_sop,
+from .cegarmin import CegarMinPass
+from .divisors import DivisorsPass, WindowPass
+from .feasibility import FeasibilityPass
+from .patch import EcoResult
+from .patchfunc import PatchFunctionPass
+from .pipeline import (
+    ConflictBudget,
+    EcoContext,
+    EcoEngineError,
+    EngineStats,
+    PassManager,
+    PassSelection,
+    Pipeline,
+    SatFlowStrategy,
+    parse_pass_selection,
 )
-from .quantify import QMITER_PO, build_quantified_miter
-from .satprune import SatPruneStats, sat_prune
-from .structural import certificate_patches, structural_patch_single
-from .support import AssumptionMinimizer, SupportStats, last_gasp_improvement
-from .verify import cec
+from .resub import ResubPass
+from .satprune import SatPrunePass
+from .structural import CertificateStrategy, StructuralFallbackStrategy
+from .support import SupportPass
+from .verify import CertificateCheckPass, VerifyPass
 
-
-class EcoEngineError(Exception):
-    """Raised when no patch could be produced within the configuration."""
+__all__ = [
+    "EcoConfig",
+    "EcoEngine",
+    "EcoEngineError",
+    "baseline_config",
+    "best_config",
+    "build_pipeline",
+    "contest_config",
+    "pipeline_stages",
+]
 
 
 @dataclass
@@ -68,7 +75,14 @@ class EcoConfig:
             exhaustively (2^k cofactor copies); beyond it the expansion
             uses the QBF countermoves.
         max_divisors: cap on internal divisor candidates.
-        budget_conflicts: per-SAT-call conflict budget (None = no limit).
+        budget_conflicts: *run-level* SAT conflict budget (None = no
+            limit).  Charged once per conflict across the whole run via
+            :class:`~repro.core.pipeline.ConflictBudget`; exhaustion
+            makes the current strategy fall back to the next one in the
+            chain instead of erroring the run.
+        budget_seconds: optional wall-clock deadline for the run; past
+            it, optional improvement passes are skipped and the SAT flow
+            yields to the structural fallback.
         max_cubes: cube-enumeration cap per patch.
         sim_patterns: simulation width for CEGAR_min filtering.
         verify: run the final CEC.
@@ -93,6 +107,7 @@ class EcoConfig:
     max_expansion_targets: int = 6
     max_divisors: Optional[int] = 96
     budget_conflicts: Optional[int] = 200000
+    budget_seconds: Optional[float] = None
     max_cubes: int = 2000
     sim_patterns: int = 256
     verify: bool = True
@@ -132,30 +147,135 @@ def best_config() -> EcoConfig:
     )
 
 
-@dataclass
-class _SatContext:
-    """Shared incremental-SAT state for one target iteration.
+# ---------------------------------------------------------------------------
+# declarative assembly
+# ---------------------------------------------------------------------------
 
-    One solver holds two template stamps of the quantified miter; the
-    support computation and the patch-function enumeration both run on
-    it.  Reuse is sound because every support-phase constraint is
-    assumption-scoped (base literals and selector-guarded equalities)
-    and enumeration blocking clauses live in retractable groups.
+
+def pipeline_stages(cfg: EcoConfig) -> Tuple[str, ...]:
+    """The stage names a configuration maps to, in execution order.
+
+    This is the declarative form of the pipeline: the three Table 1
+    presets differ only in this list (plus per-pass knobs).  ``--passes``
+    selections filter it (see
+    :func:`repro.core.pipeline.parse_pass_selection`).
     """
+    stages = ["window", "divisors", "feasibility"]
+    if not cfg.structural_only:
+        stages.append("sat_flow")
+        stages.append("support")
+        if cfg.support_method == "satprune":
+            stages.append("satprune")
+        stages.append("patch_function")
+    stages.append("certificate")
+    stages.append("structural")
+    if cfg.use_resub:
+        stages.append("resub")
+    if cfg.use_cegar_min:
+        stages.append("cegar_min")
+    if cfg.verify:
+        stages.append("verify")
+    if cfg.verify_certificates:
+        stages.append("certificate_check")
+    return tuple(stages)
 
-    solver: Solver
-    template: CnfTemplate
-    vars1: Dict[int, int]
-    vars2: Dict[int, int]
+
+_PASS_FACTORY = {
+    "window": WindowPass,
+    "divisors": DivisorsPass,
+    "feasibility": FeasibilityPass,
+    "support": SupportPass,
+    "satprune": SatPrunePass,
+    "patch_function": PatchFunctionPass,
+    "resub": ResubPass,
+    "cegar_min": CegarMinPass,
+    "verify": VerifyPass,
+    "certificate_check": CertificateCheckPass,
+}
+
+
+def build_pipeline(
+    cfg: EcoConfig, selection: Optional[PassSelection] = None
+) -> Pipeline:
+    """Assemble the executable :class:`Pipeline` for a configuration.
+
+    The fallback chain is ``sat_flow → certificate → structural``: the
+    certificate construction (§3.6.2) is preferred over the sequential
+    cofactor fallback whenever QBF countermoves are available (it is the
+    construction the paper's multi-target structural results use), and
+    is gated by ``applicable`` to multi-target instances that have them.
+    """
+    stages = pipeline_stages(cfg)
+    if selection is not None:
+        stages = tuple(selection.apply(stages))
+    chosen = set(stages)
+
+    # the SAT flow needs both of its per-target stages
+    sat_flow_ok = (
+        "sat_flow" in chosen
+        and "support" in chosen
+        and "patch_function" in chosen
+    )
+
+    prologue = [_PASS_FACTORY[n]() for n in stages if n in
+                ("window", "divisors", "feasibility")]
+
+    target_passes = []
+    if sat_flow_ok:
+        target_passes.append(SupportPass())
+        if "satprune" in chosen:
+            target_passes.append(SatPrunePass())
+        target_passes.append(PatchFunctionPass())
+
+    finish_passes = []
+    if "resub" in chosen:
+        finish_passes.append(ResubPass())
+    if "cegar_min" in chosen:
+        finish_passes.append(CegarMinPass())
+
+    strategies = []
+    if sat_flow_ok:
+        strategies.append(SatFlowStrategy(target_passes))
+    if "certificate" in chosen:
+        strategies.append(CertificateStrategy(finish_passes))
+    if "structural" in chosen:
+        strategies.append(StructuralFallbackStrategy(finish_passes))
+
+    epilogue = [VerifyPass()] if "verify" in chosen else []
+    finalizers = (
+        [CertificateCheckPass()] if "certificate_check" in chosen else []
+    )
+    return Pipeline(
+        prologue=prologue,
+        strategies=strategies,
+        epilogue=epilogue,
+        finalizers=finalizers,
+    )
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
 
 
 class EcoEngine:
-    """Runs the complete ECO flow for an :class:`EcoInstance`."""
+    """Runs the complete ECO flow for an :class:`EcoInstance`.
 
-    def __init__(self, config: Optional[EcoConfig] = None) -> None:
+    ``passes`` optionally overrides the configuration-derived pipeline:
+    a :class:`PassSelection` or a ``--passes`` spec string (e.g.
+    ``"-cegar_min"`` to drop a stage, ``"feasibility,sat_flow,support,
+    patch_function"`` to keep only those stages).
+    """
+
+    def __init__(
+        self,
+        config: Optional[EcoConfig] = None,
+        passes: Union[None, str, PassSelection] = None,
+    ) -> None:
         self.config = config or EcoConfig()
-
-    # ------------------------------------------------------------------
+        if isinstance(passes, str):
+            passes = parse_pass_selection(passes)
+        self.selection = passes
 
     def run(self, instance: EcoInstance) -> EcoResult:
         """Compute, insert, and verify patches for every target.
@@ -166,603 +286,21 @@ class EcoEngine:
         """
         cfg = self.config
         t_start = time.perf_counter()
-        stats: Dict[str, Union[int, float]] = {}
+        pipeline = build_pipeline(cfg, self.selection)
+        ctx = EcoContext(
+            instance=instance,
+            config=cfg,
+            stats=EngineStats(),
+            budget=ConflictBudget(cfg.budget_conflicts),
+            t_start=t_start,
+            base_impl=instance.impl.clone(),
+            spec=instance.spec,
+            deadline=(
+                t_start + cfg.budget_seconds
+                if cfg.budget_seconds is not None
+                else None
+            ),
+        )
         obs.inc("engine.runs")
         with obs.span("engine.run", unit=instance.name):
-            return self._run_phases(instance, cfg, stats, t_start)
-
-    def _run_phases(
-        self,
-        instance: EcoInstance,
-        cfg: "EcoConfig",
-        stats: Dict[str, Union[int, float]],
-        t_start: float,
-    ) -> EcoResult:
-        base_impl = instance.impl.clone()
-        spec = instance.spec
-        target_ids = [base_impl.node_by_name(t) for t in instance.targets]
-        with obs.span("engine.window"):
-            window = compute_window(base_impl, spec, target_ids)
-        with obs.span("engine.divisors"):
-            divisors = collect_divisors(
-                base_impl,
-                window,
-                instance.weights,
-                instance.default_weight,
-                cfg.max_divisors,
-            )
-        stats["window_pos"] = len(window.po_indices)
-        stats["divisor_candidates"] = len(divisors.ids)
-        obs.annotate("window_pos", len(window.po_indices))
-        obs.annotate("divisor_candidates", len(divisors.ids))
-
-        # --- Section 3.2: are the targets sufficient? -------------------
-        # outputs outside the window cannot be influenced by any patch,
-        # so they must already match — otherwise no target set suffices
-        with obs.span("engine.feasibility"):
-            non_window = [
-                i
-                for i in range(base_impl.num_pos)
-                if i not in set(window.po_indices)
-            ]
-            if non_window:
-                outside = cec(
-                    base_impl,
-                    spec,
-                    budget_conflicts=cfg.budget_conflicts,
-                    po_indices=non_window,
-                )
-                if outside.equivalent is False:
-                    raise EcoInfeasibleError(
-                        f"{instance.name}: outputs outside the targets' fanout "
-                        f"already differ (cex={outside.counterexample})"
-                    )
-            miter0 = build_miter(base_impl, spec, target_ids, window.po_indices)
-            feas = check_feasibility(
-                miter0,
-                method=cfg.feasibility_method,
-                budget_conflicts=cfg.budget_conflicts,
-                max_expansion_targets=cfg.max_expansion_targets,
-            )
-        if feas.feasible is False:
-            raise EcoInfeasibleError(
-                f"{instance.name}: targets cannot rectify the implementation"
-            )
-        stats["feasibility_copies"] = feas.copies
-        if feas.feasible is None:
-            # budget ran out: assume feasibility and go structural (§3.2)
-            stats["feasibility_unknown"] = (
-                stats.get("feasibility_unknown", 0) + 1
-            )
-            obs.inc("engine.feasibility_unknown")
-        countermoves_by_name = [
-            {
-                instance.targets[i]: move.get(pi, 0)
-                for i, pi in enumerate(miter0.target_pis)
-            }
-            for move in feas.countermoves
-        ]
-
-        patches: Optional[List[Patch]] = None
-        method = "sat"
-        patched: Optional[Network] = None
-        if not cfg.structural_only and feas.feasible:
-            try:
-                with obs.span("engine.sat_flow"):
-                    patched, patches = self._sat_flow(
-                        instance, spec, window, divisors, countermoves_by_name, stats
-                    )
-            except (SatBudgetExceeded, PatchEnumerationError, EcoEngineError) as exc:
-                # increment, never assign: a run can fall back repeatedly
-                # (e.g. per-target retries) and every event must be kept
-                stats["sat_flow_fallback"] = stats.get("sat_flow_fallback", 0) + 1
-                reason_key = "fallback_reason_" + type(exc).__name__
-                stats[reason_key] = stats.get(reason_key, 0) + 1
-                obs.inc("engine.sat_flow_fallback")
-                obs.inc("engine.fallback." + type(exc).__name__)
-                patches = None
-        if patches is None:
-            method = "structural"
-            with obs.span("engine.structural"):
-                patched, patches = self._structural_flow(
-                    instance, spec, window, divisors, countermoves_by_name, stats
-                )
-            if cfg.use_cegar_min:
-                method = "structural+cegar_min"
-
-        assert patched is not None
-        verified = True
-        if cfg.verify:
-            with obs.span("engine.verify"):
-                result = cec(patched, spec, budget_conflicts=None)
-            verified = bool(result.equivalent)
-            if not verified:
-                raise EcoEngineError(
-                    f"{instance.name}: patched implementation is not "
-                    f"equivalent to the specification (cex={result.counterexample})"
-                )
-
-        support_names = sorted(
-            {name for p in patches for name in p.support}
-        )
-        total_cost = sum(
-            instance.weights.get(n, instance.default_weight)
-            for n in support_names
-        )
-        total_gates = sum(p.gate_count for p in patches)
-        result = EcoResult(
-            instance_name=instance.name,
-            patches=patches,
-            cost=total_cost,
-            gate_count=total_gates,
-            verified=verified,
-            runtime_seconds=time.perf_counter() - t_start,
-            method=method,
-            stats=stats,
-        )
-        if cfg.verify_certificates:
-            # deferred import: repro.check imports from repro.core
-            from ..check.certificate import CertificateError, certify
-
-            try:
-                certify(instance, result)
-            except CertificateError as exc:
-                raise EcoEngineError(str(exc)) from exc
-            stats["certificate_checked"] = 1
-        return result
-
-    # ------------------------------------------------------------------
-    # SAT-based flow: one target at a time (Sections 3.1, 3.4, 3.5)
-    # ------------------------------------------------------------------
-
-    def _sat_flow(
-        self,
-        instance: EcoInstance,
-        spec: Network,
-        window: Window,
-        divisors: DivisorSet,
-        countermoves: List[Dict[str, int]],
-        stats: Dict[str, float],
-    ) -> Tuple[Network, List[Patch]]:
-        cfg = self.config
-        current = instance.impl.clone()
-        patches: List[Patch] = []
-        copies_total = 0
-        used_names: set = set()
-        for idx, tname in enumerate(instance.targets):
-            remaining = instance.targets[idx:]
-            remaining_ids = [current.node_by_name(t) for t in remaining]
-            miter = build_miter(current, spec, remaining_ids, window.po_indices)
-            current_pi = miter.target_pis[0]
-            others = miter.target_pis[1:]
-            assignments = None
-            if len(others) > cfg.max_expansion_targets:
-                assignments = _project_countermoves(
-                    countermoves, remaining[1:], others
-                )
-                if not assignments:
-                    raise EcoEngineError(
-                        "too many targets for expansion and no QBF "
-                        "countermoves available"
-                    )
-            div_map = {nid: miter.impl_map[nid] for nid in divisors.ids}
-            qm = build_quantified_miter(miter, current_pi, assignments, div_map)
-            copies_total += qm.num_copies
-
-            # reuse-aware costs: divisors earlier patches already read
-            # are free for the contest's distinct-signal cost metric
-            step_divisors = divisors
-            if cfg.amortize_shared_support and used_names:
-                step_divisors = _amortized_divisors(divisors, used_names)
-            # compile the quantified miter once; both phases stamp/reuse it
-            template = CnfTemplate(qm.net)
-            solver = Solver()
-            ctx = _SatContext(
-                solver=solver,
-                template=template,
-                vars1=template.stamp(solver),
-                vars2=template.stamp(solver),
-            )
-            with obs.span("engine.support", target=tname):
-                support_ids = self._compute_support(qm, step_divisors, stats, ctx)
-            with obs.span("engine.patch_function", target=tname):
-                patch = self._compute_patch_function(
-                    qm, step_divisors, support_ids, tname, instance, stats, ctx
-                )
-            apply_patch(current, patch)
-            patches.append(patch)
-            used_names.update(patch.support)
-        stats["sat_miter_copies"] = copies_total
-        return current, patches
-
-    def _compute_support(
-        self,
-        qm,
-        divisors: DivisorSet,
-        stats: Dict[str, float],
-        ctx: _SatContext,
-    ) -> List[int]:
-        """Expression (2) + support minimization; returns divisor ids."""
-        cfg = self.config
-        solver = ctx.solver
-        vars1 = ctx.vars1
-        vars2 = ctx.vars2
-        po_node = dict(qm.net.pos)[QMITER_PO]
-        m1, m2 = vars1[po_node], vars2[po_node]
-        n1, n2 = vars1[qm.target_pi], vars2[qm.target_pi]
-        selectors: Dict[int, int] = {}
-        for nid in divisors.ids:
-            dnode = qm.divisor_nodes[nid]
-            s = solver.new_var()
-            selectors[nid] = s
-            add_equality(solver, vars1[dnode], vars2[dnode], mklit(s))
-
-        base = [mklit(n1, True), mklit(m1), mklit(n2), mklit(m2)]
-        ordered = list(divisors.ids)  # already cost-ascending
-        all_lits = [mklit(selectors[n]) for n in ordered]
-        sstats = SupportStats()
-        if solver.solve(
-            base + all_lits, budget_conflicts=cfg.budget_conflicts
-        ):
-            raise EcoEngineError(
-                "divisor set cannot express a patch for this target "
-                "(insufficient expansion or over-restricted candidates)"
-            )
-
-        lit_of = {nid: mklit(selectors[nid]) for nid in ordered}
-        id_of = {lit: nid for nid, lit in lit_of.items()}
-
-        def feasible_ids(ids: Sequence[int]) -> bool:
-            try:
-                return not solver.solve(
-                    base + [lit_of[i] for i in ids],
-                    budget_conflicts=cfg.budget_conflicts,
-                )
-            except SatBudgetExceeded:
-                return False
-
-        if cfg.support_method == "analyze_final":
-            core = solver.core
-            chosen = [nid for nid in ordered if lit_of[nid] in core]
-        elif cfg.support_method in ("minassump", "satprune"):
-            minimizer = AssumptionMinimizer(
-                solver, base, cfg.budget_conflicts, sstats
-            )
-            kept = minimizer.minimize(all_lits, check=False)
-            chosen = [id_of[lit] for lit in kept]
-            if cfg.use_last_gasp:
-                improved = last_gasp_improvement(
-                    lambda lits: feasible_ids([id_of[l] for l in lits]),
-                    [lit_of[n] for n in chosen],
-                    [lit_of[n] for n in ordered],
-                    {lit_of[n]: divisors.cost[n] for n in ordered},
-                )
-                chosen = [id_of[lit] for lit in improved]
-            if cfg.support_method == "satprune":
-                pstats = SatPruneStats()
-                best = sat_prune(
-                    ordered,
-                    divisors.cost,
-                    feasible_ids,
-                    initial_solution=chosen,
-                    grow=cfg.satprune_grow,
-                    max_checks=cfg.satprune_max_checks,
-                    stats=pstats,
-                )
-                stats["satprune_checks"] = stats.get(
-                    "satprune_checks", 0
-                ) + pstats.feasibility_checks
-                if best is not None:
-                    chosen = list(best)
-        else:
-            raise ValueError(f"unknown support method {cfg.support_method!r}")
-
-        stats["support_sat_calls"] = stats.get("support_sat_calls", 0) + sstats.sat_calls
-        obs.inc("engine.support_sat_calls", sstats.sat_calls)
-        obs.annotate("support_size", len(chosen))
-        chosen.sort(key=lambda n: (divisors.cost[n], n))
-        return chosen
-
-    def _compute_patch_function(
-        self,
-        qm,
-        divisors: DivisorSet,
-        support_ids: List[int],
-        target_name: str,
-        instance: EcoInstance,
-        stats: Dict[str, float],
-        ctx: _SatContext,
-    ) -> Patch:
-        """Section 3.5: cube enumeration over the chosen support.
-
-        Runs on the support phase's solver (first stamp): the learned
-        clauses carry over and the blocking clauses are group-retracted
-        afterwards.  With ``patch_function_method="interpolation"`` the
-        pre-paper proof-interpolation route ([15], expression (3)) is
-        used instead.
-        """
-        cfg = self.config
-        if cfg.patch_function_method == "interpolation":
-            from .interp import interpolation_patch
-
-            result = interpolation_patch(
-                qm,
-                support_ids,
-                divisors.names,
-                budget_conflicts=cfg.budget_conflicts,
-            )
-            net = result.network
-            net.rename_po(0, target_name)
-            kept = [
-                i for i in support_ids if divisors.names[i] in set(result.support)
-            ]
-            return Patch(
-                target=target_name,
-                network=net,
-                support=result.support,
-                cost=sum(divisors.cost[i] for i in kept),
-                gate_count=result.gate_count,
-                method="interpolation",
-            )
-        solver = ctx.solver
-        varmap = ctx.vars1
-        po_node = dict(qm.net.pos)[QMITER_PO]
-        m = varmap[po_node]
-        n = varmap[qm.target_pi]
-        divisor_vars = [varmap[qm.divisor_nodes[i]] for i in support_ids]
-        obs.inc("engine.patch_solver_reuse")
-        estats = EnumerationStats()
-        group = solver.new_group()
-        try:
-            sop = enumerate_patch_sop(
-                solver,
-                onset_base=[mklit(m), mklit(n, True)],
-                offset_base=[mklit(m), mklit(n)],
-                divisor_vars=divisor_vars,
-                blocking_extra=[mklit(n)],
-                mode=cfg.enumeration_mode,
-                max_cubes=cfg.max_cubes,
-                budget_conflicts=cfg.budget_conflicts,
-                stats=estats,
-                blocking_group=group,
-            )
-        finally:
-            solver.release_group(group)
-        stats["cubes"] = stats.get("cubes", 0) + estats.cubes
-        obs.inc("engine.cubes", estats.cubes)
-
-        if (
-            cfg.use_isop_refine
-            and 0 < len(support_ids) <= cfg.isop_refine_max_support
-        ):
-            # enumerate the offset cover too, then re-minimize between
-            # the bounds with ISOP (everything else is don't-care); the
-            # onset blocking clauses were just retracted with their
-            # group, so the offset-side checks run on the same solver
-            from ..sop.isop import isop_refine
-
-            group2 = solver.new_group()
-            try:
-                offset_sop = enumerate_patch_sop(
-                    solver,
-                    onset_base=[mklit(m), mklit(n)],
-                    offset_base=[mklit(m), mklit(n, True)],
-                    divisor_vars=divisor_vars,
-                    blocking_extra=[mklit(n, True)],
-                    mode=cfg.enumeration_mode,
-                    max_cubes=cfg.max_cubes,
-                    budget_conflicts=cfg.budget_conflicts,
-                    blocking_group=group2,
-                )
-            finally:
-                solver.release_group(group2)
-            sop = isop_refine(sop, offset_sop)
-
-        used_positions = sorted(
-            {pos for cube in sop for pos in cube.literals()}
-        )
-        shrunk, kept_ids = _shrink_sop(sop, used_positions, support_ids)
-        names = [divisors.names[i] for i in kept_ids]
-        net = sop_to_network(shrunk, names, output_name=target_name)
-        cost = sum(divisors.cost[i] for i in kept_ids)
-        return Patch(
-            target=target_name,
-            network=net,
-            support=names,
-            cost=cost,
-            gate_count=net.num_gates,
-            method="sat",
-        )
-
-    # ------------------------------------------------------------------
-    # structural fallback (Section 3.6)
-    # ------------------------------------------------------------------
-
-    def _structural_flow(
-        self,
-        instance: EcoInstance,
-        spec: Network,
-        window: Window,
-        divisors: DivisorSet,
-        countermoves: List[Dict[str, int]],
-        stats: Dict[str, float],
-    ) -> Tuple[Network, List[Patch]]:
-        current = instance.impl.clone()
-        patches: List[Patch] = []
-        copies_total = 0
-
-        use_certificate = len(instance.targets) > 1 and countermoves
-        if use_certificate:
-            target_ids = [current.node_by_name(t) for t in instance.targets]
-            miter = build_miter(current, spec, target_ids, window.po_indices)
-            moves = [
-                {
-                    pi: move.get(instance.targets[i], 0)
-                    for i, pi in enumerate(miter.target_pis)
-                }
-                for move in countermoves
-            ]
-            infos, copies = certificate_patches(
-                miter, moves, list(instance.targets)
-            )
-            copies_total += copies
-            raw = [(t, info.network) for t, info in zip(instance.targets, infos)]
-        else:
-            raw = []
-            for idx, tname in enumerate(instance.targets):
-                remaining = instance.targets[idx:]
-                remaining_ids = [current.node_by_name(t) for t in remaining]
-                miter = build_miter(
-                    current, spec, remaining_ids, window.po_indices
-                )
-                qm = build_quantified_miter(miter, miter.target_pis[0])
-                info = structural_patch_single(qm, tname)
-                copies_total += info.miter_copies
-                raw.append((tname, info.network))
-                patch = self._finish_structural_patch(
-                    current, tname, info.network, divisors, instance, stats
-                )
-                apply_patch(current, patch)
-                patches.append(patch)
-            stats["structural_miter_copies"] = copies_total
-            return current, patches
-
-        for tname, net in raw:
-            patch = self._finish_structural_patch(
-                current, tname, net, divisors, instance, stats
-            )
-            apply_patch(current, patch)
-            patches.append(patch)
-        stats["structural_miter_copies"] = copies_total
-        return current, patches
-
-    def _finish_structural_patch(
-        self,
-        current: Network,
-        target_name: str,
-        patch_net: Network,
-        divisors: DivisorSet,
-        instance: EcoInstance,
-        stats: Dict[str, float],
-    ) -> Patch:
-        cfg = self.config
-        method = "structural"
-        support = [patch_net.node(pi).name for pi in patch_net.pis]
-        cost = sum(
-            instance.weights.get(s, instance.default_weight) for s in support
-        )
-        gate_count = patch_net.num_gates
-        if cfg.use_resub:
-            # §3.6.3, SAT variant: re-express the PI patch over internal
-            # divisors; only the implementation is involved, so the
-            # queries are lighter than the full support computation
-            from ..sop.synth import sop_to_network
-            from .resub import resubstitute
-
-            with obs.span("engine.resub", target=target_name):
-                rr = resubstitute(
-                    current,
-                    patch_net,
-                    divisors.ids,
-                    divisors.cost,
-                    budget_conflicts=cfg.budget_conflicts,
-                    max_cubes=cfg.max_cubes,
-                )
-            if rr is not None:
-                used = sorted(
-                    {p for cube in rr.sop for p in cube.literals()}
-                )
-                kept = [rr.divisor_ids[p] for p in used]
-                new_cost = sum(divisors.cost[i] for i in kept)
-                if new_cost < cost:
-                    shrunk = _shrink_sop(rr.sop, used, rr.divisor_ids)[0]
-                    names = [divisors.names[i] for i in kept]
-                    candidate = sop_to_network(shrunk, names, target_name)
-                    if candidate.num_gates <= max(gate_count, 1) * 4:
-                        patch_net = candidate
-                        support = names
-                        cost = new_cost
-                        gate_count = candidate.num_gates
-                        method = "resub"
-        if cfg.use_cegar_min:
-            with obs.span("engine.cegar_min", target=target_name):
-                result = cegar_min(
-                    current,
-                    patch_net,
-                    candidate_ids=divisors.ids,
-                    weight_of=divisors.cost,
-                    sim_patterns=cfg.sim_patterns,
-                    seed=cfg.seed,
-                    budget_conflicts=cfg.budget_conflicts,
-                )
-            stats["cegarmin_sat_calls"] = stats.get(
-                "cegarmin_sat_calls", 0
-            ) + result.sat_calls
-            if result.cost < cost or (
-                result.cost == cost and result.gate_count < gate_count
-            ):
-                patch_net = result.network
-                support = result.support
-                cost = result.cost
-                gate_count = result.gate_count
-                method = "cegar_min"
-        return Patch(
-            target=target_name,
-            network=patch_net,
-            support=support,
-            cost=cost,
-            gate_count=gate_count,
-            method=method,
-        )
-
-
-def _amortized_divisors(divisors: DivisorSet, used_names: set) -> DivisorSet:
-    """Copy of a divisor set with already-used signals costed at zero.
-
-    Divisor *ordering* (retention preference) is recomputed so the free
-    signals come first; the patch-level cost bookkeeping then naturally
-    charges each distinct signal once across the whole run.
-    """
-    cost = {
-        nid: (0 if divisors.names[nid] in used_names else c)
-        for nid, c in divisors.cost.items()
-    }
-    order = {nid: i for i, nid in enumerate(divisors.ids)}
-    ids = sorted(divisors.ids, key=lambda n: (cost[n], order[n]))
-    return DivisorSet(ids=ids, cost=cost, names=dict(divisors.names))
-
-
-def _project_countermoves(
-    countermoves: List[Dict[str, int]],
-    names: Sequence[str],
-    pis: Sequence[int],
-) -> List[Dict[int, int]]:
-    """Convert name-keyed countermoves to PI-keyed expansion assignments."""
-    out: List[Dict[int, int]] = []
-    seen = set()
-    for move in countermoves:
-        proj = {pi: move.get(name, 0) for name, pi in zip(names, pis)}
-        key = tuple(sorted(proj.items()))
-        if key not in seen:
-            seen.add(key)
-            out.append(proj)
-    return out
-
-
-def _shrink_sop(
-    sop: Sop, used_positions: List[int], support_ids: List[int]
-) -> Tuple[Sop, List[int]]:
-    """Restrict an SOP to the positions that actually appear in cubes."""
-    from ..sop.cube import Cube
-
-    index = {pos: i for i, pos in enumerate(used_positions)}
-    out = Sop(len(used_positions))
-    for cube in sop:
-        out.add(
-            Cube.from_literals(
-                len(used_positions),
-                {index[p]: v for p, v in cube.literals().items()},
-            )
-        )
-    kept_ids = [support_ids[p] for p in used_positions]
-    return out, kept_ids
+            return PassManager().execute(ctx, pipeline)

@@ -14,15 +14,19 @@ solution.  Two decision procedures are provided, mirroring the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from .. import obs
 from ..sat.solver import SatBudgetExceeded, Solver
 from ..sat.tseitin import encode_network
 from ..sat.types import mklit
 from ..twoqbf.cegar import QbfBudgetExceeded, solve_exists_forall
-from .miter import EcoMiter
+from .miter import EcoMiter, build_miter
+from .pipeline import Pass, PassOutcome
 from .quantify import QMITER_PO, build_quantified_miter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pipeline import EcoContext
 
 
 class EcoInfeasibleError(Exception):
@@ -130,3 +134,70 @@ def _check_by_qbf(
         method="qbf",
         copies=res.iterations,
     )
+
+
+class FeasibilityPass(Pass):
+    """Target-sufficiency check (Section 3.2): Figure 2's first decision.
+
+    Outputs outside the pruning window cannot be influenced by any patch,
+    so they must already match; then expression (1) over the windowed
+    miter decides whether the freed targets suffice.  Raises
+    :class:`EcoInfeasibleError` (which propagates out of the pipeline —
+    infeasibility is a verdict, not a fallback) and leaves the
+    :class:`FeasibilityResult` plus name-keyed QBF countermoves on the
+    context for the SAT flow and the certificate construction.
+    """
+
+    name = "feasibility"
+
+    def run(self, ctx: "EcoContext") -> PassOutcome:
+        from .verify import cec
+
+        cfg = ctx.config
+        instance = ctx.instance
+        assert ctx.window is not None
+        with ctx.budget.metered() as cap:
+            non_window = [
+                i
+                for i in range(ctx.base_impl.num_pos)
+                if i not in set(ctx.window.po_indices)
+            ]
+            if non_window:
+                outside = cec(
+                    ctx.base_impl,
+                    ctx.spec,
+                    budget_conflicts=cap,
+                    po_indices=non_window,
+                )
+                if outside.equivalent is False:
+                    raise EcoInfeasibleError(
+                        f"{instance.name}: outputs outside the targets' fanout "
+                        f"already differ (cex={outside.counterexample})"
+                    )
+            miter0 = build_miter(
+                ctx.base_impl, ctx.spec, ctx.target_ids, ctx.window.po_indices
+            )
+            feas = check_feasibility(
+                miter0,
+                method=cfg.feasibility_method,
+                budget_conflicts=cap,
+                max_expansion_targets=cfg.max_expansion_targets,
+            )
+        if feas.feasible is False:
+            raise EcoInfeasibleError(
+                f"{instance.name}: targets cannot rectify the implementation"
+            )
+        ctx.feasibility = feas
+        ctx.stats.feasibility_copies = feas.copies
+        if feas.feasible is None:
+            # budget ran out: assume feasibility and go structural (§3.2)
+            ctx.stats.bump("feasibility_unknown")
+            obs.inc("engine.feasibility_unknown")
+        ctx.countermoves_by_name = [
+            {
+                instance.targets[i]: move.get(pi, 0)
+                for i, pi in enumerate(miter0.target_pis)
+            }
+            for move in feas.countermoves
+        ]
+        return PassOutcome(detail=feas.method)

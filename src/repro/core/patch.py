@@ -9,7 +9,10 @@ and redrives the target node with its output.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from .pipeline import EngineStats
 
 from ..network.network import Network
 from ..network.node import GateType
@@ -54,8 +57,14 @@ class EcoResult:
     runtime_seconds: float
     method: str
     #: per-run summary counters; int-valued event counts and float-valued
-    #: measurements share the mapping (times live in ``repro.obs`` spans)
+    #: measurements share the mapping (times live in ``repro.obs`` spans).
+    #: Derived from :attr:`engine_stats` via ``EngineStats.to_dict()`` when
+    #: the run went through the pass pipeline; kept as the stable
+    #: backward-compatible surface (bench rows, ``stats.get(...)`` users).
     stats: Dict[str, Union[int, float]] = field(default_factory=dict)
+    #: the typed statistics object the pipeline accumulated (None for
+    #: synthetic results such as degraded harness placeholder rows)
+    engine_stats: Optional["EngineStats"] = None
 
     @property
     def support(self) -> List[str]:

@@ -19,13 +19,20 @@ containment, then factored and synthesized by :mod:`repro.sop`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..sat.solver import Solver
 from ..sat.types import mklit, neg
 from ..sop.cube import Cube
 from ..sop.sop import Sop
+from .patch import Patch
+from .pipeline import Pass, PassOutcome
+from .quantify import QMITER_PO
 from .support import AssumptionMinimizer, SupportStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pipeline import EcoContext
 
 
 class PatchEnumerationError(Exception):
@@ -135,3 +142,149 @@ def enumerate_patch_sop(
 
     sop.remove_contained_cubes()
     return sop
+
+
+def shrink_sop(
+    sop: Sop, used_positions: List[int], support_ids: List[int]
+) -> Tuple[Sop, List[int]]:
+    """Restrict an SOP to the positions that actually appear in cubes."""
+    index = {pos: i for i, pos in enumerate(used_positions)}
+    out = Sop(len(used_positions))
+    for cube in sop:
+        out.add(
+            Cube.from_literals(
+                len(used_positions),
+                {index[p]: v for p, v in cube.literals().items()},
+            )
+        )
+    kept_ids = [support_ids[p] for p in used_positions]
+    return out, kept_ids
+
+
+class PatchFunctionPass(Pass):
+    """Section 3.5: build the patch function over the chosen support.
+
+    Default route is cube enumeration on the support phase's solver
+    (first stamp): the learned clauses carry over and the blocking
+    clauses are group-retracted afterwards.  With
+    ``patch_function_method="interpolation"`` the pre-paper
+    proof-interpolation route ([15], expression (3)) is used instead.
+    Leaves the finished :class:`Patch` in ``ctx.target.patch``.
+    """
+
+    name = "patch_function"
+
+    def run(self, ctx: "EcoContext") -> PassOutcome:
+        cfg = ctx.config
+        tgt = ctx.target
+        assert tgt is not None and tgt.qm is not None and tgt.sat is not None
+        qm, divisors = tgt.qm, tgt.divisors
+        # downstream order contract: support cost-ascending, ties by id
+        # (the pre-pipeline engine sorted at the end of its support phase)
+        support_ids = sorted(
+            tgt.support_ids, key=lambda n: (divisors.cost[n], n)
+        )
+        tgt.support_ids = support_ids
+        target_name = tgt.name
+
+        if cfg.patch_function_method == "interpolation":
+            from .interp import interpolation_patch
+
+            with ctx.budget.metered() as cap:
+                result = interpolation_patch(
+                    qm,
+                    support_ids,
+                    divisors.names,
+                    budget_conflicts=cap,
+                )
+            net = result.network
+            net.rename_po(0, target_name)
+            kept = [
+                i
+                for i in support_ids
+                if divisors.names[i] in set(result.support)
+            ]
+            tgt.patch = Patch(
+                target=target_name,
+                network=net,
+                support=result.support,
+                cost=sum(divisors.cost[i] for i in kept),
+                gate_count=result.gate_count,
+                method="interpolation",
+            )
+            return PassOutcome(detail="interpolation")
+
+        solver = tgt.sat.solver
+        varmap = tgt.sat.vars1
+        po_node = dict(qm.net.pos)[QMITER_PO]
+        m = varmap[po_node]
+        n = varmap[qm.target_pi]
+        divisor_vars = [varmap[qm.divisor_nodes[i]] for i in support_ids]
+        obs.inc("engine.patch_solver_reuse")
+        estats = EnumerationStats()
+        with ctx.budget.metered() as cap:
+            group = solver.new_group()
+            try:
+                sop = enumerate_patch_sop(
+                    solver,
+                    onset_base=[mklit(m), mklit(n, True)],
+                    offset_base=[mklit(m), mklit(n)],
+                    divisor_vars=divisor_vars,
+                    blocking_extra=[mklit(n)],
+                    mode=cfg.enumeration_mode,
+                    max_cubes=cfg.max_cubes,
+                    budget_conflicts=cap,
+                    stats=estats,
+                    blocking_group=group,
+                )
+            finally:
+                solver.release_group(group)
+        ctx.stats.bump("cubes", estats.cubes)
+        obs.inc("engine.cubes", estats.cubes)
+
+        if (
+            cfg.use_isop_refine
+            and 0 < len(support_ids) <= cfg.isop_refine_max_support
+        ):
+            # enumerate the offset cover too, then re-minimize between
+            # the bounds with ISOP (everything else is don't-care); the
+            # onset blocking clauses were just retracted with their
+            # group, so the offset-side checks run on the same solver
+            from ..sop.isop import isop_refine
+
+            with ctx.budget.metered() as cap:
+                group2 = solver.new_group()
+                try:
+                    offset_sop = enumerate_patch_sop(
+                        solver,
+                        onset_base=[mklit(m), mklit(n)],
+                        offset_base=[mklit(m), mklit(n, True)],
+                        divisor_vars=divisor_vars,
+                        blocking_extra=[mklit(n, True)],
+                        mode=cfg.enumeration_mode,
+                        max_cubes=cfg.max_cubes,
+                        budget_conflicts=cap,
+                        blocking_group=group2,
+                    )
+                finally:
+                    solver.release_group(group2)
+            sop = isop_refine(sop, offset_sop)
+
+        from ..sop.synth import sop_to_network
+
+        used_positions = sorted(
+            {pos for cube in sop for pos in cube.literals()}
+        )
+        shrunk, kept_ids = shrink_sop(sop, used_positions, support_ids)
+        names = [divisors.names[i] for i in kept_ids]
+        net = sop_to_network(shrunk, names, output_name=target_name)
+        cost = sum(divisors.cost[i] for i in kept_ids)
+        tgt.patch = Patch(
+            target=target_name,
+            network=net,
+            support=names,
+            cost=cost,
+            gate_count=net.num_gates,
+            method="sat",
+        )
+        return PassOutcome(detail=f"{estats.cubes} cubes")

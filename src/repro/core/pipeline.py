@@ -1,0 +1,717 @@
+"""Pass-pipeline engine: the Figure 2 flow as composable passes.
+
+The ECO flow is a staged pipeline (feasibility → structural prune →
+per-target support/patch-function → structural fallback → CEGAR_min →
+verify).  This module provides the framework that executes it:
+
+* :class:`EcoContext` — the typed state shared by every pass: the
+  instance, working networks, the run-level :class:`ConflictBudget`,
+  the typed :class:`EngineStats`, and the per-target
+  :class:`TargetState` (quantified miter + shared incremental-SAT
+  :class:`SatContext`);
+* :class:`Pass` — the protocol each stage implements (``name`` +
+  ``run(ctx) -> PassOutcome``); pass bodies live next to the algorithms
+  they wrap (``FeasibilityPass`` in :mod:`repro.core.feasibility`,
+  ``SupportPass`` in :mod:`repro.core.support`, ...);
+* :class:`PassManager` — executes a declarative :class:`Pipeline`:
+  prologue passes, then a fallback *chain* of strategies
+  (``sat_flow → certificate → structural``) where a strategy failing
+  with a budget/enumeration/engine error advances the chain instead of
+  raising out of ``run()``, then epilogue passes, and finally result
+  finalizers.  Every stage runs under a uniform ``engine.<name>``
+  observability span, which is where the per-pass wall-time columns of
+  ``BENCH_table1.json`` come from.
+
+Pipeline *assembly* (which passes a configuration maps to) lives in
+:mod:`repro.core.engine`; this module deliberately imports no phase
+module except for the two fallback-signal exception types.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .. import obs
+from ..sat.solver import SatBudgetExceeded, Solver, conflict_tally
+from ..sat.template import CnfTemplate
+from .miter import build_miter
+from .patch import EcoResult, Patch, apply_patch
+from .quantify import build_quantified_miter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..io.weights import EcoInstance
+    from ..network.network import Network
+    from ..network.window import Window
+    from .divisors import DivisorSet
+    from .engine import EcoConfig
+    from .feasibility import FeasibilityResult
+    from .quantify import QuantifiedMiter
+
+
+class EcoEngineError(Exception):
+    """Raised when no strategy could produce a patch within its budget."""
+
+
+# ---------------------------------------------------------------------------
+# typed statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EngineStats:
+    """Typed per-run statistics (replaces the ad-hoc ``stats[...]`` keys).
+
+    Fields default to ``None`` when the corresponding stage may not run;
+    :meth:`to_dict` emits only touched fields, reproducing the exact key
+    set the string-keyed dict used to carry (``bench_table1.py`` rows,
+    committed ``BENCH_table1.json`` fields, and ``res.stats.get(...)``
+    call sites stay backward-compatible).
+    """
+
+    window_pos: int = 0
+    divisor_candidates: int = 0
+    feasibility_copies: int = 0
+    feasibility_unknown: Optional[int] = None
+    sat_flow_fallback: Optional[int] = None
+    #: exception class name → count, exported as ``fallback_reason_<Name>``
+    fallback_reasons: Dict[str, int] = field(default_factory=dict)
+    #: ordered ``"strategy:ExceptionName"`` entries, one per chain advance
+    fallback_chain: List[str] = field(default_factory=list)
+    sat_miter_copies: Optional[int] = None
+    structural_miter_copies: Optional[int] = None
+    support_sat_calls: Optional[int] = None
+    satprune_checks: Optional[int] = None
+    cubes: Optional[int] = None
+    cegarmin_sat_calls: Optional[int] = None
+    certificate_checked: Optional[int] = None
+    budget_conflicts_spent: Optional[int] = None
+
+    _OPTIONAL = (
+        "feasibility_unknown",
+        "sat_flow_fallback",
+        "sat_miter_copies",
+        "structural_miter_copies",
+        "support_sat_calls",
+        "satprune_checks",
+        "cubes",
+        "cegarmin_sat_calls",
+        "certificate_checked",
+        "budget_conflicts_spent",
+    )
+
+    def bump(self, name: str, delta: int = 1) -> None:
+        """Increment a counter field, initializing it from ``None``."""
+        setattr(self, name, (getattr(self, name) or 0) + delta)
+
+    def record_fallback(self, strategy: str, exc: BaseException) -> None:
+        """One chain advance: ``strategy`` failed with ``exc``."""
+        reason = type(exc).__name__
+        self.fallback_reasons[reason] = self.fallback_reasons.get(reason, 0) + 1
+        self.fallback_chain.append(f"{strategy}:{reason}")
+        if strategy == "sat_flow":
+            self.bump("sat_flow_fallback")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Backward-compatible flat mapping (the old ``stats`` dict)."""
+        out: Dict[str, Any] = {
+            "window_pos": self.window_pos,
+            "divisor_candidates": self.divisor_candidates,
+            "feasibility_copies": self.feasibility_copies,
+        }
+        for name in self._OPTIONAL:
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        for reason, count in self.fallback_reasons.items():
+            out[f"fallback_reason_{reason}"] = count
+        return out
+
+
+# ---------------------------------------------------------------------------
+# run-level conflict budget
+# ---------------------------------------------------------------------------
+
+
+class ConflictBudget:
+    """Run-level SAT conflict budget with decrement-on-use accounting.
+
+    ``EcoConfig.budget_conflicts`` used to be re-passed verbatim at every
+    solver call site, making the "budget" per-call rather than global.
+    A :class:`ConflictBudget` is created once per engine run and carried
+    on the :class:`EcoContext`; passes wrap their SAT work in
+    :meth:`metered`, which yields the per-call cap (the remaining global
+    budget) and charges every conflict analyzed inside the region —
+    including those of internal solvers the region constructs — against
+    the run total via the process-wide :func:`repro.sat.solver.conflict_tally`.
+
+    When the budget is exhausted the cap drops to 0: conflict-free
+    queries still succeed, anything harder raises
+    :class:`~repro.sat.solver.SatBudgetExceeded`, which the
+    :class:`PassManager` turns into a fallback-chain advance instead of
+    an error out of ``run()``.
+    """
+
+    __slots__ = ("limit", "spent", "_depth")
+
+    def __init__(self, limit: Optional[int]) -> None:
+        self.limit = limit
+        self.spent = 0
+        self._depth = 0
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Conflicts left, or ``None`` when unlimited."""
+        if self.limit is None:
+            return None
+        return max(0, self.limit - self.spent)
+
+    def exhausted(self) -> bool:
+        return self.limit is not None and self.spent >= self.limit
+
+    def metered(self) -> "_MeteredRegion":
+        """Context manager: yields the per-call cap, charges on exit.
+
+        Regions nest safely: only the outermost region charges, so a
+        pass may wrap its whole body while helpers it calls meter their
+        own solver work.  The cap is the remaining budget at entry of
+        the outermost open region (solver calls inside a region each see
+        that cap, matching the old per-call semantics within a phase).
+        """
+        return _MeteredRegion(self)
+
+
+class _MeteredRegion:
+    __slots__ = ("_budget", "_mark", "_outermost")
+
+    def __init__(self, budget: ConflictBudget) -> None:
+        self._budget = budget
+        self._mark = 0
+        self._outermost = False
+
+    def __enter__(self) -> Optional[int]:
+        self._outermost = self._budget._depth == 0
+        self._budget._depth += 1
+        if self._outermost:
+            self._mark = conflict_tally()
+        return self._budget.remaining
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._budget._depth -= 1
+        if self._outermost:
+            self._budget.spent += conflict_tally() - self._mark
+
+
+# ---------------------------------------------------------------------------
+# shared context
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SatContext:
+    """Shared incremental-SAT state for one target iteration.
+
+    One solver holds two template stamps of the quantified miter; the
+    support computation and the patch-function enumeration both run on
+    it.  Reuse is sound because every support-phase constraint is
+    assumption-scoped (base literals and selector-guarded equalities)
+    and enumeration blocking clauses live in retractable groups.
+    """
+
+    solver: Solver
+    template: CnfTemplate
+    vars1: Dict[int, int]
+    vars2: Dict[int, int]
+
+
+@dataclass
+class TargetState:
+    """Per-target scratch state threaded through the per-target passes.
+
+    The SAT flow populates ``qm``/``sat``/``divisors`` during setup;
+    ``SupportPass`` fills ``support_ids`` and the ``feasible_ids``
+    oracle (consumed by ``SatPrunePass``); ``PatchFunctionPass`` — or a
+    structural strategy — leaves the finished candidate in ``patch`` for
+    the finishing passes (``ResubPass``, ``CegarMinPass``) to improve.
+    """
+
+    name: str
+    index: int
+    qm: Optional["QuantifiedMiter"] = None
+    divisors: Optional["DivisorSet"] = None
+    sat: Optional[SatContext] = None
+    support_ids: List[int] = field(default_factory=list)
+    #: subset-feasibility oracle over divisor ids (set by SupportPass)
+    feasible_ids: Optional[Callable[[Sequence[int]], bool]] = None
+    patch: Optional[Patch] = None
+
+
+@dataclass
+class EcoContext:
+    """Everything ``EcoEngine._run_phases`` used to thread by hand."""
+
+    instance: "EcoInstance"
+    config: "EcoConfig"
+    stats: EngineStats
+    budget: ConflictBudget
+    t_start: float
+    base_impl: "Network"
+    spec: "Network"
+    target_ids: List[int] = field(default_factory=list)
+    window: Optional["Window"] = None
+    divisors: Optional["DivisorSet"] = None
+    feasibility: Optional["FeasibilityResult"] = None
+    #: QBF countermoves re-keyed by target name (certificate material)
+    countermoves_by_name: List[Dict[str, int]] = field(default_factory=list)
+    #: working network of the active strategy (fresh clone per strategy)
+    current: Optional["Network"] = None
+    patches: List[Patch] = field(default_factory=list)
+    method: str = "sat"
+    verified: bool = True
+    target: Optional[TargetState] = None
+    #: wall-clock deadline (perf_counter seconds); optional passes are
+    #: skipped and the SAT flow yields to structural once it has passed
+    deadline: Optional[float] = None
+    #: ordered ``(stage_name, outcome)`` trace of executed stages
+    trace: List[Tuple[str, str]] = field(default_factory=list)
+    result: Optional[EcoResult] = None
+
+    def past_deadline(self) -> bool:
+        return self.deadline is not None and time.perf_counter() > self.deadline
+
+
+# ---------------------------------------------------------------------------
+# pass protocol
+# ---------------------------------------------------------------------------
+
+OK = "ok"
+SKIPPED = "skipped"
+
+
+@dataclass
+class PassOutcome:
+    """What one pass execution did (``ok`` or ``skipped`` + detail)."""
+
+    status: str = OK
+    detail: str = ""
+
+
+class Pass:
+    """Base class for pipeline stages.
+
+    Subclasses set ``name`` (the stage's identity: CLI ``--passes``
+    selector, ``engine.<name>`` span key, and ``BENCH_table1.json``
+    per-pass column) and implement :meth:`run`.  ``optional`` marks
+    improvement passes that may be skipped past the wall-clock deadline.
+    """
+
+    name: str = "pass"
+    optional: bool = False
+
+    def span_attrs(self, ctx: EcoContext) -> Dict[str, Any]:
+        """Attributes for the ``engine.<name>`` span (e.g. the target)."""
+        if ctx.target is not None:
+            return {"target": ctx.target.name}
+        return {}
+
+    def run(self, ctx: EcoContext) -> PassOutcome:  # pragma: no cover
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# strategies (the fallback chain)
+# ---------------------------------------------------------------------------
+
+
+class Strategy:
+    """One entry of the fallback chain.
+
+    A strategy owns a whole patch-producing flow.  ``applicable`` gates
+    it on the context (e.g. the certificate construction needs QBF
+    countermoves); ``run`` must leave ``ctx.patches`` / ``ctx.current``
+    / ``ctx.method`` populated or raise one of
+    :data:`FALLBACK_EXCEPTIONS` to advance the chain.
+    """
+
+    name: str = "strategy"
+
+    def applicable(self, ctx: EcoContext) -> bool:
+        return True
+
+    def run(self, ctx: EcoContext, manager: "PassManager") -> None:
+        raise NotImplementedError  # pragma: no cover
+
+
+def _lazy_fallback_exceptions() -> Tuple[type, ...]:
+    # deferred: feasibility/patchfunc are phase modules; importing them
+    # at module load would be fine today but keeps the framework honest
+    from .feasibility import EcoInfeasibleError
+    from .patchfunc import PatchEnumerationError
+
+    return (
+        SatBudgetExceeded,
+        PatchEnumerationError,
+        EcoEngineError,
+        EcoInfeasibleError,
+    )
+
+
+class SatFlowStrategy(Strategy):
+    """The SAT-based flow: one target at a time (Sections 3.1, 3.4, 3.5).
+
+    Per target: build the (partially expanded) quantified miter, compile
+    its CNF template once, stamp it twice into one shared solver, then
+    run the configured per-target passes (``support`` [→ ``satprune``]
+    → ``patch_function``) and splice the resulting patch in.
+    """
+
+    name = "sat_flow"
+
+    def __init__(self, target_passes: Sequence[Pass]) -> None:
+        self.target_passes = list(target_passes)
+
+    def applicable(self, ctx: EcoContext) -> bool:
+        if ctx.config.structural_only:
+            return False
+        # ctx.feasibility is None when the feasibility pass was skipped
+        # via --passes: feasibility is then *assumed*.  A FeasibilityResult
+        # with feasible=None means the budget ran out — the paper assumes
+        # feasibility there too but goes straight to the structural patch.
+        if ctx.feasibility is not None and ctx.feasibility.feasible is not True:
+            return False
+        if ctx.past_deadline():
+            return False
+        return True
+
+    def run(self, ctx: EcoContext, manager: "PassManager") -> None:
+        cfg = ctx.config
+        instance = ctx.instance
+        current = ctx.current
+        assert current is not None and ctx.window is not None
+        assert ctx.divisors is not None
+        copies_total = 0
+        used_names: set = set()
+        for idx, tname in enumerate(instance.targets):
+            remaining = instance.targets[idx:]
+            remaining_ids = [current.node_by_name(t) for t in remaining]
+            miter = build_miter(
+                current, ctx.spec, remaining_ids, ctx.window.po_indices
+            )
+            current_pi = miter.target_pis[0]
+            others = miter.target_pis[1:]
+            assignments = None
+            if len(others) > cfg.max_expansion_targets:
+                assignments = _project_countermoves(
+                    ctx.countermoves_by_name, remaining[1:], others
+                )
+                if not assignments:
+                    raise EcoEngineError(
+                        "too many targets for expansion and no QBF "
+                        "countermoves available"
+                    )
+            div_map = {
+                nid: miter.impl_map[nid] for nid in ctx.divisors.ids
+            }
+            qm = build_quantified_miter(miter, current_pi, assignments, div_map)
+            copies_total += qm.num_copies
+
+            # reuse-aware costs: divisors earlier patches already read
+            # are free for the contest's distinct-signal cost metric
+            step_divisors = ctx.divisors
+            if cfg.amortize_shared_support and used_names:
+                step_divisors = _amortized_divisors(ctx.divisors, used_names)
+            # compile the quantified miter once; both phases stamp/reuse it
+            template = CnfTemplate(qm.net)
+            solver = Solver()
+            ctx.target = TargetState(
+                name=tname,
+                index=idx,
+                qm=qm,
+                divisors=step_divisors,
+                sat=SatContext(
+                    solver=solver,
+                    template=template,
+                    vars1=template.stamp(solver),
+                    vars2=template.stamp(solver),
+                ),
+            )
+            try:
+                for p in self.target_passes:
+                    manager.run_pass(p, ctx)
+                patch = ctx.target.patch
+                if patch is None:
+                    raise EcoEngineError(
+                        f"per-target passes produced no patch for {tname!r}"
+                    )
+            finally:
+                ctx.target = None
+            apply_patch(current, patch)
+            ctx.patches.append(patch)
+            used_names.update(patch.support)
+        ctx.stats.sat_miter_copies = copies_total
+        ctx.method = "sat"
+
+
+# ---------------------------------------------------------------------------
+# pipeline + manager
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Pipeline:
+    """A declarative phase graph: what runs, in which order.
+
+    ``prologue`` passes run once and populate shared context;
+    ``strategies`` form the fallback chain (first applicable one that
+    completes wins); ``epilogue`` passes run on the winning result
+    (verification); ``finalizers`` run after the :class:`EcoResult` has
+    been assembled (independent certificate checking).
+    """
+
+    prologue: List[Pass] = field(default_factory=list)
+    strategies: List[Strategy] = field(default_factory=list)
+    epilogue: List[Pass] = field(default_factory=list)
+    finalizers: List[Pass] = field(default_factory=list)
+
+    def stage_names(self) -> List[str]:
+        names = [p.name for p in self.prologue]
+        for strat in self.strategies:
+            names.append(strat.name)
+            for p in getattr(strat, "target_passes", []):
+                if p.name not in names:
+                    names.append(p.name)
+            for p in getattr(strat, "finish_passes", []):
+                if p.name not in names:
+                    names.append(p.name)
+        names.extend(p.name for p in self.epilogue)
+        names.extend(p.name for p in self.finalizers)
+        return names
+
+
+class PassManager:
+    """Executes a :class:`Pipeline` over an :class:`EcoContext`.
+
+    Uniform per-stage behavior lives here, not in the passes: the
+    ``engine.<name>`` span, deadline-based skipping of optional passes,
+    fallback accounting (``EngineStats`` + ``engine.fallback.*``
+    counters), and the per-strategy fresh working clone.
+    """
+
+    def run_pass(self, p: Pass, ctx: EcoContext) -> PassOutcome:
+        if p.optional and ctx.past_deadline():
+            ctx.trace.append((p.name, SKIPPED))
+            obs.inc("engine.pass_deadline_skipped")
+            return PassOutcome(SKIPPED, "deadline exceeded")
+        with obs.span(f"engine.{p.name}", **p.span_attrs(ctx)):
+            outcome = p.run(ctx)
+        if outcome is None:
+            outcome = PassOutcome()
+        ctx.trace.append((p.name, outcome.status))
+        return outcome
+
+    def execute(self, ctx: EcoContext, pipeline: Pipeline) -> EcoResult:
+        for p in pipeline.prologue:
+            self.run_pass(p, ctx)
+        # window/divisor figures annotate the enclosing engine.run span,
+        # exactly where the pre-pipeline engine recorded them
+        obs.annotate("window_pos", ctx.stats.window_pos)
+        obs.annotate("divisor_candidates", ctx.stats.divisor_candidates)
+
+        self._run_chain(ctx, pipeline.strategies)
+
+        for p in pipeline.epilogue:
+            self.run_pass(p, ctx)
+
+        ctx.result = self._assemble_result(ctx)
+        for p in pipeline.finalizers:
+            self.run_pass(p, ctx)
+        # finalizers may touch stats (e.g. certificate_checked);
+        # re-derive the compat dict so the result reflects them
+        ctx.result.stats = ctx.stats.to_dict()
+        return ctx.result
+
+    # -- fallback chain -------------------------------------------------
+
+    def _run_chain(self, ctx: EcoContext, strategies: List[Strategy]) -> None:
+        fallback_excs = _lazy_fallback_exceptions()
+        runnable = [s for s in strategies if s.applicable(ctx)]
+        if not runnable:
+            raise EcoEngineError(
+                f"{ctx.instance.name}: no applicable strategy "
+                f"(chain: {[s.name for s in strategies]})"
+            )
+        for pos, strat in enumerate(runnable):
+            is_last = pos == len(runnable) - 1
+            # every strategy starts from a pristine implementation: a
+            # failed SAT flow may have spliced partial patches into its
+            # working clone
+            ctx.current = ctx.instance.impl.clone()
+            ctx.patches = []
+            try:
+                with obs.span(f"engine.{strat.name}"):
+                    strat.run(ctx, self)
+                ctx.trace.append((strat.name, OK))
+                return
+            except fallback_excs as exc:
+                ctx.stats.record_fallback(strat.name, exc)
+                obs.inc(f"engine.fallback.{type(exc).__name__}")
+                if strat.name == "sat_flow":
+                    obs.inc("engine.sat_flow_fallback")
+                ctx.trace.append((strat.name, f"fallback:{type(exc).__name__}"))
+                if is_last:
+                    raise
+
+    # -- result assembly ------------------------------------------------
+
+    def _assemble_result(self, ctx: EcoContext) -> EcoResult:
+        instance = ctx.instance
+        if ctx.budget.limit is not None:
+            ctx.stats.budget_conflicts_spent = ctx.budget.spent
+        support_names = sorted(
+            {name for p in ctx.patches for name in p.support}
+        )
+        total_cost = sum(
+            instance.weights.get(n, instance.default_weight)
+            for n in support_names
+        )
+        total_gates = sum(p.gate_count for p in ctx.patches)
+        return EcoResult(
+            instance_name=instance.name,
+            patches=ctx.patches,
+            cost=total_cost,
+            gate_count=total_gates,
+            verified=ctx.verified,
+            runtime_seconds=time.perf_counter() - ctx.t_start,
+            method=ctx.method,
+            stats=ctx.stats.to_dict(),
+            engine_stats=ctx.stats,
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI pass selection
+# ---------------------------------------------------------------------------
+
+#: Stages that must always run (everything downstream consumes them).
+MANDATORY_STAGES = ("window", "divisors")
+
+#: Every selectable stage name, in canonical pipeline order.
+STAGE_NAMES = (
+    "window",
+    "divisors",
+    "feasibility",
+    "sat_flow",
+    "support",
+    "satprune",
+    "patch_function",
+    "certificate",
+    "structural",
+    "resub",
+    "cegar_min",
+    "verify",
+    "certificate_check",
+)
+
+
+@dataclass
+class PassSelection:
+    """A parsed ``--passes`` directive.
+
+    ``only`` (non-empty) keeps exactly the named optional stages (the
+    mandatory ones always run); ``skip`` drops stages from whatever the
+    configuration would otherwise assemble.  Both may be combined.
+    """
+
+    only: frozenset = frozenset()
+    skip: frozenset = frozenset()
+
+    def apply(self, stages: Sequence[str]) -> List[str]:
+        """Filter a config-derived stage list; preserves order."""
+        out = []
+        for name in stages:
+            if name in MANDATORY_STAGES:
+                out.append(name)
+                continue
+            if self.only and name not in self.only:
+                continue
+            if name in self.skip:
+                continue
+            out.append(name)
+        return out
+
+
+def parse_pass_selection(spec: str) -> PassSelection:
+    """Parse ``--passes`` syntax: ``a,b`` keeps only a+b; ``-c`` skips c.
+
+    Bare names form a whitelist of the stages to keep; ``-``-prefixed
+    names are removed from the default pipeline.  Names must come from
+    :data:`STAGE_NAMES`; mandatory stages cannot be skipped.
+    """
+    only, skip = set(), set()
+    for raw in spec.split(","):
+        token = raw.strip()
+        if not token:
+            continue
+        negated = token.startswith("-")
+        name = token[1:] if negated else token
+        if name not in STAGE_NAMES:
+            raise ValueError(
+                f"unknown pass {name!r}; choose from {', '.join(STAGE_NAMES)}"
+            )
+        if negated:
+            if name in MANDATORY_STAGES:
+                raise ValueError(f"pass {name!r} is mandatory and cannot be skipped")
+            skip.add(name)
+        else:
+            only.add(name)
+    return PassSelection(only=frozenset(only), skip=frozenset(skip))
+
+
+# ---------------------------------------------------------------------------
+# helpers shared by strategies
+# ---------------------------------------------------------------------------
+
+
+def _amortized_divisors(divisors: "DivisorSet", used_names: set) -> "DivisorSet":
+    """Copy of a divisor set with already-used signals costed at zero.
+
+    Divisor *ordering* (retention preference) is recomputed so the free
+    signals come first; the patch-level cost bookkeeping then naturally
+    charges each distinct signal once across the whole run.
+    """
+    from .divisors import DivisorSet
+
+    cost = {
+        nid: (0 if divisors.names[nid] in used_names else c)
+        for nid, c in divisors.cost.items()
+    }
+    order = {nid: i for i, nid in enumerate(divisors.ids)}
+    ids = sorted(divisors.ids, key=lambda n: (cost[n], order[n]))
+    return DivisorSet(ids=ids, cost=cost, names=dict(divisors.names))
+
+
+def _project_countermoves(
+    countermoves: List[Dict[str, int]],
+    names: Sequence[str],
+    pis: Sequence[int],
+) -> List[Dict[int, int]]:
+    """Convert name-keyed countermoves to PI-keyed expansion assignments."""
+    out: List[Dict[int, int]] = []
+    seen = set()
+    for move in countermoves:
+        proj = {pi: move.get(name, 0) for name, pi in zip(names, pis)}
+        key = tuple(sorted(proj.items()))
+        if key not in seen:
+            seen.add(key)
+            out.append(proj)
+    return out

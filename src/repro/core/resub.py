@@ -12,15 +12,25 @@ enumeration on a single copy rebuilds the function.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..network.network import Network
 from ..sat.solver import SatBudgetExceeded, Solver
 from ..sat.tseitin import add_equality, encode_network
 from ..sat.types import mklit
 from ..sop.sop import Sop
-from .patchfunc import EnumerationStats, PatchEnumerationError, enumerate_patch_sop
+from .patch import Patch
+from .patchfunc import (
+    EnumerationStats,
+    PatchEnumerationError,
+    enumerate_patch_sop,
+    shrink_sop,
+)
+from .pipeline import Pass, PassOutcome
 from .support import AssumptionMinimizer, SupportStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pipeline import EcoContext
 
 
 @dataclass
@@ -136,3 +146,53 @@ def resubstitute(
         sat_calls=stats.sat_calls + estats.onset_calls + estats.offset_calls
         + estats.minimize_sat_calls,
     )
+
+
+class ResubPass(Pass):
+    """§3.6.3, SAT variant: re-express a PI-level structural patch over
+    internal divisors.  Only the implementation is involved, so the
+    queries are lighter than the full support computation.  The candidate
+    replaces the patch only when it is cheaper and not grossly larger.
+    """
+
+    name = "resub"
+    optional = True
+
+    def run(self, ctx: "EcoContext") -> PassOutcome:
+        from ..sop.synth import sop_to_network
+
+        cfg = ctx.config
+        tgt = ctx.target
+        assert tgt is not None and tgt.patch is not None
+        patch = tgt.patch
+        divisors = ctx.divisors
+        with ctx.budget.metered() as cap:
+            rr = resubstitute(
+                ctx.current,
+                patch.network,
+                divisors.ids,
+                divisors.cost,
+                budget_conflicts=cap,
+                max_cubes=cfg.max_cubes,
+            )
+        if rr is None:
+            return PassOutcome(detail="not expressible")
+        used = sorted({p for cube in rr.sop for p in cube.literals()})
+        kept = [rr.divisor_ids[p] for p in used]
+        new_cost = sum(divisors.cost[i] for i in kept)
+        if new_cost >= patch.cost:
+            return PassOutcome(detail="no cost improvement")
+        shrunk = shrink_sop(rr.sop, used, rr.divisor_ids)[0]
+        names = [divisors.names[i] for i in kept]
+        candidate = sop_to_network(shrunk, names, patch.target)
+        if candidate.num_gates > max(patch.gate_count, 1) * 4:
+            return PassOutcome(detail="candidate too large")
+        tgt.patch = Patch(
+            target=patch.target,
+            network=candidate,
+            support=names,
+            cost=new_cost,
+            gate_count=candidate.num_gates,
+            method="resub",
+        )
+        return PassOutcome(detail=f"cost {patch.cost} -> {new_cost}")

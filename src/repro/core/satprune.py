@@ -22,9 +22,23 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .. import obs
+from .pipeline import Pass, PassOutcome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pipeline import EcoContext
 
 
 @dataclass
@@ -194,3 +208,37 @@ def _sat_prune(
         enum.add_clause(complement)
         stats.blocking_clauses += 1
     return best
+
+
+class SatPrunePass(Pass):
+    """Exact minimum-cost refinement of the chosen support (§3.4.2).
+
+    Consumes the subset-feasibility oracle and the incumbent support the
+    ``support`` pass left on ``ctx.target``; keeps the incumbent when
+    the search budget runs out without proving a cheaper subset.
+    """
+
+    name = "satprune"
+
+    def run(self, ctx: "EcoContext") -> PassOutcome:
+        tgt = ctx.target
+        assert tgt is not None
+        if tgt.feasible_ids is None:
+            return PassOutcome("skipped", "no feasibility oracle")
+        cfg = ctx.config
+        pstats = SatPruneStats()
+        with ctx.budget.metered():
+            best = sat_prune(
+                list(tgt.divisors.ids),
+                tgt.divisors.cost,
+                tgt.feasible_ids,
+                initial_solution=tgt.support_ids,
+                grow=cfg.satprune_grow,
+                max_checks=cfg.satprune_max_checks,
+                stats=pstats,
+            )
+        ctx.stats.bump("satprune_checks", pstats.feasibility_checks)
+        if best is not None:
+            tgt.support_ids = list(best)
+        obs.annotate("support_size", len(tgt.support_ids))
+        return PassOutcome(detail=f"{pstats.feasibility_checks} checks")

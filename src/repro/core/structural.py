@@ -17,12 +17,17 @@ derived structurally, in terms of primary inputs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 from ..network.network import Network
 from ..network.strash import AigBuilder, cofactor_network, strash_into
-from .miter import EcoMiter
-from .quantify import QMITER_PO, QuantifiedMiter
+from .miter import EcoMiter, build_miter
+from .patch import Patch, apply_patch
+from .pipeline import Pass, Strategy, TargetState
+from .quantify import QMITER_PO, QuantifiedMiter, build_quantified_miter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pipeline import EcoContext, PassManager
 
 
 @dataclass
@@ -97,6 +102,111 @@ def certificate_patches(
             StructuralPatchInfo(network=patch, miter_copies=len(countermoves))
         )
     return patches, len(countermoves)
+
+
+class _StructuralStrategyBase(Strategy):
+    """Shared finishing logic of the two structural strategies.
+
+    Each raw (PI-expressed) patch network runs through the configured
+    finishing passes (``resub``, ``cegar_min``) before being spliced in;
+    the run's method string reflects whether ``cegar_min`` participated.
+    """
+
+    def __init__(self, finish_passes: Sequence[Pass] = ()) -> None:
+        self.finish_passes = list(finish_passes)
+
+    def _finish_and_apply(
+        self,
+        ctx: "EcoContext",
+        manager: "PassManager",
+        index: int,
+        tname: str,
+        patch_net: Network,
+    ) -> None:
+        instance = ctx.instance
+        support = [patch_net.node(pi).name for pi in patch_net.pis]
+        cost = sum(
+            instance.weights.get(s, instance.default_weight) for s in support
+        )
+        ctx.target = TargetState(name=tname, index=index)
+        ctx.target.patch = Patch(
+            target=tname,
+            network=patch_net,
+            support=support,
+            cost=cost,
+            gate_count=patch_net.num_gates,
+            method="structural",
+        )
+        try:
+            for p in self.finish_passes:
+                manager.run_pass(p, ctx)
+            patch = ctx.target.patch
+        finally:
+            ctx.target = None
+        apply_patch(ctx.current, patch)
+        ctx.patches.append(patch)
+
+    def _set_method(self, ctx: "EcoContext") -> None:
+        ctx.method = "structural"
+        if any(p.name == "cegar_min" for p in self.finish_passes):
+            ctx.method = "structural+cegar_min"
+
+
+class CertificateStrategy(_StructuralStrategyBase):
+    """QBF-certificate construction of §3.6.2: one MUX cascade over the
+    m CEGAR countermoves yields all targets' patches from m miter copies
+    (instead of the 2^k − 1 of the sequential construction)."""
+
+    name = "certificate"
+
+    def applicable(self, ctx: "EcoContext") -> bool:
+        return len(ctx.instance.targets) > 1 and bool(ctx.countermoves_by_name)
+
+    def run(self, ctx: "EcoContext", manager: "PassManager") -> None:
+        instance = ctx.instance
+        current = ctx.current
+        target_ids = [current.node_by_name(t) for t in instance.targets]
+        miter = build_miter(
+            current, ctx.spec, target_ids, ctx.window.po_indices
+        )
+        moves = [
+            {
+                pi: move.get(instance.targets[i], 0)
+                for i, pi in enumerate(miter.target_pis)
+            }
+            for move in ctx.countermoves_by_name
+        ]
+        infos, copies = certificate_patches(
+            miter, moves, list(instance.targets)
+        )
+        for idx, (tname, info) in enumerate(zip(instance.targets, infos)):
+            self._finish_and_apply(ctx, manager, idx, tname, info.network)
+        ctx.stats.structural_miter_copies = copies
+        self._set_method(ctx)
+
+
+class StructuralFallbackStrategy(_StructuralStrategyBase):
+    """Sequential cofactor construction (§3.6.1): target-by-target, each
+    patch applied before the next miter is built."""
+
+    name = "structural"
+
+    def run(self, ctx: "EcoContext", manager: "PassManager") -> None:
+        instance = ctx.instance
+        current = ctx.current
+        copies_total = 0
+        for idx, tname in enumerate(instance.targets):
+            remaining = instance.targets[idx:]
+            remaining_ids = [current.node_by_name(t) for t in remaining]
+            miter = build_miter(
+                current, ctx.spec, remaining_ids, ctx.window.po_indices
+            )
+            qm = build_quantified_miter(miter, miter.target_pis[0])
+            info = structural_patch_single(qm, tname)
+            copies_total += info.miter_copies
+            self._finish_and_apply(ctx, manager, idx, tname, info.network)
+        ctx.stats.structural_miter_copies = copies_total
+        self._set_method(ctx)
 
 
 def _extract_output(net: Network, po_name: str, new_po_name: str) -> Network:

@@ -15,9 +15,17 @@ reference the paper's complexity claim is measured against) and the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
-from ..sat.solver import Solver
+from .. import obs
+from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.tseitin import add_equality
+from ..sat.types import mklit
+from .pipeline import EcoEngineError, Pass, PassOutcome
+from .quantify import QMITER_PO
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pipeline import EcoContext
 
 
 @dataclass
@@ -199,3 +207,91 @@ def last_gasp_improvement(
             if improved:
                 break
     return current
+
+
+class SupportPass(Pass):
+    """Expression (2) + support minimization for the current target.
+
+    Adds selector-guarded divisor equalities over the two quantified-
+    miter stamps of the target's shared solver, establishes that the
+    full divisor set admits a patch (UNSAT), then minimizes the selector
+    assumptions with the configured method (``analyze_final`` cores or
+    Algorithm 1, optionally followed by last-gasp swaps).  Leaves the
+    chosen divisor ids in ``ctx.target.support_ids`` — in algorithm
+    output order, *not* cost-sorted; downstream passes sort — and the
+    subset-feasibility oracle in ``ctx.target.feasible_ids`` for the
+    ``satprune`` refinement pass.
+    """
+
+    name = "support"
+
+    def run(self, ctx: "EcoContext") -> PassOutcome:
+        cfg = ctx.config
+        tgt = ctx.target
+        assert tgt is not None and tgt.qm is not None and tgt.sat is not None
+        qm, divisors, sat = tgt.qm, tgt.divisors, tgt.sat
+        solver, vars1, vars2 = sat.solver, sat.vars1, sat.vars2
+        budget = ctx.budget
+
+        po_node = dict(qm.net.pos)[QMITER_PO]
+        m1, m2 = vars1[po_node], vars2[po_node]
+        n1, n2 = vars1[qm.target_pi], vars2[qm.target_pi]
+        selectors: Dict[int, int] = {}
+        for nid in divisors.ids:
+            dnode = qm.divisor_nodes[nid]
+            s = solver.new_var()
+            selectors[nid] = s
+            add_equality(solver, vars1[dnode], vars2[dnode], mklit(s))
+
+        base = [mklit(n1, True), mklit(m1), mklit(n2), mklit(m2)]
+        ordered = list(divisors.ids)  # already cost-ascending
+        all_lits = [mklit(selectors[n]) for n in ordered]
+        lit_of = {nid: mklit(selectors[nid]) for nid in ordered}
+        id_of = {lit: nid for nid, lit in lit_of.items()}
+
+        def feasible_ids(ids: Sequence[int]) -> bool:
+            # called from last-gasp here and from the satprune pass
+            # later; charged to the run budget by the enclosing
+            # metered region (the budget's conflict tally is global)
+            try:
+                return not solver.solve(
+                    base + [lit_of[i] for i in ids],
+                    budget_conflicts=budget.remaining,
+                )
+            except SatBudgetExceeded:
+                return False
+
+        sstats = SupportStats()
+        with budget.metered() as cap:
+            if solver.solve(base + all_lits, budget_conflicts=cap):
+                raise EcoEngineError(
+                    "divisor set cannot express a patch for this target "
+                    "(insufficient expansion or over-restricted candidates)"
+                )
+
+            if cfg.support_method == "analyze_final":
+                core = solver.core
+                chosen = [nid for nid in ordered if lit_of[nid] in core]
+            elif cfg.support_method in ("minassump", "satprune"):
+                minimizer = AssumptionMinimizer(solver, base, cap, sstats)
+                kept = minimizer.minimize(all_lits, check=False)
+                chosen = [id_of[lit] for lit in kept]
+                if cfg.use_last_gasp:
+                    improved = last_gasp_improvement(
+                        lambda lits: feasible_ids([id_of[l] for l in lits]),
+                        [lit_of[n] for n in chosen],
+                        [lit_of[n] for n in ordered],
+                        {lit_of[n]: divisors.cost[n] for n in ordered},
+                    )
+                    chosen = [id_of[lit] for lit in improved]
+            else:
+                raise ValueError(
+                    f"unknown support method {cfg.support_method!r}"
+                )
+
+        tgt.support_ids = chosen
+        tgt.feasible_ids = feasible_ids
+        ctx.stats.bump("support_sat_calls", sstats.sat_calls)
+        obs.inc("engine.support_sat_calls", sstats.sat_calls)
+        obs.annotate("support_size", len(chosen))
+        return PassOutcome(detail=f"{len(chosen)} divisors")

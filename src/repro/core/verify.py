@@ -8,13 +8,17 @@ test-suite oracles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..network.network import Network
 from ..sat.solver import SatBudgetExceeded, Solver
 from ..sat.tseitin import encode_network
 from ..sat.types import mklit
 from .miter import MITER_PO, build_miter
+from .pipeline import EcoEngineError, Pass, PassOutcome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pipeline import EcoContext
 
 
 @dataclass
@@ -80,3 +84,46 @@ def cec(
         for pi in miter.x_pis
     }
     return CecResult(equivalent=False, counterexample=cex)
+
+
+class VerifyPass(Pass):
+    """Figure 2 "Verify patch": full CEC of the patched implementation.
+
+    Deliberately budget-free — correctness must not degrade with the
+    run's conflict budget.  A refuted equivalence raises
+    :class:`EcoEngineError` out of the pipeline (every strategy already
+    had its chance by the time the epilogue runs).
+    """
+
+    name = "verify"
+
+    def run(self, ctx: "EcoContext") -> PassOutcome:
+        result = cec(ctx.current, ctx.spec, budget_conflicts=None)
+        ctx.verified = bool(result.equivalent)
+        if not ctx.verified:
+            raise EcoEngineError(
+                f"{ctx.instance.name}: patched implementation is not "
+                f"equivalent to the specification "
+                f"(cex={result.counterexample})"
+            )
+        return PassOutcome(detail="equivalent")
+
+
+class CertificateCheckPass(Pass):
+    """Independent re-check of the assembled :class:`EcoResult` with
+    :func:`repro.check.certificate.certify` (fresh solver, divisor-set
+    membership, cost/gate accounting).  Runs as a finalizer — it needs
+    the result object, not just the context."""
+
+    name = "certificate_check"
+
+    def run(self, ctx: "EcoContext") -> PassOutcome:
+        # deferred import: repro.check imports from repro.core
+        from ..check.certificate import CertificateError, certify
+
+        try:
+            certify(ctx.instance, ctx.result)
+        except CertificateError as exc:
+            raise EcoEngineError(str(exc)) from exc
+        ctx.stats.certificate_checked = 1
+        return PassOutcome(detail="certified")

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import io
 import json
-from typing import Any, Dict, List, Mapping, Union
+from typing import Any, List, Mapping, Union
 
 from .core import Registry
 
@@ -232,6 +232,19 @@ def validate_bench_document(doc: Any) -> None:
                 f"{path}.phases.{name}",
                 "phase times must be numbers",
             )
+        passes = entry.get("passes")
+        _require(isinstance(passes, Mapping), path, "passes must be an object")
+        for name, secs in passes.items():
+            _require(
+                isinstance(secs, _NUMBER),
+                f"{path}.passes.{name}",
+                "pass times must be numbers",
+            )
+            _require(
+                phases.get("engine." + name) == secs,
+                f"{path}.passes.{name}",
+                "pass time must mirror the engine.<pass> phase entry",
+            )
         _check_counters(entry.get("counters"), f"{path}.counters")
         solver = entry.get("solver")
         _require(isinstance(solver, Mapping), path, "solver must be an object")
@@ -268,6 +281,7 @@ def document_keys(doc: Mapping) -> List[str]:
         for entry in doc.get("units", []):
             keys.update(entry.get("counters", {}))
             keys.update(entry.get("phases", {}))
+            keys.update("engine." + k for k in entry.get("passes", {}))
     else:
         raise TelemetrySchemaError(
             f"$.schema: unknown telemetry schema {doc.get('schema')!r}"

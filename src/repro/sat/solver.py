@@ -48,6 +48,19 @@ class SatBudgetExceeded(Exception):
     """
 
 
+#: Process-wide monotonic conflict tally across *all* solver instances.
+#: ``repro.core.pipeline.ConflictBudget`` reads before/after marks around
+#: metered regions to charge a run-level budget even when the region
+#: constructs its own internal solvers (cec, 2QBF, resubstitution, ...).
+#: A one-element list so the hot loop pays a single indexed add.
+_CONFLICT_TALLY = [0]
+
+
+def conflict_tally() -> int:
+    """Total conflicts analyzed by every solver in this process."""
+    return _CONFLICT_TALLY[0]
+
+
 class _Clause:
     """One clause; positions 0 and 1 are the watched literals."""
 
@@ -792,6 +805,7 @@ class Solver:
                 conflicts_total += 1
                 conflicts_since_restart += 1
                 self.stats["conflicts"] += 1
+                _CONFLICT_TALLY[0] += 1
                 if budget_conflicts is not None and conflicts_total > budget_conflicts:
                     self._cancel_until(0)
                     raise SatBudgetExceeded(

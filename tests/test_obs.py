@@ -166,7 +166,8 @@ def _bench_entry(**overrides):
         "gates": 2,
         "runtime_s": 0.1,
         "verified": True,
-        "phases": {"engine.run": 0.1},
+        "phases": {"engine.run": 0.1, "engine.window": 0.02},
+        "passes": {"window": 0.02},
         "counters": {"sat.solves": 5},
         "solver": {
             "solves": 5,
@@ -192,6 +193,27 @@ class TestBenchSchema:
     def test_missing_solver_counter_rejected(self):
         bad = _bench_entry()
         del bad["solver"]["restarts"]
+        doc = {
+            "schema": "repro.obs.bench/v1",
+            "suite": "s",
+            "units": [bad],
+        }
+        with pytest.raises(TelemetrySchemaError):
+            validate_bench_document(doc)
+
+    def test_missing_passes_rejected(self):
+        bad = _bench_entry()
+        del bad["passes"]
+        doc = {
+            "schema": "repro.obs.bench/v1",
+            "suite": "s",
+            "units": [bad],
+        }
+        with pytest.raises(TelemetrySchemaError):
+            validate_bench_document(doc)
+
+    def test_pass_time_must_mirror_phase(self):
+        bad = _bench_entry(passes={"window": 0.5})
         doc = {
             "schema": "repro.obs.bench/v1",
             "suite": "s",

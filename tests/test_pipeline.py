@@ -1,0 +1,406 @@
+"""Pass-pipeline framework tests: selection, budget, fallback chain.
+
+The engine is a declarative pipeline (see docs/PIPELINE.md): these
+tests exercise the framework pieces in isolation — ``--passes``
+parsing, the run-level :class:`ConflictBudget` accounting, typed
+:class:`EngineStats` serialization — and inject failures into the
+strategy chain to pin down the ``sat_flow → certificate → structural``
+fallback order and its telemetry.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import EcoEngine, EcoInstance, contest_config, obs
+from repro.benchgen import corrupt, generate_weights, make_specification
+from repro.core import cec
+from repro.core.engine import (
+    baseline_config,
+    best_config,
+    build_pipeline,
+    pipeline_stages,
+)
+from repro.core.feasibility import EcoInfeasibleError
+from repro.core.patchfunc import PatchEnumerationError
+from repro.core.pipeline import (
+    MANDATORY_STAGES,
+    STAGE_NAMES,
+    ConflictBudget,
+    EcoEngineError,
+    EngineStats,
+    PassSelection,
+    SatFlowStrategy,
+    parse_pass_selection,
+)
+from repro.core.structural import CertificateStrategy, StructuralFallbackStrategy
+from repro.sat.solver import SatBudgetExceeded
+
+from helpers import random_network
+
+
+def make_instance(seed=0, n_targets=1, n_gates=40):
+    golden = random_network(n_pi=5, n_gates=n_gates, n_po=3, seed=seed)
+    impl, targets, _ = corrupt(golden, n_targets, seed=seed + 5)
+    spec = make_specification(golden)
+    return EcoInstance(
+        name=f"pl{seed}",
+        impl=impl,
+        spec=spec,
+        targets=targets,
+        weights=generate_weights(impl, "T3", seed=seed),
+    )
+
+
+def observable(inst):
+    return cec(inst.impl, inst.spec).equivalent is False
+
+
+def first_observable(seeds=range(10), **kwargs):
+    for seed in seeds:
+        inst = make_instance(seed=seed, **kwargs)
+        if observable(inst):
+            return inst
+    pytest.skip("no observable instance found")
+
+
+# ---------------------------------------------------------------------------
+# --passes selection
+# ---------------------------------------------------------------------------
+
+
+class TestPassSelection:
+    def test_skip_spec(self):
+        sel = parse_pass_selection("-cegar_min")
+        assert sel.skip == frozenset({"cegar_min"})
+        assert not sel.only
+
+    def test_whitelist_spec(self):
+        sel = parse_pass_selection("feasibility,sat_flow,support,patch_function")
+        assert sel.only == frozenset(
+            {"feasibility", "sat_flow", "support", "patch_function"}
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown pass"):
+            parse_pass_selection("nonsense")
+
+    def test_mandatory_cannot_be_skipped(self):
+        for name in MANDATORY_STAGES:
+            with pytest.raises(ValueError, match="mandatory"):
+                parse_pass_selection(f"-{name}")
+
+    def test_apply_keeps_mandatory_and_order(self):
+        sel = PassSelection(only=frozenset({"verify"}))
+        stages = pipeline_stages(contest_config())
+        kept = sel.apply(stages)
+        assert kept == ["window", "divisors", "verify"]
+
+    def test_apply_skip(self):
+        sel = parse_pass_selection("-verify,-satprune")
+        kept = sel.apply(pipeline_stages(best_config()))
+        assert "verify" not in kept and "satprune" not in kept
+        assert "support" in kept and "cegar_min" in kept
+
+
+class TestDeclarativeStages:
+    """Each Table 1 preset maps to an explicit stage list."""
+
+    def test_baseline(self):
+        assert pipeline_stages(baseline_config()) == (
+            "window", "divisors", "feasibility", "sat_flow", "support",
+            "patch_function", "certificate", "structural", "verify",
+        )
+
+    def test_contest(self):
+        assert pipeline_stages(contest_config()) == (
+            "window", "divisors", "feasibility", "sat_flow", "support",
+            "patch_function", "certificate", "structural", "verify",
+        )
+
+    def test_best(self):
+        assert pipeline_stages(best_config()) == (
+            "window", "divisors", "feasibility", "sat_flow", "support",
+            "satprune", "patch_function", "certificate", "structural",
+            "cegar_min", "verify",
+        )
+
+    def test_structural_only_drops_sat_flow(self):
+        cfg = dataclasses.replace(contest_config(), structural_only=True)
+        stages = pipeline_stages(cfg)
+        assert "sat_flow" not in stages and "support" not in stages
+        assert "certificate" in stages and "structural" in stages
+
+    def test_all_stage_names_catalogued(self):
+        for cfg in (baseline_config(), contest_config(), best_config()):
+            assert set(pipeline_stages(cfg)) <= set(STAGE_NAMES)
+
+    def test_incomplete_sat_flow_selection_drops_strategy(self):
+        # sat_flow without its per-target passes cannot run
+        pipe = build_pipeline(
+            contest_config(), parse_pass_selection("-support")
+        )
+        assert all(s.name != "sat_flow" for s in pipe.strategies)
+
+    def test_full_pipeline_has_three_strategies(self):
+        pipe = build_pipeline(contest_config())
+        assert [s.name for s in pipe.strategies] == [
+            "sat_flow", "certificate", "structural",
+        ]
+
+
+# ---------------------------------------------------------------------------
+# run-level conflict budget
+# ---------------------------------------------------------------------------
+
+
+class TestConflictBudget:
+    def test_unlimited(self):
+        b = ConflictBudget(None)
+        assert b.remaining is None
+        assert not b.exhausted()
+        with b.metered() as cap:
+            assert cap is None
+
+    def test_cap_is_remaining(self):
+        b = ConflictBudget(100)
+        b.spent = 30
+        with b.metered() as cap:
+            assert cap == 70
+
+    def test_charges_conflicts(self, monkeypatch):
+        tally = [0]
+        monkeypatch.setattr(
+            "repro.core.pipeline.conflict_tally", lambda: tally[0]
+        )
+        b = ConflictBudget(100)
+        with b.metered():
+            tally[0] += 12
+        assert b.spent == 12
+        assert b.remaining == 88
+
+    def test_nested_regions_charge_once(self, monkeypatch):
+        tally = [0]
+        monkeypatch.setattr(
+            "repro.core.pipeline.conflict_tally", lambda: tally[0]
+        )
+        b = ConflictBudget(100)
+        with b.metered():
+            tally[0] += 5
+            with b.metered():
+                tally[0] += 7
+            tally[0] += 1
+        assert b.spent == 13  # outermost region charged exactly once
+
+    def test_exhaustion_floors_at_zero(self, monkeypatch):
+        tally = [0]
+        monkeypatch.setattr(
+            "repro.core.pipeline.conflict_tally", lambda: tally[0]
+        )
+        b = ConflictBudget(10)
+        with b.metered():
+            tally[0] += 25
+        assert b.exhausted()
+        assert b.remaining == 0
+
+    def test_engine_reports_spend(self):
+        inst = first_observable()
+        res = EcoEngine(contest_config()).run(inst)
+        assert "budget_conflicts_spent" in res.stats
+        spent = res.stats["budget_conflicts_spent"]
+        assert 0 <= spent <= contest_config().budget_conflicts
+        assert res.engine_stats.budget_conflicts_spent == spent
+
+    def test_unlimited_budget_has_no_spend_key(self):
+        inst = first_observable()
+        cfg = dataclasses.replace(contest_config(), budget_conflicts=None)
+        res = EcoEngine(cfg).run(inst)
+        assert "budget_conflicts_spent" not in res.stats
+
+
+# ---------------------------------------------------------------------------
+# typed stats
+# ---------------------------------------------------------------------------
+
+
+class TestEngineStats:
+    def test_untouched_optional_fields_omitted(self):
+        d = EngineStats().to_dict()
+        assert d == {
+            "window_pos": 0,
+            "divisor_candidates": 0,
+            "feasibility_copies": 0,
+        }
+
+    def test_bump_initializes_from_none(self):
+        s = EngineStats()
+        s.bump("cubes", 3)
+        s.bump("cubes")
+        assert s.to_dict()["cubes"] == 4
+
+    def test_record_fallback(self):
+        s = EngineStats()
+        s.record_fallback("sat_flow", SatBudgetExceeded("b"))
+        s.record_fallback("certificate", PatchEnumerationError("e"))
+        assert s.fallback_chain == [
+            "sat_flow:SatBudgetExceeded",
+            "certificate:PatchEnumerationError",
+        ]
+        d = s.to_dict()
+        assert d["sat_flow_fallback"] == 1
+        assert d["fallback_reason_SatBudgetExceeded"] == 1
+        assert d["fallback_reason_PatchEnumerationError"] == 1
+
+    def test_non_sat_flow_fallback_not_counted_as_sat_flow(self):
+        s = EngineStats()
+        s.record_fallback("certificate", EcoEngineError("x"))
+        assert s.sat_flow_fallback is None
+
+
+# ---------------------------------------------------------------------------
+# fallback-chain injection
+# ---------------------------------------------------------------------------
+
+
+def _raise(exc):
+    def run(self, ctx, manager):
+        raise exc
+
+    return run
+
+
+class TestFallbackChain:
+    def test_sat_flow_failure_falls_back_to_structural(self, monkeypatch):
+        inst = first_observable()
+        monkeypatch.setattr(
+            SatFlowStrategy, "run", _raise(SatBudgetExceeded("injected"))
+        )
+        registry = obs.get_registry()
+        registry.reset()
+        registry.enable()
+        try:
+            res = EcoEngine(contest_config()).run(inst)
+        finally:
+            registry.disable()
+        assert res.verified
+        assert res.method == "structural"
+        assert res.stats["sat_flow_fallback"] == 1
+        assert res.stats["fallback_reason_SatBudgetExceeded"] == 1
+        assert res.engine_stats.fallback_chain == [
+            "sat_flow:SatBudgetExceeded"
+        ]
+        assert registry.counters["engine.fallback.SatBudgetExceeded"] == 1
+        assert registry.counters["engine.sat_flow_fallback"] == 1
+
+    def test_chain_order_sat_certificate_structural(self, monkeypatch):
+        inst = first_observable(n_targets=2)
+        cfg = dataclasses.replace(
+            contest_config(), feasibility_method="qbf"
+        )
+        monkeypatch.setattr(
+            SatFlowStrategy, "run", _raise(SatBudgetExceeded("injected"))
+        )
+        monkeypatch.setattr(
+            CertificateStrategy, "run", _raise(PatchEnumerationError("injected"))
+        )
+        try:
+            res = EcoEngine(cfg).run(inst)
+        except (EcoEngineError, EcoInfeasibleError):
+            pytest.skip("structural path could not finish this seed")
+        assert res.verified
+        assert res.method == "structural"
+        chain = res.engine_stats.fallback_chain
+        assert chain[0] == "sat_flow:SatBudgetExceeded"
+        # the certificate strategy sits between sat_flow and structural
+        # whenever QBF countermoves make it applicable
+        if len(chain) > 1:
+            assert chain[1] == "certificate:PatchEnumerationError"
+
+    def test_every_strategy_failing_reraises_last(self, monkeypatch):
+        inst = first_observable()
+        monkeypatch.setattr(
+            SatFlowStrategy, "run", _raise(SatBudgetExceeded("injected"))
+        )
+        monkeypatch.setattr(
+            CertificateStrategy, "run", _raise(EcoEngineError("injected"))
+        )
+        monkeypatch.setattr(
+            StructuralFallbackStrategy,
+            "run",
+            _raise(EcoInfeasibleError("injected")),
+        )
+        with pytest.raises(EcoInfeasibleError):
+            EcoEngine(contest_config()).run(inst)
+
+    def test_infeasible_from_prologue_still_raises(self):
+        # a feasibility proof of infeasibility must not be "handled"
+        # by the strategy chain — it happens before the chain starts
+        from repro.network import GateType, Network
+
+        impl = Network()
+        a = impl.add_pi("a")
+        g = impl.add_gate(GateType.NOT, [a], "g")
+        impl.add_po(g, "o")
+        impl.add_po(a, "p")
+        spec = Network()
+        a2 = spec.add_pi("a")
+        g2 = spec.add_gate(GateType.NOT, [a2], "g")
+        spec.add_po(g2, "o")
+        spec.add_po(g2, "p")  # 'p' differs outside any patchable cone
+        inst = EcoInstance("infeas", impl, spec, targets=["g"], weights={})
+        with pytest.raises(EcoInfeasibleError):
+            EcoEngine(contest_config()).run(inst)
+
+
+# ---------------------------------------------------------------------------
+# --passes end to end
+# ---------------------------------------------------------------------------
+
+
+class TestPassesEndToEnd:
+    def test_engine_accepts_spec_string(self):
+        inst = first_observable()
+        res = EcoEngine(contest_config(), passes="-verify").run(inst)
+        assert res.patches
+        # verify was skipped, so the flag keeps its optimistic default
+        assert res.verified
+
+    def test_minimal_sat_selection(self):
+        inst = first_observable()
+        res = EcoEngine(
+            contest_config(),
+            passes="feasibility,sat_flow,support,patch_function,verify",
+        ).run(inst)
+        assert res.verified
+        assert res.method == "sat"
+
+    def test_skipped_feasibility_is_assumed(self):
+        inst = first_observable()
+        res = EcoEngine(contest_config(), passes="-feasibility").run(inst)
+        assert res.verified
+        assert res.method == "sat"
+
+    def test_cli_run_with_passes(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            ["run", "--unit", "unit1", "--method", "minassump",
+             "--passes=-cegar_min,-resub"]
+        )
+        assert rc == 0
+
+    def test_cli_rejects_bad_passes(self, capsys):
+        from repro.cli import main
+
+        rc = main(["run", "--unit", "unit1", "--passes", "bogus"])
+        assert rc == 2
+
+    def test_bench_entry_has_pass_columns(self):
+        from repro.benchgen import SUITE, run_unit
+
+        row = run_unit(SUITE[0], methods=["minassump"], collect_telemetry=True)
+        entry = row.telemetry["minassump"]
+        assert entry["passes"]
+        for name, secs in entry["passes"].items():
+            assert name in STAGE_NAMES
+            assert entry["phases"]["engine." + name] == secs
