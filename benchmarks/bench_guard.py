@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Bench regression guard: compare a fresh Table 1 export to the baseline.
+
+Usage::
+
+    python benchmarks/bench_guard.py CURRENT.json \
+        [--baseline benchmarks/results/BENCH_table1.json] \
+        [--threshold 0.25] [--json]
+
+Both files are ``repro.obs.bench/v1`` exports from
+``benchmarks/bench_table1.py``.  The guard sums ``runtime_s`` over the
+(unit, method) pairs present in *both* files — rows added or removed
+since the baseline don't skew the comparison — and fails (exit 1) when
+the current total exceeds the baseline total by more than the
+threshold (default: 25% slower).  Per-pair deltas are printed so a
+regression points at the responsible unit immediately.
+
+Wired into the CI telemetry job as non-blocking-but-loud:
+``continue-on-error`` keeps a noisy runner from failing the build, but
+the step's failure mark stays visible in the job summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+Key = Tuple[str, str]
+
+
+def load_runtimes(path: str) -> Dict[Key, float]:
+    """Map (unit, method) -> runtime_s from a bench export."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "repro.obs.bench/v1":
+        raise ValueError(
+            f"{path}: unexpected schema {doc.get('schema')!r}"
+            " (want repro.obs.bench/v1)"
+        )
+    runtimes: Dict[Key, float] = {}
+    for row in doc.get("units", []):
+        runtimes[(row["unit"], row["method"])] = float(row["runtime_s"])
+    return runtimes
+
+
+def compare(
+    baseline: Dict[Key, float],
+    current: Dict[Key, float],
+    threshold: float,
+) -> dict:
+    """Totals over the shared (unit, method) pairs, plus per-pair deltas."""
+    shared = sorted(set(baseline) & set(current))
+    base_total = sum(baseline[k] for k in shared)
+    cur_total = sum(current[k] for k in shared)
+    ratio = cur_total / base_total if base_total > 0 else float("inf")
+    pairs: List[dict] = []
+    for key in shared:
+        unit, method = key
+        base, cur = baseline[key], current[key]
+        pairs.append(
+            {
+                "unit": unit,
+                "method": method,
+                "baseline_s": base,
+                "current_s": cur,
+                "ratio": cur / base if base > 0 else float("inf"),
+            }
+        )
+    return {
+        "shared_pairs": len(shared),
+        "only_in_baseline": sorted(
+            f"{u}/{m}" for u, m in set(baseline) - set(current)
+        ),
+        "only_in_current": sorted(
+            f"{u}/{m}" for u, m in set(current) - set(baseline)
+        ),
+        "baseline_total_s": base_total,
+        "current_total_s": cur_total,
+        "ratio": ratio,
+        "threshold": threshold,
+        "ok": bool(shared) and ratio <= 1.0 + threshold,
+        "pairs": pairs,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh bench_table1.py export")
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/results/BENCH_table1.json",
+        help="committed baseline export",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown of the total (default: 0.25)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the comparison as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_runtimes(args.baseline)
+        current = load_runtimes(args.current)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"bench_guard: error: {exc}", file=sys.stderr)
+        return 2
+
+    result = compare(baseline, current, args.threshold)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        for pair in result["pairs"]:
+            print(
+                f"  {pair['unit']:>8s}/{pair['method']:<18s}"
+                f" {pair['baseline_s']:9.4f}s -> {pair['current_s']:9.4f}s"
+                f"  x{pair['ratio']:.2f}"
+            )
+        for tag in ("only_in_baseline", "only_in_current"):
+            if result[tag]:
+                print(f"  {tag}: {', '.join(result[tag])}")
+        print(
+            f"total over {result['shared_pairs']} shared rows:"
+            f" {result['baseline_total_s']:.3f}s ->"
+            f" {result['current_total_s']:.3f}s"
+            f" (x{result['ratio']:.3f}, allowed x{1 + args.threshold:.2f})"
+        )
+    if not result["shared_pairs"]:
+        print("bench_guard: FAIL — no shared (unit, method) rows",
+              file=sys.stderr)
+        return 1
+    if not result["ok"]:
+        print(
+            f"bench_guard: FAIL — total wall-clock regressed by"
+            f" {(result['ratio'] - 1) * 100:.1f}%"
+            f" (threshold {args.threshold * 100:.0f}%)",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.json:
+        print("bench_guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Static analysis for the repo's own conventions.
+
+Two halves, both reporting through the shared
+:mod:`repro.check.findings` model and both wired into the
+``repro-eco analyze`` CLI subcommand and CI:
+
+* **Pass-contract dataflow verification** (rules ``PA…``) — every
+  pipeline stage declares what it reads and writes on the shared
+  :class:`~repro.core.pipeline.EcoContext`
+  (:mod:`repro.analyze.contracts`); :mod:`repro.analyze.verifier`
+  checks any assembled pipeline or ``--passes`` selection *before
+  execution* — read-before-write orderings, dead writes, duplicate
+  stages — and computes the may-run-in-parallel stage partition the
+  process-parallel fan-out will consume.
+  :mod:`repro.analyze.enforce` is the dynamic complement:
+  ``PassManager(enforce_contracts=True)`` cross-checks declarations
+  against actual attribute access at runtime.
+
+* **Project linting** (rules ``RA…``) — :mod:`repro.analyze.lint` is
+  an AST checker for cross-layer invariants: obs-key catalogue drift
+  (both directions), clause-group release discipline,
+  ``Network.clone()`` sanctioning, determinism of core modules, and
+  typed-stats discipline.
+
+The rule catalogue lives in ``docs/ANALYSIS.md``.
+"""
+
+# NOTE: .lint is deliberately not imported here so that
+# ``python -m repro.analyze.lint`` does not re-execute an
+# already-imported module (runpy warning); import it explicitly.
+from .contracts import (
+    declarable_field_names,
+    stage_contracts,
+    validate_contract,
+)
+from .enforce import ContextMonitor, ContractViolationError
+from .verifier import (
+    PipelineAnalysis,
+    parallel_partition,
+    verify_pipeline,
+    verify_selection,
+    verify_stage_order,
+)
+
+__all__ = [
+    "ContextMonitor",
+    "ContractViolationError",
+    "PipelineAnalysis",
+    "declarable_field_names",
+    "parallel_partition",
+    "stage_contracts",
+    "validate_contract",
+    "verify_pipeline",
+    "verify_selection",
+    "verify_stage_order",
+]

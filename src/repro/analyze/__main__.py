@@ -1,0 +1,8 @@
+"""``python -m repro.analyze`` — alias for ``repro-eco analyze``."""
+
+import sys
+
+from ..cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["analyze", *sys.argv[1:]]))

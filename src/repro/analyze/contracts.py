@@ -1,0 +1,145 @@
+"""Contract registry and declaration validation (rules PA003–PA006).
+
+The declarations themselves live next to the passes (``Pass.contract``
+/ ``Strategy.contract`` class attributes, built with
+:func:`repro.core.pipeline.contract`); this module knows how to find
+them by stage name, what the legal field namespace is (derived from the
+:class:`~repro.core.pipeline.EcoContext` and
+:class:`~repro.core.pipeline.TargetState` dataclasses, so a renamed
+field invalidates stale contracts automatically), and how to report a
+malformed declaration as a :class:`~repro.check.findings.Finding`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Optional
+
+from ..check.findings import Finding, Severity
+from ..core.pipeline import (
+    AMBIENT_FIELDS,
+    EcoContext,
+    PassContract,
+    TargetState,
+)
+
+#: prefix of :class:`TargetState` fields in contract declarations
+TARGET_PREFIX = "target."
+
+
+def context_field_names() -> FrozenSet[str]:
+    """Bare :class:`EcoContext` dataclass field names."""
+    return frozenset(f.name for f in dataclasses.fields(EcoContext))
+
+
+def target_field_names() -> FrozenSet[str]:
+    """:class:`TargetState` fields, ``target.``-prefixed."""
+    return frozenset(
+        TARGET_PREFIX + f.name for f in dataclasses.fields(TargetState)
+    )
+
+
+def declarable_field_names() -> FrozenSet[str]:
+    """Every name a contract may declare: context + target fields,
+    minus the ambient plumbing (declaring ambient fields is noise the
+    verifier rejects so contracts stay focused on real dataflow)."""
+    return (context_field_names() | target_field_names()) - AMBIENT_FIELDS
+
+
+def stage_contracts() -> Dict[str, Optional[PassContract]]:
+    """Map every selectable stage name to its declared contract.
+
+    Contracts are class attributes, so no pass needs to be instantiated
+    (``SatFlowStrategy`` takes constructor arguments).  An undeclared
+    stage maps to ``None`` (reported as PA003 by the verifier).
+    """
+    # deferred: repro.core.engine imports nothing from repro.analyze,
+    # but keeping the dependency one-directional at import time makes
+    # the layering obvious
+    from ..core.engine import _PASS_FACTORY
+    from ..core.pipeline import SatFlowStrategy
+    from ..core.structural import (
+        CertificateStrategy,
+        StructuralFallbackStrategy,
+    )
+
+    out: Dict[str, Optional[PassContract]] = {
+        name: cls.contract for name, cls in _PASS_FACTORY.items()
+    }
+    out["sat_flow"] = SatFlowStrategy.contract
+    out["certificate"] = CertificateStrategy.contract
+    out["structural"] = StructuralFallbackStrategy.contract
+    return out
+
+
+def stage_optional_flags() -> Dict[str, bool]:
+    """Map stage name to its :attr:`Pass.optional` flag (strategies are
+    never deadline-optional)."""
+    from ..core.engine import _PASS_FACTORY
+
+    out = {name: bool(cls.optional) for name, cls in _PASS_FACTORY.items()}
+    out.update({"sat_flow": False, "certificate": False, "structural": False})
+    return out
+
+
+def validate_contract(
+    stage: str,
+    contract: Optional[PassContract],
+    optional_flag: Optional[bool] = None,
+) -> List[Finding]:
+    """Check one declaration for well-formedness.
+
+    Reports ``PA003`` (missing declaration) and ``PA006`` (unknown or
+    ambient field names; ``optional`` flag disagreeing with the pass's
+    own ``optional`` attribute).
+    """
+    if contract is None:
+        return [
+            Finding(
+                rule="PA003",
+                severity=Severity.ERROR,
+                message=f"stage {stage!r} declares no PassContract",
+                name=stage,
+            )
+        ]
+    findings: List[Finding] = []
+    legal = declarable_field_names()
+    declared = contract.all_reads() | contract.all_writes()
+    for fname in sorted(declared):
+        if fname in AMBIENT_FIELDS:
+            findings.append(
+                Finding(
+                    rule="PA006",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"stage {stage!r} declares ambient field {fname!r};"
+                        " ambient plumbing must not appear in contracts"
+                    ),
+                    name=stage,
+                )
+            )
+        elif fname not in legal:
+            findings.append(
+                Finding(
+                    rule="PA006",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"stage {stage!r} declares unknown field {fname!r}"
+                        " (not an EcoContext/TargetState field)"
+                    ),
+                    name=stage,
+                )
+            )
+    if optional_flag is not None and contract.optional != optional_flag:
+        findings.append(
+            Finding(
+                rule="PA006",
+                severity=Severity.ERROR,
+                message=(
+                    f"stage {stage!r}: contract optional={contract.optional}"
+                    f" disagrees with the pass's optional={optional_flag}"
+                ),
+                name=stage,
+            )
+        )
+    return findings

@@ -1,0 +1,136 @@
+"""Dynamic contract enforcement (rule PA005).
+
+``PassManager(enforce_contracts=True)`` runs every pass against an
+attribute-recording view of the :class:`EcoContext` and, after the pass
+returns, cross-checks what it actually touched against its declared
+:class:`PassContract`:
+
+* an observed write outside ``writes | writes_optional``, or
+* an observed read outside ``reads | reads_optional | reads_late``
+  (reading a field the pass itself declares as written is fine —
+  read-modify-write),
+
+raises :class:`ContractViolationError`.  Ambient plumbing fields
+(``config``, ``stats``, ``budget``, ...) are never recorded.  The view
+forwards everything else verbatim, so behavior under enforcement is
+identical — this mode exists for tests, not production runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Set
+
+from ..core.pipeline import (
+    AMBIENT_FIELDS,
+    EcoContext,
+    Pass,
+    PassContract,
+    TargetState,
+)
+
+_CTX_FIELDS: FrozenSet[str] = frozenset(
+    f.name for f in dataclasses.fields(EcoContext)
+)
+_TGT_FIELDS: FrozenSet[str] = frozenset(
+    f.name for f in dataclasses.fields(TargetState)
+)
+
+
+class ContractViolationError(Exception):
+    """A pass touched context fields outside its declared contract."""
+
+
+class _RecordingView:
+    """Transparent proxy over a context (or target state) object.
+
+    Records dataclass-field accesses into the owning
+    :class:`ContextMonitor`; everything else (methods, non-field
+    attributes) passes through untouched.  Accessing ``ctx.target``
+    returns a nested view so ``target.<field>`` accesses are recorded
+    under their prefixed names.
+    """
+
+    __slots__ = ("_wrapped", "_monitor", "_prefix", "_fields")
+
+    def __init__(
+        self,
+        wrapped: object,
+        monitor: "ContextMonitor",
+        prefix: str,
+        fields: FrozenSet[str],
+    ) -> None:
+        object.__setattr__(self, "_wrapped", wrapped)
+        object.__setattr__(self, "_monitor", monitor)
+        object.__setattr__(self, "_prefix", prefix)
+        object.__setattr__(self, "_fields", fields)
+
+    def __getattr__(self, name: str) -> object:
+        wrapped = object.__getattribute__(self, "_wrapped")
+        value = getattr(wrapped, name)
+        fields = object.__getattribute__(self, "_fields")
+        if name in fields:
+            prefix = object.__getattribute__(self, "_prefix")
+            monitor = object.__getattribute__(self, "_monitor")
+            key = prefix + name
+            if key == "target":
+                # ambient handle; record the *fields* accessed on it
+                if isinstance(value, TargetState):
+                    return _RecordingView(
+                        value, monitor, "target.", _TGT_FIELDS
+                    )
+                return value
+            if key not in AMBIENT_FIELDS:
+                monitor.reads.add(key)
+        return value
+
+    def __setattr__(self, name: str, value: object) -> None:
+        wrapped = object.__getattribute__(self, "_wrapped")
+        fields = object.__getattribute__(self, "_fields")
+        if name in fields:
+            prefix = object.__getattribute__(self, "_prefix")
+            key = prefix + name
+            if key not in AMBIENT_FIELDS:
+                monitor = object.__getattribute__(self, "_monitor")
+                monitor.writes.add(key)
+        setattr(wrapped, name, value)
+
+
+class ContextMonitor:
+    """Observes one pass execution and checks it against its contract."""
+
+    def __init__(self, ctx: EcoContext) -> None:
+        self.ctx = ctx
+        self.reads: Set[str] = set()
+        self.writes: Set[str] = set()
+
+    def view(self) -> _RecordingView:
+        """The recording proxy to hand to ``Pass.run``."""
+        return _RecordingView(self.ctx, self, "", _CTX_FIELDS)
+
+    def check(self, p: Pass) -> None:
+        """Raise PA005 when observed access exceeds the declaration."""
+        c = p.contract
+        if c is None:
+            raise ContractViolationError(
+                f"PA005: pass {p.name!r} ran under enforcement but"
+                " declares no PassContract"
+            )
+        undeclared_writes = self.writes - c.all_writes()
+        allowed_reads = c.all_reads() | c.all_writes()
+        undeclared_reads = self.reads - allowed_reads
+        problems = []
+        if undeclared_writes:
+            problems.append(
+                f"undeclared writes: {sorted(undeclared_writes)}"
+            )
+        if undeclared_reads:
+            problems.append(f"undeclared reads: {sorted(undeclared_reads)}")
+        if problems:
+            raise ContractViolationError(
+                f"PA005: pass {p.name!r} violated its contract — "
+                + "; ".join(problems)
+            )
+
+
+__all__ = ["ContextMonitor", "ContractViolationError"]

@@ -1,0 +1,444 @@
+"""Project-invariant AST linter (rules RA001–RA006).
+
+Enforces the cross-layer conventions generic tooling cannot see::
+
+    python -m repro.analyze.lint [PATHS ...] [--docs docs/OBSERVABILITY.md]
+
+* **RA001** (error) — an ``obs.inc/span/observe`` key literal not
+  covered by the ``docs/OBSERVABILITY.md`` catalogue (new
+  instrumentation must be documented; f-string keys are checked by
+  their literal prefix);
+* **RA002** (warning) — a catalogue key no source site can emit
+  (reverse drift: stale documentation);
+* **RA003** (error) — a ``new_group()`` call with no ``release_group``
+  in the same function (leaked retractable clause groups keep their
+  clauses forever);
+* **RA004** (error) — a ``.clone()`` call outside the allowlist of
+  sanctioned sites (fresh clones are the known perf suspect; new ones
+  need explicit sanction);
+* **RA005** (error) — ``time.time`` or unseeded ``random.*`` in a
+  deterministic module (``core``, ``sat``, ``twoqbf``, ``sop``,
+  ``flow``); seeded ``random.Random(seed)`` instances are fine;
+* **RA006** (error) — a ``stats[...] = ...`` subscript write in
+  ``repro/core`` (per-run statistics go through the typed
+  :class:`~repro.core.pipeline.EngineStats`).
+
+Shares the :class:`~repro.check.findings.Finding` model with the rest
+of the analyzers; ``repro-eco analyze`` runs this over ``src/repro``
+alongside the pipeline verifier.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..check.findings import CheckReport, Finding, Severity
+from ..obs.validate import parse_catalogue
+
+#: Files allowed to call ``.clone()`` (repo-relative suffixes).
+CLONE_ALLOWLIST: Tuple[str, ...] = (
+    "repro/core/engine.py",      # per-run pristine base copy
+    "repro/core/pipeline.py",    # per-strategy fresh working clone
+    "repro/core/patch.py",       # apply_patch_copy convenience
+    "repro/benchgen/mutations.py",  # golden -> corrupted copy
+    "repro/seq/eco.py",          # combinational view extraction
+    "repro/seq/verify.py",       # combinational view extraction
+    "repro/seq/network.py",      # mapping-core extraction
+)
+
+#: Module path fragments whose behavior must be deterministic.
+DETERMINISTIC_MODULES: Tuple[str, ...] = (
+    "repro/core/",
+    "repro/sat/",
+    "repro/twoqbf/",
+    "repro/sop/",
+    "repro/flow/",
+)
+
+#: Names an obs registry handle goes by at call sites.
+_OBS_NAMES = frozenset({"obs", "_OBS"})
+_OBS_METHODS = frozenset({"inc", "span", "observe"})
+
+#: The obs framework itself (and its tests of itself) is exempt from
+#: the key-catalogue rule — it manipulates keys generically.
+_OBS_EXEMPT = "repro/obs/"
+
+
+def _rel(path: Path) -> str:
+    """Forward-slash path string for allowlist suffix matching."""
+    return str(path).replace("\\", "/")
+
+
+def _is_obs_call(node: ast.Call) -> Optional[str]:
+    """Return the obs method name when ``node`` is an obs emission."""
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _OBS_METHODS:
+        return None
+    value = func.value
+    if isinstance(value, ast.Name) and value.id in _OBS_NAMES:
+        return func.attr
+    # e.g. ``self.obs.inc`` / ``registry.obs.span``
+    if isinstance(value, ast.Attribute) and value.attr in _OBS_NAMES:
+        return func.attr
+    return None
+
+
+def _key_literal(node: ast.Call) -> Tuple[Optional[str], bool]:
+    """Extract ``(key, is_prefix)`` from an obs call's first argument.
+
+    A plain string constant returns ``(key, False)``; an f-string
+    returns its leading literal run as ``(prefix, True)``; anything
+    else (a variable) returns ``(None, False)`` — not checkable.
+    """
+    if not node.args:
+        return None, False
+    arg = node.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value, False
+    if isinstance(arg, ast.JoinedStr):
+        prefix = ""
+        for part in arg.values:
+            if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                prefix += part.value
+            else:
+                break
+        return (prefix, True) if prefix else (None, False)
+    return None, False
+
+
+def _catalogued(key: str, is_prefix: bool, catalogue: Dict[str, str]) -> bool:
+    """Does any catalogue row cover this (possibly partial) key?"""
+    for pattern in catalogue:
+        stem = pattern[:-1] if pattern.endswith("*") else pattern
+        if is_prefix:
+            # a dynamic key starting with ``key``: compatible when the
+            # literal prefix and the pattern stem agree on their overlap
+            if stem.startswith(key) or key.startswith(stem):
+                return True
+        else:
+            if pattern.endswith("*"):
+                if key.startswith(stem):
+                    return True
+            elif key == pattern:
+                return True
+    return False
+
+
+def _covers(pattern: str, emitted: Set[str], prefixes: Set[str]) -> bool:
+    """Can any source site emit a key this catalogue row documents?"""
+    stem = pattern[:-1] if pattern.endswith("*") else pattern
+    for key in emitted:
+        if pattern.endswith("*"):
+            if key.startswith(stem):
+                return True
+        elif key == pattern:
+            return True
+    for prefix in prefixes:
+        if stem.startswith(prefix) or prefix.startswith(stem):
+            return True
+    return False
+
+
+class _FileLinter(ast.NodeVisitor):
+    """Single-file AST walk collecting findings and obs emissions."""
+
+    def __init__(
+        self, path: Path, rel: str, catalogue: Dict[str, str]
+    ) -> None:
+        self.path = path
+        self.rel = rel
+        self.catalogue = catalogue
+        self.findings: List[Finding] = []
+        self.emitted_keys: Set[str] = set()
+        self.emitted_prefixes: Set[str] = set()
+        self._deterministic = any(
+            frag in rel for frag in DETERMINISTIC_MODULES
+        )
+        self._clone_ok = any(rel.endswith(sfx) for sfx in CLONE_ALLOWLIST)
+        self._obs_exempt = _OBS_EXEMPT in rel
+
+    def _add(self, rule: str, severity: Severity, message: str,
+             node: ast.AST) -> None:
+        lineno = getattr(node, "lineno", 0)
+        self.findings.append(
+            Finding(
+                rule=rule,
+                severity=severity,
+                message=message,
+                name=f"{self.rel}:{lineno}",
+            )
+        )
+
+    # -- RA001: obs keys ------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        method = _is_obs_call(node)
+        if method is not None and not self._obs_exempt:
+            key, is_prefix = _key_literal(node)
+            if key is not None:
+                if is_prefix:
+                    self.emitted_prefixes.add(key)
+                else:
+                    self.emitted_keys.add(key)
+                if not _catalogued(key, is_prefix, self.catalogue):
+                    kind = "key prefix" if is_prefix else "key"
+                    self._add(
+                        "RA001",
+                        Severity.ERROR,
+                        f"obs {method} {kind} {key!r} is not covered by"
+                        " the docs/OBSERVABILITY.md catalogue",
+                        node,
+                    )
+        self._check_clone(node)
+        self._check_determinism_call(node)
+        self.generic_visit(node)
+
+    # -- RA003: clause-group discipline --------------------------------
+
+    @staticmethod
+    def _scoped_nodes(func: ast.AST) -> Iterable[ast.AST]:
+        """Nodes of one function body, excluding nested function scopes
+        (those are visited — and checked — on their own)."""
+        stack = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_groups(self, func: ast.AST) -> None:
+        opened: List[ast.Call] = []
+        released = False
+        for node in self._scoped_nodes(func):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr == "new_group":
+                    opened.append(node)
+                elif node.func.attr == "release_group":
+                    released = True
+        if opened and not released:
+            for call in opened:
+                self._add(
+                    "RA003",
+                    Severity.ERROR,
+                    "new_group() has no release_group in the same"
+                    " function; retractable clauses would leak",
+                    call,
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_groups(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_groups(node)
+        self.generic_visit(node)
+
+    # -- RA004: clone allowlist ----------------------------------------
+
+    def _check_clone(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "clone"
+            and not node.args
+            and not node.keywords
+            and not self._clone_ok
+        ):
+            self._add(
+                "RA004",
+                Severity.ERROR,
+                ".clone() outside the sanctioned-site allowlist (fresh"
+                " network copies are a tracked perf cost; add the file"
+                " to CLONE_ALLOWLIST deliberately if this one is"
+                " justified)",
+                node,
+            )
+
+    # -- RA005: determinism --------------------------------------------
+
+    def _check_determinism_call(self, node: ast.Call) -> None:
+        if not self._deterministic:
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute) or not isinstance(
+            func.value, ast.Name
+        ):
+            return
+        if func.value.id == "time" and func.attr == "time":
+            self._add(
+                "RA005",
+                Severity.ERROR,
+                "time.time() in a deterministic module (use"
+                " time.perf_counter() for intervals)",
+                node,
+            )
+        if func.value.id == "random" and func.attr != "Random":
+            self._add(
+                "RA005",
+                Severity.ERROR,
+                f"random.{func.attr}() draws from the shared global RNG"
+                " in a deterministic module; use a seeded"
+                " random.Random(seed) instance",
+                node,
+            )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self._deterministic and node.module == "random":
+            names = [a.name for a in node.names if a.name != "Random"]
+            if names:
+                self._add(
+                    "RA005",
+                    Severity.ERROR,
+                    f"from random import {', '.join(names)} in a"
+                    " deterministic module; use a seeded"
+                    " random.Random(seed) instance",
+                    node,
+                )
+        self.generic_visit(node)
+
+    # -- RA006: stats discipline ---------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if "repro/core/" in self.rel:
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, (ast.Name, ast.Attribute))
+                    and (
+                        target.value.id == "stats"
+                        if isinstance(target.value, ast.Name)
+                        else target.value.attr == "stats"
+                    )
+                ):
+                    self._add(
+                        "RA006",
+                        Severity.ERROR,
+                        "bare stats[...] = write bypasses the typed"
+                        " EngineStats; add a field or use"
+                        " EngineStats.bump()",
+                        target,
+                    )
+        self.generic_visit(node)
+
+
+def iter_source_files(paths: Sequence[Union[str, Path]]) -> Iterable[Path]:
+    """Yield ``.py`` files under the given files/directories, sorted."""
+    for path in map(Path, paths):
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    docs: Union[str, Path],
+    check_reverse_drift: bool = True,
+) -> CheckReport:
+    """Lint every source file and cross-check the obs-key catalogue."""
+    docs = Path(docs)
+    catalogue = parse_catalogue(docs.read_text(encoding="utf-8"))
+    report = CheckReport(subject="repro.analyze.lint")
+    if not catalogue:
+        report.add(
+            Finding(
+                rule="RA001",
+                severity=Severity.ERROR,
+                message=f"no catalogue rows found in {docs}",
+                name=str(docs),
+            )
+        )
+        return report
+
+    emitted: Set[str] = set()
+    prefixes: Set[str] = set()
+    for path in iter_source_files(paths):
+        rel = _rel(path)
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=rel)
+        except SyntaxError as exc:
+            report.add(
+                Finding(
+                    rule="RA000",
+                    severity=Severity.ERROR,
+                    message=f"cannot parse: {exc}",
+                    name=rel,
+                )
+            )
+            continue
+        linter = _FileLinter(path, rel, catalogue)
+        linter.visit(tree)
+        report.extend(linter.findings)
+        emitted |= linter.emitted_keys
+        prefixes |= linter.emitted_prefixes
+
+    if check_reverse_drift:
+        for pattern in sorted(catalogue):
+            if not _covers(pattern, emitted, prefixes):
+                report.add(
+                    Finding(
+                        rule="RA002",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"catalogue key {pattern!r} has no emitting"
+                            " site in the linted sources (stale"
+                            " documentation?)"
+                        ),
+                        name=pattern,
+                    )
+                )
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analyze.lint",
+        description="project-invariant AST linter (rules RA001+)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--docs",
+        default="docs/OBSERVABILITY.md",
+        help="obs key catalogue (default: docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--no-reverse-drift",
+        action="store_true",
+        help="skip RA002 (useful when linting a file subset)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    args = parser.parse_args(argv)
+
+    report = lint_paths(
+        [Path(p) for p in args.paths],
+        Path(args.docs),
+        check_reverse_drift=not args.no_reverse_drift,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report:
+            print(finding.format())
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

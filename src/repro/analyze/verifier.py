@@ -1,0 +1,414 @@
+"""Static pipeline dataflow verifier (rules PA001–PA008).
+
+Checks a :class:`~repro.core.pipeline.Pipeline` (or an explicit stage
+order) against the passes' declared :class:`PassContract`\\ s *before
+execution*:
+
+* **PA001** (error) — a stage requires a field no earlier stage (or the
+  framework) writes: the classic reordered-pipeline bug;
+* **PA002** (warning) — a stage writes a field nothing ever reads
+  (dead write); read-modify-write fields, declared byproducts
+  (``writes_optional``) and result-assembly sinks are exempt;
+* **PA003** (error) — a stage with no contract, or an unknown stage
+  name in an explicit order;
+* **PA004** (error) — the same stage appears twice in one scope;
+* **PA007** (warning) — a ``--passes`` selection names a stage the
+  configuration would not assemble anyway (the skip is a no-op);
+* **PA008** (error) — the pipeline contains no patch-producing
+  strategy, so no run could ever succeed.
+
+(PA005 is the *dynamic* enforcement rule, raised by
+:mod:`repro.analyze.enforce`; PA006 is declaration well-formedness,
+from :mod:`repro.analyze.contracts`.)
+
+The verifier also computes the **may-run-in-parallel partition**: the
+stages of each sequential scope grouped into barrier-separated waves
+whose members have pairwise disjoint (non-conflicting) contracts.  This
+is the schedulability fact the ROADMAP's process-parallel fan-out
+consumes, exposed programmatically as
+:attr:`PipelineAnalysis.partitions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..check.findings import CheckReport, Finding, Severity
+from ..core.pipeline import (
+    AMBIENT_FIELDS,
+    CHAIN_PROVIDED_FIELDS,
+    INITIAL_FIELDS,
+    SINK_FIELDS,
+    Pass,
+    PassContract,
+    PassSelection,
+    Pipeline,
+    Strategy,
+)
+from .contracts import validate_contract
+
+#: Field written by the framework's result assembly between the
+#: epilogue and the finalizers.
+_RESULT_FIELD = "result"
+
+
+@dataclass
+class _Stage:
+    """One execution slot of the flattened pipeline."""
+
+    name: str
+    contract: Optional[PassContract]
+    scope: str
+    optional_flag: Optional[bool] = None
+
+    def effective(self) -> PassContract:
+        """The contract to simulate with (empty when undeclared —
+        the missing declaration is already a PA003 error)."""
+        return self.contract if self.contract is not None else PassContract()
+
+
+@dataclass
+class PipelineAnalysis:
+    """Verification outcome: findings plus the parallelism facts.
+
+    ``partitions`` maps each sequential scope (``"prologue"``,
+    ``"target:<strategy>"``, ``"finish:<strategy>"``, ``"stages"`` for
+    explicit orders) to its barrier-separated waves: stages inside one
+    wave have pairwise non-conflicting contracts and may run
+    concurrently; waves must run in order.
+    """
+
+    stages: List[str] = field(default_factory=list)
+    report: CheckReport = field(default_factory=CheckReport)
+    partitions: Dict[str, List[List[str]]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was recorded
+        (warnings — dead writes, no-op skips — do not fail a run)."""
+        return self.report.ok
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (CLI ``analyze --json``)."""
+        return {
+            "stages": list(self.stages),
+            "partitions": {k: [list(w) for w in v]
+                           for k, v in self.partitions.items()},
+            "report": self.report.to_dict(),
+        }
+
+
+def parallel_partition(
+    stages: Sequence[Tuple[str, Optional[PassContract]]]
+) -> List[List[str]]:
+    """Greedy wave partition of an ordered stage scope.
+
+    Walks the stages in execution order; a stage joins the current wave
+    when its contract conflicts with no wave member (see
+    :meth:`PassContract.conflicts_with`), otherwise it starts a new
+    wave.  An undeclared contract is treated as conflicting with
+    everything (conservative).
+    """
+    waves: List[List[Tuple[str, Optional[PassContract]]]] = []
+    for name, c in stages:
+        placed = False
+        if waves and c is not None:
+            current = waves[-1]
+            if all(
+                other is not None and not c.conflicts_with(other)
+                for _, other in current
+            ):
+                current.append((name, c))
+                placed = True
+        if not placed:
+            waves.append([(name, c)])
+    return [[name for name, _ in wave] for wave in waves]
+
+
+def _pa001(stage: str, fname: str) -> Finding:
+    return Finding(
+        rule="PA001",
+        severity=Severity.ERROR,
+        message=(
+            f"stage {stage!r} reads {fname!r} before any earlier stage"
+            " (or the framework) writes it"
+        ),
+        name=stage,
+    )
+
+
+def _pa004(stage: str, scope: str) -> Finding:
+    return Finding(
+        rule="PA004",
+        severity=Severity.ERROR,
+        message=f"stage {stage!r} appears more than once in {scope}",
+        name=stage,
+    )
+
+
+def _check_reads(
+    report: CheckReport, stage: str, reads: Set[str], defined: Set[str]
+) -> None:
+    for fname in sorted(reads - defined - AMBIENT_FIELDS):
+        report.add(_pa001(stage, fname))
+
+
+def _check_duplicates(
+    report: CheckReport, names: Sequence[str], scope: str
+) -> None:
+    seen: Set[str] = set()
+    for name in names:
+        if name in seen:
+            report.add(_pa004(name, scope))
+        seen.add(name)
+
+
+def _dead_writes(report: CheckReport, stages: Sequence[_Stage]) -> None:
+    """PA002 over the whole flattened pipeline (order-insensitive: a
+    write is dead only when *no* other stage ever reads the field)."""
+    by_name: Dict[str, _Stage] = {}
+    for s in stages:
+        by_name.setdefault(s.name, s)
+    uniq = list(by_name.values())
+    for s in uniq:
+        c = s.effective()
+        for fname in sorted(c.writes - SINK_FIELDS):
+            if fname in c.all_reads():
+                continue  # read-modify-write
+            consumed = any(
+                fname in o.effective().all_reads()
+                for o in uniq
+                if o.name != s.name
+            )
+            if not consumed:
+                report.add(
+                    Finding(
+                        rule="PA002",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"stage {s.name!r} writes {fname!r} but no"
+                            " stage in this pipeline reads it (dead"
+                            " write; declare it writes_optional if the"
+                            " byproduct is intentional)"
+                        ),
+                        name=s.name,
+                    )
+                )
+
+
+def _declaration_findings(
+    report: CheckReport, stages: Sequence[_Stage]
+) -> None:
+    seen: Set[str] = set()
+    for s in stages:
+        if s.name in seen:
+            continue
+        seen.add(s.name)
+        report.extend(validate_contract(s.name, s.contract, s.optional_flag))
+
+
+def verify_pipeline(pipeline: Pipeline) -> PipelineAnalysis:
+    """Statically verify an assembled :class:`Pipeline`.
+
+    Walks the real structure the :class:`PassManager` will execute:
+    prologue in order, then every strategy *independently* (each starts
+    from the post-prologue state plus the framework-provided working
+    clone and patch list, since any strategy may end up being the one
+    that runs), the strategies' nested per-target and finishing passes,
+    then the epilogue on the intersection of the strategies' guarantees,
+    result assembly, and the finalizers.
+    """
+    report = CheckReport(subject="pipeline")
+    all_stages: List[_Stage] = []
+
+    def add_pass(p: Pass, scope: str) -> _Stage:
+        s = _Stage(p.name, p.contract, scope, optional_flag=bool(p.optional))
+        all_stages.append(s)
+        return s
+
+    def add_strategy(st: Strategy) -> _Stage:
+        s = _Stage(st.name, st.contract, "chain")
+        all_stages.append(s)
+        return s
+
+    prologue = [add_pass(p, "prologue") for p in pipeline.prologue]
+    chain: List[Tuple[_Stage, List[_Stage], List[_Stage]]] = []
+    for strat in pipeline.strategies:
+        nested_t = [
+            add_pass(p, f"target:{strat.name}")
+            for p in getattr(strat, "target_passes", [])
+        ]
+        nested_f = [
+            add_pass(p, f"finish:{strat.name}")
+            for p in getattr(strat, "finish_passes", [])
+        ]
+        chain.append((add_strategy(strat), nested_t, nested_f))
+    epilogue = [add_pass(p, "epilogue") for p in pipeline.epilogue]
+    finalizers = [add_pass(p, "finalizers") for p in pipeline.finalizers]
+
+    _declaration_findings(report, all_stages)
+    _check_duplicates(report, [s.name for s in prologue], "the prologue")
+    _check_duplicates(
+        report, [s.name for s, _, _ in chain], "the strategy chain"
+    )
+    for s, nested_t, nested_f in chain:
+        _check_duplicates(
+            report,
+            [n.name for n in nested_t + nested_f],
+            f"strategy {s.name!r}",
+        )
+    _check_duplicates(report, [s.name for s in epilogue], "the epilogue")
+    _check_duplicates(report, [s.name for s in finalizers], "the finalizers")
+
+    if not pipeline.strategies:
+        report.add(
+            Finding(
+                rule="PA008",
+                severity=Severity.ERROR,
+                message=(
+                    "pipeline has no patch-producing strategy"
+                    " (sat_flow, certificate, and structural all"
+                    " deselected); no run could succeed"
+                ),
+            )
+        )
+
+    # -- PA001 dataflow simulation -------------------------------------
+    defined: Set[str] = set(INITIAL_FIELDS)
+    for s in prologue:
+        c = s.effective()
+        _check_reads(report, s.name, c.reads, defined)
+        defined |= c.writes
+
+    post_chain: List[Set[str]] = []
+    for s, nested_t, nested_f in chain:
+        c = s.effective()
+        sdef = defined | CHAIN_PROVIDED_FIELDS
+        _check_reads(report, s.name, c.reads, sdef)
+        sdef |= c.writes
+        for n in nested_t + nested_f:
+            nc = n.effective()
+            _check_reads(report, n.name, nc.reads, sdef)
+            sdef |= nc.writes
+        _check_reads(report, s.name, c.reads_late, sdef)
+        post_chain.append(sdef)
+
+    if post_chain:
+        defined = set.intersection(*post_chain)
+    else:
+        defined |= CHAIN_PROVIDED_FIELDS
+
+    for s in epilogue:
+        c = s.effective()
+        _check_reads(report, s.name, c.reads, defined)
+        defined |= c.writes
+    defined.add(_RESULT_FIELD)
+    for s in finalizers:
+        c = s.effective()
+        _check_reads(report, s.name, c.reads, defined)
+        defined |= c.writes
+
+    _dead_writes(report, all_stages)
+
+    # -- parallelism facts ---------------------------------------------
+    partitions: Dict[str, List[List[str]]] = {}
+    if prologue:
+        partitions["prologue"] = parallel_partition(
+            [(s.name, s.contract) for s in prologue]
+        )
+    for s, nested_t, nested_f in chain:
+        if nested_t:
+            partitions[f"target:{s.name}"] = parallel_partition(
+                [(n.name, n.contract) for n in nested_t]
+            )
+        if nested_f:
+            partitions[f"finish:{s.name}"] = parallel_partition(
+                [(n.name, n.contract) for n in nested_f]
+            )
+
+    return PipelineAnalysis(
+        stages=pipeline.stage_names(), report=report, partitions=partitions
+    )
+
+
+def verify_stage_order(names: Sequence[str]) -> PipelineAnalysis:
+    """Verify an explicit, linear stage order (CLI ``--stages a,b,c``).
+
+    Unlike :func:`verify_pipeline` this does not model the fallback
+    chain: the named stages are assumed to run once, in the given
+    order, against a context where the framework-provided fields are
+    present.  ``reads_late`` declarations are checked against the final
+    state.  Unknown stage names are PA003 errors.
+    """
+    from .contracts import stage_contracts
+
+    report = CheckReport(subject="stage order")
+    registry = stage_contracts()
+    _check_duplicates(report, list(names), "the stage order")
+
+    stages: List[_Stage] = []
+    for name in names:
+        if name not in registry:
+            report.add(
+                Finding(
+                    rule="PA003",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"unknown stage {name!r}; choose from "
+                        + ", ".join(sorted(registry))
+                    ),
+                    name=name,
+                )
+            )
+            continue
+        stages.append(_Stage(name, registry[name], "stages"))
+
+    defined: Set[str] = set(INITIAL_FIELDS) | CHAIN_PROVIDED_FIELDS
+    late: List[Tuple[str, Set[str]]] = []
+    for s in stages:
+        c = s.effective()
+        _check_reads(report, s.name, c.reads, defined)
+        if c.reads_late:
+            late.append((s.name, set(c.reads_late)))
+        defined |= c.writes
+    defined.add(_RESULT_FIELD)
+    for name, reads_late in late:
+        _check_reads(report, name, reads_late, defined)
+
+    _dead_writes(report, stages)
+    partitions = {
+        "stages": parallel_partition([(s.name, s.contract) for s in stages])
+    }
+    return PipelineAnalysis(
+        stages=[s.name for s in stages], report=report, partitions=partitions
+    )
+
+
+def verify_selection(
+    cfg: "object", selection: Optional[PassSelection] = None
+) -> PipelineAnalysis:
+    """Verify the pipeline a configuration (plus ``--passes`` selection)
+    assembles, including selection sanity (PA007)."""
+    from ..core.engine import EcoConfig, build_pipeline, pipeline_stages
+
+    assert isinstance(cfg, EcoConfig)
+    analysis = verify_pipeline(build_pipeline(cfg, selection))
+    if selection is not None:
+        available = set(pipeline_stages(cfg))
+        for name in sorted(
+            (set(selection.skip) | set(selection.only)) - available
+        ):
+            analysis.report.add(
+                Finding(
+                    rule="PA007",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"--passes names {name!r}, which this"
+                        " configuration does not assemble anyway"
+                        " (selection has no effect on it)"
+                    ),
+                    name=name,
+                )
+            )
+    return analysis

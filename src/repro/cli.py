@@ -12,6 +12,8 @@ Subcommands::
     repro-eco cec      --impl a.v --spec b.v
     repro-eco check    netlist.v [...] [--unit unit7] [--rules NL001,..] \
                        [--no-encoding] [--patterns 64] [--json]
+    repro-eco analyze  [--strict] [--method minassump] [--passes spec] \
+                       [--stages window,divisors,...] [--json]
     repro-eco generate --unit unit7 --out unit7_dir
     repro-eco suite    [--units unit1,unit4] [--methods minassump]
 
@@ -178,6 +180,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--json", action="store_true", help="emit findings as JSON"
+    )
+
+    p = sub.add_parser(
+        "analyze",
+        help="static analysis of the repo itself: pass contracts + lint",
+        description=(
+            "Two checkers (see docs/ANALYSIS.md): the pass-contract "
+            "dataflow verifier (PA rules) validates pipeline orderings "
+            "against each stage's declared reads/writes and reports "
+            "the may-run-in-parallel stage partition; the project "
+            "linter (RA rules) enforces cross-layer invariants "
+            "(obs-key catalogue drift, clause-group discipline, clone "
+            "allowlist, determinism, typed stats).  Exits 1 on any "
+            "error finding (with --strict, warnings fail too)."
+        ),
+    )
+    p.add_argument(
+        "--method",
+        choices=sorted(_CONFIGS),
+        help="verify only this method's pipeline (default: all three)",
+    )
+    p.add_argument(
+        "--passes",
+        help="verify the pipeline with this --passes selection applied",
+    )
+    p.add_argument(
+        "--stages",
+        help=(
+            "verify an explicit comma-separated stage order (linear, "
+            "no fallback-chain modelling) instead of a method pipeline"
+        ),
+    )
+    p.add_argument(
+        "--src",
+        nargs="*",
+        default=["src/repro"],
+        help="sources for the project linter (default: src/repro)",
+    )
+    p.add_argument(
+        "--docs",
+        default="docs/OBSERVABILITY.md",
+        help="obs key catalogue (default: docs/OBSERVABILITY.md)",
+    )
+    p.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the RA project linter",
+    )
+    p.add_argument(
+        "--no-contracts",
+        action="store_true",
+        help="skip the PA pipeline verifier",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="warning-severity findings also fail the run",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
     )
 
     p = sub.add_parser("generate", help="materialize a synthetic suite unit")
@@ -375,6 +437,68 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if all(r.ok for r in reports) else 1
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from .analyze.lint import lint_paths
+    from .analyze.verifier import (
+        verify_selection,
+        verify_stage_order,
+    )
+    from .core.pipeline import parse_pass_selection
+
+    analyses = {}
+    if args.stages:
+        names = [n.strip() for n in args.stages.split(",") if n.strip()]
+        analyses["stages"] = verify_stage_order(names)
+    elif not args.no_contracts:
+        methods = [args.method] if args.method else sorted(_CONFIGS)
+        selection = (
+            parse_pass_selection(args.passes) if args.passes else None
+        )
+        for method in methods:
+            analyses[method] = verify_selection(
+                _CONFIGS[method](), selection
+            )
+
+    lint_report = None
+    if not args.stages and not args.no_lint:
+        lint_report = lint_paths(args.src, args.docs)
+
+    if args.json:
+        doc = {
+            "pipelines": {
+                name: analysis.to_dict()
+                for name, analysis in analyses.items()
+            },
+        }
+        if lint_report is not None:
+            doc["lint"] = lint_report.to_dict()
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        for name, analysis in analyses.items():
+            for finding in analysis.report:
+                print(f"{name}: {finding.format()}")
+            print(f"{name}: {analysis.report.summary()}")
+            for scope, waves in analysis.partitions.items():
+                rendered = " | ".join(
+                    "{" + ", ".join(wave) + "}" for wave in waves
+                )
+                print(f"{name}: parallel[{scope}]: {rendered}")
+        if lint_report is not None:
+            for finding in lint_report:
+                print(finding.format())
+            print(lint_report.summary())
+
+    reports = [a.report for a in analyses.values()]
+    if lint_report is not None:
+        reports.append(lint_report)
+    failed = any(r.errors for r in reports)
+    if args.strict:
+        failed = failed or any(r.warnings for r in reports)
+    return 1 if failed else 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     instance = build_unit(unit_spec(args.unit))
     instance.save(args.out)
@@ -414,6 +538,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "localize": cmd_localize,
         "cec": cmd_cec,
         "check": cmd_check,
+        "analyze": cmd_analyze,
         "generate": cmd_generate,
         "suite": cmd_suite,
     }

@@ -23,7 +23,7 @@ from ..sat.solver import SatBudgetExceeded, Solver
 from ..sat.template import CnfTemplate
 from ..sat.types import mklit
 from .patch import Patch
-from .pipeline import Pass, PassOutcome
+from .pipeline import Pass, PassOutcome, contract
 
 if TYPE_CHECKING:  # pragma: no cover
     from .pipeline import EcoContext
@@ -283,6 +283,12 @@ class CegarMinPass(Pass):
 
     name = "cegar_min"
     optional = True
+    contract = contract(
+        reads=("current", "divisors", "target.patch"),
+        writes=("target.patch",),
+        uses_solver=True,
+        optional=True,
+    )
 
     def run(self, ctx: "EcoContext") -> PassOutcome:
         cfg = ctx.config

@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 from ..network.network import Network
 from ..network.traversal import levels
 from ..network.window import Window, compute_window
-from .pipeline import Pass, PassOutcome
+from .pipeline import Pass, PassOutcome, contract
 
 if TYPE_CHECKING:  # pragma: no cover
     from .pipeline import EcoContext
@@ -87,6 +87,10 @@ class WindowPass(Pass):
     """Structural pruning window over the targets' fanout (Section 3.3)."""
 
     name = "window"
+    contract = contract(
+        reads=("instance", "base_impl", "spec"),
+        writes=("target_ids", "window"),
+    )
 
     def run(self, ctx: "EcoContext") -> PassOutcome:
         ctx.target_ids = [
@@ -101,6 +105,10 @@ class DivisorsPass(Pass):
     """Cost-annotated candidate-divisor collection (Sections 3.3, 2.5.2)."""
 
     name = "divisors"
+    contract = contract(
+        reads=("instance", "base_impl", "window"),
+        writes=("divisors",),
+    )
 
     def run(self, ctx: "EcoContext") -> PassOutcome:
         ctx.divisors = collect_divisors(

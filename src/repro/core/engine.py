@@ -264,18 +264,24 @@ class EcoEngine:
     ``passes`` optionally overrides the configuration-derived pipeline:
     a :class:`PassSelection` or a ``--passes`` spec string (e.g.
     ``"-cegar_min"`` to drop a stage, ``"feasibility,sat_flow,support,
-    patch_function"`` to keep only those stages).
+    patch_function"`` to keep only those stages).  Every assembled
+    pipeline is statically verified against the passes' declared
+    contracts before execution (see :mod:`repro.analyze`);
+    ``enforce_contracts=True`` additionally cross-checks the
+    declarations against actual attribute access at runtime.
     """
 
     def __init__(
         self,
         config: Optional[EcoConfig] = None,
         passes: Union[None, str, PassSelection] = None,
+        enforce_contracts: bool = False,
     ) -> None:
         self.config = config or EcoConfig()
         if isinstance(passes, str):
             passes = parse_pass_selection(passes)
         self.selection = passes
+        self.enforce_contracts = enforce_contracts
 
     def run(self, instance: EcoInstance) -> EcoResult:
         """Compute, insert, and verify patches for every target.
@@ -287,6 +293,15 @@ class EcoEngine:
         cfg = self.config
         t_start = time.perf_counter()
         pipeline = build_pipeline(cfg, self.selection)
+        # deferred: repro.analyze imports repro.core
+        from ..analyze.verifier import verify_pipeline
+
+        analysis = verify_pipeline(pipeline)
+        if not analysis.ok:
+            raise EcoEngineError(
+                "invalid pipeline:\n"
+                + "\n".join(f.format() for f in analysis.report.errors)
+            )
         ctx = EcoContext(
             instance=instance,
             config=cfg,
@@ -303,4 +318,5 @@ class EcoEngine:
         )
         obs.inc("engine.runs")
         with obs.span("engine.run", unit=instance.name):
-            return PassManager().execute(ctx, pipeline)
+            manager = PassManager(enforce_contracts=self.enforce_contracts)
+            return manager.execute(ctx, pipeline)

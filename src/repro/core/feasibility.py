@@ -22,7 +22,7 @@ from ..sat.tseitin import encode_network
 from ..sat.types import mklit
 from ..twoqbf.cegar import QbfBudgetExceeded, solve_exists_forall
 from .miter import EcoMiter, build_miter
-from .pipeline import Pass, PassOutcome
+from .pipeline import Pass, PassOutcome, contract
 from .quantify import QMITER_PO, build_quantified_miter
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -149,6 +149,11 @@ class FeasibilityPass(Pass):
     """
 
     name = "feasibility"
+    contract = contract(
+        reads=("instance", "base_impl", "spec", "window", "target_ids"),
+        writes=("feasibility", "countermoves_by_name"),
+        uses_solver=True,
+    )
 
     def run(self, ctx: "EcoContext") -> PassOutcome:
         from .verify import cec

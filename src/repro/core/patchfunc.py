@@ -27,7 +27,7 @@ from ..sat.types import mklit, neg
 from ..sop.cube import Cube
 from ..sop.sop import Sop
 from .patch import Patch
-from .pipeline import Pass, PassOutcome
+from .pipeline import Pass, PassOutcome, contract
 from .quantify import QMITER_PO
 from .support import AssumptionMinimizer, SupportStats
 
@@ -173,6 +173,17 @@ class PatchFunctionPass(Pass):
     """
 
     name = "patch_function"
+    contract = contract(
+        reads=(
+            "target.qm",
+            "target.divisors",
+            "target.sat",
+            "target.support_ids",
+        ),
+        # support_ids is read-modify-write: re-sorted cost-ascending
+        writes=("target.support_ids", "target.patch"),
+        uses_solver=True,
+    )
 
     def run(self, ctx: "EcoContext") -> PassOutcome:
         cfg = ctx.config

@@ -31,15 +31,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from types import TracebackType
 from typing import (
     TYPE_CHECKING,
     Any,
     Callable,
     Dict,
+    FrozenSet,
+    Iterable,
     List,
     Optional,
     Sequence,
     Tuple,
+    Type,
 )
 
 from .. import obs
@@ -61,6 +65,129 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 
 class EcoEngineError(Exception):
     """Raised when no strategy could produce a patch within its budget."""
+
+
+# ---------------------------------------------------------------------------
+# pass contracts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PassContract:
+    """Declared dataflow of one pipeline stage over the shared context.
+
+    Field names refer to :class:`EcoContext` dataclass fields
+    (``"window"``, ``"divisors"``, ...) or, with a ``target.`` prefix,
+    to :class:`TargetState` fields (``"target.support_ids"``).  Ambient
+    plumbing fields (``config``, ``stats``, ``budget``, ``trace``,
+    ``t_start``, ``deadline``) are implicit and must not be declared.
+
+    Attributes:
+        reads: fields the stage requires; an earlier stage (or the
+            framework) must have written them or the static verifier
+            reports ``PA001``.
+        writes: fields the stage produces for downstream consumers.
+        reads_optional: fields the stage uses only when present (it
+            tolerates their default value), e.g. the certificate
+            strategy's QBF countermoves.
+        reads_late: fields the stage reads *after* its nested passes
+            ran, e.g. a strategy collecting ``target.patch`` from its
+            per-target passes.
+        writes_optional: byproduct writes that need no downstream
+            consumer (exempt from ``PA002`` dead-write detection).
+        uses_solver: the stage issues SAT queries.
+        mutates_network: the stage splices logic into a working network
+            (two such stages can never share one network copy).
+        optional: mirrors :attr:`Pass.optional` (deadline-skippable);
+            the verifier flags a mismatch between the two declarations.
+    """
+
+    reads: FrozenSet[str] = frozenset()
+    writes: FrozenSet[str] = frozenset()
+    reads_optional: FrozenSet[str] = frozenset()
+    reads_late: FrozenSet[str] = frozenset()
+    writes_optional: FrozenSet[str] = frozenset()
+    uses_solver: bool = False
+    mutates_network: bool = False
+    optional: bool = False
+
+    def all_reads(self) -> FrozenSet[str]:
+        """Every field the stage may look at (any read category)."""
+        return self.reads | self.reads_optional | self.reads_late
+
+    def all_writes(self) -> FrozenSet[str]:
+        """Every field the stage may assign (required + byproduct)."""
+        return self.writes | self.writes_optional
+
+    def conflicts_with(self, other: "PassContract") -> bool:
+        """True when the two stages cannot run concurrently.
+
+        Write/write and read/write overlaps conflict; so do two stages
+        that both mutate a working network (they'd race on the splice).
+        """
+        if self.mutates_network and other.mutates_network:
+            return True
+        if self.all_writes() & other.all_writes():
+            return True
+        if self.all_writes() & other.all_reads():
+            return True
+        if other.all_writes() & self.all_reads():
+            return True
+        return False
+
+
+def contract(
+    reads: Iterable[str] = (),
+    writes: Iterable[str] = (),
+    reads_optional: Iterable[str] = (),
+    reads_late: Iterable[str] = (),
+    writes_optional: Iterable[str] = (),
+    uses_solver: bool = False,
+    mutates_network: bool = False,
+    optional: bool = False,
+) -> PassContract:
+    """Readable constructor for :class:`PassContract` declarations."""
+    return PassContract(
+        reads=frozenset(reads),
+        writes=frozenset(writes),
+        reads_optional=frozenset(reads_optional),
+        reads_late=frozenset(reads_late),
+        writes_optional=frozenset(writes_optional),
+        uses_solver=uses_solver,
+        mutates_network=mutates_network,
+        optional=optional,
+    )
+
+
+#: Context fields every stage may touch without declaring them:
+#: configuration, accounting, and framework plumbing.
+AMBIENT_FIELDS: FrozenSet[str] = frozenset(
+    {
+        "config",
+        "stats",
+        "budget",
+        "trace",
+        "t_start",
+        "deadline",
+        "target",
+        # target identity plumbing, set by the enclosing strategy
+        "target.name",
+        "target.index",
+    }
+)
+
+#: Fields populated by :class:`EcoEngine` before the pipeline starts.
+INITIAL_FIELDS: FrozenSet[str] = frozenset({"instance", "base_impl", "spec"})
+
+#: Fields the strategy-chain framework provides to every strategy
+#: (a pristine working clone and an empty patch list).
+CHAIN_PROVIDED_FIELDS: FrozenSet[str] = frozenset({"current", "patches"})
+
+#: Fields consumed by result assembly after the pipeline: writes that
+#: land here are never "dead".
+SINK_FIELDS: FrozenSet[str] = frozenset(
+    {"current", "patches", "method", "verified", "result"}
+)
 
 
 # ---------------------------------------------------------------------------
@@ -206,7 +333,12 @@ class _MeteredRegion:
             self._mark = conflict_tally()
         return self._budget.remaining
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self._budget._depth -= 1
         if self._outermost:
             self._budget.spent += conflict_tally() - self._mark
@@ -313,10 +445,18 @@ class Pass:
     selector, ``engine.<name>`` span key, and ``BENCH_table1.json``
     per-pass column) and implement :meth:`run`.  ``optional`` marks
     improvement passes that may be skipped past the wall-clock deadline.
+    ``contract`` declares the stage's dataflow over the shared context
+    (see :class:`PassContract`); :mod:`repro.analyze` verifies any
+    pipeline against these declarations before execution, and
+    :class:`PassManager` can cross-check them against actual attribute
+    access at runtime (``enforce_contracts=True``).
     """
 
     name: str = "pass"
     optional: bool = False
+    #: declared dataflow; ``None`` means undeclared (the static
+    #: verifier reports PA003 for undeclared stages)
+    contract: Optional[PassContract] = None
 
     def span_attrs(self, ctx: EcoContext) -> Dict[str, Any]:
         """Attributes for the ``engine.<name>`` span (e.g. the target)."""
@@ -344,6 +484,8 @@ class Strategy:
     """
 
     name: str = "strategy"
+    #: declared dataflow (same protocol as :attr:`Pass.contract`)
+    contract: Optional[PassContract] = None
 
     def applicable(self, ctx: EcoContext) -> bool:
         return True
@@ -376,6 +518,15 @@ class SatFlowStrategy(Strategy):
     """
 
     name = "sat_flow"
+    contract = contract(
+        reads=("instance", "spec", "window", "divisors", "current"),
+        reads_optional=("feasibility", "countermoves_by_name"),
+        reads_late=("target.patch",),
+        writes=("target.qm", "target.divisors", "target.sat",
+                "patches", "method"),
+        uses_solver=True,
+        mutates_network=True,
+    )
 
     def __init__(self, target_passes: Sequence[Pass]) -> None:
         self.target_passes = list(target_passes)
@@ -505,7 +656,17 @@ class PassManager:
     ``engine.<name>`` span, deadline-based skipping of optional passes,
     fallback accounting (``EngineStats`` + ``engine.fallback.*``
     counters), and the per-strategy fresh working clone.
+
+    With ``enforce_contracts=True`` every pass runs against an
+    access-recording view of the context and its observed reads/writes
+    are cross-checked against the pass's declared
+    :class:`PassContract`; an undeclared access raises
+    :class:`repro.analyze.enforce.ContractViolationError`.  This is the
+    opt-in dynamic complement of the static verifier, meant for tests.
     """
+
+    def __init__(self, enforce_contracts: bool = False) -> None:
+        self.enforce_contracts = enforce_contracts
 
     def run_pass(self, p: Pass, ctx: EcoContext) -> PassOutcome:
         if p.optional and ctx.past_deadline():
@@ -513,7 +674,15 @@ class PassManager:
             obs.inc("engine.pass_deadline_skipped")
             return PassOutcome(SKIPPED, "deadline exceeded")
         with obs.span(f"engine.{p.name}", **p.span_attrs(ctx)):
-            outcome = p.run(ctx)
+            if self.enforce_contracts:
+                # deferred: repro.analyze imports from this module
+                from ..analyze.enforce import ContextMonitor
+
+                monitor = ContextMonitor(ctx)
+                outcome = p.run(monitor.view())  # type: ignore[arg-type]
+                monitor.check(p)
+            else:
+                outcome = p.run(ctx)
         if outcome is None:
             outcome = PassOutcome()
         ctx.trace.append((p.name, outcome.status))
@@ -655,9 +824,11 @@ def parse_pass_selection(spec: str) -> PassSelection:
 
     Bare names form a whitelist of the stages to keep; ``-``-prefixed
     names are removed from the default pipeline.  Names must come from
-    :data:`STAGE_NAMES`; mandatory stages cannot be skipped.
+    :data:`STAGE_NAMES`; mandatory stages cannot be skipped; a stage
+    may be named at most once (``a,a`` and ``a,-a`` are both rejected).
     """
     only, skip = set(), set()
+    seen: set = set()
     for raw in spec.split(","):
         token = raw.strip()
         if not token:
@@ -668,6 +839,9 @@ def parse_pass_selection(spec: str) -> PassSelection:
             raise ValueError(
                 f"unknown pass {name!r}; choose from {', '.join(STAGE_NAMES)}"
             )
+        if name in seen:
+            raise ValueError(f"pass {name!r} named more than once in {spec!r}")
+        seen.add(name)
         if negated:
             if name in MANDATORY_STAGES:
                 raise ValueError(f"pass {name!r} is mandatory and cannot be skipped")

@@ -26,7 +26,7 @@ from .patchfunc import (
     enumerate_patch_sop,
     shrink_sop,
 )
-from .pipeline import Pass, PassOutcome
+from .pipeline import Pass, PassOutcome, contract
 from .support import AssumptionMinimizer, SupportStats
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -157,6 +157,12 @@ class ResubPass(Pass):
 
     name = "resub"
     optional = True
+    contract = contract(
+        reads=("current", "divisors", "target.patch"),
+        writes=("target.patch",),
+        uses_solver=True,
+        optional=True,
+    )
 
     def run(self, ctx: "EcoContext") -> PassOutcome:
         from ..sop.synth import sop_to_network

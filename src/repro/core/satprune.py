@@ -35,7 +35,7 @@ from typing import (
 )
 
 from .. import obs
-from .pipeline import Pass, PassOutcome
+from .pipeline import Pass, PassOutcome, contract
 
 if TYPE_CHECKING:  # pragma: no cover
     from .pipeline import EcoContext
@@ -219,6 +219,13 @@ class SatPrunePass(Pass):
     """
 
     name = "satprune"
+    contract = contract(
+        reads=("target.divisors", "target.support_ids"),
+        # tolerates a missing oracle (skips); reads it when present
+        reads_optional=("target.feasible_ids",),
+        writes=("target.support_ids",),
+        uses_solver=True,
+    )
 
     def run(self, ctx: "EcoContext") -> PassOutcome:
         tgt = ctx.target

@@ -23,7 +23,7 @@ from ..network.network import Network
 from ..network.strash import AigBuilder, cofactor_network, strash_into
 from .miter import EcoMiter, build_miter
 from .patch import Patch, apply_patch
-from .pipeline import Pass, Strategy, TargetState
+from .pipeline import Pass, Strategy, TargetState, contract
 from .quantify import QMITER_PO, QuantifiedMiter, build_quantified_miter
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -158,6 +158,14 @@ class CertificateStrategy(_StructuralStrategyBase):
     (instead of the 2^k − 1 of the sequential construction)."""
 
     name = "certificate"
+    contract = contract(
+        reads=("instance", "spec", "window", "current"),
+        # gated by ``applicable``; absent countermoves mean not-run
+        reads_optional=("countermoves_by_name",),
+        reads_late=("target.patch",),
+        writes=("target.patch", "patches", "method"),
+        mutates_network=True,
+    )
 
     def applicable(self, ctx: "EcoContext") -> bool:
         return len(ctx.instance.targets) > 1 and bool(ctx.countermoves_by_name)
@@ -190,6 +198,12 @@ class StructuralFallbackStrategy(_StructuralStrategyBase):
     patch applied before the next miter is built."""
 
     name = "structural"
+    contract = contract(
+        reads=("instance", "spec", "window", "current"),
+        reads_late=("target.patch",),
+        writes=("target.patch", "patches", "method"),
+        mutates_network=True,
+    )
 
     def run(self, ctx: "EcoContext", manager: "PassManager") -> None:
         instance = ctx.instance

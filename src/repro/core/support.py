@@ -21,7 +21,7 @@ from .. import obs
 from ..sat.solver import SatBudgetExceeded, Solver
 from ..sat.tseitin import add_equality
 from ..sat.types import mklit
-from .pipeline import EcoEngineError, Pass, PassOutcome
+from .pipeline import EcoEngineError, Pass, PassOutcome, contract
 from .quantify import QMITER_PO
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -224,6 +224,13 @@ class SupportPass(Pass):
     """
 
     name = "support"
+    contract = contract(
+        reads=("target.qm", "target.divisors", "target.sat"),
+        writes=("target.support_ids",),
+        # the oracle has a consumer only when satprune is configured
+        writes_optional=("target.feasible_ids",),
+        uses_solver=True,
+    )
 
     def run(self, ctx: "EcoContext") -> PassOutcome:
         cfg = ctx.config

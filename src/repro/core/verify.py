@@ -15,7 +15,7 @@ from ..sat.solver import SatBudgetExceeded, Solver
 from ..sat.tseitin import encode_network
 from ..sat.types import mklit
 from .miter import MITER_PO, build_miter
-from .pipeline import EcoEngineError, Pass, PassOutcome
+from .pipeline import EcoEngineError, Pass, PassOutcome, contract
 
 if TYPE_CHECKING:  # pragma: no cover
     from .pipeline import EcoContext
@@ -96,6 +96,11 @@ class VerifyPass(Pass):
     """
 
     name = "verify"
+    contract = contract(
+        reads=("instance", "current", "spec"),
+        writes=("verified",),
+        uses_solver=True,
+    )
 
     def run(self, ctx: "EcoContext") -> PassOutcome:
         result = cec(ctx.current, ctx.spec, budget_conflicts=None)
@@ -116,6 +121,10 @@ class CertificateCheckPass(Pass):
     the result object, not just the context."""
 
     name = "certificate_check"
+    contract = contract(
+        reads=("instance", "result"),
+        uses_solver=True,
+    )
 
     def run(self, ctx: "EcoContext") -> PassOutcome:
         # deferred import: repro.check imports from repro.core

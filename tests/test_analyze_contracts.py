@@ -1,0 +1,386 @@
+"""Pass-contract dataflow verifier tests (repro.analyze, PA rules).
+
+Covers the static half (every Table 1 preset verifies clean, a
+reordered pipeline fails with PA001, the may-run-in-parallel partition
+matches the hand-computed disjoint write-sets) and the dynamic half
+(``enforce_contracts=True`` runs the real engine clean and catches an
+undeclared write).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import EcoEngine, EcoInstance, contest_config
+from repro.analyze import (
+    ContractViolationError,
+    declarable_field_names,
+    parallel_partition,
+    stage_contracts,
+    validate_contract,
+    verify_pipeline,
+    verify_selection,
+    verify_stage_order,
+)
+from repro.benchgen import corrupt, make_specification
+from repro.core import cec
+from repro.core.engine import (
+    baseline_config,
+    best_config,
+    build_pipeline,
+)
+from repro.core.pipeline import (
+    AMBIENT_FIELDS,
+    ConflictBudget,
+    EcoContext,
+    EngineStats,
+    Pass,
+    PassManager,
+    PassOutcome,
+    Pipeline,
+    contract,
+    parse_pass_selection,
+)
+from repro.core.divisors import DivisorsPass, WindowPass
+from repro.core.feasibility import FeasibilityPass
+
+from helpers import random_network
+
+PRESETS = {
+    "baseline": baseline_config,
+    "minassump": contest_config,
+    "satprune_cegarmin": best_config,
+}
+
+
+def make_instance(seed=0, n_targets=1, n_gates=40):
+    golden = random_network(n_pi=5, n_gates=n_gates, n_po=3, seed=seed)
+    impl, targets, _ = corrupt(golden, n_targets, seed=seed + 5)
+    spec = make_specification(golden)
+    return EcoInstance(
+        name=f"an{seed}", impl=impl, spec=spec, targets=targets
+    )
+
+
+def first_observable(seeds=range(10), **kwargs):
+    for seed in seeds:
+        inst = make_instance(seed=seed, **kwargs)
+        if cec(inst.impl, inst.spec).equivalent is False:
+            return inst
+    pytest.skip("no observable instance found")
+
+
+def rules(analysis):
+    return [f.rule for f in analysis.report]
+
+
+# ---------------------------------------------------------------------------
+# static verification of the real pipelines
+# ---------------------------------------------------------------------------
+
+
+class TestPresetsVerifyClean:
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_preset_pipeline_is_clean(self, name):
+        analysis = verify_pipeline(build_pipeline(PRESETS[name]()))
+        assert analysis.ok
+        assert not analysis.report.findings
+
+    def test_structural_only_verifies(self):
+        cfg = dataclasses.replace(contest_config(), structural_only=True)
+        analysis = verify_pipeline(build_pipeline(cfg))
+        # divisors' output has no consumer without the SAT flow: that is
+        # a warning (the config is legal), never an error
+        assert analysis.ok
+        assert all(f.rule == "PA002" for f in analysis.report.findings)
+
+    def test_every_stage_declares_a_contract(self):
+        for name, c in stage_contracts().items():
+            assert c is not None, f"stage {name!r} has no contract"
+            assert not validate_contract(name, c)
+
+    def test_declarable_names_exclude_ambient(self):
+        names = declarable_field_names()
+        assert "window" in names and "target.patch" in names
+        assert not names & AMBIENT_FIELDS
+
+
+class TestReorderedPipelineFails:
+    def test_stage_order_read_before_write(self):
+        analysis = verify_stage_order(["divisors", "window"])
+        assert not analysis.ok
+        assert "PA001" in rules(analysis)
+        pa001 = [f for f in analysis.report.errors if f.rule == "PA001"]
+        assert pa001[0].name == "divisors"
+        assert "'window'" in pa001[0].message
+
+    def test_good_stage_order_passes(self):
+        analysis = verify_stage_order(
+            ["window", "divisors", "feasibility", "sat_flow", "support",
+             "patch_function", "verify"]
+        )
+        assert analysis.ok
+
+    def test_unknown_stage_is_pa003(self):
+        analysis = verify_stage_order(["window", "bogus"])
+        assert not analysis.ok
+        assert "PA003" in rules(analysis)
+
+    def test_duplicate_stage_is_pa004(self):
+        analysis = verify_stage_order(["window", "divisors", "window"])
+        assert "PA004" in rules(analysis)
+
+    def test_reordered_prologue_in_real_pipeline(self):
+        good = build_pipeline(contest_config())
+        bad = Pipeline(
+            prologue=[DivisorsPass(), WindowPass(), FeasibilityPass()],
+            strategies=good.strategies,
+            epilogue=good.epilogue,
+            finalizers=good.finalizers,
+        )
+        analysis = verify_pipeline(bad)
+        assert not analysis.ok
+        assert "PA001" in rules(analysis)
+
+    def test_duplicate_prologue_pass_is_pa004(self):
+        good = build_pipeline(contest_config())
+        bad = Pipeline(
+            prologue=list(good.prologue) + [WindowPass()],
+            strategies=good.strategies,
+            epilogue=good.epilogue,
+            finalizers=good.finalizers,
+        )
+        assert "PA004" in rules(verify_pipeline(bad))
+
+    def test_no_strategy_is_pa008(self):
+        good = build_pipeline(contest_config())
+        bad = Pipeline(
+            prologue=good.prologue,
+            strategies=[],
+            epilogue=[],
+            finalizers=[],
+        )
+        analysis = verify_pipeline(bad)
+        assert not analysis.ok
+        assert "PA008" in rules(analysis)
+
+
+class TestDeclarationValidation:
+    def test_ambient_field_is_pa006(self):
+        bad = contract(reads=("config", "window"), writes=("divisors",))
+        findings = validate_contract("x", bad)
+        assert [f.rule for f in findings] == ["PA006"]
+        assert "ambient" in findings[0].message
+
+    def test_unknown_field_is_pa006(self):
+        bad = contract(reads=("no_such_field",))
+        findings = validate_contract("x", bad)
+        assert [f.rule for f in findings] == ["PA006"]
+        assert "unknown field" in findings[0].message
+
+    def test_optional_flag_mismatch_is_pa006(self):
+        c = contract(reads=("window",), writes=("divisors",))
+        findings = validate_contract("x", c, optional_flag=True)
+        assert [f.rule for f in findings] == ["PA006"]
+
+    def test_missing_contract_is_pa003(self):
+        findings = validate_contract("x", None)
+        assert [f.rule for f in findings] == ["PA003"]
+
+
+class TestSelectionVerification:
+    def test_noop_skip_is_pa007(self):
+        # contest has no satprune stage: skipping it changes nothing
+        analysis = verify_selection(
+            contest_config(), parse_pass_selection("-satprune")
+        )
+        assert analysis.ok  # warning only
+        assert "PA007" in rules(analysis)
+
+    def test_effective_skip_is_quiet(self):
+        analysis = verify_selection(
+            best_config(), parse_pass_selection("-satprune")
+        )
+        assert "PA007" not in rules(analysis)
+
+    def test_duplicate_selection_rejected(self):
+        with pytest.raises(ValueError, match="more than once"):
+            parse_pass_selection("support,support")
+
+    def test_skip_and_keep_same_name_rejected(self):
+        with pytest.raises(ValueError, match="more than once"):
+            parse_pass_selection("verify,-verify")
+
+
+# ---------------------------------------------------------------------------
+# may-run-in-parallel partition
+# ---------------------------------------------------------------------------
+
+
+class TestParallelPartition:
+    def test_prologue_partition(self):
+        # window writes {target_ids, window}; divisors writes {divisors};
+        # feasibility writes {feasibility, countermoves_by_name}:
+        # divisors and feasibility have disjoint write-sets and neither
+        # reads the other's output, so they share a wave
+        analysis = verify_pipeline(build_pipeline(contest_config()))
+        assert analysis.partitions["prologue"] == [
+            ["window"], ["divisors", "feasibility"],
+        ]
+
+    def test_best_target_partition_keeps_satprune_serial(self):
+        # satprune reads and rewrites target.support_ids, so it can
+        # never share a wave with its producer or its consumer
+        analysis = verify_pipeline(build_pipeline(best_config()))
+        assert analysis.partitions["target:sat_flow"] == [
+            ["support"], ["satprune"], ["patch_function"],
+        ]
+
+    def test_contest_target_partition(self):
+        analysis = verify_pipeline(build_pipeline(contest_config()))
+        assert analysis.partitions["target:sat_flow"] == [
+            ["support"], ["patch_function"],
+        ]
+
+    def test_undeclared_contract_is_conservative(self):
+        a = contract(writes=("window",))
+        b = contract(writes=("divisors",))
+        assert parallel_partition(
+            [("a", a), ("x", None), ("b", b)]
+        ) == [["a"], ["x"], ["b"]]
+
+    def test_solver_stages_may_share_a_wave(self):
+        # uses_solver alone is not a conflict: divisors/feasibility
+        # prove that independent solver users can fan out
+        a = contract(reads=("window",), writes=("divisors",))
+        b = contract(
+            reads=("window",), writes=("feasibility",), uses_solver=True
+        )
+        assert parallel_partition([("a", a), ("b", b)]) == [["a", "b"]]
+
+    def test_mutating_stages_never_share(self):
+        a = contract(writes=("patches",), mutates_network=True)
+        b = contract(writes=("method",), mutates_network=True)
+        assert parallel_partition([("a", a), ("b", b)]) == [["a"], ["b"]]
+
+
+# ---------------------------------------------------------------------------
+# dynamic enforcement
+# ---------------------------------------------------------------------------
+
+
+def _make_ctx(inst):
+    cfg = contest_config()
+    return EcoContext(
+        instance=inst,
+        config=cfg,
+        stats=EngineStats(),
+        budget=ConflictBudget(None),
+        t_start=0.0,
+        base_impl=inst.impl.clone(),
+        spec=inst.spec,
+    )
+
+
+class _RoguePass(Pass):
+    name = "rogue"
+    contract = contract(reads=("instance",))
+
+    def run(self, ctx):
+        ctx.method = "rogue"
+        return PassOutcome()
+
+
+class _SneakyReader(Pass):
+    name = "sneaky"
+    contract = contract(writes=("target_ids",))
+
+    def run(self, ctx):
+        _ = ctx.spec  # undeclared read
+        ctx.target_ids = []
+        return PassOutcome()
+
+
+class TestDynamicEnforcement:
+    def test_undeclared_write_raises(self):
+        ctx = _make_ctx(make_instance())
+        manager = PassManager(enforce_contracts=True)
+        with pytest.raises(ContractViolationError, match="PA005") as exc:
+            manager.run_pass(_RoguePass(), ctx)
+        assert "method" in str(exc.value)
+
+    def test_undeclared_read_raises(self):
+        ctx = _make_ctx(make_instance())
+        manager = PassManager(enforce_contracts=True)
+        with pytest.raises(ContractViolationError, match="spec"):
+            manager.run_pass(_SneakyReader(), ctx)
+
+    def test_honest_pass_is_untouched(self):
+        ctx = _make_ctx(make_instance())
+        manager = PassManager(enforce_contracts=True)
+        outcome = manager.run_pass(WindowPass(), ctx)
+        assert outcome.status == "ok"
+        assert ctx.window is not None
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_full_engine_run_under_enforcement(self, name):
+        inst = first_observable()
+        res = EcoEngine(PRESETS[name](), enforce_contracts=True).run(inst)
+        assert res.verified
+
+    def test_structural_only_under_enforcement(self):
+        inst = first_observable()
+        cfg = dataclasses.replace(
+            contest_config(),
+            structural_only=True,
+            use_cegar_min=True,
+            use_resub=True,
+        )
+        res = EcoEngine(cfg, enforce_contracts=True).run(inst)
+        assert res.verified
+
+
+# ---------------------------------------------------------------------------
+# engine wiring and CLI
+# ---------------------------------------------------------------------------
+
+
+class TestEngineAndCli:
+    def test_engine_statically_verifies_every_run(self, monkeypatch):
+        # sabotage a declared contract: the engine must refuse to run
+        monkeypatch.setattr(
+            WindowPass, "contract", contract(reads=("window",))
+        )
+        from repro.core.engine import EcoEngineError
+
+        with pytest.raises(EcoEngineError, match="PA001"):
+            EcoEngine(contest_config()).run(make_instance())
+
+    def test_cli_rejects_read_before_write_order(self, capsys):
+        from repro.cli import main
+
+        rc = main(["analyze", "--stages", "divisors,window"])
+        assert rc == 1
+        assert "PA001" in capsys.readouterr().out
+
+    def test_cli_verifies_presets_clean(self, capsys):
+        from repro.cli import main
+
+        rc = main(["analyze", "--no-lint", "--strict"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "parallel[prologue]: {window} | {divisors, feasibility}" in out
+
+    def test_cli_json_exposes_partitions(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        rc = main(["analyze", "--no-lint", "--json",
+                   "--method", "satprune_cegarmin"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        analysis = doc["pipelines"]["satprune_cegarmin"]
+        assert analysis["partitions"]["target:sat_flow"] == [
+            ["support"], ["satprune"], ["patch_function"],
+        ]

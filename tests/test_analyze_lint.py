@@ -1,0 +1,306 @@
+"""Project-invariant AST linter tests (repro.analyze.lint, RA rules).
+
+Each rule is exercised on synthetic snippets materialized under a tmp
+directory whose layout mimics the repo (the path-scoped rules — clone
+allowlist, deterministic modules, stats discipline — key off relative
+path fragments such as ``repro/core/``), and the whole linter is run
+over the real ``src/repro`` to prove the repo itself is clean.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analyze.lint import (
+    CLONE_ALLOWLIST,
+    DETERMINISTIC_MODULES,
+    iter_source_files,
+    lint_paths,
+    main as lint_main,
+)
+
+CATALOGUE = textwrap.dedent(
+    """\
+    | key | kind | unit | emitted by | presence |
+    |---|---|---|---|---|
+    | `engine.runs` | counter | runs | engine | always |
+    | `engine.fallback.*` | counter | falls | engine | conditional |
+    | `sat.solves` | counter | calls | solver | always |
+    """
+)
+
+
+@pytest.fixture
+def docs(tmp_path):
+    path = tmp_path / "OBSERVABILITY.md"
+    path.write_text(CATALOGUE, encoding="utf-8")
+    return path
+
+
+def lint_snippet(tmp_path, docs, source, rel="repro/misc/mod.py",
+                 check_reverse_drift=False):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([path], docs, check_reverse_drift=check_reverse_drift)
+
+
+def rules(report):
+    return [f.rule for f in report]
+
+
+# ---------------------------------------------------------------------------
+# RA001/RA002: obs-key catalogue drift
+# ---------------------------------------------------------------------------
+
+
+class TestObsKeys:
+    def test_uncatalogued_key_is_ra001(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs, "obs.inc('engine.bogus_counter')\n"
+        )
+        assert rules(report) == ["RA001"]
+        assert "engine.bogus_counter" in report.findings[0].message
+
+    def test_catalogued_key_is_clean(self, tmp_path, docs):
+        report = lint_snippet(tmp_path, docs, "obs.inc('engine.runs')\n")
+        assert report.ok and not report.findings
+
+    def test_fstring_prefix_matches_wildcard_row(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs,
+            "obs.inc(f'engine.fallback.{exc_name}')\n",
+        )
+        assert not report.findings
+
+    def test_fstring_prefix_without_coverage_is_ra001(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs, "obs.span(f'mystery.{name}')\n"
+        )
+        assert rules(report) == ["RA001"]
+
+    def test_variable_key_is_not_checkable(self, tmp_path, docs):
+        report = lint_snippet(tmp_path, docs, "obs.inc(key_var)\n")
+        assert not report.findings
+
+    def test_obs_framework_itself_is_exempt(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs, "obs.inc('totally.private')\n",
+            rel="repro/obs/registry.py",
+        )
+        assert not report.findings
+
+    def test_stale_catalogue_row_is_ra002(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs, "obs.inc('engine.runs')\n",
+            check_reverse_drift=True,
+        )
+        # sat.solves and engine.fallback.* have no emitting site here
+        stale = [f for f in report if f.rule == "RA002"]
+        assert {f.name for f in stale} == {"sat.solves", "engine.fallback.*"}
+        assert report.ok  # warnings only
+
+    def test_repo_src_is_clean(self):
+        report = lint_paths(["src/repro"], "docs/OBSERVABILITY.md")
+        assert report.ok
+        assert not report.findings, [f.format() for f in report]
+
+
+# ---------------------------------------------------------------------------
+# RA003: clause-group discipline
+# ---------------------------------------------------------------------------
+
+
+class TestClauseGroups:
+    def test_leaked_group_is_ra003(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs,
+            """\
+            def leak(solver):
+                gid = solver.new_group()
+                return gid
+            """,
+        )
+        assert rules(report) == ["RA003"]
+
+    def test_released_group_is_clean(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs,
+            """\
+            def fine(solver):
+                gid = solver.new_group()
+                try:
+                    pass
+                finally:
+                    solver.release_group(gid)
+            """,
+        )
+        assert not report.findings
+
+    def test_release_in_nested_function_does_not_count(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs,
+            """\
+            def outer(solver):
+                gid = solver.new_group()
+
+                def inner():
+                    solver.release_group(gid)
+
+                return inner
+            """,
+        )
+        assert rules(report) == ["RA003"]
+
+
+# ---------------------------------------------------------------------------
+# RA004: clone allowlist
+# ---------------------------------------------------------------------------
+
+
+class TestCloneAllowlist:
+    def test_clone_outside_allowlist_is_ra004(self, tmp_path, docs):
+        report = lint_snippet(tmp_path, docs, "net2 = net.clone()\n")
+        assert rules(report) == ["RA004"]
+
+    def test_allowlisted_file_is_clean(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs, "net2 = net.clone()\n",
+            rel=CLONE_ALLOWLIST[0],
+        )
+        assert not report.findings
+
+    def test_clone_with_args_is_a_different_method(self, tmp_path, docs):
+        report = lint_snippet(tmp_path, docs, "repo.clone(url)\n")
+        assert not report.findings
+
+
+# ---------------------------------------------------------------------------
+# RA005: determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_time_time_in_core_is_ra005(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs, "t = time.time()\n",
+            rel="repro/core/mod.py",
+        )
+        assert rules(report) == ["RA005"]
+
+    def test_perf_counter_is_fine(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs, "t = time.perf_counter()\n",
+            rel="repro/core/mod.py",
+        )
+        assert not report.findings
+
+    def test_global_random_in_sat_is_ra005(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs, "x = random.random()\n",
+            rel="repro/sat/mod.py",
+        )
+        assert rules(report) == ["RA005"]
+
+    def test_seeded_random_instance_is_fine(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs, "rng = random.Random(42)\n",
+            rel="repro/sat/mod.py",
+        )
+        assert not report.findings
+
+    def test_from_random_import_is_ra005(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs, "from random import choice\n",
+            rel="repro/sop/mod.py",
+        )
+        assert rules(report) == ["RA005"]
+
+    def test_from_random_import_Random_is_fine(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs, "from random import Random\n",
+            rel="repro/sop/mod.py",
+        )
+        assert not report.findings
+
+    def test_outside_deterministic_modules_is_fine(self, tmp_path, docs):
+        assert not any("repro/bench" in m for m in DETERMINISTIC_MODULES)
+        report = lint_snippet(
+            tmp_path, docs, "t = time.time()\nx = random.random()\n",
+            rel="repro/benchgen/mod.py",
+        )
+        assert not report.findings
+
+
+# ---------------------------------------------------------------------------
+# RA006: typed stats
+# ---------------------------------------------------------------------------
+
+
+class TestStatsDiscipline:
+    def test_stats_subscript_in_core_is_ra006(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs, "stats['cubes'] = 1\n",
+            rel="repro/core/mod.py",
+        )
+        assert rules(report) == ["RA006"]
+
+    def test_attribute_stats_subscript_is_ra006(self, tmp_path, docs):
+        report = lint_snippet(
+            tmp_path, docs, "ctx.stats['cubes'] = 1\n",
+            rel="repro/core/mod.py",
+        )
+        assert rules(report) == ["RA006"]
+
+    def test_outside_core_is_fine(self, tmp_path, docs):
+        report = lint_snippet(tmp_path, docs, "stats['cubes'] = 1\n")
+        assert not report.findings
+
+
+# ---------------------------------------------------------------------------
+# plumbing: RA000, file discovery, CLI exit codes
+# ---------------------------------------------------------------------------
+
+
+class TestPlumbing:
+    def test_unparseable_file_is_ra000(self, tmp_path, docs):
+        report = lint_snippet(tmp_path, docs, "def broken(:\n")
+        assert rules(report) == ["RA000"]
+
+    def test_iter_source_files_recurses_sorted(self, tmp_path):
+        (tmp_path / "b.py").write_text("", encoding="utf-8")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "a.py").write_text("", encoding="utf-8")
+        (sub / "notes.txt").write_text("", encoding="utf-8")
+        found = list(iter_source_files([tmp_path / "b.py", sub]))
+        assert [p.name for p in found] == ["b.py", "a.py"]
+
+    def test_missing_catalogue_rows_is_error(self, tmp_path):
+        empty = tmp_path / "empty.md"
+        empty.write_text("no tables here\n", encoding="utf-8")
+        report = lint_paths([], empty)
+        assert not report.ok
+
+    def test_cli_exits_nonzero_on_uncatalogued_key(self, tmp_path, docs,
+                                                   capsys):
+        bad = tmp_path / "repro" / "x.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("obs.inc('never.documented')\n", encoding="utf-8")
+        rc = lint_main([str(bad), "--docs", str(docs),
+                        "--no-reverse-drift"])
+        assert rc == 1
+        assert "RA001" in capsys.readouterr().out
+
+    def test_cli_exits_zero_on_clean_file(self, tmp_path, docs, capsys):
+        good = tmp_path / "repro" / "x.py"
+        good.parent.mkdir(parents=True)
+        good.write_text("obs.inc('engine.runs')\n", encoding="utf-8")
+        rc = lint_main([str(good), "--docs", str(docs),
+                        "--no-reverse-drift"])
+        assert rc == 0
+
+    def test_repro_eco_analyze_strict_is_clean(self, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", "--strict"]) == 0

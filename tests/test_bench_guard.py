@@ -1,0 +1,124 @@
+"""Bench regression guard tests (benchmarks/bench_guard.py).
+
+The guard compares a fresh ``BENCH_table1.json`` export to the
+committed baseline over their shared (unit, method) rows and fails on a
+total wall-clock regression past the threshold.  It lives outside the
+package (a CI script), so it is imported by path here.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_guard",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "bench_guard.py",
+)
+bench_guard = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_guard)
+
+
+def export(units):
+    return {
+        "schema": "repro.obs.bench/v1",
+        "units": [
+            {"unit": u, "method": m, "runtime_s": t} for u, m, t in units
+        ],
+    }
+
+
+@pytest.fixture
+def write_json(tmp_path):
+    def _write(name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        return str(path)
+
+    return _write
+
+
+class TestCompare:
+    def test_identical_totals_pass(self):
+        runs = {("u1", "baseline"): 1.0, ("u2", "minassump"): 2.0}
+        result = bench_guard.compare(runs, dict(runs), threshold=0.25)
+        assert result["ok"]
+        assert result["ratio"] == pytest.approx(1.0)
+        assert result["shared_pairs"] == 2
+
+    def test_regression_past_threshold_fails(self):
+        base = {("u1", "baseline"): 1.0, ("u2", "baseline"): 1.0}
+        cur = {("u1", "baseline"): 1.0, ("u2", "baseline"): 1.6}
+        result = bench_guard.compare(base, cur, threshold=0.25)
+        assert not result["ok"]
+        assert result["ratio"] == pytest.approx(1.3)
+
+    def test_only_shared_rows_count(self):
+        base = {("u1", "baseline"): 1.0, ("gone", "baseline"): 50.0}
+        cur = {("u1", "baseline"): 1.1, ("new", "baseline"): 50.0}
+        result = bench_guard.compare(base, cur, threshold=0.25)
+        assert result["ok"]
+        assert result["shared_pairs"] == 1
+        assert result["only_in_baseline"] == ["gone/baseline"]
+        assert result["only_in_current"] == ["new/baseline"]
+
+    def test_speedup_passes(self):
+        base = {("u1", "baseline"): 2.0}
+        cur = {("u1", "baseline"): 1.0}
+        assert bench_guard.compare(base, cur, threshold=0.25)["ok"]
+
+
+class TestCli:
+    def test_self_compare_exits_zero(self, write_json, capsys):
+        doc = export([("u1", "baseline", 1.0), ("u2", "minassump", 2.0)])
+        base = write_json("base.json", doc)
+        cur = write_json("cur.json", doc)
+        assert bench_guard.main([cur, "--baseline", base]) == 0
+        assert "bench_guard: OK" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, write_json, capsys):
+        base = write_json(
+            "base.json", export([("u1", "baseline", 1.0)])
+        )
+        cur = write_json(
+            "cur.json", export([("u1", "baseline", 2.0)])
+        )
+        assert bench_guard.main([cur, "--baseline", base]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_threshold_is_configurable(self, write_json):
+        base = write_json("base.json", export([("u1", "baseline", 1.0)]))
+        cur = write_json("cur.json", export([("u1", "baseline", 2.0)]))
+        assert bench_guard.main(
+            [cur, "--baseline", base, "--threshold", "1.5"]
+        ) == 0
+
+    def test_no_shared_rows_fails(self, write_json, capsys):
+        base = write_json("base.json", export([("u1", "baseline", 1.0)]))
+        cur = write_json("cur.json", export([("u2", "baseline", 1.0)]))
+        assert bench_guard.main([cur, "--baseline", base]) == 1
+
+    def test_bad_schema_exits_two(self, write_json):
+        base = write_json(
+            "base.json",
+            {"schema": "something/else", "units": []},
+        )
+        cur = write_json("cur.json", export([("u1", "baseline", 1.0)]))
+        assert bench_guard.main([cur, "--baseline", base]) == 2
+
+    def test_missing_file_exits_two(self, write_json):
+        cur = write_json("cur.json", export([("u1", "baseline", 1.0)]))
+        assert bench_guard.main([cur, "--baseline", "/nope.json"]) == 2
+
+    def test_json_output(self, write_json, capsys):
+        doc = export([("u1", "baseline", 1.0)])
+        base = write_json("base.json", doc)
+        cur = write_json("cur.json", doc)
+        assert bench_guard.main([cur, "--baseline", base, "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["ok"] and parsed["shared_pairs"] == 1
+
+    def test_committed_baseline_compares_to_itself(self, capsys):
+        baseline = "benchmarks/results/BENCH_table1.json"
+        assert bench_guard.main([baseline, "--baseline", baseline]) == 0
