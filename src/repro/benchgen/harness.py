@@ -4,14 +4,29 @@ Maps the paper's three method columns onto engine configurations, runs
 units (honoring ``force_structural`` for the units the paper solved
 structurally), and formats the resulting table with the geomean ratio
 row exactly as Table 1 reports it.
+
+The parallel path (``run_suite(jobs=N, unit_timeout=T)``) is
+crash-safe: per-unit deadlines are measured from *submission* (at most
+``jobs`` units are in flight, so submission ≈ start of execution), a
+timed-out straggler's worker process is actually terminated, worker
+death (``BrokenProcessPool``) recycles the pool and retries the
+interrupted units a bounded number of times before degrading them to
+``"crashed"`` placeholder rows, and an optional ``checkpoint`` JSON
+lets an interrupted suite resume from the units it already finished.
+Fault injection for all of this is driven by a
+:class:`~repro.resilience.faultplan.FaultPlan` (see
+docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
 import math
+import os
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..core.engine import (
@@ -23,6 +38,8 @@ from ..core.engine import (
 )
 from ..core.patch import EcoResult
 from ..io.weights import EcoInstance
+from ..resilience.faultplan import EngineFault, FaultPlan, corrupt_instance
+from ..resilience.retry import RetryPolicy
 from .suite import SUITE, SuiteUnit, build_unit
 
 #: Table 1 method columns, in paper order.
@@ -83,6 +100,9 @@ def run_unit(
     methods: Sequence[str] = METHODS,
     instance: Optional[EcoInstance] = None,
     collect_telemetry: bool = False,
+    *,
+    faults: Optional[EngineFault] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> UnitRow:
     """Run one unit under each method; returns the populated row.
 
@@ -91,6 +111,10 @@ def run_unit(
     telemetry entry (phases, counters, solver breakdown) is stored in
     ``row.telemetry[method]``.  The registry's previous enabled state is
     restored afterwards.
+
+    ``faults`` / ``retry_policy`` are threaded into every method's
+    engine configuration (chaos testing and transient-failure retry;
+    see :mod:`repro.resilience`).
     """
     inst = instance if instance is not None else build_unit(spec)
     row = UnitRow(
@@ -102,7 +126,12 @@ def run_unit(
         n_targets=len(inst.targets),
     )
     for method in methods:
-        engine = EcoEngine(config_for(spec, method))
+        cfg = config_for(spec, method)
+        if faults is not None or retry_policy is not None:
+            cfg = dataclasses.replace(
+                cfg, faults=faults, retry_policy=retry_policy
+            )
+        engine = EcoEngine(cfg)
         if not collect_telemetry:
             row.results[method] = engine.run(inst)
             continue
@@ -182,28 +211,225 @@ def telemetry_document(
     return doc
 
 
+#: Schema tag written into checkpoint files (see docs/RESILIENCE.md).
+CHECKPOINT_SCHEMA = "repro.bench.checkpoint/v1"
+
+#: Placeholder methods marking rows the harness could not finish.
+DEGRADED_METHODS = frozenset({"timeout", "error", "crashed"})
+
+
+def row_degraded(row: UnitRow) -> bool:
+    """True when any method slot holds a degraded placeholder result."""
+    return any(r.method in DEGRADED_METHODS for r in row.results.values())
+
+
+def _row_to_json(row: UnitRow) -> Dict[str, Any]:
+    return {
+        "name": row.name,
+        "n_pi": row.n_pi,
+        "n_po": row.n_po,
+        "gates_impl": row.gates_impl,
+        "gates_spec": row.gates_spec,
+        "n_targets": row.n_targets,
+        "results": {
+            m: {
+                "cost": r.cost,
+                "gate_count": r.gate_count,
+                "verified": r.verified,
+                "runtime_seconds": r.runtime_seconds,
+                "method": r.method,
+                "stats": dict(r.stats),
+            }
+            for m, r in row.results.items()
+        },
+        "telemetry": row.telemetry,
+    }
+
+
+def _row_from_json(data: Dict[str, Any]) -> UnitRow:
+    row = UnitRow(
+        name=data["name"],
+        n_pi=int(data["n_pi"]),
+        n_po=int(data["n_po"]),
+        gates_impl=int(data["gates_impl"]),
+        gates_spec=int(data["gates_spec"]),
+        n_targets=int(data["n_targets"]),
+    )
+    for method, rd in data["results"].items():
+        # patches and engine_stats are not serialized; restored rows
+        # carry the table-level numbers only
+        row.results[method] = EcoResult(
+            instance_name=row.name,
+            patches=[],
+            cost=int(rd["cost"]),
+            gate_count=int(rd["gate_count"]),
+            verified=bool(rd["verified"]),
+            runtime_seconds=float(rd["runtime_seconds"]),
+            method=str(rd["method"]),
+            stats=dict(rd.get("stats", {})),
+        )
+    row.telemetry = {m: dict(t) for m, t in data.get("telemetry", {}).items()}
+    return row
+
+
+def save_checkpoint(path: str, rows: Sequence[UnitRow]) -> None:
+    """Atomically persist the finished (non-degraded) rows to ``path``."""
+    doc = {
+        "schema": CHECKPOINT_SCHEMA,
+        "rows": [_row_to_json(r) for r in rows if not row_degraded(r)],
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str) -> Dict[str, UnitRow]:
+    """Rows from a previous partial run, keyed by unit name.
+
+    Missing, unreadable, or schema-mismatched files yield ``{}`` (a
+    fresh run); degraded rows are dropped so the units re-run.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return {}
+    if not isinstance(doc, dict) or doc.get("schema") != CHECKPOINT_SCHEMA:
+        return {}
+    out: Dict[str, UnitRow] = {}
+    for data in doc.get("rows", []):
+        try:
+            row = _row_from_json(data)
+        except (KeyError, TypeError, ValueError):
+            continue
+        if not row_degraded(row):
+            out[row.name] = row
+    return out
+
+
+def _execute_unit(
+    spec: SuiteUnit,
+    methods: Tuple[str, ...],
+    collect_telemetry: bool,
+    plan: Optional[FaultPlan],
+    retry_policy: Optional[RetryPolicy],
+    scratch: Optional[str],
+) -> UnitRow:
+    """Worker-process entry point: apply planned faults, run the unit.
+
+    Writes a ``{pid}.unit`` marker into ``scratch`` before doing any
+    work so the parent can (a) terminate the exact worker whose unit
+    timed out and (b) attribute a pool-breaking crash to the unit the
+    dead worker was running.
+    """
+    if scratch is not None:
+        try:
+            with open(
+                os.path.join(scratch, f"{os.getpid()}.unit"),
+                "w",
+                encoding="utf-8",
+            ) as fh:
+                fh.write(spec.name)
+        except OSError:
+            pass
+    faults: Optional[EngineFault] = None
+    instance: Optional[EcoInstance] = None
+    if plan is not None:
+        if spec.name in plan.crash:
+            # simulated hard worker death (segfault stand-in); skips
+            # all interpreter cleanup, so the pool sees a broken pipe
+            os._exit(13)
+        if spec.name in plan.hang:
+            time.sleep(plan.hang_seconds)
+        mode = plan.corrupt.get(spec.name)
+        if mode is not None:
+            instance = build_unit(spec)
+            corrupt_instance(instance, mode)
+        faults = plan.engine_fault(spec.name)
+    return run_unit(
+        spec,
+        methods,
+        instance,
+        collect_telemetry,
+        faults=faults,
+        retry_policy=retry_policy,
+    )
+
+
 def run_suite(
     names: Optional[Sequence[str]] = None,
     methods: Sequence[str] = METHODS,
     jobs: int = 1,
     unit_timeout: Optional[float] = None,
     collect_telemetry: bool = False,
+    *,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    max_unit_retries: int = 2,
+    retry_backoff_s: float = 0.05,
+    checkpoint: Optional[str] = None,
 ) -> List[UnitRow]:
     """Run the (sub)suite; returns one row per unit, in suite order.
 
-    With ``jobs > 1`` (or with ``unit_timeout`` set) units fan out
-    across a ``ProcessPoolExecutor``.  ``unit_timeout`` caps how long
-    the harness waits for each unit (measured from when its result is
-    first awaited, so queue time behind slower units counts); a unit
-    that times out or raises degrades gracefully to a placeholder row
-    (zero cost/gates, ``verified=False``, method ``"timeout"`` /
-    ``"error"``) instead of killing the run, and bumps the
-    ``harness.unit_timeout`` / ``harness.unit_error`` counters.
+    With ``jobs > 1``, ``unit_timeout`` set, or a ``fault_plan``, units
+    fan out across a ``ProcessPoolExecutor``.  At most ``jobs`` units
+    are in flight at a time, so each unit's ``unit_timeout`` deadline —
+    measured from submission — tracks its actual execution time rather
+    than queue time.  A unit that times out degrades to a placeholder
+    row (method ``"timeout"``) and its still-running worker is
+    terminated; a unit that raises degrades to ``"error"``; a unit
+    whose worker dies (``BrokenProcessPool``) is retried up to
+    ``max_unit_retries`` times with exponential backoff
+    (``retry_backoff_s`` base) on a recycled pool before degrading to
+    ``"crashed"``.  Degraded rows record the measured wall-clock spent
+    on the failed attempt.  Counters: ``harness.unit_timeout``,
+    ``harness.unit_error``, ``harness.unit_crashed``,
+    ``harness.unit_retry``, ``harness.pool_recycled``.
+
+    ``checkpoint`` names a JSON file: finished (non-degraded) rows are
+    saved there after every unit, and a restarted ``run_suite`` with the
+    same path resumes from them (``harness.checkpoint_restored``).
+
+    ``fault_plan`` always forces the process-pool path — crash faults
+    call ``os._exit`` and must not run in the caller's process.
     """
     specs = [u for u in SUITE if names is None or u.name in names]
-    if jobs <= 1 and unit_timeout is None:
-        return [run_unit(spec, methods, None, collect_telemetry) for spec in specs]
-    return _run_suite_parallel(specs, methods, jobs, unit_timeout, collect_telemetry)
+    done: Dict[str, UnitRow] = {}
+    if checkpoint is not None:
+        wanted = {s.name for s in specs}
+        done = {
+            n: r for n, r in load_checkpoint(checkpoint).items() if n in wanted
+        }
+        if done:
+            obs.inc("harness.checkpoint_restored", len(done))
+    if jobs <= 1 and unit_timeout is None and fault_plan is None:
+        for spec in specs:
+            if spec.name in done:
+                continue
+            done[spec.name] = run_unit(
+                spec, methods, None, collect_telemetry,
+                retry_policy=retry_policy,
+            )
+            if checkpoint is not None:
+                save_checkpoint(
+                    checkpoint,
+                    [done[s.name] for s in specs if s.name in done],
+                )
+        return [done[s.name] for s in specs]
+    return _run_suite_parallel(
+        specs,
+        methods,
+        jobs,
+        unit_timeout,
+        collect_telemetry,
+        fault_plan,
+        retry_policy,
+        max_unit_retries,
+        retry_backoff_s,
+        checkpoint,
+        done,
+    )
 
 
 def _run_suite_parallel(
@@ -212,42 +438,253 @@ def _run_suite_parallel(
     jobs: int,
     unit_timeout: Optional[float],
     collect_telemetry: bool,
+    fault_plan: Optional[FaultPlan],
+    retry_policy: Optional[RetryPolicy],
+    max_unit_retries: int,
+    retry_backoff_s: float,
+    checkpoint: Optional[str],
+    done: Dict[str, UnitRow],
 ) -> List[UnitRow]:
     import concurrent.futures as cf
+    import shutil
+    import signal
+    import tempfile
+    from collections import deque
+    from concurrent.futures.process import BrokenProcessPool
 
-    rows: List[UnitRow] = []
-    degraded = False
-    with cf.ProcessPoolExecutor(max_workers=max(1, jobs)) as ex:
-        futures = [
-            ex.submit(run_unit, spec, tuple(methods), None, collect_telemetry)
-            for spec in specs
-        ]
-        for spec, fut in zip(specs, futures):
+    workers = max(1, jobs)
+    scratch = tempfile.mkdtemp(prefix="repro-harness-")
+    tries: Dict[str, int] = {s.name: 0 for s in specs}
+    queue = deque(s for s in specs if s.name not in done)
+    ex = cf.ProcessPoolExecutor(max_workers=workers)
+    # Future -> (spec, submission time); capped at `workers` entries so
+    # submission time ≈ execution start time (deadline fairness)
+    inflight: Dict[Any, Tuple[SuiteUnit, float]] = {}
+
+    def finish(spec: SuiteUnit, row: UnitRow) -> None:
+        done[spec.name] = row
+        if checkpoint is not None:
+            save_checkpoint(
+                checkpoint, [done[s.name] for s in specs if s.name in done]
+            )
+
+    announced: set = set()
+
+    def submit(spec: SuiteUnit) -> None:
+        # crash/hang fire inside the worker where counters are lost;
+        # record the injection on the parent's registry instead
+        if fault_plan is not None and spec.name not in announced:
+            announced.add(spec.name)
+            if spec.name in fault_plan.crash:
+                obs.inc("resilience.injected.crash")
+            if spec.name in fault_plan.hang:
+                obs.inc("resilience.injected.hang")
+        fut = ex.submit(
+            _execute_unit,
+            spec,
+            tuple(methods),
+            collect_telemetry,
+            fault_plan,
+            retry_policy,
+            scratch,
+        )
+        inflight[fut] = (spec, time.monotonic())
+
+    def unit_for_pid(pid: int) -> Optional[str]:
+        try:
+            with open(
+                os.path.join(scratch, f"{pid}.unit"), encoding="utf-8"
+            ) as fh:
+                return fh.read().strip()
+        except OSError:
+            return None
+
+    def pids_for_unit(name: str) -> List[int]:
+        out = []
+        for pid in list(getattr(ex, "_processes", {})):
+            if unit_for_pid(pid) == name:
+                out.append(pid)
+        return out
+
+    def recycle_pool() -> None:
+        """Terminate every worker and stand up a fresh pool."""
+        nonlocal ex
+        obs.inc("harness.pool_recycled")
+        procs = list(getattr(ex, "_processes", {}).values())
+        for proc in procs:
             try:
-                rows.append(fut.result(timeout=unit_timeout))
-            except cf.TimeoutError:
-                degraded = True
-                obs.inc("harness.unit_timeout")
-                fut.cancel()
-                rows.append(
-                    _degraded_row(
-                        spec, methods, "timeout", unit_timeout or 0.0,
-                        collect_telemetry,
-                    )
-                )
-            except Exception:
-                obs.inc("harness.unit_error")
-                rows.append(
-                    _degraded_row(spec, methods, "error", 0.0, collect_telemetry)
-                )
-        if degraded:
-            # a timed-out worker may still be computing; every finished
-            # future has been collected, so don't let the executor's
-            # exit join block on the stuck process
-            for proc in getattr(ex, "_processes", {}).values():
                 proc.terminate()
-            ex.shutdown(wait=False, cancel_futures=True)
-    return rows
+            except Exception:
+                pass
+        ex.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            try:
+                proc.join(timeout=5)
+            except Exception:
+                pass
+        ex = cf.ProcessPoolExecutor(max_workers=workers)
+
+    def crash_suspects(poll_s: float = 1.5) -> set:
+        """Units whose workers died abnormally (from pid markers).
+
+        ``cf.wait`` wakes up the moment the pool marks futures broken,
+        often *before* any dead worker has been reaped — so poll
+        briefly until an abnormal exit code surfaces (or every worker
+        has been accounted for) rather than reading exit codes once.
+        """
+        deadline = time.monotonic() + poll_s
+        while True:
+            suspects = set()
+            codes = []
+            for pid, proc in list(getattr(ex, "_processes", {}).items()):
+                code = proc.exitcode
+                codes.append(code)
+                if code is not None and code not in (0, -signal.SIGTERM):
+                    unit = unit_for_pid(pid)
+                    if unit is not None:
+                        suspects.add(unit)
+            if suspects or not codes or all(c is not None for c in codes):
+                return suspects
+            if time.monotonic() > deadline:
+                return suspects
+            time.sleep(0.02)
+
+    def penalize_crash(spec: SuiteUnit, elapsed: float) -> None:
+        tries[spec.name] += 1
+        if tries[spec.name] > max_unit_retries:
+            obs.inc("harness.unit_crashed")
+            finish(
+                spec,
+                _degraded_row(
+                    spec, methods, "crashed", elapsed, collect_telemetry
+                ),
+            )
+        else:
+            obs.inc("harness.unit_retry")
+            queue.appendleft(spec)
+
+    recycles = 0
+    try:
+        while queue or inflight:
+            while queue and len(inflight) < workers:
+                submit(queue.popleft())
+            wait_timeout = None
+            if unit_timeout is not None:
+                earliest = min(t for (_, t) in inflight.values())
+                wait_timeout = max(
+                    0.0, earliest + unit_timeout - time.monotonic()
+                )
+            finished, _ = cf.wait(
+                set(inflight),
+                timeout=wait_timeout,
+                return_when=cf.FIRST_COMPLETED,
+            )
+
+            broken = False
+            interrupted: List[Tuple[SuiteUnit, float]] = []
+            for fut in finished:
+                spec, submitted = inflight.pop(fut)
+                elapsed = time.monotonic() - submitted
+                try:
+                    row = fut.result()
+                except BrokenProcessPool:
+                    broken = True
+                    interrupted.append((spec, elapsed))
+                except cf.CancelledError:
+                    queue.appendleft(spec)
+                except Exception:
+                    obs.inc("harness.unit_error")
+                    finish(
+                        spec,
+                        _degraded_row(
+                            spec, methods, "error", elapsed, collect_telemetry
+                        ),
+                    )
+                else:
+                    finish(spec, row)
+
+            if broken:
+                # pool breakage kills every in-flight future; attribute
+                # the crash via the dead workers' pid markers, retry the
+                # guilty unit (bounded), requeue innocent co-victims
+                suspects = crash_suspects()
+                for fut in list(inflight):
+                    spec, submitted = inflight.pop(fut)
+                    interrupted.append((spec, time.monotonic() - submitted))
+                for spec, elapsed in interrupted:
+                    if not suspects or spec.name in suspects:
+                        penalize_crash(spec, elapsed)
+                    else:
+                        queue.appendleft(spec)
+                recycle_pool()
+                recycles += 1
+                if retry_backoff_s > 0:
+                    time.sleep(
+                        min(2.0, retry_backoff_s * (2.0 ** (recycles - 1)))
+                    )
+                continue
+
+            if unit_timeout is None:
+                continue
+            now = time.monotonic()
+            expired = [
+                (fut, spec, submitted)
+                for fut, (spec, submitted) in inflight.items()
+                if now - submitted > unit_timeout
+            ]
+            if not expired:
+                continue
+            for fut, spec, submitted in expired:
+                del inflight[fut]
+                obs.inc("harness.unit_timeout")
+                finish(
+                    spec,
+                    _degraded_row(
+                        spec,
+                        methods,
+                        "timeout",
+                        now - submitted,
+                        collect_telemetry,
+                    ),
+                )
+                # actually stop the straggler's worker, not just the future
+                procs = getattr(ex, "_processes", {})
+                for pid in pids_for_unit(spec.name):
+                    proc = procs.get(pid)
+                    if proc is not None:
+                        try:
+                            proc.terminate()
+                        except Exception:
+                            pass
+            # terminating workers breaks the pool for the survivors:
+            # harvest any that finished in the meantime, requeue the
+            # rest (no penalty — their time was not up), start fresh
+            for fut in list(inflight):
+                spec, _submitted = inflight.pop(fut)
+                if fut.done():
+                    try:
+                        finish(spec, fut.result())
+                        continue
+                    except Exception:
+                        pass
+                queue.appendleft(spec)
+            recycle_pool()
+    finally:
+        # no zombies: terminate whatever is left, then reap
+        procs = list(getattr(ex, "_processes", {}).values())
+        for proc in procs:
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        ex.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            try:
+                proc.join(timeout=5)
+            except Exception:
+                pass
+        shutil.rmtree(scratch, ignore_errors=True)
+    return [done[s.name] for s in specs]
 
 
 def _degraded_row(
@@ -257,7 +694,11 @@ def _degraded_row(
     runtime_s: float,
     collect_telemetry: bool,
 ) -> UnitRow:
-    """Placeholder row for a unit the parallel harness could not finish."""
+    """Placeholder row for a unit the parallel harness could not finish.
+
+    ``runtime_s`` is the measured wall clock the failed attempt consumed
+    (0.0 only when genuinely unknown), recorded in every method slot.
+    """
     from ..obs.export import SOLVER_COUNTER_FIELDS
 
     row = UnitRow(

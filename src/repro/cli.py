@@ -253,6 +253,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=",".join(METHODS),
         help="comma-separated method columns",
     )
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the suite under seeded fault injection and check "
+        "degradation invariants",
+    )
+    p.add_argument(
+        "--seeds",
+        default="7,9,10,14,16",
+        help="comma-separated chaos seeds (one run per seed)",
+    )
+    p.add_argument(
+        "--units",
+        help="comma-separated unit names (default: the small chaos set)",
+    )
+    p.add_argument("--jobs", type=int, default=2, help="worker processes")
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=8.0,
+        help="per-unit timeout in seconds",
+    )
+    p.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.75,
+        help="per-unit fault probability",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
     return parser
 
 
@@ -530,6 +561,44 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .resilience.chaos import run_chaos
+
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    units = (
+        [n.strip() for n in args.units.split(",") if n.strip()]
+        if args.units
+        else None
+    )
+    reports = [
+        run_chaos(
+            seed,
+            units=units,
+            jobs=args.jobs,
+            unit_timeout=args.timeout,
+            fault_rate=args.fault_rate,
+        )
+        for seed in seeds
+    ]
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for rep in reports:
+            print(rep.summary())
+    failed = [r.seed for r in reports if not r.ok]
+    if failed:
+        print(
+            f"chaos: invariant violations for seeds {failed}",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.json:  # keep --json stdout machine-parseable
+        print(f"chaos: {len(reports)} seed(s) passed all invariants")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -541,6 +610,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": cmd_analyze,
         "generate": cmd_generate,
         "suite": cmd_suite,
+        "chaos": cmd_chaos,
     }
     from .core.engine import EcoEngineError
     from .core.feasibility import EcoInfeasibleError

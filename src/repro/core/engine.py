@@ -23,6 +23,7 @@ from typing import Optional, Tuple, Union
 
 from .. import obs
 from ..io.weights import EcoInstance
+from ..resilience import EngineFault, RetryPolicy
 from .cegarmin import CegarMinPass
 from .divisors import DivisorsPass, WindowPass
 from .feasibility import FeasibilityPass
@@ -91,6 +92,14 @@ class EcoConfig:
             divisor-set membership, cost/gate accounting) before
             returning it.
         seed: randomization seed (simulation).
+        retry_policy: optional
+            :class:`~repro.resilience.retry.RetryPolicy` — bounded
+            retries with budget escalation and exponential backoff when
+            a strategy fails with transient conflict-budget exhaustion,
+            before the fallback chain advances.
+        faults: optional :class:`~repro.resilience.faultplan.EngineFault`
+            — deterministic fault injection for this run (chaos
+            testing); ``None`` in production.
     """
 
     support_method: str = "minassump"
@@ -115,6 +124,8 @@ class EcoConfig:
     seed: int = 2018
     satprune_max_checks: int = 4000
     satprune_grow: bool = True
+    retry_policy: Optional[RetryPolicy] = None
+    faults: Optional[EngineFault] = None
 
 
 def baseline_config() -> EcoConfig:
@@ -302,11 +313,18 @@ class EcoEngine:
                 "invalid pipeline:\n"
                 + "\n".join(f.format() for f in analysis.report.errors)
             )
+        budget_limit = cfg.budget_conflicts
+        if cfg.faults is not None and cfg.faults.exhaust_conflicts_at is not None:
+            # injected exhaustion: cap the run budget at the planned
+            # conflict count so the *real* SatBudgetExceeded path fires
+            cap = cfg.faults.exhaust_conflicts_at
+            budget_limit = cap if budget_limit is None else min(budget_limit, cap)
+            obs.inc("resilience.injected.budget_cap")
         ctx = EcoContext(
             instance=instance,
             config=cfg,
             stats=EngineStats(),
-            budget=ConflictBudget(cfg.budget_conflicts),
+            budget=ConflictBudget(budget_limit),
             t_start=t_start,
             base_impl=instance.impl.clone(),
             spec=instance.spec,

@@ -47,7 +47,13 @@ from typing import (
 )
 
 from .. import obs
-from ..sat.solver import SatBudgetExceeded, Solver, conflict_tally
+from ..sat.solver import (
+    SatBudgetExceeded,
+    SatDeadlineExceeded,
+    Solver,
+    conflict_tally,
+    set_solve_deadline,
+)
 from ..sat.template import CnfTemplate
 from .miter import build_miter
 from .patch import EcoResult, Patch, apply_patch
@@ -57,6 +63,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from ..io.weights import EcoInstance
     from ..network.network import Network
     from ..network.window import Window
+    from ..resilience.faultplan import FaultInjector
+    from ..resilience.retry import RetryPolicy
     from .divisors import DivisorSet
     from .engine import EcoConfig
     from .feasibility import FeasibilityResult
@@ -223,6 +231,10 @@ class EngineStats:
     cegarmin_sat_calls: Optional[int] = None
     certificate_checked: Optional[int] = None
     budget_conflicts_spent: Optional[int] = None
+    #: transient-exhaustion retries taken by the RetryPolicy (per run)
+    retries: Optional[int] = None
+    #: ConflictBudget limit escalations performed by those retries
+    budget_escalations: Optional[int] = None
 
     _OPTIONAL = (
         "feasibility_unknown",
@@ -235,6 +247,8 @@ class EngineStats:
         "cegarmin_sat_calls",
         "certificate_checked",
         "budget_conflicts_spent",
+        "retries",
+        "budget_escalations",
     )
 
     def bump(self, name: str, delta: int = 1) -> None:
@@ -305,6 +319,18 @@ class ConflictBudget:
 
     def exhausted(self) -> bool:
         return self.limit is not None and self.spent >= self.limit
+
+    def escalate(self, factor: float) -> bool:
+        """Grow the limit for a retry; ``False`` when unlimited.
+
+        An unlimited budget cannot be escalated — exhaustion under it
+        came from somewhere harder than the budget (so a retry with
+        "more budget" would re-run the exact same failure).
+        """
+        if self.limit is None:
+            return False
+        self.limit = max(self.limit + 1, int(self.limit * factor))
+        return True
 
     def metered(self) -> "_MeteredRegion":
         """Context manager: yields the per-call cap, charges on exit.
@@ -508,6 +534,19 @@ def _lazy_fallback_exceptions() -> Tuple[type, ...]:
     )
 
 
+def _is_transient(exc: BaseException) -> bool:
+    """Whether a fallback exception is worth retrying with more budget.
+
+    Only genuine conflict-budget exhaustion qualifies: a bigger budget
+    can change its outcome.  Deadline exhaustion
+    (:class:`SatDeadlineExceeded`) is excluded — wall-clock does not
+    come back — as is every structural/enumeration failure.
+    """
+    return isinstance(exc, SatBudgetExceeded) and not isinstance(
+        exc, SatDeadlineExceeded
+    )
+
+
 class SatFlowStrategy(Strategy):
     """The SAT-based flow: one target at a time (Sections 3.1, 3.4, 3.5).
 
@@ -667,6 +706,8 @@ class PassManager:
 
     def __init__(self, enforce_contracts: bool = False) -> None:
         self.enforce_contracts = enforce_contracts
+        #: armed fault-injection state (``EcoConfig.faults``), one per run
+        self._injector: Optional["FaultInjector"] = None
 
     def run_pass(self, p: Pass, ctx: EcoContext) -> PassOutcome:
         if p.optional and ctx.past_deadline():
@@ -674,6 +715,10 @@ class PassManager:
             obs.inc("engine.pass_deadline_skipped")
             return PassOutcome(SKIPPED, "deadline exceeded")
         with obs.span(f"engine.{p.name}", **p.span_attrs(ctx)):
+            if self._injector is not None:
+                self._injector.check(
+                    p.name, ctx.target.name if ctx.target is not None else None
+                )
             if self.enforce_contracts:
                 # deferred: repro.analyze imports from this module
                 from ..analyze.enforce import ContextMonitor
@@ -689,6 +734,13 @@ class PassManager:
         return outcome
 
     def execute(self, ctx: EcoContext, pipeline: Pipeline) -> EcoResult:
+        faults = getattr(ctx.config, "faults", None)
+        if faults is not None and faults.active():
+            # deferred: repro.resilience is a leaf layer, but the
+            # framework only pays the import when injection is armed
+            from ..resilience.faultplan import FaultInjector
+
+            self._injector = FaultInjector(faults)
         for p in pipeline.prologue:
             self.run_pass(p, ctx)
         # window/divisor figures annotate the enclosing engine.run span,
@@ -712,33 +764,83 @@ class PassManager:
     # -- fallback chain -------------------------------------------------
 
     def _run_chain(self, ctx: EcoContext, strategies: List[Strategy]) -> None:
-        fallback_excs = _lazy_fallback_exceptions()
         runnable = [s for s in strategies if s.applicable(ctx)]
         if not runnable:
             raise EcoEngineError(
                 f"{ctx.instance.name}: no applicable strategy "
                 f"(chain: {[s.name for s in strategies]})"
             )
-        for pos, strat in enumerate(runnable):
-            is_last = pos == len(runnable) - 1
-            # every strategy starts from a pristine implementation: a
-            # failed SAT flow may have spliced partial patches into its
-            # working clone
+        policy: Optional["RetryPolicy"] = getattr(
+            ctx.config, "retry_policy", None
+        )
+        # the in-solver watchdog is scoped to the fallback chain: the
+        # prologue (feasibility) and epilogue (verification) must run
+        # to completion, and the last-resort strategy must produce
+        # *some* result — so a passed deadline degrades to the
+        # structural answer (its optional passes are still
+        # deadline-skipped) instead of raising SatDeadlineExceeded out
+        # of the whole run
+        try:
+            for pos, strat in enumerate(runnable):
+                is_last = pos == len(runnable) - 1
+                if ctx.deadline is not None:
+                    set_solve_deadline(None if is_last else ctx.deadline)
+                if self._chain_body(ctx, strat, is_last, policy):
+                    return
+        finally:
+            set_solve_deadline(None)
+
+    def _chain_body(
+        self,
+        ctx: EcoContext,
+        strat: Strategy,
+        is_last: bool,
+        policy: Optional["RetryPolicy"],
+    ) -> bool:
+        """One strategy's attempt loop; True when it produced a result."""
+        fallback_excs = _lazy_fallback_exceptions()
+        attempts = 0
+        while True:
+            # every attempt starts from a pristine implementation: a
+            # failed SAT flow may have spliced partial patches into
+            # its working clone
             ctx.current = ctx.instance.impl.clone()
             ctx.patches = []
             try:
                 with obs.span(f"engine.{strat.name}"):
+                    if self._injector is not None:
+                        self._injector.check(strat.name, None)
                     strat.run(ctx, self)
                 ctx.trace.append((strat.name, OK))
-                return
+                return True
             except fallback_excs as exc:
+                if (
+                    policy is not None
+                    and attempts < policy.max_retries
+                    and _is_transient(exc)
+                    and ctx.budget.escalate(policy.budget_escalation)
+                ):
+                    attempts += 1
+                    ctx.stats.bump("retries")
+                    ctx.stats.bump("budget_escalations")
+                    obs.inc("engine.retry")
+                    ctx.trace.append(
+                        (strat.name, f"retry:{type(exc).__name__}")
+                    )
+                    delay = policy.backoff_seconds(attempts)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
                 ctx.stats.record_fallback(strat.name, exc)
                 obs.inc(f"engine.fallback.{type(exc).__name__}")
                 if strat.name == "sat_flow":
                     obs.inc("engine.sat_flow_fallback")
-                ctx.trace.append((strat.name, f"fallback:{type(exc).__name__}"))
+                ctx.trace.append(
+                    (strat.name, f"fallback:{type(exc).__name__}")
+                )
                 if is_last:
                     raise
+                return False
 
     # -- result assembly ------------------------------------------------
 

@@ -1,0 +1,33 @@
+"""repro.resilience — deterministic fault injection, retry, and chaos.
+
+Import-light by design: :mod:`repro.core.engine` imports the
+:class:`EngineFault` / :class:`RetryPolicy` config types from here, so
+this package must not (transitively) import ``repro.core`` at module
+load.  The chaos runner, which does depend on the engine and the bench
+harness, lives in :mod:`repro.resilience.chaos` and is imported
+explicitly by its users (CLI, tests).
+"""
+
+from .faultplan import (
+    CORRUPT_MODES,
+    FAULT_EXCEPTIONS,
+    EngineFault,
+    FaultInjector,
+    FaultPlan,
+    corrupt_instance,
+    make_exception,
+    plan_summary,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "CORRUPT_MODES",
+    "FAULT_EXCEPTIONS",
+    "EngineFault",
+    "FaultInjector",
+    "FaultPlan",
+    "RetryPolicy",
+    "corrupt_instance",
+    "make_exception",
+    "plan_summary",
+]

@@ -1,0 +1,295 @@
+"""Chaos suite: run the bench harness under seeded fault plans.
+
+A chaos run draws a :class:`~repro.resilience.faultplan.FaultPlan` from
+a seed, runs a small unit suite under it (process pool, per-unit
+timeouts, retry policy), and checks the *degradation invariants* the
+resilience layer promises:
+
+1. no unhandled exception escapes — ``run_suite`` returns exactly one
+   row per requested unit, in suite order;
+2. every injected fault produces the degraded outcome it should:
+   crash → ``"crashed"`` rows, hang → ``"timeout"`` rows, fatal input
+   corruption → ``"error"`` rows, benign corruption → a real result;
+3. engine faults (injected exceptions, budget caps) leave a consistent
+   audit trail: the run either retried (``EngineStats.retries``) or
+   fell back (``fallback_chain``), and fallback accounting balances
+   (``sum(fallback_reasons.values()) == len(fallback_chain)``);
+4. every result claiming ``verified=True`` on an uncorrupted instance
+   passes the independent :func:`repro.check.certify` re-check;
+5. no zombie worker processes survive the run.
+
+This module imports the engine and harness, so it is *not* re-exported
+from ``repro.resilience`` (which must stay import-light — see the
+package docstring); import it explicitly as ``repro.resilience.chaos``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from .faultplan import FaultPlan
+from .retry import RetryPolicy
+
+#: Default chaos unit set: small, SAT-flow units (seconds each), so a
+#: multi-seed chaos sweep stays inside a CI-friendly wall-clock budget.
+DEFAULT_UNITS = ("unit1", "unit2", "unit4", "unit13")
+
+#: Counter prefixes copied into :class:`ChaosReport.counters`.
+_COUNTER_PREFIXES = ("harness.", "resilience.", "engine.", "sat.deadline")
+
+#: Corruption modes that must fail the unit (→ ``"error"`` row); the
+#: remaining modes are benign and must *not* prevent a real result.
+_FATAL_CORRUPTION = frozenset(
+    {"bogus_target", "empty_targets", "truncate_spec"}
+)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one seeded chaos run."""
+
+    seed: int
+    units: Tuple[str, ...]
+    plan: FaultPlan
+    rows: List[Any] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "units": list(self.units),
+            "plan": self.plan.describe(),
+            "ok": self.ok,
+            "violations": list(self.violations),
+            "rows": {
+                row.name: {
+                    m: row.results[m].method for m in row.results
+                }
+                for row in self.rows
+            },
+            "counters": dict(self.counters),
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos seed={self.seed} units={','.join(self.units)} "
+            f"{'OK' if self.ok else 'FAIL'} ({self.elapsed_s:.1f}s)"
+        ]
+        described = self.plan.describe()
+        for row in self.rows:
+            fault = described.get(row.name, "-")
+            outcomes = ",".join(
+                row.results[m].method for m in row.results
+            )
+            lines.append(f"  {row.name:<8} fault={fault:<24} -> {outcomes}")
+        for v in self.violations:
+            lines.append(f"  VIOLATION: {v}")
+        return "\n".join(lines)
+
+
+def run_chaos(
+    seed: int,
+    units: Optional[Sequence[str]] = None,
+    methods: Sequence[str] = ("minassump",),
+    jobs: int = 2,
+    unit_timeout: Optional[float] = 8.0,
+    hang_seconds: float = 60.0,
+    fault_rate: float = 0.75,
+    max_unit_retries: int = 1,
+    retry_policy: Optional[RetryPolicy] = None,
+) -> ChaosReport:
+    """Run one seeded chaos round and check the degradation invariants.
+
+    Resets and enables the process-wide :mod:`repro.obs` registry for
+    the duration of the run (the caller's enabled-state is restored;
+    its counters are not).  Deterministic for fixed arguments.
+    """
+    from ..benchgen.harness import run_suite
+
+    unit_names = tuple(units) if units is not None else DEFAULT_UNITS
+    plan = FaultPlan.random(
+        seed, unit_names, fault_rate=fault_rate, hang_seconds=hang_seconds
+    )
+    policy = retry_policy if retry_policy is not None else RetryPolicy()
+
+    registry = obs.get_registry()
+    was_enabled = registry.enabled
+    registry.reset()
+    registry.enable()
+    t0 = time.monotonic()
+    try:
+        rows = run_suite(
+            names=unit_names,
+            methods=methods,
+            jobs=jobs,
+            unit_timeout=unit_timeout,
+            fault_plan=plan,
+            retry_policy=policy,
+            max_unit_retries=max_unit_retries,
+        )
+    finally:
+        registry.enabled = was_enabled
+    report = ChaosReport(
+        seed=seed,
+        units=unit_names,
+        plan=plan,
+        rows=rows,
+        elapsed_s=time.monotonic() - t0,
+        counters={
+            k: v
+            for k, v in registry.counters.items()
+            if k.startswith(_COUNTER_PREFIXES)
+        },
+    )
+    report.violations.extend(
+        check_invariants(plan, unit_names, rows, unit_timeout=unit_timeout)
+    )
+    report.violations.extend(_check_no_zombies())
+    return report
+
+
+def check_invariants(
+    plan: FaultPlan,
+    units: Sequence[str],
+    rows: Sequence[Any],
+    unit_timeout: Optional[float] = None,
+) -> List[str]:
+    """Violations of the chaos degradation invariants (empty = pass)."""
+    from ..benchgen.suite import SUITE, build_unit
+
+    specs = {u.name: u for u in SUITE}
+    violations: List[str] = []
+
+    expected = [u.name for u in SUITE if u.name in set(units)]
+    got = [row.name for row in rows]
+    if got != expected:
+        violations.append(
+            f"row set/order mismatch: expected {expected}, got {got}"
+        )
+        return violations
+
+    for row in rows:
+        row_methods = {m: row.results[m].method for m in row.results}
+        degraded = any(
+            m in ("crashed", "timeout", "error") for m in row_methods.values()
+        )
+
+        if row.name in plan.crash:
+            if any(m != "crashed" for m in row_methods.values()):
+                violations.append(
+                    f"{row.name}: crash-fault unit not degraded to "
+                    f"'crashed' rows (got {row_methods})"
+                )
+            continue
+        if row.name in plan.hang and unit_timeout is not None:
+            if any(m != "timeout" for m in row_methods.values()):
+                violations.append(
+                    f"{row.name}: hang-fault unit not degraded to "
+                    f"'timeout' rows (got {row_methods})"
+                )
+            continue
+
+        mode = plan.corrupt.get(row.name)
+        if mode in _FATAL_CORRUPTION:
+            if any(m != "error" for m in row_methods.values()):
+                violations.append(
+                    f"{row.name}: fatal corruption ({mode}) did not "
+                    f"produce 'error' rows (got {row_methods})"
+                )
+            continue
+        if mode is not None and degraded:
+            violations.append(
+                f"{row.name}: benign corruption ({mode}) degraded the "
+                f"unit (got {row_methods})"
+            )
+            continue
+
+        fault = plan.engine_fault(row.name)
+        spec = specs.get(row.name)
+        for method, result in row.results.items():
+            stats = result.engine_stats
+            if stats is None:
+                continue
+            chain_len = len(stats.fallback_chain)
+            reasons_total = sum(stats.fallback_reasons.values())
+            if reasons_total != chain_len:
+                violations.append(
+                    f"{row.name}/{method}: fallback accounting "
+                    f"inconsistent (chain={stats.fallback_chain}, "
+                    f"reasons={stats.fallback_reasons})"
+                )
+            if (
+                fault is not None
+                and fault.active()
+                and spec is not None
+                and not spec.force_structural
+                and not degraded
+            ):
+                retried = (stats.retries or 0) >= 1
+                # a tight injected budget cap can bite inside the
+                # feasibility prologue: feasible=None then skips the
+                # SAT flow entirely (no retry, no fallback), so the
+                # spent budget itself is the audit trail there
+                cap = fault.exhaust_conflicts_at
+                budget_bit = (
+                    cap is not None
+                    and stats.budget_conflicts_spent >= cap
+                )
+                if not retried and chain_len == 0 and not budget_bit:
+                    violations.append(
+                        f"{row.name}/{method}: engine fault "
+                        f"({fault!r}) left no audit trail (no retries, "
+                        f"empty fallback_chain, budget under cap)"
+                    )
+
+        if not degraded and row.name not in plan.corrupt:
+            for method, result in row.results.items():
+                if not result.verified:
+                    continue
+                try:
+                    from ..check import certify
+
+                    certify(build_unit(specs[row.name]), result)
+                except Exception as exc:
+                    violations.append(
+                        f"{row.name}/{method}: verified=True but "
+                        f"independent re-check failed: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+    return violations
+
+
+def _check_no_zombies(grace_s: float = 3.0) -> List[str]:
+    """Assert no worker processes outlive the run (with a reap grace)."""
+    import multiprocessing as mp
+
+    deadline = time.monotonic() + grace_s
+    while True:
+        children = mp.active_children()  # also reaps finished children
+        if not children:
+            return []
+        if time.monotonic() > deadline:
+            return [
+                "zombie workers survived the run: "
+                + ", ".join(f"pid={c.pid}" for c in children)
+            ]
+        time.sleep(0.1)
+
+
+def run_chaos_sweep(
+    seeds: Sequence[int],
+    units: Optional[Sequence[str]] = None,
+    **kwargs: Any,
+) -> List[ChaosReport]:
+    """One :func:`run_chaos` per seed, in order (CI entry point)."""
+    return [run_chaos(seed, units=units, **kwargs) for seed in seeds]

@@ -1,0 +1,264 @@
+"""Deterministic, seeded fault injection for the ECO engine and harness.
+
+The resilience layer answers one question: *does degradation actually
+work?*  The engine has a fallback chain, a run-level conflict budget,
+wall-clock deadlines, and a parallel harness with placeholder rows —
+but none of those paths are trustworthy until they have been exercised
+under injected failure.  A :class:`FaultPlan` describes, deterministically
+from a seed, which failures to inject where:
+
+* **engine faults** (:class:`EngineFault`, carried on
+  ``EcoConfig.faults``): cap the run-level conflict budget at a chosen
+  conflict count (``exhaust_conflicts_at``), or raise a chosen exception
+  inside a named pass/strategy for a chosen target
+  (``fail_stage``/``fail_target``/``fail_exception``/``fail_times``);
+* **harness faults** (unit-name keyed, consumed by
+  ``repro.benchgen.harness``): hard worker crash (``crash``,
+  ``os._exit`` → ``BrokenProcessPool``), worker hang (``hang``, sleep
+  past the per-unit timeout), and instance-input corruption
+  (``corrupt``, see :data:`CORRUPT_MODES`).
+
+Injection is threaded through ``EcoConfig`` / the harness arguments —
+no monkeypatching — and every firing bumps a ``resilience.injected.*``
+counter so a chaos run's telemetry shows exactly which faults fired.
+The plan itself is a frozen, picklable value: the same plan crosses the
+process-pool boundary to the workers untouched, which is what makes
+chaos runs reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+
+from .. import obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..io.weights import EcoInstance
+
+#: Exception class names an :class:`EngineFault` may raise, mapped to the
+#: modules that define them (resolved lazily to keep this module
+#: import-light: ``repro.core.pipeline`` imports us at injection time).
+FAULT_EXCEPTIONS = (
+    "SatBudgetExceeded",
+    "PatchEnumerationError",
+    "EcoEngineError",
+    "EcoInfeasibleError",
+)
+
+#: Instance-corruption modes understood by :func:`corrupt_instance`.
+#:
+#: ``bogus_target``    first target renamed to a nonexistent node
+#:                     (``NetworkError`` → harness error row);
+#: ``empty_targets``   target list truncated to nothing
+#:                     (``EcoInfeasibleError`` → harness error row);
+#: ``drop_weights``    weight table cleared (benign: the run must still
+#:                     succeed on ``default_weight``);
+#: ``truncate_spec``   last spec PO dropped (PO-name mismatch
+#:                     ``ValueError`` → harness error row).
+CORRUPT_MODES = ("bogus_target", "empty_targets", "drop_weights", "truncate_spec")
+
+
+def make_exception(name: str, stage: str, target: Optional[str] = None) -> Exception:
+    """Instantiate the named fault exception with an ``injected`` message."""
+    where = stage if target is None else f"{stage}/{target}"
+    msg = f"injected {name} in {where}"
+    if name == "SatBudgetExceeded":
+        from ..sat.solver import SatBudgetExceeded
+
+        return SatBudgetExceeded(msg)
+    if name == "PatchEnumerationError":
+        from ..core.patchfunc import PatchEnumerationError
+
+        return PatchEnumerationError(msg)
+    if name == "EcoEngineError":
+        from ..core.pipeline import EcoEngineError
+
+        return EcoEngineError(msg)
+    if name == "EcoInfeasibleError":
+        from ..core.feasibility import EcoInfeasibleError
+
+        return EcoInfeasibleError(msg)
+    return RuntimeError(msg)
+
+
+@dataclass(frozen=True)
+class EngineFault:
+    """Engine-side fault directives for one run (``EcoConfig.faults``).
+
+    ``exhaust_conflicts_at`` caps the run's :class:`ConflictBudget` at
+    the given conflict count, so budget exhaustion triggers exactly
+    where the plan says (exercising the real ``SatBudgetExceeded`` →
+    fallback/retry path, not a simulation of it).  ``fail_stage`` names
+    a pass or strategy (``support``, ``patch_function``, ``sat_flow``,
+    ...); when the :class:`PassManager` is about to run it — optionally
+    only for ``fail_target`` — the injector raises ``fail_exception``
+    instead, at most ``fail_times`` times per run.
+    """
+
+    exhaust_conflicts_at: Optional[int] = None
+    fail_stage: Optional[str] = None
+    fail_target: Optional[str] = None
+    fail_exception: str = "SatBudgetExceeded"
+    fail_times: int = 1
+
+    def active(self) -> bool:
+        return self.exhaust_conflicts_at is not None or self.fail_stage is not None
+
+
+class FaultInjector:
+    """Per-run armed state for an :class:`EngineFault`.
+
+    The plan is immutable; the injector counts the firings.  One is
+    created by ``PassManager.execute`` per engine run, so ``fail_times``
+    is a per-run bound — a retry of the same strategy within one run
+    sees the already-spent count (which is exactly what lets a
+    ``RetryPolicy`` recover from a transient injected exhaustion).
+    """
+
+    def __init__(self, fault: EngineFault) -> None:
+        self.fault = fault
+        self.remaining = int(fault.fail_times)
+
+    def check(self, stage: str, target: Optional[str]) -> None:
+        """Raise the planned exception if ``stage``/``target`` match."""
+        f = self.fault
+        if f.fail_stage is None or f.fail_stage != stage or self.remaining <= 0:
+            return
+        if f.fail_target is not None and target != f.fail_target:
+            return
+        self.remaining -= 1
+        obs.inc("resilience.injected.pass_fault")
+        raise make_exception(f.fail_exception, stage, target)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, unit-keyed fault schedule for a harness/chaos run.
+
+    ``crash``/``hang`` name suite units whose worker process dies hard
+    (``os._exit``) or sleeps ``hang_seconds`` before working (tripping
+    the per-unit timeout); ``corrupt`` maps units to
+    :data:`CORRUPT_MODES`; ``engine`` maps units to the
+    :class:`EngineFault` their engine runs execute under.  Frozen and
+    picklable by construction.
+    """
+
+    seed: int = 0
+    crash: FrozenSet[str] = frozenset()
+    hang: FrozenSet[str] = frozenset()
+    hang_seconds: float = 60.0
+    corrupt: Mapping[str, str] = field(default_factory=dict)
+    engine: Mapping[str, EngineFault] = field(default_factory=dict)
+
+    def engine_fault(self, unit: str) -> Optional[EngineFault]:
+        return self.engine.get(unit)
+
+    def faulted_units(self) -> FrozenSet[str]:
+        """Every unit the plan injects *any* fault into."""
+        return frozenset(
+            set(self.crash)
+            | set(self.hang)
+            | set(self.corrupt)
+            | set(self.engine)
+        )
+
+    @staticmethod
+    def random(
+        seed: int,
+        units: Sequence[str],
+        fault_rate: float = 0.75,
+        hang_seconds: float = 60.0,
+    ) -> "FaultPlan":
+        """Draw a deterministic plan over ``units`` from ``seed``.
+
+        Each unit independently receives (with probability
+        ``fault_rate``) one fault drawn uniformly from: worker crash,
+        worker hang, input corruption, conflict-budget exhaustion at a
+        small count, or an injected pass/strategy exception.  The same
+        ``(seed, units)`` always yields the same plan.
+        """
+        rng = random.Random(seed)
+        crash = set()
+        hang = set()
+        corrupt: Dict[str, str] = {}
+        engine: Dict[str, EngineFault] = {}
+        kinds = ("crash", "hang", "corrupt", "budget", "pass_fault")
+        stages = ("support", "patch_function", "sat_flow")
+        for unit in units:
+            if rng.random() >= fault_rate:
+                continue
+            kind = rng.choice(kinds)
+            if kind == "crash":
+                crash.add(unit)
+            elif kind == "hang":
+                hang.add(unit)
+            elif kind == "corrupt":
+                corrupt[unit] = rng.choice(CORRUPT_MODES)
+            elif kind == "budget":
+                engine[unit] = EngineFault(
+                    exhaust_conflicts_at=rng.choice((1, 4, 16))
+                )
+            else:
+                engine[unit] = EngineFault(
+                    fail_stage=rng.choice(stages),
+                    fail_exception=rng.choice(
+                        ("SatBudgetExceeded", "PatchEnumerationError",
+                         "EcoEngineError")
+                    ),
+                )
+        return FaultPlan(
+            seed=seed,
+            crash=frozenset(crash),
+            hang=frozenset(hang),
+            hang_seconds=hang_seconds,
+            corrupt=corrupt,
+            engine=engine,
+        )
+
+    def describe(self) -> Dict[str, str]:
+        """Human-readable ``unit -> fault`` summary (chaos reports)."""
+        out: Dict[str, str] = {}
+        for unit in sorted(self.crash):
+            out[unit] = "crash"
+        for unit in sorted(self.hang):
+            out[unit] = "hang"
+        for unit, mode in sorted(self.corrupt.items()):
+            out[unit] = f"corrupt:{mode}"
+        for unit, fault in sorted(self.engine.items()):
+            if fault.exhaust_conflicts_at is not None:
+                out[unit] = f"budget@{fault.exhaust_conflicts_at}"
+            else:
+                out[unit] = f"{fault.fail_stage}!{fault.fail_exception}"
+        return out
+
+
+def corrupt_instance(instance: "EcoInstance", mode: str) -> "EcoInstance":
+    """Apply a :data:`CORRUPT_MODES` mutation to a freshly built instance.
+
+    Mutates in place (the instance is worker-local) and returns it.
+    """
+    if mode == "bogus_target":
+        if instance.targets:
+            instance.targets[0] = "__resilience_no_such_node__"
+    elif mode == "empty_targets":
+        del instance.targets[:]
+    elif mode == "drop_weights":
+        instance.weights.clear()
+    elif mode == "truncate_spec":
+        # Network.pos returns a copy; the PO list itself is private
+        if instance.spec._pos:
+            instance.spec._pos.pop()
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    obs.inc("resilience.injected.corrupt")
+    return instance
+
+
+def plan_summary(plan: FaultPlan, units: Sequence[str]) -> Tuple[str, ...]:
+    """One ``unit: fault`` line per planned unit, in ``units`` order."""
+    described = plan.describe()
+    return tuple(
+        f"{unit}: {described[unit]}" for unit in units if unit in described
+    )

@@ -1,0 +1,50 @@
+"""Retry policy for transient conflict-budget exhaustion.
+
+``SatBudgetExceeded`` is the one *transient* failure in the fallback
+chain: unlike a structural infeasibility, giving the same strategy a
+bigger budget can genuinely succeed.  A :class:`RetryPolicy` (carried on
+``EcoConfig.retry_policy``) lets the :class:`~repro.core.pipeline.PassManager`
+re-run the failing strategy — escalating the run-level
+:class:`~repro.core.pipeline.ConflictBudget` and backing off
+exponentially — before advancing the chain to a strictly worse
+strategy.  Deadline exhaustion (``SatDeadlineExceeded``) is *not*
+retried: wall-clock does not come back.
+
+Retries are recorded in ``EngineStats`` (``retries`` /
+``budget_escalations``, exported through the result's ``stats`` dict)
+and in the ``engine.retry`` counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with budget escalation and exponential backoff.
+
+    Attributes:
+        max_retries: retries *per strategy* before the chain advances.
+        budget_escalation: multiplier applied to the remaining
+            ``ConflictBudget`` limit on every retry (must leave the
+            budget finite; an unlimited budget never retries — there is
+            nothing to escalate, so exhaustion cannot be transient).
+        backoff_base: first retry's delay in seconds; ``0`` disables
+            sleeping entirely (the right setting for tests and chaos).
+        backoff_factor: multiplier between consecutive delays.
+        backoff_max: upper bound on any single delay.
+    """
+
+    max_retries: int = 2
+    budget_escalation: float = 2.0
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 1.0
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based), in seconds."""
+        if self.backoff_base <= 0.0 or attempt <= 0:
+            return 0.0
+        delay = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        return min(self.backoff_max, delay)

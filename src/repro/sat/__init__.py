@@ -4,7 +4,13 @@ from .cardinality import Totalizer
 from .interpolate import InterpolationError, interpolant
 from .proof import ProofError, check_proof, derive_clause, resolve
 from .simplify import Preprocessor, PreprocessorError
-from .solver import SatBudgetExceeded, Solver
+from .solver import (
+    SatBudgetExceeded,
+    SatDeadlineExceeded,
+    Solver,
+    set_solve_deadline,
+    solve_deadline,
+)
 from .template import CnfTemplate
 from .tseitin import add_equality, encode_gate, encode_network
 from .types import (
@@ -24,6 +30,7 @@ __all__ = [
     "PreprocessorError",
     "ProofError",
     "SatBudgetExceeded",
+    "SatDeadlineExceeded",
     "Solver",
     "Totalizer",
     "add_equality",
@@ -39,5 +46,7 @@ __all__ = [
     "mklit",
     "neg",
     "resolve",
+    "set_solve_deadline",
+    "solve_deadline",
     "to_dimacs",
 ]

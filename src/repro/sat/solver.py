@@ -48,6 +48,17 @@ class SatBudgetExceeded(Exception):
     """
 
 
+class SatDeadlineExceeded(SatBudgetExceeded):
+    """Raised when the armed wall-clock deadline interrupts a solve.
+
+    A subclass of :class:`SatBudgetExceeded` so every existing
+    budget-exhaustion handler (the fallback chain, ``except`` clauses in
+    passes) treats it as exhaustion — but distinguishable, because a
+    deadline is *not* transient: the engine's ``RetryPolicy`` retries
+    conflict-budget exhaustion, never deadline exhaustion.
+    """
+
+
 #: Process-wide monotonic conflict tally across *all* solver instances.
 #: ``repro.core.pipeline.ConflictBudget`` reads before/after marks around
 #: metered regions to charge a run-level budget even when the region
@@ -59,6 +70,30 @@ _CONFLICT_TALLY = [0]
 def conflict_tally() -> int:
     """Total conflicts analyzed by every solver in this process."""
     return _CONFLICT_TALLY[0]
+
+
+#: Process-wide wall-clock deadline (``time.perf_counter`` seconds) the
+#: search loop checks periodically.  Armed by ``EcoEngine.run`` from
+#: ``EcoConfig.budget_seconds`` so a *long-running* ``solve()`` call is
+#: interrupted mid-search instead of the deadline only being noticed
+#: between passes.  One element, same rationale as ``_CONFLICT_TALLY``.
+_SOLVE_DEADLINE: List[Optional[float]] = [None]
+
+#: Check the deadline every this-many conflicts / decisions: one
+#: ``perf_counter`` call per mask period keeps the watchdog off the
+#: hot path (a pure-Python conflict costs far more than the check).
+_DEADLINE_CONFLICT_MASK = 63
+_DEADLINE_DECISION_MASK = 1023
+
+
+def set_solve_deadline(deadline: Optional[float]) -> None:
+    """Arm (or clear, with ``None``) the in-solver deadline watchdog."""
+    _SOLVE_DEADLINE[0] = deadline
+
+
+def solve_deadline() -> Optional[float]:
+    """The currently armed watchdog deadline, if any."""
+    return _SOLVE_DEADLINE[0]
 
 
 class _Clause:
@@ -733,6 +768,15 @@ class Solver:
                 return 1 << (k - 1) if k > 0 else 1
             i -= (1 << k) - 1
 
+    def _deadline_interrupt(self, deadline: float) -> None:
+        """Unwind to level 0 and raise :class:`SatDeadlineExceeded`."""
+        self._cancel_until(0)
+        _OBS.inc("sat.deadline_interrupts")
+        raise SatDeadlineExceeded(
+            f"solve interrupted by wall-clock deadline "
+            f"({time.perf_counter() - deadline:.3f}s past)"
+        )
+
     def solve(
         self,
         assumptions: Sequence[int] = (),
@@ -780,6 +824,11 @@ class Solver:
     ) -> bool:
         """The CDCL search loop behind :meth:`solve`."""
         self.stats["solves"] += 1
+        deadline = _SOLVE_DEADLINE[0]
+        if deadline is not None and time.perf_counter() > deadline:
+            # fail fast when the run's deadline already passed: even a
+            # conflict-free solve should not start new work
+            self._deadline_interrupt(deadline)
         self.core = set()
         self.model = []
         self._cancel_until(0)
@@ -811,6 +860,12 @@ class Solver:
                     raise SatBudgetExceeded(
                         f"conflict budget {budget_conflicts} exceeded"
                     )
+                if (
+                    deadline is not None
+                    and conflicts_total & _DEADLINE_CONFLICT_MASK == 0
+                    and time.perf_counter() > deadline
+                ):
+                    self._deadline_interrupt(deadline)
                 if not self._trail_lim:
                     self._ok = False
                     if self.proof_logging:
@@ -888,6 +943,14 @@ class Solver:
                 self._cancel_until(0)
                 return True
             self.stats["decisions"] += 1
+            if (
+                deadline is not None
+                and self.stats["decisions"] & _DEADLINE_DECISION_MASK == 0
+                and time.perf_counter() > deadline
+            ):
+                # propagation-dominant instances can run long without
+                # conflicting; the decision pulse catches those
+                self._deadline_interrupt(deadline)
             self._trail_lim.append(len(self._trail))
             lit = var * 2 + (1 - self._polarity[var])
             self._unchecked_enqueue(lit, None)

@@ -1,0 +1,212 @@
+"""ConflictBudget edge cases: boundaries, escalation, retry accounting.
+
+Complements the basics in ``test_pipeline.py``: exhaustion exactly at
+the limit, deeply nested metered regions with exceptions in flight,
+escalation semantics for the retry policy, the budget being shared
+across a run's fallback strategies, and ``budget_conflicts_spent``
+staying accurate when a strategy is retried.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import EcoEngine, contest_config
+from repro.benchgen.harness import run_unit
+from repro.benchgen.suite import SUITE, build_unit
+from repro.core.pipeline import ConflictBudget
+from repro.resilience import EngineFault, RetryPolicy
+from repro.sat.solver import SatBudgetExceeded
+
+
+def spec_named(name):
+    return next(u for u in SUITE if u.name == name)
+
+
+class TestBoundary:
+    def test_exhaustion_exactly_at_limit(self, monkeypatch):
+        tally = [0]
+        monkeypatch.setattr(
+            "repro.core.pipeline.conflict_tally", lambda: tally[0]
+        )
+        b = ConflictBudget(10)
+        with b.metered():
+            tally[0] += 10
+        assert b.spent == 10
+        assert b.remaining == 0
+        assert b.exhausted()  # spent == limit is exhausted, not "one left"
+
+    def test_one_under_limit_not_exhausted(self, monkeypatch):
+        tally = [0]
+        monkeypatch.setattr(
+            "repro.core.pipeline.conflict_tally", lambda: tally[0]
+        )
+        b = ConflictBudget(10)
+        with b.metered():
+            tally[0] += 9
+        assert not b.exhausted()
+        assert b.remaining == 1
+
+    def test_zero_budget_is_born_exhausted(self):
+        b = ConflictBudget(0)
+        assert b.exhausted()
+        with b.metered() as cap:
+            assert cap == 0
+
+
+class TestNesting:
+    def test_three_levels_charge_once(self, monkeypatch):
+        tally = [0]
+        monkeypatch.setattr(
+            "repro.core.pipeline.conflict_tally", lambda: tally[0]
+        )
+        b = ConflictBudget(100)
+        with b.metered():
+            tally[0] += 1
+            with b.metered():
+                tally[0] += 2
+                with b.metered():
+                    tally[0] += 4
+            tally[0] += 8
+        assert b.spent == 15
+
+    def test_inner_cap_reflects_entry_remaining(self, monkeypatch):
+        tally = [0]
+        monkeypatch.setattr(
+            "repro.core.pipeline.conflict_tally", lambda: tally[0]
+        )
+        b = ConflictBudget(100)
+        b.spent = 40
+        with b.metered() as outer_cap:
+            tally[0] += 10
+            with b.metered() as inner_cap:
+                # charging happens at outermost exit: the inner region
+                # still sees the remaining-at-entry snapshot
+                assert inner_cap == outer_cap == 60
+
+    def test_exception_inside_region_still_charges(self, monkeypatch):
+        tally = [0]
+        monkeypatch.setattr(
+            "repro.core.pipeline.conflict_tally", lambda: tally[0]
+        )
+        b = ConflictBudget(100)
+        with pytest.raises(SatBudgetExceeded):
+            with b.metered():
+                tally[0] += 30
+                raise SatBudgetExceeded("mid-region")
+        assert b.spent == 30
+
+    def test_sequential_regions_accumulate(self, monkeypatch):
+        tally = [0]
+        monkeypatch.setattr(
+            "repro.core.pipeline.conflict_tally", lambda: tally[0]
+        )
+        b = ConflictBudget(100)
+        for add in (3, 5, 7):
+            with b.metered():
+                tally[0] += add
+        assert b.spent == 15
+        assert b.remaining == 85
+
+
+class TestEscalation:
+    def test_escalate_multiplies_limit(self):
+        b = ConflictBudget(100)
+        assert b.escalate(2.0) is True
+        assert b.limit == 200
+
+    def test_escalate_always_grows(self):
+        # factor 1.0 must still make progress (limit+1), or a retry
+        # would re-run the identical failure
+        b = ConflictBudget(100)
+        assert b.escalate(1.0) is True
+        assert b.limit == 101
+
+    def test_unlimited_budget_cannot_escalate(self):
+        b = ConflictBudget(None)
+        assert b.escalate(2.0) is False
+        assert b.limit is None
+
+    def test_escalation_unexhausts(self, monkeypatch):
+        tally = [0]
+        monkeypatch.setattr(
+            "repro.core.pipeline.conflict_tally", lambda: tally[0]
+        )
+        b = ConflictBudget(10)
+        with b.metered():
+            tally[0] += 10
+        assert b.exhausted()
+        b.escalate(2.0)
+        assert not b.exhausted()
+        assert b.remaining == 10
+
+
+class TestSharedAcrossStrategies:
+    def test_budget_spent_includes_fallback_work(self):
+        # starve the SAT flow so the run falls through to the
+        # structural path; the reported spend covers the whole run,
+        # not just the failed strategy
+        spec = spec_named("unit13")
+        inst = build_unit(spec)
+        cfg = dataclasses.replace(
+            contest_config(), budget_conflicts=8, feasibility_method="qbf"
+        )
+        res = EcoEngine(cfg).run(inst)
+        assert res.verified
+        spent = res.engine_stats.budget_conflicts_spent
+        assert spent >= 0
+        # the run-level budget is one object: every strategy's conflicts
+        # (and the prologue's) land in the same counter
+        assert res.stats["budget_conflicts_spent"] == spent
+
+    def test_spend_accurate_under_retry(self):
+        # an injected transient failure forces one retry; the retry
+        # re-runs the SAT flow, so spend must cover both attempts and
+        # stay within the escalated limit
+        spec = spec_named("unit13")
+        fault = EngineFault(
+            fail_stage="sat_flow", fail_exception="SatBudgetExceeded"
+        )
+        base = run_unit(spec, ("minassump",))
+        baseline_spent = base.results[
+            "minassump"
+        ].engine_stats.budget_conflicts_spent
+        row = run_unit(
+            spec, ("minassump",), faults=fault, retry_policy=RetryPolicy()
+        )
+        res = row.results["minassump"]
+        stats = res.engine_stats
+        assert stats.retries == 1
+        assert res.method == "sat"
+        # attempt 1 failed at strategy entry (injected), attempt 2 did
+        # the real work: spend ≈ one clean run, never double-counted
+        # against an unrelated tally
+        assert stats.budget_conflicts_spent >= baseline_spent
+        limit = contest_config().budget_conflicts
+        escalated = int(limit * RetryPolicy().budget_escalation)
+        assert stats.budget_conflicts_spent <= escalated
+
+    def test_retry_exhaustion_advances_chain(self):
+        # budget so small that even escalated retries exhaust: the
+        # chain must advance (or the run error) rather than loop
+        spec = spec_named("unit13")
+        inst = build_unit(spec)
+        cfg = dataclasses.replace(
+            contest_config(),
+            budget_conflicts=1,
+            feasibility_method="qbf",
+            retry_policy=RetryPolicy(max_retries=2),
+        )
+        res = EcoEngine(cfg).run(inst)
+        assert res.verified
+        stats = res.engine_stats
+        retries = stats.retries or 0
+        assert retries <= 2
+        # with budget=1 the SAT flow cannot have won cleanly on its
+        # first attempt: there was a retry, a fallback, or the prologue
+        # absorbed the exhaustion (feasible=None skips the SAT flow)
+        assert (
+            retries >= 1
+            or stats.fallback_chain
+            or res.method != "sat"
+        )

@@ -1,0 +1,272 @@
+"""Crash-safe parallel harness: timeouts, crashes, checkpoints.
+
+``run_suite``'s process-pool path must survive worker death and hangs:
+deadlines are measured from submission, stragglers are terminated,
+``BrokenProcessPool`` recycles the pool with bounded per-unit retries,
+degraded rows carry the measured wall clock, and a checkpoint file lets
+an interrupted suite resume.
+"""
+
+import json
+import multiprocessing as mp
+import os
+import time
+
+import pytest
+
+from repro import obs
+from repro.benchgen.harness import (
+    CHECKPOINT_SCHEMA,
+    _degraded_row,
+    load_checkpoint,
+    row_degraded,
+    run_suite,
+    save_checkpoint,
+)
+from repro.benchgen.suite import SUITE
+from repro.resilience import FaultPlan
+
+
+@pytest.fixture
+def registry():
+    reg = obs.get_registry()
+    was = reg.enabled
+    reg.reset()
+    reg.enable()
+    yield reg
+    reg.enabled = was
+    reg.reset()
+
+
+def assert_no_zombies(grace_s=3.0):
+    deadline = time.monotonic() + grace_s
+    while mp.active_children():
+        assert time.monotonic() < deadline, (
+            f"zombie workers: {mp.active_children()}"
+        )
+        time.sleep(0.1)
+
+
+def methods_of(row):
+    return {m: row.results[m].method for m in row.results}
+
+
+class TestCrashRecovery:
+    def test_crash_degrades_and_recycles(self, registry):
+        plan = FaultPlan(seed=0, crash=frozenset({"unit1"}))
+        rows = run_suite(
+            names=["unit1", "unit4"],
+            methods=("minassump",),
+            jobs=2,
+            fault_plan=plan,
+            max_unit_retries=1,
+        )
+        assert [r.name for r in rows] == ["unit1", "unit4"]
+        assert methods_of(rows[0]) == {"minassump": "crashed"}
+        assert rows[1].results["minassump"].verified
+        assert registry.counters.get("harness.unit_crashed") == 1
+        assert registry.counters.get("harness.unit_retry", 0) >= 1
+        assert registry.counters.get("harness.pool_recycled", 0) >= 1
+        assert_no_zombies()
+
+    def test_innocent_units_survive_crash(self, registry):
+        # all four units share the pool with a crasher; every healthy
+        # unit must still produce a real row
+        plan = FaultPlan(seed=0, crash=frozenset({"unit2"}))
+        rows = run_suite(
+            names=["unit1", "unit2", "unit4", "unit13"],
+            methods=("minassump",),
+            jobs=2,
+            fault_plan=plan,
+            max_unit_retries=1,
+        )
+        by_name = {r.name: r for r in rows}
+        assert methods_of(by_name["unit2"]) == {"minassump": "crashed"}
+        for name in ("unit1", "unit4", "unit13"):
+            assert by_name[name].results["minassump"].verified, name
+        assert_no_zombies()
+
+    def test_fault_plan_forces_parallel_path(self):
+        # a crash fault in the serial path would os._exit the test
+        # process itself; fault_plan must force the pool even with
+        # jobs=1 and no timeout
+        plan = FaultPlan(seed=0, crash=frozenset({"unit1"}))
+        rows = run_suite(
+            names=["unit1"],
+            methods=("minassump",),
+            jobs=1,
+            fault_plan=plan,
+            max_unit_retries=0,
+        )
+        assert methods_of(rows[0]) == {"minassump": "crashed"}
+
+
+class TestTimeouts:
+    def test_hang_times_out_with_measured_elapsed(self, registry):
+        plan = FaultPlan(
+            seed=0, hang=frozenset({"unit1"}), hang_seconds=60.0
+        )
+        t0 = time.monotonic()
+        rows = run_suite(
+            names=["unit1", "unit4"],
+            methods=("minassump",),
+            jobs=2,
+            unit_timeout=2.0,
+            fault_plan=plan,
+        )
+        wall = time.monotonic() - t0
+        by_name = {r.name: r for r in rows}
+        res = by_name["unit1"].results["minassump"]
+        assert res.method == "timeout"
+        # measured elapsed, not the configured value verbatim
+        assert 2.0 <= res.runtime_seconds < 15.0
+        assert by_name["unit4"].results["minassump"].verified
+        # the hanging worker was terminated: nowhere near hang_seconds
+        assert wall < 30.0
+        assert registry.counters.get("harness.unit_timeout") == 1
+        assert_no_zombies()
+
+    def test_timeout_measured_from_submission_not_collection(self):
+        # both units are submitted together (jobs=2); the hanging unit
+        # is last in suite order, so the old collection-order timeout
+        # would have charged unit4's queue wait against it
+        plan = FaultPlan(
+            seed=0, hang=frozenset({"unit4"}), hang_seconds=60.0
+        )
+        rows = run_suite(
+            names=["unit1", "unit4"],
+            methods=("minassump",),
+            jobs=2,
+            unit_timeout=3.0,
+            fault_plan=plan,
+        )
+        by_name = {r.name: r for r in rows}
+        assert by_name["unit1"].results["minassump"].verified
+        res = by_name["unit4"].results["minassump"]
+        assert res.method == "timeout"
+        assert res.runtime_seconds == pytest.approx(3.0, abs=1.5)
+        assert_no_zombies()
+
+
+class TestDegradedRows:
+    def test_error_rows_record_measured_elapsed(self, registry):
+        # fatal corruption raises inside the worker after real work
+        plan = FaultPlan(seed=0, corrupt={"unit1": "bogus_target"})
+        rows = run_suite(
+            names=["unit1"],
+            methods=("minassump",),
+            jobs=1,
+            fault_plan=plan,
+        )
+        res = rows[0].results["minassump"]
+        assert res.method == "error"
+        assert res.runtime_seconds > 0.0
+        assert registry.counters.get("harness.unit_error") == 1
+
+    def test_degraded_row_shape(self):
+        spec = next(u for u in SUITE if u.name == "unit1")
+        row = _degraded_row(spec, ("minassump",), "crashed", 1.25, True)
+        assert row_degraded(row)
+        res = row.results["minassump"]
+        assert res.method == "crashed"
+        assert res.runtime_seconds == 1.25
+        assert res.verified is False
+        assert row.telemetry["minassump"]["counters"] == {
+            "harness.unit_crashed": 1
+        }
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        ck = str(tmp_path / "ck.json")
+        rows = run_suite(
+            names=["unit1", "unit4"], methods=("minassump",), checkpoint=ck
+        )
+        assert os.path.exists(ck)
+        with open(ck, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert doc["schema"] == CHECKPOINT_SCHEMA
+        restored = load_checkpoint(ck)
+        assert sorted(restored) == ["unit1", "unit4"]
+        for name, row in restored.items():
+            assert row.results["minassump"].cost == next(
+                r for r in rows if r.name == name
+            ).results["minassump"].cost
+
+    def test_resume_skips_finished_units(self, registry, tmp_path):
+        ck = str(tmp_path / "ck.json")
+        run_suite(names=["unit1"], methods=("minassump",), checkpoint=ck)
+        registry.reset()
+        registry.enable()
+        rows = run_suite(
+            names=["unit1", "unit4"], methods=("minassump",), checkpoint=ck
+        )
+        assert [r.name for r in rows] == ["unit1", "unit4"]
+        assert registry.counters.get("harness.checkpoint_restored") == 1
+        # both rows are real results
+        assert all(r.results["minassump"].verified for r in rows)
+
+    def test_resume_in_parallel_path(self, registry, tmp_path):
+        ck = str(tmp_path / "ck.json")
+        run_suite(names=["unit1"], methods=("minassump",), checkpoint=ck)
+        rows = run_suite(
+            names=["unit1", "unit4"],
+            methods=("minassump",),
+            jobs=2,
+            checkpoint=ck,
+        )
+        assert [r.name for r in rows] == ["unit1", "unit4"]
+        assert all(r.results["minassump"].verified for r in rows)
+        assert_no_zombies()
+
+    def test_degraded_rows_not_checkpointed(self, tmp_path):
+        ck = str(tmp_path / "ck.json")
+        plan = FaultPlan(seed=0, crash=frozenset({"unit1"}))
+        rows = run_suite(
+            names=["unit1", "unit4"],
+            methods=("minassump",),
+            jobs=2,
+            fault_plan=plan,
+            max_unit_retries=0,
+            checkpoint=ck,
+        )
+        assert methods_of(rows[0]) == {"minassump": "crashed"}
+        restored = load_checkpoint(ck)
+        assert "unit1" not in restored  # must re-run on resume
+        assert "unit4" in restored
+
+    def test_corrupt_checkpoint_ignored(self, tmp_path):
+        ck = str(tmp_path / "ck.json")
+        with open(ck, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        assert load_checkpoint(ck) == {}
+        with open(ck, "w", encoding="utf-8") as fh:
+            json.dump({"schema": "something/else", "rows": []}, fh)
+        assert load_checkpoint(ck) == {}
+
+    def test_save_is_atomic(self, tmp_path):
+        ck = str(tmp_path / "ck.json")
+        rows = run_suite(
+            names=["unit1"], methods=("minassump",), checkpoint=ck
+        )
+        save_checkpoint(ck, rows)
+        assert not os.path.exists(ck + ".tmp")
+        assert load_checkpoint(ck)
+
+
+class TestOrdering:
+    def test_suite_order_preserved_under_faults(self):
+        plan = FaultPlan(
+            seed=0,
+            crash=frozenset({"unit4"}),
+            corrupt={"unit2": "bogus_target"},
+        )
+        rows = run_suite(
+            names=["unit1", "unit2", "unit4", "unit13"],
+            methods=("minassump",),
+            jobs=2,
+            fault_plan=plan,
+            max_unit_retries=0,
+        )
+        assert [r.name for r in rows] == ["unit1", "unit2", "unit4", "unit13"]
+        assert_no_zombies()
