@@ -5,7 +5,7 @@ Usage::
 
     python benchmarks/bench_guard.py CURRENT.json \
         [--baseline benchmarks/results/BENCH_table1.json] \
-        [--threshold 0.25] [--json]
+        [--threshold 0.25] [--ignore-context] [--json]
 
 Both files are ``repro.obs.bench/v1`` exports from
 ``benchmarks/bench_table1.py``.  The guard sums ``runtime_s`` over the
@@ -15,9 +15,17 @@ the current total exceeds the baseline total by more than the
 threshold (default: 25% slower).  Per-pair deltas are printed so a
 regression points at the responsible unit immediately.
 
-Wired into the CI telemetry job as non-blocking-but-loud:
-``continue-on-error`` keeps a noisy runner from failing the build, but
-the step's failure mark stays visible in the job summary.
+Wall clock is only comparable when it was measured the same way: a
+parallel harness run (``--jobs N``) on a small runner inflates every
+unit's wall clock through CPU contention while the solver counters stay
+identical (this exact artifact once masqueraded as a 0.46x "pipeline
+regression" in the committed baseline — see docs/PERFORMANCE.md).
+Exports record their measurement settings in a ``context`` block; when
+both files carry one and the ``jobs`` values differ, the guard refuses
+the comparison (exit 2) unless ``--ignore-context`` is given.
+
+Wired into the CI telemetry job as a *hard gate*: a >25% slowdown on
+the sequential subset fails the build.
 """
 
 from __future__ import annotations
@@ -25,13 +33,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 Key = Tuple[str, str]
 
 
-def load_runtimes(path: str) -> Dict[Key, float]:
-    """Map (unit, method) -> runtime_s from a bench export."""
+def load_document(path: str) -> Dict[str, Any]:
+    """Load and schema-check a bench export."""
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     if doc.get("schema") != "repro.obs.bench/v1":
@@ -39,10 +47,43 @@ def load_runtimes(path: str) -> Dict[Key, float]:
             f"{path}: unexpected schema {doc.get('schema')!r}"
             " (want repro.obs.bench/v1)"
         )
+    return doc
+
+
+def extract_runtimes(doc: Dict[str, Any]) -> Dict[Key, float]:
+    """Map (unit, method) -> runtime_s from a bench export."""
     runtimes: Dict[Key, float] = {}
     for row in doc.get("units", []):
         runtimes[(row["unit"], row["method"])] = float(row["runtime_s"])
     return runtimes
+
+
+def load_runtimes(path: str) -> Dict[Key, float]:
+    """Map (unit, method) -> runtime_s from a bench export file."""
+    return extract_runtimes(load_document(path))
+
+
+def context_mismatch(
+    baseline_doc: Dict[str, Any], current_doc: Dict[str, Any]
+) -> Optional[str]:
+    """A human-readable reason the two measurements are incomparable.
+
+    Returns ``None`` when they are comparable.  Legacy exports without
+    a ``context`` block are accepted (nothing to compare against).
+    """
+    base_ctx = baseline_doc.get("context")
+    cur_ctx = current_doc.get("context")
+    if not isinstance(base_ctx, dict) or not isinstance(cur_ctx, dict):
+        return None
+    base_jobs, cur_jobs = base_ctx.get("jobs"), cur_ctx.get("jobs")
+    if base_jobs is not None and cur_jobs is not None and base_jobs != cur_jobs:
+        return (
+            f"measurement contexts differ: baseline jobs={base_jobs},"
+            f" current jobs={cur_jobs} — parallel workers contend for"
+            " cores and inflate wall clock; re-run with matching --jobs"
+            " or pass --ignore-context"
+        )
+    return None
 
 
 def compare(
@@ -100,16 +141,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="allowed fractional slowdown of the total (default: 0.25)",
     )
     parser.add_argument(
+        "--ignore-context",
+        action="store_true",
+        help="compare even when the measurement contexts (e.g. --jobs) differ",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the comparison as JSON"
     )
     args = parser.parse_args(argv)
 
     try:
-        baseline = load_runtimes(args.baseline)
-        current = load_runtimes(args.current)
+        baseline_doc = load_document(args.baseline)
+        current_doc = load_document(args.current)
+        baseline = extract_runtimes(baseline_doc)
+        current = extract_runtimes(current_doc)
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"bench_guard: error: {exc}", file=sys.stderr)
         return 2
+
+    mismatch = context_mismatch(baseline_doc, current_doc)
+    if mismatch is not None:
+        if not args.ignore_context:
+            print(f"bench_guard: error: {mismatch}", file=sys.stderr)
+            return 2
+        print(f"bench_guard: warning: {mismatch} (ignored)", file=sys.stderr)
 
     result = compare(baseline, current, args.threshold)
     if args.json:

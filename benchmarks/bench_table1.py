@@ -196,7 +196,12 @@ def main(argv=None):
             "speedup": round(before_total / after_total, 4),
         }
     suite_tag = "benchgen-20" if names is None else "benchgen-subset"
-    doc = telemetry_document(rows, suite=suite_tag, comparison=comparison)
+    doc = telemetry_document(
+        rows,
+        suite=suite_tag,
+        comparison=comparison,
+        context={"jobs": args.jobs},
+    )
     payload = json.dumps(doc, indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as f:

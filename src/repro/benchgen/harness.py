@@ -185,12 +185,17 @@ def telemetry_document(
     rows: Sequence[UnitRow],
     suite: str = "benchgen-20",
     comparison: Optional[Dict[str, float]] = None,
+    context: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble + validate the bench baseline document from unit rows.
 
     ``comparison`` optionally records before/after aggregate wall clock
     against the previously committed baseline (see
-    ``benchmarks/bench_table1.py``).
+    ``benchmarks/bench_table1.py``).  ``context`` records the
+    measurement settings (currently the worker-process count): on a
+    low-core machine parallel workers contend and inflate every unit's
+    wall clock, so ``bench_guard`` refuses to compare exports measured
+    under different ``jobs`` settings.
     """
     from ..obs.export import BENCH_SCHEMA, validate_bench_document
 
@@ -207,6 +212,8 @@ def telemetry_document(
     }
     if comparison is not None:
         doc["comparison"] = dict(comparison)
+    if context is not None:
+        doc["context"] = dict(context)
     validate_bench_document(doc)
     return doc
 

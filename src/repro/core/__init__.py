@@ -1,7 +1,7 @@
 """The paper's contribution: SAT-based ECO patch-function computation."""
 
 from .cegarmin import CegarMinResult, Equivalence, cegar_min
-from .divisors import DivisorSet, collect_divisors
+from .divisors import DivisorSet, clear_extraction_memo, collect_divisors
 from .engine import (
     EcoConfig,
     EcoEngine,
@@ -116,6 +116,7 @@ __all__ = [
     "cegar_min",
     "certificate_patches",
     "check_feasibility",
+    "clear_extraction_memo",
     "collect_divisors",
     "contest_config",
     "enumerate_assignments",

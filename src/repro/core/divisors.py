@@ -9,9 +9,11 @@ the step is feasible (Section 2.5.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..network.network import Network
 from ..network.traversal import levels
 from ..network.window import Window, compute_window
@@ -83,6 +85,71 @@ def collect_divisors(
     return DivisorSet(ids=ids, cost=cost, names=names)
 
 
+# ---------------------------------------------------------------------------
+# extraction memo
+# ---------------------------------------------------------------------------
+#
+# The prologue's window/divisor extraction is pure in (impl, spec,
+# targets, weights): the benchmark suite runs every unit once per
+# preset, and retries/chaos re-runs repeat the same instance — each
+# repetition used to pay the full structural walk again.  Both results
+# carry raw node ids, so a hit is only sound when the id spaces are
+# interchangeable: keys use Network.structural_hash() and the memo is
+# bypassed unless both netlists have a canonical id layout (always true
+# for clone() outputs; see Network.has_canonical_layout).  Bounded LRU,
+# process-local; copies are returned so callers cannot poison entries.
+
+_MEMO_CAPACITY = 64
+_WindowKey = Tuple[int, int, Tuple[str, ...]]
+_DivisorKey = Tuple[
+    int, int, Tuple[str, ...], Tuple[Tuple[str, int], ...], int, Optional[int]
+]
+_window_memo: "OrderedDict[_WindowKey, Window]" = OrderedDict()
+_divisor_memo: "OrderedDict[_DivisorKey, DivisorSet]" = OrderedDict()
+
+
+def clear_extraction_memo() -> None:
+    """Drop every memoized window/divisor extraction (tests, tooling)."""
+    _window_memo.clear()
+    _divisor_memo.clear()
+
+
+def _memo_lookup(memo: "OrderedDict", key: object) -> Optional[object]:
+    hit = memo.get(key)
+    if hit is not None:
+        memo.move_to_end(key)  # LRU touch
+    return hit
+
+
+def _memo_store(memo: "OrderedDict", key: object, value: object) -> None:
+    memo[key] = value
+    while len(memo) > _MEMO_CAPACITY:
+        memo.popitem(last=False)
+
+
+def _copy_window(w: Window) -> Window:
+    return replace(
+        w,
+        po_indices=list(w.po_indices),
+        impl_window_pis=list(w.impl_window_pis),
+        spec_window_pis=list(w.spec_window_pis),
+        divisors=list(w.divisors),
+        target_tfo=set(w.target_tfo),
+    )
+
+
+def _copy_divisor_set(d: DivisorSet) -> DivisorSet:
+    return DivisorSet(ids=list(d.ids), cost=dict(d.cost), names=dict(d.names))
+
+
+def _memo_usable(ctx: "EcoContext") -> bool:
+    return bool(
+        getattr(ctx.config, "memoize_extraction", False)
+        and ctx.base_impl.has_canonical_layout()
+        and ctx.spec.has_canonical_layout()
+    )
+
+
 class WindowPass(Pass):
     """Structural pruning window over the targets' fanout (Section 3.3)."""
 
@@ -96,7 +163,25 @@ class WindowPass(Pass):
         ctx.target_ids = [
             ctx.base_impl.node_by_name(t) for t in ctx.instance.targets
         ]
+        memoize = _memo_usable(ctx)
+        if memoize:
+            key: _WindowKey = (
+                ctx.base_impl.structural_hash(),
+                ctx.spec.structural_hash(),
+                tuple(ctx.instance.targets),
+            )
+            hit = _memo_lookup(_window_memo, key)
+            if hit is not None:
+                obs.inc("engine.window_memo_hit")
+                ctx.window = _copy_window(hit)  # type: ignore[arg-type]
+                ctx.stats.window_pos = len(ctx.window.po_indices)
+                return PassOutcome(
+                    detail=f"{len(ctx.window.po_indices)} POs (memo)"
+                )
+            obs.inc("engine.window_memo_miss")
         ctx.window = compute_window(ctx.base_impl, ctx.spec, ctx.target_ids)
+        if memoize:
+            _memo_store(_window_memo, key, _copy_window(ctx.window))
         ctx.stats.window_pos = len(ctx.window.po_indices)
         return PassOutcome(detail=f"{len(ctx.window.po_indices)} POs")
 
@@ -106,11 +191,31 @@ class DivisorsPass(Pass):
 
     name = "divisors"
     contract = contract(
-        reads=("instance", "base_impl", "window"),
+        # spec feeds the memo key only (hash lookup, never traversed)
+        reads=("instance", "base_impl", "spec", "window"),
         writes=("divisors",),
     )
 
     def run(self, ctx: "EcoContext") -> PassOutcome:
+        memoize = _memo_usable(ctx)
+        if memoize:
+            key: _DivisorKey = (
+                ctx.base_impl.structural_hash(),
+                ctx.spec.structural_hash(),
+                tuple(ctx.instance.targets),
+                tuple(sorted(ctx.instance.weights.items())),
+                ctx.instance.default_weight,
+                ctx.config.max_divisors,
+            )
+            hit = _memo_lookup(_divisor_memo, key)
+            if hit is not None:
+                obs.inc("engine.divisors_memo_hit")
+                ctx.divisors = _copy_divisor_set(hit)  # type: ignore[arg-type]
+                ctx.stats.divisor_candidates = len(ctx.divisors.ids)
+                return PassOutcome(
+                    detail=f"{len(ctx.divisors.ids)} candidates (memo)"
+                )
+            obs.inc("engine.divisors_memo_miss")
         ctx.divisors = collect_divisors(
             ctx.base_impl,
             ctx.window,
@@ -118,5 +223,7 @@ class DivisorsPass(Pass):
             ctx.instance.default_weight,
             ctx.config.max_divisors,
         )
+        if memoize:
+            _memo_store(_divisor_memo, key, _copy_divisor_set(ctx.divisors))
         ctx.stats.divisor_candidates = len(ctx.divisors.ids)
         return PassOutcome(detail=f"{len(ctx.divisors.ids)} candidates")

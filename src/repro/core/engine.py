@@ -76,6 +76,10 @@ class EcoConfig:
             exhaustively (2^k cofactor copies); beyond it the expansion
             uses the QBF countermoves.
         max_divisors: cap on internal divisor candidates.
+        memoize_extraction: reuse window/divisor extraction results
+            across runs of structurally identical instances (bounded
+            process-local memo keyed by ``Network.structural_hash``;
+            see :mod:`repro.core.divisors`).
         budget_conflicts: *run-level* SAT conflict budget (None = no
             limit).  Charged once per conflict across the whole run via
             :class:`~repro.core.pipeline.ConflictBudget`; exhaustion
@@ -115,6 +119,7 @@ class EcoConfig:
     feasibility_method: str = "auto"
     max_expansion_targets: int = 6
     max_divisors: Optional[int] = 96
+    memoize_extraction: bool = True  # reuse window/divisor extraction
     budget_conflicts: Optional[int] = 200000
     budget_seconds: Optional[float] = None
     max_cubes: int = 2000

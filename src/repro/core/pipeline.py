@@ -714,7 +714,11 @@ class PassManager:
             ctx.trace.append((p.name, SKIPPED))
             obs.inc("engine.pass_deadline_skipped")
             return PassOutcome(SKIPPED, "deadline exceeded")
-        with obs.span(f"engine.{p.name}", **p.span_attrs(ctx)):
+        # span_attrs builds a dict per pass execution; skip it entirely
+        # when telemetry is off (the common production case) so the hot
+        # per-target loop pays only the null-span check
+        attrs = p.span_attrs(ctx) if obs.enabled() else {}
+        with obs.span(f"engine.{p.name}", **attrs):
             if self._injector is not None:
                 self._injector.check(
                     p.name, ctx.target.name if ctx.target is not None else None
@@ -780,12 +784,17 @@ class PassManager:
         # structural answer (its optional passes are still
         # deadline-skipped) instead of raising SatDeadlineExceeded out
         # of the whole run
+        # lazy-clone bookkeeping, scoped to this chain run: the working
+        # clone and its pristine version number (Network.version right
+        # after cloning).  Chain-local on purpose — not an EcoContext
+        # field, so pass contracts are unaffected.
+        clone_state: Dict[str, Any] = {"net": None, "version": -1}
         try:
             for pos, strat in enumerate(runnable):
                 is_last = pos == len(runnable) - 1
                 if ctx.deadline is not None:
                     set_solve_deadline(None if is_last else ctx.deadline)
-                if self._chain_body(ctx, strat, is_last, policy):
+                if self._chain_body(ctx, strat, is_last, policy, clone_state):
                     return
         finally:
             set_solve_deadline(None)
@@ -796,15 +805,29 @@ class PassManager:
         strat: Strategy,
         is_last: bool,
         policy: Optional["RetryPolicy"],
+        clone_state: Dict[str, Any],
     ) -> bool:
         """One strategy's attempt loop; True when it produced a result."""
         fallback_excs = _lazy_fallback_exceptions()
         attempts = 0
         while True:
             # every attempt starts from a pristine implementation: a
-            # failed SAT flow may have spliced partial patches into
-            # its working clone
-            ctx.current = ctx.instance.impl.clone()
+            # failed SAT flow may have spliced partial patches into its
+            # working clone.  Clone *lazily*: reuse the standing clone
+            # when no prior attempt mutated it (tracked by the network's
+            # version counter), so the common clean first-try success
+            # pays for exactly one copy instead of one per strategy.
+            cur = ctx.current
+            if (
+                cur is None
+                or cur is not clone_state["net"]
+                or cur.version != clone_state["version"]
+            ):
+                cur = ctx.instance.impl.clone()
+                obs.inc("engine.clones")
+                ctx.current = cur
+                clone_state["net"] = cur
+                clone_state["version"] = cur.version
             ctx.patches = []
             try:
                 with obs.span(f"engine.{strat.name}"):

@@ -8,6 +8,7 @@ hashing into AIG form lives in :mod:`repro.network.strash`.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .node import GateType, Node, arity_ok, eval_gate
@@ -35,14 +36,23 @@ class Network:
         self._pis: List[int] = []
         self._pos: List[Tuple[str, int]] = []
         self._const_ids: Dict[GateType, int] = {}
+        self._version = 0
+        # (version, hash, layout-is-canonical), see structural_hash()
+        self._hash_cache: Optional[Tuple[int, int, bool]] = None
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
 
+    def _touch(self) -> None:
+        """Record a structural mutation (invalidates the cached hash)."""
+        self._version += 1
+        self._hash_cache = None
+
     def _new_node(self, gtype: GateType, fanins: Sequence[int], name: str) -> int:
         if not arity_ok(gtype, len(fanins)):
             raise NetworkError(f"bad fanin count {len(fanins)} for {gtype.value}")
+        self._touch()
         nid = len(self._nodes)
         for f in fanins:
             self._node(f)  # validate
@@ -83,6 +93,7 @@ class Network:
         self._node(nid)
         if not name:
             name = f"po{len(self._pos)}"
+        self._touch()
         self._pos.append((name, nid))
         return len(self._pos) - 1
 
@@ -133,12 +144,14 @@ class Network:
     def rename_po(self, index: int, name: str) -> None:
         """Rename the PO at ``index`` (node binding unchanged)."""
         old_name, nid = self._pos[index]
+        self._touch()
         self._pos[index] = (name, nid)
 
     def set_po(self, index: int, nid: int) -> None:
         """Rebind the PO at ``index`` to drive from node ``nid``."""
         self._node(nid)
         name, _ = self._pos[index]
+        self._touch()
         self._pos[index] = (name, nid)
 
     def nodes(self) -> Iterator[Node]:
@@ -185,6 +198,7 @@ class Network:
             raise NetworkError(f"bad fanin count {len(fanins)} for {gtype.value}")
         for f in fanins:
             self._node(f)
+        self._touch()
         for f in node.fanins:
             self._fanouts[f].discard(nid)
         node.gtype = gtype
@@ -201,6 +215,7 @@ class Network:
         if old == new:
             return
         self._node(new)
+        self._touch()
         for fo in list(self._fanouts[old]):
             node = self._node(fo)
             node.fanins = [new if f == old else f for f in node.fanins]
@@ -247,6 +262,8 @@ class Network:
             self._nodes[nid] = None
             self._fanouts[nid] = set()
             removed += 1
+        if removed:
+            self._touch()
         return removed
 
     # ------------------------------------------------------------------
@@ -280,26 +297,114 @@ class Network:
             fanins = [mapping[f] for f in node.fanins]
             name = f"{prefix}{node.name}" if (prefix and node.name) else ""
             if name and name in self._name_to_id:
-                name = ""
+                name = self._uniquify_name(name)
             mapping[node.nid] = self.add_gate(node.gtype, fanins, name)
         return mapping
 
+    def _uniquify_name(self, name: str) -> str:
+        """Return a deterministic collision-free variant of ``name``."""
+        k = 2
+        while f"{name}__{k}" in self._name_to_id:
+            k += 1
+        return f"{name}__{k}"
+
     def clone(self, name: str = "") -> "Network":
-        """Return a deep, id-renumbered copy with the same PI/PO interface."""
+        """Return a deep, id-renumbered copy with the same PI/PO interface.
+
+        Single topological pass: names are attached as nodes are copied
+        (source names are unique, so no collision handling is needed).
+        The id layout is deterministic — PIs first in creation order,
+        then gates in topo order — so two clones of the same source get
+        identical ids (the fallback chain relies on this to share
+        divisor ids across cloned networks).
+        """
         out = Network(name or self.name)
         mapping: Dict[int, int] = {}
         for pi in self._pis:
             mapping[pi] = out.add_pi(self.node(pi).name)
-        mapping.update(out.append(self, {pi: mapping[pi] for pi in self._pis}, prefix=""))
-        # re-attach names lost to dedup-avoidance in append
         for node in self.topo_order():
-            if node.name and not node.is_pi and not out.node(mapping[node.nid]).name:
-                if node.name not in out._name_to_id:
-                    out._nodes[mapping[node.nid]].name = node.name  # type: ignore[union-attr]
-                    out._name_to_id[node.name] = mapping[node.nid]
+            if node.is_pi:
+                continue
+            if node.is_const:
+                mapping[node.nid] = out.add_const(
+                    1 if node.gtype is GateType.CONST1 else 0
+                )
+                continue
+            fanins = [mapping[f] for f in node.fanins]
+            mapping[node.nid] = out.add_gate(node.gtype, fanins, node.name)
         for po_name, nid in self._pos:
             out.add_po(mapping[nid], po_name)
         return out
+
+    # ------------------------------------------------------------------
+    # structural identity
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by every structural edit).
+
+        Cheap dirty-flag for callers caching derived data: equal versions
+        on the *same* object guarantee no mutation happened in between.
+        """
+        return self._version
+
+    def structural_hash(self) -> int:
+        """A deterministic fingerprint of the network's structure.
+
+        Covers gate types, fanin wiring (in a canonical topological
+        renumbering), node names, and the PO interface — two networks
+        with equal hashes are structurally identical for the ECO
+        algorithms' purposes (same windows, divisors, and patches).  In
+        particular ``net.clone().structural_hash() ==
+        net.structural_hash()``.  Cached until the next mutation.
+        """
+        if self._hash_cache is not None and self._hash_cache[0] == self._version:
+            return self._hash_cache[1]
+        h = hashlib.blake2b(digest_size=16)
+        # canonical renumbering: PIs in creation order, then topo order,
+        # mirroring the clone() id layout so clones hash identically
+        renum: Dict[int, int] = {}
+        canonical = True
+        for pi in self._pis:
+            canonical &= pi == len(renum)
+            renum[pi] = len(renum)
+            h.update(b"I")
+            h.update(self.node(pi).name.encode())
+            h.update(b"\x00")
+        for node in self.topo_order():
+            if node.is_pi:
+                continue
+            if node.nid not in renum:
+                canonical &= node.nid == len(renum)
+                renum[node.nid] = len(renum)
+            h.update(node.gtype.value.encode())
+            for f in node.fanins:
+                h.update(renum[f].to_bytes(4, "little"))
+            h.update(node.name.encode())
+            h.update(b"\x00")
+        for po_name, nid in self._pos:
+            h.update(b"O")
+            h.update(po_name.encode())
+            h.update(b"\x00")
+            h.update(renum[nid].to_bytes(4, "little"))
+        digest = int.from_bytes(h.digest(), "little")
+        self._hash_cache = (self._version, digest, canonical)
+        return digest
+
+    def has_canonical_layout(self) -> bool:
+        """True when raw node ids equal the canonical renumbering.
+
+        Networks built front-to-back (and every :meth:`clone`) are
+        canonical; ``cleanup()`` holes or out-of-order construction
+        break it.  When two networks hash equal *and* both are
+        canonical, their raw node ids are interchangeable — the memo in
+        :mod:`repro.core.divisors` relies on this to reuse id-bearing
+        extraction results across runs.
+        """
+        self.structural_hash()
+        assert self._hash_cache is not None
+        return self._hash_cache[2]
 
     def topo_order(self) -> List[Node]:
         """Return live nodes in a topological (fanin-before-fanout) order."""

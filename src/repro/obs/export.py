@@ -254,6 +254,56 @@ def validate_bench_document(doc: Any) -> None:
                 f"{path}.solver",
                 f"{fld} must be a number",
             )
+    context = doc.get("context")
+    if context is not None:
+        _require(isinstance(context, Mapping), "$.context", "must be an object")
+        jobs = context.get("jobs")
+        if jobs is not None:
+            _require(
+                isinstance(jobs, int) and jobs >= 1,
+                "$.context.jobs",
+                "must be a positive int",
+            )
+    if comparison is not None:
+        _check_comparison_consistency(comparison, units)
+
+
+def _close(a: float, b: float, rel: float = 1e-3, abs_tol: float = 1e-3) -> bool:
+    return abs(a - b) <= max(abs_tol, rel * max(abs(a), abs(b)))
+
+
+def _check_comparison_consistency(comparison: Mapping, units: list) -> None:
+    """A ``comparison`` block must agree with the document it sits in.
+
+    ``after_total_runtime_s`` is the aggregate of the recorded unit
+    rows and ``speedup`` is ``before/after``; a block violating either
+    is stale — carried over from an earlier generation of the file —
+    and would silently misreport the suite's performance.  Tolerances
+    absorb the per-row rounding of ``runtime_s``.
+    """
+    after = comparison.get("after_total_runtime_s")
+    before = comparison.get("before_total_runtime_s")
+    speedup = comparison.get("speedup")
+    if after is not None:
+        total = sum(float(entry.get("runtime_s", 0.0)) for entry in units)
+        _require(
+            _close(float(after), total),
+            "$.comparison.after_total_runtime_s",
+            f"stale: recorded {after} but unit rows sum to {total:.6f}",
+        )
+    if speedup is not None and before is not None and after is not None:
+        _require(
+            float(after) > 0,
+            "$.comparison.after_total_runtime_s",
+            "must be positive when speedup is recorded",
+        )
+        expected = float(before) / float(after)
+        _require(
+            _close(float(speedup), expected, rel=1e-3, abs_tol=5e-4),
+            "$.comparison.speedup",
+            f"stale: recorded {speedup} but"
+            f" before/after = {expected:.4f}",
+        )
 
 
 def document_keys(doc: Mapping) -> List[str]:

@@ -20,13 +20,16 @@ bench_guard = importlib.util.module_from_spec(_SPEC)
 _SPEC.loader.exec_module(bench_guard)
 
 
-def export(units):
-    return {
+def export(units, context=None):
+    doc = {
         "schema": "repro.obs.bench/v1",
         "units": [
             {"unit": u, "method": m, "runtime_s": t} for u, m, t in units
         ],
     }
+    if context is not None:
+        doc["context"] = context
+    return doc
 
 
 @pytest.fixture
@@ -122,3 +125,52 @@ class TestCli:
     def test_committed_baseline_compares_to_itself(self, capsys):
         baseline = "benchmarks/results/BENCH_table1.json"
         assert bench_guard.main([baseline, "--baseline", baseline]) == 0
+
+
+class TestMeasurementContext:
+    """Exports measured under different --jobs settings are incomparable.
+
+    Parallel workers contending for cores inflate wall clock uniformly
+    (the committed 0.46x "regression" artifact): the guard must refuse
+    such a comparison instead of reporting a bogus verdict.
+    """
+
+    def test_jobs_mismatch_exits_two(self, write_json, capsys):
+        rows = [("u1", "baseline", 1.0)]
+        base = write_json("base.json", export(rows, context={"jobs": 1}))
+        cur = write_json("cur.json", export(rows, context={"jobs": 2}))
+        assert bench_guard.main([cur, "--baseline", base]) == 2
+        assert "contexts differ" in capsys.readouterr().err
+
+    def test_jobs_mismatch_overridable(self, write_json, capsys):
+        rows = [("u1", "baseline", 1.0)]
+        base = write_json("base.json", export(rows, context={"jobs": 1}))
+        cur = write_json("cur.json", export(rows, context={"jobs": 2}))
+        assert (
+            bench_guard.main([cur, "--baseline", base, "--ignore-context"])
+            == 0
+        )
+        assert "warning" in capsys.readouterr().err
+
+    def test_matching_contexts_compare(self, write_json):
+        rows = [("u1", "baseline", 1.0)]
+        base = write_json("base.json", export(rows, context={"jobs": 1}))
+        cur = write_json("cur.json", export(rows, context={"jobs": 1}))
+        assert bench_guard.main([cur, "--baseline", base]) == 0
+
+    def test_legacy_export_without_context_compares(self, write_json):
+        rows = [("u1", "baseline", 1.0)]
+        base = write_json("base.json", export(rows))
+        cur = write_json("cur.json", export(rows, context={"jobs": 2}))
+        assert bench_guard.main([cur, "--baseline", base]) == 0
+
+    def test_injected_slowdown_fails_hard(self, write_json, capsys):
+        # the acceptance scenario: a 30% uniform slowdown (same jobs
+        # setting) must fail the guard, which CI now treats as a hard
+        # build failure
+        base_rows = [("u1", "baseline", 1.0), ("u2", "minassump", 2.0)]
+        slow_rows = [(u, m, t * 1.3) for u, m, t in base_rows]
+        base = write_json("base.json", export(base_rows, context={"jobs": 1}))
+        cur = write_json("cur.json", export(slow_rows, context={"jobs": 1}))
+        assert bench_guard.main([cur, "--baseline", base]) == 1
+        assert "FAIL" in capsys.readouterr().err

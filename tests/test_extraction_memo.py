@@ -1,0 +1,141 @@
+"""Memoized window/divisor extraction (repro.core.divisors).
+
+The prologue's structural extraction is pure in (impl, spec, targets,
+weights); these tests pin the memo's contract: a hit on a structurally
+identical re-query, a miss once the implementation mutates (the
+structural hash changes), and — the safety property — bit-identical
+engine results with the memo on vs off across all three presets.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import EcoEngine, EcoInstance, obs
+from repro.benchgen import corrupt, generate_weights, make_specification
+from repro.core import cec, clear_extraction_memo
+from repro.core.engine import baseline_config, best_config, contest_config
+from repro.network import GateType
+
+from helpers import random_network
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    clear_extraction_memo()
+    yield
+    clear_extraction_memo()
+
+
+def make_instance(seed=0, n_targets=1, n_gates=40):
+    golden = random_network(n_pi=5, n_gates=n_gates, n_po=3, seed=seed)
+    impl, targets, _ = corrupt(golden, n_targets, seed=seed + 5)
+    spec = make_specification(golden)
+    return EcoInstance(
+        name=f"memo{seed}",
+        impl=impl,
+        spec=spec,
+        targets=targets,
+        weights=generate_weights(impl, "T3", seed=seed),
+    )
+
+
+def first_observable(seeds=range(10), **kwargs):
+    for seed in seeds:
+        inst = make_instance(seed=seed, **kwargs)
+        if cec(inst.impl, inst.spec).equivalent is False:
+            return inst
+    pytest.skip("no observable instance found")
+
+
+def run_counted(inst, cfg):
+    registry = obs.get_registry()
+    registry.reset()
+    registry.enable()
+    try:
+        res = EcoEngine(cfg).run(inst)
+    finally:
+        registry.disable()
+    return res, dict(registry.counters)
+
+
+def fingerprint(res):
+    return (
+        res.cost,
+        res.gate_count,
+        res.method,
+        res.verified,
+        sorted(tuple(sorted(p.support)) for p in res.patches),
+        res.stats.get("window_pos"),
+        res.stats.get("divisor_candidates"),
+    )
+
+
+class TestMemoHitMiss:
+    def test_hit_on_identical_requery(self):
+        inst = first_observable()
+        cfg = contest_config()
+        res1, c1 = run_counted(inst, cfg)
+        assert c1.get("engine.window_memo_hit", 0) == 0
+        assert c1["engine.window_memo_miss"] == 1
+        assert c1["engine.divisors_memo_miss"] == 1
+        res2, c2 = run_counted(inst, cfg)
+        assert c2["engine.window_memo_hit"] == 1
+        assert c2["engine.divisors_memo_hit"] == 1
+        assert c2.get("engine.window_memo_miss", 0) == 0
+        assert fingerprint(res1) == fingerprint(res2)
+
+    def test_miss_after_impl_mutation(self):
+        inst = first_observable()
+        cfg = contest_config()
+        run_counted(inst, cfg)
+        # structurally change the implementation: the hash moves, so the
+        # stale window/divisors must not be served
+        pis = inst.impl.pis
+        inst.impl.add_gate(GateType.NOT, [pis[0]])
+        _, c2 = run_counted(inst, cfg)
+        assert c2.get("engine.window_memo_hit", 0) == 0
+        assert c2["engine.window_memo_miss"] == 1
+        assert c2["engine.divisors_memo_miss"] == 1
+
+    def test_weights_change_misses_divisor_memo(self):
+        inst = first_observable()
+        cfg = contest_config()
+        run_counted(inst, cfg)
+        bumped = dict(inst.weights)
+        name = next(iter(bumped), None)
+        if name is None:
+            pytest.skip("instance has no explicit weights")
+        bumped[name] += 7
+        inst2 = dataclasses.replace(inst, weights=bumped)
+        _, c2 = run_counted(inst2, cfg)
+        # same netlists: the window is reusable, the costs are not
+        assert c2["engine.window_memo_hit"] == 1
+        assert c2["engine.divisors_memo_miss"] == 1
+
+    def test_disabled_by_config(self):
+        inst = first_observable()
+        cfg = dataclasses.replace(contest_config(), memoize_extraction=False)
+        run_counted(inst, cfg)
+        _, c2 = run_counted(inst, cfg)
+        for key in (
+            "engine.window_memo_hit",
+            "engine.window_memo_miss",
+            "engine.divisors_memo_hit",
+            "engine.divisors_memo_miss",
+        ):
+            assert c2.get(key, 0) == 0
+
+
+class TestMemoEquivalence:
+    @pytest.mark.parametrize(
+        "preset", [baseline_config, contest_config, best_config]
+    )
+    def test_results_identical_memo_on_vs_off(self, preset):
+        inst = first_observable()
+        on = dataclasses.replace(preset(), memoize_extraction=True)
+        off = dataclasses.replace(preset(), memoize_extraction=False)
+        cold = fingerprint(EcoEngine(on).run(inst))
+        warm = fingerprint(EcoEngine(on).run(inst))  # served from memo
+        bare = fingerprint(EcoEngine(off).run(inst))
+        assert cold == warm == bare

@@ -215,6 +215,118 @@ class TestCloneAppendEvaluate:
         with pytest.raises(NetworkError):
             host.append(other, {})
 
+    def test_clone_preserves_gate_names(self):
+        net = Network("named")
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        g1 = net.add_gate(GateType.AND, [a, b], "g1")
+        g2 = net.add_gate(GateType.NOT, [g1], "g2")
+        net.add_gate(GateType.OR, [g1, g2])  # anonymous stays anonymous
+        net.add_po(g2, "out")
+        c = net.clone()
+        assert c.node(c.node_by_name("g1")).gtype is GateType.AND
+        assert c.node(c.node_by_name("g2")).gtype is GateType.NOT
+        assert sorted(n.name for n in c.nodes() if n.name) == [
+            "a", "b", "g1", "g2"
+        ]
+
+    def test_clone_names_survive_prefixed_append(self):
+        # build a host whose gate names came from two prefixed appends of
+        # the same sub-network (the duplicate/prefixed-name scenario),
+        # then check a clone keeps every name
+        sub = Network("sub")
+        a = sub.add_pi("a")
+        g = sub.add_gate(GateType.NOT, [a], "inv")
+        sub.add_po(g, "o")
+        host = Network("host")
+        x = host.add_pi("x")
+        m1 = host.append(sub, {a: x}, prefix="u1_")
+        m2 = host.append(sub, {a: x}, prefix="u2_")
+        host.add_po(m1[g], "o1")
+        host.add_po(m2[g], "o2")
+        assert host.has_name("u1_inv") and host.has_name("u2_inv")
+        c = host.clone()
+        assert c.has_name("u1_inv") and c.has_name("u2_inv")
+        assert c.po_names() == ["o1", "o2"]
+
+    def test_append_uniquifies_colliding_names(self):
+        sub = Network("sub")
+        a = sub.add_pi("a")
+        g = sub.add_gate(GateType.NOT, [a], "inv")
+        sub.add_po(g, "o")
+        host = Network("host")
+        x = host.add_pi("x")
+        m1 = host.append(sub, {a: x}, prefix="u_")
+        m2 = host.append(sub, {a: x}, prefix="u_")  # same prefix: collision
+        assert host.node(m1[g]).name == "u_inv"
+        assert host.node(m2[g]).name == "u_inv__2"
+        assert host.node_by_name("u_inv__2") == m2[g]
+        m3 = host.append(sub, {a: x}, prefix="u_")
+        assert host.node(m3[g]).name == "u_inv__3"
+
+    def test_clone_id_layout_deterministic(self):
+        # the fallback chain indexes divisor ids computed on one clone
+        # into structures built from another clone of the same source
+        net = random_network(n_pi=4, n_gates=18, seed=9)
+        c1, c2 = net.clone(), net.clone()
+        assert [
+            (n.nid, n.gtype, tuple(n.fanins), n.name) for n in c1.nodes()
+        ] == [(n.nid, n.gtype, tuple(n.fanins), n.name) for n in c2.nodes()]
+        assert c1.pos == c2.pos
+
+
+class TestStructuralIdentity:
+    def _net(self):
+        net = Network("h")
+        a = net.add_pi("a")
+        b = net.add_pi("b")
+        g = net.add_gate(GateType.AND, [a, b], "g")
+        net.add_po(g, "o")
+        return net, a, b, g
+
+    def test_version_bumps_on_mutation(self):
+        net, a, b, g = self._net()
+        v = net.version
+        net.set_fanins(g, GateType.OR, [a, b])
+        assert net.version > v
+        v = net.version
+        net.add_gate(GateType.NOT, [g])
+        assert net.version > v
+
+    def test_hash_stable_and_cached(self):
+        net, *_ = self._net()
+        assert net.structural_hash() == net.structural_hash()
+
+    def test_clone_hashes_equal(self):
+        for seed in range(3):
+            net = random_network(n_pi=4, n_gates=15, seed=seed)
+            assert net.clone().structural_hash() == net.structural_hash()
+            assert (
+                net.clone().structural_hash()
+                == net.clone().clone().structural_hash()
+            )
+
+    def test_hash_changes_after_mutation(self):
+        net, a, b, g = self._net()
+        h0 = net.structural_hash()
+        net.set_fanins(g, GateType.OR, [a, b])
+        assert net.structural_hash() != h0
+
+    def test_hash_distinguishes_po_binding(self):
+        net, a, b, g = self._net()
+        h0 = net.structural_hash()
+        net.set_po(0, a)
+        assert net.structural_hash() != h0
+
+    def test_hash_distinguishes_names(self):
+        n1 = Network()
+        p = n1.add_pi("a")
+        n1.add_po(n1.add_gate(GateType.NOT, [p], "x"), "o")
+        n2 = Network()
+        q = n2.add_pi("a")
+        n2.add_po(n2.add_gate(GateType.NOT, [q], "y"), "o")
+        assert n1.structural_hash() != n2.structural_hash()
+
     def test_topo_order_respects_fanins(self):
         net = random_network(seed=11)
         position = {n.nid: i for i, n in enumerate(net.topo_order())}

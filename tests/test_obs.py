@@ -228,6 +228,88 @@ class TestBenchSchema:
                 {"schema": "repro.obs.bench/v1", "suite": "s", "units": []}
             )
 
+    def _doc(self, comparison=None, context=None, runtime_s=0.1):
+        doc = {
+            "schema": "repro.obs.bench/v1",
+            "suite": "s",
+            "units": [_bench_entry(runtime_s=runtime_s)],
+        }
+        if comparison is not None:
+            doc["comparison"] = comparison
+        if context is not None:
+            doc["context"] = context
+        return doc
+
+    def test_consistent_comparison_accepted(self):
+        validate_bench_document(
+            self._doc(
+                comparison={
+                    "before_total_runtime_s": 0.2,
+                    "after_total_runtime_s": 0.1,
+                    "speedup": 2.0,
+                }
+            )
+        )
+
+    def test_stale_after_total_rejected(self):
+        # after_total no longer matches the unit rows the block sits
+        # next to: a leftover from an earlier generation of the file
+        with pytest.raises(TelemetrySchemaError):
+            validate_bench_document(
+                self._doc(
+                    comparison={
+                        "before_total_runtime_s": 0.2,
+                        "after_total_runtime_s": 7.5,
+                        "speedup": 0.0267,
+                    }
+                )
+            )
+
+    def test_stale_speedup_rejected(self):
+        with pytest.raises(TelemetrySchemaError):
+            validate_bench_document(
+                self._doc(
+                    comparison={
+                        "before_total_runtime_s": 0.2,
+                        "after_total_runtime_s": 0.1,
+                        "speedup": 0.4603,
+                    }
+                )
+            )
+
+    def test_speedup_tolerates_rounding(self):
+        # speedup is committed rounded to 4 decimals; the consistency
+        # check must not reject honest rounding
+        validate_bench_document(
+            self._doc(
+                runtime_s=0.3,
+                comparison={
+                    "before_total_runtime_s": 0.7,
+                    "after_total_runtime_s": 0.3,
+                    "speedup": round(0.7 / 0.3, 4),
+                },
+            )
+        )
+
+    def test_context_jobs_validated(self):
+        validate_bench_document(self._doc(context={"jobs": 2}))
+        with pytest.raises(TelemetrySchemaError):
+            validate_bench_document(self._doc(context={"jobs": 0}))
+        with pytest.raises(TelemetrySchemaError):
+            validate_bench_document(self._doc(context="sequential"))
+
+    def test_committed_baseline_is_self_consistent(self):
+        import json
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "results"
+            / "BENCH_table1.json"
+        )
+        validate_bench_document(json.loads(path.read_text(encoding="utf-8")))
+
 
 class TestCatalogueCheck:
     CATALOGUE = """

@@ -352,6 +352,60 @@ class TestFallbackChain:
             EcoEngine(contest_config()).run(inst)
 
 
+class TestLazyChainClone:
+    """The fallback chain clones the implementation lazily.
+
+    ``engine.clones`` counts working-copy clones made by the chain; a
+    clean first-strategy success must make exactly one, and a strategy
+    that fails *without* mutating the working copy must not force a
+    fresh clone for the next strategy.
+    """
+
+    def _run_counted(self, inst, cfg=None):
+        registry = obs.get_registry()
+        registry.reset()
+        registry.enable()
+        try:
+            res = EcoEngine(cfg or contest_config()).run(inst)
+        finally:
+            registry.disable()
+        return res, dict(registry.counters)
+
+    def test_clean_success_clones_once(self):
+        inst = first_observable()
+        res, counters = self._run_counted(inst)
+        assert res.verified
+        assert counters["engine.clones"] == 1
+
+    def test_unmutated_failure_reuses_clone(self, monkeypatch):
+        # sat_flow dies before touching ctx.current: the structural
+        # fallback can keep the pristine working copy
+        inst = first_observable()
+        monkeypatch.setattr(
+            SatFlowStrategy, "run", _raise(SatBudgetExceeded("injected"))
+        )
+        res, counters = self._run_counted(inst)
+        assert res.method == "structural"
+        assert counters["engine.clones"] == 1
+
+    def test_mutated_failure_reclones(self, monkeypatch):
+        # sat_flow splices junk into the working copy, then fails: the
+        # next strategy must get a fresh pristine clone
+        from repro.network import GateType
+
+        def dirty_fail(self, ctx, manager):
+            pis = ctx.current.pis
+            ctx.current.add_gate(GateType.NOT, [pis[0]])
+            raise SatBudgetExceeded("injected after mutation")
+
+        inst = first_observable()
+        monkeypatch.setattr(SatFlowStrategy, "run", dirty_fail)
+        res, counters = self._run_counted(inst)
+        assert res.method == "structural"
+        assert res.verified
+        assert counters["engine.clones"] == 2
+
+
 # ---------------------------------------------------------------------------
 # --passes end to end
 # ---------------------------------------------------------------------------
