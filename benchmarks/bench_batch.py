@@ -1,0 +1,156 @@
+"""E11 — Batch front-end throughput (shared-arena, wave-scheduled).
+
+Runs a unit set twice over the ``repro.batch`` front-end — once
+sequentially (``jobs=1``) and once across a worker pool — and reports
+wall clock, speedup, per-item p50/p99 latency, and the zero-re-encode
+counter audit (for every arena-resident structural hash a worker's
+``sat.template_compiles`` stays flat).  The parallel run's bench
+document (schema ``repro.obs.bench/v1``, with ``latency`` and
+``shards`` blocks) lands in ``benchmarks/results/BENCH_batch.json``::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py \
+        [--units unit1,unit2,...] [--method satprune_cegarmin] \
+        [--jobs 4] [--out benchmarks/results/BENCH_batch.json]
+
+Speedup on a multi-core host comes from process parallelism; on a
+single-core host the two runs tie (the document still records honest
+numbers — the ``comparison`` block is sequential-vs-parallel wall
+clock of *this* invocation, never a carried-over figure).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.batch import items_from_suite, run_batch
+
+from conftest import RESULTS_DIR
+
+BASELINE_NAME = "BENCH_batch.json"
+
+#: default unit set: every non-structural unit that solves in seconds
+#: (the structural units bypass the SAT flow and profit nothing from
+#: the clause arena; the heavy multi-target tail would dominate wall
+#: clock without adding coverage)
+DEFAULT_UNITS = (
+    "unit1",
+    "unit2",
+    "unit3",
+    "unit4",
+    "unit7",
+    "unit8",
+    "unit13",
+    "unit15",
+)
+
+
+def audit_re_encodes(report):
+    """(arena hits, worker template compiles) across all unit rows."""
+    hits = compiles = 0
+    for rec in report.results:
+        counters = rec["entry"]["counters"]
+        hits += counters.get("batch.arena_hit", 0)
+        compiles += counters.get("sat.template_compiles", 0)
+    return hits, compiles
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="measure the batch front-end against sequential runs"
+    )
+    parser.add_argument(
+        "--units",
+        default=",".join(DEFAULT_UNITS),
+        help="comma-separated unit names",
+    )
+    parser.add_argument(
+        "--method", default="satprune_cegarmin", help="Table 1 method column"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, help="pool size for the parallel leg"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help=f"output JSON path (default: benchmarks/results/{BASELINE_NAME})",
+    )
+    args = parser.parse_args(argv)
+
+    names = [n.strip() for n in args.units.split(",") if n.strip()]
+    items = items_from_suite(names, method=args.method)
+
+    seq = run_batch(items, jobs=1, suite="batch")
+    par = run_batch(items, jobs=args.jobs, suite="batch")
+
+    def strip(doc):
+        return [
+            {
+                k: v
+                for k, v in e.items()
+                if k not in ("phases", "passes", "runtime_s")
+            }
+            for e in doc["units"]
+        ]
+
+    identical = json.dumps(strip(seq.document), sort_keys=True) == json.dumps(
+        strip(par.document), sort_keys=True
+    )
+    hits, compiles = audit_re_encodes(par)
+    speedup = seq.wall_s / par.wall_s if par.wall_s > 0 else 0.0
+
+    doc = par.document
+    doc["comparison"] = {
+        "before_total_runtime_s": round(
+            sum(e["runtime_s"] for e in seq.document["units"]), 6
+        ),
+        "after_total_runtime_s": round(
+            sum(e["runtime_s"] for e in doc["units"]), 6
+        ),
+    }
+    doc["context"].update(
+        {
+            "sequential_wall_s": round(seq.wall_s, 6),
+            "parallel_wall_s": round(par.wall_s, 6),
+            "wall_speedup": round(speedup, 4),
+            "results_identical": identical,
+            "arena_hits": hits,
+            "worker_template_compiles": compiles,
+            "cpu_count": os.cpu_count(),
+        }
+    )
+
+    from repro.obs.export import validate_bench_document
+
+    validate_bench_document(doc)
+    out_path = args.out or os.path.join(RESULTS_DIR, BASELINE_NAME)
+    os.makedirs(os.path.dirname(out_path), exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    lat = doc["latency"]
+    print(
+        f"batch: {len(items)} unit(s) x {args.method}\n"
+        f"  sequential (jobs=1): {seq.wall_s:.2f}s\n"
+        f"  parallel  (jobs={args.jobs}): {par.wall_s:.2f}s "
+        f"(speedup {speedup:.2f}x on {os.cpu_count()} CPU(s))\n"
+        f"  latency: p50 {lat['p50_s']:.3f}s p99 {lat['p99_s']:.3f}s "
+        f"max {lat['max_s']:.3f}s\n"
+        f"  arena: {par.arena_entries} entr"
+        f"{'y' if par.arena_entries == 1 else 'ies'}, "
+        f"{par.arena_bytes} B, {hits} hit(s), "
+        f"{compiles} worker re-encode(s)\n"
+        f"  results byte-identical across jobs: {identical}"
+    )
+    if not identical:
+        print("batch: parallel results diverged from sequential", file=sys.stderr)
+        return 1
+    if not (seq.ok and par.ok):
+        print("batch: unit failures", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

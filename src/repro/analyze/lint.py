@@ -46,6 +46,7 @@ CLONE_ALLOWLIST: Tuple[str, ...] = (
     "repro/core/pipeline.py",    # per-strategy fresh working clone
     "repro/core/patch.py",       # apply_patch_copy convenience
     "repro/benchgen/mutations.py",  # golden -> corrupted copy
+    "repro/batch/runner.py",     # precompile mirrors the engine's base copy
     "repro/seq/eco.py",          # combinational view extraction
     "repro/seq/verify.py",       # combinational view extraction
     "repro/seq/network.py",      # mapping-core extraction

@@ -332,6 +332,26 @@ def verify_pipeline(pipeline: Pipeline) -> PipelineAnalysis:
     )
 
 
+def target_waves(pipeline: Pipeline, strategy: str = "sat_flow") -> List[List[str]]:
+    """The verified may-run-in-parallel wave partition of a strategy's
+    per-target scope (``partitions["target:<strategy>"]``).
+
+    This is the scheduling contract the batch front-end executes
+    against (:mod:`repro.batch.schedule`): passes inside one wave are
+    mutually conflict-free under their declared contracts, and waves
+    must run in list order.  Raises ``ValueError`` when the pipeline
+    fails contract verification — a schedule derived from an invalid
+    pipeline would be meaningless.
+    """
+    analysis = verify_pipeline(pipeline)
+    if not analysis.ok:
+        raise ValueError(
+            "cannot schedule an invalid pipeline:\n"
+            + "\n".join(f.format() for f in analysis.report.errors)
+        )
+    return [list(w) for w in analysis.partitions.get(f"target:{strategy}", [])]
+
+
 def verify_stage_order(names: Sequence[str]) -> PipelineAnalysis:
     """Verify an explicit, linear stage order (CLI ``--stages a,b,c``).
 

@@ -1,0 +1,32 @@
+"""Batched, process-parallel ECO execution (docs/BATCH.md).
+
+Three layers:
+
+* :mod:`repro.batch.arena` — a shared-memory clause arena:
+  :class:`~repro.sat.template.CnfTemplate` compiled clauses serialized
+  once by the parent, keyed by ``Network.structural_hash()``, stamped
+  by pool workers straight out of the mapped view (zero re-encode,
+  zero copy);
+* :mod:`repro.batch.schedule` — the per-instance scheduler that
+  executes the SAT flow's per-target passes in the wave order proved
+  safe by :func:`repro.analyze.verifier.target_waves`, with deferred
+  patch composition and a deterministic merge;
+* :mod:`repro.batch.runner` — the front-end: accepts many
+  ``EcoInstance``s, shards them across a ``ProcessPoolExecutor``, and
+  exports results + per-shard timings + p50/p99 latency in the
+  ``repro.obs.bench/v1`` schema.
+"""
+
+from .arena import TemplateArena
+from .runner import BatchItem, BatchReport, items_from_suite, run_batch
+from .schedule import WaveSatFlowStrategy, wave_pipeline
+
+__all__ = [
+    "TemplateArena",
+    "BatchItem",
+    "BatchReport",
+    "items_from_suite",
+    "run_batch",
+    "WaveSatFlowStrategy",
+    "wave_pipeline",
+]

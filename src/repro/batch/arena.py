@@ -1,0 +1,300 @@
+"""Shared-memory clause arena: compile once, stamp from any process.
+
+A :class:`~repro.sat.template.CnfTemplate` is flat integer data — a
+``varmap`` (node id → dense template variable), a variable count, and
+clause tuples of packed literals.  The parent process serializes the
+templates it precompiled into one contiguous 64-bit-word buffer backed
+by ``multiprocessing.shared_memory`` (file + ``mmap`` fallback), keyed
+by ``Network.structural_hash()``; pool workers attach the buffer
+read-only and rehydrate templates *in place*: clause literals are read
+straight out of the mapped view through :class:`ArenaClauseView`
+(``stamp`` only iterates clauses, so no tuple materialization happens
+on the hot path), and no ``encode_network`` walk ever runs in a worker
+for an arena-resident key.
+
+Word layout (all unsigned 64-bit little-endian, offsets in words)::
+
+    [MAGIC, total_words, n_entries]
+    n_entries x [key_lo, key_hi, entry_offset]       # index, key-sorted
+    per entry:
+        [nvars,
+         n_pis,    pi_node_id...,
+         n_varmap, (node_id, template_var)...,
+         n_clauses, clause_len...,
+         literal...]                                  # clauses back-to-back
+
+Counters: ``batch.arena_hit`` / ``batch.arena_miss`` per lookup (see
+docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import array
+import mmap
+import os
+import tempfile
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..obs import DEFAULT as _OBS
+from ..sat.template import CnfTemplate
+
+_MAGIC = 0x4543_4F41_524E_4131  # "ECOARNA1"
+_WORD = 8
+_KEY_MASK = (1 << 64) - 1
+
+#: picklable attach token: (backing kind, name/path, total_words)
+ArenaDescriptor = Tuple[str, str, int]
+
+
+class ArenaClauseView(Sequence[Sequence[int]]):
+    """Zero-copy view of one template's clause array in the arena.
+
+    ``stamp``/``_stamp_cofactor`` need only ``len()`` and iteration;
+    each yielded clause is a ``memoryview`` slice of the shared buffer —
+    literals are read from shared memory at stamp time, never copied
+    into per-worker tuples.
+    """
+
+    __slots__ = ("_words", "_bounds")
+
+    def __init__(self, words: "memoryview", bounds: List[Tuple[int, int]]) -> None:
+        self._words = words
+        self._bounds = bounds
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    def __getitem__(self, i):  # type: ignore[override]
+        start, length = self._bounds[i]
+        return self._words[start : start + length]
+
+    def __iter__(self) -> Iterator[Sequence[int]]:
+        words = self._words
+        for start, length in self._bounds:
+            yield words[start : start + length]
+
+
+class _ShmBacking:
+    """``multiprocessing.shared_memory`` segment (POSIX shm)."""
+
+    kind = "shm"
+
+    def __init__(self, shm, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+        self.name = shm.name
+        self.buf = shm.buf
+
+    @classmethod
+    def create(cls, nbytes: int) -> "_ShmBacking":
+        from multiprocessing import shared_memory
+
+        return cls(shared_memory.SharedMemory(create=True, size=nbytes), True)
+
+    @classmethod
+    def attach(cls, name: str) -> "_ShmBacking":
+        from multiprocessing import shared_memory
+
+        return cls(shared_memory.SharedMemory(name=name), False)
+
+    def close(self) -> None:
+        # a leaked segment outlives the process: always release the
+        # mapping, and unlink iff we created it
+        try:
+            self._shm.close()
+        finally:
+            if self._owner:
+                try:
+                    self._shm.unlink()
+                except FileNotFoundError:
+                    pass
+
+
+class _FileBacking:
+    """mmap'd temp-file fallback (works without /dev/shm)."""
+
+    kind = "file"
+
+    def __init__(self, path: str, mm: mmap.mmap, fd: int, owner: bool) -> None:
+        self.name = path
+        self.buf = memoryview(mm)
+        self._mm = mm
+        self._fd = fd
+        self._owner = owner
+
+    @classmethod
+    def create(cls, nbytes: int) -> "_FileBacking":
+        fd, path = tempfile.mkstemp(prefix="repro-arena-", suffix=".bin")
+        os.ftruncate(fd, nbytes)
+        mm = mmap.mmap(fd, nbytes)
+        return cls(path, mm, fd, True)
+
+    @classmethod
+    def attach(cls, path: str) -> "_FileBacking":
+        fd = os.open(path, os.O_RDONLY)
+        nbytes = os.fstat(fd).st_size
+        mm = mmap.mmap(fd, nbytes, prot=mmap.PROT_READ)
+        return cls(path, mm, fd, False)
+
+    def close(self) -> None:
+        try:
+            self.buf.release()
+            self._mm.close()
+            os.close(self._fd)
+        finally:
+            if self._owner:
+                try:
+                    os.unlink(self.name)
+                except FileNotFoundError:
+                    pass
+
+
+def _serialize(templates: Mapping[int, CnfTemplate]) -> List[int]:
+    words: List[int] = [_MAGIC, 0, len(templates)]
+    index_at = len(words)
+    keys = sorted(templates)
+    words.extend(0 for _ in range(3 * len(keys)))  # index placeholder
+    for i, key in enumerate(keys):
+        tpl = templates[key]
+        offset = len(words)
+        words[index_at + 3 * i] = key & _KEY_MASK
+        words[index_at + 3 * i + 1] = (key >> 64) & _KEY_MASK
+        words[index_at + 3 * i + 2] = offset
+        words.append(tpl.nvars)
+        pis = sorted(tpl.pi_nodes)
+        words.append(len(pis))
+        words.extend(pis)
+        words.append(len(tpl.varmap))
+        for nid in sorted(tpl.varmap):
+            words.append(nid)
+            words.append(tpl.varmap[nid])
+        clauses = tpl.clauses
+        words.append(len(clauses))
+        words.extend(len(c) for c in clauses)
+        for clause in clauses:
+            words.extend(clause)
+    words[1] = len(words)
+    return words
+
+
+class TemplateArena:
+    """Compiled-template store shared between the batch parent and its
+    pool workers.
+
+    Parent side: :meth:`build` serializes, :meth:`descriptor` yields the
+    picklable attach token for the pool initializer, :meth:`close`
+    releases (and unlinks) the backing.  Worker side: :meth:`attach`
+    maps the buffer and :meth:`get` — installed as the process-global
+    template source (see
+    :func:`repro.sat.template.install_template_source`) — rehydrates a
+    template on demand, with the clause array left in shared memory.
+    """
+
+    def __init__(self, backing, words: "memoryview") -> None:
+        self._backing = backing
+        self._words = words
+        count = words[2]
+        self._index: Dict[int, int] = {}
+        for i in range(count):
+            lo = words[3 + 3 * i]
+            hi = words[3 + 3 * i + 1]
+            self._index[(hi << 64) | lo] = words[3 + 3 * i + 2]
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        templates: Mapping[int, CnfTemplate],
+        backing: str = "auto",
+    ) -> "TemplateArena":
+        """Serialize ``templates`` (key → compiled template) into a
+        fresh shared arena.  ``backing``: ``"shm"``, ``"file"``, or
+        ``"auto"`` (shm with file fallback)."""
+        serialized = _serialize(templates)
+        nbytes = len(serialized) * _WORD
+        back = None
+        if backing in ("auto", "shm"):
+            try:
+                back = _ShmBacking.create(nbytes)
+            except Exception:
+                if backing == "shm":
+                    raise
+        if back is None:
+            back = _FileBacking.create(nbytes)
+        back.buf[:nbytes] = array.array("Q", serialized).tobytes()
+        words = memoryview(back.buf)[:nbytes].cast("Q")
+        return cls(back, words)
+
+    @classmethod
+    def attach(cls, descriptor: ArenaDescriptor) -> "TemplateArena":
+        kind, name, total_words = descriptor
+        if kind == "shm":
+            back = _ShmBacking.attach(name)
+        elif kind == "file":
+            back = _FileBacking.attach(name)
+        else:
+            raise ValueError(f"unknown arena backing {kind!r}")
+        words = memoryview(back.buf)[: total_words * _WORD].cast("Q")
+        if len(words) < 3 or words[0] != _MAGIC:
+            raise ValueError("arena buffer is corrupt (bad magic)")
+        return cls(back, words)
+
+    def descriptor(self) -> ArenaDescriptor:
+        return (self._backing.kind, self._backing.name, self._words[1])
+
+    # -- access --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def keys(self):
+        return self._index.keys()
+
+    @property
+    def nbytes(self) -> int:
+        return len(self._words) * _WORD
+
+    def get(self, key: int) -> Optional[CnfTemplate]:
+        """Rehydrate the template stored under ``key`` (or ``None``).
+
+        The returned template's ``clauses`` is an
+        :class:`ArenaClauseView` into the shared buffer: stamping reads
+        literals from the arena directly, and ``sat.template_compiles``
+        is *not* bumped — that counter staying flat across workers is
+        the batch acceptance audit for "zero per-worker re-encodes".
+        """
+        at = self._index.get(key)
+        if at is None:
+            _OBS.inc("batch.arena_miss")
+            return None
+        _OBS.inc("batch.arena_hit")
+        words = self._words
+        nvars = words[at]
+        at += 1
+        n_pis = words[at]
+        at += 1
+        pi_nodes = list(words[at : at + n_pis])
+        at += n_pis
+        n_map = words[at]
+        at += 1
+        varmap: Dict[int, int] = {}
+        for _ in range(n_map):
+            varmap[words[at]] = words[at + 1]
+            at += 2
+        n_clauses = words[at]
+        at += 1
+        lens = words[at : at + n_clauses]
+        at += n_clauses
+        bounds: List[Tuple[int, int]] = []
+        for ln in lens:
+            bounds.append((at, ln))
+            at += ln
+        return CnfTemplate.from_compiled(
+            varmap, nvars, ArenaClauseView(words, bounds), pi_nodes
+        )
+
+    def close(self) -> None:
+        """Release the mapping (owner side also unlinks the backing)."""
+        self._words.release()
+        self._backing.close()

@@ -1,0 +1,455 @@
+"""Batch front-end: many ``EcoInstance``s, one worker pool, one arena.
+
+The parent *precompiles* each item's first-target quantified-miter CNF
+template (the dominant encode of the SAT flow — it replays the exact
+prologue the engine runs: clone → window → divisors → miter → quantify),
+serializes the deduplicated templates once into a
+:class:`~repro.batch.arena.TemplateArena`, and shards the items across a
+``ProcessPoolExecutor`` whose initializer attaches the arena and
+installs it as the process-global template source
+(:func:`repro.sat.template.install_template_source`).  Workers therefore
+stamp clauses straight out of shared memory: for an arena-resident
+structural hash a worker's ``sat.template_compiles`` stays flat — the
+"zero per-worker re-encodes" audit of the batch acceptance criteria.
+
+Each worker runs the full engine under the analyzer-derived wave
+schedule (:func:`repro.batch.schedule.wave_pipeline`) with telemetry
+enabled, and ships back a picklable result record.  The parent merges
+records by submission index (deterministic regardless of completion
+order) and assembles a ``repro.obs.bench/v1`` document — unit rows in
+the exact shape of ``BENCH_table1.json`` plus ``latency`` (p50/p99)
+and per-shard timing blocks — validated by
+:func:`repro.obs.export.validate_bench_document` before it is returned.
+
+This module is *not* under :data:`repro.analyze.lint.DETERMINISTIC_MODULES`:
+wall-clock reads are measurement, not algorithm, here.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import gc
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..core.divisors import collect_divisors
+from ..core.engine import EcoConfig, EcoEngine
+from ..core.miter import build_miter
+from ..core.quantify import build_quantified_miter
+from ..io.weights import EcoInstance
+from ..network.window import compute_window
+from ..sat.template import (
+    CnfTemplate,
+    clear_template_memo,
+    install_template_source,
+)
+from .arena import ArenaDescriptor, TemplateArena
+from .schedule import wave_pipeline
+
+DEFAULT_METHOD = "satprune_cegarmin"
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One unit of batch work: an instance plus its engine method."""
+
+    name: str
+    instance: EcoInstance
+    method: str = DEFAULT_METHOD
+    config: Optional[EcoConfig] = None
+
+    def resolved_config(self) -> EcoConfig:
+        if self.config is not None:
+            return self.config
+        from ..benchgen.harness import _METHOD_CONFIG
+
+        return _METHOD_CONFIG[self.method]()
+
+
+@dataclass
+class BatchReport:
+    """What :func:`run_batch` hands back to callers and the CLI."""
+
+    #: per-item records in submission order (``ok``, ``pid``,
+    #: ``elapsed_s``, the bench ``entry``, ...)
+    results: List[Dict[str, Any]] = field(default_factory=list)
+    #: validated ``repro.obs.bench/v1`` document (units + latency +
+    #: shards), ready to ``json.dump`` next to ``BENCH_table1.json``
+    document: Dict[str, Any] = field(default_factory=dict)
+    jobs: int = 1
+    wall_s: float = 0.0
+    arena_entries: int = 0
+    arena_bytes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.results) and all(r["ok"] for r in self.results)
+
+    def failures(self) -> List[Dict[str, Any]]:
+        return [r for r in self.results if not r["ok"]]
+
+
+def items_from_suite(
+    names: Optional[Sequence[str]] = None,
+    method: str = DEFAULT_METHOD,
+) -> List[BatchItem]:
+    """Build :class:`BatchItem`\\ s for the benchgen suite (or a subset),
+    in suite order, with the same per-unit configuration the Table 1
+    harness uses (``force_structural`` routing included)."""
+    from ..benchgen.harness import METHODS, config_for
+    from ..benchgen.suite import SUITE, build_unit
+
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r} (expected one of {METHODS})")
+    items: List[BatchItem] = []
+    for spec in SUITE:
+        if names is not None and spec.name not in names:
+            continue
+        items.append(
+            BatchItem(
+                name=spec.name,
+                instance=build_unit(spec),
+                method=method,
+                config=config_for(spec, method),
+            )
+        )
+    if names is not None:
+        missing = set(names) - {it.name for it in items}
+        if missing:
+            raise KeyError(f"no suite unit named {sorted(missing)!r}")
+    return items
+
+
+# ---------------------------------------------------------------------------
+# parent-side precompile
+# ---------------------------------------------------------------------------
+
+
+def first_target_template(
+    instance: EcoInstance, cfg: EcoConfig
+) -> Optional[Tuple[int, CnfTemplate]]:
+    """Compile the first target's quantified-miter template ahead of time.
+
+    Mirrors exactly what the engine does up to the first
+    ``template_for`` call of the SAT flow: fresh clone (canonical ids),
+    pruning window, cost-ordered divisors, miter over *all* targets
+    with windowed POs, full-expansion quantified miter for target 0.
+    Returns ``(structural_hash, template)``, or ``None`` when this item
+    cannot profit from the arena (structural-only routing, the QBF
+    countermoves path, a non-canonical quantified net, or any error —
+    precompilation is best-effort; workers just compile on a miss).
+    """
+    try:
+        if cfg.structural_only or not instance.targets:
+            return None
+        base = instance.impl.clone()
+        target_ids = [base.node_by_name(t) for t in instance.targets]
+        window = compute_window(base, instance.spec, target_ids)
+        divisors = collect_divisors(
+            base,
+            window,
+            instance.weights,
+            instance.default_weight,
+            cfg.max_divisors,
+        )
+        miter = build_miter(base, instance.spec, target_ids, window.po_indices)
+        current_pi = miter.target_pis[0]
+        if len(miter.target_pis) - 1 > cfg.max_expansion_targets:
+            return None  # engine would take the countermoves path
+        div_map = {nid: miter.impl_map[nid] for nid in divisors.ids}
+        qm = build_quantified_miter(miter, current_pi, None, div_map)
+        if not qm.net.has_canonical_layout():
+            return None
+        return qm.net.structural_hash(), CnfTemplate(qm.net)
+    except Exception:
+        return None
+
+
+def precompile_templates(
+    items: Sequence[BatchItem],
+) -> Dict[int, CnfTemplate]:
+    """First-target templates for ``items``, deduplicated by structural
+    hash (a repeated structure is compiled and serialized exactly once)."""
+    templates: Dict[int, CnfTemplate] = {}
+    for item in items:
+        pre = first_target_template(item.instance, item.resolved_config())
+        if pre is None:
+            continue
+        key, tpl = pre
+        if key not in templates:
+            templates[key] = tpl
+            obs.inc("batch.precompiles")
+        else:
+            obs.inc("batch.precompile_dedup")
+    return templates
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+_WORKER_ARENA: Optional[TemplateArena] = None
+
+
+def _clear_process_memos() -> None:
+    """Reset every process-global engine memo.  Forked workers inherit
+    the parent's warm caches; starting each shard cold keeps the
+    per-unit memo hit/miss counters independent of parent history."""
+    from ..core.divisors import clear_extraction_memo
+    from ..core.support import clear_support_memo
+
+    clear_template_memo()
+    clear_extraction_memo()
+    clear_support_memo()
+
+
+def _worker_init(descriptor: Optional[ArenaDescriptor]) -> None:
+    """Pool initializer: attach the arena, install it as the template
+    source.  The mapping lives for the worker's whole life; process
+    exit reclaims it (the parent owns the unlink)."""
+    global _WORKER_ARENA
+    _clear_process_memos()
+    if descriptor is not None:
+        _WORKER_ARENA = TemplateArena.attach(descriptor)
+        install_template_source(_WORKER_ARENA.get)
+
+
+_EMPTY_SOLVER = {
+    "solves": 0,
+    "decisions": 0,
+    "propagations": 0,
+    "conflicts": 0,
+    "restarts": 0,
+}
+
+
+def _error_entry(name: str, method: str, elapsed: float) -> Dict[str, Any]:
+    """Bench-schema unit row for an item whose engine raised."""
+    return {
+        "unit": name,
+        "method": method,
+        "cost": 0,
+        "gates": 0,
+        "runtime_s": round(elapsed, 6),
+        "verified": False,
+        "phases": {},
+        "passes": {},
+        "counters": {"batch.failures": 1},
+        "solver": dict(_EMPTY_SOLVER),
+    }
+
+
+def _run_item(
+    payload: Tuple[int, str, str, EcoInstance, EcoConfig]
+) -> Dict[str, Any]:
+    """Execute one item under telemetry; returns a picklable record."""
+    from ..benchgen.harness import unit_telemetry
+
+    index, name, method, instance, cfg = payload
+    registry = obs.get_registry()
+    was_enabled = registry.enabled
+    registry.reset()
+    registry.enable()
+    t0 = time.monotonic()
+    ok, error = True, None
+    try:
+        engine = EcoEngine(cfg, pipeline_factory=wave_pipeline)
+        result = engine.run(instance)
+        elapsed = time.monotonic() - t0
+        entry = unit_telemetry(name, method, result, registry)
+    except Exception as exc:  # record, don't poison the pool
+        elapsed = time.monotonic() - t0
+        entry = _error_entry(name, method, elapsed)
+        ok, error = False, f"{type(exc).__name__}: {exc}"
+    finally:
+        registry.enabled = was_enabled
+        registry.reset()
+    return {
+        "index": index,
+        "unit": name,
+        "method": method,
+        "ok": ok,
+        "error": error,
+        "pid": os.getpid(),
+        "elapsed_s": elapsed,
+        "entry": entry,
+    }
+
+
+# ---------------------------------------------------------------------------
+# parent-side orchestration
+# ---------------------------------------------------------------------------
+
+
+def _percentile(sorted_vals: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an ascending sequence."""
+    if not sorted_vals:
+        return 0.0
+    k = (len(sorted_vals) - 1) * q
+    lo = math.floor(k)
+    hi = math.ceil(k)
+    if lo == hi:
+        return float(sorted_vals[lo])
+    return float(
+        sorted_vals[lo] + (sorted_vals[hi] - sorted_vals[lo]) * (k - lo)
+    )
+
+
+def _latency_block(elapsed: Sequence[float]) -> Dict[str, Any]:
+    ordered = sorted(elapsed)
+    return {
+        "count": len(ordered),
+        "p50_s": round(_percentile(ordered, 0.50), 6),
+        "p99_s": round(_percentile(ordered, 0.99), 6),
+        "mean_s": round(sum(ordered) / len(ordered), 6) if ordered else 0.0,
+        "max_s": round(ordered[-1], 6) if ordered else 0.0,
+    }
+
+
+def _shard_block(records: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-worker-process timing summary, ordered by pid."""
+    shards: Dict[int, Dict[str, Any]] = {}
+    for rec in records:
+        shard = shards.setdefault(
+            rec["pid"], {"pid": rec["pid"], "items": 0, "busy_s": 0.0, "units": []}
+        )
+        shard["items"] += 1
+        shard["busy_s"] += rec["elapsed_s"]
+        shard["units"].append(rec["unit"])
+    out = []
+    for pid in sorted(shards):
+        shard = shards[pid]
+        shard["busy_s"] = round(shard["busy_s"], 6)
+        out.append(shard)
+    return out
+
+
+def batch_document(
+    records: Sequence[Dict[str, Any]],
+    suite: str,
+    jobs: int,
+    wall_s: float,
+    arena_entries: int,
+    arena_bytes: int,
+) -> Dict[str, Any]:
+    """Assemble + validate the bench document for a finished batch."""
+    from ..obs.export import BENCH_SCHEMA, validate_bench_document
+
+    doc: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "units": [rec["entry"] for rec in records],
+        "context": {
+            "jobs": jobs,
+            "batch": True,
+            "arena_entries": arena_entries,
+            "arena_bytes": arena_bytes,
+            "wall_s": round(wall_s, 6),
+        },
+        "latency": _latency_block([rec["elapsed_s"] for rec in records]),
+        "shards": _shard_block(records),
+    }
+    validate_bench_document(doc)
+    return doc
+
+
+def run_batch(
+    items: Sequence[BatchItem],
+    jobs: int = 1,
+    *,
+    use_arena: bool = True,
+    arena_backing: str = "auto",
+    suite: str = "batch",
+) -> BatchReport:
+    """Run ``items`` across ``jobs`` worker processes; returns the
+    deterministically merged :class:`BatchReport`.
+
+    ``jobs == 1`` executes in-process through the *same* code path
+    (arena installed as the template source, wave-scheduled pipeline),
+    so a one-job run is the reference the multi-job run must match
+    byte-for-byte.  ``use_arena=False`` skips precompilation entirely —
+    workers fall back to their local template memo.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    items = list(items)
+    if not items:
+        raise ValueError("run_batch needs at least one item")
+    t0 = time.monotonic()
+
+    arena: Optional[TemplateArena] = None
+    arena_entries = arena_bytes = 0
+    if use_arena:
+        templates = precompile_templates(items)
+        if templates:
+            arena = TemplateArena.build(templates, backing=arena_backing)
+            arena_entries, arena_bytes = len(arena), arena.nbytes
+            obs.inc("batch.arena_entries", arena_entries)
+            obs.inc("batch.arena_bytes", arena_bytes)
+        del templates
+
+    payloads = [
+        (i, it.name, it.method, it.instance, it.resolved_config())
+        for i, it in enumerate(items)
+    ]
+    records: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+    try:
+        if jobs == 1:
+            _clear_process_memos()
+            if arena is not None:
+                install_template_source(arena.get)
+            try:
+                for payload in payloads:
+                    records[payload[0]] = _run_item(payload)
+            finally:
+                install_template_source(None)
+                clear_template_memo()
+        else:
+            descriptor = arena.descriptor() if arena is not None else None
+            ex = cf.ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_worker_init,
+                initargs=(descriptor,),
+            )
+            try:
+                futures = [ex.submit(_run_item, p) for p in payloads]
+                for fut in futures:
+                    rec = fut.result()
+                    records[rec["index"]] = rec
+            finally:
+                ex.shutdown(wait=True)
+    finally:
+        if arena is not None:
+            # memoized arena-backed templates hold memoryview exports
+            # into the mapping; they must be collected before the
+            # owning segment can release and unlink
+            gc.collect()
+            arena.close()
+
+    merged = [rec for rec in records if rec is not None]
+    merged.sort(key=lambda rec: rec["index"])
+    for rec in merged:
+        obs.inc("batch.items")
+        if not rec["ok"]:
+            obs.inc("batch.failures")
+    wall = time.monotonic() - t0
+    doc = batch_document(
+        merged,
+        suite=suite,
+        jobs=jobs,
+        wall_s=wall,
+        arena_entries=arena_entries,
+        arena_bytes=arena_bytes,
+    )
+    return BatchReport(
+        results=merged,
+        document=doc,
+        jobs=jobs,
+        wall_s=wall,
+        arena_entries=arena_entries,
+        arena_bytes=arena_bytes,
+    )

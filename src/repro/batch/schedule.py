@@ -1,0 +1,108 @@
+"""Partition-driven per-target scheduling for the batch front-end.
+
+The analyzer computes, per strategy, which per-target passes may share
+a wave (:func:`repro.analyze.verifier.target_waves` — today
+``support → satprune → patch_function`` are singleton waves because
+each reads state the previous one writes).  The
+:class:`WaveSatFlowStrategy` executes exactly that partition: passes
+run wave by wave in partition order, patch composition is deferred to
+the base strategy's deterministic merge, and the schedule is validated
+against the pipeline's declared contracts before the first target runs.
+Because the partition is derived from (and ordered like) the
+sequential pass list, a wave-scheduled run is *byte-identical* to the
+sequential one — same patches, same solver counters — which is the
+determinism contract the batch runner advertises (docs/BATCH.md) and
+``tests/test_batch_schedule.py`` pins across all three presets.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from .. import obs
+from ..core.engine import EcoConfig, build_pipeline
+from ..core.pipeline import Pass, Pipeline, SatFlowStrategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.pipeline import EcoContext, PassManager
+
+
+class WaveSatFlowStrategy(SatFlowStrategy):
+    """SAT flow whose per-target chain follows the analyzer's waves.
+
+    Drop-in replacement for :class:`SatFlowStrategy` (same ``name``,
+    same contract): construction takes the verified wave partition of
+    the ``target:sat_flow`` scope and re-buckets ``target_passes``
+    accordingly; execution runs one wave at a time.  Unknown wave
+    members (a partition computed for a richer pipeline than the one
+    assembled) are rejected eagerly.
+    """
+
+    def __init__(
+        self, target_passes: Sequence[Pass], waves: Sequence[Sequence[str]]
+    ) -> None:
+        super().__init__(target_passes)
+        by_name: Dict[str, Pass] = {p.name: p for p in self.target_passes}
+        scheduled: List[List[Pass]] = []
+        seen: set = set()
+        for wave in waves:
+            bucket = []
+            for name in wave:
+                p = by_name.get(name)
+                if p is None:
+                    raise ValueError(
+                        f"wave partition names unknown per-target pass {name!r}"
+                    )
+                bucket.append(p)
+                seen.add(name)
+            if bucket:
+                scheduled.append(bucket)
+        missing = [p.name for p in self.target_passes if p.name not in seen]
+        if missing:
+            raise ValueError(
+                f"wave partition omits per-target passes {missing!r}"
+            )
+        self.waves = scheduled
+
+    def _run_target_passes(
+        self, ctx: "EcoContext", manager: "PassManager"
+    ) -> None:
+        for wave in self.waves:
+            obs.inc("batch.waves")
+            for p in wave:
+                manager.run_pass(p, ctx)
+
+
+def wave_pipeline(
+    cfg: EcoConfig, selection: Optional[object] = None
+) -> Pipeline:
+    """``build_pipeline`` with the SAT flow wave-scheduled.
+
+    Assembles the configuration's pipeline, verifies it, derives the
+    ``target:sat_flow`` wave partition, and swaps the sequential
+    :class:`SatFlowStrategy` for a :class:`WaveSatFlowStrategy` bound
+    to that partition.  Pipelines without a SAT flow (``--passes``
+    filtering, ``structural_only``) come back unchanged.  Signature
+    matches ``EcoEngine``'s ``pipeline_factory`` hook.
+    """
+    from ..analyze.verifier import target_waves
+
+    pipe = build_pipeline(cfg, selection)  # type: ignore[arg-type]
+    sat_flows = [
+        i
+        for i, strat in enumerate(pipe.strategies)
+        if isinstance(strat, SatFlowStrategy)
+        and not isinstance(strat, WaveSatFlowStrategy)
+    ]
+    if not sat_flows:
+        return pipe
+    waves = target_waves(pipe, "sat_flow")
+    if not waves:
+        return pipe
+    for i in sat_flows:
+        strat = pipe.strategies[i]
+        pipe.strategies[i] = WaveSatFlowStrategy(
+            strat.target_passes,  # type: ignore[attr-defined]
+            waves,
+        )
+    return pipe

@@ -322,13 +322,17 @@ def _execute_unit(
     plan: Optional[FaultPlan],
     retry_policy: Optional[RetryPolicy],
     scratch: Optional[str],
+    attempt: int = 0,
 ) -> UnitRow:
     """Worker-process entry point: apply planned faults, run the unit.
 
     Writes a ``{pid}.unit`` marker into ``scratch`` before doing any
     work so the parent can (a) terminate the exact worker whose unit
     timed out and (b) attribute a pool-breaking crash to the unit the
-    dead worker was running.
+    dead worker was running.  ``attempt`` is the parent-side retry
+    count at submission (0 on the first try), which lets a
+    ``FaultPlan.crash_times`` unit crash a fixed number of times and
+    then succeed.
     """
     if scratch is not None:
         try:
@@ -343,9 +347,11 @@ def _execute_unit(
     faults: Optional[EngineFault] = None
     instance: Optional[EcoInstance] = None
     if plan is not None:
-        if spec.name in plan.crash:
+        if plan.crashes_attempt(spec.name, attempt):
             # simulated hard worker death (segfault stand-in); skips
             # all interpreter cleanup, so the pool sees a broken pipe
+            if plan.crash_after_s > 0:
+                time.sleep(plan.crash_after_s)
             os._exit(13)
         if spec.name in plan.hang:
             time.sleep(plan.hang_seconds)
@@ -390,7 +396,10 @@ def run_suite(
     ``max_unit_retries`` times with exponential backoff
     (``retry_backoff_s`` base) on a recycled pool before degrading to
     ``"crashed"``.  Degraded rows record the measured wall-clock spent
-    on the failed attempt.  Counters: ``harness.unit_timeout``,
+    on the *final* failed attempt — never the sum over attempts — and a
+    unit that crashes and then succeeds on retry records only the
+    successful attempt's runtime in its row.  Counters:
+    ``harness.unit_timeout``,
     ``harness.unit_error``, ``harness.unit_crashed``,
     ``harness.unit_retry``, ``harness.pool_recycled``.
 
@@ -482,7 +491,7 @@ def _run_suite_parallel(
         # record the injection on the parent's registry instead
         if fault_plan is not None and spec.name not in announced:
             announced.add(spec.name)
-            if spec.name in fault_plan.crash:
+            if spec.name in fault_plan.crash or spec.name in fault_plan.crash_times:
                 obs.inc("resilience.injected.crash")
             if spec.name in fault_plan.hang:
                 obs.inc("resilience.injected.hang")
@@ -494,6 +503,7 @@ def _run_suite_parallel(
             fault_plan,
             retry_policy,
             scratch,
+            tries[spec.name],
         )
         inflight[fut] = (spec, time.monotonic())
 
@@ -613,11 +623,15 @@ def _run_suite_parallel(
             if broken:
                 # pool breakage kills every in-flight future; attribute
                 # the crash via the dead workers' pid markers, retry the
-                # guilty unit (bounded), requeue innocent co-victims
-                suspects = crash_suspects()
+                # guilty unit (bounded), requeue innocent co-victims.
+                # Snapshot the co-victims' elapsed *before* the suspect
+                # poll (it can block ~1.5s): a unit's recorded attempt
+                # time must cover only the time its attempt actually ran
+                now = time.monotonic()
                 for fut in list(inflight):
                     spec, submitted = inflight.pop(fut)
-                    interrupted.append((spec, time.monotonic() - submitted))
+                    interrupted.append((spec, now - submitted))
+                suspects = crash_suspects()
                 for spec, elapsed in interrupted:
                     if not suspects or spec.name in suspects:
                         penalize_crash(spec, elapsed)
@@ -665,15 +679,33 @@ def _run_suite_parallel(
                             pass
             # terminating workers breaks the pool for the survivors:
             # harvest any that finished in the meantime, requeue the
-            # rest (no penalty — their time was not up), start fresh
+            # rest (no penalty — their time was not up), start fresh.
+            # A survivor that finished with a genuine unit error is
+            # degraded here like on the main path: requeueing it would
+            # re-run it without bumping `tries`, and its eventual row
+            # would charge a fresh attempt's clock for a unit that had
+            # already failed
             for fut in list(inflight):
-                spec, _submitted = inflight.pop(fut)
+                spec, submitted = inflight.pop(fut)
                 if fut.done():
                     try:
                         finish(spec, fut.result())
                         continue
-                    except Exception:
+                    except (BrokenProcessPool, cf.CancelledError):
                         pass
+                    except Exception:
+                        obs.inc("harness.unit_error")
+                        finish(
+                            spec,
+                            _degraded_row(
+                                spec,
+                                methods,
+                                "error",
+                                time.monotonic() - submitted,
+                                collect_telemetry,
+                            ),
+                        )
+                        continue
                 queue.appendleft(spec)
             recycle_pool()
     finally:

@@ -255,6 +255,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "batch",
+        help="run many suite units through the shared-arena batch "
+        "front-end and export a bench-schema latency document",
+    )
+    p.add_argument("--units", help="comma-separated unit names (default: all)")
+    p.add_argument(
+        "--method",
+        default="satprune_cegarmin",
+        help="Table 1 method column to run every unit under",
+    )
+    p.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p.add_argument(
+        "--no-arena",
+        action="store_true",
+        help="skip template precompilation / shared-memory arena",
+    )
+    p.add_argument("--out", help="write the bench document to this path")
+    p.add_argument(
+        "--json", action="store_true", help="print the bench document"
+    )
+
+    p = sub.add_parser(
         "chaos",
         help="run the suite under seeded fault injection and check "
         "degradation invariants",
@@ -561,6 +583,56 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from .batch import items_from_suite, run_batch
+
+    names = (
+        [n.strip() for n in args.units.split(",") if n.strip()]
+        if args.units
+        else None
+    )
+    items = items_from_suite(names, method=args.method)
+    report = run_batch(
+        items,
+        jobs=args.jobs,
+        use_arena=not args.no_arena,
+        suite="batch",
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(report.document, f, indent=2, sort_keys=True)
+            f.write("\n")
+    if args.json:
+        print(json.dumps(report.document, indent=2, sort_keys=True))
+    else:
+        lat = report.document["latency"]
+        print(
+            f"batch: {len(report.results)} unit(s), jobs={report.jobs}, "
+            f"wall {report.wall_s:.2f}s, arena {report.arena_entries} "
+            f"entr{'y' if report.arena_entries == 1 else 'ies'} "
+            f"({report.arena_bytes} B), "
+            f"p50 {lat['p50_s']:.3f}s p99 {lat['p99_s']:.3f}s"
+        )
+        for rec in report.results:
+            entry = rec["entry"]
+            status = "ok" if rec["ok"] else f"ERROR {rec['error']}"
+            print(
+                f"  {rec['unit']:<8} cost {entry['cost']:>5} "
+                f"gates {entry['gates']:>3} "
+                f"{'verified' if entry['verified'] else 'UNVERIFIED'} "
+                f"{rec['elapsed_s']:.3f}s [{status}]"
+            )
+    failures = report.failures()
+    if failures:
+        print(
+            f"batch: {len(failures)} unit(s) failed", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
@@ -610,6 +682,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": cmd_analyze,
         "generate": cmd_generate,
         "suite": cmd_suite,
+        "batch": cmd_batch,
         "chaos": cmd_chaos,
     }
     from .core.engine import EcoEngineError

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Callable, Optional, Tuple, Union
 
 from .. import obs
 from ..io.weights import EcoInstance
@@ -80,6 +80,16 @@ class EcoConfig:
             across runs of structurally identical instances (bounded
             process-local memo keyed by ``Network.structural_hash``;
             see :mod:`repro.core.divisors`).
+        memoize_templates: reuse compiled :class:`CnfTemplate` encodings
+            across structurally identical quantified miters (same memo
+            contract; see :func:`repro.sat.template.template_for`).
+            Solver-counter-safe: a hit stamps byte-identical clauses.
+        memoize_support: reuse support-minimization results across
+            structurally identical per-target queries.  *Not*
+            counter-safe — a hit skips the minimization solves, so the
+            shared solver reaches the patch-function pass with a
+            different learned-clause state; off by default (see
+            docs/BATCH.md, determinism contract).
         budget_conflicts: *run-level* SAT conflict budget (None = no
             limit).  Charged once per conflict across the whole run via
             :class:`~repro.core.pipeline.ConflictBudget`; exhaustion
@@ -120,6 +130,8 @@ class EcoConfig:
     max_expansion_targets: int = 6
     max_divisors: Optional[int] = 96
     memoize_extraction: bool = True  # reuse window/divisor extraction
+    memoize_templates: bool = True  # reuse compiled CNF templates
+    memoize_support: bool = False  # reuse support results (opt-in)
     budget_conflicts: Optional[int] = 200000
     budget_seconds: Optional[float] = None
     max_cubes: int = 2000
@@ -292,12 +304,18 @@ class EcoEngine:
         config: Optional[EcoConfig] = None,
         passes: Union[None, str, PassSelection] = None,
         enforce_contracts: bool = False,
+        pipeline_factory: Optional[
+            Callable[[EcoConfig, Optional[PassSelection]], Pipeline]
+        ] = None,
     ) -> None:
         self.config = config or EcoConfig()
         if isinstance(passes, str):
             passes = parse_pass_selection(passes)
         self.selection = passes
         self.enforce_contracts = enforce_contracts
+        #: assembles the executable pipeline; the batch front-end swaps
+        #: in :func:`repro.batch.schedule.wave_pipeline` here
+        self.pipeline_factory = pipeline_factory or build_pipeline
 
     def run(self, instance: EcoInstance) -> EcoResult:
         """Compute, insert, and verify patches for every target.
@@ -308,7 +326,7 @@ class EcoEngine:
         """
         cfg = self.config
         t_start = time.perf_counter()
-        pipeline = build_pipeline(cfg, self.selection)
+        pipeline = self.pipeline_factory(cfg, self.selection)
         # deferred: repro.analyze imports repro.core
         from ..analyze.verifier import verify_pipeline
 

@@ -54,7 +54,7 @@ from ..sat.solver import (
     conflict_tally,
     set_solve_deadline,
 )
-from ..sat.template import CnfTemplate
+from ..sat.template import CnfTemplate, template_for
 from .miter import build_miter
 from .patch import EcoResult, Patch, apply_patch
 from .quantify import build_quantified_miter
@@ -591,6 +591,7 @@ class SatFlowStrategy(Strategy):
         assert ctx.divisors is not None
         copies_total = 0
         used_names: set = set()
+        pending: List[Tuple[int, Patch]] = []
         for idx, tname in enumerate(instance.targets):
             remaining = instance.targets[idx:]
             remaining_ids = [current.node_by_name(t) for t in remaining]
@@ -620,8 +621,12 @@ class SatFlowStrategy(Strategy):
             step_divisors = ctx.divisors
             if cfg.amortize_shared_support and used_names:
                 step_divisors = _amortized_divisors(ctx.divisors, used_names)
-            # compile the quantified miter once; both phases stamp/reuse it
-            template = CnfTemplate(qm.net)
+            # compile the quantified miter once; both phases stamp/reuse
+            # it — structurally repeated miters come from the template
+            # memo (or, inside batch workers, the shared-memory arena)
+            template = template_for(
+                qm.net, getattr(cfg, "memoize_templates", True)
+            )
             solver = Solver()
             ctx.target = TargetState(
                 name=tname,
@@ -636,8 +641,7 @@ class SatFlowStrategy(Strategy):
                 ),
             )
             try:
-                for p in self.target_passes:
-                    manager.run_pass(p, ctx)
+                self._run_target_passes(ctx, manager)
                 patch = ctx.target.patch
                 if patch is None:
                     raise EcoEngineError(
@@ -646,10 +650,21 @@ class SatFlowStrategy(Strategy):
             finally:
                 ctx.target = None
             apply_patch(current, patch)
-            ctx.patches.append(patch)
+            pending.append((idx, patch))
             used_names.update(patch.support)
+        # deferred composition: patches land in ctx.patches in target
+        # order through one deterministic merge, independent of how the
+        # per-target passes were executed (see repro.batch.schedule)
+        pending.sort(key=lambda entry: entry[0])
+        ctx.patches.extend(patch for _, patch in pending)
         ctx.stats.sat_miter_copies = copies_total
         ctx.method = "sat"
+
+    def _run_target_passes(self, ctx: EcoContext, manager: "PassManager") -> None:
+        """Execute the per-target chain; the batch scheduler's subclass
+        replaces this with the analyzer's wave partition order."""
+        for p in self.target_passes:
+            manager.run_pass(p, ctx)
 
 
 # ---------------------------------------------------------------------------

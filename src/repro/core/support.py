@@ -14,8 +14,9 @@ reference the paper's complexity claim is measured against) and the
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..sat.solver import SatBudgetExceeded, Solver
@@ -209,6 +210,33 @@ def last_gasp_improvement(
     return current
 
 
+# ---------------------------------------------------------------------------
+# support-results memo
+# ---------------------------------------------------------------------------
+#
+# The minimized support for one target is pure in (quantified-miter
+# structure, cost-ordered divisor list, method knobs): batch runs and
+# retries repeat structurally identical queries, each paying the full
+# minimization solve loop again.  Same key contract as the extraction
+# and template memos (``structural_hash`` + canonical layout), but this
+# memo is *opt-in* (``EcoConfig.memoize_support``): a hit skips the
+# initial UNSAT-establishing solve and the minimization, which leaves
+# the shared per-target solver with a different learned-clause state —
+# downstream solver counters (and potentially cube enumeration order)
+# diverge from a cold run.  The selector plumbing and the
+# ``feasible_ids`` oracle are still built on a hit; only the solves are
+# skipped.
+
+_SUPPORT_MEMO_CAPACITY = 64
+_SupportKey = Tuple[int, Tuple[int, ...], Tuple[int, ...], str, bool]
+_support_memo: "OrderedDict[_SupportKey, List[int]]" = OrderedDict()
+
+
+def clear_support_memo() -> None:
+    """Drop every memoized support result (tests, tooling)."""
+    _support_memo.clear()
+
+
 class SupportPass(Pass):
     """Expression (2) + support minimization for the current target.
 
@@ -269,6 +297,24 @@ class SupportPass(Pass):
                 return False
 
         sstats = SupportStats()
+        memo_key: Optional[_SupportKey] = None
+        if getattr(cfg, "memoize_support", False) and qm.net.has_canonical_layout():
+            memo_key = (
+                qm.net.structural_hash(),
+                tuple(ordered),
+                tuple(divisors.cost[n] for n in ordered),
+                cfg.support_method,
+                cfg.use_last_gasp,
+            )
+            hit = _support_memo.get(memo_key)
+            if hit is not None:
+                _support_memo.move_to_end(memo_key)  # LRU touch
+                obs.inc("engine.support_memo_hit")
+                tgt.support_ids = list(hit)
+                tgt.feasible_ids = feasible_ids
+                obs.annotate("support_size", len(hit))
+                return PassOutcome(detail=f"{len(hit)} divisors (memo)")
+            obs.inc("engine.support_memo_miss")
         with budget.metered() as cap:
             if solver.solve(base + all_lits, budget_conflicts=cap):
                 raise EcoEngineError(
@@ -296,6 +342,10 @@ class SupportPass(Pass):
                     f"unknown support method {cfg.support_method!r}"
                 )
 
+        if memo_key is not None:
+            _support_memo[memo_key] = list(chosen)
+            while len(_support_memo) > _SUPPORT_MEMO_CAPACITY:
+                _support_memo.popitem(last=False)
         tgt.support_ids = chosen
         tgt.feasible_ids = feasible_ids
         ctx.stats.bump("support_sat_calls", sstats.sat_calls)

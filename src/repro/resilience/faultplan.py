@@ -147,10 +147,24 @@ class FaultPlan:
 
     seed: int = 0
     crash: FrozenSet[str] = frozenset()
+    #: unit -> number of leading attempts that crash; unlike ``crash``
+    #: (every attempt) this lets a unit crash and then *succeed* on
+    #: retry, exercising the harness's retry-accounting path
+    crash_times: Mapping[str, int] = field(default_factory=dict)
+    #: wall clock a crashing attempt burns before dying (``os._exit``),
+    #: so tests can detect a crashed attempt's time leaking into the
+    #: bench row of a later successful attempt
+    crash_after_s: float = 0.0
     hang: FrozenSet[str] = frozenset()
     hang_seconds: float = 60.0
     corrupt: Mapping[str, str] = field(default_factory=dict)
     engine: Mapping[str, EngineFault] = field(default_factory=dict)
+
+    def crashes_attempt(self, unit: str, attempt: int) -> bool:
+        """Whether ``unit``'s ``attempt`` (0-based) dies hard."""
+        if unit in self.crash:
+            return True
+        return attempt < int(self.crash_times.get(unit, 0))
 
     def engine_fault(self, unit: str) -> Optional[EngineFault]:
         return self.engine.get(unit)
@@ -159,6 +173,7 @@ class FaultPlan:
         """Every unit the plan injects *any* fault into."""
         return frozenset(
             set(self.crash)
+            | set(self.crash_times)
             | set(self.hang)
             | set(self.corrupt)
             | set(self.engine)
@@ -222,6 +237,9 @@ class FaultPlan:
         out: Dict[str, str] = {}
         for unit in sorted(self.crash):
             out[unit] = "crash"
+        for unit, times in sorted(self.crash_times.items()):
+            if unit not in self.crash:
+                out[unit] = f"crash x{times}"
         for unit in sorted(self.hang):
             out[unit] = "hang"
         for unit, mode in sorted(self.corrupt.items()):

@@ -22,7 +22,8 @@ nodes, because a template cannot un-emit clauses):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..network.network import Network
 from ..obs import DEFAULT as _OBS
@@ -78,6 +79,31 @@ class CnfTemplate:
         self.clauses = rec.clauses
         self.pi_nodes = frozenset(n.nid for n in net.topo_order() if n.is_pi)
         _OBS.inc("sat.template_compiles")
+
+    @classmethod
+    def from_compiled(
+        cls,
+        varmap: Dict[int, int],
+        nvars: int,
+        clauses: Sequence[Sequence[int]],
+        pi_nodes: Iterable[int],
+    ) -> "CnfTemplate":
+        """Rehydrate a template from already-compiled parts.
+
+        Used by the batch arena (:mod:`repro.batch.arena`) to attach a
+        template whose clauses live in shared memory: ``clauses`` may be
+        any sequence of int sequences — :meth:`stamp` only iterates and
+        ``len()``s it, so an arena view is read in place, zero-copy.
+        Deliberately does *not* bump ``sat.template_compiles``: no
+        encoding happened here, and the batch acceptance audit counts
+        that counter to prove workers never re-encode.
+        """
+        tpl = object.__new__(cls)
+        tpl.varmap = dict(varmap)
+        tpl.nvars = int(nvars)
+        tpl.clauses = clauses  # type: ignore[assignment]
+        tpl.pi_nodes = frozenset(pi_nodes)
+        return tpl
 
     def stamp(
         self,
@@ -241,3 +267,82 @@ class CnfTemplate:
                 vmap[tv] = sv
             result[nid] = sv
         return result
+
+
+# ---------------------------------------------------------------------------
+# template memo + pluggable compiled-template source
+# ---------------------------------------------------------------------------
+#
+# The SAT flow compiles one template per quantified miter; the benchmark
+# suite and batch front-end run many structurally identical miters
+# (retries, repeated instances, per-method re-runs of one unit), each of
+# which used to pay the full ``encode_network`` walk again.  Same
+# soundness contract as the extraction memo in ``repro.core.divisors``:
+# keys are ``Network.structural_hash()`` and the memo is bypassed unless
+# the network has a canonical id layout (equal hash + canonical layout
+# make the raw node ids interchangeable, so the compiled ``varmap``
+# transfers verbatim).  Templates are immutable once compiled — hits are
+# shared, not copied.
+#
+# ``install_template_source`` plugs an external lookup (the batch
+# arena's shared-memory view) in *below* the process-local LRU: a source
+# hit is promoted into the memo so repeated stamps stay dictionary-fast.
+
+_TEMPLATE_MEMO_CAPACITY = 64
+
+#: key -> compiled template; bounded LRU, process-local.
+_template_memo: "OrderedDict[int, CnfTemplate]" = OrderedDict()
+
+#: external compiled-template lookup (``None`` outside batch workers).
+TemplateSource = Callable[[int], Optional[CnfTemplate]]
+_template_source: Optional[TemplateSource] = None
+
+
+def install_template_source(source: Optional[TemplateSource]) -> None:
+    """Install (or with ``None`` remove) the process-global fallback
+    consulted by :func:`template_for` on a memo miss, keyed by
+    ``Network.structural_hash()``.  Batch pool workers install the
+    shared-memory arena here from their initializer."""
+    global _template_source
+    _template_source = source
+
+
+def clear_template_memo() -> None:
+    """Drop every memoized template (tests, tooling)."""
+    _template_memo.clear()
+
+
+def _memo_store(key: int, tpl: CnfTemplate) -> None:
+    _template_memo[key] = tpl
+    while len(_template_memo) > _TEMPLATE_MEMO_CAPACITY:
+        _template_memo.popitem(last=False)
+
+
+def template_for(net: Network, memoize: bool = True) -> CnfTemplate:
+    """Compiled template for ``net``, via memo/arena when sound.
+
+    With ``memoize`` false, or when ``net`` lacks a canonical id layout
+    (making cached ``varmap`` node ids non-transferable), this is just
+    ``CnfTemplate(net)``.  Otherwise the process-local LRU is consulted
+    first (``engine.template_memo_hit``), then the installed template
+    source if any — the batch arena — and only a miss on both compiles
+    (``engine.template_memo_miss`` + ``sat.template_compiles``).
+    """
+    if not (memoize and net.has_canonical_layout()):
+        return CnfTemplate(net)
+    key = net.structural_hash()
+    hit = _template_memo.get(key)
+    if hit is not None:
+        _template_memo.move_to_end(key)  # LRU touch
+        _OBS.inc("engine.template_memo_hit")
+        return hit
+    if _template_source is not None:
+        tpl = _template_source(key)
+        if tpl is not None:
+            _OBS.inc("engine.template_memo_hit")
+            _memo_store(key, tpl)
+            return tpl
+    _OBS.inc("engine.template_memo_miss")
+    tpl = CnfTemplate(net)
+    _memo_store(key, tpl)
+    return tpl

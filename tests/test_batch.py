@@ -1,0 +1,327 @@
+"""Batch front-end: arena, template memo/source, runner (repro.batch).
+
+Covers the PR's perf core end to end: arena serialization round-trips
+templates bit-exactly through both backings, ``template_for`` layers
+(process memo → installed source → compile) count correctly, and
+``run_batch`` produces a schema-valid bench document whose unit rows
+are byte-identical between one in-process job and a real worker pool —
+with the "zero per-worker re-encodes" counter audit the acceptance
+criteria name (``sat.template_compiles`` stays flat for arena-resident
+structural hashes).
+"""
+
+import gc
+import json
+
+import pytest
+
+from repro import obs
+from repro.batch import TemplateArena, items_from_suite, run_batch
+from repro.batch.runner import (
+    BatchItem,
+    first_target_template,
+    precompile_templates,
+)
+from repro.benchgen.harness import config_for
+from repro.benchgen.suite import build_unit, unit_spec
+from repro.core import clear_extraction_memo
+from repro.core.support import clear_support_memo
+from repro.network import Network
+from repro.obs.export import validate_bench_document
+from repro.sat.solver import Solver
+from repro.sat.template import (
+    CnfTemplate,
+    clear_template_memo,
+    install_template_source,
+    template_for,
+)
+
+from helpers import random_network
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    clear_template_memo()
+    clear_extraction_memo()
+    clear_support_memo()
+    install_template_source(None)
+    yield
+    clear_template_memo()
+    clear_extraction_memo()
+    clear_support_memo()
+    install_template_source(None)
+
+
+def counting_registry():
+    registry = obs.get_registry()
+    registry.reset()
+    registry.enable()
+    return registry
+
+
+def sample_templates(n=2):
+    out = {}
+    for seed in range(n):
+        net = random_network(n_pi=4, n_gates=12, n_po=2, seed=seed).clone()
+        out[net.structural_hash()] = (net, CnfTemplate(net))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# arena
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backing", ["shm", "file"])
+def test_arena_roundtrip(backing):
+    nets = sample_templates()
+    arena = TemplateArena.build(
+        {k: tpl for k, (net, tpl) in nets.items()}, backing=backing
+    )
+    try:
+        assert len(arena) == len(nets)
+        assert arena.descriptor()[0] == backing
+        for key, (net, tpl) in nets.items():
+            got = arena.get(key)
+            assert got is not None
+            assert got.nvars == tpl.nvars
+            assert dict(got.varmap) == dict(tpl.varmap)
+            assert got.pi_nodes == tpl.pi_nodes
+            assert [list(c) for c in got.clauses] == [
+                list(c) for c in tpl.clauses
+            ]
+            del got
+    finally:
+        gc.collect()
+        arena.close()
+
+
+def test_arena_attach_stamps_identically():
+    nets = sample_templates(1)
+    key, (net, tpl) = next(iter(nets.items()))
+    arena = TemplateArena.build({key: tpl})
+    peer = TemplateArena.attach(arena.descriptor())
+    try:
+        got = peer.get(key)
+        s1, s2 = Solver(), Solver()
+        assert got.stamp(s1) == tpl.stamp(s2)
+        assert s1.nvars == s2.nvars
+        del got
+    finally:
+        gc.collect()
+        peer.close()
+        arena.close()
+
+
+def test_arena_miss_counts():
+    nets = sample_templates(1)
+    arena = TemplateArena.build(
+        {k: tpl for k, (net, tpl) in nets.items()}
+    )
+    registry = counting_registry()
+    try:
+        assert arena.get(12345) is None
+        assert registry.counters.get("batch.arena_miss") == 1
+        hit = arena.get(next(iter(nets)))
+        assert hit is not None
+        assert registry.counters.get("batch.arena_hit") == 1
+        del hit
+    finally:
+        registry.disable()
+        gc.collect()
+        arena.close()
+
+
+def test_arena_rejects_bad_descriptor():
+    with pytest.raises(ValueError, match="unknown arena backing"):
+        TemplateArena.attach(("tape", "nope", 3))
+
+
+# ---------------------------------------------------------------------------
+# template_for layering
+# ---------------------------------------------------------------------------
+
+
+def test_template_for_consults_installed_source():
+    net = random_network(n_pi=4, n_gates=10, n_po=2, seed=7).clone()
+    key = net.structural_hash()
+    canned = CnfTemplate(net)
+    calls = []
+
+    def source(k):
+        calls.append(k)
+        return canned if k == key else None
+
+    install_template_source(source)
+    registry = counting_registry()
+    try:
+        got = template_for(net)
+        assert got is canned
+        assert calls == [key]
+        assert registry.counters.get("engine.template_memo_hit") == 1
+        assert registry.counters.get("sat.template_compiles") is None
+        # source hit is memoized: second lookup never calls the source
+        assert template_for(net) is canned
+        assert calls == [key]
+    finally:
+        registry.disable()
+
+
+def test_template_for_compiles_on_source_miss():
+    net = random_network(n_pi=4, n_gates=10, n_po=2, seed=8).clone()
+    install_template_source(lambda k: None)
+    registry = counting_registry()
+    try:
+        got = template_for(net)
+        assert got.nvars > 0
+        assert registry.counters.get("engine.template_memo_miss") == 1
+        assert registry.counters.get("sat.template_compiles") == 1
+    finally:
+        registry.disable()
+
+
+# ---------------------------------------------------------------------------
+# precompile
+# ---------------------------------------------------------------------------
+
+
+def suite_item(name, method="satprune_cegarmin"):
+    spec = unit_spec(name)
+    return BatchItem(
+        name=name,
+        instance=build_unit(spec),
+        method=method,
+        config=config_for(spec, method),
+    )
+
+
+def test_first_target_template_matches_worker_key():
+    item = suite_item("unit1")
+    pre = first_target_template(item.instance, item.resolved_config())
+    assert pre is not None
+    key, tpl = pre
+    assert tpl.nvars > 0 and len(tpl.clauses) > 0
+    # the same instance precompiles to the same key (canonical clones)
+    again = first_target_template(item.instance, item.resolved_config())
+    assert again is not None and again[0] == key
+
+
+def test_first_target_template_skips_structural_only():
+    item = suite_item("unit6")  # force_structural in the suite recipe
+    assert item.resolved_config().structural_only
+    assert first_target_template(item.instance, item.resolved_config()) is None
+
+
+def test_precompile_dedups_repeated_structures():
+    item = suite_item("unit1")
+    clone = BatchItem(
+        name="unit1-again",
+        instance=item.instance,
+        method=item.method,
+        config=item.config,
+    )
+    registry = counting_registry()
+    try:
+        templates = precompile_templates([item, clone])
+        assert len(templates) == 1
+        assert registry.counters.get("batch.precompiles") == 1
+        assert registry.counters.get("batch.precompile_dedup") == 1
+    finally:
+        registry.disable()
+
+
+# ---------------------------------------------------------------------------
+# runner
+# ---------------------------------------------------------------------------
+
+
+def strip_timing(doc):
+    """Unit rows without wall-clock fields (the deterministic part)."""
+    return [
+        {k: v for k, v in entry.items() if k not in ("phases", "passes", "runtime_s")}
+        for entry in doc["units"]
+    ]
+
+
+def test_run_batch_single_job_document():
+    report = run_batch([suite_item("unit1"), suite_item("unit4")], jobs=1)
+    assert report.ok
+    validate_bench_document(report.document)
+    assert [r["unit"] for r in report.results] == ["unit1", "unit4"]
+    assert report.arena_entries == 2
+    assert report.document["latency"]["count"] == 2
+    assert report.document["context"]["jobs"] == 1
+    assert len(report.document["shards"]) == 1
+    for rec in report.results:
+        counters = rec["entry"]["counters"]
+        # zero per-worker re-encodes: the single target's template came
+        # from the arena, so no compile ever ran in the execution path
+        assert counters.get("batch.arena_hit") == 1
+        assert counters.get("sat.template_compiles") is None
+        assert counters.get("batch.waves", 0) > 0
+
+
+def test_run_batch_pool_matches_single_job():
+    items = [suite_item("unit1"), suite_item("unit4")]
+    rep1 = run_batch(items, jobs=1)
+    rep2 = run_batch(items, jobs=2)
+    assert rep1.ok and rep2.ok
+    validate_bench_document(rep2.document)
+    assert json.dumps(strip_timing(rep1.document), sort_keys=True) == json.dumps(
+        strip_timing(rep2.document), sort_keys=True
+    )
+    # the pool really ran out-of-process
+    parent_pids = {r["pid"] for r in rep1.results}
+    worker_pids = {r["pid"] for r in rep2.results}
+    assert parent_pids.isdisjoint(worker_pids)
+    for rec in rep2.results:
+        assert rec["entry"]["counters"].get("sat.template_compiles") is None
+
+
+def test_run_batch_without_arena():
+    report = run_batch([suite_item("unit1")], jobs=1, use_arena=False)
+    assert report.ok
+    assert report.arena_entries == 0
+    counters = report.results[0]["entry"]["counters"]
+    assert counters.get("batch.arena_hit") is None
+    assert counters.get("sat.template_compiles") == 1
+
+
+def test_run_batch_records_failures():
+    item = suite_item("unit1")
+    broken = BatchItem(
+        name="broken",
+        instance=item.instance.__class__(
+            name="broken",
+            impl=item.instance.impl,
+            spec=item.instance.spec,
+            targets=["no_such_node"],
+            weights=item.instance.weights,
+            default_weight=item.instance.default_weight,
+        ),
+        method=item.method,
+        config=item.config,
+    )
+    report = run_batch([item, broken], jobs=1)
+    assert not report.ok
+    assert [r["ok"] for r in report.results] == [True, False]
+    assert len(report.failures()) == 1
+    assert report.failures()[0]["error"]
+    # failed rows still validate (placeholder entry)
+    validate_bench_document(report.document)
+
+
+def test_run_batch_rejects_empty_and_bad_jobs():
+    with pytest.raises(ValueError):
+        run_batch([], jobs=1)
+    with pytest.raises(ValueError):
+        run_batch([suite_item("unit1")], jobs=0)
+
+
+def test_items_from_suite_validates():
+    items = items_from_suite(["unit1", "unit4"])
+    assert [it.name for it in items] == ["unit1", "unit4"]
+    with pytest.raises(KeyError):
+        items_from_suite(["unitx"])
+    with pytest.raises(ValueError):
+        items_from_suite(["unit1"], method="nope")

@@ -1,0 +1,183 @@
+"""Partition-driven per-target scheduling (repro.batch.schedule).
+
+Satellite contract: running the SAT flow's per-target chain in the
+analyzer's wave order must be *byte-identical* to the sequential order —
+same patches (down to the emitted Verilog), same solver counters —
+across all three Table 1 presets.  Today's ``target:sat_flow`` waves
+are singletons (each pass reads what the previous one writes), so the
+wave schedule is a re-derivation of the sequential order; these tests
+pin that equivalence so a future partition change that accidentally
+reorders effectful passes is caught immediately.
+"""
+
+import pytest
+
+from repro import EcoEngine, EcoInstance, obs
+from repro.batch.schedule import WaveSatFlowStrategy, wave_pipeline
+from repro.benchgen import corrupt, generate_weights, make_specification
+from repro.core import cec, clear_extraction_memo
+from repro.core.engine import (
+    baseline_config,
+    best_config,
+    build_pipeline,
+    contest_config,
+)
+from repro.core.pipeline import SatFlowStrategy
+from repro.io.verilog import write_verilog
+from repro.sat.template import clear_template_memo
+
+from helpers import random_network
+
+PRESETS = {
+    "baseline": baseline_config,
+    "minassump": contest_config,
+    "satprune_cegarmin": best_config,
+}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memos():
+    clear_extraction_memo()
+    clear_template_memo()
+    yield
+    clear_extraction_memo()
+    clear_template_memo()
+
+
+def make_instance(seed=0, n_targets=2, n_gates=40):
+    golden = random_network(n_pi=5, n_gates=n_gates, n_po=3, seed=seed)
+    impl, targets, _ = corrupt(golden, n_targets, seed=seed + 5)
+    spec = make_specification(golden)
+    return EcoInstance(
+        name=f"sched{seed}",
+        impl=impl,
+        spec=spec,
+        targets=targets,
+        weights=generate_weights(impl, "T1", seed=seed),
+    )
+
+
+def first_observable(seeds=range(12), **kwargs):
+    for seed in seeds:
+        inst = make_instance(seed=seed, **kwargs)
+        if cec(inst.impl, inst.spec).equivalent is False:
+            return inst
+    pytest.skip("no observable instance found")
+
+
+def run_with(cfg, inst, factory=None):
+    """Engine run under a fresh registry; returns (result, counters)."""
+    clear_extraction_memo()
+    clear_template_memo()
+    registry = obs.get_registry()
+    registry.reset()
+    registry.enable()
+    try:
+        engine = (
+            EcoEngine(cfg)
+            if factory is None
+            else EcoEngine(cfg, pipeline_factory=factory)
+        )
+        res = engine.run(inst)
+    finally:
+        registry.disable()
+    return res, dict(registry.counters)
+
+
+def patch_bytes(res):
+    """Canonical byte rendering of every patch in result order."""
+    return [
+        (
+            p.target,
+            tuple(p.support),
+            p.cost,
+            p.gate_count,
+            p.method,
+            write_verilog(p.network),
+        )
+        for p in res.patches
+    ]
+
+
+SOLVER_KEYS = (
+    "sat.solves",
+    "sat.decisions",
+    "sat.propagations",
+    "sat.conflicts",
+    "sat.restarts",
+    "sat.learned_literals",
+    "sat.template_stamps",
+    "sat.template_clauses",
+)
+
+
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+def test_wave_schedule_is_byte_identical_to_sequential(preset):
+    inst = first_observable(n_targets=2)
+    cfg = PRESETS[preset]()
+    seq_res, seq_counters = run_with(cfg, inst)
+    wav_res, wav_counters = run_with(cfg, inst, factory=wave_pipeline)
+
+    assert wav_res.cost == seq_res.cost
+    assert wav_res.gate_count == seq_res.gate_count
+    assert wav_res.verified == seq_res.verified
+    assert wav_res.method == seq_res.method
+    assert patch_bytes(wav_res) == patch_bytes(seq_res)
+    for key in SOLVER_KEYS:
+        assert wav_counters.get(key, 0) == seq_counters.get(key, 0), key
+
+
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+def test_wave_schedule_single_target(preset):
+    inst = first_observable(n_targets=1)
+    cfg = PRESETS[preset]()
+    seq_res, seq_counters = run_with(cfg, inst)
+    wav_res, wav_counters = run_with(cfg, inst, factory=wave_pipeline)
+    assert patch_bytes(wav_res) == patch_bytes(seq_res)
+    for key in SOLVER_KEYS:
+        assert wav_counters.get(key, 0) == seq_counters.get(key, 0), key
+
+
+def test_wave_pipeline_swaps_in_wave_strategy():
+    pipe = wave_pipeline(best_config())
+    sat_flows = [
+        s for s in pipe.strategies if isinstance(s, SatFlowStrategy)
+    ]
+    assert sat_flows
+    assert all(isinstance(s, WaveSatFlowStrategy) for s in sat_flows)
+    # today's partition: sequentially dependent passes → singleton waves
+    strat = sat_flows[0]
+    assert [[p.name for p in wave] for wave in strat.waves] == [
+        ["support"],
+        ["satprune"],
+        ["patch_function"],
+    ]
+
+
+def test_wave_pipeline_counts_waves():
+    inst = first_observable(n_targets=1)
+    _, counters = run_with(best_config(), inst, factory=wave_pipeline)
+    assert counters.get("batch.waves", 0) == 3
+
+
+def test_wave_pipeline_structural_only_unchanged():
+    import dataclasses
+
+    cfg = dataclasses.replace(
+        best_config(), structural_only=True, feasibility_method="qbf"
+    )
+    pipe = wave_pipeline(cfg)
+    assert not any(
+        isinstance(s, WaveSatFlowStrategy) for s in pipe.strategies
+    )
+
+
+def test_wave_strategy_rejects_unknown_and_missing_passes():
+    pipe = build_pipeline(best_config())
+    strat = next(
+        s for s in pipe.strategies if isinstance(s, SatFlowStrategy)
+    )
+    with pytest.raises(ValueError, match="unknown per-target pass"):
+        WaveSatFlowStrategy(strat.target_passes, [["support"], ["nope"]])
+    with pytest.raises(ValueError, match="omits per-target passes"):
+        WaveSatFlowStrategy(strat.target_passes, [["support"]])

@@ -111,6 +111,30 @@ class TestOtherCommands:
         rc = main(["suite", "--units", "unit1", "--methods", "nope"])
         assert rc == 2
 
+    def test_batch_writes_valid_export(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_bench_document
+
+        out = tmp_path / "batch.json"
+        rc = main(["batch", "--units", "unit1,unit4", "--jobs", "1",
+                   "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "unit1" in text and "verified" in text and "p50" in text
+        doc = json.loads(out.read_text())
+        validate_bench_document(doc)
+        assert doc["context"]["batch"] is True
+        assert [e["unit"] for e in doc["units"]] == ["unit1", "unit4"]
+
+    def test_batch_rejects_unknown_method(self, capsys):
+        rc = main(["batch", "--units", "unit1", "--method", "nope"])
+        assert rc == 2
+
+    def test_batch_rejects_unknown_unit(self, capsys):
+        rc = main(["batch", "--units", "unitx"])
+        assert rc == 2
+
 
 class TestRunCommand:
     def test_run_unit_trace(self, capsys):

@@ -86,6 +86,56 @@ class TestCrashRecovery:
             assert by_name[name].results["minassump"].verified, name
         assert_no_zombies()
 
+    def test_crash_then_retry_success_records_retry_clock_only(self, registry):
+        # regression: the bench row of a unit that crashes and then
+        # succeeds on retry must record the retry attempt's runtime,
+        # not the cumulative wall clock across attempts.  The crashing
+        # attempt burns 0.75s before dying; unit1's engine run is far
+        # below that, so any cross-attempt accumulation is detectable.
+        plan = FaultPlan(
+            seed=0, crash_times={"unit1": 1}, crash_after_s=0.75
+        )
+        t0 = time.monotonic()
+        rows = run_suite(
+            names=["unit1"],
+            methods=("minassump",),
+            jobs=1,
+            fault_plan=plan,
+            max_unit_retries=2,
+        )
+        wall = time.monotonic() - t0
+        res = rows[0].results["minassump"]
+        assert res.method not in ("crashed", "timeout", "error")
+        assert res.verified
+        # the suite really did pay for the crashed attempt...
+        assert wall >= 0.75
+        # ...but the row charges only the successful retry
+        assert res.runtime_seconds < 0.75
+        assert registry.counters.get("harness.unit_retry") == 1
+        assert registry.counters.get("harness.unit_crashed", 0) == 0
+        assert_no_zombies()
+
+    def test_crash_giveup_records_final_attempt_not_cumulative(self, registry):
+        # three crashing attempts at ~0.6s each; the degraded row must
+        # carry the final attempt's measured elapsed, not the ~1.8s sum
+        plan = FaultPlan(
+            seed=0, crash_times={"unit1": 3}, crash_after_s=0.6
+        )
+        rows = run_suite(
+            names=["unit1"],
+            methods=("minassump",),
+            jobs=1,
+            fault_plan=plan,
+            max_unit_retries=2,
+            retry_backoff_s=0.0,
+        )
+        res = rows[0].results["minassump"]
+        assert res.method == "crashed"
+        assert 0.6 <= res.runtime_seconds < 1.2
+        assert registry.counters.get("harness.unit_crashed") == 1
+        assert registry.counters.get("harness.unit_retry") == 2
+        assert_no_zombies()
+
     def test_fault_plan_forces_parallel_path(self):
         # a crash fault in the serial path would os._exit the test
         # process itself; fault_plan must force the pool even with
