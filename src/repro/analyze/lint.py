@@ -1,4 +1,4 @@
-"""Project-invariant AST linter (rules RA001–RA006).
+"""Project-invariant AST linter (rules RA001–RA007).
 
 Enforces the cross-layer conventions generic tooling cannot see::
 
@@ -21,7 +21,12 @@ Enforces the cross-layer conventions generic tooling cannot see::
   ``flow``); seeded ``random.Random(seed)`` instances are fine;
 * **RA006** (error) — a ``stats[...] = ...`` subscript write in
   ``repro/core`` (per-run statistics go through the typed
-  :class:`~repro.core.pipeline.EngineStats`).
+  :class:`~repro.core.pipeline.EngineStats`);
+* **RA007** (error) — a direct ``Solver()`` construction outside the
+  ``BACKEND_ALLOWLIST`` (every SAT query must acquire its solver
+  through the :mod:`repro.sat.backend` registry —
+  ``solver_for(QueryTraits(...))`` — so backend routing, per-backend
+  metering, and external-engine adapters stay in force).
 
 Shares the :class:`~repro.check.findings.Finding` model with the rest
 of the analyzers; ``repro-eco analyze`` runs this over ``src/repro``
@@ -50,6 +55,14 @@ CLONE_ALLOWLIST: Tuple[str, ...] = (
     "repro/seq/eco.py",          # combinational view extraction
     "repro/seq/verify.py",       # combinational view extraction
     "repro/seq/network.py",      # mapping-core extraction
+)
+
+#: Files allowed to construct ``Solver()`` directly (repo-relative
+#: suffixes).  Everything else goes through ``repro.sat.backend``'s
+#: ``solver_for(QueryTraits(...))`` seam (rule RA007).
+BACKEND_ALLOWLIST: Tuple[str, ...] = (
+    "repro/sat/solver.py",   # the solver defines itself
+    "repro/sat/backend.py",  # the native backend wraps the solver
 )
 
 #: Module path fragments whose behavior must be deterministic.
@@ -161,6 +174,9 @@ class _FileLinter(ast.NodeVisitor):
             frag in rel for frag in DETERMINISTIC_MODULES
         )
         self._clone_ok = any(rel.endswith(sfx) for sfx in CLONE_ALLOWLIST)
+        self._backend_ok = any(
+            rel.endswith(sfx) for sfx in BACKEND_ALLOWLIST
+        )
         self._obs_exempt = _OBS_EXEMPT in rel
 
     def _add(self, rule: str, severity: Severity, message: str,
@@ -196,6 +212,7 @@ class _FileLinter(ast.NodeVisitor):
                         node,
                     )
         self._check_clone(node)
+        self._check_backend(node)
         self._check_determinism_call(node)
         self.generic_visit(node)
 
@@ -262,6 +279,25 @@ class _FileLinter(ast.NodeVisitor):
                 " network copies are a tracked perf cost; add the file"
                 " to CLONE_ALLOWLIST deliberately if this one is"
                 " justified)",
+                node,
+            )
+
+    # -- RA007: backend seam --------------------------------------------
+
+    def _check_backend(self, node: ast.Call) -> None:
+        func = node.func
+        is_ctor = (
+            isinstance(func, ast.Name) and func.id == "Solver"
+        ) or (isinstance(func, ast.Attribute) and func.attr == "Solver")
+        if is_ctor and not self._backend_ok:
+            self._add(
+                "RA007",
+                Severity.ERROR,
+                "direct Solver() construction outside the sanctioned"
+                " BACKEND_ALLOWLIST; acquire solvers through the"
+                " repro.sat.backend registry"
+                " (solver_for(QueryTraits(...))) so backend routing and"
+                " per-backend metering apply",
                 node,
             )
 

@@ -227,11 +227,16 @@ _EMPTY_SOLVER = {
 }
 
 
-def _error_entry(name: str, method: str, elapsed: float) -> Dict[str, Any]:
+def _error_entry(
+    name: str, method: str, elapsed: float, backend: str = "native"
+) -> Dict[str, Any]:
     """Bench-schema unit row for an item whose engine raised."""
+    from ..benchgen.harness import memo_rates
+
     return {
         "unit": name,
         "method": method,
+        "backend": backend,
         "cost": 0,
         "gates": 0,
         "runtime_s": round(elapsed, 6),
@@ -240,6 +245,7 @@ def _error_entry(name: str, method: str, elapsed: float) -> Dict[str, Any]:
         "passes": {},
         "counters": {"batch.failures": 1},
         "solver": dict(_EMPTY_SOLVER),
+        "memo": memo_rates({}),
     }
 
 
@@ -260,10 +266,12 @@ def _run_item(
         engine = EcoEngine(cfg, pipeline_factory=wave_pipeline)
         result = engine.run(instance)
         elapsed = time.monotonic() - t0
-        entry = unit_telemetry(name, method, result, registry)
+        entry = unit_telemetry(
+            name, method, result, registry, backend=cfg.backend
+        )
     except Exception as exc:  # record, don't poison the pool
         elapsed = time.monotonic() - t0
-        entry = _error_entry(name, method, elapsed)
+        entry = _error_entry(name, method, elapsed, backend=cfg.backend)
         ok, error = False, f"{type(exc).__name__}: {exc}"
     finally:
         registry.enabled = was_enabled

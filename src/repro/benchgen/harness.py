@@ -144,9 +144,34 @@ def run_unit(
         finally:
             registry.enabled = was_enabled
         row.results[method] = result
-        row.telemetry[method] = unit_telemetry(spec.name, method, result, registry)
+        row.telemetry[method] = unit_telemetry(
+            spec.name, method, result, registry, backend=cfg.backend
+        )
         registry.reset()
     return row
+
+
+#: bench ``memo`` column -> the counter stem its hit-rate is derived from
+_MEMO_RATE_STEMS = {
+    "window": "engine.window_memo",
+    "divisors": "engine.divisors_memo",
+    "template": "engine.template_memo",
+    "support": "engine.support_memo",
+}
+
+
+def memo_rates(counters: Dict[str, int]) -> Dict[str, float]:
+    """Per-memo hit rates (``hit / (hit + miss)``) from run counters.
+
+    A memo with no lookups at all reports 0.0 — the column is always
+    present so baseline diffs stay positional.
+    """
+    rates = {}
+    for column, stem in _MEMO_RATE_STEMS.items():
+        hits = counters.get(f"{stem}_hit", 0)
+        lookups = hits + counters.get(f"{stem}_miss", 0)
+        rates[column] = round(hits / lookups, 6) if lookups else 0.0
+    return rates
 
 
 def unit_telemetry(
@@ -154,6 +179,7 @@ def unit_telemetry(
     method: str,
     result: EcoResult,
     registry: "obs.Registry",
+    backend: str = "native",
 ) -> Dict[str, Any]:
     """One bench-baseline unit entry from a run's registry contents."""
     from ..core.pipeline import STAGE_NAMES
@@ -164,6 +190,7 @@ def unit_telemetry(
     return {
         "unit": unit,
         "method": method,
+        "backend": backend,
         "cost": result.cost,
         "gates": result.gate_count,
         "runtime_s": round(result.runtime_seconds, 6),
@@ -178,6 +205,7 @@ def unit_telemetry(
         "solver": {
             fld: counters.get("sat." + fld, 0) for fld in SOLVER_COUNTER_FIELDS
         },
+        "memo": memo_rates(counters),
     }
 
 
@@ -763,6 +791,7 @@ def _degraded_row(
             row.telemetry[method] = {
                 "unit": spec.name,
                 "method": method,
+                "backend": config_for(spec, method).backend,
                 "cost": 0,
                 "gates": 0,
                 "runtime_s": float(runtime_s),
@@ -771,6 +800,7 @@ def _degraded_row(
                 "passes": {},
                 "counters": {f"harness.unit_{kind}": 1},
                 "solver": {fld: 0 for fld in SOLVER_COUNTER_FIELDS},
+                "memo": memo_rates({}),
             }
     return row
 

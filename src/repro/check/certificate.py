@@ -36,7 +36,8 @@ from ..core.patch import EcoResult, apply_patches
 from ..io.weights import EcoInstance
 from ..network.network import NetworkError
 from ..network.window import compute_window
-from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.backend import QueryTraits, solver_for
+from ..sat.solver import SatBudgetExceeded
 from ..sat.tseitin import encode_network
 from ..sat.types import mklit
 from .findings import CheckReport, Finding, Severity
@@ -217,7 +218,7 @@ def check_certificate(
         return report
 
     miter = build_miter(patched, instance.spec, targets=[])
-    solver = Solver(proof_logging=drup)
+    solver = solver_for(QueryTraits(incremental=False, needs_proof=drup))
     varmap = encode_network(solver, miter.net)
     out_var = varmap[dict(miter.net.pos)[MITER_PO]]
     solver.add_clause([mklit(out_var)])

@@ -31,7 +31,8 @@ from typing import Dict, List, Optional, Sequence
 
 from ..network.network import Network
 from ..sat.simplify import ClauseCollector
-from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.backend import QueryTraits, solver_for
+from ..sat.solver import SatBudgetExceeded
 from ..sat.template import CnfTemplate
 from ..sat.tseitin import encode_network
 from ..sat.types import mklit
@@ -133,7 +134,7 @@ def cross_check_tseitin(
     out: List[Finding] = []
     rng = random.Random(seed)
     pis = net.pis
-    solver = Solver()
+    solver = solver_for(QueryTraits(incremental=True))
     varmap = CnfTemplate(net).stamp(solver)
 
     done = 0

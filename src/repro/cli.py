@@ -28,6 +28,7 @@ Also runnable as ``python -m repro``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -35,6 +36,7 @@ from . import obs
 from .benchgen import METHODS, SUITE, build_unit, format_table, run_unit, unit_spec
 from .core import apply_patches, cec, localize_targets
 from .core.engine import (
+    EcoConfig,
     EcoEngine,
     baseline_config,
     best_config,
@@ -52,6 +54,38 @@ _CONFIGS = {
 def _add_netlist_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--impl", required=True, help="implementation netlist (.v)")
     p.add_argument("--spec", required=True, help="specification netlist (.v)")
+
+
+def _add_backend_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend",
+        default="native",
+        help=(
+            "registered SAT backend to route solver queries to "
+            "(default: native, the in-process CDCL solver; see "
+            "repro.sat.backend)"
+        ),
+    )
+    p.add_argument(
+        "--backend-policy",
+        choices=("fixed", "traits"),
+        default="fixed",
+        help=(
+            "per-query backend selection policy: 'fixed' always asks "
+            "the --backend engine, 'traits' routes each query to the "
+            "first registered backend supporting its declared traits "
+            "(default: fixed)"
+        ),
+    )
+
+
+def _backend_config(cfg: EcoConfig, args: argparse.Namespace) -> EcoConfig:
+    """Fold the --backend/--backend-policy flags into an engine config."""
+    backend = getattr(args, "backend", "native")
+    policy = getattr(args, "backend_policy", "fixed")
+    if backend == cfg.backend and policy == cfg.backend_policy:
+        return cfg
+    return dataclasses.replace(cfg, backend=backend, backend_policy=policy)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -139,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-verify", action="store_true", help="skip the final CEC"
     )
+    _add_backend_args(p)
 
     p = sub.add_parser("localize", help="detect candidate target nodes")
     _add_netlist_args(p)
@@ -275,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", action="store_true", help="print the bench document"
     )
+    _add_backend_args(p)
 
     p = sub.add_parser(
         "chaos",
@@ -377,6 +413,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     cfg = _CONFIGS[args.method]()
     if args.no_verify:
         cfg = dataclasses.replace(cfg, verify=False)
+    cfg = _backend_config(cfg, args)
 
     registry = obs.get_registry()
     registry.reset()
@@ -594,6 +631,15 @@ def cmd_batch(args: argparse.Namespace) -> int:
         else None
     )
     items = items_from_suite(names, method=args.method)
+    # fold --backend/--backend-policy into every item's pickled config:
+    # the worker-side engine installs the selector from it, so the
+    # choice survives the trip into the process pool
+    items = [
+        dataclasses.replace(
+            it, config=_backend_config(it.resolved_config(), args)
+        )
+        for it in items
+    ]
     report = run_batch(
         items,
         jobs=args.jobs,

@@ -19,7 +19,8 @@ from ..flow.maxflow import min_node_cut
 from ..network.network import Network
 from ..network.node import GateType
 from ..network.simulate import Simulator
-from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.backend import QueryTraits, solver_for
+from ..sat.solver import SatBudgetExceeded
 from ..sat.template import CnfTemplate
 from ..sat.types import mklit
 from .patch import Patch
@@ -109,7 +110,7 @@ def cegar_min(
 
     # --- SAT confirmation ----------------------------------------------
     with obs.span("cegar_min.confirm"):
-        solver = Solver()
+        solver = solver_for(QueryTraits(incremental=True))
         impl_vars = CnfTemplate(impl).stamp(solver)
         patch_pi_vars = {
             pi: impl_vars[impl.node_by_name(patch.node(pi).name)]

@@ -114,6 +114,26 @@ def clear_extraction_memo() -> None:
     _divisor_memo.clear()
 
 
+def set_extraction_memo_capacity(capacity: int) -> int:
+    """Resize both extraction memos (``EcoConfig.memo_capacity``).
+
+    Returns the previous capacity; shrinking evicts LRU entries
+    immediately.  Capacities below 1 are clamped to 1.
+    """
+    global _MEMO_CAPACITY
+    previous = _MEMO_CAPACITY
+    _MEMO_CAPACITY = max(1, capacity)
+    for memo in (_window_memo, _divisor_memo):
+        while len(memo) > _MEMO_CAPACITY:
+            memo.popitem(last=False)
+    return previous
+
+
+def extraction_memo_capacity() -> int:
+    """The extraction memos' current per-memo entry bound."""
+    return _MEMO_CAPACITY
+
+
 def _memo_lookup(memo: "OrderedDict", key: object) -> Optional[object]:
     hit = memo.get(key)
     if hit is not None:

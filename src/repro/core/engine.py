@@ -24,8 +24,15 @@ from typing import Callable, Optional, Tuple, Union
 from .. import obs
 from ..io.weights import EcoInstance
 from ..resilience import EngineFault, RetryPolicy
+from ..sat.backend import (
+    BackendError,
+    BackendSelector,
+    get_backend,
+    install_selector,
+)
+from ..sat.template import set_template_memo_capacity
 from .cegarmin import CegarMinPass
-from .divisors import DivisorsPass, WindowPass
+from .divisors import DivisorsPass, WindowPass, set_extraction_memo_capacity
 from .feasibility import FeasibilityPass
 from .patch import EcoResult
 from .patchfunc import PatchFunctionPass
@@ -43,7 +50,7 @@ from .pipeline import (
 from .resub import ResubPass
 from .satprune import SatPrunePass
 from .structural import CertificateStrategy, StructuralFallbackStrategy
-from .support import SupportPass
+from .support import SupportPass, set_support_memo_capacity
 from .verify import CertificateCheckPass, VerifyPass
 
 __all__ = [
@@ -106,6 +113,25 @@ class EcoConfig:
             divisor-set membership, cost/gate accounting) before
             returning it.
         seed: randomization seed (simulation).
+        backend: registered SAT backend name every query is routed to
+            (see :mod:`repro.sat.backend`); ``"native"`` — the
+            in-process CDCL solver — is the default and the only
+            backend that serves every query shape.  The engine
+            installs the corresponding selector for the duration of
+            the run and restores the previous one afterwards; being a
+            plain string field, the choice survives pickling into
+            batch pool workers.
+        backend_policy: per-query selection policy: ``"fixed"``
+            (default — every query goes to ``backend``, falling back
+            to ``native`` only when the traits are unsupported) or
+            ``"traits"`` (route each query to the first registered
+            backend supporting its declared traits, preferring
+            ``backend``).
+        memo_capacity: entry bound shared by the bounded LRU memos
+            (window/divisor extraction, compiled templates, opt-in
+            support results); 64 matches the historical hardcoded
+            capacity.  Applied process-globally for the duration of
+            the run.
         retry_policy: optional
             :class:`~repro.resilience.retry.RetryPolicy` — bounded
             retries with budget escalation and exponential backoff when
@@ -141,6 +167,9 @@ class EcoConfig:
     seed: int = 2018
     satprune_max_checks: int = 4000
     satprune_grow: bool = True
+    backend: str = "native"  # SAT backend queries are routed to
+    backend_policy: str = "fixed"  # "fixed" | "traits"
+    memo_capacity: int = 64  # LRU bound for extraction/template/support memos
     retry_policy: Optional[RetryPolicy] = None
     faults: Optional[EngineFault] = None
 
@@ -357,7 +386,28 @@ class EcoEngine:
                 else None
             ),
         )
-        obs.inc("engine.runs")
-        with obs.span("engine.run", unit=instance.name):
-            manager = PassManager(enforce_contracts=self.enforce_contracts)
-            return manager.execute(ctx, pipeline)
+        # route every SAT query of this run through the configured
+        # backend; the selector and the memo bounds are process-global
+        # ambient state (like set_solve_deadline), so restore them even
+        # when a strategy errors out of the pipeline
+        try:
+            get_backend(cfg.backend)
+            selector = BackendSelector(
+                backend=cfg.backend, policy=cfg.backend_policy
+            )
+        except BackendError as exc:
+            raise EcoEngineError(str(exc)) from None
+        prev_selector = install_selector(selector)
+        prev_extraction = set_extraction_memo_capacity(cfg.memo_capacity)
+        prev_template = set_template_memo_capacity(cfg.memo_capacity)
+        prev_support = set_support_memo_capacity(cfg.memo_capacity)
+        try:
+            obs.inc("engine.runs")
+            with obs.span("engine.run", unit=instance.name):
+                manager = PassManager(enforce_contracts=self.enforce_contracts)
+                return manager.execute(ctx, pipeline)
+        finally:
+            install_selector(prev_selector)
+            set_extraction_memo_capacity(prev_extraction)
+            set_template_memo_capacity(prev_template)
+            set_support_memo_capacity(prev_support)

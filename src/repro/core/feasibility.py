@@ -17,7 +17,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from .. import obs
-from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.backend import QueryTraits, solver_for
+from ..sat.solver import SatBudgetExceeded
 from ..sat.tseitin import encode_network
 from ..sat.types import mklit
 from ..twoqbf.cegar import QbfBudgetExceeded, solve_exists_forall
@@ -90,7 +91,7 @@ def _check_by_expansion(
     miter: EcoMiter, budget_conflicts: Optional[int]
 ) -> FeasibilityResult:
     qm = build_quantified_miter(miter, current_target_pi=None)
-    solver = Solver()
+    solver = solver_for(QueryTraits(incremental=False))
     varmap = encode_network(solver, qm.net)
     out_var = varmap[dict(qm.net.pos)[QMITER_PO]]
     try:

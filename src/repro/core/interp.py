@@ -22,7 +22,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..network.network import Network
 from ..sat.interpolate import interpolant
-from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.backend import QueryTraits, solver_for
+from ..sat.solver import SatBudgetExceeded
 from ..sat.tseitin import encode_network
 from ..sat.types import mklit
 from .quantify import QMITER_PO, QuantifiedMiter
@@ -63,7 +64,7 @@ def interpolation_patch(
     """
     if qm.target_pi is None:
         raise ValueError("quantified miter has no current target")
-    solver = Solver(proof_logging=True)
+    solver = solver_for(QueryTraits(incremental=False, needs_proof=True))
     po_node = dict(qm.net.pos)[QMITER_PO]
 
     def encode_copy(force: Dict[int, int]) -> Tuple[Dict[int, int], List[int]]:

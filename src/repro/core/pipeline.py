@@ -47,6 +47,7 @@ from typing import (
 )
 
 from .. import obs
+from ..sat.backend import QueryTraits, solver_for
 from ..sat.solver import (
     SatBudgetExceeded,
     SatDeadlineExceeded,
@@ -627,7 +628,9 @@ class SatFlowStrategy(Strategy):
             template = template_for(
                 qm.net, getattr(cfg, "memoize_templates", True)
             )
-            solver = Solver()
+            solver = solver_for(
+                QueryTraits(incremental=True, needs_groups=True)
+            )
             ctx.target = TargetState(
                 name=tname,
                 index=idx,

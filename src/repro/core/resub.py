@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..network.network import Network
-from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.backend import QueryTraits, solver_for
+from ..sat.solver import SatBudgetExceeded
 from ..sat.tseitin import add_equality, encode_network
 from ..sat.types import mklit
 from ..sop.sop import Sop
@@ -68,7 +69,7 @@ def resubstitute(
     ordered = sorted(divisor_ids, key=lambda n: (divisor_order_cost.get(n, 1), n))
 
     # --- support selection: two copies, selector-guarded equalities ----
-    sel_solver = Solver()
+    sel_solver = solver_for(QueryTraits(incremental=True))
     impl_vars_1 = encode_network(sel_solver, impl)
     impl_vars_2 = encode_network(sel_solver, impl)
     patch_vars_1 = encode_network(
@@ -114,7 +115,7 @@ def resubstitute(
     support.sort(key=lambda n: (divisor_order_cost.get(n, 1), n))
 
     # --- function construction: cube enumeration on one copy -----------
-    fun_solver = Solver()
+    fun_solver = solver_for(QueryTraits(incremental=True))
     impl_vars = encode_network(fun_solver, impl)
     patch_vars = encode_network(
         fun_solver,

@@ -237,6 +237,25 @@ def clear_support_memo() -> None:
     _support_memo.clear()
 
 
+def set_support_memo_capacity(capacity: int) -> int:
+    """Resize the bounded support memo (``EcoConfig.memo_capacity``).
+
+    Returns the previous capacity; shrinking evicts LRU entries
+    immediately.  Capacities below 1 are clamped to 1.
+    """
+    global _SUPPORT_MEMO_CAPACITY
+    previous = _SUPPORT_MEMO_CAPACITY
+    _SUPPORT_MEMO_CAPACITY = max(1, capacity)
+    while len(_support_memo) > _SUPPORT_MEMO_CAPACITY:
+        _support_memo.popitem(last=False)
+    return previous
+
+
+def support_memo_capacity() -> int:
+    """The support memo's current entry bound."""
+    return _SUPPORT_MEMO_CAPACITY
+
+
 class SupportPass(Pass):
     """Expression (2) + support minimization for the current target.
 

@@ -11,7 +11,8 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional
 
 from ..network.network import Network
-from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.backend import QueryTraits, solver_for
+from ..sat.solver import SatBudgetExceeded
 from ..sat.tseitin import encode_network
 from ..sat.types import mklit
 from .miter import MITER_PO, build_miter
@@ -58,7 +59,7 @@ def cec(
         pre = Preprocessor(collector.nvars, frozen=frozen)
         for clause in collector.clause_list:
             pre.add_clause(clause)
-        solver = Solver()
+        solver = solver_for(QueryTraits(incremental=False))
         solver.new_vars(collector.nvars)
         if not pre.run():
             return CecResult(equivalent=True)  # CNF UNSAT: no mismatch
@@ -70,7 +71,7 @@ def cec(
         if not ok:
             return CecResult(equivalent=True)
     else:
-        solver = Solver()
+        solver = solver_for(QueryTraits(incremental=False))
         varmap = encode_network(solver, miter.net)
     out_var = varmap[out_node]
     try:

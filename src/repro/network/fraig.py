@@ -18,7 +18,8 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional, Sequence
 
-from ..sat.solver import SatBudgetExceeded, Solver
+from ..sat.backend import QueryTraits, solver_for
+from ..sat.solver import SatBudgetExceeded
 from ..sat.types import mklit, neg
 from .network import Network
 from .strash import AigBuilder, build_literal
@@ -52,7 +53,7 @@ class FraigBuilder:
         self._budget = budget_conflicts
         self._max_refinements = max_refinements
         self._refinements = 0
-        self._solver = Solver()
+        self._solver = solver_for(QueryTraits(incremental=True))
         # per AIG node: simulation word, solver var
         self._sig: Dict[int, int] = {0: 0}
         self._var: Dict[int, int] = {}

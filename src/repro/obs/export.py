@@ -214,6 +214,12 @@ def validate_bench_document(doc: Any) -> None:
         _require(isinstance(entry, Mapping), path, "must be an object")
         _require(isinstance(entry.get("unit"), str), path, "unit must be a string")
         _require(isinstance(entry.get("method"), str), path, "method must be a string")
+        _require(
+            isinstance(entry.get("backend"), str) and entry.get("backend"),
+            path,
+            "backend must be a non-empty string (the SAT backend the "
+            "row was measured under; see repro.sat.backend)",
+        )
         for fld in ("cost", "gates"):
             _require(isinstance(entry.get(fld), int), path, f"{fld} must be an int")
         _require(
@@ -254,6 +260,15 @@ def validate_bench_document(doc: Any) -> None:
                 f"{path}.solver",
                 f"{fld} must be a number",
             )
+        memo = entry.get("memo")
+        if memo is not None:
+            _require(isinstance(memo, Mapping), path, "memo must be an object")
+            for name, rate in memo.items():
+                _require(
+                    isinstance(rate, _NUMBER) and 0.0 <= rate <= 1.0,
+                    f"{path}.memo.{name}",
+                    "memo hit-rates must be numbers in [0, 1]",
+                )
     context = doc.get("context")
     if context is not None:
         _require(isinstance(context, Mapping), "$.context", "must be an object")

@@ -1,5 +1,20 @@
 """SAT substrate: CDCL solver, CNF encoding, proofs, interpolation."""
 
+from .backend import (
+    BackendError,
+    BackendSelector,
+    DimacsProcessBackend,
+    NativeBackend,
+    QueryTraits,
+    SolverBackend,
+    available_backends,
+    current_selector,
+    get_backend,
+    install_selector,
+    register_backend,
+    solver_for,
+    unregister_backend,
+)
 from .cardinality import Totalizer
 from .interpolate import InterpolationError, interpolant
 from .proof import ProofError, check_proof, derive_clause, resolve
@@ -24,7 +39,13 @@ from .types import (
 )
 
 __all__ = [
+    "BackendError",
+    "BackendSelector",
     "CnfTemplate",
+    "DimacsProcessBackend",
+    "NativeBackend",
+    "QueryTraits",
+    "SolverBackend",
     "InterpolationError",
     "Preprocessor",
     "PreprocessorError",
@@ -34,19 +55,26 @@ __all__ = [
     "Solver",
     "Totalizer",
     "add_equality",
+    "available_backends",
     "check_proof",
     "clause_from_dimacs",
+    "current_selector",
     "derive_clause",
     "encode_gate",
     "encode_network",
     "from_dimacs",
+    "get_backend",
+    "install_selector",
     "interpolant",
     "is_negated",
     "lit_var",
     "mklit",
     "neg",
+    "register_backend",
     "resolve",
     "set_solve_deadline",
     "solve_deadline",
+    "solver_for",
     "to_dimacs",
+    "unregister_backend",
 ]

@@ -1,0 +1,554 @@
+"""Pluggable SAT backend layer: per-query solver construction.
+
+Every SAT query in the ECO flow used to instantiate the CDCL
+:class:`~repro.sat.solver.Solver` directly, which made a backend swap
+(an external CDCL engine, a specialized one-shot solver) impossible
+without touching a dozen modules.  This module is the seam: callers
+declare *what the query looks like* as :class:`QueryTraits` and acquire
+a solver through :func:`solver_for`; which engine actually answers is
+decided by the installed :class:`BackendSelector` against a
+process-global backend registry.
+
+* :class:`SolverBackend` — the protocol: ``supports(traits)`` +
+  ``create(traits)``.
+* :class:`NativeBackend` — wraps the in-process CDCL solver; the
+  default and the only backend that supports incremental queries,
+  retractable groups, and proof logging.  Behavior-preserving: the
+  returned solver *is* a :class:`~repro.sat.solver.Solver`
+  (``proof_logging`` driven by ``traits.needs_proof``), so solver
+  counters stay byte-identical to direct construction.
+* :class:`DimacsProcessBackend` — proof that the seam supports an
+  external engine: one-shot queries round-trip through a DIMACS file
+  and a subprocess solver (standard ``s SATISFIABLE`` / ``v`` output).
+  Never registered by default.
+* registry — :func:`register_backend` / :func:`get_backend` /
+  :func:`available_backends`.
+* :class:`BackendSelector` — picks a backend per query: the ``fixed``
+  policy always asks for the configured backend, the ``traits`` policy
+  routes each query to the first registered backend that supports its
+  traits (preferring the configured one).  Either way a backend that
+  cannot serve the query falls back to ``native`` (the universal
+  engine) with a ``sat.backend.<name>.fallbacks`` counter.
+
+:class:`~repro.core.engine.EcoEngine` installs a selector built from
+``EcoConfig.backend`` / ``EcoConfig.backend_policy`` for the duration
+of each run (the configuration — a plain dataclass field — survives
+pickling into batch pool workers); standalone callers (``repro check``,
+:mod:`repro.network.fraig`, DIMACS replay) get the default ``native``
+selector.  Direct ``Solver()`` construction outside this module is
+banned by lint rule RA007 (see :mod:`repro.analyze.lint`).
+
+Per-backend usage is metered as ``sat.backend.<name>.solves`` /
+``sat.backend.<name>.conflicts`` obs counters, alongside (not instead
+of) the engine-level ``sat.*`` counters the bench solver breakdown is
+built from.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, cast
+
+from ..obs import DEFAULT as _OBS
+from .solver import Solver
+
+__all__ = [
+    "BackendError",
+    "BackendSelector",
+    "DimacsProcessBackend",
+    "NativeBackend",
+    "QueryTraits",
+    "SolverBackend",
+    "available_backends",
+    "current_selector",
+    "get_backend",
+    "install_selector",
+    "register_backend",
+    "solver_for",
+    "unregister_backend",
+]
+
+
+class BackendError(Exception):
+    """Raised on registry misuse or a backend execution failure."""
+
+
+@dataclass(frozen=True)
+class QueryTraits:
+    """What a call site declares about the query it is about to build.
+
+    Attributes:
+        incremental: the solver will be solved more than once (learned
+            clauses, assumptions, and phase state carry across calls).
+        needs_proof: the caller reads proof machinery off the solver
+            (``proof_chains`` / clause ids) — interpolation and DRUP
+            re-checking.
+        needs_groups: the caller opens retractable clause groups.
+        expected_vars / expected_clauses: optional size hints (a
+            selector policy may route small one-shots differently);
+            ``None`` when the caller cannot cheaply estimate them.
+    """
+
+    incremental: bool = True
+    needs_proof: bool = False
+    needs_groups: bool = False
+    expected_vars: Optional[int] = None
+    expected_clauses: Optional[int] = None
+
+
+class SolverBackend:
+    """Protocol every backend implements (structural, but also usable
+    as a base class).  ``create`` returns a solver-compatible object:
+    for one-shot traits the required surface is variable allocation,
+    clause addition, one ``solve``, and model extraction; incremental /
+    proof / group traits require the full native surface."""
+
+    #: registry key and the ``sat.backend.<name>.*`` counter namespace
+    name: str = "abstract"
+
+    def supports(self, traits: QueryTraits) -> bool:
+        """Can this backend serve a query with the given traits?"""
+        raise NotImplementedError
+
+    def create(self, traits: QueryTraits) -> Solver:
+        """A fresh solver for one query with the given traits."""
+        raise NotImplementedError
+
+
+class _MeteredSolver(Solver):
+    """The native CDCL solver plus per-backend usage metering.
+
+    Identical search behavior — the override only reads two counters
+    around the inherited :meth:`~repro.sat.solver.Solver.solve`, so the
+    engine-level ``sat.*`` counters (and therefore the bench solver
+    breakdown) are byte-identical to a plain :class:`Solver`.
+    """
+
+    def __init__(self, backend_name: str, proof_logging: bool = False) -> None:
+        super().__init__(proof_logging=proof_logging)
+        self._backend_name = backend_name
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        budget_conflicts: Optional[int] = None,
+    ) -> bool:
+        if not _OBS.enabled:
+            return super().solve(assumptions, budget_conflicts)
+        before = self.stats["conflicts"]
+        try:
+            return super().solve(assumptions, budget_conflicts)
+        finally:
+            _OBS.inc(f"sat.backend.{self._backend_name}.solves")
+            _OBS.inc(
+                f"sat.backend.{self._backend_name}.conflicts",
+                self.stats["conflicts"] - before,
+            )
+
+
+class NativeBackend(SolverBackend):
+    """The in-process CDCL solver; default, supports every trait."""
+
+    name = "native"
+
+    def supports(self, traits: QueryTraits) -> bool:
+        return True
+
+    def create(self, traits: QueryTraits) -> Solver:
+        return _MeteredSolver(self.name, proof_logging=traits.needs_proof)
+
+
+# ---------------------------------------------------------------------------
+# external one-shot backend: DIMACS subprocess round-trip
+# ---------------------------------------------------------------------------
+
+
+class DimacsProcessSolver:
+    """One-shot solver adapter over an external DIMACS solver process.
+
+    Implements the subset of the :class:`~repro.sat.solver.Solver`
+    surface one-shot call sites use: variable allocation
+    (``new_var`` / ``new_vars`` / ``add_vars``), clause addition
+    (``add_clause`` / ``add_compiled_clause``), a single :meth:`solve`
+    (assumptions become unit clauses), and model extraction
+    (``model_value`` / ``model``).  A second ``solve`` raises
+    :class:`BackendError` — incremental queries must not be routed here
+    (the selector guards this via :meth:`DimacsProcessBackend.supports`).
+    """
+
+    def __init__(self, command: Sequence[str], backend_name: str) -> None:
+        self._command = list(command)
+        self._backend_name = backend_name
+        self.nvars = 0
+        self._clauses: List[Tuple[int, ...]] = []
+        self._root_units: Dict[int, int] = {}  # var -> 0/1
+        self._ok = True
+        self._solved = False
+        self.model: List[int] = []
+        self.core: set = set()
+
+    # -- variable / clause surface (mirrors Solver) --------------------
+
+    def new_var(self) -> int:
+        v = self.nvars
+        self.nvars += 1
+        return v
+
+    def add_vars(self, n: int) -> int:
+        base = self.nvars
+        if n > 0:
+            self.nvars += n
+        return base
+
+    def new_vars(self, n: int) -> List[int]:
+        base = self.add_vars(n)
+        return list(range(base, base + n))
+
+    def add_clause(
+        self, lits: Sequence[int], group: Optional[int] = None
+    ) -> bool:
+        if group is not None:
+            raise BackendError(
+                f"backend {self._backend_name!r} does not support"
+                " retractable clause groups"
+            )
+        return self.add_compiled_clause(lits)
+
+    def add_compiled_clause(self, lits: Sequence[int]) -> bool:
+        clause = tuple(lits)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            lit = clause[0]
+            want = 1 - (lit & 1)
+            have = self._root_units.get(lit >> 1)
+            if have is not None and have != want:
+                self._ok = False
+                return False
+            self._root_units[lit >> 1] = want
+        self._clauses.append(clause)
+        return True
+
+    def value(self, lit: int) -> int:
+        """Root-level literal value: 0/1 for recorded units, else -1."""
+        val = self._root_units.get(lit >> 1)
+        if val is None:
+            return -1
+        return val ^ (lit & 1)
+
+    # -- one-shot solve -------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        budget_conflicts: Optional[int] = None,
+    ) -> bool:
+        if self._solved:
+            raise BackendError(
+                f"backend {self._backend_name!r} is one-shot: a second"
+                " solve on the same instance is not supported"
+            )
+        self._solved = True
+        if not self._ok:
+            return False
+        clauses = list(self._clauses) + [(lit,) for lit in assumptions]
+        sat, model = self._run_process(self.nvars, clauses)
+        if sat:
+            self.model = model
+        else:
+            # mirror Solver: UNSAT under assumptions fills the core
+            # conservatively (the external engine reports no core)
+            self.core = set(assumptions)
+        if _OBS.enabled:
+            _OBS.inc(f"sat.backend.{self._backend_name}.solves")
+            _OBS.inc(f"sat.backend.{self._backend_name}.conflicts", 0)
+        return sat
+
+    def model_value(self, lit: int) -> int:
+        val = self.model[lit >> 1] if (lit >> 1) < len(self.model) else 0
+        if val not in (0, 1):
+            val = 0
+        return val ^ (lit & 1)
+
+    def _run_process(
+        self, nvars: int, clauses: Sequence[Sequence[int]]
+    ) -> Tuple[bool, List[int]]:
+        # deferred import: repro.sat.dimacs imports this module's
+        # ``solver_for`` for its own replay entry point
+        import os
+        import tempfile
+
+        from .dimacs import write_dimacs
+
+        fd, path = tempfile.mkstemp(suffix=".cnf", prefix="repro-backend-")
+        os.close(fd)
+        try:
+            write_dimacs(nvars, clauses, path, comment="repro.sat.backend")
+            try:
+                proc = subprocess.run(
+                    self._command + [path],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.DEVNULL,
+                    timeout=600,
+                    check=False,
+                )
+            except (OSError, subprocess.TimeoutExpired) as exc:
+                raise BackendError(
+                    f"external solver {self._command!r} failed: {exc}"
+                ) from exc
+            return self._parse_output(
+                proc.stdout.decode("utf-8", "replace"), proc.returncode, nvars
+            )
+        finally:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def _parse_output(
+        self, text: str, returncode: int, nvars: int
+    ) -> Tuple[bool, List[int]]:
+        verdict: Optional[bool] = None
+        model = [0] * nvars
+        for line in text.splitlines():
+            line = line.strip()
+            if line.startswith("s "):
+                token = line[2:].strip().upper()
+                if token == "SATISFIABLE":
+                    verdict = True
+                elif token == "UNSATISFIABLE":
+                    verdict = False
+            elif line.startswith("v "):
+                for tok in line[2:].split():
+                    try:
+                        d = int(tok)
+                    except ValueError:
+                        continue
+                    if d == 0:
+                        continue
+                    var = abs(d) - 1
+                    if 0 <= var < nvars:
+                        model[var] = 1 if d > 0 else 0
+        if verdict is None:
+            # SAT-competition exit codes: 10 = SAT, 20 = UNSAT
+            if returncode == 10:
+                verdict = True
+            elif returncode == 20:
+                verdict = False
+            else:
+                raise BackendError(
+                    f"external solver {self._command!r} produced no"
+                    f" verdict (exit code {returncode})"
+                )
+        return verdict, model
+
+
+class DimacsProcessBackend(SolverBackend):
+    """External solver over a DIMACS file round-trip; one-shot only.
+
+    ``command`` is the solver invocation (the CNF path is appended);
+    with ``command=None`` the constructor probes ``$REPRO_SAT_SOLVER``
+    and then a short list of well-known solver binaries on ``PATH``.
+    Use :meth:`available` to test for a usable command before
+    registering — this backend is deliberately *not* registered by
+    default.
+    """
+
+    name = "dimacs"
+
+    #: probed on PATH when no explicit command/env override is given
+    KNOWN_SOLVERS: Tuple[str, ...] = (
+        "minisat-simp",
+        "minisat",
+        "picosat",
+        "cadical",
+        "kissat",
+        "cryptominisat5",
+        "glucose",
+    )
+
+    def __init__(
+        self, command: Optional[Sequence[str]] = None, name: str = "dimacs"
+    ) -> None:
+        self.name = name
+        self._command = (
+            list(command) if command is not None else self._probe()
+        )
+
+    @staticmethod
+    def _probe() -> Optional[List[str]]:
+        import os
+
+        override = os.environ.get("REPRO_SAT_SOLVER")
+        if override:
+            return override.split()
+        for binary in DimacsProcessBackend.KNOWN_SOLVERS:
+            found = shutil.which(binary)
+            if found is not None:
+                return [found]
+        return None
+
+    def available(self) -> bool:
+        """Is an external solver command configured/resolvable?"""
+        return self._command is not None
+
+    def supports(self, traits: QueryTraits) -> bool:
+        return (
+            self._command is not None
+            and not traits.incremental
+            and not traits.needs_proof
+            and not traits.needs_groups
+        )
+
+    def create(self, traits: QueryTraits) -> Solver:
+        if not self.supports(traits):
+            raise BackendError(
+                f"backend {self.name!r} cannot serve these query traits"
+                f" ({traits!r})"
+            )
+        assert self._command is not None
+        # the adapter duck-types the one-shot Solver surface; the cast
+        # keeps call-site annotations honest for the common native case
+        # (same pattern as sat.template's _TemplateRecorder)
+        return cast(Solver, DimacsProcessSolver(self._command, self.name))
+
+
+# ---------------------------------------------------------------------------
+# process-global registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, SolverBackend] = {}
+
+
+def register_backend(backend: SolverBackend, replace: bool = False) -> None:
+    """Register ``backend`` under ``backend.name``.
+
+    Re-registering an existing name requires ``replace=True`` (guards
+    against two subsystems silently fighting over one name).
+    """
+    if not backend.name or backend.name == "abstract":
+        raise BackendError("backend must carry a concrete name")
+    if backend.name in _REGISTRY and not replace:
+        raise BackendError(
+            f"backend {backend.name!r} is already registered"
+            " (pass replace=True to swap it)"
+        )
+    _REGISTRY[backend.name] = backend
+
+
+def unregister_backend(name: str) -> bool:
+    """Remove a registered backend; the ``native`` default cannot be
+    removed.  Returns whether anything was removed."""
+    if name == NativeBackend.name:
+        raise BackendError("the native backend cannot be unregistered")
+    return _REGISTRY.pop(name, None) is not None
+
+
+def get_backend(name: str) -> SolverBackend:
+    """Look up a backend by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown SAT backend {name!r}"
+            f" (available: {', '.join(available_backends())})"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_backend(NativeBackend())
+
+
+# ---------------------------------------------------------------------------
+# per-query selection
+# ---------------------------------------------------------------------------
+
+#: selector policies understood by :class:`BackendSelector`
+POLICIES: Tuple[str, ...] = ("fixed", "traits")
+
+
+@dataclass(frozen=True)
+class BackendSelector:
+    """Maps query traits to a registered backend.
+
+    ``fixed`` (default): every query goes to ``backend`` — unless it
+    cannot serve the traits, in which case the query falls back to
+    ``native`` (counted as ``sat.backend.<name>.fallbacks``).
+
+    ``traits``: the configured backend is preferred, but a query it
+    cannot serve is routed to the first other registered backend whose
+    ``supports(traits)`` holds (registry order, ``native`` last as the
+    universal fallback).
+    """
+
+    backend: str = "native"
+    policy: str = "fixed"
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise BackendError(
+                f"unknown backend policy {self.policy!r}"
+                f" (expected one of {POLICIES})"
+            )
+
+    def select(self, traits: QueryTraits) -> SolverBackend:
+        preferred = get_backend(self.backend)
+        if preferred.supports(traits):
+            return preferred
+        if self.policy == "traits":
+            for name in available_backends():
+                if name == preferred.name or name == NativeBackend.name:
+                    continue
+                candidate = _REGISTRY[name]
+                if candidate.supports(traits):
+                    return candidate
+        if _OBS.enabled:
+            _OBS.inc(f"sat.backend.{preferred.name}.fallbacks")
+        return get_backend(NativeBackend.name)
+
+    def acquire(self, traits: QueryTraits) -> Solver:
+        """A fresh solver for one query, from the selected backend."""
+        return self.select(traits).create(traits)
+
+
+_DEFAULT_SELECTOR = BackendSelector()
+_current_selector: BackendSelector = _DEFAULT_SELECTOR
+
+
+def install_selector(
+    selector: Optional[BackendSelector],
+) -> BackendSelector:
+    """Install the process-global selector; returns the previous one.
+
+    ``None`` restores the default (``native``, ``fixed``).
+    :class:`~repro.core.engine.EcoEngine` installs a selector built
+    from ``EcoConfig.backend`` / ``EcoConfig.backend_policy`` around
+    each run and restores the previous one afterwards.
+    """
+    global _current_selector
+    previous = _current_selector
+    _current_selector = (
+        selector if selector is not None else _DEFAULT_SELECTOR
+    )
+    return previous
+
+
+def current_selector() -> BackendSelector:
+    """The selector queries are currently routed through."""
+    return _current_selector
+
+
+def solver_for(traits: QueryTraits) -> Solver:
+    """Acquire a solver for one query through the installed selector.
+
+    This is the single construction seam the rest of the repo uses in
+    place of direct ``Solver()`` instantiation (lint rule RA007).
+    """
+    return _current_selector.acquire(traits)

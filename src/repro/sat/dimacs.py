@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from .solver import Solver
+from .backend import QueryTraits, solver_for
 from .types import from_dimacs, to_dimacs
 
 
@@ -95,7 +95,7 @@ def solve_dimacs(
 ) -> Tuple[bool, Optional[List[int]]]:
     """Solve DIMACS text; returns ``(sat, model)`` with a 0/1 model list."""
     nvars, clauses = parse_dimacs(text)
-    solver = Solver()
+    solver = solver_for(QueryTraits(incremental=False))
     solver.new_vars(nvars)
     for clause in clauses:
         if not solver.add_clause(clause):

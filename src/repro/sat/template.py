@@ -312,6 +312,25 @@ def clear_template_memo() -> None:
     _template_memo.clear()
 
 
+def set_template_memo_capacity(capacity: int) -> int:
+    """Resize the bounded template memo (``EcoConfig.memo_capacity``).
+
+    Returns the previous capacity; shrinking evicts LRU entries
+    immediately.  Capacities below 1 are clamped to 1.
+    """
+    global _TEMPLATE_MEMO_CAPACITY
+    previous = _TEMPLATE_MEMO_CAPACITY
+    _TEMPLATE_MEMO_CAPACITY = max(1, capacity)
+    while len(_template_memo) > _TEMPLATE_MEMO_CAPACITY:
+        _template_memo.popitem(last=False)
+    return previous
+
+
+def template_memo_capacity() -> int:
+    """The template memo's current entry bound."""
+    return _TEMPLATE_MEMO_CAPACITY
+
+
 def _memo_store(key: int, tpl: CnfTemplate) -> None:
     _template_memo[key] = tpl
     while len(_template_memo) > _TEMPLATE_MEMO_CAPACITY:

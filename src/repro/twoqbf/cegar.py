@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 from .. import obs
 from ..network.network import Network
-from ..sat.solver import Solver
+from ..sat.backend import QueryTraits, solver_for
 from ..sat.template import CnfTemplate
 from ..sat.types import mklit
 
@@ -80,7 +80,7 @@ def solve_exists_forall(
     template = CnfTemplate(net)
 
     # verification solver: full circuit, all PIs free
-    ver = Solver()
+    ver = solver_for(QueryTraits(incremental=True))
     ver_vars = template.stamp(ver)
     out_var = ver_vars[net.pos[0][1]]
 
@@ -88,7 +88,7 @@ def solve_exists_forall(
     # plus two constant variables the refinement stamps bind the
     # universal PIs to (units propagate at stamp time, so the constants
     # cascade through each copy like a cofactor)
-    abs_solver = Solver()
+    abs_solver = solver_for(QueryTraits(incremental=True))
     abs_x = {pi: abs_solver.new_var() for pi in exists_pis}
     const_vars: List[int] = []  # [false_var, true_var], created lazily
 

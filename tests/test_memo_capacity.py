@@ -1,0 +1,121 @@
+"""Tests for configurable LRU memo capacities (EcoConfig.memo_capacity)
+and the memo hit-rate export in bench rows."""
+
+import dataclasses
+
+import pytest
+
+from repro.benchgen import build_unit, unit_spec
+from repro.benchgen.harness import memo_rates
+from repro.core.divisors import (
+    clear_extraction_memo,
+    extraction_memo_capacity,
+    set_extraction_memo_capacity,
+)
+from repro.core.engine import EcoEngine, contest_config
+from repro.core.support import (
+    clear_support_memo,
+    set_support_memo_capacity,
+    support_memo_capacity,
+)
+from repro.sat.template import (
+    clear_template_memo,
+    set_template_memo_capacity,
+    template_memo_capacity,
+)
+
+SETTERS = [
+    (set_template_memo_capacity, template_memo_capacity),
+    (set_extraction_memo_capacity, extraction_memo_capacity),
+    (set_support_memo_capacity, support_memo_capacity),
+]
+
+
+@pytest.fixture(autouse=True)
+def restore_capacities():
+    saved = [getter() for _, getter in SETTERS]
+    yield
+    for (setter, _), cap in zip(SETTERS, saved):
+        setter(cap)
+    clear_template_memo()
+    clear_extraction_memo()
+    clear_support_memo()
+
+
+class TestCapacitySetters:
+    @pytest.mark.parametrize("setter,getter", SETTERS)
+    def test_returns_previous_and_updates(self, setter, getter):
+        before = getter()
+        prev = setter(7)
+        assert prev == before
+        assert getter() == 7
+        assert setter(before) == 7
+
+    @pytest.mark.parametrize("setter,getter", SETTERS)
+    def test_clamped_to_at_least_one(self, setter, getter):
+        setter(0)
+        assert getter() == 1
+        setter(-5)
+        assert getter() == 1
+
+    def test_shrinking_evicts_template_lru(self):
+        from repro.sat.template import _template_memo
+
+        clear_template_memo()
+        set_template_memo_capacity(64)
+        for key in range(5):
+            _template_memo[key] = object()
+        set_template_memo_capacity(2)
+        # LRU entries (oldest insertions) evicted, newest survive
+        assert list(_template_memo) == [3, 4]
+
+    def test_shrinking_evicts_extraction_lru(self):
+        from repro.core.divisors import _divisor_memo, _window_memo
+
+        clear_extraction_memo()
+        set_extraction_memo_capacity(64)
+        for key in range(4):
+            _window_memo[("w", key)] = object()
+            _divisor_memo[("d", key)] = object()
+        set_extraction_memo_capacity(1)
+        assert list(_window_memo) == [("w", 3)]
+        assert list(_divisor_memo) == [("d", 3)]
+
+
+class TestEngineThreading:
+    def test_run_applies_and_restores_capacity(self):
+        for setter, _ in SETTERS:
+            setter(31)
+        cfg = dataclasses.replace(contest_config(), memo_capacity=5)
+        EcoEngine(cfg).run(build_unit(unit_spec("unit1")))
+        # engine restored what was installed before the run
+        for _, getter in SETTERS:
+            assert getter() == 31
+
+    def test_capacity_one_run_still_correct(self):
+        cfg = dataclasses.replace(contest_config(), memo_capacity=1)
+        res = EcoEngine(cfg).run(build_unit(unit_spec("unit2")))
+        assert res.verified
+
+    def test_default_capacity_is_64(self):
+        assert contest_config().memo_capacity == 64
+
+
+class TestMemoRates:
+    def test_rates_from_counters(self):
+        counters = {
+            "engine.window_memo_hit": 3,
+            "engine.window_memo_miss": 1,
+            "engine.template_memo_hit": 0,
+            "engine.template_memo_miss": 2,
+        }
+        rates = memo_rates(counters)
+        assert rates["window"] == 0.75
+        assert rates["template"] == 0.0
+        # memos with zero lookups report a 0.0 rate, not a div-by-zero
+        assert rates["divisors"] == 0.0
+        assert rates["support"] == 0.0
+
+    def test_rates_bounded(self):
+        rates = memo_rates({"engine.support_memo_hit": 10})
+        assert all(0.0 <= r <= 1.0 for r in rates.values())

@@ -162,6 +162,7 @@ def _bench_entry(**overrides):
     entry = {
         "unit": "unit1",
         "method": "minassump",
+        "backend": "native",
         "cost": 3,
         "gates": 2,
         "runtime_s": 0.1,

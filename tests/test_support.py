@@ -158,3 +158,110 @@ class TestLastGasp:
             max_swaps=3,
         )
         assert len(calls) == 3
+
+
+class TestSupportMemoGuard:
+    """Guard for the opt-in support memo: the exact downstream
+    solver-counter shift when it is enabled.
+
+    With ``memoize_support=True`` every memoized target skips its
+    entire support-minimization SAT dialogue on a warm re-run, so the
+    drop in ``sat.solves`` between a cold and a warm run is *exactly*
+    the cold run's ``engine.support_memo_miss`` (the one probe solve
+    per target that seeded the memo is part of the support dialogue)
+    plus its ``engine.support_sat_calls``.  The patch itself must be
+    unaffected: identical cost either way.  ``sat.conflicts`` is NOT
+    part of the contract — skipping the support dialogue changes the
+    learned-clause state downstream, which is why the memo stays
+    opt-in (not counter-safe, see docs/PIPELINE.md).
+    """
+
+    @staticmethod
+    def _memo_config():
+        import dataclasses
+
+        from repro.core.engine import contest_config
+
+        return dataclasses.replace(
+            contest_config(),
+            memoize_support=True,
+            support_method="minassump",
+            use_last_gasp=False,
+        )
+
+    @staticmethod
+    def _clear_all_memos():
+        from repro.core.divisors import clear_extraction_memo
+        from repro.core.support import clear_support_memo
+        from repro.sat.template import clear_template_memo
+
+        clear_support_memo()
+        clear_extraction_memo()
+        clear_template_memo()
+
+    @staticmethod
+    def _run(cfg, unit):
+        from repro import obs
+        from repro.benchgen import build_unit, unit_spec
+        from repro.core.engine import EcoEngine
+
+        registry = obs.get_registry()
+        registry.reset()
+        registry.enable()
+        try:
+            result = EcoEngine(cfg).run(build_unit(unit_spec(unit)))
+        finally:
+            registry.disable()
+        counters = dict(registry.counters)
+        registry.reset()
+        return result, counters
+
+    @pytest.mark.parametrize("unit", ["unit2", "unit19"])
+    def test_exact_solver_counter_shift(self, unit):
+        cfg = self._memo_config()
+        self._clear_all_memos()
+        try:
+            cold_res, cold = self._run(cfg, unit)
+            warm_res, warm = self._run(cfg, unit)
+        finally:
+            self._clear_all_memos()
+
+        # cold run seeds the memo: every target is a miss, none a hit
+        misses = cold.get("engine.support_memo_miss", 0)
+        assert misses >= 1
+        assert cold.get("engine.support_memo_hit", 0) == 0
+
+        # warm run replays every target from the memo: no support SAT
+        # dialogue at all
+        assert warm.get("engine.support_memo_hit", 0) == misses
+        assert warm.get("engine.support_memo_miss", 0) == 0
+        assert warm.get("engine.support_sat_calls", 0) == 0
+
+        # the exact shift: one probe solve per memoized target plus the
+        # cold run's minimization dialogue
+        shift = cold["sat.solves"] - warm["sat.solves"]
+        assert shift == misses + cold.get("engine.support_sat_calls", 0)
+
+        # the memo must not change what gets synthesized
+        assert warm_res.cost == cold_res.cost
+        assert warm_res.verified == cold_res.verified
+
+    def test_default_off_is_counter_identical(self):
+        import dataclasses
+
+        from repro.core.engine import contest_config
+
+        cfg = dataclasses.replace(
+            contest_config(), support_method="minassump", use_last_gasp=False
+        )
+        assert not cfg.memoize_support  # memo is opt-in
+
+        self._clear_all_memos()
+        try:
+            _, first = self._run(cfg, "unit2")
+            self._clear_all_memos()
+            _, second = self._run(cfg, "unit2")
+        finally:
+            self._clear_all_memos()
+        assert first == second
+        assert "engine.support_memo_hit" not in first
